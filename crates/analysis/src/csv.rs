@@ -1,0 +1,92 @@
+//! CSV export of sweeps and tables — the machine-readable companion to
+//! the rendered tables, for plotting the figure series outside Rust.
+
+use crate::sweep::Sweep;
+use crate::tables::ReproTable;
+use std::fmt::Write as _;
+
+/// Serialises one sweep as CSV: header + one row per sample.
+pub fn sweep_to_csv(sweep: &Sweep) -> String {
+    let mut out = String::from("network,problem,provenance,n,area_lambda2,time_tau,at2\n");
+    for s in &sweep.samples {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:e}",
+            sweep.network,
+            sweep.problem,
+            sweep.provenance.tag(),
+            s.n,
+            s.area.get(),
+            s.time.get(),
+            s.at2()
+        );
+    }
+    out
+}
+
+/// Serialises a whole reproduced table (all its sweeps' samples) as CSV,
+/// with the paper's Θ forms attached to every row.
+pub fn table_to_csv(table: &ReproTable) -> String {
+    let mut out = String::from(
+        "table,network,paper_area,paper_time,paper_at2,provenance,n,area_lambda2,time_tau,at2\n",
+    );
+    for row in &table.rows {
+        let Some(sweep) = &row.sweep else { continue };
+        for s in &sweep.samples {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{:e}",
+                table.id,
+                row.paper.network,
+                row.paper.area,
+                row.paper.time,
+                row.paper.at2(),
+                sweep.provenance.tag(),
+                s.n,
+                s.area.get(),
+                s.time.get(),
+                s.at2()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep;
+    use crate::tables::{paper, ReproTable};
+
+    #[test]
+    fn sweep_csv_has_one_line_per_sample_plus_header() {
+        let s = sweep::sort_otn(&[16, 64], 1, false);
+        let csv = sweep_to_csv(&s);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("network,problem"));
+        assert!(csv.contains("OTN,sorting,measured,16,"));
+    }
+
+    #[test]
+    fn table_csv_includes_paper_forms() {
+        let sweeps = vec![sweep::sort_otc(&[16, 64], 1)];
+        let t = ReproTable::build("Table I", "sorting", paper::table1(), sweeps);
+        let csv = table_to_csv(&t);
+        assert!(csv.contains("Table I,OTC,N^2,log^2 N,N^2 log^4 N,measured,16,"));
+        // Rows without sweeps (Mesh etc.) are skipped.
+        assert!(!csv.contains("Table I,Mesh"));
+    }
+
+    #[test]
+    fn csv_values_are_numeric_where_expected() {
+        let s = sweep::sort_otn(&[16], 1, false);
+        let csv = sweep_to_csv(&s);
+        let data_line = csv.lines().nth(1).unwrap();
+        let fields: Vec<&str> = data_line.split(',').collect();
+        assert_eq!(fields.len(), 7);
+        assert!(fields[3].parse::<u64>().is_ok());
+        assert!(fields[4].parse::<u64>().is_ok());
+        assert!(fields[5].parse::<u64>().is_ok());
+        assert!(fields[6].parse::<f64>().is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates the paper's Tables I–IV and the
+//! derived claims (AT² orderings, crossovers) from *measured* runs of the
+//! simulators in `orthotrees` and `orthotrees-baselines`, with areas taken
+//! from the constructed layouts in `orthotrees-layout`.
+//!
+//! * [`workloads`] — seeded input generators (distinct words, `G(n,p)`
+//!   graphs, weight matrices, Boolean matrices);
+//! * [`fit`] — least-squares estimation of the exponents `(a, b)` in
+//!   `T(N) = c · N^a · log^b N` from a measured sweep;
+//! * [`sweep`] — one measured `(N, area, time)` series per network ×
+//!   problem;
+//! * [`tables`] — the paper's table entries as [`Complexity`] terms plus
+//!   the machinery to print paper-vs-measured tables;
+//! * [`report`] — the experiment battery behind EXPERIMENTS.md;
+//! * [`csv`] — machine-readable export of every sweep and table.
+//!
+//! [`Complexity`]: orthotrees_vlsi::Complexity
+
+#![forbid(unsafe_code)]
+// Index-driven loops here are deliberate: the index is a hardware
+// coordinate (tree number, cycle position, matrix offset), not a mere
+// subscript, and `enumerate()` rewrites would obscure the coordinate math.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod fit;
+pub mod report;
+pub mod sweep;
+pub mod tables;
+pub mod workloads;
+
+pub use fit::{fit_poly_log, Fit};
+pub use sweep::{Sample, Sweep};

@@ -1,0 +1,185 @@
+//! Seeded workload generators. Every experiment is reproducible: the same
+//! seed yields the same inputs on every run and platform (`StdRng` is a
+//! portable PRNG seeded explicitly).
+
+use orthotrees::Grid;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// A machine word (matches the networks' register type).
+pub type Word = i64;
+
+/// `n` distinct pseudo-random words (a permutation of `0..n`, shuffled).
+pub fn distinct_words(n: usize, seed: u64) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v: Vec<Word> = (0..n as Word).collect();
+    // Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// `n` words with heavy duplication (values in `0..max(1, n/4)`).
+pub fn duplicated_words(n: usize, seed: u64) -> Vec<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hi = (n / 4).max(1) as Word;
+    (0..n).map(|_| rng.random_range(0..hi)).collect()
+}
+
+/// An Erdős–Rényi `G(n, p)` undirected adjacency matrix (0/1, symmetric,
+/// zero diagonal).
+pub fn gnp_adjacency(n: usize, p: f64, seed: u64) -> Grid<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Grid::filled(n, n, 0);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random::<f64>() < p {
+                g.set(u, v, 1);
+                g.set(v, u, 1);
+            }
+        }
+    }
+    g
+}
+
+/// A path graph's adjacency matrix — the adversarial (diameter `n−1`)
+/// family for the connected-components convergence claims.
+pub fn path_adjacency(n: usize) -> Grid<Word> {
+    let mut g = Grid::filled(n, n, 0);
+    for v in 0..n.saturating_sub(1) {
+        g.set(v, v + 1, 1);
+        g.set(v + 1, v, 1);
+    }
+    g
+}
+
+/// A connected random weight matrix: a random spanning path (guaranteeing
+/// connectivity) plus `G(n, p)` extra edges; weights in `1..=w_max`,
+/// distinct with high probability via the generator.
+pub fn random_weights(n: usize, p: f64, w_max: Word, seed: u64) -> Grid<Option<Word>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: Grid<Option<Word>> = Grid::filled(n, n, None);
+    let order = distinct_words(n, seed ^ 0x9E37_79B9);
+    let put = |g: &mut Grid<Option<Word>>, u: usize, v: usize, w: Word| {
+        g.set(u, v, Some(w));
+        g.set(v, u, Some(w));
+    };
+    for i in 0..n.saturating_sub(1) {
+        let w = rng.random_range(1..=w_max);
+        put(&mut g, order[i] as usize, order[i + 1] as usize, w);
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if g.get(u, v).is_none() && rng.random::<f64>() < p {
+                let w = rng.random_range(1..=w_max);
+                put(&mut g, u, v, w);
+            }
+        }
+    }
+    g
+}
+
+/// A random 0/1 matrix with density `p` (for the Boolean matmul
+/// experiments; not necessarily symmetric).
+pub fn random_bool_matrix(n: usize, p: f64, seed: u64) -> Grid<Word> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Grid::from_fn(n, n, |_, _| Word::from(rng.random::<f64>() < p))
+}
+
+/// Converts a `Grid` to the row-major `Vec<Vec<_>>` shape the baselines
+/// take.
+pub fn grid_to_rows(g: &Grid<Word>) -> Vec<Vec<Word>> {
+    (0..g.rows()).map(|i| g.row(i).to_vec()).collect()
+}
+
+/// Extracts the edge list `(u, v)` of an adjacency grid (upper triangle).
+pub fn edges_of(g: &Grid<Word>) -> Vec<(usize, usize)> {
+    let mut edges = Vec::new();
+    for (i, j, v) in g.iter() {
+        if i < j && *v != 0 {
+            edges.push((i, j));
+        }
+    }
+    edges
+}
+
+/// Extracts the weighted edge list of a weight grid (upper triangle).
+pub fn weighted_edges_of(g: &Grid<Option<Word>>) -> Vec<(usize, usize, Word)> {
+    let mut edges = Vec::new();
+    for (i, j, v) in g.iter() {
+        if i < j {
+            if let Some(w) = v {
+                edges.push((i, j, *w));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_words_is_a_permutation() {
+        let v = distinct_words(64, 1);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<Word>>());
+        assert_ne!(v, sorted, "should be shuffled");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(distinct_words(32, 7), distinct_words(32, 7));
+        assert_ne!(distinct_words(32, 7), distinct_words(32, 8));
+        assert_eq!(gnp_adjacency(16, 0.3, 5), gnp_adjacency(16, 0.3, 5));
+    }
+
+    #[test]
+    fn gnp_is_symmetric_with_zero_diagonal() {
+        let g = gnp_adjacency(16, 0.4, 2);
+        for (i, j, v) in g.iter() {
+            assert_eq!(*v, *g.get(j, i));
+            if i == j {
+                assert_eq!(*v, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn path_has_n_minus_one_edges() {
+        let g = path_adjacency(8);
+        assert_eq!(edges_of(&g).len(), 7);
+    }
+
+    #[test]
+    fn random_weights_are_connected_and_symmetric() {
+        let g = random_weights(16, 0.1, 100, 3);
+        let edges = weighted_edges_of(&g);
+        let labels = orthotrees_baselines::seq::components(
+            16,
+            &edges.iter().map(|&(u, v, _)| (u, v)).collect::<Vec<_>>(),
+        );
+        assert!(labels.iter().all(|&l| l == 0), "spanning path guarantees connectivity");
+        for (i, j, v) in g.iter() {
+            assert_eq!(*v, *g.get(j, i));
+        }
+    }
+
+    #[test]
+    fn bool_matrix_density_tracks_p() {
+        let g = random_bool_matrix(32, 0.25, 9);
+        let ones: i64 = g.iter().map(|(_, _, v)| *v).sum();
+        let frac = ones as f64 / (32.0 * 32.0);
+        assert!((0.1..0.4).contains(&frac), "density {frac}");
+    }
+
+    #[test]
+    fn duplicated_words_have_duplicates() {
+        let v = duplicated_words(64, 4);
+        let uniq: std::collections::HashSet<_> = v.iter().collect();
+        assert!(uniq.len() < v.len());
+    }
+}

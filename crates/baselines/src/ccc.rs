@@ -1,0 +1,215 @@
+//! The cube-connected cycles (CCC; paper ref \[23\], Preparata–Vuillemin).
+//!
+//! The CCC replaces each node of a `log N`-dimensional hypercube by a cycle
+//! of `log N` processors, one per dimension, so that every processor has
+//! degree 3 while the network still executes the hypercube's
+//! ASCEND/DESCEND algorithms with constant-factor slowdown. Per the
+//! substitution record in DESIGN.md, we simulate the CCC at the level of
+//! the *hypercube operations it emulates*: a compare-exchange along
+//! dimension `j` is priced at one word over the wire that dimension has in
+//! the CCC's `Θ(N²/log² N)` layout (up to `Θ(N/log N)` λ for the top
+//! dimensions, [`ModeledLayout::hop_length`]) — exactly the premise the
+//! paper uses in §I.A: "the longest wires in the VLSI layout of the CCC are
+//! O(N/log N) units long and hence have an O(log N) delay associated with
+//! them", which is where Table I's `log³ N` (vs. the constant-delay
+//! literature's `log² N`) comes from.
+
+use crate::psn::bitonic_schedule;
+use crate::Word;
+use orthotrees_layout::modeled::{ModeledLayout, ModeledNetwork};
+use orthotrees_vlsi::{BitTime, Clock, CostModel, ModelError, OpStats};
+
+/// Result of a CCC sort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CccSortOutcome {
+    /// The inputs in ascending order.
+    pub sorted: Vec<Word>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Hypercube compare-exchange steps executed (`log N(log N+1)/2`).
+    pub steps: u32,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+/// The cube-connected-cycles simulator (hypercube-emulation level).
+#[derive(Clone, Debug)]
+pub struct Ccc {
+    n: usize,
+    model: CostModel,
+    layout: ModeledLayout,
+    clock: Clock,
+    vals: Vec<Word>,
+}
+
+impl Ccc {
+    /// Creates an `n`-element CCC under Thompson's model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] unless `n` is a power of two ≥ 4.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        let layout = ModeledLayout::new(ModeledNetwork::CubeConnectedCycles, n)?;
+        Ok(Ccc {
+            n,
+            model: CostModel::thompson(n),
+            layout,
+            clock: Clock::new(),
+            vals: Vec::new(),
+        })
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n ≥ 4`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The active cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Modeled layout metrics.
+    pub fn layout(&self) -> &ModeledLayout {
+        &self.layout
+    }
+
+    /// Overrides the delay model (for the Table IV constant-delay runs).
+    pub fn set_model(&mut self, model: CostModel) {
+        self.model = model;
+    }
+
+    /// One parallel compare-exchange along hypercube dimension `bit` of
+    /// bitonic stage `stage`. Cost: one word over that dimension's layout
+    /// wire plus one compare (the in-cycle step that routes the word to the
+    /// dimension-`bit` cycle position is an `O(1)`-λ hop folded into the
+    /// same word move).
+    fn compare_exchange(&mut self, stage: u32, bit: u32) {
+        let d = 1usize << bit;
+        for lo in 0..self.n {
+            if lo & d != 0 {
+                continue;
+            }
+            let hi = lo | d;
+            let asc = lo & (1usize << stage) == 0;
+            if (self.vals[lo] > self.vals[hi]) == asc {
+                self.vals.swap(lo, hi);
+            }
+        }
+        let wire = self.layout.hop_length(d);
+        self.clock.advance(self.model.wire_word(wire) + self.model.compare());
+        self.clock.stats_mut().hops += 1;
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    /// Sorts `xs` by bitonic sort over the emulated hypercube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `xs.len() != n`.
+    pub fn sort(&mut self, xs: &[Word]) -> Result<CccSortOutcome, ModelError> {
+        ModelError::require_equal("input length vs element count", self.n, xs.len())?;
+        self.vals = xs.to_vec();
+        self.clock.stats_mut().inputs += self.n as u64;
+        let stats_before = *self.clock.stats();
+        let mut steps = 0u32;
+        let t0 = self.clock.now();
+        for (stage, bit) in bitonic_schedule(self.n) {
+            self.compare_exchange(stage, bit);
+            steps += 1;
+        }
+        let time = self.clock.now() - t0;
+        let stats = self.clock.stats().since(&stats_before);
+        Ok(CccSortOutcome { sorted: self.vals.clone(), time, steps, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorts(xs: &[Word]) -> CccSortOutcome {
+        let mut net = Ccc::new(xs.len()).unwrap();
+        let out = net.sort(xs).unwrap();
+        assert_eq!(out.sorted, crate::seq::sorted(xs), "input: {xs:?}");
+        out
+    }
+
+    #[test]
+    fn sorts_reverse_and_duplicates() {
+        assert_sorts(&(0..32).rev().collect::<Vec<Word>>());
+        assert_sorts(&[5, 5, 5, 5, 1, 1, 1, 1]);
+        assert_sorts(&[0, -7, 3, -7]);
+    }
+
+    #[test]
+    fn random_inputs_sort_correctly() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [4usize, 16, 128, 512] {
+            let xs: Vec<Word> = (0..n).map(|_| rng.random_range(-999..999)).collect();
+            assert_sorts(&xs);
+        }
+    }
+
+    #[test]
+    fn step_count_is_the_batcher_schedule() {
+        let out = assert_sorts(&(0..64).rev().collect::<Vec<Word>>());
+        assert_eq!(out.steps, 21, "log 64 · 7 / 2");
+    }
+
+    #[test]
+    fn time_is_theta_log_cubed_under_thompson() {
+        let mut ratios = Vec::new();
+        for k in [4u32, 6, 8, 10] {
+            let n = 1usize << k;
+            let out = assert_sorts(&(0..n as Word).rev().collect::<Vec<Word>>());
+            ratios.push(out.time.as_f64() / (k as f64).powi(3));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 4.0, "CCC sort not Θ(log³N): {ratios:?}");
+    }
+
+    #[test]
+    fn unit_delay_gives_log_squared() {
+        // Table IV: under the unit-cost constant-delay model (word-parallel
+        // links) a compare-exchange step is O(1), so bitonic sort is
+        // Θ(log² N) — one log below the Thompson-model time.
+        let n = 1024;
+        let xs: Vec<Word> = (0..n as Word).rev().collect();
+        let mut log_net = Ccc::new(n).unwrap();
+        let t_log = log_net.sort(&xs).unwrap().time;
+        let mut unit_net = Ccc::new(n).unwrap();
+        unit_net.set_model(orthotrees_vlsi::CostModel::unit_delay(n));
+        let t_unit = unit_net.sort(&xs).unwrap().time;
+        assert!(t_unit.as_f64() * 3.0 < t_log.as_f64(), "{t_unit} !<< {t_log}");
+        // Exactly the Batcher step count times O(1) per step.
+        assert!(t_unit.get() <= 3 * 55, "unit-cost steps: {t_unit}");
+    }
+
+    #[test]
+    fn low_dimensions_cost_less_than_high_dimensions() {
+        let net = Ccc::new(1024).unwrap();
+        let short = net.layout().hop_length(1);
+        let long = net.layout().hop_length(512);
+        assert!(short < long);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Ccc::new(6).is_err());
+        let mut net = Ccc::new(8).unwrap();
+        assert!(net.sort(&[1]).is_err());
+    }
+}

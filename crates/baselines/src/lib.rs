@@ -1,0 +1,41 @@
+//! Baseline interconnection networks for the paper's comparison tables.
+//!
+//! Tables I–IV of the orthogonal-trees paper compare the OTN/OTC against
+//! three networks from the literature, which the paper cites but does not
+//! implement. To *measure* the comparisons instead of asserting them, this
+//! crate provides working simulators under the same cost model
+//! (`orthotrees-vlsi`):
+//!
+//! * [`mesh`] — the 2-D mesh (\[17\], \[29\]): shear sort, odd–even
+//!   transposition, Cannon's matrix multiplication (integer and Boolean),
+//!   and min-label transitive closure / connected components with
+//!   Guibas–Kung–Thompson systolic timing;
+//! * [`psn`] — the perfect shuffle network (\[25\]): Stone's shuffle-exchange
+//!   realisation of Batcher's bitonic sort, with shuffle wires priced from
+//!   the optimal `Θ(N²/log² N)` layout's `Θ(N/log N)` longest wire;
+//! * [`ccc`] — the cube-connected cycles (\[23\]): hypercube-emulation
+//!   bitonic sort with per-dimension wire lengths from the CCC layout.
+//!
+//! [`seq`] holds the host-side sequential references every parallel result
+//! is validated against.
+//!
+//! # Example
+//!
+//! ```
+//! use orthotrees_baselines::psn::Psn;
+//!
+//! let mut net = Psn::new(16).expect("16 is a power of two");
+//! let out = net.sort(&[5, 2, 9, 1, 7, 3, 8, 0, 15, 4, 6, 10, 12, 11, 14, 13]).unwrap();
+//! assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccc;
+pub mod mesh;
+pub mod psn;
+pub mod seq;
+
+/// A machine word, matching `orthotrees`' convention.
+pub type Word = i64;

@@ -1,0 +1,168 @@
+//! Cannon's systolic matrix multiplication on the mesh (paper ref \[15\],
+//! Table II row "Mesh": area `N²`, time `Θ(N)`).
+//!
+//! `C(i,j) = Σ_k A(i,k)·B(k,j)` with the classic torus schedule: skew row
+//! `i` of `A` left by `i` and column `j` of `B` up by `j`, then `N` rounds
+//! of multiply-accumulate + unit shifts. The Boolean variant moves 1-bit
+//! operands, making the data movement exactly `Θ(N)` bit-times — the
+//! optimal Table II mesh entry.
+
+use super::{Dir, Mesh};
+use crate::Word;
+use orthotrees_vlsi::{BitTime, CostModel, ModelError, OpStats};
+
+/// Result of a mesh matrix multiplication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshMatMulOutcome {
+    /// The product, row-major.
+    pub c: Vec<Vec<Word>>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+fn cannon(net: &mut Mesh, a: &[Vec<Word>], b: &[Vec<Word>], boolean: bool) -> MeshMatMulOutcome {
+    let n = net.rows();
+    let areg = net.alloc_reg("A");
+    let breg = net.alloc_reg("B");
+    let creg = net.alloc_reg("C");
+    // Skewed initial placement (the skew itself is n−1 systolic shift
+    // rounds per operand; data applied directly, rounds charged).
+    net.load_reg(areg, |i, j| Some(a[i][(j + i) % n]));
+    net.load_reg(breg, |i, j| Some(b[(i + j) % n][j]));
+    net.load_reg(creg, |_, _| Some(0));
+
+    let stats_before = *net.clock().stats();
+    let mul_cost = if boolean { net.model().bit_op() } else { net.model().multiply() };
+    let (_, time) = net.elapsed(|net| {
+        net.charge_shift_rounds(2 * (n as u64 - 1));
+        for _ in 0..n {
+            net.cell_phase(mul_cost, |i, j, v| {
+                let (av, bv, cv) = (
+                    v.get(areg, i, j).unwrap_or(0),
+                    v.get(breg, i, j).unwrap_or(0),
+                    v.get(creg, i, j).unwrap_or(0),
+                );
+                let next = if boolean {
+                    Word::from(cv != 0 || (av != 0 && bv != 0))
+                } else {
+                    cv + av * bv
+                };
+                vec![(creg, Some(next))]
+            });
+            net.shift(areg, Dir::Left, true);
+            net.shift(breg, Dir::Up, true);
+        }
+    });
+
+    let c = (0..n)
+        .map(|i| (0..n).map(|j| net.peek(creg, i, j).unwrap_or(0)).collect())
+        .collect();
+    let stats = net.clock().stats().since(&stats_before);
+    MeshMatMulOutcome { c, time, stats }
+}
+
+/// Integer `C = A·B` on an `n×n` mesh (Thompson model, `w = ⌈log₂ n⌉`).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `a` and `b` are square `n×n` matrices.
+pub fn cannon_matmul(a: &[Vec<Word>], b: &[Vec<Word>]) -> Result<MeshMatMulOutcome, ModelError> {
+    let n = a.len();
+    validate(n, a, b)?;
+    let mut net = Mesh::new(n, n, CostModel::thompson(n))?;
+    Ok(cannon(&mut net, a, b, false))
+}
+
+/// Boolean `C = A·B` (1-bit operands, AND/OR): the Table II mesh entry.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `a` and `b` are square `n×n` matrices.
+pub fn cannon_bool_matmul(
+    a: &[Vec<Word>],
+    b: &[Vec<Word>],
+) -> Result<MeshMatMulOutcome, ModelError> {
+    let n = a.len();
+    validate(n, a, b)?;
+    // Boolean operands are single bits: word width 1 for all movement.
+    let mut net = Mesh::new(n, n, CostModel::thompson(n).with_word_bits(1))?;
+    Ok(cannon(&mut net, a, b, true))
+}
+
+fn validate(n: usize, a: &[Vec<Word>], b: &[Vec<Word>]) -> Result<(), ModelError> {
+    ModelError::require_at_least("matrix side", n, 1)?;
+    for row in a.iter().chain(b.iter()) {
+        ModelError::require_equal("matrix row length", n, row.len())?;
+    }
+    ModelError::require_equal("matrix sides", n, b.len())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq;
+
+    #[test]
+    fn matches_reference_product() {
+        let a = vec![vec![1, 2, 3, 4], vec![0, 1, 0, 1], vec![2, 2, 2, 2], vec![1, 0, 0, 1]];
+        let b = vec![vec![1, 0, 0, 0], vec![0, 2, 0, 0], vec![0, 0, 3, 0], vec![0, 0, 0, 4]];
+        let out = cannon_matmul(&a, &b).unwrap();
+        assert_eq!(out.c, seq::matmul(&a, &b));
+    }
+
+    #[test]
+    fn random_products_match() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 4, 8] {
+            let gen = |rng: &mut StdRng| -> Vec<Vec<Word>> {
+                (0..n).map(|_| (0..n).map(|_| rng.random_range(-5..5)).collect()).collect()
+            };
+            let (a, b) = (gen(&mut rng), gen(&mut rng));
+            let out = cannon_matmul(&a, &b).unwrap();
+            assert_eq!(out.c, seq::matmul(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn boolean_product_matches_and_is_binary() {
+        let a = vec![vec![1, 0, 0, 1], vec![0, 0, 1, 0], vec![1, 1, 0, 0], vec![0, 0, 0, 0]];
+        let out = cannon_bool_matmul(&a, &a).unwrap();
+        assert_eq!(out.c, seq::bool_matmul(&a, &a));
+        assert!(out.c.iter().flatten().all(|&v| v == 0 || v == 1));
+    }
+
+    #[test]
+    fn time_is_theta_n_for_boolean() {
+        // Boolean Cannon: Θ(N) rounds of O(1)-bit work — time/N bounded.
+        let t = |n: usize| {
+            let a: Vec<Vec<Word>> =
+                (0..n).map(|i| (0..n).map(|j| Word::from((i + j) % 3 == 0)).collect()).collect();
+            cannon_bool_matmul(&a, &a).unwrap().time.as_f64() / n as f64
+        };
+        let (r8, r16, r32) = (t(8), t(16), t(32));
+        let hi = r8.max(r16).max(r32);
+        let lo = r8.min(r16).min(r32);
+        assert!(hi / lo < 2.5, "boolean Cannon not Θ(N): {r8} {r16} {r32}");
+    }
+
+    #[test]
+    fn integer_time_carries_the_word_factor() {
+        // Integer words are Θ(log N) bits, so time is Θ(N log N).
+        let n = 16;
+        let a: Vec<Vec<Word>> = (0..n).map(|_| vec![1; n]).collect();
+        let int_t = cannon_matmul(&a, &a).unwrap().time;
+        let bool_t = cannon_bool_matmul(&a, &a).unwrap().time;
+        assert!(int_t > bool_t);
+    }
+
+    #[test]
+    fn rejects_crooked_matrices() {
+        let a = vec![vec![1, 2], vec![3]];
+        let b = vec![vec![1, 2], vec![3, 4]];
+        assert!(cannon_matmul(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! The 2-D mesh baseline (paper refs \[17\], \[29\]; Table entries "Mesh").
+//!
+//! An `r × c` grid of processors joined by unit-length nearest-neighbour
+//! wires. All wires are `O(1)` λ, so the mesh's times are identical under
+//! every delay model (§VII.D) — its weakness is the `Θ(√N)` diameter.
+//!
+//! Submodules: [`sort`] (shear sort / odd–even transposition),
+//! [`matmul`] (Cannon's algorithm, integer and Boolean),
+//! [`closure`] (connected components with Guibas–Kung–Thompson timing).
+
+pub mod closure;
+pub mod matmul;
+pub mod sort;
+
+use crate::Word;
+use orthotrees_vlsi::{BitTime, Clock, CostModel, ModelError};
+
+/// Handle to a register plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(usize);
+
+/// Shift direction for a mesh-wide register move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Towards lower column indices.
+    Left,
+    /// Towards higher column indices.
+    Right,
+    /// Towards lower row indices.
+    Up,
+    /// Towards higher row indices.
+    Down,
+}
+
+/// Which lines a line-local operation runs along.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Lines {
+    /// Operate within each row.
+    Rows,
+    /// Operate within each column.
+    Cols,
+}
+
+/// The mesh simulator.
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    rows: usize,
+    cols: usize,
+    model: CostModel,
+    clock: Clock,
+    regs: Vec<Vec<Option<Word>>>,
+    reg_names: Vec<&'static str>,
+}
+
+impl Mesh {
+    /// Creates an `rows × cols` mesh under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if either dimension is zero.
+    pub fn new(rows: usize, cols: usize, model: CostModel) -> Result<Self, ModelError> {
+        ModelError::require_at_least("mesh rows", rows, 1)?;
+        ModelError::require_at_least("mesh cols", cols, 1)?;
+        Ok(Mesh {
+            rows,
+            cols,
+            model,
+            clock: Clock::new(),
+            regs: Vec::new(),
+            reg_names: Vec::new(),
+        })
+    }
+
+    /// The square mesh that sorts `n` numbers (`√n × √n`, Thompson model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] unless `n` is an even power of two.
+    pub fn for_sorting(n: usize) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("mesh problem size", n)?;
+        let k = orthotrees_vlsi::log2_ceil(n as u64);
+        if !k.is_multiple_of(2) {
+            return Err(ModelError::NotPowerOfTwo { what: "mesh side (√N)", value: n });
+        }
+        let side = 1usize << (k / 2);
+        Mesh::new(side, side, CostModel::thompson(n))
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The active cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Runs `f`, returning its result and the elapsed simulated time.
+    pub fn elapsed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, BitTime) {
+        let before = self.clock.now();
+        let r = f(self);
+        (r, self.clock.now() - before)
+    }
+
+    /// Allocates a register plane (initially `NULL`).
+    pub fn alloc_reg(&mut self, name: &'static str) -> Reg {
+        self.regs.push(vec![None; self.rows * self.cols]);
+        self.reg_names.push(name);
+        Reg(self.regs.len() - 1)
+    }
+
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * self.cols + j
+    }
+
+    /// Loads a register plane from `f(row, col)`.
+    pub fn load_reg(&mut self, r: Reg, mut f: impl FnMut(usize, usize) -> Option<Word>) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let at = self.idx(i, j);
+                self.regs[r.0][at] = f(i, j);
+            }
+        }
+        self.clock.stats_mut().inputs += (self.rows * self.cols) as u64;
+    }
+
+    /// Reads one cell (host-side, free).
+    pub fn peek(&self, r: Reg, i: usize, j: usize) -> Option<Word> {
+        self.regs[r.0][self.idx(i, j)]
+    }
+
+    /// One parallel mesh-wide shift of register `r` by one hop in `dir`
+    /// (wrap-around when `wrap`, else the vacated edge fills with `NULL`).
+    /// Cost: one word over a unit wire.
+    pub fn shift(&mut self, r: Reg, dir: Dir, wrap: bool) {
+        let (rows, cols) = (self.rows, self.cols);
+        let old = self.regs[r.0].clone();
+        for i in 0..rows {
+            for j in 0..cols {
+                // Which source cell feeds (i, j)?
+                let src = match dir {
+                    Dir::Left => (i, if j + 1 < cols { j + 1 } else if wrap { 0 } else { cols }),
+                    Dir::Right => {
+                        (i, if j > 0 { j - 1 } else if wrap { cols - 1 } else { cols })
+                    }
+                    Dir::Up => (if i + 1 < rows { i + 1 } else if wrap { 0 } else { rows }, j),
+                    Dir::Down => {
+                        (if i > 0 { i - 1 } else if wrap { rows - 1 } else { rows }, j)
+                    }
+                };
+                let at = self.idx(i, j);
+                self.regs[r.0][at] = if src.0 < rows && src.1 < cols {
+                    old[src.0 * cols + src.1]
+                } else {
+                    None
+                };
+            }
+        }
+        self.clock.advance(self.model.wire_word(1));
+        self.clock.stats_mut().hops += 1;
+    }
+
+    /// Charges `steps` shift rounds without per-round data movement — used
+    /// for systolic phases whose data motion is applied in one host-side
+    /// permutation (e.g. Cannon's skew, where row `i` shifts during the
+    /// first `i` of `n−1` rounds).
+    pub fn charge_shift_rounds(&mut self, steps: u64) {
+        self.clock.advance(self.model.wire_word(1).times(steps));
+        self.clock.stats_mut().hops += steps;
+    }
+
+    /// One odd–even transposition round: adjacent pairs starting at
+    /// `parity` within every line compare-exchange; `ascending(line)` gives
+    /// each line's direction (shear sort's snake). Cost: one unit-wire word
+    /// move plus one compare.
+    pub fn odd_even_round(
+        &mut self,
+        lines: Lines,
+        parity: usize,
+        r: Reg,
+        ascending: impl Fn(usize) -> bool,
+    ) {
+        let (nlines, len) = match lines {
+            Lines::Rows => (self.rows, self.cols),
+            Lines::Cols => (self.cols, self.rows),
+        };
+        for line in 0..nlines {
+            let asc = ascending(line);
+            let mut p = parity;
+            while p + 1 < len {
+                let (a_at, b_at) = match lines {
+                    Lines::Rows => (self.idx(line, p), self.idx(line, p + 1)),
+                    Lines::Cols => (self.idx(p, line), self.idx(p + 1, line)),
+                };
+                let (a, b) = (self.regs[r.0][a_at], self.regs[r.0][b_at]);
+                if let (Some(x), Some(y)) = (a, b) {
+                    if (x > y) == asc {
+                        self.regs[r.0][a_at] = Some(y);
+                        self.regs[r.0][b_at] = Some(x);
+                    }
+                }
+                p += 2;
+            }
+        }
+        self.clock.advance(self.model.wire_word(1) + self.model.compare());
+        self.clock.stats_mut().hops += 1;
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    /// One parallel per-cell compute phase (`f(i, j, view)` may write any
+    /// registers through the returned list), charged once.
+    pub fn cell_phase(
+        &mut self,
+        cost: BitTime,
+        mut f: impl FnMut(usize, usize, &CellView<'_>) -> Vec<(Reg, Option<Word>)>,
+    ) {
+        let mut writes = Vec::new();
+        {
+            let view = CellView { regs: &self.regs, cols: self.cols };
+            for i in 0..self.rows {
+                for j in 0..self.cols {
+                    for (r, v) in f(i, j, &view) {
+                        writes.push((r, (i, j), v));
+                    }
+                }
+            }
+        }
+        for (r, (i, j), v) in writes {
+            let at = self.idx(i, j);
+            self.regs[r.0][at] = v;
+        }
+        self.clock.advance(cost);
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+}
+
+/// Read-only register view during a cell phase.
+pub struct CellView<'a> {
+    regs: &'a [Vec<Option<Word>>],
+    cols: usize,
+}
+
+impl CellView<'_> {
+    /// The value of register `r` at `(row, col)`.
+    pub fn get(&self, r: Reg, row: usize, col: usize) -> Option<Word> {
+        self.regs[r.0][row * self.cols + col]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(rows: usize, cols: usize) -> Mesh {
+        Mesh::new(rows, cols, CostModel::thompson(rows * cols)).unwrap()
+    }
+
+    #[test]
+    fn shift_moves_data_and_charges_one_hop() {
+        let mut m = mesh(2, 3);
+        let a = m.alloc_reg("A");
+        m.load_reg(a, |i, j| Some((10 * i + j) as Word));
+        let before = m.clock().now();
+        m.shift(a, Dir::Left, false);
+        assert_eq!(m.peek(a, 0, 0), Some(1));
+        assert_eq!(m.peek(a, 0, 2), None, "right edge vacated");
+        assert_eq!(m.clock().now() - before, m.model().wire_word(1));
+    }
+
+    #[test]
+    fn shift_with_wrap_is_a_rotation() {
+        let mut m = mesh(2, 2);
+        let a = m.alloc_reg("A");
+        m.load_reg(a, |i, j| Some((i * 2 + j) as Word));
+        m.shift(a, Dir::Down, true);
+        assert_eq!(m.peek(a, 0, 0), Some(2));
+        assert_eq!(m.peek(a, 1, 0), Some(0));
+        m.shift(a, Dir::Right, true);
+        assert_eq!(m.peek(a, 0, 0), Some(3));
+    }
+
+    #[test]
+    fn four_wrapped_shifts_round_trip() {
+        let mut m = mesh(4, 4);
+        let a = m.alloc_reg("A");
+        m.load_reg(a, |i, j| Some((i * 4 + j) as Word));
+        for d in [Dir::Left, Dir::Right, Dir::Up, Dir::Down] {
+            m.shift(a, d, true);
+        }
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m.peek(a, i, j), Some((i * 4 + j) as Word));
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_round_swaps_out_of_order_pairs() {
+        let mut m = mesh(1, 4);
+        let a = m.alloc_reg("A");
+        m.load_reg(a, |_, j| Some([4, 3, 2, 1][j]));
+        m.odd_even_round(Lines::Rows, 0, a, |_| true);
+        assert_eq!(
+            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
+            vec![3, 4, 1, 2]
+        );
+        m.odd_even_round(Lines::Rows, 1, a, |_| true);
+        assert_eq!(
+            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
+            vec![3, 1, 4, 2]
+        );
+    }
+
+    #[test]
+    fn odd_even_round_respects_descending_lines() {
+        let mut m = mesh(1, 4);
+        let a = m.alloc_reg("A");
+        m.load_reg(a, |_, j| Some(j as Word));
+        m.odd_even_round(Lines::Rows, 0, a, |_| false);
+        assert_eq!(
+            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
+            vec![1, 0, 3, 2]
+        );
+    }
+
+    #[test]
+    fn cell_phase_reads_and_writes() {
+        let mut m = mesh(2, 2);
+        let a = m.alloc_reg("A");
+        let b = m.alloc_reg("B");
+        m.load_reg(a, |i, j| Some((i + j) as Word));
+        let cost = m.model().multiply();
+        m.cell_phase(cost, |i, j, v| {
+            vec![(b, v.get(a, i, j).map(|x| x * 10))]
+        });
+        assert_eq!(m.peek(b, 1, 1), Some(20));
+    }
+
+    #[test]
+    fn for_sorting_requires_even_powers() {
+        assert!(Mesh::for_sorting(64).is_ok());
+        assert!(Mesh::for_sorting(32).is_err());
+        assert!(Mesh::for_sorting(6).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Shear sort on the mesh (`Θ(√N log N)` odd–even rounds).
+//!
+//! The paper's Table I mesh row cites Thompson's `Θ(√N)`-time sorter \[29\],
+//! whose `s²-way` merge schedule is considerably more intricate; we
+//! implement the classic shear sort, which is a `log √N` factor slower but
+//! has the same polynomial exponent — EXPERIMENTS.md records the measured
+//! exponents next to the paper's. Rows are sorted in alternating directions
+//! (the "snake"), then columns ascending; `⌈log₂ r⌉ + 1` phases suffice
+//! (Scherson–Sen).
+
+use super::{Lines, Mesh};
+use crate::Word;
+use orthotrees_vlsi::{BitTime, ModelError, OpStats};
+
+/// Result of a mesh sort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshSortOutcome {
+    /// The inputs in ascending snake order (row 0 left-to-right, row 1
+    /// right-to-left, …), flattened to a plain ascending vector.
+    pub sorted: Vec<Word>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Odd–even rounds executed.
+    pub rounds: u32,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+/// Sorts `xs` (`|xs| = rows·cols`) on `net` by shear sort.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the input length does not match the mesh size.
+pub fn shear_sort(net: &mut Mesh, xs: &[Word]) -> Result<MeshSortOutcome, ModelError> {
+    let (r, c) = (net.rows(), net.cols());
+    ModelError::require_equal("input length vs mesh size", r * c, xs.len())?;
+    let reg = net.alloc_reg("val");
+    net.load_reg(reg, |i, j| Some(xs[i * c + j]));
+
+    let stats_before = *net.clock().stats();
+    let mut rounds = 0u32;
+    let phases = orthotrees_vlsi::log2_ceil(r as u64) + 1;
+    let (_, time) = net.elapsed(|net| {
+        for _ in 0..phases {
+            // Sort rows in snake directions.
+            for round in 0..c {
+                net.odd_even_round(Lines::Rows, round % 2, reg, |row| row % 2 == 0);
+                rounds += 1;
+            }
+            // Sort columns ascending.
+            for round in 0..r {
+                net.odd_even_round(Lines::Cols, round % 2, reg, |_| true);
+                rounds += 1;
+            }
+        }
+        // Final row pass leaves each row internally sorted in snake order.
+        for round in 0..c {
+            net.odd_even_round(Lines::Rows, round % 2, reg, |row| row % 2 == 0);
+            rounds += 1;
+        }
+    });
+
+    // Read out in snake order.
+    let mut sorted = Vec::with_capacity(r * c);
+    for i in 0..r {
+        if i % 2 == 0 {
+            for j in 0..c {
+                sorted.push(net.peek(reg, i, j).expect("slot filled"));
+            }
+        } else {
+            for j in (0..c).rev() {
+                sorted.push(net.peek(reg, i, j).expect("slot filled"));
+            }
+        }
+    }
+    let stats = net.clock().stats().since(&stats_before);
+    Ok(MeshSortOutcome { sorted, time, rounds, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthotrees_vlsi::CostModel;
+
+    fn run(side: usize, xs: &[Word]) -> MeshSortOutcome {
+        let mut net = Mesh::new(side, side, CostModel::thompson(side * side)).unwrap();
+        shear_sort(&mut net, xs).unwrap()
+    }
+
+    fn assert_sorts(side: usize, xs: &[Word]) -> MeshSortOutcome {
+        let out = run(side, xs);
+        assert_eq!(out.sorted, crate::seq::sorted(xs), "input: {xs:?}");
+        out
+    }
+
+    #[test]
+    fn sorts_reverse_input() {
+        let xs: Vec<Word> = (0..16).rev().collect();
+        assert_sorts(4, &xs);
+    }
+
+    #[test]
+    fn sorts_duplicates_and_negatives() {
+        assert_sorts(4, &[0, 0, -3, 5, 5, 5, 2, 2, -3, 1, 0, 9, 9, 9, 1, 2]);
+    }
+
+    #[test]
+    fn random_inputs_sort_correctly() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for side in [2usize, 4, 8] {
+            for _ in 0..3 {
+                let xs: Vec<Word> =
+                    (0..side * side).map(|_| rng.random_range(-100..100)).collect();
+                assert_sorts(side, &xs);
+            }
+        }
+    }
+
+    #[test]
+    fn time_grows_like_sqrt_n_times_log() {
+        // Rounds = Θ(√N log N); time per round Θ(w). Doubling the side
+        // should roughly double-and-a-bit the time.
+        let t = |side: usize| {
+            run(side, &(0..(side * side) as Word).rev().collect::<Vec<_>>()).time.as_f64()
+        };
+        let (t4, t8, t16) = (t(4), t(8), t(16));
+        assert!(t8 / t4 > 1.8 && t8 / t4 < 4.0, "g1 = {}", t8 / t4);
+        assert!(t16 / t8 > 1.8 && t16 / t8 < 4.0, "g2 = {}", t16 / t8);
+    }
+
+    #[test]
+    fn mesh_time_is_unaffected_by_delay_model() {
+        // §VII.D: only short wires — identical cost under every model.
+        let xs: Vec<Word> = (0..64).rev().collect();
+        let mut log_net = Mesh::new(8, 8, CostModel::thompson(64)).unwrap();
+        let t_log = shear_sort(&mut log_net, &xs).unwrap().time;
+        let mut const_net = Mesh::new(8, 8, CostModel::constant_delay(64)).unwrap();
+        let t_const = shear_sort(&mut const_net, &xs).unwrap().time;
+        assert_eq!(t_log, t_const);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut net = Mesh::new(2, 2, CostModel::thompson(4)).unwrap();
+        assert!(shear_sort(&mut net, &[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! The perfect shuffle network (PSN, a.k.a. shuffle-exchange network;
+//! paper refs \[25\], \[30\], \[14\]).
+//!
+//! `N` processing elements; PE `p` has a *shuffle* wire to PE
+//! `rotl(p)` (its index's bits rotated left) and an *exchange* wire to
+//! `p ⊕ 1`. Stone \[25\] showed Batcher's bitonic sort maps onto this graph
+//! as `Θ(log² N)` alternating shuffle/exchange steps: `r` shuffles rotate
+//! the logical address space so that the bit the current bitonic step
+//! compares on lands on the exchange wire.
+//!
+//! Wire pricing: exchange wires are short (`O(1)` λ) but shuffle wires in
+//! the optimal `Θ(N²/log² N)` layout reach `Θ(N/log N)` λ
+//! ([`ModeledLayout`]), so each shuffle costs `Θ(log N)` per bit under
+//! Thompson's model — which is exactly why Table I lists the PSN at
+//! `Θ(log³ N)` where the constant-delay literature says `Θ(log² N)`.
+
+use crate::Word;
+use orthotrees_layout::modeled::{ModeledLayout, ModeledNetwork};
+use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostModel, ModelError, OpStats};
+
+/// The bitonic compare-exchange schedule shared by the PSN and CCC
+/// simulators: `(stage, bit)` pairs, `stage = 1..=log N`, `bit` descending
+/// `stage−1..=0`. Ascending direction for an element at logical index `idx`
+/// is `idx & (1 << stage) == 0`.
+pub(crate) fn bitonic_schedule(n: usize) -> Vec<(u32, u32)> {
+    let bits = log2_ceil(n as u64);
+    let mut steps = Vec::new();
+    for stage in 1..=bits {
+        for bit in (0..stage).rev() {
+            steps.push((stage, bit));
+        }
+    }
+    steps
+}
+
+/// Result of a PSN sort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PsnSortOutcome {
+    /// The inputs in ascending order.
+    pub sorted: Vec<Word>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Shuffle steps executed (`Θ(log² N)`).
+    pub shuffles: u32,
+    /// Exchange (compare) steps executed.
+    pub exchanges: u32,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+/// The perfect shuffle network simulator.
+#[derive(Clone, Debug)]
+pub struct Psn {
+    n: usize,
+    bits: u32,
+    model: CostModel,
+    layout: ModeledLayout,
+    clock: Clock,
+    vals: Vec<Word>,
+    /// Shuffles applied so far, mod `bits` (the address-space rotation).
+    rot: u32,
+}
+
+impl Psn {
+    /// Creates an `n`-PE PSN under Thompson's model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] unless `n` is a power of two ≥ 4.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        let layout = ModeledLayout::new(ModeledNetwork::PerfectShuffle, n)?;
+        Ok(Psn {
+            n,
+            bits: log2_ceil(n as u64),
+            model: CostModel::thompson(n),
+            layout,
+            clock: Clock::new(),
+            vals: Vec::new(),
+            rot: 0,
+        })
+    }
+
+    /// PE count.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false (`n ≥ 4`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The active cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Modeled layout metrics (area, longest wire).
+    pub fn layout(&self) -> &ModeledLayout {
+        &self.layout
+    }
+
+    /// Overrides the cost model (for the Table IV unit-cost runs).
+    pub fn set_model(&mut self, model: CostModel) {
+        self.model = model;
+    }
+
+    fn rotl(&self, p: usize) -> usize {
+        ((p << 1) | (p >> (self.bits - 1))) & (self.n - 1)
+    }
+
+    fn rotr_k(&self, p: usize, k: u32) -> usize {
+        let k = k % self.bits;
+        if k == 0 {
+            p
+        } else {
+            ((p >> k) | (p << (self.bits - k))) & (self.n - 1)
+        }
+    }
+
+    /// One parallel shuffle: every PE sends its word along the shuffle
+    /// wire. Cost: one word over the layout's longest shuffle wire (all
+    /// PEs move simultaneously; the slowest wire gates the step).
+    fn shuffle(&mut self) {
+        let mut next = vec![0; self.n];
+        for p in 0..self.n {
+            next[self.rotl(p)] = self.vals[p];
+        }
+        self.vals = next;
+        self.rot = (self.rot + 1) % self.bits;
+        self.clock.advance(self.model.wire_word(self.layout.longest_wire()));
+        self.clock.stats_mut().hops += 1;
+    }
+
+    /// One parallel exchange step of bitonic stage `stage`: physical pairs
+    /// `(2t, 2t+1)` compare-exchange; direction from the pair's *logical*
+    /// index (recovered from the current rotation). Cost: unit wire + one
+    /// compare.
+    fn exchange(&mut self, stage: u32) {
+        for t in 0..self.n / 2 {
+            let (lo, hi) = (2 * t, 2 * t + 1);
+            let logical = self.rotr_k(lo, self.rot);
+            let asc = logical & (1usize << stage) == 0;
+            if (self.vals[lo] > self.vals[hi]) == asc {
+                self.vals.swap(lo, hi);
+            }
+        }
+        self.clock.advance(self.model.wire_word(1) + self.model.compare());
+        self.clock.stats_mut().hops += 1;
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    /// Sorts `xs` by Stone's shuffle-exchange bitonic sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `xs.len() != n`.
+    pub fn sort(&mut self, xs: &[Word]) -> Result<PsnSortOutcome, ModelError> {
+        ModelError::require_equal("input length vs PE count", self.n, xs.len())?;
+        self.vals = xs.to_vec();
+        self.rot = 0;
+        self.clock.stats_mut().inputs += self.n as u64;
+
+        let stats_before = *self.clock.stats();
+        let mut shuffles = 0u32;
+        let mut exchanges = 0u32;
+        let t0 = self.clock.now();
+        for (stage, bit) in bitonic_schedule(self.n) {
+            // Align logical bit `bit` onto the exchange wire: need
+            // rot ≡ (bits − bit) mod bits.
+            let target = (self.bits - bit) % self.bits;
+            while self.rot != target {
+                self.shuffle();
+                shuffles += 1;
+            }
+            self.exchange(stage);
+            exchanges += 1;
+        }
+        // Restore natural order (undo the residual rotation).
+        while self.rot != 0 {
+            self.shuffle();
+            shuffles += 1;
+        }
+        let time = self.clock.now() - t0;
+        let stats = self.clock.stats().since(&stats_before);
+        Ok(PsnSortOutcome { sorted: self.vals.clone(), time, shuffles, exchanges, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_sorts(xs: &[Word]) -> PsnSortOutcome {
+        let mut net = Psn::new(xs.len()).unwrap();
+        let out = net.sort(xs).unwrap();
+        assert_eq!(out.sorted, crate::seq::sorted(xs), "input: {xs:?}");
+        out
+    }
+
+    #[test]
+    fn sorts_reverse_and_duplicates() {
+        assert_sorts(&(0..16).rev().collect::<Vec<Word>>());
+        assert_sorts(&[7, 7, 0, 7, 1, 1, 7, 7]);
+        assert_sorts(&[-4, 9, -4, 0]);
+    }
+
+    #[test]
+    fn random_inputs_sort_correctly() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for n in [4usize, 16, 64, 256] {
+            let xs: Vec<Word> = (0..n).map(|_| rng.random_range(-999..999)).collect();
+            assert_sorts(&xs);
+        }
+    }
+
+    #[test]
+    fn step_counts_are_theta_log_squared() {
+        let out = assert_sorts(&(0..64).rev().collect::<Vec<Word>>());
+        // 6·7/2 = 21 exchanges; shuffles ≈ log² N.
+        assert_eq!(out.exchanges, 21);
+        assert!(out.shuffles >= 21 && out.shuffles <= 2 * 36, "{}", out.shuffles);
+    }
+
+    #[test]
+    fn time_is_theta_log_cubed_under_thompson() {
+        let mut ratios = Vec::new();
+        for k in [4u32, 6, 8, 10] {
+            let n = 1usize << k;
+            let xs: Vec<Word> = (0..n as Word).rev().collect();
+            let out = assert_sorts(&xs);
+            ratios.push(out.time.as_f64() / (k as f64).powi(3));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 4.0, "PSN sort not Θ(log³N): {ratios:?}");
+    }
+
+    #[test]
+    fn unit_delay_drops_one_log_factor() {
+        // §VII.D / Table IV: under the unit-cost model the shuffle wire's
+        // length no longer hurts: Θ(log² N).
+        let n = 256;
+        let xs: Vec<Word> = (0..n as Word).rev().collect();
+        let mut log_net = Psn::new(n).unwrap();
+        let t_log = log_net.sort(&xs).unwrap().time;
+        let mut unit_net = Psn::new(n).unwrap();
+        unit_net.model = CostModel::unit_delay(n);
+        let t_unit = unit_net.sort(&xs).unwrap().time;
+        assert!(t_unit.as_f64() * 2.0 < t_log.as_f64(), "{t_unit} !<< {t_log}");
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(Psn::new(3).is_err());
+        assert!(Psn::new(2).is_err());
+        let mut net = Psn::new(8).unwrap();
+        assert!(net.sort(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,130 @@
+//! Host-side sequential references used to validate every baseline.
+
+use crate::Word;
+
+/// Sorted copy of `xs` (the oracle for every sorting network).
+pub fn sorted(xs: &[Word]) -> Vec<Word> {
+    let mut v = xs.to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// Union–find with path compression; returns canonical (minimum-id)
+/// component labels for an edge list over `n` vertices.
+pub fn components(n: usize, edges: &[(usize, usize)]) -> Vec<Word> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for &(u, v) in edges {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+        }
+    }
+    (0..n).map(|v| find(&mut parent, v) as Word).collect()
+}
+
+/// Kruskal's MST: total weight and edge count of a minimum spanning forest.
+pub fn kruskal(n: usize, edges: &[(usize, usize, Word)]) -> (Word, usize) {
+    let mut es = edges.to_vec();
+    es.sort_unstable_by_key(|&(_, _, w)| w);
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        root
+    }
+    let (mut total, mut count) = (0, 0);
+    for (u, v, w) in es {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            parent[ru.max(rv)] = ru.min(rv);
+            total += w;
+            count += 1;
+        }
+    }
+    (total, count)
+}
+
+/// Naive `O(n³)` matrix product over row-major square matrices.
+///
+/// # Panics
+///
+/// Panics if the inputs are not square matrices of equal side.
+pub fn matmul(a: &[Vec<Word>], b: &[Vec<Word>]) -> Vec<Vec<Word>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "A must be n×n");
+    assert!(b.len() == n && b.iter().all(|r| r.len() == n), "B must be n×n");
+    (0..n)
+        .map(|i| (0..n).map(|j| (0..n).map(|k| a[i][k] * b[k][j]).sum()).collect())
+        .collect()
+}
+
+/// Boolean matrix product (AND/OR semiring, entries 0/1).
+///
+/// # Panics
+///
+/// Panics if the inputs are not square matrices of equal side.
+pub fn bool_matmul(a: &[Vec<Word>], b: &[Vec<Word>]) -> Vec<Vec<Word>> {
+    let n = a.len();
+    let c = matmul(a, b);
+    (0..n).map(|i| (0..n).map(|j| Word::from(c[i][j] != 0)).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_is_a_sorted_permutation() {
+        let xs = [3, -1, 3, 0, 99];
+        let s = sorted(&xs);
+        assert_eq!(s, vec![-1, 0, 3, 3, 99]);
+    }
+
+    #[test]
+    fn components_basic() {
+        let labels = components(6, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+    }
+
+    #[test]
+    fn kruskal_triangle() {
+        let (w, c) = kruskal(3, &[(0, 1, 1), (1, 2, 2), (0, 2, 3)]);
+        assert_eq!((w, c), (3, 2));
+    }
+
+    #[test]
+    fn kruskal_disconnected() {
+        let (w, c) = kruskal(5, &[(0, 1, 4), (2, 3, 1)]);
+        assert_eq!((w, c), (5, 2));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = vec![vec![1, 2], vec![3, 4]];
+        let id = vec![vec![1, 0], vec![0, 1]];
+        assert_eq!(matmul(&a, &id), a);
+        assert_eq!(matmul(&a, &a), vec![vec![7, 10], vec![15, 22]]);
+    }
+
+    #[test]
+    fn bool_matmul_saturates() {
+        let a = vec![vec![1, 1], vec![0, 1]];
+        let c = bool_matmul(&a, &a);
+        assert_eq!(c, vec![vec![1, 1], vec![0, 1]]);
+    }
+}

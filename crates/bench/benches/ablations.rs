@@ -1,0 +1,73 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out: wire
+//! delay models, Thompson/Leighton scaling, OTC cycle length, and the
+//! §VIII pipelining switch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::{self, Otn};
+use orthotrees::{CostModel, DelayModel};
+use orthotrees_analysis::workloads;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let n = 128usize;
+    let xs = workloads::distinct_words(n, 1);
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+
+    for delay in DelayModel::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("delay_model", delay.name()),
+            &delay,
+            |b, &delay| {
+                b.iter(|| {
+                    let model = CostModel { delay, ..CostModel::thompson(n) };
+                    let mut net = Otn::new(n, n, model).unwrap();
+                    black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
+                })
+            },
+        );
+    }
+
+    for scaled in [false, true] {
+        group.bench_with_input(BenchmarkId::new("scaling", scaled), &scaled, |b, &scaled| {
+            b.iter(|| {
+                let mut model = CostModel::thompson(n);
+                if scaled {
+                    model = model.with_scaling();
+                }
+                let mut net = Otn::new(n, n, model).unwrap();
+                black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
+            })
+        });
+    }
+
+    for cycle_len in [2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("otc_cycle_len", cycle_len),
+            &cycle_len,
+            |b, &l| {
+                b.iter(|| {
+                    let mut net = Otc::new(n / l, l, CostModel::thompson(n)).unwrap();
+                    black_box(otc::sort::sort(&mut net, &xs).unwrap().time)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Print the simulated ablation numbers once.
+    println!("\nsimulated SORT-OTN times at N={n} per delay model:");
+    for delay in DelayModel::ALL {
+        let model = CostModel { delay, ..CostModel::thompson(n) };
+        let mut net = Otn::new(n, n, model).unwrap();
+        let t = otn::sort::sort(&mut net, &xs).unwrap().time;
+        println!("  {delay:>12}: {t}");
+    }
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figures bench: constructing the Fig. 1–3 layouts and larger ones, plus
+//! the measured-area series that substantiates the layouts' Θ claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees_layout::otc::{CycleLayout, OtcLayout};
+use orthotrees_layout::otn::OtnLayout;
+use orthotrees_layout::render;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_layout");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::new("otn_layout", n), &n, |b, _| {
+            b.iter(|| black_box(OtnLayout::with_default_word(n).unwrap().area()))
+        });
+        if n >= 4 {
+            group.bench_with_input(BenchmarkId::new("otc_layout", n), &n, |b, _| {
+                b.iter(|| black_box(OtcLayout::for_problem_size(n).unwrap().area()))
+            });
+        }
+    }
+    group.bench_function("fig1_render_ascii", |b| {
+        let layout = OtnLayout::build(4, 2).unwrap();
+        b.iter(|| black_box(render::ascii(layout.chip(), 200).len()))
+    });
+    group.bench_function("fig2_render_svg", |b| {
+        let cyc = CycleLayout::build(4, 4).unwrap();
+        b.iter(|| black_box(render::svg(cyc.chip(), 8).len()))
+    });
+    group.finish();
+
+    println!("\nmeasured areas (Fig. 1–3 layouts):");
+    for k in [2u32, 3, 4, 5, 6] {
+        let n = 1usize << k;
+        let otn = OtnLayout::with_default_word(n).unwrap().area();
+        let otc = if n >= 4 {
+            OtcLayout::for_problem_size(n).unwrap().area().get()
+        } else {
+            0
+        };
+        println!("  N={n:>4}: OTN {otn}, OTC {otc} λ²");
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Primitive-operation microbenches: the §II.B communication operations on
+//! the OTN, the §V.B stream operations on the OTC, and the bit-level event
+//! simulator they are validated against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otn::{all, Axis, Otn};
+use orthotrees_sim::experiments;
+use orthotrees_vlsi::CostModel;
+use std::hint::black_box;
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[64usize, 256] {
+        group.bench_with_input(BenchmarkId::new("roottoleaf", n), &n, |b, _| {
+            let mut net = Otn::for_sorting(n).unwrap();
+            let a = net.alloc_reg("A");
+            net.load_row_roots(&(0..n as i64).collect::<Vec<_>>());
+            b.iter(|| {
+                net.root_to_leaf(Axis::Rows, a, all);
+                black_box(net.clock().now())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sum_leaftoroot", n), &n, |b, _| {
+            let mut net = Otn::for_sorting(n).unwrap();
+            let a = net.alloc_reg("A");
+            net.load_reg(a, |i, j| Some((i + j) as i64));
+            b.iter(|| {
+                net.sum_to_root(Axis::Cols, a, all);
+                black_box(net.clock().now())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("event_sim_broadcast", n), &n, |b, _| {
+            let m = CostModel::thompson(n);
+            b.iter(|| black_box(experiments::broadcast_completion_time(n, &m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Table I bench: sorting on all five networks under Thompson's model.
+//! Criterion measures the *host* cost of simulating each network; the
+//! simulated (model) metrics are printed once per target so the bench log
+//! doubles as the table's data source.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otc::Otc;
+use orthotrees::otn::{self, Otn};
+use orthotrees_analysis::workloads;
+use orthotrees_baselines::{ccc::Ccc, mesh, psn::Psn};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_sorting");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[64usize, 256] {
+        let xs = workloads::distinct_words(n, 1);
+
+        group.bench_with_input(BenchmarkId::new("otn", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Otn::for_sorting(n).unwrap();
+                black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("otc", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Otc::for_sorting(n).unwrap();
+                black_box(orthotrees::otc::sort::sort(&mut net, &xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mesh", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = mesh::Mesh::for_sorting(n).unwrap();
+                black_box(mesh::sort::shear_sort(&mut net, &xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("psn", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Psn::new(n).unwrap();
+                black_box(net.sort(&xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ccc", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Ccc::new(n).unwrap();
+                black_box(net.sort(&xs).unwrap().time)
+            })
+        });
+    }
+    group.finish();
+
+    // Print the simulated table once.
+    let cfg = orthotrees_analysis::report::ReportConfig {
+        sort_ns: vec![16, 64, 256],
+        ..Default::default()
+    };
+    let table = orthotrees_analysis::report::table1(&cfg);
+    println!("\n{}", table.render());
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

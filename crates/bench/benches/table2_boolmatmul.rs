@@ -1,0 +1,40 @@
+//! Table II bench: Boolean matrix multiplication — Cannon on the mesh vs
+//! the wide orthogonal-trees multiplier — plus the simulated table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otn::matmul;
+use orthotrees_analysis::workloads;
+use orthotrees_baselines::mesh;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_boolmatmul");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[8usize, 16] {
+        let a = workloads::random_bool_matrix(n, 0.3, 1);
+        let b = workloads::random_bool_matrix(n, 0.3, 2);
+        let rows_a = workloads::grid_to_rows(&a);
+        let rows_b = workloads::grid_to_rows(&b);
+
+        group.bench_with_input(BenchmarkId::new("otn_wide", n), &n, |bch, _| {
+            bch.iter(|| black_box(matmul::bool_matmul_wide(&a, &b).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("mesh_cannon", n), &n, |bch, _| {
+            bch.iter(|| {
+                black_box(mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap().time)
+            })
+        });
+    }
+    group.finish();
+
+    let cfg = orthotrees_analysis::report::ReportConfig {
+        matmul_ns: vec![2, 4, 8, 16],
+        ..Default::default()
+    };
+    println!("\n{}", orthotrees_analysis::report::table2(&cfg).render());
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table III bench: connected components (and MST) on the OTN, the OTC
+//! emulation, and the mesh, plus the simulated table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otc;
+use orthotrees::otn::graph::{cc, mst};
+use orthotrees_analysis::workloads;
+use orthotrees_baselines::mesh;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_components");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[16usize, 64] {
+        let adj = workloads::gnp_adjacency(n, (2.0 / n as f64).min(0.5), 1);
+        let rows = workloads::grid_to_rows(&adj);
+        let weights = workloads::random_weights(n, (4.0 / n as f64).min(0.5), 500, 2);
+
+        group.bench_with_input(BenchmarkId::new("otn_cc", n), &n, |b, _| {
+            b.iter(|| black_box(cc::connected_components(&adj).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("mesh_cc", n), &n, |b, _| {
+            b.iter(|| black_box(mesh::closure::connected_components(&rows).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("otc_cc", n), &n, |b, _| {
+            b.iter(|| black_box(otc::cc::connected_components(&adj).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("otn_mst", n), &n, |b, _| {
+            b.iter(|| black_box(mst::minimum_spanning_tree(&weights).unwrap().time))
+        });
+        group.bench_with_input(BenchmarkId::new("otc_mst", n), &n, |b, _| {
+            b.iter(|| black_box(otc::mst::minimum_spanning_tree(&weights).unwrap().time))
+        });
+    }
+    group.finish();
+
+    let cfg = orthotrees_analysis::report::ReportConfig {
+        graph_ns: vec![8, 16, 32, 64],
+        ..Default::default()
+    };
+    println!("\n{}", orthotrees_analysis::report::table3(&cfg).render());
+    println!("{}", orthotrees_analysis::report::table3_mst(&cfg).render());
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

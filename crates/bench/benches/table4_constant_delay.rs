@@ -1,0 +1,49 @@
+//! Table IV bench: sorting under the unit-cost constant-delay model of
+//! §VII.D, plus the simulated table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orthotrees::otn::{self, Otn};
+use orthotrees::CostModel;
+use orthotrees_analysis::workloads;
+use orthotrees_baselines::{ccc::Ccc, psn::Psn};
+use std::hint::black_box;
+
+fn bench_table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_constant_delay");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for &n in &[64usize, 256] {
+        let xs = workloads::distinct_words(n, 1);
+        group.bench_with_input(BenchmarkId::new("otn_unit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Otn::new(n, n, CostModel::unit_delay(n)).unwrap();
+                black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("psn_unit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Psn::new(n).unwrap();
+                net.set_model(CostModel::unit_delay(n));
+                black_box(net.sort(&xs).unwrap().time)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ccc_unit", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = Ccc::new(n).unwrap();
+                net.set_model(CostModel::unit_delay(n));
+                black_box(net.sort(&xs).unwrap().time)
+            })
+        });
+    }
+    group.finish();
+
+    let cfg = orthotrees_analysis::report::ReportConfig {
+        sort_ns: vec![16, 64, 256],
+        ..Default::default()
+    };
+    println!("\n{}", orthotrees_analysis::report::table4(&cfg).render());
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! The paper's non-table experiments and the DESIGN.md ablations:
+//!
+//! * §IV — bitonic sort and DFT on a (√N×√N)-OTN, with fitted exponents;
+//! * §VIII — pipelined sorting throughput and its per-problem AT²;
+//! * ablations — delay models, Thompson/Leighton scaling, OTC cycle
+//!   length, and the §V OTN↔OTC emulation check.
+
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::{self, Otn};
+use orthotrees::{CostModel, DelayModel};
+use orthotrees_analysis::fit::fit_points;
+use orthotrees_analysis::workloads;
+
+fn main() {
+    bitonic_and_dft();
+    pipelining();
+    delay_model_ablation();
+    scaling_ablation();
+    cycle_length_ablation();
+    emulation_check();
+}
+
+fn bitonic_and_dft() {
+    println!("=== §IV: bitonic sort and DFT on a (√N×√N)-OTN ===");
+    println!("{:>8} | {:>14} | {:>14}", "N", "bitonic [τ]", "DFT [τ]");
+    let mut bit_pts = Vec::new();
+    let mut dft_pts = Vec::new();
+    for k in [2usize, 4, 8, 16, 32] {
+        let n = k * k;
+        let xs = workloads::distinct_words(n, 1);
+        let mut net = Otn::for_sorting(k).expect("power of two");
+        let b = otn::bitonic::bitonic_sort(&mut net, &xs).expect("sized");
+        let mut net2 = Otn::for_sorting(k).expect("power of two");
+        let d = otn::dft::dft(&mut net2, &xs).expect("sized");
+        println!("{:>8} | {:>14} | {:>14}", n, b.time.get(), d.time.get());
+        bit_pts.push((n as u64, b.time.as_f64()));
+        dft_pts.push((n as u64, d.time.as_f64()));
+    }
+    if let (Some(bf), Some(df)) = (fit_points(&bit_pts), fit_points(&dft_pts)) {
+        println!("fitted: bitonic {bf}; DFT {df}");
+        println!("paper:  both Θ(N^1/2 · polylog N)\n");
+    }
+}
+
+fn pipelining() {
+    println!("=== §VIII: pipelined sorting on the OTN ===");
+    let n = 256;
+    let net = Otn::for_sorting(n).expect("power of two");
+    let problems: Vec<Vec<i64>> =
+        (0..16).map(|p| workloads::distinct_words(n, 100 + p)).collect();
+    let out = otn::pipeline::pipelined_sorts(&net, &problems).expect("sized");
+    println!(
+        "N = {n}, problems = {}: single latency {}, issue interval {}, makespan {} \
+         (unpipelined {}), per-problem {:.1}τ",
+        problems.len(),
+        out.single_latency,
+        out.issue_interval,
+        out.makespan,
+        out.makespan_unpipelined,
+        out.per_problem_time(),
+    );
+    println!("paper: a new sorted set every O(log N) τ; pipelined AT² = N² log⁴ N\n");
+}
+
+fn delay_model_ablation() {
+    println!("=== Ablation: wire-delay models (SORT-OTN, N = 256) ===");
+    let xs = workloads::distinct_words(256, 7);
+    for delay in DelayModel::ALL {
+        let model = CostModel { delay, ..CostModel::thompson(256) };
+        let mut net = Otn::new(256, 256, model).expect("dims");
+        let out = otn::sort::sort(&mut net, &xs).expect("sized");
+        println!("{:>12}: {:>10}", delay.to_string(), out.time.to_string());
+    }
+    let mut unit_net = Otn::new(256, 256, CostModel::unit_delay(256)).expect("dims");
+    let out = otn::sort::sort(&mut unit_net, &xs).expect("sized");
+    println!("{:>12}: {:>10}  (word-parallel links, §VII.D)\n", "unit-cost", out.time.to_string());
+}
+
+fn scaling_ablation() {
+    println!("=== Ablation: Thompson's scaling ([31], §II.B) ===");
+    println!("{:>8} | {:>12} | {:>12} | {:>6}", "N", "unscaled [τ]", "scaled [τ]", "ratio");
+    for k in [5u32, 7, 9] {
+        let n = 1usize << k;
+        let xs = workloads::distinct_words(n, 3);
+        let mut plain = Otn::for_sorting(n).expect("dims");
+        let t_plain = otn::sort::sort(&mut plain, &xs).expect("sized").time;
+        let mut scaled =
+            Otn::new(n, n, CostModel::thompson(n).with_scaling()).expect("dims");
+        let t_scaled = otn::sort::sort(&mut scaled, &xs).expect("sized").time;
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>6.2}",
+            n,
+            t_plain.get(),
+            t_scaled.get(),
+            t_plain.as_f64() / t_scaled.as_f64()
+        );
+    }
+    println!("paper: scaling removes one log factor from every primitive\n");
+}
+
+fn cycle_length_ablation() {
+    println!("=== Ablation: OTC cycle length (sorting N = 256) ===");
+    println!("{:>8} | {:>10} | {:>14} | {:>12}", "cycle L", "time [τ]", "area [λ²]", "AT²");
+    let n = 256usize;
+    let xs = workloads::distinct_words(n, 5);
+    for l in [2usize, 4, 8, 16, 32] {
+        let m = n / l;
+        let Ok(mut net) = Otc::new(m, l, CostModel::thompson(n)) else { continue };
+        let out = otc::sort::sort(&mut net, &xs).expect("sized");
+        let w = orthotrees_vlsi::log2_ceil(n as u64).max(1);
+        let area = orthotrees_layout::otc::OtcLayout::predicted_area(m, l, w);
+        println!(
+            "{:>8} | {:>10} | {:>14} | {:>12.3e}",
+            l,
+            out.time.get(),
+            area.get(),
+            area.at2(out.time)
+        );
+    }
+    println!("paper: L = Θ(log N) balances cycle serialisation against tree area\n");
+}
+
+fn emulation_check() {
+    println!("=== §V check: OTC time ≈ OTN time for sorting ===");
+    println!("{:>8} | {:>12} | {:>12} | {:>12} | {:>6}", "N", "OTN [τ]", "OTC [τ]", "emulated", "ratio");
+    for k in [6u32, 8, 10] {
+        let n = 1usize << k;
+        let xs = workloads::distinct_words(n, 9);
+        let (out, otn_t, emu) =
+            otc::emulate::run_and_price(n, |net| otn::sort::sort(net, &xs)).expect("sized");
+        assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut direct = Otc::for_sorting(n).expect("dims");
+        let otc_t = otc::sort::sort(&mut direct, &xs).expect("sized").time;
+        println!(
+            "{:>8} | {:>12} | {:>12} | {:>12} | {:>6.2}",
+            n,
+            otn_t.get(),
+            otc_t.get(),
+            emu.time.get(),
+            otc_t.as_f64() / otn_t.as_f64()
+        );
+    }
+    println!("paper: \"the time required on the OTC is the same as on the OTN\"");
+
+    println!("\n=== §VI.B check: direct OTC graph algorithms vs OTN ===");
+    println!("{:>8} | {:>14} | {:>14} | {:>6}", "N", "OTN CC [τ]", "OTC CC [τ]", "ratio");
+    for k in [5u32, 6, 7] {
+        let n = 1usize << k;
+        let adj = workloads::gnp_adjacency(n, 2.0 / n as f64, 13);
+        let a = otn::graph::cc::connected_components(&adj).expect("sized");
+        let b = otc::cc::connected_components(&adj).expect("sized");
+        assert_eq!(a.labels, b.labels);
+        println!(
+            "{:>8} | {:>14} | {:>14} | {:>6.2}",
+            n,
+            a.time.get(),
+            b.time.get(),
+            b.time.as_f64() / a.time.as_f64()
+        );
+    }
+    println!("{:>8} | {:>14} | {:>14} | {:>6}", "N", "OTN MST [τ]", "OTC MST [τ]", "ratio");
+    for k in [5u32, 6] {
+        let n = 1usize << k;
+        let weights = workloads::random_weights(n, 4.0 / n as f64, 200, 17);
+        let a = otn::graph::mst::minimum_spanning_tree(&weights).expect("sized");
+        let b = otc::mst::minimum_spanning_tree(&weights).expect("sized");
+        assert_eq!(a.total_weight, b.total_weight);
+        println!(
+            "{:>8} | {:>14} | {:>14} | {:>6.2}",
+            n,
+            a.time.get(),
+            b.time.get(),
+            b.time.as_f64() / a.time.as_f64()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates the paper's figures:
+//!
+//! * Fig. 1 — layout of a (4×4)-OTN (ASCII to stdout, SVG to `target/figures/`);
+//! * Fig. 2 — layout of one OTC cycle;
+//! * Fig. 3 — layout of a (4×4)-OTC (N = 16);
+//!
+//! plus the measured-area sweeps that substantiate the layouts' Θ claims
+//! (OTN area/N²log²N and OTC area/N² ratios across a size sweep).
+
+use orthotrees_layout::otc::{CycleLayout, OtcLayout};
+use orthotrees_layout::otn::OtnLayout;
+use orthotrees_layout::render;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let outdir = Path::new("target/figures");
+    let _ = fs::create_dir_all(outdir);
+
+    // Fig. 1: (4×4)-OTN.
+    let otn = OtnLayout::build(4, 2).expect("4x4 OTN");
+    println!("=== Fig. 1: {} ===", otn.chip().name());
+    println!("{}", render::ascii(otn.chip(), 200));
+    write_svg(outdir, "fig1_otn_4x4.svg", &render::svg(otn.chip(), 8));
+    println!(
+        "BPs: {}, IPs: {}, input ports: {}, output ports: {}\n",
+        otn.base_processor_count(),
+        otn.internal_processor_count(),
+        otn.input_ports().len(),
+        otn.output_ports().len(),
+    );
+
+    // Fig. 2: one cycle (L = 4, w = 4 — the N = 16 convention).
+    let cyc = CycleLayout::build(4, 4).expect("cycle");
+    println!("=== Fig. 2: {} ===", cyc.chip().name());
+    println!("{}", render::ascii(cyc.chip(), 100));
+    write_svg(outdir, "fig2_otc_cycle.svg", &render::svg(cyc.chip(), 12));
+
+    // Fig. 3: (4×4)-OTC with cycles of length 4 (N = 16).
+    let otc = OtcLayout::build(4, 4, 4).expect("4x4 OTC");
+    println!("=== Fig. 3: {} ===", otc.chip().name());
+    println!("{}", render::ascii(otc.chip(), 250));
+    write_svg(outdir, "fig3_otc_4x4.svg", &render::svg(otc.chip(), 6));
+
+    // Area sweeps: the layouts' Θ claims, measured.
+    println!("=== Area sweeps (measured layout area / paper Θ) ===");
+    println!("{:>8} | {:>16} | {:>12} | {:>16} | {:>10}", "N", "OTN area", "/(N^2 log^2 N)", "OTC area", "/N^2");
+    for k in [3u32, 4, 5, 6, 7, 8] {
+        let n = 1usize << k;
+        let otn_area = OtnLayout::with_default_word(n).expect("otn").area();
+        let otn_ratio = otn_area.as_f64() / ((n * n) as f64 * (k as f64).powi(2));
+        let (otc_area, otc_ratio) = if n >= 4 {
+            let l = OtcLayout::for_problem_size(n).expect("otc");
+            let a = l.area();
+            (a.get(), a.as_f64() / (n * n) as f64)
+        } else {
+            (0, 0.0)
+        };
+        println!(
+            "{:>8} | {:>16} | {:>12.3} | {:>16} | {:>10.3}",
+            n, otn_area.get(), otn_ratio, otc_area, otc_ratio
+        );
+    }
+    println!("\nSVGs written to {}", outdir.display());
+}
+
+fn write_svg(dir: &Path, name: &str, doc: &str) {
+    let path = dir.join(name);
+    if let Err(e) = fs::write(&path, doc) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

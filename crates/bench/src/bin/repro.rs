@@ -1,0 +1,31 @@
+//! Runs the whole reproduction battery: Tables I–IV (+ MST), rankings and
+//! crossovers. This is the report EXPERIMENTS.md records. Also writes each
+//! table as CSV under `target/report/` for plotting.
+
+use orthotrees_analysis::{csv, report};
+use orthotrees_bench::preset_from_env;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    let cfg = preset_from_env().config();
+    print!("{}", report::full_report(&cfg));
+
+    let dir = Path::new("target/report");
+    if fs::create_dir_all(dir).is_ok() {
+        let tables = [
+            ("table1.csv", report::table1(&cfg)),
+            ("table2.csv", report::table2(&cfg)),
+            ("table3.csv", report::table3(&cfg)),
+            ("table3_mst.csv", report::table3_mst(&cfg)),
+            ("table4.csv", report::table4(&cfg)),
+        ];
+        for (name, table) in tables {
+            let path = dir.join(name);
+            if let Err(e) = fs::write(&path, csv::table_to_csv(&table)) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        println!("\nCSV series written to {}", dir.display());
+    }
+}

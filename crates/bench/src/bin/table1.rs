@@ -1,0 +1,12 @@
+//! Regenerates Table I — sorting N numbers under Thompson's
+//! logarithmic-delay model — from measured runs of all five networks.
+
+use orthotrees_analysis::report;
+use orthotrees_bench::preset_from_env;
+
+fn main() {
+    let cfg = preset_from_env().config();
+    let table = report::table1(&cfg);
+    print!("{}", table.render());
+    print!("{}", report::ranking_check(&table));
+}

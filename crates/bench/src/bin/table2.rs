@@ -1,0 +1,13 @@
+//! Regenerates Table II — N×N Boolean matrix multiplication.
+//! Mesh/OTN measured, OTC emulated (§V), PSN/CCC from the paper's closed
+//! forms (their N³-processor constructions are cited, not built).
+
+use orthotrees_analysis::report;
+use orthotrees_bench::preset_from_env;
+
+fn main() {
+    let cfg = preset_from_env().config();
+    let table = report::table2(&cfg);
+    print!("{}", table.render());
+    print!("{}", report::ranking_check(&table));
+}

@@ -1,0 +1,17 @@
+//! Regenerates Table III — connected components — and its MST companion
+//! (§III.B / §VI.B prose). Mesh, OTN and the direct OTC implementations
+//! measured; PSN/CCC analytic.
+
+use orthotrees_analysis::report;
+use orthotrees_bench::preset_from_env;
+
+fn main() {
+    let cfg = preset_from_env().config();
+    let table = report::table3(&cfg);
+    print!("{}", table.render());
+    print!("{}", report::ranking_check(&table));
+    println!();
+    let mst = report::table3_mst(&cfg);
+    print!("{}", mst.render());
+    print!("{}", report::ranking_check(&mst));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table IV — sorting under the constant-delay (unit-cost)
+//! model of §VII.D.
+
+use orthotrees_analysis::report;
+use orthotrees_bench::preset_from_env;
+
+fn main() {
+    let cfg = preset_from_env().config();
+    let table = report::table4(&cfg);
+    print!("{}", table.render());
+    print!("{}", report::ranking_check(&table));
+}

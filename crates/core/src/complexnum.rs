@@ -1,0 +1,152 @@
+//! A minimal complex number for the DFT of §IV.
+//!
+//! The paper computes a discrete Fourier transform; its communication
+//! structure — not the arithmetic field — is what the area/time analysis
+//! prices, so a small `f64` complex type suffices (and avoids pulling in a
+//! numerics dependency).
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// `0 + 0i`.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// `1 + 0i`.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Constructs `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The primitive `n`-th root of unity `e^(-2πi/n)` (the forward-DFT
+    /// convention), raised to the power `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn root_of_unity(n: usize, k: usize) -> Self {
+        assert!(n > 0, "root_of_unity needs n > 0");
+        let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Scales by a real factor.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Naive `O(n²)` reference DFT: `X[k] = Σ_j x[j]·ω^(jk)`.
+pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            x.iter()
+                .enumerate()
+                .fold(Complex::ZERO, |acc, (j, &v)| acc + v * Complex::root_of_unity(n, j * k % n.max(1)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + Complex::ONE), a * b + a));
+        assert!(close(-a + a, Complex::ZERO));
+        assert!(close(a.conj().conj(), a));
+    }
+
+    #[test]
+    fn roots_of_unity_cycle() {
+        let w = Complex::root_of_unity(8, 1);
+        let mut p = Complex::ONE;
+        for _ in 0..8 {
+            p = p * w;
+        }
+        assert!(close(p, Complex::ONE), "ω⁸ = 1");
+        assert!(close(Complex::root_of_unity(8, 4), Complex::new(-1.0, 0.0)), "ω⁴ = −1");
+    }
+
+    #[test]
+    fn naive_dft_of_impulse_is_flat() {
+        let mut x = vec![Complex::ZERO; 8];
+        x[0] = Complex::ONE;
+        let y = naive_dft(&x);
+        assert!(y.iter().all(|&v| close(v, Complex::ONE)));
+    }
+
+    #[test]
+    fn naive_dft_of_constant_is_impulse() {
+        let x = vec![Complex::ONE; 8];
+        let y = naive_dft(&x);
+        assert!(close(y[0], Complex::new(8.0, 0.0)));
+        assert!(y[1..].iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn abs_and_scale() {
+        let z = Complex::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!(close(z.scale(2.0), Complex::new(6.0, 8.0)));
+    }
+}

@@ -1,0 +1,65 @@
+//! # orthotrees
+//!
+//! A register-transfer-level implementation of the two interconnection
+//! networks of Nath, Maheshwari and Bhatt, *"Efficient VLSI Networks for
+//! Parallel Processing Based on Orthogonal Trees"* (IEEE Trans. Computers,
+//! C-32(6), June 1983, pp. 569–581):
+//!
+//! * the **orthogonal trees network** ([`otn::Otn`]) — an `R × C` matrix of
+//!   base processors in which every row and every column forms the leaves of
+//!   a complete binary tree (a.k.a. the *mesh of trees*), and
+//! * the **orthogonal tree cycles** ([`otc::Otc`]) — its area-reduced
+//!   derivative in which each base processor becomes a cycle of `Θ(log N)`
+//!   processors.
+//!
+//! Every communication primitive of the paper (§II.B, §V.B) is provided —
+//! `ROOTTOLEAF`, `LEAFTOROOT`, `COUNT`/`SUM`/`MIN-LEAFTOROOT`, the
+//! `LEAFTOLEAF` composites, `CIRCULATE`, `ROOTTOCYCLE`, `CYCLETOROOT`,
+//! `CYCLETOCYCLE` — and each advances a simulated [`Clock`] by the cost
+//! Thompson's VLSI model assigns it (wire-length-dependent bit delays plus
+//! bit pipelining; see `orthotrees-vlsi`). On top of the primitives the
+//! paper's algorithms are implemented *exactly as procedures over
+//! primitives*, so the measured times are honest model times:
+//!
+//! * rank sorting — [`otn::sort`] (SORT-OTN, §II.B) and [`otc::sort`]
+//!   (SORT-OTC, §VI.A);
+//! * matrix algorithms — [`otn::matmul`] (§III.A) including pipelined
+//!   matrix–matrix and wide Boolean multiplication;
+//! * graph algorithms — [`otn::graph`]: connected components and minimum
+//!   spanning tree (§III.B, adapting Hirschberg–Chandra–Sarwate), plus
+//!   transitive closure;
+//! * recursive algorithms — [`otn::bitonic`] and [`otn::dft`] (§IV);
+//! * pipelined operation — [`otn::pipeline`] (§VIII);
+//! * prefix scans and stream compaction — [`otn::prefix`];
+//! * Leighton's three-dimensional mesh of trees and its unpipelined
+//!   `Θ(polylog)` matrix multiplication — [`mot3d`] (§VII.B).
+//!
+//! # Quick start
+//!
+//! ```
+//! use orthotrees::otn::{self, Otn};
+//!
+//! let mut net = Otn::for_sorting(8).expect("8 is a power of two");
+//! let outcome = otn::sort::sort(&mut net, &[5, 3, 7, 1, 6, 2, 8, 4]).unwrap();
+//! assert_eq!(outcome.sorted, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+//! // `outcome.time` is the simulated Θ(log² N) bit-time cost.
+//! assert!(outcome.time.get() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+// Index-driven loops here are deliberate: the index is a hardware
+// coordinate (tree number, cycle position, matrix offset), not a mere
+// subscript, and `enumerate()` rewrites would obscure the coordinate math.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod complexnum;
+mod grid;
+pub mod mot3d;
+pub mod otc;
+pub mod otn;
+mod word;
+
+pub use grid::Grid;
+pub use orthotrees_vlsi::{Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats};
+pub use word::{pack, unpack, Word};

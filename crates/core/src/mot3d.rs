@@ -1,0 +1,359 @@
+//! The three-dimensional mesh of trees (paper §VII.B).
+//!
+//! "Leighton describes an interesting network called the three-dimensional
+//! mesh of trees (a generalization of the OTN to three dimensions). Using
+//! this network, he is able to get an efficient AT² bound for matrix
+//! multiplication (area = O(N⁴), time = O(log N), AT² = O(N⁴ log² N))."
+//!
+//! We implement that generalisation: an `N×N×N` lattice of base processors
+//! in which every axis-parallel line forms the leaves of a complete binary
+//! tree. Matrix multiplication becomes three tree phases — broadcast
+//! `A(i,k)` along the `j`-axis, broadcast `B(k,j)` along the `i`-axis,
+//! multiply locally, sum along the `k`-axis — with no pipelining needed,
+//! which is what buys the `O(log N)` (word-level) time Leighton quotes;
+//! under this repo's strictly bit-serial accounting each phase is
+//! `Θ(log² N)`, one log above, exactly as for the 2-D OTN (recorded in
+//! EXPERIMENTS.md).
+//!
+//! The area is *modeled*, not constructed: Leighton's `Θ(N⁴)` layout of
+//! the 3-D structure is a published construction our 2-D layout engine
+//! does not reproduce; [`Mot3d::predicted_area`] uses the closed form with
+//! an explicit constant, like the PSN/CCC layouts in
+//! `orthotrees-layout::modeled` (see DESIGN.md §2).
+
+use crate::grid::Grid;
+use crate::word::Word;
+use orthotrees_vlsi::{log2_ceil, Area, BitTime, Clock, CostModel, ModelError, OpStats};
+
+/// The three axes of the lattice; a tree family runs along each.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis3 {
+    /// Trees over the first index (`i` varies; one tree per `(j, k)`).
+    I,
+    /// Trees over the second index (`j` varies; one tree per `(i, k)`).
+    J,
+    /// Trees over the third index (`k` varies; one tree per `(i, j)`).
+    K,
+}
+
+/// Handle to a register plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(usize);
+
+/// The `N×N×N` mesh of trees.
+#[derive(Clone, Debug)]
+pub struct Mot3d {
+    n: usize,
+    model: CostModel,
+    pitch: u64,
+    clock: Clock,
+    regs: Vec<Vec<Option<Word>>>,
+    /// Tree-root planes, one `n×n` grid per axis.
+    roots: [Grid<Option<Word>>; 3],
+}
+
+impl Mot3d {
+    /// Creates an `n×n×n` mesh of trees under Thompson's model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] unless `n` is a power of two.
+    pub fn new(n: usize) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("3-D mesh-of-trees side", n)?;
+        let model = CostModel::thompson(n);
+        let depth = log2_ceil(n as u64);
+        let pitch = u64::from(model.word_bits) + u64::from(depth) + 1;
+        Ok(Mot3d {
+            n,
+            model,
+            pitch,
+            clock: Clock::new(),
+            regs: Vec::new(),
+            roots: [
+                Grid::filled(n, n, None),
+                Grid::filled(n, n, None),
+                Grid::filled(n, n, None),
+            ],
+        })
+    }
+
+    /// Side length.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// The active cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Allocates a register plane over the `n³` cells.
+    pub fn alloc_reg(&mut self, _name: &'static str) -> Reg {
+        self.regs.push(vec![None; self.n * self.n * self.n]);
+        Reg(self.regs.len() - 1)
+    }
+
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    /// Reads a cell (host-side, free).
+    pub fn peek(&self, r: Reg, i: usize, j: usize, k: usize) -> Option<Word> {
+        self.regs[r.0][self.idx(i, j, k)]
+    }
+
+    /// Loads the root plane of `axis` from `f(a, b)` — the two fixed
+    /// coordinates in lattice order (`J`-axis roots are indexed `(i, k)`,
+    /// `I`-axis roots `(j, k)`, `K`-axis roots `(i, j)`).
+    pub fn load_roots(&mut self, axis: Axis3, mut f: impl FnMut(usize, usize) -> Option<Word>) {
+        let plane = &mut self.roots[axis_index(axis)];
+        for a in 0..plane.rows() {
+            for b in 0..plane.cols() {
+                plane.set(a, b, f(a, b));
+            }
+        }
+        self.clock.stats_mut().inputs += (self.n * self.n) as u64;
+    }
+
+    /// The root plane of `axis`.
+    pub fn roots(&self, axis: Axis3) -> &Grid<Option<Word>> {
+        &self.roots[axis_index(axis)]
+    }
+
+    fn cell_of(axis: Axis3, a: usize, b: usize, leaf: usize) -> (usize, usize, usize) {
+        match axis {
+            Axis3::I => (leaf, a, b), // roots (j, k)
+            Axis3::J => (a, leaf, b), // roots (i, k)
+            Axis3::K => (a, b, leaf), // roots (i, j)
+        }
+    }
+
+    /// `ROOTTOLEAF` along `axis`: every tree broadcasts its root value to
+    /// all its leaves, stored in `dest`. One tree-word cost, all `n²`
+    /// trees in parallel.
+    pub fn broadcast(&mut self, axis: Axis3, dest: Reg) {
+        for a in 0..self.n {
+            for b in 0..self.n {
+                let v = *self.roots[axis_index(axis)].get(a, b);
+                for leaf in 0..self.n {
+                    let (i, j, k) = Self::cell_of(axis, a, b, leaf);
+                    let at = self.idx(i, j, k);
+                    self.regs[dest.0][at] = v;
+                }
+            }
+        }
+        self.clock.advance(self.model.tree_root_to_leaf(self.n, self.pitch));
+        self.clock.stats_mut().broadcasts += 1;
+    }
+
+    /// `SUM-LEAFTOROOT` along `axis`: every tree sums its leaves' `src`
+    /// values into its root (`NULL` counts as 0).
+    pub fn sum_to_roots(&mut self, axis: Axis3, src: Reg) {
+        for a in 0..self.n {
+            for b in 0..self.n {
+                let mut sum: Word = 0;
+                for leaf in 0..self.n {
+                    let (i, j, k) = Self::cell_of(axis, a, b, leaf);
+                    sum += self.regs[src.0][self.idx(i, j, k)].unwrap_or(0);
+                }
+                self.roots[axis_index(axis)].set(a, b, Some(sum));
+            }
+        }
+        self.clock.advance(self.model.tree_aggregate(self.n, self.pitch));
+        self.clock.stats_mut().aggregates += 1;
+    }
+
+    /// One parallel per-cell compute phase; `cost` charged once.
+    pub fn cell_phase(
+        &mut self,
+        cost: BitTime,
+        mut f: impl FnMut(usize, usize, usize, &[Vec<Option<Word>>]) -> Option<(Reg, Option<Word>)>,
+    ) {
+        let mut writes = Vec::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    if let Some((r, v)) = f(i, j, k, &self.regs) {
+                        writes.push((r, self.idx(i, j, k), v));
+                    }
+                }
+            }
+        }
+        for (r, at, v) in writes {
+            self.regs[r.0][at] = v;
+        }
+        self.clock.advance(cost);
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    /// Leighton's modeled layout area, `Θ(N⁴)`: the `N²` trees of each
+    /// family flatten into an `N²·c × N²·c` floorplan with `c` covering
+    /// the `O(1)`-per-cell logic (explicit constant 2, recorded in
+    /// DESIGN.md §2 as a modeled — not constructed — layout).
+    pub fn predicted_area(n: usize) -> Area {
+        let side = 2 * (n as u64) * (n as u64);
+        Area::of_rect(side, side)
+    }
+}
+
+fn axis_index(axis: Axis3) -> usize {
+    match axis {
+        Axis3::I => 0,
+        Axis3::J => 1,
+        Axis3::K => 2,
+    }
+}
+
+/// Result of a 3-D mesh-of-trees matrix multiplication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mot3dMatMulOutcome {
+    /// The product matrix.
+    pub c: Grid<Word>,
+    /// Simulated time (`Θ(log² N)` bit-serial; Leighton's `O(log N)` in
+    /// word steps).
+    pub time: BitTime,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+/// Computes `C = A·B` on a fresh `n×n×n` mesh of trees: two broadcasts,
+/// one local multiply, one summation — no pipelining.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `a` and `b` are square `n×n` with `n` a
+/// power of two.
+///
+/// # Example
+///
+/// ```
+/// use orthotrees::{mot3d, Grid};
+/// let a = Grid::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+/// let id = Grid::from_fn(4, 4, |i, j| i64::from(i == j));
+/// let out = mot3d::matmul(&a, &id)?;
+/// assert_eq!(out.c, a);
+/// assert_eq!(out.stats.broadcasts, 2, "two broadcasts, no pipelining");
+/// # Ok::<(), orthotrees::ModelError>(())
+/// ```
+pub fn matmul(a: &Grid<Word>, b: &Grid<Word>) -> Result<Mot3dMatMulOutcome, ModelError> {
+    let n = a.rows();
+    for (what, got) in [("A cols", a.cols()), ("B rows", b.rows()), ("B cols", b.cols())] {
+        ModelError::require_equal(what, n, got)?;
+    }
+    let mut net = Mot3d::new(n)?;
+    let areg = net.alloc_reg("A");
+    let breg = net.alloc_reg("B");
+    let preg = net.alloc_reg("prod");
+
+    let stats_before = *net.clock().stats();
+    // J-axis roots are indexed (i, k): root (i,k) holds A(i,k).
+    net.load_roots(Axis3::J, |i, k| Some(*a.get(i, k)));
+    // I-axis roots are indexed (j, k): root (j,k) holds B(k,j).
+    net.load_roots(Axis3::I, |j, k| Some(*b.get(k, j)));
+    let t0 = net.clock().now();
+    net.broadcast(Axis3::J, areg); // cell (i,j,k) ← A(i,k)
+    net.broadcast(Axis3::I, breg); // cell (i,j,k) ← B(k,j)
+    let mul_cost = net.model().multiply();
+    net.cell_phase(mul_cost, |i, j, k, regs| {
+        let at = (i * n + j) * n + k;
+        let p = regs[areg.0][at].unwrap_or(0) * regs[breg.0][at].unwrap_or(0);
+        Some((preg, Some(p)))
+    });
+    net.sum_to_roots(Axis3::K, preg); // root (i,j) ← Σ_k
+    let time = net.clock().now() - t0;
+
+    let c = Grid::from_fn(n, n, |i, j| net.roots(Axis3::K).get(i, j).expect("summed"));
+    let stats = net.clock().stats().since(&stats_before);
+    Ok(Mot3dMatMulOutcome { c, time, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otn::matmul::reference_matmul;
+
+    #[test]
+    fn matches_reference_product() {
+        let a = Grid::from_fn(4, 4, |i, j| ((i * 3 + j) % 7) as Word - 2);
+        let b = Grid::from_fn(4, 4, |i, j| ((i + 5 * j) % 6) as Word - 1);
+        let out = matmul(&a, &b).unwrap();
+        assert_eq!(out.c, reference_matmul(&a, &b));
+    }
+
+    #[test]
+    fn identity_is_neutral_and_random_products_match() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(33);
+        for n in [2usize, 4, 8, 16] {
+            let a = Grid::from_fn(n, n, |_, _| rng.random_range(-9..9));
+            let id = Grid::from_fn(n, n, |i, j| Word::from(i == j));
+            assert_eq!(matmul(&a, &id).unwrap().c, a, "n={n}");
+            let b = Grid::from_fn(n, n, |_, _| rng.random_range(-9..9));
+            assert_eq!(matmul(&a, &b).unwrap().c, reference_matmul(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn uses_exactly_four_phases() {
+        let a = Grid::filled(8, 8, 1);
+        let out = matmul(&a, &a).unwrap();
+        assert_eq!(out.stats.broadcasts, 2);
+        assert_eq!(out.stats.aggregates, 1);
+        assert_eq!(out.stats.leaf_ops, 1);
+    }
+
+    #[test]
+    fn time_is_theta_log_squared_without_pipelining() {
+        // Unlike the 2-D OTN's matmul (which pipelines N vector passes,
+        // Θ(N log N)), the 3-D version is a constant number of tree phases.
+        let mut ratios = Vec::new();
+        for k in [2u32, 3, 4, 5] {
+            let n = 1usize << k;
+            let a = Grid::filled(n, n, 1);
+            let out = matmul(&a, &a).unwrap();
+            ratios.push(out.time.as_f64() / (k as f64 * k as f64));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 4.0, "{ratios:?}");
+    }
+
+    #[test]
+    fn beats_the_pipelined_2d_matmul_in_time() {
+        let n = 16;
+        let a = Grid::from_fn(n, n, |i, j| ((i + j) % 5) as Word);
+        let t3d = matmul(&a, &a).unwrap().time;
+        let mut otn = crate::otn::Otn::for_sorting(n).unwrap();
+        let t2d = crate::otn::matmul::matmul(&mut otn, &a, &a).unwrap().time;
+        assert!(t3d < t2d, "3-D {t3d} vs pipelined 2-D {t2d}");
+    }
+
+    #[test]
+    fn at2_matches_leightons_class() {
+        // AT² = N⁴·polylog: normalised by N⁴ it must stay within a polylog
+        // band, far below the N⁶ of the PSN/CCC entries.
+        let mut norm = Vec::new();
+        for n in [4usize, 8, 16] {
+            let a = Grid::filled(n, n, 1);
+            let out = matmul(&a, &a).unwrap();
+            let at2 = Mot3d::predicted_area(n).at2(out.time);
+            norm.push(at2 / (n as f64).powi(4));
+        }
+        // Growth across 4→16 is polylog (< 16× where N² would give 16×).
+        assert!(norm[2] / norm[0] < 12.0, "{norm:?}");
+    }
+
+    #[test]
+    fn rejects_bad_dims() {
+        let a = Grid::filled(3, 3, 1);
+        assert!(matmul(&a, &a).is_err());
+        let a4 = Grid::filled(4, 4, 1);
+        let b8 = Grid::filled(8, 8, 1);
+        assert!(matmul(&a4, &b8).is_err());
+    }
+}

@@ -1,0 +1,706 @@
+//! The orthogonal tree cycles (paper §V).
+//!
+//! An `(m × m)`-OTC is an `(m × m)`-OTN in which every BP is replaced by a
+//! *cycle* of `L = Θ(log N)` BPs; `BP(0)` of each cycle connects to the row
+//! and column trees. A tree root now streams `L` words per operation, one
+//! per pipelined round of `{tree primitive; VECTORCIRCULATE}` (§V.B), so
+//! every communication operation still takes `Θ(log² N)` — but the layout
+//! area drops from `Θ(N² log² N)` to `Θ(N²)`.
+//!
+//! BPs are addressed by triples `(i, j, q)`: cycle row, cycle column,
+//! position within the cycle. Roots hold *buffers* of `L` words (the
+//! streamed sequence), not single words.
+//!
+//! Submodules: [`sort`] (SORT-OTC, §VI.A), [`matmul`], [`cc`] and [`mst`]
+//! (the §VI.B direct conversions of the §III matrix and graph algorithms)
+//! and [`emulate`] (the §V simulation argument priced from op counts).
+
+pub mod cc;
+pub mod emulate;
+pub mod matmul;
+pub mod mst;
+pub mod sort;
+
+use crate::word::Word;
+use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostModel, ModelError};
+
+pub use super::otn::Axis;
+
+/// Handle to a register plane allocated with [`Otc::alloc_reg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reg(usize);
+
+/// Read-only view of all register planes for selectors.
+pub struct OtcRegsView<'a> {
+    regs: &'a [Vec<Option<Word>>],
+    m: usize,
+    cycle: usize,
+}
+
+impl OtcRegsView<'_> {
+    /// The value of register `r` at BP `(i, j, q)`.
+    pub fn get(&self, r: Reg, i: usize, j: usize, q: usize) -> Option<Word> {
+        self.regs[r.0][(i * self.m + j) * self.cycle + q]
+    }
+}
+
+/// Per-cycle register access during a cycle-local compute phase.
+pub struct CycleRegs<'a> {
+    regs: &'a mut [Vec<Option<Word>>],
+    base: usize,
+    cycle: usize,
+}
+
+impl CycleRegs<'_> {
+    /// This cycle's register `r` at position `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn get(&self, r: Reg, q: usize) -> Option<Word> {
+        assert!(q < self.cycle, "cycle position {q} out of range");
+        self.regs[r.0][self.base + q]
+    }
+
+    /// Sets this cycle's register `r` at position `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set(&mut self, r: Reg, q: usize, v: Option<Word>) {
+        assert!(q < self.cycle, "cycle position {q} out of range");
+        self.regs[r.0][self.base + q] = v;
+    }
+
+    /// Cycle length.
+    pub fn len(&self) -> usize {
+        self.cycle
+    }
+
+    /// Always false — cycles have at least two BPs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Cost class of a local compute phase (re-exported shape of the OTN's).
+pub use super::otn::PhaseCost;
+
+/// The orthogonal tree cycles network.
+#[derive(Clone, Debug)]
+pub struct Otc {
+    m: usize,
+    cycle: usize,
+    model: CostModel,
+    pitch: u64,
+    clock: Clock,
+    regs: Vec<Vec<Option<Word>>>,
+    reg_names: Vec<&'static str>,
+    row_roots: Vec<Vec<Option<Word>>>,
+    col_roots: Vec<Vec<Option<Word>>>,
+}
+
+impl Otc {
+    /// The paper's decomposition of a problem of size `n` (a power of two)
+    /// into `(m, cycle_len)` with `m · cycle_len = n`, both powers of two
+    /// and `cycle_len = Θ(log n)` — the same convention as
+    /// `orthotrees_layout::otc::otc_dims` (kept in sync by an integration
+    /// test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not a power of two or `n < 4`.
+    pub fn dims_for(n: usize) -> Result<(usize, usize), ModelError> {
+        ModelError::require_power_of_two("OTC problem size", n)?;
+        ModelError::require_at_least("OTC problem size", n, 4)?;
+        let logn = log2_ceil(n as u64).max(2);
+        let cycle = (1usize << log2_floor(u64::from(logn))).min(n / 2);
+        Ok((n / cycle, cycle))
+    }
+
+    /// Creates an `(m × m)`-OTC of cycles of length `cycle` under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] unless `m` and `cycle` are powers of two with
+    /// `cycle ≥ 2`.
+    pub fn new(m: usize, cycle: usize, model: CostModel) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("OTC side length", m)?;
+        ModelError::require_power_of_two("cycle length", cycle)?;
+        ModelError::require_at_least("cycle length", cycle, 2)?;
+        // Layout pitch: cycle blocks are Θ(log N) on a side (Fig. 2), and
+        // the tree channels add the grid depth (same convention as the
+        // layout crate).
+        let depth = log2_ceil(m as u64);
+        let block = (2 * cycle as u64 - 1).max(u64::from(model.word_bits) + 1);
+        let pitch = block + u64::from(depth) + 1;
+        Ok(Otc {
+            m,
+            cycle,
+            model,
+            pitch,
+            clock: Clock::new(),
+            regs: Vec::new(),
+            reg_names: Vec::new(),
+            row_roots: vec![vec![None; cycle]; m],
+            col_roots: vec![vec![None; cycle]; m],
+        })
+    }
+
+    /// The OTC that sorts `n` numbers: [`Otc::dims_for`]`(n)` with
+    /// Thompson's model at word width `⌈log₂ n⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not a power of two or `n < 4`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use orthotrees::otc::{self, Otc};
+    /// let mut net = Otc::for_sorting(16)?;
+    /// assert_eq!((net.side(), net.cycle_len()), (4, 4));
+    /// let out = otc::sort::sort(&mut net, &(0..16).rev().collect::<Vec<_>>())?;
+    /// assert_eq!(out.sorted, (0..16).collect::<Vec<_>>());
+    /// # Ok::<(), orthotrees::ModelError>(())
+    /// ```
+    pub fn for_sorting(n: usize) -> Result<Self, ModelError> {
+        let (m, cycle) = Self::dims_for(n)?;
+        Otc::new(m, cycle, CostModel::thompson(n))
+    }
+
+    /// Cycles per side.
+    pub fn side(&self) -> usize {
+        self.m
+    }
+
+    /// BPs per cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle
+    }
+
+    /// Total base processors (`m² · cycle`).
+    pub fn base_processors(&self) -> usize {
+        self.m * self.m * self.cycle
+    }
+
+    /// The active cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// The inter-cycle pitch used for wire pricing.
+    pub fn pitch(&self) -> u64 {
+        self.pitch
+    }
+
+    /// The simulated clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Resets clock and statistics.
+    pub fn reset_clock(&mut self) {
+        self.clock.reset();
+    }
+
+    /// Runs `f`, returning its result and the elapsed simulated time.
+    pub fn elapsed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, BitTime) {
+        let before = self.clock.now();
+        let r = f(self);
+        (r, self.clock.now() - before)
+    }
+
+    /// Allocates a register plane (one word per BP, initially `NULL`).
+    pub fn alloc_reg(&mut self, name: &'static str) -> Reg {
+        self.regs.push(vec![None; self.m * self.m * self.cycle]);
+        self.reg_names.push(name);
+        Reg(self.regs.len() - 1)
+    }
+
+    fn idx(&self, i: usize, j: usize, q: usize) -> usize {
+        (i * self.m + j) * self.cycle + q
+    }
+
+    /// Reads one BP register (host-side, free).
+    pub fn peek(&self, r: Reg, i: usize, j: usize, q: usize) -> Option<Word> {
+        self.regs[r.0][self.idx(i, j, q)]
+    }
+
+    /// Loads a register plane from `f(i, j, q)`.
+    pub fn load_reg(&mut self, r: Reg, mut f: impl FnMut(usize, usize, usize) -> Option<Word>) {
+        for i in 0..self.m {
+            for j in 0..self.m {
+                for q in 0..self.cycle {
+                    let at = self.idx(i, j, q);
+                    self.regs[r.0][at] = f(i, j, q);
+                }
+            }
+        }
+        self.clock.stats_mut().inputs += (self.m * self.m * self.cycle) as u64;
+    }
+
+    /// Places `L` words at each row root's stream buffer (input ports;
+    /// §VI.A: "log N numbers will have to be entered through each port").
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `values` is `m` buffers of `cycle` words.
+    pub fn load_row_root_buffers(&mut self, values: &[Vec<Word>]) {
+        assert_eq!(values.len(), self.m, "one buffer per row root");
+        for (t, buf) in values.iter().enumerate() {
+            assert_eq!(buf.len(), self.cycle, "buffer length must equal the cycle length");
+            self.row_roots[t] = buf.iter().map(|&v| Some(v)).collect();
+        }
+        self.clock.stats_mut().inputs += (self.m * self.cycle) as u64;
+    }
+
+    /// Reads the column roots' stream buffers (output ports).
+    pub fn read_col_root_buffers(&self) -> Vec<Vec<Option<Word>>> {
+        self.col_roots.clone()
+    }
+
+    fn roots_mut(&mut self, axis: Axis) -> &mut Vec<Vec<Option<Word>>> {
+        match axis {
+            Axis::Rows => &mut self.row_roots,
+            Axis::Cols => &mut self.col_roots,
+        }
+    }
+
+    /// The root stream buffers of `axis`.
+    pub fn roots(&self, axis: Axis) -> &[Vec<Option<Word>>] {
+        match axis {
+            Axis::Rows => &self.row_roots,
+            Axis::Cols => &self.col_roots,
+        }
+    }
+
+    /// Cycle coordinates of leaf `leaf` of tree `tree` along `axis`.
+    fn coords(axis: Axis, tree: usize, leaf: usize) -> (usize, usize) {
+        match axis {
+            Axis::Rows => (tree, leaf),
+            Axis::Cols => (leaf, tree),
+        }
+    }
+
+    /// The cost of one streamed tree operation: `L` pipelined words behind
+    /// one tree traversal (§V.B: "a pipeline of length O(log² N) in which
+    /// log N elements are transmitted at O(log N) intervals of time").
+    pub fn stream_cost(&self, aggregate: bool) -> BitTime {
+        let base = if aggregate {
+            self.model.tree_aggregate(self.m, self.pitch)
+        } else {
+            self.model.tree_root_to_leaf(self.m, self.pitch)
+        };
+        base + self.model.cycle_step() * (self.cycle as u64 - 1)
+    }
+
+    fn charge_stream(&mut self, aggregate: bool, send: bool) {
+        let t = self.stream_cost(aggregate);
+        self.clock.advance(t);
+        let stats = self.clock.stats_mut();
+        if aggregate {
+            stats.aggregates += 1;
+        } else if send {
+            stats.sends += 1;
+        } else {
+            stats.broadcasts += 1;
+        }
+        stats.circulates += self.cycle as u64 - 1;
+    }
+
+    fn phase_cost(&self, cost: PhaseCost) -> BitTime {
+        match cost {
+            PhaseCost::Bit => self.model.bit_op(),
+            PhaseCost::Compare => self.model.compare(),
+            PhaseCost::Add => self.model.add(),
+            PhaseCost::Multiply => self.model.multiply(),
+            PhaseCost::Words(k) => self.model.compare() * k,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Primitives (§V.B).
+    // ------------------------------------------------------------------
+
+    /// `VECTORCIRCULATE` over every cycle: each listed register rotates one
+    /// position (`R(q) := R((q+1) mod L)`).
+    pub fn circulate(&mut self, regs: &[Reg]) {
+        for r in regs {
+            for i in 0..self.m {
+                for j in 0..self.m {
+                    let base = self.idx(i, j, 0);
+                    self.regs[r.0][base..base + self.cycle].rotate_left(1);
+                }
+            }
+        }
+        self.clock.advance(self.model.cycle_step());
+        self.clock.stats_mut().circulates += 1;
+    }
+
+    /// `ROOTTOCYCLE(Vector, Dest)`: each tree of `axis` streams its root
+    /// buffer to the selected cycles; `dest[q] := buffer[q]`.
+    pub fn root_to_cycle(
+        &mut self,
+        axis: Axis,
+        dest: Reg,
+        sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        let mut writes = Vec::new();
+        {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            for t in 0..self.m {
+                for l in 0..self.m {
+                    let (i, j) = Self::coords(axis, t, l);
+                    if sel(i, j, &view) {
+                        for q in 0..self.cycle {
+                            writes.push(((i, j, q), self.roots(axis)[t][q]));
+                        }
+                    }
+                }
+            }
+        }
+        for ((i, j, q), v) in writes {
+            let at = self.idx(i, j, q);
+            self.regs[dest.0][at] = v;
+        }
+        self.charge_stream(false, false);
+    }
+
+    /// `CYCLETOROOT(Vector, Source)`: each tree's root receives, for every
+    /// stream position `q`, register `src[q]` of the cycle selected for
+    /// that position (the paper's per-position selector: "Number (q) is
+    /// taken from register B(q) of cycle (i,j) such that register A(q) in
+    /// this cycle contains a 1").
+    ///
+    /// # Panics
+    ///
+    /// Panics if two cycles of the same tree are selected for the same
+    /// stream position (contention).
+    pub fn cycle_to_root(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        let mut new_roots = vec![vec![None; self.cycle]; self.m];
+        {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            for t in 0..self.m {
+                for q in 0..self.cycle {
+                    let mut found = false;
+                    for l in 0..self.m {
+                        let (i, j) = Self::coords(axis, t, l);
+                        if sel(i, j, q, &view) {
+                            assert!(
+                                !found,
+                                "CYCLETOROOT contention: tree {t} position {q} selected twice"
+                            );
+                            found = true;
+                            new_roots[t][q] = view.get(src, i, j, q);
+                        }
+                    }
+                }
+            }
+        }
+        *self.roots_mut(axis) = new_roots;
+        self.charge_stream(false, true);
+    }
+
+    /// `SUM-CYCLETOROOT`: root buffer position `q` receives the sum over
+    /// the selected cycles of `src[q]` (`NULL` contributes nothing).
+    pub fn sum_cycle_to_root(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        let mut new_roots = vec![vec![None; self.cycle]; self.m];
+        {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            for t in 0..self.m {
+                for q in 0..self.cycle {
+                    let mut sum: Word = 0;
+                    for l in 0..self.m {
+                        let (i, j) = Self::coords(axis, t, l);
+                        if sel(i, j, q, &view) {
+                            sum += view.get(src, i, j, q).unwrap_or(0);
+                        }
+                    }
+                    new_roots[t][q] = Some(sum);
+                }
+            }
+        }
+        *self.roots_mut(axis) = new_roots;
+        self.charge_stream(true, false);
+    }
+
+    /// `MIN-CYCLETOROOT`: per-position minimum over the selected cycles.
+    pub fn min_cycle_to_root(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        let mut new_roots = vec![vec![None; self.cycle]; self.m];
+        {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            for t in 0..self.m {
+                for q in 0..self.cycle {
+                    let mut best: Option<Word> = None;
+                    for l in 0..self.m {
+                        let (i, j) = Self::coords(axis, t, l);
+                        if sel(i, j, q, &view) {
+                            if let Some(v) = view.get(src, i, j, q) {
+                                best = Some(best.map_or(v, |b: Word| b.min(v)));
+                            }
+                        }
+                    }
+                    new_roots[t][q] = best;
+                }
+            }
+        }
+        *self.roots_mut(axis) = new_roots;
+        self.charge_stream(true, false);
+    }
+
+    /// `CYCLETOCYCLE(Vector, Source, Dest)` (§V.B composite 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics on source contention, like [`Otc::cycle_to_root`].
+    pub fn cycle_to_cycle(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        dest: Reg,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        self.cycle_to_root(axis, src, src_sel);
+        self.root_to_cycle(axis, dest, dest_sel);
+    }
+
+    /// `SUM-CYCLETOCYCLE`.
+    pub fn sum_cycle_to_cycle(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        dest: Reg,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        self.sum_cycle_to_root(axis, src, src_sel);
+        self.root_to_cycle(axis, dest, dest_sel);
+    }
+
+    /// `MIN-CYCLETOCYCLE`.
+    pub fn min_cycle_to_cycle(
+        &mut self,
+        axis: Axis,
+        src: Reg,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        dest: Reg,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+    ) {
+        self.min_cycle_to_root(axis, src, src_sel);
+        self.root_to_cycle(axis, dest, dest_sel);
+    }
+
+    /// One parallel per-BP compute phase (`f(i, j, q, value) → value` over
+    /// one register), charged once.
+    pub fn bp_phase(
+        &mut self,
+        cost: PhaseCost,
+        mut f: impl FnMut(usize, usize, usize, &OtcRegsView<'_>) -> Option<(Reg, Option<Word>)>,
+    ) {
+        let mut writes = Vec::new();
+        {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            for i in 0..self.m {
+                for j in 0..self.m {
+                    for q in 0..self.cycle {
+                        if let Some((r, v)) = f(i, j, q, &view) {
+                            writes.push((r, (i, j, q), v));
+                        }
+                    }
+                }
+            }
+        }
+        for (r, (i, j, q), v) in writes {
+            let at = self.idx(i, j, q);
+            self.regs[r.0][at] = v;
+        }
+        let t = self.phase_cost(cost);
+        self.clock.advance(t);
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    /// Zeroes a register plane as one parallel bit phase (flag reset).
+    pub fn clear_reg(&mut self, r: Reg) {
+        self.bp_phase(PhaseCost::Bit, move |_, _, _, _| Some((r, Some(0))));
+    }
+
+    /// One cycle-local compute phase: `f(i, j, cycle_view)` may read and
+    /// write all positions of its cycle; `cost` is charged once for the
+    /// parallel phase (use `PhaseCost::Words(L)` for a full cycle scan).
+    pub fn cycle_phase(
+        &mut self,
+        cost: PhaseCost,
+        mut f: impl FnMut(usize, usize, &mut CycleRegs<'_>),
+    ) {
+        for i in 0..self.m {
+            for j in 0..self.m {
+                let base = (i * self.m + j) * self.cycle;
+                let mut view = CycleRegs { regs: &mut self.regs, base, cycle: self.cycle };
+                f(i, j, &mut view);
+            }
+        }
+        let t = self.phase_cost(cost);
+        self.clock.advance(t);
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Otc {
+        // m = 4 cycles per side, cycles of length 4 (problem size 16).
+        Otc::for_sorting(16).unwrap()
+    }
+
+    #[test]
+    fn dims_match_the_convention() {
+        assert_eq!(Otc::dims_for(16).unwrap(), (4, 4));
+        assert_eq!(Otc::dims_for(64).unwrap(), (16, 4));
+        assert_eq!(Otc::dims_for(256).unwrap(), (32, 8));
+        assert!(Otc::dims_for(6).is_err());
+        assert!(Otc::dims_for(2).is_err());
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let n = net();
+        assert_eq!(n.side(), 4);
+        assert_eq!(n.cycle_len(), 4);
+        assert_eq!(n.base_processors(), 64);
+    }
+
+    #[test]
+    fn circulate_rotates_registers() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        n.load_reg(a, |_, _, q| Some(q as Word));
+        n.circulate(&[a]);
+        for q in 0..4 {
+            assert_eq!(n.peek(a, 2, 3, q), Some(((q + 1) % 4) as Word));
+        }
+        assert_eq!(n.clock().stats().circulates, 1);
+    }
+
+    #[test]
+    fn root_to_cycle_delivers_the_stream() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        n.load_row_root_buffers(&[
+            vec![0, 1, 2, 3],
+            vec![10, 11, 12, 13],
+            vec![20, 21, 22, 23],
+            vec![30, 31, 32, 33],
+        ]);
+        n.root_to_cycle(Axis::Rows, a, |_, j, _| j != 0);
+        assert_eq!(n.peek(a, 1, 2, 3), Some(13));
+        assert_eq!(n.peek(a, 1, 0, 3), None, "unselected cycle untouched");
+    }
+
+    #[test]
+    fn cycle_to_root_with_per_position_selection() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        // Position q is supplied by cycle (q, j) of each column j.
+        n.load_reg(a, |i, j, q| Some((100 * i + 10 * j + q) as Word));
+        n.cycle_to_root(Axis::Cols, a, |i, _, q, _| i == q);
+        let roots = n.roots(Axis::Cols);
+        assert_eq!(roots[2][3], Some(300 + 20 + 3));
+        assert_eq!(roots[0][0], Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "contention")]
+    fn cycle_to_root_detects_contention() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        n.load_reg(a, |_, _, _| Some(1));
+        n.cycle_to_root(Axis::Rows, a, |_, _, _, _| true);
+    }
+
+    #[test]
+    fn sum_and_min_aggregate_per_position() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        n.load_reg(a, |i, j, q| Some((i + j + q) as Word));
+        n.sum_cycle_to_root(Axis::Rows, a, |_, _, _, _| true);
+        // Row i, position q: Σ_j (i+j+q) = 4(i+q) + 6.
+        assert_eq!(n.roots(Axis::Rows)[1][2], Some(4 * 3 + 6));
+        n.min_cycle_to_root(Axis::Cols, a, |_, _, _, _| true);
+        // Column j, position q: min_i (i+j+q) = j+q.
+        assert_eq!(n.roots(Axis::Cols)[3][1], Some(4));
+    }
+
+    #[test]
+    fn cycle_to_cycle_moves_streams_between_cycles() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        let b = n.alloc_reg("B");
+        n.load_reg(a, |i, _, q| Some((10 * i + q) as Word));
+        // Column trees: diagonal cycle (j,j) feeds all cycles of column j.
+        n.cycle_to_cycle(Axis::Cols, a, |i, j, _, _| i == j, b, |_, _, _| true);
+        for i in 0..4 {
+            assert_eq!(n.peek(b, i, 2, 1), Some(21));
+        }
+    }
+
+    #[test]
+    fn cycle_phase_permits_cycle_local_shuffles() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        n.load_reg(a, |_, _, q| Some(q as Word));
+        n.cycle_phase(PhaseCost::Words(4), |_, _, c| {
+            let l = c.len();
+            for q in 0..l {
+                c.set(a, q, Some(((l - 1 - q) as Word) * 2));
+            }
+        });
+        assert_eq!(n.peek(a, 0, 0, 0), Some(6));
+        assert_eq!(n.peek(a, 0, 0, 3), Some(0));
+    }
+
+    #[test]
+    fn stream_cost_is_theta_log_squared() {
+        // One streamed op on the OTC ≈ one tree op on the same-size OTN:
+        // both Θ(log² N).
+        let mut ratios = Vec::new();
+        for k in [4u32, 6, 8, 10] {
+            let n = 1usize << k;
+            let net = Otc::for_sorting(n).unwrap();
+            ratios.push(net.stream_cost(false).as_f64() / (k as f64 * k as f64));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 4.0, "{ratios:?}");
+    }
+
+    #[test]
+    fn bp_phase_writes_through_the_view() {
+        let mut n = net();
+        let a = n.alloc_reg("A");
+        let b = n.alloc_reg("B");
+        n.load_reg(a, |i, j, q| Some((i + j + q) as Word));
+        n.bp_phase(PhaseCost::Add, |i, j, q, v| {
+            v.get(a, i, j, q).map(|x| (b, Some(x * 2)))
+        });
+        assert_eq!(n.peek(b, 1, 2, 3), Some(12));
+    }
+}

@@ -1,0 +1,193 @@
+//! Bitonic merging and sorting on a `(√N × √N)`-OTN (paper §IV.A).
+//!
+//! `N = K²` elements live one per BP in row-major order. Batcher's bitonic
+//! schedule compare-exchanges elements at linear distance `2^j`; on the
+//! grid a distance below `K` stays inside a row (a `COMPEX` on the row
+//! trees) and a distance `≥ K` is a row-to-row exchange at distance
+//! `2^j / K` (a `COMPEX` on the column trees, all columns in parallel) —
+//! "the major difference [from Nassimi–Sahni's mesh implementation] is in
+//! the way communication takes place: along the mesh in \[19\] and along the
+//! trees in the OTN".
+//!
+//! Each `COMPEX` at distance `d` pipelines `d` words through the roots of
+//! the `2d`-leaf subtrees ([`Otn::pairwise`]); summed over Batcher's
+//! schedule the distances telescope geometrically, giving a
+//! `Θ(√N · polylog N)` total — the §IV regime where the OTN trades a
+//! polylog factor against the equal-area mesh's `Θ(√N)`.
+//!
+//! Note the paper's own remark: this algorithm "cannot take advantage of
+//! the reduced area of the OTC" (§VI.B) because it already saturates the
+//! tree bandwidth with pipelined elements.
+
+use super::{Axis, Otn, PhaseCost, Reg};
+use crate::word::Word;
+use orthotrees_vlsi::{BitTime, ModelError, OpStats};
+
+/// Result of a bitonic sort run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitonicOutcome {
+    /// The `N = K²` inputs in ascending row-major order.
+    pub sorted: Vec<Word>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Compare-exchange stages executed (`log N (log N + 1)/2`).
+    pub stages: u32,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+/// One compare-exchange at linear distance `2^j` over the row-major order,
+/// with Batcher's direction bit `block` (ascending iff `r & block == 0`).
+fn compex_linear(net: &mut Otn, j: u32, block: usize, reg: Reg) {
+    let k = net.cols();
+    let d = 1usize << j;
+    if d < k {
+        // Partners share a row: row-tree COMPEX at column distance d.
+        net.pairwise(Axis::Rows, d, reg, PhaseCost::Compare, |row, col, a, b| {
+            let r = row * k + col;
+            order(a, b, r & block == 0)
+        });
+    } else {
+        // Partners share a column: column-tree COMPEX at row distance d/K.
+        net.pairwise(Axis::Cols, d / k, reg, PhaseCost::Compare, |col, row, a, b| {
+            let r = row * k + col;
+            order(a, b, r & block == 0)
+        });
+    }
+}
+
+fn order(a: Option<Word>, b: Option<Word>, ascending: bool) -> (Option<Word>, Option<Word>) {
+    match (a, b) {
+        (Some(x), Some(y)) => {
+            if (x > y) == ascending {
+                (Some(y), Some(x))
+            } else {
+                (Some(x), Some(y))
+            }
+        }
+        other => other,
+    }
+}
+
+/// Sorts `xs` (`|xs| = K²` for the `(K×K)`-OTN `net`) with Batcher's
+/// bitonic schedule; elements are placed and returned in row-major order.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the network is not square or `xs.len()` is not
+/// the full base size.
+pub fn bitonic_sort(net: &mut Otn, xs: &[Word]) -> Result<BitonicOutcome, ModelError> {
+    ModelError::require_equal("square network", net.rows(), net.cols())?;
+    let k = net.cols();
+    let n = k * k;
+    ModelError::require_equal("input length vs base size", n, xs.len())?;
+    let reg = net.alloc_reg("val");
+    net.load_reg(reg, |i, j| Some(xs[i * k + j]));
+
+    let stats_before = *net.clock().stats();
+    let mut stages = 0u32;
+    let (_, time) = net.elapsed(|net| {
+        if n >= 2 {
+            let logn = orthotrees_vlsi::log2_ceil(n as u64);
+            for stage in 1..=logn {
+                let block = 1usize << stage;
+                for j in (0..stage).rev() {
+                    compex_linear(net, j, block, reg);
+                    stages += 1;
+                }
+            }
+        }
+    });
+
+    let mut sorted = Vec::with_capacity(n);
+    for r in 0..n {
+        sorted.push(net.peek(reg, r / k, r % k).expect("all slots filled"));
+    }
+    let stats = net.clock().stats().since(&stats_before);
+    Ok(BitonicOutcome { sorted, time, stages, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(k: usize, xs: &[Word]) -> BitonicOutcome {
+        let mut net = Otn::for_sorting(k).unwrap();
+        bitonic_sort(&mut net, xs).unwrap()
+    }
+
+    fn assert_sorts(k: usize, xs: &[Word]) -> BitonicOutcome {
+        let out = run(k, xs);
+        let mut expect = xs.to_vec();
+        expect.sort_unstable();
+        assert_eq!(out.sorted, expect, "input: {xs:?}");
+        out
+    }
+
+    #[test]
+    fn sorts_a_4x4_grid() {
+        let xs: Vec<Word> = (0..16).rev().collect();
+        let out = assert_sorts(4, &xs);
+        assert_eq!(out.stages, (4 * 5 / 2), "log 16 · (log 16 + 1)/2 = 10");
+    }
+
+    #[test]
+    fn sorts_duplicates_and_negatives() {
+        assert_sorts(2, &[3, 3, -1, 0]);
+        assert_sorts(4, &[5; 16]);
+        let mixed: Vec<Word> = (0..64).map(|v| ((v * 37) % 13) - 6).collect();
+        assert_sorts(8, &mixed);
+    }
+
+    #[test]
+    fn random_inputs_sort_correctly() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for k in [2usize, 4, 8] {
+            for _ in 0..5 {
+                let xs: Vec<Word> = (0..k * k).map(|_| rng.random_range(-500..500)).collect();
+                assert_sorts(k, &xs);
+            }
+        }
+    }
+
+    #[test]
+    fn time_grows_like_sqrt_n_polylog() {
+        // T(K²)/K should grow only polylogarithmically: quadrupling N
+        // (doubling K) should a bit more than double the time.
+        let t4 = run(4, &(0..16).rev().collect::<Vec<Word>>()).time.as_f64();
+        let t8 = run(8, &(0..64).rev().collect::<Vec<Word>>()).time.as_f64();
+        let t16 = run(16, &(0..256).rev().collect::<Vec<Word>>()).time.as_f64();
+        let g1 = t8 / t4;
+        let g2 = t16 / t8;
+        assert!(g1 < 4.0 && g2 < 4.0, "growth {g1:.2},{g2:.2} looks ≥ linear in N");
+        assert!(g2 > 1.8, "growth {g2:.2} too slow for Θ(√N·polylog)");
+    }
+
+    #[test]
+    fn bitonic_is_slower_than_rank_sort_per_element_at_scale() {
+        // §IV context: bitonic on a (K×K)-OTN sorts K² elements in Θ(√N·…)
+        // while SORT-OTN sorts only K elements on the same hardware in
+        // Θ(log²) — bitonic pays time to win capacity. Check both answers
+        // agree with std sort and that bitonic's time exceeds rank-sort's.
+        let k = 8;
+        let xs: Vec<Word> = (0..(k * k) as Word).rev().collect();
+        let bitonic = run(k, &xs);
+        let mut rank_net = Otn::for_sorting(k).unwrap();
+        let rank = super::super::sort::sort(&mut rank_net, &xs[..k]).unwrap();
+        assert!(bitonic.time > rank.time);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let mut net = Otn::for_sorting(4).unwrap();
+        assert!(bitonic_sort(&mut net, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn single_cell_network_sorts_trivially() {
+        let out = run(1, &[7]);
+        assert_eq!(out.sorted, vec![7]);
+        assert_eq!(out.stages, 0);
+    }
+}

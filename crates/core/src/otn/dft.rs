@@ -1,0 +1,277 @@
+//! The discrete Fourier transform on a `(√N × √N)`-OTN (paper §IV.B).
+//!
+//! "The FFT algorithm for computing an N-element DFT has a very similar
+//! structure to that of Bitonic Merging. By using an implementation similar
+//! to BITONICMERGE-OTN, we can compute the DFT in O(N^(1/2) log N) time on
+//! an (N^(1/2) × N^(1/2))-OTN."
+//!
+//! We run exactly that butterfly schedule. For the *arithmetic* we use a
+//! number-theoretic transform (the DFT over `Z_p`, `p = 998244353`,
+//! primitive root 3) instead of floating-point complex numbers: the
+//! communication structure — the only thing the area/time analysis prices —
+//! is identical butterfly for butterfly, while register words stay exact
+//! integers that fit the network's `Word` planes and make the tests exact.
+//! (A complex-`f64` naive DFT lives in [`crate::complexnum`] for structural
+//! cross-checks.) This substitution is recorded in DESIGN.md.
+
+use super::{Axis, Otn, PhaseCost, Reg};
+use crate::word::Word;
+use orthotrees_vlsi::{log2_ceil, BitTime, ModelError, OpStats};
+
+/// The NTT prime `119·2²³ + 1`.
+pub const P: Word = 998_244_353;
+/// A primitive root of [`P`].
+pub const G: Word = 3;
+
+/// `base^exp mod P`.
+pub fn mod_pow(mut base: Word, mut exp: Word) -> Word {
+    base = base.rem_euclid(P);
+    let mut acc: i128 = 1;
+    let mut b = base as i128;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % P as i128;
+        }
+        b = b * b % P as i128;
+        exp >>= 1;
+    }
+    acc as Word
+}
+
+/// Multiplicative inverse mod `P`.
+pub fn mod_inv(a: Word) -> Word {
+    mod_pow(a, P - 2)
+}
+
+fn mod_mul(a: Word, b: Word) -> Word {
+    ((a as i128 * b as i128) % P as i128) as Word
+}
+
+fn mod_add(a: Word, b: Word) -> Word {
+    (a + b) % P
+}
+
+fn mod_sub(a: Word, b: Word) -> Word {
+    (a - b).rem_euclid(P)
+}
+
+/// Result of a transform run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DftOutcome {
+    /// The spectrum (natural order).
+    pub output: Vec<Word>,
+    /// Simulated time.
+    pub time: BitTime,
+    /// Butterfly stages executed (`log₂ N`).
+    pub stages: u32,
+    /// Primitive-operation counts.
+    pub stats: OpStats,
+}
+
+fn bit_reverse(i: usize, bits: u32) -> usize {
+    let mut r = 0usize;
+    for b in 0..bits {
+        if i & (1 << b) != 0 {
+            r |= 1 << (bits - 1 - b);
+        }
+    }
+    r
+}
+
+/// One decimation-in-frequency butterfly pass at pair distance `half`
+/// (block length `2·half`), with root `w_len = root^…` of order `2·half`.
+fn dif_stage(net: &mut Otn, half: usize, w_len: Word, reg: Reg, inverse_scale: Option<Word>) {
+    let k = net.cols();
+    let apply = move |r: usize, a: Option<Word>, b: Option<Word>| {
+        let (a, b) = (a.expect("dft slot"), b.expect("dft slot"));
+        let t = r % (2 * half) % half; // offset within the block's lower half
+        let tw = mod_pow(w_len, t as Word);
+        let mut x = mod_add(a, b);
+        let mut y = mod_mul(mod_sub(a, b), tw);
+        if let Some(s) = inverse_scale {
+            x = mod_mul(x, s);
+            y = mod_mul(y, s);
+        }
+        (Some(x), Some(y))
+    };
+    if half < k {
+        net.pairwise(Axis::Rows, half, reg, PhaseCost::Words(4), move |row, col, a, b| {
+            apply(row * k + col, a, b)
+        });
+    } else {
+        net.pairwise(Axis::Cols, half / k, reg, PhaseCost::Words(4), move |col, row, a, b| {
+            apply(row * k + col, a, b)
+        });
+    }
+}
+
+fn run_transform(net: &mut Otn, xs: &[Word], root: Word) -> Result<DftOutcome, ModelError> {
+    ModelError::require_equal("square network", net.rows(), net.cols())?;
+    let k = net.cols();
+    let n = k * k;
+    ModelError::require_equal("input length vs base size", n, xs.len())?;
+    let reg = net.alloc_reg("dft");
+    net.load_reg(reg, |i, j| Some(xs[i * k + j].rem_euclid(P)));
+
+    let stats_before = *net.clock().stats();
+    let mut stages = 0u32;
+    let bits = log2_ceil(n as u64);
+    let (_, time) = net.elapsed(|net| {
+        let mut len = n;
+        while len >= 2 {
+            let w_len = mod_pow(root, (P - 1) / len as Word);
+            dif_stage(net, len / 2, w_len, reg, None);
+            stages += 1;
+            len /= 2;
+        }
+    });
+
+    // DIF leaves the spectrum in bit-reversed order; reading it out in
+    // bit-reversed index order restores natural order (the output ports
+    // stream in whatever order the schedule dictates, as in §IV).
+    let mut output = vec![0; n];
+    for (r, out) in output.iter_mut().enumerate() {
+        let s = bit_reverse(r, bits);
+        *out = net.peek(reg, s / k, s % k).expect("all slots filled");
+    }
+    let stats = net.clock().stats().since(&stats_before);
+    Ok(DftOutcome { output, time, stages, stats })
+}
+
+/// Forward DFT over `Z_p` of `xs` (`|xs| = K²` on a `(K×K)`-OTN).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if the network is not square or the input length
+/// is not the full base size.
+pub fn dft(net: &mut Otn, xs: &[Word]) -> Result<DftOutcome, ModelError> {
+    run_transform(net, xs, G)
+}
+
+/// Inverse DFT over `Z_p`: `idft(dft(x)) = x`.
+///
+/// # Errors
+///
+/// Same conditions as [`dft`].
+pub fn idft(net: &mut Otn, xs: &[Word]) -> Result<DftOutcome, ModelError> {
+    let n = xs.len();
+    let mut out = run_transform(net, xs, mod_inv(G))?;
+    let scale = mod_inv(n as Word);
+    for v in &mut out.output {
+        *v = mod_mul(*v, scale);
+    }
+    Ok(out)
+}
+
+/// Naive `O(N²)` reference DFT over `Z_p`.
+pub fn naive_ntt(xs: &[Word]) -> Vec<Word> {
+    let n = xs.len();
+    let w = mod_pow(G, (P - 1) / n as Word);
+    (0..n)
+        .map(|k| {
+            xs.iter().enumerate().fold(0, |acc, (j, &x)| {
+                mod_add(acc, mod_mul(x.rem_euclid(P), mod_pow(w, (j * k % n) as Word)))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_dft(k: usize, xs: &[Word]) -> DftOutcome {
+        let mut net = Otn::for_sorting(k).unwrap();
+        dft(&mut net, xs).unwrap()
+    }
+
+    #[test]
+    fn matches_naive_ntt() {
+        for k in [2usize, 4, 8] {
+            let n = k * k;
+            let xs: Vec<Word> = (0..n as Word).map(|v| (v * 97 + 13) % 1000).collect();
+            let out = run_dft(k, &xs);
+            assert_eq!(out.output, naive_ntt(&xs), "k={k}");
+            assert_eq!(out.stages, log2_ceil(n as u64));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut xs = vec![0; 16];
+        xs[0] = 1;
+        let out = run_dft(4, &xs);
+        assert_eq!(out.output, vec![1; 16]);
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let out = run_dft(4, &[1; 16]);
+        assert_eq!(out.output[0], 16);
+        assert!(out.output[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for k in [2usize, 4, 8] {
+            let n = k * k;
+            let xs: Vec<Word> = (0..n as Word).map(|v| (v * v + 7) % P).collect();
+            let mut net = Otn::for_sorting(k).unwrap();
+            let spec = dft(&mut net, &xs).unwrap();
+            let mut net2 = Otn::for_sorting(k).unwrap();
+            let back = idft(&mut net2, &spec.output).unwrap();
+            assert_eq!(back.output, xs, "k={k}");
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_holds() {
+        // DFT(a)·DFT(b) = DFT(a ⊛ b) — the classic application.
+        let n = 16;
+        let a: Vec<Word> = (0..n as Word).map(|v| v % 5).collect();
+        let b: Vec<Word> = (0..n as Word).map(|v| (v * 3) % 7).collect();
+        let fa = naive_ntt(&a);
+        let fb = naive_ntt(&b);
+        let prod: Vec<Word> = fa.iter().zip(&fb).map(|(&x, &y)| mod_mul(x, y)).collect();
+        // Circular convolution, naive.
+        let conv: Vec<Word> = (0..n)
+            .map(|i| {
+                (0..n).fold(0, |acc, j| mod_add(acc, mod_mul(a[j], b[(i + n - j) % n])))
+            })
+            .collect();
+        assert_eq!(naive_ntt(&conv), prod);
+    }
+
+    #[test]
+    fn time_grows_like_sqrt_n_polylog() {
+        let t = |k: usize| {
+            let xs: Vec<Word> = (0..(k * k) as Word).collect();
+            run_dft(k, &xs).time.as_f64()
+        };
+        let (t4, t8, t16) = (t(4), t(8), t(16));
+        assert!(t8 / t4 < 4.0 && t16 / t8 < 4.0, "growth looks ≥ linear in N");
+        assert!(t16 / t8 > 1.7, "growth too slow for Θ(√N·polylog)");
+    }
+
+    #[test]
+    fn modular_helpers() {
+        assert_eq!(mod_pow(2, 10), 1024);
+        assert_eq!(mod_mul(mod_inv(7), 7), 1);
+        assert_eq!(mod_pow(G, P - 1), 1, "Fermat");
+        assert_eq!(mod_sub(3, 5), P - 2);
+    }
+
+    #[test]
+    fn bit_reverse_is_involutive() {
+        for i in 0..64usize {
+            assert_eq!(bit_reverse(bit_reverse(i, 6), 6), i);
+        }
+        assert_eq!(bit_reverse(0b000001, 6), 0b100000);
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let mut net = Otn::for_sorting(4).unwrap();
+        assert!(dft(&mut net, &[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Transitive closure by repeated Boolean squaring.
+//!
+//! `(A ∨ I)^(2^k)` stabilises at the reachability matrix once `2^k ≥ N`, so
+//! `⌈log₂ N⌉` Boolean matrix squarings on the Table II multiplier
+//! ([`bool_matmul_wide`](crate::otn::matmul::bool_matmul_wide())) compute the
+//! closure in `Θ(log³ N)` — the natural third adjacency-matrix algorithm on
+//! these networks, included as the §III extension the paper's Table II
+//! machinery directly enables.
+
+use crate::grid::Grid;
+use crate::otn::matmul::bool_matmul_wide;
+use crate::word::Word;
+use orthotrees_vlsi::{log2_ceil, BitTime, ModelError};
+
+/// Result of a transitive-closure run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClosureOutcome {
+    /// `reach[i][j] = 1` iff `j` is reachable from `i` (every vertex
+    /// reaches itself).
+    pub reach: Grid<Word>,
+    /// Simulated time: the sum of the `⌈log₂ N⌉` squarings.
+    pub time: BitTime,
+    /// Number of Boolean squarings performed.
+    pub squarings: u32,
+}
+
+/// Computes the reflexive-transitive closure of the directed graph with
+/// adjacency matrix `adj` (non-zero = edge).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `adj` is square with a power-of-two side.
+pub fn transitive_closure(adj: &Grid<Word>) -> Result<ClosureOutcome, ModelError> {
+    let n = adj.rows();
+    ModelError::require_equal("adjacency matrix sides", n, adj.cols())?;
+    ModelError::require_power_of_two("vertex count", n)?;
+    let mut reach = Grid::from_fn(n, n, |i, j| Word::from(i == j || *adj.get(i, j) != 0));
+    let mut time = BitTime::ZERO;
+    let squarings = log2_ceil(n as u64).max(1);
+    for _ in 0..squarings {
+        let out = bool_matmul_wide(&reach, &reach)?;
+        reach = out.c;
+        time += out.time;
+    }
+    Ok(ClosureOutcome { reach, time, squarings })
+}
+
+/// Floyd–Warshall Boolean reference.
+pub fn reference_closure(adj: &Grid<Word>) -> Grid<Word> {
+    let n = adj.rows();
+    let mut r = Grid::from_fn(n, n, |i, j| i == j || *adj.get(i, j) != 0);
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                if *r.get(i, k) && *r.get(k, j) {
+                    r.set(i, j, true);
+                }
+            }
+        }
+    }
+    Grid::from_fn(n, n, |i, j| Word::from(*r.get(i, j)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digraph(n: usize, edges: &[(usize, usize)]) -> Grid<Word> {
+        let mut g = Grid::filled(n, n, 0);
+        for &(u, v) in edges {
+            g.set(u, v, 1);
+        }
+        g
+    }
+
+    fn check(n: usize, edges: &[(usize, usize)]) -> ClosureOutcome {
+        let adj = digraph(n, edges);
+        let out = transitive_closure(&adj).unwrap();
+        assert_eq!(out.reach, reference_closure(&adj), "edges: {edges:?}");
+        out
+    }
+
+    #[test]
+    fn directed_chain_reaches_forward_only() {
+        let out = check(8, &(0..7).map(|v| (v, v + 1)).collect::<Vec<_>>());
+        assert_eq!(*out.reach.get(0, 7), 1);
+        assert_eq!(*out.reach.get(7, 0), 0);
+        assert_eq!(out.squarings, 3);
+    }
+
+    #[test]
+    fn closure_is_reflexive() {
+        let out = check(4, &[]);
+        for i in 0..4 {
+            assert_eq!(*out.reach.get(i, i), 1);
+        }
+    }
+
+    #[test]
+    fn cycle_reaches_everything_in_it() {
+        let out = check(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(*out.reach.get(i, j), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn random_digraphs_match_floyd_warshall() {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for &n in &[4usize, 8, 16] {
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && rng.random::<f64>() < 0.15 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            check(n, &edges);
+        }
+    }
+
+    #[test]
+    fn time_is_polylog() {
+        let t8 = check(8, &[(0, 1)]).time.as_f64();
+        let t32 = check(32, &[(0, 1)]).time.as_f64();
+        assert!(t32 / t8 < 6.0, "t8={t8} t32={t32}: closure should be Θ(log³ N)");
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let g = Grid::filled(3, 3, 0);
+        assert!(transitive_closure(&g).is_err());
+    }
+}

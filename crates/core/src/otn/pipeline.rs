@@ -1,0 +1,153 @@
+//! Pipelined operation of the OTN (paper §VIII).
+//!
+//! "At any stage of the computation, only processors at one level of the
+//! network are active … Since there are O(log N) such levels, there can be
+//! O(log N) distinct problems in the network at one time, each in a
+//! different stage of computation and separated by O(log N) time. … a new
+//! set of sorted numbers is output every O(log N) time units. Since the
+//! area is O(N² log² N) in both cases, the pipelined AT² performance is
+//! O(N² log⁴ N) — interestingly, the same as the AT² performance of the OTC
+//! without using pipelining."
+//!
+//! Two prerequisites the paper calls out are modelled explicitly:
+//! each processor gets **three time slices** (one per phase of SORT-OTN in
+//! flight at its level), and each BP needs `O(log² N)` bits of buffering
+//! for the `log N` overlapped problems — which does not change the area's
+//! Θ since BPs already occupy `Θ(log N)` area in a `Θ(log² N)` pitch cell.
+
+use super::sort::{sort, SortOutcome};
+use super::Otn;
+use crate::word::Word;
+use orthotrees_vlsi::{BitTime, ModelError};
+
+/// Result of a pipelined batch of sorting problems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineOutcome {
+    /// Each problem's sorted output, in submission order.
+    pub outputs: Vec<Vec<Word>>,
+    /// Latency of one problem through the (three-phase) pipeline.
+    pub single_latency: BitTime,
+    /// Interval between successive problem completions: three time slices
+    /// of one word each (§VIII: "allocating three time slices to each
+    /// processor and assigning one to each phase").
+    pub issue_interval: BitTime,
+    /// Pipelined makespan for the whole batch:
+    /// `single_latency + (k−1)·issue_interval`.
+    pub makespan: BitTime,
+    /// Unpipelined makespan (`k · single_latency`) for comparison.
+    pub makespan_unpipelined: BitTime,
+}
+
+impl PipelineOutcome {
+    /// Effective per-problem time under pipelining (`makespan / k`).
+    pub fn per_problem_time(&self) -> f64 {
+        self.makespan.as_f64() / self.outputs.len() as f64
+    }
+}
+
+/// Runs `problems` (each of length `N = net side`) through the sorting
+/// pipeline of §VIII on fresh clones of `net`.
+///
+/// Functionally each problem is an independent SORT-OTN run; the makespan
+/// is the §VIII schedule. The per-problem issue interval is
+/// `3 · pipeline_interval()` — one word-slice per phase.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `problems` is empty or any problem's length
+/// differs from the network side.
+pub fn pipelined_sorts(
+    net: &Otn,
+    problems: &[Vec<Word>],
+) -> Result<PipelineOutcome, ModelError> {
+    ModelError::require_at_least("problem count", problems.len(), 1)?;
+    let mut outputs = Vec::with_capacity(problems.len());
+    let mut single_latency = BitTime::ZERO;
+    for p in problems {
+        let mut fresh = net.clone();
+        fresh.reset_clock();
+        let SortOutcome { sorted, time, .. } = sort(&mut fresh, p)?;
+        outputs.push(sorted);
+        single_latency = single_latency.max(time);
+    }
+    let issue_interval = net.model().pipeline_interval() * 3;
+    let k = problems.len() as u64;
+    let makespan = single_latency + issue_interval * (k - 1);
+    let makespan_unpipelined = single_latency * k;
+    Ok(PipelineOutcome {
+        outputs,
+        single_latency,
+        issue_interval,
+        makespan,
+        makespan_unpipelined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problems(n: usize, k: usize) -> Vec<Vec<Word>> {
+        (0..k)
+            .map(|p| (0..n).map(|i| ((i * 31 + p * 17) % n) as Word).collect())
+            .collect()
+    }
+
+    #[test]
+    fn all_problems_sort_correctly() {
+        let net = Otn::for_sorting(16).unwrap();
+        let ps = problems(16, 5);
+        let out = pipelined_sorts(&net, &ps).unwrap();
+        for (input, sorted) in ps.iter().zip(&out.outputs) {
+            let mut expect = input.clone();
+            expect.sort_unstable();
+            assert_eq!(sorted, &expect);
+        }
+    }
+
+    #[test]
+    fn pipelining_approaches_interval_limited_throughput() {
+        let net = Otn::for_sorting(32).unwrap();
+        let out = pipelined_sorts(&net, &problems(32, 10)).unwrap();
+        assert!(out.makespan < out.makespan_unpipelined);
+        // With many problems the per-problem time tends to the interval,
+        // far below the single latency.
+        assert!(out.per_problem_time() < out.single_latency.as_f64() / 2.0);
+        assert_eq!(
+            out.makespan,
+            out.single_latency + out.issue_interval * 9
+        );
+    }
+
+    #[test]
+    fn interval_is_three_word_slices() {
+        let net = Otn::for_sorting(64).unwrap();
+        let out = pipelined_sorts(&net, &problems(64, 2)).unwrap();
+        assert_eq!(out.issue_interval, net.model().pipeline_interval() * 3);
+    }
+
+    #[test]
+    fn single_problem_degenerates_to_plain_sort() {
+        let net = Otn::for_sorting(8).unwrap();
+        let out = pipelined_sorts(&net, &problems(8, 1)).unwrap();
+        assert_eq!(out.makespan, out.single_latency);
+        assert_eq!(out.makespan, out.makespan_unpipelined);
+    }
+
+    #[test]
+    fn rejects_empty_batch() {
+        let net = Otn::for_sorting(8).unwrap();
+        assert!(pipelined_sorts(&net, &[]).is_err());
+    }
+
+    #[test]
+    fn pipelined_at2_matches_otc_claim_in_shape() {
+        // §VIII: pipelined OTN AT² per problem ≈ N² log⁴ N — i.e. the
+        // per-problem time is Θ(log N)·Θ(w) while area stays N² log² N.
+        // Check the per-problem time is Θ(w) · 3 for large batches.
+        let net = Otn::for_sorting(64).unwrap();
+        let out = pipelined_sorts(&net, &problems(64, 40)).unwrap();
+        let w = net.model().word_bits as f64;
+        assert!(out.per_problem_time() < 6.0 * w + out.single_latency.as_f64() / 40.0 * 2.0);
+    }
+}

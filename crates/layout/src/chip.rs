@@ -1,0 +1,293 @@
+//! A chip: placed components plus routed wires, with measured metrics.
+
+use crate::geometry::{Rect, Segment};
+use orthotrees_vlsi::Area;
+use std::fmt;
+
+/// What a placed component is, for rendering and counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// A base processor (white circle in the paper's figures).
+    Base,
+    /// An internal tree processor (black dot in the figures).
+    Internal,
+    /// An input/output port (a tree root used for I/O, §II.A).
+    Port,
+}
+
+impl ComponentKind {
+    /// The glyph used by the ASCII renderer (`o` = BP, `*` = IP, `@` = port),
+    /// mirroring the paper's white-circle/black-dot convention.
+    pub fn glyph(self) -> char {
+        match self {
+            ComponentKind::Base => 'o',
+            ComponentKind::Internal => '*',
+            ComponentKind::Port => '@',
+        }
+    }
+}
+
+/// A placed component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Component {
+    /// The kind of processor.
+    pub kind: ComponentKind,
+    /// Its footprint on the grid.
+    pub rect: Rect,
+}
+
+/// A complete layout: components and wires. Area is *measured* as the
+/// bounding box of everything placed.
+#[derive(Clone, Debug, Default)]
+pub struct Chip {
+    name: String,
+    components: Vec<Component>,
+    wires: Vec<Segment>,
+}
+
+impl Chip {
+    /// An empty chip with a descriptive name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Chip { name: name.into(), components: Vec::new(), wires: Vec::new() }
+    }
+
+    /// The chip's name (used in figure captions).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Places a component.
+    pub fn place(&mut self, kind: ComponentKind, rect: Rect) {
+        self.components.push(Component { kind, rect });
+    }
+
+    /// Routes a wire segment.
+    pub fn route(&mut self, seg: Segment) {
+        self.wires.push(seg);
+    }
+
+    /// All placed components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// All routed wire segments.
+    pub fn wires(&self) -> &[Segment] {
+        &self.wires
+    }
+
+    /// Number of components of a given kind.
+    pub fn count(&self, kind: ComponentKind) -> usize {
+        self.components.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// The bounding box of all components and wires.
+    pub fn bounding_box(&self) -> Rect {
+        let mut it = self
+            .components
+            .iter()
+            .map(|c| c.rect)
+            .chain(self.wires.iter().map(|w| w.bounds()));
+        let Some(first) = it.next() else {
+            return Rect::default();
+        };
+        it.fold(first, |acc, r| acc.union(&r))
+    }
+
+    /// Measured chip area: bounding-box width × height.
+    pub fn area(&self) -> Area {
+        let b = self.bounding_box();
+        Area::of_rect(b.width, b.height)
+    }
+
+    /// Length of the longest single wire segment (drives the worst per-bit
+    /// delay under the logarithmic/linear models).
+    pub fn longest_wire(&self) -> u64 {
+        self.wires.iter().map(Segment::length).max().unwrap_or(0)
+    }
+
+    /// Total routed wire length.
+    pub fn total_wire_length(&self) -> u64 {
+        self.wires.iter().map(Segment::length).sum()
+    }
+
+    /// Checks that no two components overlap (wires may cross components and
+    /// each other at right angles, per the model). Returns the first
+    /// offending pair, if any.
+    pub fn find_component_overlap(&self) -> Option<(usize, usize)> {
+        // O(n²) scan is fine at the figure sizes we construct; the area
+        // sweep uses summary() which does not validate.
+        for i in 0..self.components.len() {
+            for j in (i + 1)..self.components.len() {
+                if self.components[i].rect.intersects(&self.components[j].rect) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Checks the routing discipline: two *parallel* wires (both horizontal
+    /// or both vertical) may not overlap except at endpoints — Thompson's
+    /// model only allows right-angle crossings. Returns the first offending
+    /// pair of wire indices, if any.
+    pub fn find_wire_overlap(&self) -> Option<(usize, usize)> {
+        for i in 0..self.wires.len() {
+            for j in (i + 1)..self.wires.len() {
+                let (a, b) = (&self.wires[i], &self.wires[j]);
+                if a.is_horizontal() != b.is_horizontal() {
+                    continue;
+                }
+                if segments_overlap(a, b) {
+                    return Some((i, j));
+                }
+            }
+        }
+        None
+    }
+
+    /// Produces the measured summary used by the experiment reports.
+    pub fn summary(&self) -> LayoutSummary {
+        let b = self.bounding_box();
+        LayoutSummary {
+            name: self.name.clone(),
+            width: b.width,
+            height: b.height,
+            area: self.area(),
+            longest_wire: self.longest_wire(),
+            total_wire: self.total_wire_length(),
+            components: self.components.len(),
+            wires: self.wires.len(),
+        }
+    }
+}
+
+/// Whether two parallel axis-aligned segments share more than an endpoint.
+fn segments_overlap(a: &Segment, b: &Segment) -> bool {
+    let span = |s: &Segment| {
+        if s.is_horizontal() {
+            (s.a.y, s.a.x.min(s.b.x), s.a.x.max(s.b.x))
+        } else {
+            (s.a.x, s.a.y.min(s.b.y), s.a.y.max(s.b.y))
+        }
+    };
+    let (track_a, lo_a, hi_a) = span(a);
+    let (track_b, lo_b, hi_b) = span(b);
+    track_a == track_b && lo_a < hi_b && lo_b < hi_a
+}
+
+/// Measured metrics of a constructed layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayoutSummary {
+    /// Layout name.
+    pub name: String,
+    /// Bounding-box width in λ.
+    pub width: u64,
+    /// Bounding-box height in λ.
+    pub height: u64,
+    /// Measured area.
+    pub area: Area,
+    /// Longest single wire segment in λ.
+    pub longest_wire: u64,
+    /// Total routed wire length in λ.
+    pub total_wire: u64,
+    /// Number of placed components.
+    pub components: usize,
+    /// Number of routed wire segments.
+    pub wires: usize,
+}
+
+impl fmt::Display for LayoutSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}×{} = {} ({} components, {} wires, longest wire {}λ)",
+            self.name, self.width, self.height, self.area, self.components, self.wires,
+            self.longest_wire
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn sample_chip() -> Chip {
+        let mut c = Chip::new("sample");
+        c.place(ComponentKind::Base, Rect::new(0, 0, 2, 2));
+        c.place(ComponentKind::Internal, Rect::new(5, 5, 1, 1));
+        c.route(Segment::new(Point::new(2, 1), Point::new(5, 1)));
+        c.route(Segment::new(Point::new(5, 1), Point::new(5, 5)));
+        c
+    }
+
+    #[test]
+    fn bounding_box_covers_components_and_wires() {
+        let c = sample_chip();
+        // Components reach (6,6); the vertical wire (5,1)→(5,5) ends inside.
+        assert_eq!(c.bounding_box(), Rect::new(0, 0, 6, 6));
+        assert_eq!(c.area().get(), 36);
+    }
+
+    #[test]
+    fn wire_metrics() {
+        let c = sample_chip();
+        assert_eq!(c.longest_wire(), 4);
+        assert_eq!(c.total_wire_length(), 7);
+    }
+
+    #[test]
+    fn counts_by_kind() {
+        let c = sample_chip();
+        assert_eq!(c.count(ComponentKind::Base), 1);
+        assert_eq!(c.count(ComponentKind::Internal), 1);
+        assert_eq!(c.count(ComponentKind::Port), 0);
+    }
+
+    #[test]
+    fn empty_chip_has_zero_metrics() {
+        let c = Chip::new("empty");
+        assert_eq!(c.area(), Area::ZERO);
+        assert_eq!(c.longest_wire(), 0);
+        assert_eq!(c.bounding_box(), Rect::default());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut c = sample_chip();
+        assert_eq!(c.find_component_overlap(), None);
+        c.place(ComponentKind::Base, Rect::new(1, 1, 3, 3)); // overlaps first
+        assert_eq!(c.find_component_overlap(), Some((0, 2)));
+    }
+
+    #[test]
+    fn wire_overlap_detection() {
+        let mut c = Chip::new("wires");
+        c.route(Segment::new(Point::new(0, 5), Point::new(4, 5)));
+        c.route(Segment::new(Point::new(4, 5), Point::new(8, 5))); // abuts: fine
+        c.route(Segment::new(Point::new(2, 0), Point::new(2, 9))); // crossing: fine
+        assert_eq!(c.find_wire_overlap(), None);
+        c.route(Segment::new(Point::new(3, 5), Point::new(6, 5))); // overlaps #0 and #1
+        assert_eq!(c.find_wire_overlap(), Some((0, 3)));
+    }
+
+    #[test]
+    fn summary_reports_measured_values() {
+        let s = sample_chip().summary();
+        assert_eq!(s.area.get(), 36);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.wires, 2);
+        assert!(s.to_string().contains("sample"));
+    }
+
+    #[test]
+    fn glyphs_are_distinct() {
+        let g = [
+            ComponentKind::Base.glyph(),
+            ComponentKind::Internal.glyph(),
+            ComponentKind::Port.glyph(),
+        ];
+        assert_eq!(g.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain rectilinear geometry on the λ grid.
+
+use std::fmt;
+
+/// A point on the layout grid, in λ.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: u64,
+    /// Vertical coordinate (grows downward, like a raster).
+    pub y: u64,
+}
+
+impl Point {
+    /// Constructs a point.
+    pub const fn new(x: u64, y: u64) -> Self {
+        Point { x, y }
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangle `[x, x+w) × [y, y+h)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Top-left corner.
+    pub origin: Point,
+    /// Width in λ (may be 0 for degenerate markers).
+    pub width: u64,
+    /// Height in λ.
+    pub height: u64,
+}
+
+impl Rect {
+    /// Constructs a rectangle from its top-left corner and extent.
+    pub const fn new(x: u64, y: u64, width: u64, height: u64) -> Self {
+        Rect { origin: Point::new(x, y), width, height }
+    }
+
+    /// Exclusive right edge.
+    pub const fn right(&self) -> u64 {
+        self.origin.x + self.width
+    }
+
+    /// Exclusive bottom edge.
+    pub const fn bottom(&self) -> u64 {
+        self.origin.y + self.height
+    }
+
+    /// Centre point (rounded down).
+    pub const fn center(&self) -> Point {
+        Point::new(self.origin.x + self.width / 2, self.origin.y + self.height / 2)
+    }
+
+    /// Whether two rectangles overlap in a region of positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.origin.x < other.right()
+            && other.origin.x < self.right()
+            && self.origin.y < other.bottom()
+            && other.origin.y < self.bottom()
+    }
+
+    /// The smallest rectangle containing both.
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        let x = self.origin.x.min(other.origin.x);
+        let y = self.origin.y.min(other.origin.y);
+        let r = self.right().max(other.right());
+        let b = self.bottom().max(other.bottom());
+        Rect::new(x, y, r - x, b - y)
+    }
+}
+
+/// An axis-aligned wire segment between two grid points.
+///
+/// # Panics
+///
+/// [`Segment::new`] panics if the endpoints are neither horizontally nor
+/// vertically aligned — Thompson's model only allows rectilinear wires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// One endpoint.
+    pub a: Point,
+    /// The other endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Constructs an axis-aligned segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the segment is not axis-aligned.
+    pub fn new(a: Point, b: Point) -> Self {
+        assert!(a.x == b.x || a.y == b.y, "wire {a} → {b} is not axis-aligned");
+        Segment { a, b }
+    }
+
+    /// Manhattan length of the segment in λ.
+    pub fn length(&self) -> u64 {
+        self.a.x.abs_diff(self.b.x) + self.a.y.abs_diff(self.b.y)
+    }
+
+    /// Whether the segment runs horizontally.
+    pub fn is_horizontal(&self) -> bool {
+        self.a.y == self.b.y
+    }
+
+    /// The bounding rectangle (width/height include both endpoints, so a
+    /// unit-length wire has extent 2×1).
+    pub fn bounds(&self) -> Rect {
+        let x = self.a.x.min(self.b.x);
+        let y = self.a.y.min(self.b.y);
+        Rect::new(x, y, self.a.x.abs_diff(self.b.x) + 1, self.a.y.abs_diff(self.b.y) + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_edges_and_center() {
+        let r = Rect::new(2, 3, 4, 6);
+        assert_eq!(r.right(), 6);
+        assert_eq!(r.bottom(), 9);
+        assert_eq!(r.center(), Point::new(4, 6));
+    }
+
+    #[test]
+    fn rect_intersection_rules() {
+        let a = Rect::new(0, 0, 4, 4);
+        assert!(a.intersects(&Rect::new(2, 2, 4, 4)));
+        assert!(!a.intersects(&Rect::new(4, 0, 2, 2)), "abutting edges do not overlap");
+        assert!(!a.intersects(&Rect::new(10, 10, 1, 1)));
+    }
+
+    #[test]
+    fn rect_union_covers_both() {
+        let a = Rect::new(0, 0, 2, 2);
+        let b = Rect::new(5, 7, 1, 1);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0, 0, 6, 8));
+    }
+
+    #[test]
+    fn segment_length_and_orientation() {
+        let h = Segment::new(Point::new(1, 5), Point::new(9, 5));
+        assert_eq!(h.length(), 8);
+        assert!(h.is_horizontal());
+        let v = Segment::new(Point::new(3, 2), Point::new(3, 12));
+        assert_eq!(v.length(), 10);
+        assert!(!v.is_horizontal());
+    }
+
+    #[test]
+    fn segment_bounds_include_endpoints() {
+        let s = Segment::new(Point::new(2, 2), Point::new(2, 5));
+        assert_eq!(s.bounds(), Rect::new(2, 2, 1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn diagonal_wires_rejected() {
+        let _ = Segment::new(Point::new(0, 0), Point::new(1, 1));
+    }
+}

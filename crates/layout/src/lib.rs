@@ -1,0 +1,49 @@
+//! Constructive chip layouts on Thompson's unit grid.
+//!
+//! The paper's area claims are stated for concrete layouts: Fig. 1 lays a
+//! `(4×4)`-OTN out with each row/column tree embedded in the strip between
+//! adjacent rows/columns ("Any two adjacent rows or columns of the base are
+//! O(log N) distance apart. This interrow (column) area is used to embed the
+//! corresponding row (column) tree"); Figs. 2–3 lay out one OTC cycle and a
+//! `(4×4)`-OTC. This crate *builds* those layouts — placing every base
+//! processor (BP), internal processor (IP) and port, and routing every tree,
+//! cycle and mesh wire as axis-aligned segments — and measures area as the
+//! bounding box of everything placed. Downstream, the analysis crate uses
+//! these *measured* areas (never asserted formulas) for every AT² figure.
+//!
+//! * [`otn`] — the orthogonal trees network layout (Fig. 1);
+//! * [`otc`] — the orthogonal tree cycles: single cycle (Fig. 2) and full
+//!   network (Fig. 3);
+//! * [`mesh`] — the baseline mesh layout;
+//! * [`modeled`] — *modeled* (non-constructed) layout metrics for the PSN
+//!   and CCC, whose optimal layouts (Kleitman et al., Preparata–Vuillemin)
+//!   we take from the literature as closed forms with explicit constants;
+//! * [`render`] — ASCII and SVG rendering used to regenerate the figures.
+//!
+//! # Example
+//!
+//! ```
+//! use orthotrees_layout::otn::OtnLayout;
+//!
+//! let layout = OtnLayout::build(4, 2).expect("4 is a power of two");
+//! let chip = layout.chip();
+//! assert!(chip.area().get() > 0);
+//! // Every processor of a (4x4)-OTN is placed: 16 BPs + 2·4·3 IPs.
+//! assert_eq!(layout.base_processor_count(), 16);
+//! assert_eq!(layout.internal_processor_count(), 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chip;
+mod geometry;
+pub mod mesh;
+pub mod modeled;
+pub mod otc;
+pub mod otn;
+pub mod render;
+pub mod strip;
+
+pub use chip::{Chip, Component, ComponentKind, LayoutSummary};
+pub use geometry::{Point, Rect, Segment};

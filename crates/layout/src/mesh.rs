@@ -1,0 +1,157 @@
+//! The baseline mesh layout (paper refs \[17\], \[29\]).
+//!
+//! An `r × c` mesh of processors, each a `w × w` register block, joined by
+//! unit-length nearest-neighbour wires. All wires are `O(1)` long, which is
+//! why the mesh's time bounds are unaffected by the choice of delay model
+//! (paper §VII.D: "The time performance of the Mesh does not change because
+//! it has only short wires"). For sorting `N` numbers the mesh uses `N`
+//! processors of `Θ(log N)` storage each, hence area `Θ(N log² N)`.
+
+use crate::chip::{Chip, ComponentKind};
+use crate::geometry::{Point, Rect, Segment};
+use orthotrees_vlsi::{Area, ModelError};
+
+/// A constructed `r × c` mesh layout.
+#[derive(Clone, Debug)]
+pub struct MeshLayout {
+    rows: usize,
+    cols: usize,
+    word_bits: u64,
+    chip: Chip,
+}
+
+impl MeshLayout {
+    /// Builds an `rows × cols` mesh with `word_bits`-bit cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if either dimension or the word width is zero.
+    pub fn build(rows: usize, cols: usize, word_bits: u32) -> Result<Self, ModelError> {
+        ModelError::require_at_least("mesh rows", rows, 1)?;
+        ModelError::require_at_least("mesh cols", cols, 1)?;
+        ModelError::require_at_least("word width", word_bits as usize, 1)?;
+        let w = u64::from(word_bits);
+        let pitch = w + 1;
+        let mut chip = Chip::new(format!("({rows}x{cols})-mesh"));
+        for i in 0..rows {
+            for j in 0..cols {
+                let (x, y) = (j as u64 * pitch, i as u64 * pitch);
+                chip.place(ComponentKind::Base, Rect::new(x, y, w, w));
+                if j + 1 < cols {
+                    let ym = y + w / 2;
+                    chip.route(Segment::new(Point::new(x + w, ym), Point::new(x + pitch, ym)));
+                }
+                if i + 1 < rows {
+                    let xm = x + w / 2;
+                    chip.route(Segment::new(Point::new(xm, y + w), Point::new(xm, y + pitch)));
+                }
+            }
+        }
+        Ok(MeshLayout { rows, cols, word_bits: w, chip })
+    }
+
+    /// Builds the square mesh that sorts `n` numbers: `√n × √n` processors
+    /// with `⌈log₂ n⌉`-bit words (`n` must be an even power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not an even power of two.
+    pub fn for_sorting(n: usize) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("mesh problem size", n)?;
+        let k = orthotrees_vlsi::log2_ceil(n as u64);
+        if !k.is_multiple_of(2) {
+            return Err(ModelError::NotPowerOfTwo { what: "mesh side (√N)", value: n });
+        }
+        let side = 1usize << (k / 2);
+        Self::build(side, side, k.max(1))
+    }
+
+    /// The constructed chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Measured area.
+    pub fn area(&self) -> Area {
+        self.chip.area()
+    }
+
+    /// Grid dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Word width of each cell.
+    pub fn word_bits(&self) -> u64 {
+        self.word_bits
+    }
+
+    /// Inter-processor hop length in λ (always `O(1)`: one channel).
+    pub fn hop_length(&self) -> u64 {
+        1
+    }
+
+    /// Closed-form area without construction; verified equal to the
+    /// constructed area in tests.
+    pub fn predicted_area(rows: usize, cols: usize, word_bits: u32) -> Area {
+        let w = u64::from(word_bits);
+        let pitch = w + 1;
+        let width = (cols as u64 - 1) * pitch + w;
+        let height = (rows as u64 - 1) * pitch + w;
+        Area::of_rect(width, height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_places_all_cells_without_overlap() {
+        let m = MeshLayout::build(4, 6, 3).unwrap();
+        assert_eq!(m.chip().count(ComponentKind::Base), 24);
+        assert_eq!(m.chip().find_component_overlap(), None);
+    }
+
+    #[test]
+    fn wires_are_unit_length() {
+        let m = MeshLayout::build(5, 5, 4).unwrap();
+        assert!(m.chip().wires().iter().all(|w| w.length() == 1));
+        // 2·r·c − r − c internal links.
+        assert_eq!(m.chip().wires().len(), 2 * 5 * 5 - 5 - 5);
+    }
+
+    #[test]
+    fn sorting_mesh_area_is_theta_n_log_squared() {
+        let mut ratios = Vec::new();
+        for k in [4u32, 6, 8, 10] {
+            let n = 1usize << k;
+            let m = MeshLayout::for_sorting(n).unwrap();
+            ratios.push(m.area().as_f64() / ((n as f64) * (k as f64).powi(2)));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 4.0, "area not Θ(N log² N): {ratios:?}");
+    }
+
+    #[test]
+    fn sorting_mesh_rejects_odd_powers() {
+        assert!(MeshLayout::for_sorting(32).is_err(), "√32 is not integral");
+        assert!(MeshLayout::for_sorting(64).is_ok());
+    }
+
+    #[test]
+    fn predicted_area_matches_construction() {
+        for (r, c, w) in [(1usize, 1usize, 1u32), (2, 3, 2), (8, 8, 6), (16, 4, 5)] {
+            let built = MeshLayout::build(r, c, w).unwrap();
+            assert_eq!(built.area(), MeshLayout::predicted_area(r, c, w), "{r}x{c} w={w}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_dimensions() {
+        assert!(MeshLayout::build(0, 3, 2).is_err());
+        assert!(MeshLayout::build(3, 0, 2).is_err());
+        assert!(MeshLayout::build(3, 3, 0).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! The orthogonal tree cycles layouts (paper Figs. 2 and 3).
+//!
+//! The OTC replaces each BP of a smaller OTN by a *cycle* of `L = Θ(log N)`
+//! BPs. Per §V.A: "Each cycle is horizontally laid out and since each BP of
+//! the cycle is an O(log N) × O(1) rectangle the separation between adjacent
+//! rows and columns of the OTC is O(log N). This leads to an overall area of
+//! O(N²)."
+//!
+//! We realise each cycle BP as a `1 × w` (width × height) sliver — `O(1)`
+//! wide, `O(log N)` tall — so a cycle of `L` BPs fills an `L × w` block with
+//! its ring wiring above it: an `O(log N) × O(log N)` block, and the full
+//! `(m×m)`-grid-of-cycles comes out `Θ((m·log N)²)` — `Θ(N²)` when
+//! `m = N/log N`.
+//!
+//! ## Cycle-length convention
+//!
+//! For a problem of size `N` the paper uses `m = N/log N` cycles per side of
+//! length `log N`. For `m` to be a power of two (required by the tree
+//! embedding) we take `L` = the largest power of two `≤ max(2, log₂ N)` and
+//! `m = N/L`; `L = Θ(log N)` is preserved, which is all the analysis needs.
+
+use crate::chip::{Chip, ComponentKind};
+use crate::geometry::{Point, Rect, Segment};
+use crate::strip::{build_grid_of_trees, GridOfTrees};
+use orthotrees_vlsi::{log2_ceil, Area, ModelError};
+
+/// Chooses the OTC decomposition for problem size `n` (a power of two):
+/// returns `(m, cycle_len)` with `m · cycle_len = n`, both powers of two,
+/// and `cycle_len = Θ(log n)`.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `n` is not a power of two or `n < 4`.
+pub fn otc_dims(n: usize) -> Result<(usize, usize), ModelError> {
+    ModelError::require_power_of_two("OTC problem size", n)?;
+    ModelError::require_at_least("OTC problem size", n, 4)?;
+    let logn = log2_ceil(n as u64).max(2);
+    let mut cycle = 1usize << orthotrees_vlsi::log2_floor(u64::from(logn));
+    // Cycle length may not exceed n / 2 (need at least a 2×… grid of cycles
+    // only when n is tiny; for n = 4, logn = 2, cycle = 2, m = 2).
+    cycle = cycle.min(n / 2);
+    Ok((n / cycle, cycle))
+}
+
+/// One OTC cycle (paper Fig. 2): `cycle_len` BPs of `1 × w` λ side by side,
+/// ring-connected left-to-right with a return wire across the top.
+#[derive(Clone, Debug)]
+pub struct CycleLayout {
+    cycle_len: usize,
+    chip: Chip,
+}
+
+impl CycleLayout {
+    /// Builds a single cycle of `cycle_len` BPs with `word_bits`-bit
+    /// registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `cycle_len < 2` or `word_bits == 0`.
+    pub fn build(cycle_len: usize, word_bits: u32) -> Result<Self, ModelError> {
+        ModelError::require_at_least("cycle length", cycle_len, 2)?;
+        ModelError::require_at_least("word width", word_bits as usize, 1)?;
+        let mut chip = Chip::new(format!("OTC cycle (L={cycle_len})"));
+        place_cycle(&mut chip, Rect::new(0, 1, cycle_len as u64 * 2 - 1, u64::from(word_bits)));
+        Ok(CycleLayout { cycle_len, chip })
+    }
+
+    /// The constructed chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Number of BPs in the cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len
+    }
+
+    /// Measured area.
+    pub fn area(&self) -> Area {
+        self.chip.area()
+    }
+}
+
+/// Places one cycle's BPs and ring wires into `rect` (whose height includes
+/// one track above the BPs for the return wire; BP slivers are 1λ wide on
+/// even x offsets with wiring gaps between them).
+fn place_cycle(chip: &mut Chip, rect: Rect) {
+    let l = rect.width.div_ceil(2); // number of BPs
+    let w = rect.height;
+    let x0 = rect.origin.x;
+    let y0 = rect.origin.y;
+    for q in 0..l {
+        chip.place(ComponentKind::Base, Rect::new(x0 + 2 * q, y0, 1, w));
+        if q + 1 < l {
+            // Neighbour link BP(q) → BP(q+1), mid-height.
+            let y = y0 + w / 2;
+            chip.route(Segment::new(Point::new(x0 + 2 * q, y), Point::new(x0 + 2 * q + 2, y)));
+        }
+    }
+    // Return wire BP(L−1) → BP(0) across the track above the slivers.
+    if l >= 2 && y0 >= 1 {
+        let top = y0 - 1;
+        let last_x = x0 + 2 * (l - 1);
+        chip.route(Segment::new(Point::new(last_x, y0), Point::new(last_x, top)));
+        chip.route(Segment::new(Point::new(last_x, top), Point::new(x0, top)));
+        chip.route(Segment::new(Point::new(x0, top), Point::new(x0, y0)));
+    }
+}
+
+/// A constructed `(m×m)`-OTC layout (paper Fig. 3): a grid of `m×m` cycles
+/// of length `cycle_len`, with row and column trees over the cycles.
+#[derive(Clone, Debug)]
+pub struct OtcLayout {
+    m: usize,
+    cycle_len: usize,
+    word_bits: u64,
+    chip: Chip,
+    grid: GridOfTrees,
+}
+
+impl OtcLayout {
+    /// Builds an `(m×m)`-OTC of cycles of `cycle_len` BPs with
+    /// `word_bits`-bit registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `m` is not a power of two, `cycle_len < 2`
+    /// or `word_bits == 0`.
+    pub fn build(m: usize, cycle_len: usize, word_bits: u32) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("OTC side length", m)?;
+        ModelError::require_at_least("cycle length", cycle_len, 2)?;
+        ModelError::require_at_least("word width", word_bits as usize, 1)?;
+        let w = u64::from(word_bits);
+        let block_w = cycle_len as u64 * 2 - 1;
+        let block_h = w + 1; // one track above the slivers for the ring return
+        let mut chip = Chip::new(format!("({m}x{m})-OTC (L={cycle_len})"));
+        let grid = build_grid_of_trees(&mut chip, m, block_w, block_h, |chip, _, _, rect| {
+            // The slivers occupy the lower `w` rows of the block.
+            place_cycle(
+                chip,
+                Rect::new(rect.origin.x, rect.origin.y + 1, rect.width, rect.height - 1),
+            );
+        });
+        Ok(OtcLayout { m, cycle_len, word_bits: w, chip, grid })
+    }
+
+    /// Builds the OTC for problem size `n` with the paper's conventions:
+    /// `(m, cycle_len) =` [`otc_dims`]`(n)` and word width `⌈log₂ n⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not a power of two or `n < 4`.
+    pub fn for_problem_size(n: usize) -> Result<Self, ModelError> {
+        let (m, cycle) = otc_dims(n)?;
+        Self::build(m, cycle, log2_ceil(n as u64).max(1))
+    }
+
+    /// Cycles per side.
+    pub fn side(&self) -> usize {
+        self.m
+    }
+
+    /// BPs per cycle.
+    pub fn cycle_len(&self) -> usize {
+        self.cycle_len
+    }
+
+    /// Total base processors (`m² · cycle_len`).
+    pub fn base_processor_count(&self) -> usize {
+        self.chip.count(ComponentKind::Base)
+    }
+
+    /// Internal (tree) processors (`2m(m−1)`).
+    pub fn internal_processor_count(&self) -> usize {
+        self.chip.count(ComponentKind::Internal)
+    }
+
+    /// The constructed chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Measured area.
+    pub fn area(&self) -> Area {
+        self.chip.area()
+    }
+
+    /// Inter-cycle pitch (the tree cost model's `pitch` parameter); the
+    /// larger of the two pitches, which bounds both tree families' wires.
+    pub fn pitch(&self) -> u64 {
+        self.grid.pitch_x.max(self.grid.pitch_y)
+    }
+
+    /// Input ports (row-tree roots).
+    pub fn input_ports(&self) -> Vec<Point> {
+        self.grid.row_roots.iter().map(|r| r.at).collect()
+    }
+
+    /// Output ports (column-tree roots).
+    pub fn output_ports(&self) -> Vec<Point> {
+        self.grid.col_roots.iter().map(|r| r.at).collect()
+    }
+
+    /// Word width of the BP registers.
+    pub fn word_bits(&self) -> u64 {
+        self.word_bits
+    }
+
+    /// Closed-form area of the layout [`OtcLayout::build`] would construct,
+    /// without building it — used by large-`N` sweeps. Verified equal to the
+    /// constructed area in this crate's tests.
+    pub fn predicted_area(m: usize, cycle_len: usize, word_bits: u32) -> Area {
+        let depth = u64::from(log2_ceil(m as u64));
+        let block_w = cycle_len as u64 * 2 - 1;
+        let block_h = u64::from(word_bits) + 1;
+        let side = |block: u64| {
+            if m == 1 {
+                block
+            } else {
+                (m as u64 - 1) * (block + depth + 1) + block + depth
+            }
+        };
+        Area::of_rect(side(block_w), side(block_h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_for_common_sizes() {
+        assert_eq!(otc_dims(16).unwrap(), (4, 4)); // log₂ 16 = 4 → L = 4, m = 4
+        assert_eq!(otc_dims(64).unwrap(), (16, 4)); // log₂ 64 = 6 → L = 4
+        assert_eq!(otc_dims(256).unwrap(), (32, 8)); // log₂ 256 = 8 → L = 8
+        assert_eq!(otc_dims(4).unwrap(), (2, 2));
+    }
+
+    #[test]
+    fn dims_are_powers_of_two_and_multiply_back() {
+        for k in 2..=14u32 {
+            let n = 1usize << k;
+            let (m, l) = otc_dims(n).unwrap();
+            assert!(m.is_power_of_two() && l.is_power_of_two(), "n={n}");
+            assert_eq!(m * l, n, "n={n}");
+            // L = Θ(log n): within [log n / 2, log n] once n ≥ 16.
+            if k >= 4 {
+                assert!(l as u32 * 2 > k && l as u32 <= k.next_power_of_two(), "n={n} L={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn dims_reject_tiny_or_crooked_sizes() {
+        assert!(otc_dims(3).is_err());
+        assert!(otc_dims(2).is_err());
+        assert!(otc_dims(4).is_ok());
+    }
+
+    #[test]
+    fn fig2_single_cycle_block_is_log_by_log() {
+        // L = w = 4 (N = 16): block ≈ (2L−1) × (w+2) λ.
+        let c = CycleLayout::build(4, 4).unwrap();
+        let b = c.chip().bounding_box();
+        assert_eq!(c.chip().count(ComponentKind::Base), 4);
+        assert!(b.width <= 8 && b.height <= 6, "block too large: {b:?}");
+        assert_eq!(c.chip().find_component_overlap(), None);
+    }
+
+    #[test]
+    fn fig3_otc_counts() {
+        // A (4×4)-OTC with cycles of length 4 (N = 16 worth of BPs… the
+        // paper's Fig. 3 shows m = 4, L = 4).
+        let l = OtcLayout::build(4, 4, 4).unwrap();
+        assert_eq!(l.base_processor_count(), 4 * 4 * 4);
+        assert_eq!(l.internal_processor_count(), 2 * 4 * 3);
+        assert_eq!(l.chip().find_component_overlap(), None);
+    }
+
+    #[test]
+    fn otc_area_is_theta_n_squared() {
+        // measured / n² in a constant band across the sweep.
+        let mut ratios = Vec::new();
+        for k in [4u32, 6, 8, 10] {
+            let n = 1usize << k;
+            let l = OtcLayout::for_problem_size(n).unwrap();
+            ratios.push(l.area().as_f64() / (n * n) as f64);
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 8.0, "area not Θ(N²): {ratios:?}");
+    }
+
+    #[test]
+    fn otc_is_smaller_than_same_problem_size_otn() {
+        // Table I comparison at equal problem size N: the (N/L×N/L)-OTC
+        // (area Θ(N²)) beats the (N×N)-OTN (area Θ(N² log² N)).
+        use crate::otn::OtnLayout;
+        let n = 1usize << 8;
+        let otc = OtcLayout::for_problem_size(n).unwrap();
+        let otn_full = OtnLayout::with_default_word(n).unwrap();
+        assert!(otc.area() < otn_full.area());
+    }
+
+    #[test]
+    fn predicted_area_matches_construction() {
+        for (m, l, w) in [(2usize, 2usize, 2u32), (4, 4, 4), (8, 4, 6), (16, 8, 8)] {
+            let built = OtcLayout::build(m, l, w).unwrap();
+            assert_eq!(
+                built.area(),
+                OtcLayout::predicted_area(m, l, w),
+                "m={m} L={l} w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(OtcLayout::build(3, 4, 4).is_err());
+        assert!(OtcLayout::build(4, 1, 4).is_err());
+        assert!(OtcLayout::build(4, 4, 0).is_err());
+        assert!(CycleLayout::build(1, 4).is_err());
+    }
+}
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+
+    #[test]
+    fn otc_routing_has_no_parallel_wire_overlaps() {
+        let l = OtcLayout::build(4, 4, 4).unwrap();
+        assert_eq!(l.chip().find_wire_overlap(), None);
+        let c = CycleLayout::build(8, 4).unwrap();
+        assert_eq!(c.chip().find_wire_overlap(), None);
+    }
+}

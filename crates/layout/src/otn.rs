@@ -1,0 +1,234 @@
+//! The orthogonal trees network layout (paper Fig. 1).
+//!
+//! An `(N×N)`-OTN: `N²` base processors, each row and column overlaid with a
+//! complete binary tree embedded in the inter-row / inter-column area. Each
+//! BP occupies `Θ(log N)` area (a few `O(log N)`-bit registers plus `O(1)`
+//! bit-serial logic — §II.B); we realise it as a `w × w` register block.
+//! With channel width `log₂ N + 1` the pitch is `Θ(log N)` and the measured
+//! area comes out `Θ(N² log² N)`, the figure Leighton proved optimal
+//! (paper §II.A).
+
+use crate::chip::{Chip, ComponentKind};
+use crate::geometry::Point;
+use crate::strip::{build_grid_of_trees, GridOfTrees};
+use orthotrees_vlsi::{Area, ModelError};
+
+/// A constructed `(n×n)`-OTN layout.
+#[derive(Clone, Debug)]
+pub struct OtnLayout {
+    n: usize,
+    word_bits: u64,
+    chip: Chip,
+    grid: GridOfTrees,
+}
+
+impl OtnLayout {
+    /// Builds the layout of an `(n×n)`-OTN with `word_bits`-bit registers
+    /// per BP.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not a power of two or `word_bits`
+    /// is zero.
+    pub fn build(n: usize, word_bits: u32) -> Result<Self, ModelError> {
+        ModelError::require_power_of_two("OTN side length", n)?;
+        ModelError::require_at_least("word width", word_bits as usize, 1)?;
+        let w = u64::from(word_bits);
+        let mut chip = Chip::new(format!("({n}x{n})-OTN"));
+        let grid = build_grid_of_trees(&mut chip, n, w, w, |chip, _, _, rect| {
+            chip.place(ComponentKind::Base, rect);
+        });
+        Ok(OtnLayout { n, word_bits: w, chip, grid })
+    }
+
+    /// Builds with the paper's default word width `⌈log₂ n⌉` (min 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError`] if `n` is not a power of two.
+    pub fn with_default_word(n: usize) -> Result<Self, ModelError> {
+        Self::build(n, orthotrees_vlsi::log2_ceil(n as u64).max(1))
+    }
+
+    /// Side length `n`.
+    pub fn side(&self) -> usize {
+        self.n
+    }
+
+    /// The constructed chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+
+    /// Measured chip area.
+    pub fn area(&self) -> Area {
+        self.chip.area()
+    }
+
+    /// The leaf pitch in λ — the distance between adjacent BPs, which is the
+    /// `pitch` parameter the cost model prices tree wires from.
+    pub fn pitch(&self) -> u64 {
+        debug_assert_eq!(self.grid.pitch_x, self.grid.pitch_y);
+        self.grid.pitch_x
+    }
+
+    /// Number of base processors (`n²`).
+    pub fn base_processor_count(&self) -> usize {
+        self.chip.count(ComponentKind::Base)
+    }
+
+    /// Number of internal (tree) processors (`2n(n−1)`).
+    pub fn internal_processor_count(&self) -> usize {
+        self.chip.count(ComponentKind::Internal)
+    }
+
+    /// Input ports: the row-tree roots, numbered `0..n` (paper §II.A: "the
+    /// roots of the row trees are used as input ports").
+    pub fn input_ports(&self) -> Vec<Point> {
+        self.grid.row_roots.iter().map(|r| r.at).collect()
+    }
+
+    /// Output ports: the column-tree roots.
+    pub fn output_ports(&self) -> Vec<Point> {
+        self.grid.col_roots.iter().map(|r| r.at).collect()
+    }
+
+    /// Word width of the BP registers.
+    pub fn word_bits(&self) -> u64 {
+        self.word_bits
+    }
+
+    /// Closed-form area of the layout [`OtnLayout::build`] would construct,
+    /// without building it — used by large-`N` sweeps (a constructed
+    /// `(1024×1024)`-OTN would hold millions of components). Verified equal
+    /// to the constructed area in this crate's tests.
+    pub fn predicted_area(n: usize, word_bits: u32) -> Area {
+        let w = u64::from(word_bits);
+        let depth = u64::from(orthotrees_vlsi::log2_ceil(n as u64));
+        if n == 1 {
+            return Area::of_rect(w, w);
+        }
+        let side = (n as u64 - 1) * (w + depth + 1) + w + depth;
+        Area::of_rect(side, side)
+    }
+
+    /// [`OtnLayout::predicted_area`] with the default word width
+    /// `⌈log₂ n⌉`.
+    pub fn predicted_area_default(n: usize) -> Area {
+        Self::predicted_area(n, orthotrees_vlsi::log2_ceil(n as u64).max(1))
+    }
+
+    /// Closed-form area of a *rectangular* `rows × cols` OTN (used by the
+    /// wide matrix-multiplication networks, whose row count is the square
+    /// of the matrix side): the square construction generalises directly —
+    /// the pitch stays `word + depth + 1` with `depth` the larger
+    /// dimension's tree height.
+    pub fn predicted_area_rect(rows: usize, cols: usize, word_bits: u32) -> Area {
+        let w = u64::from(word_bits);
+        let depth = u64::from(orthotrees_vlsi::log2_ceil(rows.max(cols) as u64));
+        let pitch = w + depth + 1;
+        let extent = |n: usize| {
+            if n == 1 {
+                w
+            } else {
+                (n as u64 - 1) * pitch + w + depth
+            }
+        };
+        Area::of_rect(extent(cols), extent(rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_counts_for_a_4x4_otn() {
+        let l = OtnLayout::build(4, 2).unwrap();
+        assert_eq!(l.base_processor_count(), 16);
+        assert_eq!(l.internal_processor_count(), 24);
+        assert_eq!(l.input_ports().len(), 4);
+        assert_eq!(l.output_ports().len(), 4);
+    }
+
+    #[test]
+    fn layout_is_overlap_free() {
+        for n in [2usize, 4, 8, 16] {
+            let l = OtnLayout::with_default_word(n).unwrap();
+            assert_eq!(l.chip().find_component_overlap(), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn area_is_theta_n_squared_log_squared() {
+        // measured / (n² log² n) must stay in a narrow constant band.
+        let mut ratios = Vec::new();
+        for k in 2..=6u32 {
+            let n = 1usize << k;
+            let l = OtnLayout::with_default_word(n).unwrap();
+            let denom = (n * n) as f64 * (k as f64).powi(2);
+            ratios.push(l.area().as_f64() / denom);
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 6.0, "area not Θ(N² log² N): {ratios:?}");
+    }
+
+    #[test]
+    fn pitch_is_theta_log_n() {
+        for k in 2..=7u32 {
+            let n = 1usize << k;
+            let l = OtnLayout::with_default_word(n).unwrap();
+            let pitch = l.pitch();
+            assert!(pitch >= u64::from(k), "n={n}");
+            assert!(pitch <= 3 * u64::from(k) + 2, "n={n} pitch={pitch}");
+        }
+    }
+
+    #[test]
+    fn longest_wire_is_near_quarter_of_the_side() {
+        // Each root-child wire spans ~a quarter of the chip: Θ(N log N) λ,
+        // which is what makes the log model charge Θ(log N) per bit on it.
+        let l = OtnLayout::with_default_word(16).unwrap();
+        let side = l.chip().bounding_box().width;
+        let longest = l.chip().longest_wire();
+        assert!(longest >= side / 5, "longest={longest} side={side}");
+        assert!(longest <= side / 3, "longest={longest} side={side}");
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(OtnLayout::build(6, 3).is_err());
+        assert!(OtnLayout::build(4, 0).is_err());
+        assert!(OtnLayout::build(1, 1).is_ok(), "degenerate 1x1 allowed");
+    }
+
+    #[test]
+    fn predicted_area_matches_construction() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let built = OtnLayout::with_default_word(n).unwrap();
+            assert_eq!(built.area(), OtnLayout::predicted_area_default(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn ports_are_distinct_positions() {
+        let l = OtnLayout::with_default_word(8).unwrap();
+        let mut all = l.input_ports();
+        all.extend(l.output_ports());
+        let set: std::collections::HashSet<_> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len(), "port positions collide");
+    }
+}
+#[cfg(test)]
+mod routing_tests {
+    use super::*;
+
+    #[test]
+    fn otn_routing_has_no_parallel_wire_overlaps() {
+        for n in [2usize, 4, 8] {
+            let l = OtnLayout::with_default_word(n).unwrap();
+            assert_eq!(l.chip().find_wire_overlap(), None, "n={n}");
+        }
+    }
+}

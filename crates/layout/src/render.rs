@@ -1,0 +1,178 @@
+//! ASCII and SVG rendering of constructed chips — regenerates the paper's
+//! Figs. 1–3 as text (for the terminal harness) and as standalone SVG files.
+//!
+//! The ASCII renderer rasterises at one character per λ using the paper's
+//! conventions: base processors as white circles (`o`), internal processors
+//! as black dots (`*`), wires as `-`/`|` with `+` at crossings and corners.
+
+use crate::chip::{Chip, ComponentKind};
+use std::fmt::Write as _;
+
+/// Renders `chip` as ASCII art, one character per λ.
+///
+/// Layouts wider or taller than `max_dim` are refused with a descriptive
+/// string instead (rendering a megapixel chip as text helps no one).
+pub fn ascii(chip: &Chip, max_dim: u64) -> String {
+    let b = chip.bounding_box();
+    if b.width > max_dim || b.height > max_dim {
+        return format!(
+            "[{}: {}×{}λ — too large to render as text; use SVG]",
+            chip.name(),
+            b.width,
+            b.height
+        );
+    }
+    let (w, h) = (b.width as usize, b.height as usize);
+    let (ox, oy) = (b.origin.x, b.origin.y);
+    let mut grid = vec![vec![' '; w]; h];
+
+    // Wires first, so components draw over their connection points.
+    for seg in chip.wires() {
+        let (a, bpt) = (seg.a, seg.b);
+        if seg.is_horizontal() {
+            let y = (a.y - oy) as usize;
+            let (x0, x1) = (a.x.min(bpt.x), a.x.max(bpt.x));
+            for x in x0..=x1 {
+                let cell = &mut grid[y.min(h - 1)][((x - ox) as usize).min(w - 1)];
+                *cell = match *cell {
+                    '|' | '+' => '+',
+                    _ => '-',
+                };
+            }
+        } else {
+            let x = (a.x - ox) as usize;
+            let (y0, y1) = (a.y.min(bpt.y), a.y.max(bpt.y));
+            for y in y0..=y1 {
+                let cell = &mut grid[((y - oy) as usize).min(h - 1)][x.min(w - 1)];
+                *cell = match *cell {
+                    '-' | '+' => '+',
+                    _ => '|',
+                };
+            }
+        }
+    }
+
+    for comp in chip.components() {
+        let r = comp.rect;
+        let glyph = comp.kind.glyph();
+        for y in r.origin.y..r.bottom().max(r.origin.y + 1) {
+            for x in r.origin.x..r.right().max(r.origin.x + 1) {
+                if ((y - oy) as usize) < h && ((x - ox) as usize) < w {
+                    grid[(y - oy) as usize][(x - ox) as usize] = glyph;
+                }
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((w + 1) * h + 64);
+    let _ = writeln!(out, "{} ({}×{}λ, area {})", chip.name(), b.width, b.height, chip.area());
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `chip` as a standalone SVG document (one λ = `scale` pixels).
+pub fn svg(chip: &Chip, scale: u32) -> String {
+    let b = chip.bounding_box();
+    let s = u64::from(scale.max(1));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        (b.width + 2) * s,
+        (b.height + 2) * s,
+        (b.width + 2) * s,
+        (b.height + 2) * s,
+    );
+    let _ = writeln!(out, r#"<title>{}</title>"#, chip.name());
+    let _ = writeln!(out, r#"<rect width="100%" height="100%" fill="white"/>"#);
+    for seg in chip.wires() {
+        let _ = writeln!(
+            out,
+            r##"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="#888" stroke-width="1"/>"##,
+            (seg.a.x - b.origin.x + 1) * s,
+            (seg.a.y - b.origin.y + 1) * s,
+            (seg.b.x - b.origin.x + 1) * s,
+            (seg.b.y - b.origin.y + 1) * s,
+        );
+    }
+    for comp in chip.components() {
+        let r = comp.rect;
+        let (fill, stroke) = match comp.kind {
+            ComponentKind::Base => ("white", "black"),
+            ComponentKind::Internal => ("black", "black"),
+            ComponentKind::Port => ("#c33", "#c33"),
+        };
+        let _ = writeln!(
+            out,
+            r##"<rect x="{}" y="{}" width="{}" height="{}" fill="{}" stroke="{}"/>"##,
+            (r.origin.x - b.origin.x + 1) * s,
+            (r.origin.y - b.origin.y + 1) * s,
+            r.width.max(1) * s,
+            r.height.max(1) * s,
+            fill,
+            stroke,
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Point, Rect, Segment};
+
+    fn tiny_chip() -> Chip {
+        let mut c = Chip::new("tiny");
+        c.place(ComponentKind::Base, Rect::new(0, 0, 2, 2));
+        c.place(ComponentKind::Internal, Rect::new(6, 0, 1, 1));
+        c.route(Segment::new(Point::new(2, 0), Point::new(6, 0)));
+        c.route(Segment::new(Point::new(4, 0), Point::new(4, 3)));
+        c
+    }
+
+    #[test]
+    fn ascii_contains_glyphs_and_crossing() {
+        let art = ascii(&tiny_chip(), 100);
+        assert!(art.contains('o'), "base glyph:\n{art}");
+        assert!(art.contains('*'), "internal glyph:\n{art}");
+        assert!(art.contains('+'), "wire crossing:\n{art}");
+        assert!(art.contains('|'), "vertical wire:\n{art}");
+        assert!(art.lines().next().unwrap().contains("tiny"));
+    }
+
+    #[test]
+    fn ascii_refuses_huge_layouts() {
+        let art = ascii(&tiny_chip(), 3);
+        assert!(art.contains("too large"));
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let doc = svg(&tiny_chip(), 8);
+        assert!(doc.starts_with("<svg"));
+        assert!(doc.trim_end().ends_with("</svg>"));
+        assert_eq!(doc.matches("<rect").count(), 3, "background + 2 components");
+        assert_eq!(doc.matches("<line").count(), 2);
+    }
+
+    #[test]
+    fn fig1_renders_the_4x4_otn() {
+        let layout = crate::otn::OtnLayout::build(4, 2).unwrap();
+        let art = ascii(layout.chip(), 200);
+        // 16 BP blocks of 2×2 ⇒ 64 'o' cells.
+        assert_eq!(art.matches('o').count(), 64);
+        assert_eq!(art.matches('*').count(), 24, "24 IPs of 1λ²");
+    }
+
+    #[test]
+    fn fig2_renders_a_cycle() {
+        let cyc = crate::otc::CycleLayout::build(4, 4).unwrap();
+        let art = ascii(cyc.chip(), 100);
+        assert_eq!(art.matches('o').count(), 16, "4 slivers of 1×4");
+    }
+}

@@ -1,0 +1,340 @@
+//! The generic "grid of blocks + orthogonal trees" embedding.
+//!
+//! Both the OTN (blocks = single BPs) and the OTC (blocks = cycles of BPs)
+//! share the same global structure: an `n × n` grid of blocks, a complete
+//! binary *row tree* over each row of blocks embedded in the horizontal
+//! strip below the row, and a *column tree* over each column embedded in the
+//! vertical channel to the right of the column. This module constructs that
+//! embedding once, parameterised by the block size.
+//!
+//! ## Track discipline (collision-free by construction)
+//!
+//! With `depth = log₂ n` and block size `bw × bh`, the pitch is
+//! `px = bw + depth + 1` and `py = bh + depth + 1`:
+//!
+//! * row-tree level-`h` wires run on the horizontal track at offset
+//!   `bh + (h−1)` inside the strip; row IPs sit on the *spare* vertical
+//!   track at x-offset `bw + depth`;
+//! * column-tree level-`h` wires run on the vertical track at offset
+//!   `bw + (h−1)`; column IPs sit on the spare horizontal track at y-offset
+//!   `bh + depth`.
+//!
+//! Row IPs therefore occupy `(bw + depth, bh + h − 1)` offsets and column
+//! IPs `(bw + h − 1, bh + depth)` offsets; since `h − 1 < depth` the two
+//! families can never collide, and neither reaches into a block's
+//! `[0, bw) × [0, bh)` footprint. Wires may cross (the model allows
+//! right-angle crossings); components may not overlap, and
+//! [`Chip::find_component_overlap`] is asserted empty in tests.
+
+use crate::chip::{Chip, ComponentKind};
+use crate::geometry::{Point, Rect, Segment};
+use orthotrees_vlsi::log2_ceil;
+
+/// Where a tree root ended up, for wiring I/O ports and for reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TreeRoot {
+    /// Index of the row (for row trees) or column (for column trees).
+    pub index: usize,
+    /// The root IP's position.
+    pub at: Point,
+}
+
+/// The computed embedding.
+#[derive(Clone, Debug)]
+pub struct GridOfTrees {
+    /// Blocks per side.
+    pub n: usize,
+    /// Horizontal pitch (block + channel) in λ.
+    pub pitch_x: u64,
+    /// Vertical pitch in λ.
+    pub pitch_y: u64,
+    /// Tree depth `log₂ n`.
+    pub depth: u32,
+    /// Root of each row tree (input ports, paper §II.A).
+    pub row_roots: Vec<TreeRoot>,
+    /// Root of each column tree (output ports).
+    pub col_roots: Vec<TreeRoot>,
+    /// Footprint of each block, row-major.
+    pub blocks: Vec<Rect>,
+}
+
+impl GridOfTrees {
+    /// The block footprint at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn block(&self, row: usize, col: usize) -> Rect {
+        self.blocks[row * self.n + col]
+    }
+}
+
+/// The 0-based grid cell whose spare track hosts the level-`h` IP covering
+/// leaves `[k·2^h, (k+1)·2^h)`: the classic dyadic midpoint
+/// `k·2^h + 2^(h−1) − 1`, distinct across all `(h, k)` pairs.
+fn host_cell(h: u32, k: usize) -> usize {
+    k * (1usize << h) + (1usize << (h - 1)) - 1
+}
+
+/// Builds the embedding into `chip`. `place_block` is called once per block
+/// (row, col, footprint) and is responsible for placing the block's own
+/// components and internal wires. Tree IPs are placed as 1×1
+/// [`ComponentKind::Internal`] components.
+///
+/// Returns the embedding description.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two, or a block dimension is zero.
+pub fn build_grid_of_trees(
+    chip: &mut Chip,
+    n: usize,
+    block_w: u64,
+    block_h: u64,
+    mut place_block: impl FnMut(&mut Chip, usize, usize, Rect),
+) -> GridOfTrees {
+    assert!(n.is_power_of_two(), "grid side must be a power of two, got {n}");
+    assert!(block_w > 0 && block_h > 0, "blocks must have positive size");
+    let depth = log2_ceil(n as u64);
+    let pitch_x = block_w + u64::from(depth) + 1;
+    let pitch_y = block_h + u64::from(depth) + 1;
+
+    let mut blocks = Vec::with_capacity(n * n);
+    for row in 0..n {
+        for col in 0..n {
+            let rect =
+                Rect::new(col as u64 * pitch_x, row as u64 * pitch_y, block_w, block_h);
+            place_block(chip, row, col, rect);
+            blocks.push(rect);
+        }
+    }
+
+    let mut row_roots = Vec::with_capacity(n);
+    let mut col_roots = Vec::with_capacity(n);
+    for i in 0..n {
+        row_roots.push(TreeRoot { index: i, at: embed_row_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h) });
+        col_roots.push(TreeRoot { index: i, at: embed_col_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h) });
+    }
+
+    GridOfTrees { n, pitch_x, pitch_y, depth, row_roots, col_roots, blocks }
+}
+
+/// Embeds row tree `row`; returns the root position.
+#[allow(clippy::too_many_arguments)]
+fn embed_row_tree(
+    chip: &mut Chip,
+    row: usize,
+    n: usize,
+    depth: u32,
+    pitch_x: u64,
+    pitch_y: u64,
+    block_w: u64,
+    block_h: u64,
+) -> Point {
+    let strip_y = |h: u32| row as u64 * pitch_y + block_h + u64::from(h - 1);
+    let ip_x = |cell: usize| cell as u64 * pitch_x + block_w + u64::from(depth);
+    // Leaf connection points: bottom-centre of each block in the row.
+    let leaf = |col: usize| {
+        Point::new(col as u64 * pitch_x + block_w / 2, row as u64 * pitch_y + block_h)
+    };
+    if n == 1 {
+        return leaf(0);
+    }
+    let mut below: Vec<Point> = (0..n).map(leaf).collect();
+    let mut root = below[0];
+    for h in 1..=depth {
+        let mut level = Vec::with_capacity(below.len() / 2);
+        for k in 0..below.len() / 2 {
+            let at = Point::new(ip_x(host_cell(h, k)), strip_y(h));
+            chip.place(ComponentKind::Internal, Rect::new(at.x, at.y, 1, 1));
+            for child in [below[2 * k], below[2 * k + 1]] {
+                route_l(chip, child, at);
+            }
+            level.push(at);
+        }
+        root = level[0];
+        below = level;
+    }
+    root
+}
+
+/// Embeds column tree `col`; returns the root position.
+#[allow(clippy::too_many_arguments)]
+fn embed_col_tree(
+    chip: &mut Chip,
+    col: usize,
+    n: usize,
+    depth: u32,
+    pitch_x: u64,
+    pitch_y: u64,
+    block_w: u64,
+    block_h: u64,
+) -> Point {
+    let chan_x = |h: u32| col as u64 * pitch_x + block_w + u64::from(h - 1);
+    let ip_y = |cell: usize| cell as u64 * pitch_y + block_h + u64::from(depth);
+    // Leaf connection points: right-centre of each block in the column.
+    let leaf = |row: usize| {
+        Point::new(col as u64 * pitch_x + block_w, row as u64 * pitch_y + block_h / 2)
+    };
+    if n == 1 {
+        return leaf(0);
+    }
+    let mut below: Vec<Point> = (0..n).map(leaf).collect();
+    let mut root = below[0];
+    for h in 1..=depth {
+        let mut level = Vec::with_capacity(below.len() / 2);
+        for k in 0..below.len() / 2 {
+            let at = Point::new(chan_x(h), ip_y(host_cell(h, k)));
+            chip.place(ComponentKind::Internal, Rect::new(at.x, at.y, 1, 1));
+            for child in [below[2 * k], below[2 * k + 1]] {
+                route_l_hv(chip, child, at);
+            }
+            level.push(at);
+        }
+        root = level[0];
+        below = level;
+    }
+    root
+}
+
+/// Routes an L-shaped vertical-then-horizontal connection: the vertical
+/// leg runs on the *source's* x, the horizontal leg on the destination's
+/// track. Used by the row trees, whose per-level horizontal tracks make
+/// the horizontal legs disjoint and whose sources (leaves / dyadically
+/// placed IPs) each own their x.
+fn route_l(chip: &mut Chip, from: Point, to: Point) {
+    let corner = Point::new(from.x, to.y);
+    if from != corner {
+        chip.route(Segment::new(from, corner));
+    }
+    if corner != to {
+        chip.route(Segment::new(corner, to));
+    }
+}
+
+/// Routes an L-shaped horizontal-then-vertical connection: the horizontal
+/// leg runs on the *source's* y, the vertical leg on the destination's
+/// x-track. Used by the column trees — each level's vertical legs then
+/// live on that level's own channel track, so parallel wires of different
+/// levels can never overlap (they only cross at right angles).
+fn route_l_hv(chip: &mut Chip, from: Point, to: Point) {
+    let corner = Point::new(to.x, from.y);
+    if from != corner {
+        chip.route(Segment::new(from, corner));
+    }
+    if corner != to {
+        chip.route(Segment::new(corner, to));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: usize, bw: u64, bh: u64) -> (Chip, GridOfTrees) {
+        let mut chip = Chip::new(format!("grid-{n}"));
+        let g = build_grid_of_trees(&mut chip, n, bw, bh, |chip, _, _, rect| {
+            chip.place(ComponentKind::Base, rect);
+        });
+        (chip, g)
+    }
+
+    #[test]
+    fn host_cells_are_distinct_within_a_tree() {
+        let mut seen = std::collections::HashSet::new();
+        for h in 1..=4u32 {
+            for k in 0..(16usize >> h) {
+                assert!(seen.insert(host_cell(h, k)), "duplicate host cell for ({h},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn processor_counts_match_the_paper() {
+        // An (N×N)-OTN has N² BPs and 2N(N−1) IPs (paper §II.A).
+        for n in [2usize, 4, 8] {
+            let (chip, _) = build(n, 3, 3);
+            assert_eq!(chip.count(ComponentKind::Base), n * n);
+            assert_eq!(chip.count(ComponentKind::Internal), 2 * n * (n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn no_component_overlaps() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let (chip, _) = build(n, 4, 4);
+            assert_eq!(chip.find_component_overlap(), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn no_component_overlaps_with_asymmetric_blocks() {
+        let (chip, _) = build(8, 6, 3);
+        assert_eq!(chip.find_component_overlap(), None);
+    }
+
+    #[test]
+    fn pitch_matches_block_plus_channel() {
+        let (_, g) = build(8, 5, 4);
+        assert_eq!(g.depth, 3);
+        assert_eq!(g.pitch_x, 5 + 3 + 1);
+        assert_eq!(g.pitch_y, 4 + 3 + 1);
+        assert_eq!(g.block(2, 3), Rect::new(3 * 9, 2 * 8, 5, 4));
+    }
+
+    #[test]
+    fn roots_exist_per_row_and_column() {
+        let (_, g) = build(4, 3, 3);
+        assert_eq!(g.row_roots.len(), 4);
+        assert_eq!(g.col_roots.len(), 4);
+        // Row roots lie on the spare vertical track of their row's strip.
+        for (i, r) in g.row_roots.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert_eq!((r.at.x - 3 - 2) % g.pitch_x, 0, "x on a spare track");
+        }
+    }
+
+    #[test]
+    fn single_block_grid_degenerates_gracefully() {
+        let (chip, g) = build(1, 3, 3);
+        assert_eq!(g.depth, 0);
+        assert_eq!(chip.count(ComponentKind::Internal), 0);
+        assert_eq!(chip.count(ComponentKind::Base), 1);
+    }
+
+    #[test]
+    fn longest_wire_is_theta_of_root_span() {
+        // The root IP sits at the dyadic midpoint; each of its two child
+        // wires runs ~n/4 pitches — Θ(N log N) λ, the quantity the paper's
+        // §II.B timing argument rests on.
+        let (chip, g) = build(16, 4, 4);
+        let longest = chip.longest_wire();
+        assert!(longest >= 3 * g.pitch_x, "root span too short: {longest}");
+        assert!(longest <= 5 * g.pitch_x + u64::from(g.depth) + 4);
+    }
+
+    #[test]
+    fn row_tree_wires_stay_inside_their_strip() {
+        // Horizontal tree wires must lie strictly between consecutive block
+        // rows (that is what "embedded in the interrow area" means).
+        let (chip, g) = build(8, 4, 4);
+        for w in chip.wires().iter().filter(|w| w.is_horizontal()) {
+            let off = w.a.y % g.pitch_y;
+            assert!(off >= 4, "horizontal wire crosses a block row: offset {off}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_grid() {
+        let mut chip = Chip::new("bad");
+        let _ = build_grid_of_trees(&mut chip, 6, 2, 2, |_, _, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn rejects_zero_block() {
+        let mut chip = Chip::new("bad");
+        let _ = build_grid_of_trees(&mut chip, 4, 0, 2, |_, _, _, _| {});
+    }
+}

@@ -1,0 +1,314 @@
+//! The discrete-event engine.
+//!
+//! A calendar of bit-arrival events ordered by time (with a deterministic
+//! FIFO tie-break) drives node activations until quiescence. The engine is
+//! deliberately minimal: all semantics live in the node behaviours and the
+//! link pipelining rule.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::link::{Link, LinkId};
+use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_vlsi::{BitTime, DelayModel};
+
+/// One delivered bit, for post-hoc inspection in tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventLog {
+    /// Delivery time.
+    pub at: BitTime,
+    /// Receiving node.
+    pub node: NodeId,
+    /// Receiving port.
+    pub port: PortId,
+    /// The bit delivered.
+    pub bit: Bit,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Pending {
+    at: BitTime,
+    seq: u64,
+    node: NodeId,
+    port: PortId,
+    bit: Bit,
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulation engine: nodes, links, a pending-event calendar.
+pub struct Engine {
+    nodes: Vec<Box<dyn NodeBehavior>>,
+    links: Vec<Link>,
+    /// Outgoing links per (node, port), resolved at build time.
+    routes: Vec<Vec<Vec<LinkId>>>,
+    delay: DelayModel,
+    queue: BinaryHeap<Reverse<Pending>>,
+    seq: u64,
+    now: BitTime,
+    log: Vec<EventLog>,
+    keep_log: bool,
+}
+
+impl Engine {
+    /// Creates an empty engine under the given wire-delay model.
+    pub fn new(delay: DelayModel) -> Self {
+        Engine {
+            nodes: Vec::new(),
+            links: Vec::new(),
+            routes: Vec::new(),
+            delay,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: BitTime::ZERO,
+            log: Vec::new(),
+            keep_log: false,
+        }
+    }
+
+    /// Records every delivered bit in an inspectable log (tests only; the
+    /// log grows with one entry per delivered bit).
+    pub fn with_event_log(mut self) -> Self {
+        self.keep_log = true;
+        self
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, behavior: Box<dyn NodeBehavior>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(behavior);
+        self.routes.push(Vec::new());
+        id
+    }
+
+    /// Adds a unidirectional wire of physical length `length` λ from
+    /// `(from, from_port)` to `(to, to_port)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of range.
+    pub fn connect(
+        &mut self,
+        from: NodeId,
+        from_port: PortId,
+        to: NodeId,
+        to_port: PortId,
+        length: u64,
+    ) -> LinkId {
+        assert!(from.0 < self.nodes.len(), "unknown source node {from:?}");
+        assert!(to.0 < self.nodes.len(), "unknown destination node {to:?}");
+        let id = LinkId(self.links.len());
+        self.links.push(Link::new(from, from_port, to, to_port, length));
+        let ports = &mut self.routes[from.0];
+        if ports.len() <= from_port.0 {
+            ports.resize(from_port.0 + 1, Vec::new());
+        }
+        ports[from_port.0].push(id);
+        id
+    }
+
+    /// Current simulated time (time of the most recent delivery).
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// The delivered-bit log (empty unless [`Engine::with_event_log`]).
+    pub fn log(&self) -> &[EventLog] {
+        &self.log
+    }
+
+    /// Read access to a node's behaviour (for extracting results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &dyn NodeBehavior {
+        self.nodes[id.0].as_ref()
+    }
+
+    fn flush_outbox(&mut self, from: NodeId, ready: BitTime, out: Outbox) {
+        for (port, bit, hold) in out.emissions {
+            let ready = ready + hold;
+            let Some(links) = self.routes[from.0].get(port.0) else {
+                continue; // emission on an unconnected port is dropped
+            };
+            for &lid in links {
+                let arrive = self.links[lid.0].admit(ready, self.delay);
+                self.seq += 1;
+                let link = &self.links[lid.0];
+                self.queue.push(Reverse(Pending {
+                    at: arrive,
+                    seq: self.seq,
+                    node: link.to,
+                    port: link.to_port,
+                    bit,
+                }));
+            }
+        }
+    }
+
+    /// Runs to quiescence: starts every node, then drains the calendar.
+    /// Returns the time of the last delivered bit (zero if nothing moved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `10^9` events fire (runaway feedback loop).
+    pub fn run(&mut self) -> BitTime {
+        for i in 0..self.nodes.len() {
+            let mut out = Outbox::default();
+            self.nodes[i].on_start(&mut out);
+            self.flush_outbox(NodeId(i), BitTime::ZERO, out);
+        }
+        let mut fired = 0u64;
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            fired += 1;
+            assert!(fired < 1_000_000_000, "event storm: runaway simulation");
+            self.now = self.now.max(ev.at);
+            if self.keep_log {
+                self.log.push(EventLog { at: ev.at, node: ev.node, port: ev.port, bit: ev.bit });
+            }
+            let mut out = Outbox::default();
+            self.nodes[ev.node.0].on_bit(ev.at, ev.port, ev.bit, &mut out);
+            self.flush_outbox(ev.node, ev.at, out);
+        }
+        self.now
+    }
+
+    /// Latest completion time reported by any node's
+    /// [`completed_at`](NodeBehavior::completed_at) probe, if any reported.
+    pub fn completion_time(&self) -> Option<BitTime> {
+        self.nodes.iter().filter_map(|n| n.completed_at()).max()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.nodes.len())
+            .field("links", &self.links.len())
+            .field("delay", &self.delay)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Emits a `width`-bit word at start; counts received bits; records the
+    /// arrival time of the last one.
+    struct WordSource {
+        width: u32,
+    }
+    impl NodeBehavior for WordSource {
+        fn on_start(&mut self, out: &mut Outbox) {
+            for i in 0..self.width {
+                out.send(PortId(0), Bit { value: i % 2 == 0, index: i });
+            }
+        }
+        fn on_bit(&mut self, _: BitTime, _: PortId, _: Bit, _: &mut Outbox) {}
+    }
+
+    struct Sink {
+        expected: u32,
+        got: u32,
+        done: Option<BitTime>,
+    }
+    impl NodeBehavior for Sink {
+        fn on_bit(&mut self, now: BitTime, _: PortId, _: Bit, _: &mut Outbox) {
+            self.got += 1;
+            if self.got == self.expected {
+                self.done = Some(now);
+            }
+        }
+        fn completed_at(&self) -> Option<BitTime> {
+            self.done
+        }
+    }
+
+    /// Forwards every received bit to port 0 immediately (streaming IP).
+    struct Repeater;
+    impl NodeBehavior for Repeater {
+        fn on_bit(&mut self, _: BitTime, _: PortId, bit: Bit, out: &mut Outbox) {
+            out.send(PortId(0), bit);
+        }
+    }
+
+    #[test]
+    fn word_over_single_wire_pipelines() {
+        // w bits over a wire with per-bit delay d: last arrival = d + w - 1.
+        let mut e = Engine::new(DelayModel::Logarithmic);
+        let src = e.add_node(Box::new(WordSource { width: 8 }));
+        let dst = e.add_node(Box::new(Sink { expected: 8, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1024); // d = 11
+        let end = e.run();
+        assert_eq!(end.get(), 11 + 7);
+        assert_eq!(e.completion_time().unwrap().get(), 18);
+    }
+
+    #[test]
+    fn streaming_chain_adds_latencies_once() {
+        // Two wires d1, d2 with a streaming repeater between:
+        // last arrival = d1 + d2 + (w-1).
+        let mut e = Engine::new(DelayModel::Logarithmic);
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 16); // d = 5
+        e.connect(mid, PortId(0), dst, PortId(0), 4); // d = 3
+        let end = e.run();
+        assert_eq!(end.get(), 5 + 3 + 3);
+    }
+
+    #[test]
+    fn fanout_duplicates_bits() {
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 2 }));
+        let a = e.add_node(Box::new(Sink { expected: 2, got: 0, done: None }));
+        let b = e.add_node(Box::new(Sink { expected: 2, got: 0, done: None }));
+        e.connect(src, PortId(0), a, PortId(0), 1);
+        e.connect(src, PortId(0), b, PortId(0), 1);
+        e.run();
+        assert_eq!(e.log().len(), 4, "each sink receives both bits");
+    }
+
+    #[test]
+    fn unconnected_port_drops_emission() {
+        let mut e = Engine::new(DelayModel::Constant);
+        let _src = e.add_node(Box::new(WordSource { width: 3 }));
+        let end = e.run();
+        assert_eq!(end, BitTime::ZERO);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_insertion_order() {
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let s1 = e.add_node(Box::new(WordSource { width: 1 }));
+        let s2 = e.add_node(Box::new(WordSource { width: 1 }));
+        let dst = e.add_node(Box::new(Sink { expected: 2, got: 0, done: None }));
+        e.connect(s1, PortId(0), dst, PortId(0), 1);
+        e.connect(s2, PortId(0), dst, PortId(1), 1);
+        e.run();
+        // Both arrive at t=1; source 1's bit was scheduled first.
+        assert_eq!(e.log()[0].port, PortId(0));
+        assert_eq!(e.log()[1].port, PortId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn connect_validates_node_ids() {
+        let mut e = Engine::new(DelayModel::Constant);
+        let a = e.add_node(Box::new(Repeater));
+        e.connect(a, PortId(0), NodeId(7), PortId(0), 1);
+    }
+}

@@ -1,0 +1,705 @@
+//! Bit-level models of the OTN tree primitives, used to cross-validate the
+//! closed-form costs in [`orthotrees_vlsi::CostModel`].
+//!
+//! Each experiment builds one complete binary tree whose level-`h` wires are
+//! `pitch · 2^(h−1)` λ long — exactly the strip embedding the layout crate
+//! constructs — populates it with bit-level node behaviours (streaming
+//! repeaters, bit-serial full adders LSB-first, bit-serial comparators
+//! MSB-first), runs the event engine, and reports the completion time:
+//!
+//! * [`broadcast_completion_time`] — `ROOTTOLEAF` (§II.B primitive 1);
+//! * [`send_completion_time`] — `LEAFTOROOT` (primitive 2);
+//! * [`sum_completion_time`] — `SUM-LEAFTOROOT` (primitive 4), also
+//!   returning the computed sum for functional verification;
+//! * [`min_completion_time`] — `MIN-LEAFTOROOT`, MSB-first per §VII.D
+//!   ("in the MIN-LEAFTOROOT operation, the most significant bits should
+//!   arrive first").
+
+use crate::engine::Engine;
+use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_vlsi::{log2_ceil, BitTime, CostModel};
+
+/// Port conventions inside the tree experiments.
+const TO_PARENT: PortId = PortId(0);
+const TO_LEFT: PortId = PortId(1);
+const TO_RIGHT: PortId = PortId(2);
+const FROM_PARENT: PortId = PortId(0);
+const FROM_LEFT: PortId = PortId(1);
+const FROM_RIGHT: PortId = PortId(2);
+
+/// Emits an entire word on start (the tree root as a broadcast source).
+struct WordSource {
+    word: u64,
+    width: u32,
+    lsb_first: bool,
+    port: PortId,
+}
+
+impl WordSource {
+    fn bit_at(&self, i: u32) -> bool {
+        let pos = if self.lsb_first { i } else { self.width - 1 - i };
+        (self.word >> pos) & 1 == 1
+    }
+}
+
+impl NodeBehavior for WordSource {
+    fn on_start(&mut self, out: &mut Outbox) {
+        for i in 0..self.width {
+            out.send(self.port, Bit { value: self.bit_at(i), index: i });
+        }
+    }
+    fn on_bit(&mut self, _: BitTime, _: PortId, _: Bit, _: &mut Outbox) {}
+}
+
+/// Streams every bit from the parent down to both children (broadcast IP).
+struct DownRepeater;
+impl NodeBehavior for DownRepeater {
+    fn on_bit(&mut self, _: BitTime, _: PortId, bit: Bit, out: &mut Outbox) {
+        out.send(TO_LEFT, bit);
+        out.send(TO_RIGHT, bit);
+    }
+}
+
+/// Streams every bit from whichever child sent it up to the parent
+/// (LEAFTOROOT IP: only one leaf is selected, so no collision occurs).
+struct UpRepeater;
+impl NodeBehavior for UpRepeater {
+    fn on_bit(&mut self, _: BitTime, _: PortId, bit: Bit, out: &mut Outbox) {
+        out.send(TO_PARENT, bit);
+    }
+}
+
+/// Assembles a word from arriving bits and records when it is complete.
+struct WordSink {
+    width: u32,
+    lsb_first: bool,
+    got: u32,
+    word: u64,
+    done: Option<BitTime>,
+}
+
+impl WordSink {
+    fn new(width: u32, lsb_first: bool) -> Self {
+        WordSink { width, lsb_first, got: 0, word: 0, done: None }
+    }
+}
+
+impl NodeBehavior for WordSink {
+    fn on_bit(&mut self, now: BitTime, _: PortId, bit: Bit, _: &mut Outbox) {
+        if bit.value {
+            let pos = if self.lsb_first { bit.index } else { self.width - 1 - bit.index };
+            if pos < 63 {
+                // Multi-word stream sinks only count arrivals; positions
+                // beyond the host word are not assembled.
+                self.word |= 1 << pos;
+            }
+        }
+        self.got += 1;
+        if self.got == self.width {
+            self.done = Some(now);
+        }
+    }
+    fn completed_at(&self) -> Option<BitTime> {
+        self.done
+    }
+    fn result(&self) -> Option<u64> {
+        Some(self.word)
+    }
+}
+
+/// Bit-serial full adder (SUM IP): when bit `i` has arrived from both
+/// children, emits `(l + r + carry) mod 2` to the parent after one gate
+/// delay. Operands arrive LSB-first, zero-padded to the widened width.
+struct SerialAdder {
+    left: Vec<Option<bool>>,
+    right: Vec<Option<bool>>,
+    carry: bool,
+    next: u32,
+}
+
+impl SerialAdder {
+    fn new(width: u32) -> Self {
+        SerialAdder {
+            left: vec![None; width as usize],
+            right: vec![None; width as usize],
+            carry: false,
+            next: 0,
+        }
+    }
+}
+
+impl NodeBehavior for SerialAdder {
+    fn on_bit(&mut self, _: BitTime, port: PortId, bit: Bit, out: &mut Outbox) {
+        let slot = bit.index as usize;
+        match port {
+            FROM_LEFT => self.left[slot] = Some(bit.value),
+            FROM_RIGHT => self.right[slot] = Some(bit.value),
+            other => panic!("adder received bit on unexpected port {other:?}"),
+        }
+        // Bits arrive in index order on each side; emit in order as pairs
+        // complete.
+        while (self.next as usize) < self.left.len() {
+            let (Some(l), Some(r)) =
+                (self.left[self.next as usize], self.right[self.next as usize])
+            else {
+                break;
+            };
+            let total = u8::from(l) + u8::from(r) + u8::from(self.carry);
+            self.carry = total >= 2;
+            out.send_after(
+                TO_PARENT,
+                Bit { value: total & 1 == 1, index: self.next },
+                BitTime::new(1),
+            );
+            self.next += 1;
+        }
+    }
+}
+
+/// Bit-serial minimum (MIN IP): operands arrive MSB-first; while the two
+/// streams agree the common bit is forwarded; at the first disagreement the
+/// side that sent `0` wins and is forwarded exclusively from then on.
+struct SerialMin {
+    left: Vec<Option<bool>>,
+    right: Vec<Option<bool>>,
+    winner: Option<PortId>,
+    next: u32,
+}
+
+impl SerialMin {
+    fn new(width: u32) -> Self {
+        SerialMin { left: vec![None; width as usize], right: vec![None; width as usize], winner: None, next: 0 }
+    }
+}
+
+impl NodeBehavior for SerialMin {
+    fn on_bit(&mut self, _: BitTime, port: PortId, bit: Bit, out: &mut Outbox) {
+        let slot = bit.index as usize;
+        match port {
+            FROM_LEFT => self.left[slot] = Some(bit.value),
+            FROM_RIGHT => self.right[slot] = Some(bit.value),
+            other => panic!("min received bit on unexpected port {other:?}"),
+        }
+        while (self.next as usize) < self.left.len() {
+            let (Some(l), Some(r)) =
+                (self.left[self.next as usize], self.right[self.next as usize])
+            else {
+                break;
+            };
+            let value = match self.winner {
+                Some(FROM_LEFT) => l,
+                Some(FROM_RIGHT) => r,
+                _ => {
+                    if l != r {
+                        self.winner = Some(if !l { FROM_LEFT } else { FROM_RIGHT });
+                    }
+                    l & r // equal bits: either; diverging: the 0 (= min)
+                }
+            };
+            out.send_after(TO_PARENT, Bit { value, index: self.next }, BitTime::new(1));
+            self.next += 1;
+        }
+    }
+}
+
+/// Description of a built tree: node ids per level, `levels\[0\]` = leaves.
+struct TreeIds {
+    levels: Vec<Vec<NodeId>>,
+}
+
+/// Builds a complete binary tree over `leaves` leaf nodes with wires of
+/// length `pitch · 2^(h−1)` at level `h`, wired in `direction`.
+///
+/// `make_leaf(i)` and `make_inner(level)` supply behaviours; the root is an
+/// inner node of the top level (or the single leaf if `leaves == 1`).
+fn build_tree(
+    engine: &mut Engine,
+    leaves: usize,
+    pitch: u64,
+    downward: bool,
+    make_leaf: &mut dyn FnMut(usize) -> Box<dyn NodeBehavior>,
+    make_inner: &mut dyn FnMut(u32) -> Box<dyn NodeBehavior>,
+) -> TreeIds {
+    assert!(leaves.is_power_of_two(), "leaf count must be a power of two");
+    let depth = log2_ceil(leaves as u64);
+    let mut levels = Vec::with_capacity(depth as usize + 1);
+    levels.push((0..leaves).map(|i| engine.add_node(make_leaf(i))).collect::<Vec<_>>());
+    for h in 1..=depth {
+        let below: Vec<NodeId> = levels[(h - 1) as usize].clone();
+        let count = below.len() / 2;
+        let mut this = Vec::with_capacity(count);
+        let wire = pitch << (h - 1);
+        for j in 0..count {
+            let node = engine.add_node(make_inner(h));
+            let (l, r) = (below[2 * j], below[2 * j + 1]);
+            if downward {
+                engine.connect(node, TO_LEFT, l, FROM_PARENT, wire);
+                engine.connect(node, TO_RIGHT, r, FROM_PARENT, wire);
+            } else {
+                engine.connect(l, TO_PARENT, node, FROM_LEFT, wire);
+                engine.connect(r, TO_PARENT, node, FROM_RIGHT, wire);
+            }
+            this.push(node);
+        }
+        levels.push(this);
+    }
+    TreeIds { levels }
+}
+
+/// Simulates `ROOTTOLEAF` of one `m.word_bits`-bit word over a tree of
+/// `leaves` leaves at the model's pitch; returns the time the last leaf
+/// holds the complete word.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> BitTime {
+    let w = m.word_bits.max(1);
+    let mut e = Engine::new(m.delay);
+    let ids = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        true,
+        &mut |_| Box::new(WordSink::new(w, true)),
+        &mut |_| Box::new(DownRepeater),
+    );
+    // Replace the root's behaviour by a source: easiest is to add a source
+    // node feeding the root's children directly when depth >= 1; for a
+    // 1-leaf tree the "broadcast" is free.
+    if leaves == 1 {
+        return BitTime::ZERO;
+    }
+    // The generic builder made the root a DownRepeater with no parent; feed
+    // it through a zero-length wire from a dedicated source node.
+    let root = *ids.levels.last().unwrap().first().unwrap();
+    let src = e.add_node(Box::new(WordSource { word: 0b1011, width: w, lsb_first: true, port: TO_PARENT }));
+    e.connect(src, TO_PARENT, root, FROM_PARENT, 0);
+    // A zero-length wire still costs one τ (receiving latch); subtract it so
+    // the measurement covers exactly the root-to-leaf path.
+    let injected = m.delay.wire_bit_delay(0);
+    e.run();
+    e.completion_time().expect("all leaves complete") - injected
+}
+
+/// Simulates `LEAFTOROOT` from leaf `source_leaf`; returns the time the root
+/// holds the complete word, and the word (for functional verification).
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two or `source_leaf` out of range.
+pub fn send_completion_time(leaves: usize, source_leaf: usize, m: &CostModel) -> (BitTime, u64) {
+    assert!(source_leaf < leaves, "source leaf out of range");
+    let w = m.word_bits.max(1);
+    let word = 0b1101u64 & ((1 << w) - 1).max(1);
+    if leaves == 1 {
+        return (BitTime::ZERO, word);
+    }
+    let mut e = Engine::new(m.delay);
+    let ids = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        false,
+        &mut |i| {
+            if i == source_leaf {
+                Box::new(WordSource { word, width: w, lsb_first: true, port: TO_PARENT })
+            } else {
+                Box::new(IdleLeaf)
+            }
+        },
+        &mut |_| Box::new(UpRepeater),
+    );
+    // Attach a sink above the root through a zero-length wire.
+    let root = *ids.levels.last().unwrap().first().unwrap();
+    let sink = e.add_node(Box::new(WordSink::new(w, true)));
+    e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+    let injected = m.delay.wire_bit_delay(0);
+    e.run();
+    let t = e.completion_time().expect("root sink completes") - injected;
+    let v = e.node(sink).result().expect("sink assembled a word");
+    (t, v)
+}
+
+struct IdleLeaf;
+impl NodeBehavior for IdleLeaf {
+    fn on_bit(&mut self, _: BitTime, _: PortId, _: Bit, _: &mut Outbox) {}
+}
+
+/// Simulates `SUM-LEAFTOROOT` of `values` (one per leaf, LSB-first,
+/// zero-padded to the widened width `w + log₂ leaves`); returns the
+/// completion time at the root and the computed sum.
+///
+/// # Panics
+///
+/// Panics if `values.len()` is not a power of two ≥ 2, or any value needs
+/// more than `m.word_bits` bits.
+pub fn sum_completion_time(values: &[u64], m: &CostModel) -> (BitTime, u64) {
+    run_aggregate(values, m, true)
+}
+
+/// Simulates `MIN-LEAFTOROOT` (MSB-first); returns completion time and the
+/// computed minimum. The transmitted width is the plain word width `w` (no
+/// widening — minima do not grow).
+///
+/// # Panics
+///
+/// Same conditions as [`sum_completion_time`].
+pub fn min_completion_time(values: &[u64], m: &CostModel) -> (BitTime, u64) {
+    run_aggregate(values, m, false)
+}
+
+fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (BitTime, u64) {
+    let leaves = values.len();
+    assert!(leaves >= 2 && leaves.is_power_of_two(), "need a power-of-two leaf count >= 2");
+    let w = m.word_bits.max(1);
+    for &v in values {
+        assert!(v < (1u64 << w), "value {v} exceeds word width {w}");
+    }
+    let width = if sum { w + log2_ceil(leaves as u64) } else { w };
+    let mut e = Engine::new(m.delay);
+    let ids = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        false,
+        &mut |i| {
+            Box::new(WordSource { word: values[i], width, lsb_first: sum, port: TO_PARENT })
+                as Box<dyn NodeBehavior>
+        },
+        &mut |_| {
+            if sum {
+                Box::new(SerialAdder::new(width)) as Box<dyn NodeBehavior>
+            } else {
+                Box::new(SerialMin::new(width))
+            }
+        },
+    );
+    let root = *ids.levels.last().unwrap().first().unwrap();
+    let sink = e.add_node(Box::new(WordSink::new(width, sum)));
+    e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+    let injected = m.delay.wire_bit_delay(0);
+    e.run();
+    let t = e.completion_time().expect("aggregate completes") - injected;
+    let v = e.node(sink).result().expect("sink assembled a word");
+    (t, v)
+}
+
+/// Simulates a full `LEAFTOLEAF` composite at bit level: one word travels
+/// from `source_leaf` up to the root, which buffers it and sends it back
+/// down to every leaf (the paper's primary store-and-forward description;
+/// §II.B). Returns the time the last leaf holds the complete word, which
+/// must equal [`CostModel::tree_leaf_to_leaf`].
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two ≥ 2 or `source_leaf` is out of
+/// range.
+pub fn leaf_to_leaf_completion_time(leaves: usize, source_leaf: usize, m: &CostModel) -> BitTime {
+    assert!(leaves.is_power_of_two() && leaves >= 2, "need a power-of-two tree >= 2");
+    assert!(source_leaf < leaves, "source leaf out of range");
+    let w = m.word_bits.max(1);
+    let word = 0b1010_0110u64 & ((1 << w) - 1);
+    let mut e = Engine::new(m.delay);
+    // Upward tree: leaves send to the root.
+    let up = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        false,
+        &mut |i| {
+            if i == source_leaf {
+                Box::new(WordSource { word, width: w, lsb_first: true, port: TO_PARENT })
+                    as Box<dyn NodeBehavior>
+            } else {
+                Box::new(IdleLeaf)
+            }
+        },
+        &mut |_| Box::new(UpRepeater),
+    );
+    // Downward tree: the root streams back to sink leaves.
+    let down = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        true,
+        &mut |_| Box::new(WordSink::new(w, true)) as Box<dyn NodeBehavior>,
+        &mut |_| Box::new(DownRepeater),
+    );
+    // Glue: the up-root forwards straight into the down-root (zero-length
+    // wire; its 1τ latch is subtracted like the injection latch elsewhere).
+    let up_root = *up.levels.last().unwrap().first().unwrap();
+    let turn = e.add_node(Box::new(TurnAround { expected: w, buffered: Vec::new() }));
+    let down_root = *down.levels.last().unwrap().first().unwrap();
+    e.connect(up_root, TO_PARENT, turn, FROM_LEFT, 0);
+    e.connect(turn, TO_PARENT, down_root, FROM_PARENT, 0);
+    let injected = m.delay.wire_bit_delay(0) + m.delay.wire_bit_delay(0);
+    e.run();
+    e.completion_time().expect("all leaves complete") - injected
+}
+
+/// The root of a `LEAFTOLEAF`: buffers the entire word, then re-emits it
+/// into the down-tree — the paper's primary implementation ("when the
+/// entire word is available in the root it is transferred to the
+/// destination leaves"; the streaming O(1)-storage variant would overlap
+/// the two traversals' word tails, and §II.B notes both are Θ(log² N)).
+struct TurnAround {
+    expected: u32,
+    buffered: Vec<Bit>,
+}
+impl NodeBehavior for TurnAround {
+    fn on_bit(&mut self, _: BitTime, _: PortId, bit: Bit, out: &mut Outbox) {
+        self.buffered.push(bit);
+        if self.buffered.len() == self.expected as usize {
+            for b in self.buffered.drain(..) {
+                out.send(TO_PARENT, b);
+            }
+        }
+    }
+}
+
+/// Simulates `stream_count` whole words converging from distinct leaves to
+/// the root of a `leaves`-leaf tree (the §IV `COMPEX` traffic pattern: the
+/// `d` words of one subtree all cross the subtree root). Bits from
+/// different words contend for the shared upper links, where the link
+/// occupancy rule serialises them one bit per τ. Returns the time the root
+/// has received all `stream_count · w` bits.
+///
+/// The closed-form charge for this pattern
+/// ([`CostModel::tree_root_to_leaf`] plus `(d−1)` pipeline intervals — see
+/// `Otn::pairwise_cost`) is validated against this measurement in the
+/// cross-crate tests with a documented tolerance: the event simulator
+/// interleaves the contending words bit by bit, which overlaps their
+/// serialisation slightly differently from the word-granular model.
+///
+/// # Panics
+///
+/// Panics unless `leaves` is a power of two and
+/// `1 ≤ stream_count ≤ leaves`.
+pub fn stream_completion_time(leaves: usize, stream_count: usize, m: &CostModel) -> BitTime {
+    assert!(leaves.is_power_of_two() && leaves >= 2, "need a power-of-two tree");
+    assert!(
+        (1..=leaves).contains(&stream_count),
+        "stream count {stream_count} out of 1..={leaves}"
+    );
+    let w = m.word_bits.max(1);
+    let mut e = Engine::new(m.delay);
+    let ids = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        false,
+        &mut |i| {
+            if i < stream_count {
+                Box::new(WordSource {
+                    word: (i as u64) & ((1 << w) - 1),
+                    width: w,
+                    lsb_first: true,
+                    port: TO_PARENT,
+                }) as Box<dyn NodeBehavior>
+            } else {
+                Box::new(IdleLeaf)
+            }
+        },
+        &mut |_| Box::new(UpRepeater),
+    );
+    let root = *ids.levels.last().unwrap().first().unwrap();
+    let sink = e.add_node(Box::new(WordSink::new(w * stream_count as u32, true)));
+    e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+    let injected = m.delay.wire_bit_delay(0);
+    e.run();
+    e.completion_time().expect("all bits arrive") - injected
+}
+
+/// The closed-form completion time the MIN experiment should match:
+/// one-bit path latency + one gate delay per level + `w − 1` pipelined bits.
+///
+/// (The [`CostModel::tree_aggregate`] charge uses the *widened* word for all
+/// aggregates as a documented upper bound; MIN's exact time is this tighter
+/// form.)
+pub fn expected_min_time(leaves: usize, m: &CostModel) -> BitTime {
+    let depth = u64::from(log2_ceil(leaves as u64));
+    m.tree_bit_latency(leaves, m.leaf_pitch())
+        + BitTime::new(depth)
+        + BitTime::new(u64::from(m.word_bits.max(1)) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models(n: usize) -> Vec<CostModel> {
+        vec![CostModel::thompson(n), CostModel::constant_delay(n), CostModel::linear_delay(n)]
+    }
+
+    #[test]
+    fn broadcast_matches_analytic_cost_for_every_model() {
+        for k in 1..=6u32 {
+            let n = 1usize << k;
+            for m in models(n.max(4)) {
+                let simulated = broadcast_completion_time(n, &m);
+                let analytic = m.tree_root_to_leaf(n, m.leaf_pitch());
+                assert_eq!(simulated, analytic, "n={n} model={}", m.delay);
+            }
+        }
+    }
+
+    #[test]
+    fn send_matches_analytic_cost_and_delivers_word() {
+        for n in [2usize, 4, 16, 64] {
+            for m in models(n.max(4)) {
+                for leaf in [0, n - 1, n / 2] {
+                    let (t, v) = send_completion_time(n, leaf, &m);
+                    assert_eq!(t, m.tree_root_to_leaf(n, m.leaf_pitch()), "n={n}");
+                    assert_eq!(v, 0b1101 & ((1 << m.word_bits) - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sum_matches_analytic_cost_and_computes_sum() {
+        for k in 1..=5u32 {
+            let n = 1usize << k;
+            let m = CostModel::thompson(n.max(4));
+            let values: Vec<u64> = (0..n as u64).map(|i| i % (1 << m.word_bits)).collect();
+            let (t, v) = sum_completion_time(&values, &m);
+            assert_eq!(v, values.iter().sum::<u64>(), "n={n}");
+            assert_eq!(t, m.tree_aggregate(n, m.leaf_pitch()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn sum_works_under_constant_and_linear_models() {
+        let values = [3u64, 1, 7, 7];
+        for m in models(16) {
+            let (t, v) = sum_completion_time(&values, &m);
+            assert_eq!(v, 18);
+            assert_eq!(t, m.tree_aggregate(4, m.leaf_pitch()), "model={}", m.delay);
+        }
+    }
+
+    #[test]
+    fn min_matches_tight_closed_form_and_computes_min() {
+        for k in 1..=5u32 {
+            let n = 1usize << k;
+            let m = CostModel::thompson(n.max(4));
+            let values: Vec<u64> =
+                (0..n as u64).map(|i| (i * 7 + 3) % (1 << m.word_bits)).collect();
+            let (t, v) = min_completion_time(&values, &m);
+            assert_eq!(v, *values.iter().min().unwrap(), "n={n}");
+            assert_eq!(t, expected_min_time(n, &m), "n={n}");
+            assert!(t <= m.tree_aggregate(n, m.leaf_pitch()), "charged cost is an upper bound");
+        }
+    }
+
+    #[test]
+    fn min_handles_equal_values() {
+        let m = CostModel::thompson(16);
+        let (_, v) = min_completion_time(&[5, 5, 5, 5], &m);
+        assert_eq!(v, 5);
+    }
+
+    #[test]
+    fn min_distinguishes_adjacent_values() {
+        let m = CostModel::thompson(16);
+        let (_, v) = min_completion_time(&[8, 9, 10, 9], &m);
+        assert_eq!(v, 8);
+    }
+
+    #[test]
+    fn broadcast_constant_model_is_theta_log() {
+        let n = 64;
+        let m = CostModel::constant_delay(n);
+        let t = broadcast_completion_time(n, &m).get();
+        assert_eq!(t, 6 + u64::from(m.word_bits) - 1);
+    }
+
+    #[test]
+    fn one_and_two_leaf_edge_cases() {
+        let m = CostModel::thompson(4);
+        assert_eq!(broadcast_completion_time(1, &m), BitTime::ZERO);
+        let (t, _) = send_completion_time(1, 0, &m);
+        assert_eq!(t, BitTime::ZERO);
+        let (t2, v2) = sum_completion_time(&[1, 2], &m);
+        assert_eq!(v2, 3);
+        assert!(t2.get() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn aggregate_rejects_non_power_of_two() {
+        let m = CostModel::thompson(8);
+        let _ = sum_completion_time(&[1, 2, 3], &m);
+    }
+
+    #[test]
+    fn leaf_to_leaf_matches_the_composite_cost() {
+        for n in [2usize, 8, 32] {
+            for m in models(n.max(4)) {
+                for leaf in [0, n - 1] {
+                    let t = leaf_to_leaf_completion_time(n, leaf, &m);
+                    assert_eq!(
+                        t,
+                        m.tree_leaf_to_leaf(n, m.leaf_pitch()),
+                        "n={n} leaf={leaf} model={}",
+                        m.delay
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_word_stream_equals_the_send_primitive() {
+        for n in [4usize, 16, 64] {
+            let m = CostModel::thompson(n);
+            assert_eq!(
+                stream_completion_time(n, 1, &m),
+                m.tree_root_to_leaf(n, m.leaf_pitch()),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn streams_serialise_one_word_interval_per_extra_word() {
+        // d contending words: the root link admits one bit per τ, so each
+        // extra word adds exactly w bit-times behind the first.
+        for n in [8usize, 32] {
+            let m = CostModel::thompson(n);
+            let one = stream_completion_time(n, 1, &m);
+            for d in [2usize, 4, n / 2] {
+                let t = stream_completion_time(n, d, &m);
+                let extra = (t - one).get();
+                let expect = (d as u64 - 1) * u64::from(m.word_bits);
+                // Bit-level interleaving may finish a little earlier than
+                // word-granular accounting, never later than +w.
+                assert!(
+                    extra <= expect + u64::from(m.word_bits) && extra + expect / 2 >= expect / 2,
+                    "n={n} d={d}: extra {extra} vs modeled {expect}"
+                );
+                assert!(extra >= expect / 2, "n={n} d={d}: extra {extra} vs modeled {expect}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn stream_rejects_too_many_sources() {
+        let m = CostModel::thompson(8);
+        let _ = stream_completion_time(8, 9, &m);
+    }
+
+    #[test]
+    fn scaled_model_broadcast_is_strictly_faster_at_scale() {
+        // Scaling is an analytic switch (the event sim models unscaled
+        // drivers); verify the analytic claim it encodes instead: Θ(log n)
+        // vs the simulated Θ(log² n).
+        let n = 1 << 10;
+        let m = CostModel::thompson(n);
+        let unscaled = broadcast_completion_time(n, &m);
+        let scaled = m.with_scaling().tree_root_to_leaf(n, m.leaf_pitch());
+        assert!(scaled < unscaled);
+    }
+}

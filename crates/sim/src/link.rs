@@ -1,0 +1,98 @@
+//! Links: wires with length, delay and single-bit-per-τ pipelining.
+//!
+//! A link models one unidirectional wire of the layout. Its per-bit latency
+//! comes from the active [`DelayModel`](orthotrees_vlsi::DelayModel) applied
+//! to its physical `length`; its *occupancy* models Thompson's pipelining
+//! rule: the wire accepts at most one bit per bit-time, so a `w`-bit word
+//! enters over `w` consecutive τ and the last bit arrives `w − 1` after the
+//! first.
+
+use crate::node::{NodeId, PortId};
+use orthotrees_vlsi::{BitTime, DelayModel};
+
+/// Identifies a link within an [`Engine`](crate::Engine).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// A unidirectional wire from a node's output port to another node's input
+/// port.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// Source node.
+    pub from: NodeId,
+    /// Source port (on `from`).
+    pub from_port: PortId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Destination port (on `to`).
+    pub to_port: PortId,
+    /// Physical wire length in λ.
+    pub length: u64,
+    /// Earliest time the wire entrance is free again (pipelining state).
+    pub(crate) free_at: BitTime,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(from: NodeId, from_port: PortId, to: NodeId, to_port: PortId, length: u64) -> Self {
+        Link { from, from_port, to, to_port, length, free_at: BitTime::ZERO }
+    }
+
+    /// Per-bit traversal latency under `model`.
+    pub fn bit_delay(&self, model: DelayModel) -> BitTime {
+        model.wire_bit_delay(self.length)
+    }
+
+    /// Admits one bit presented at `ready`: returns its arrival time at the
+    /// far end and updates the pipelining state. If the entrance is still
+    /// occupied by the previous bit, the new bit waits.
+    pub(crate) fn admit(&mut self, ready: BitTime, model: DelayModel) -> BitTime {
+        let enter = ready.max(self.free_at);
+        self.free_at = enter + BitTime::new(1);
+        enter + self.bit_delay(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(length: u64) -> Link {
+        Link::new(NodeId(0), PortId(0), NodeId(1), PortId(0), length)
+    }
+
+    #[test]
+    fn bits_pipeline_one_per_tau() {
+        let mut l = link(1024); // log delay = 11
+        let m = DelayModel::Logarithmic;
+        let a0 = l.admit(BitTime::ZERO, m);
+        let a1 = l.admit(BitTime::ZERO, m); // presented simultaneously: queues
+        let a2 = l.admit(BitTime::ZERO, m);
+        assert_eq!(a0.get(), 11);
+        assert_eq!(a1.get(), 12);
+        assert_eq!(a2.get(), 13);
+    }
+
+    #[test]
+    fn idle_wire_admits_immediately() {
+        let mut l = link(4);
+        let m = DelayModel::Logarithmic;
+        let a = l.admit(BitTime::new(100), m);
+        assert_eq!(a.get(), 100 + 3);
+        // Much later bit sees a free wire again.
+        let b = l.admit(BitTime::new(200), m);
+        assert_eq!(b.get(), 203);
+    }
+
+    #[test]
+    fn constant_model_hides_length() {
+        let mut l = link(1 << 20);
+        assert_eq!(l.admit(BitTime::ZERO, DelayModel::Constant).get(), 1);
+    }
+
+    #[test]
+    fn linear_model_charges_length() {
+        let mut l = link(64);
+        assert_eq!(l.admit(BitTime::ZERO, DelayModel::Linear).get(), 64);
+    }
+}

@@ -1,0 +1,118 @@
+//! The simulated clock every network structure owns.
+//!
+//! Algorithms in this workspace are written purely in terms of communication
+//! and processing primitives; each primitive advances the owning network's
+//! [`Clock`] by its model-priced cost and bumps the matching [`OpStats`]
+//! counter. The clock therefore measures exactly the quantity the paper's
+//! "time" columns bound.
+
+use crate::{BitTime, OpStats};
+
+/// A monotone simulated clock with operation statistics.
+///
+/// # Example
+///
+/// ```
+/// use orthotrees_vlsi::{BitTime, Clock};
+/// let mut clock = Clock::new();
+/// clock.advance(BitTime::new(10));
+/// clock.advance(BitTime::new(5));
+/// assert_eq!(clock.now().get(), 15);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    now: BitTime,
+    stats: OpStats,
+}
+
+impl Clock {
+    /// A clock at time zero with empty statistics.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// Advances the clock by `dt` (a phase in which every active processor
+    /// works in parallel charges its cost exactly once).
+    pub fn advance(&mut self, dt: BitTime) {
+        self.now += dt;
+    }
+
+    /// Advances the clock to `t` if `t` is later (parallel join: the phase
+    /// ends when its slowest branch does).
+    pub fn advance_to(&mut self, t: BitTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Operation statistics accumulated so far.
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// Mutable access for primitives recording their execution.
+    pub fn stats_mut(&mut self) -> &mut OpStats {
+        &mut self.stats
+    }
+
+    /// Resets time and statistics to zero (reuse a network across runs).
+    pub fn reset(&mut self) {
+        *self = Clock::default();
+    }
+
+    /// Elapsed time of a closure: runs `f`, returns `(result, now - before)`.
+    pub fn elapsed<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> (R, BitTime) {
+        let before = self.now;
+        let r = f(self);
+        (r, self.now - before)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_accumulates() {
+        let mut c = Clock::new();
+        c.advance(BitTime::new(3));
+        c.advance(BitTime::new(4));
+        assert_eq!(c.now().get(), 7);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let mut c = Clock::new();
+        c.advance(BitTime::new(10));
+        c.advance_to(BitTime::new(5)); // earlier: no-op
+        assert_eq!(c.now().get(), 10);
+        c.advance_to(BitTime::new(25));
+        assert_eq!(c.now().get(), 25);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Clock::new();
+        c.advance(BitTime::new(9));
+        c.stats_mut().broadcasts += 2;
+        c.reset();
+        assert_eq!(c.now(), BitTime::ZERO);
+        assert_eq!(c.stats().broadcasts, 0);
+    }
+
+    #[test]
+    fn elapsed_measures_only_the_closure() {
+        let mut c = Clock::new();
+        c.advance(BitTime::new(100));
+        let (val, dt) = c.elapsed(|c| {
+            c.advance(BitTime::new(7));
+            42
+        });
+        assert_eq!(val, 42);
+        assert_eq!(dt.get(), 7);
+        assert_eq!(c.now().get(), 107);
+    }
+}

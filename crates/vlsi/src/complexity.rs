@@ -1,0 +1,243 @@
+//! A tiny closed-form complexity algebra for terms of the shape
+//! `c · N^a · (log₂ N)^b`.
+//!
+//! Every cell of the paper's Tables I–IV is such a term (with `a` possibly
+//! fractional — the mesh sorts in `Θ(N^(1/2))` — and `b` possibly negative —
+//! the PSN/CCC occupy `Θ(N²/log² N)` area). [`Complexity`] lets the analysis
+//! crate *evaluate* the paper's entries at concrete `N`, *compose* them
+//! (`AT² = A·T²`), *order* them asymptotically, and *find crossovers*
+//! numerically, so the reproduced tables can print paper-predicted and
+//! measured values side by side.
+
+use std::fmt;
+
+/// A term `coeff · N^n_exp · (log₂ N)^log_exp`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Complexity {
+    /// Leading constant (1.0 for a bare Θ-form).
+    pub coeff: f64,
+    /// Exponent of `N` (fractional exponents allowed, e.g. `0.5`).
+    pub n_exp: f64,
+    /// Exponent of `log₂ N` (negative means division by a log power).
+    pub log_exp: i32,
+}
+
+impl Complexity {
+    /// The constant term `1`.
+    pub const ONE: Complexity = Complexity { coeff: 1.0, n_exp: 0.0, log_exp: 0 };
+
+    /// `N^a · log^b N` with unit coefficient.
+    pub const fn new(n_exp: f64, log_exp: i32) -> Self {
+        Complexity { coeff: 1.0, n_exp, log_exp }
+    }
+
+    /// `N^a` with unit coefficient.
+    pub const fn poly(n_exp: f64) -> Self {
+        Complexity::new(n_exp, 0)
+    }
+
+    /// `log^b N` with unit coefficient.
+    pub const fn polylog(log_exp: i32) -> Self {
+        Complexity::new(0.0, log_exp)
+    }
+
+    /// Returns this term scaled by `c`.
+    #[must_use]
+    pub fn with_coeff(self, c: f64) -> Self {
+        Complexity { coeff: c, ..self }
+    }
+
+    /// Evaluates the term at a concrete problem size `n ≥ 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (the log factors would vanish or blow up).
+    pub fn eval(&self, n: u64) -> f64 {
+        assert!(n >= 2, "Complexity::eval needs n >= 2, got {n}");
+        let nf = n as f64;
+        let l = nf.log2();
+        self.coeff * nf.powf(self.n_exp) * l.powi(self.log_exp)
+    }
+
+    /// Product of two terms (exponents add, coefficients multiply).
+    #[must_use]
+    pub fn mul(&self, other: &Complexity) -> Complexity {
+        Complexity {
+            coeff: self.coeff * other.coeff,
+            n_exp: self.n_exp + other.n_exp,
+            log_exp: self.log_exp + other.log_exp,
+        }
+    }
+
+    /// `self²` — convenience for AT² composition.
+    #[must_use]
+    pub fn squared(&self) -> Complexity {
+        self.mul(self)
+    }
+
+    /// The figure of merit `A · T²` from an area term and a time term.
+    pub fn at2(area: &Complexity, time: &Complexity) -> Complexity {
+        area.mul(&time.squared())
+    }
+
+    /// Asymptotic comparison as `N → ∞` (ignores coefficients):
+    /// compares `(n_exp, log_exp)` lexicographically.
+    pub fn asymptotic_cmp(&self, other: &Complexity) -> std::cmp::Ordering {
+        self.n_exp
+            .partial_cmp(&other.n_exp)
+            .expect("n_exp is never NaN")
+            .then(self.log_exp.cmp(&other.log_exp))
+    }
+
+    /// Returns `true` if `self` grows strictly slower than `other`.
+    pub fn dominates(&self, other: &Complexity) -> bool {
+        self.asymptotic_cmp(other) == std::cmp::Ordering::Less
+    }
+
+    /// Smallest power-of-two `N` in `[4, limit]` at which `self.eval(N) <
+    /// other.eval(N)`, if any: the *crossover point* where the asymptotically
+    /// better term actually wins.
+    pub fn crossover_below(&self, other: &Complexity, limit: u64) -> Option<u64> {
+        let mut n = 4u64;
+        while n <= limit {
+            if self.eval(n) < other.eval(n) {
+                return Some(n);
+            }
+            n = n.checked_mul(2)?;
+        }
+        None
+    }
+}
+
+impl fmt::Display for Complexity {
+    /// Formats in the paper's table style, e.g. `N^2 log^4 N`,
+    /// `N^2 / log^2 N`, `N^1/2`, `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> = Vec::new();
+        if (self.coeff - 1.0).abs() > 1e-12 {
+            parts.push(format!("{}", self.coeff));
+        }
+        if self.n_exp != 0.0 {
+            if (self.n_exp - 1.0).abs() < 1e-12 {
+                parts.push("N".to_string());
+            } else if (self.n_exp - 0.5).abs() < 1e-12 {
+                parts.push("N^1/2".to_string());
+            } else if (self.n_exp.fract()).abs() < 1e-12 {
+                parts.push(format!("N^{}", self.n_exp as i64));
+            } else {
+                parts.push(format!("N^{}", self.n_exp));
+            }
+        }
+        match self.log_exp {
+            0 => {}
+            1 => parts.push("log N".to_string()),
+            b if b > 0 => parts.push(format!("log^{b} N")),
+            b => {
+                if parts.is_empty() {
+                    parts.push("1".to_string());
+                }
+                parts.push(format!("/ log^{} N", -b));
+            }
+        }
+        if parts.is_empty() {
+            parts.push("1".to_string());
+        }
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn eval_matches_closed_form() {
+        let c = Complexity::new(2.0, 4); // N² log⁴ N
+        let v = c.eval(16);
+        assert!((v - 256.0 * 256.0).abs() < 1e-6, "16²·4⁴ = {v}");
+    }
+
+    #[test]
+    fn eval_fractional_exponent() {
+        let c = Complexity::poly(0.5);
+        assert!((c.eval(256) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_negative_log_power() {
+        let c = Complexity::new(2.0, -2); // N²/log²N
+        assert!((c.eval(16) - 256.0 / 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn eval_rejects_tiny_n() {
+        let _ = Complexity::ONE.eval(1);
+    }
+
+    #[test]
+    fn at2_composes_table_one_otc_row() {
+        // OTC sorting: A = N², T = log²N  =>  AT² = N² log⁴ N.
+        let a = Complexity::poly(2.0);
+        let t = Complexity::polylog(2);
+        let at2 = Complexity::at2(&a, &t);
+        assert_eq!(at2.n_exp, 2.0);
+        assert_eq!(at2.log_exp, 4);
+    }
+
+    #[test]
+    fn asymptotic_ordering_matches_paper_table_three() {
+        // CC: OTC (N² log⁸) beats OTN (N² log¹⁰) beats PSN/CCC (N⁴ log⁴)
+        // beats nothing vs mesh (N⁴) — mesh and PSN differ only in logs.
+        let otc = Complexity::new(2.0, 8);
+        let otn = Complexity::new(2.0, 10);
+        let psn = Complexity::new(4.0, 4);
+        let mesh = Complexity::new(4.0, 0);
+        assert!(otc.dominates(&otn));
+        assert!(otn.dominates(&psn));
+        assert!(mesh.dominates(&psn));
+        assert_eq!(otc.asymptotic_cmp(&otc), Ordering::Equal);
+    }
+
+    #[test]
+    fn crossover_found_where_logs_lose_to_polynomials() {
+        // N² log¹⁰ N < N⁴ once log¹⁰N < N², i.e. fairly large N.
+        let otn_cc = Complexity::new(2.0, 10);
+        let mesh_cc = Complexity::poly(4.0);
+        let x = otn_cc
+            .crossover_below(&mesh_cc, 1 << 40)
+            .expect("crossover must exist");
+        assert!(x > 4);
+        assert!(otn_cc.eval(x) < mesh_cc.eval(x));
+        assert!(otn_cc.eval(x / 2) >= mesh_cc.eval(x / 2));
+    }
+
+    #[test]
+    fn crossover_absent_when_dominated() {
+        let big = Complexity::poly(4.0);
+        let small = Complexity::poly(2.0);
+        assert_eq!(big.crossover_below(&small, 1 << 40), None);
+    }
+
+    #[test]
+    fn display_matches_table_style() {
+        assert_eq!(Complexity::new(2.0, 4).to_string(), "N^2 log^4 N");
+        assert_eq!(Complexity::new(2.0, -2).to_string(), "N^2 / log^2 N");
+        assert_eq!(Complexity::poly(0.5).to_string(), "N^1/2");
+        assert_eq!(Complexity::poly(1.0).to_string(), "N");
+        assert_eq!(Complexity::polylog(1).to_string(), "log N");
+        assert_eq!(Complexity::ONE.to_string(), "1");
+        assert_eq!(Complexity::polylog(-2).to_string(), "1 / log^2 N");
+    }
+
+    #[test]
+    fn mul_adds_exponents_and_coefficients() {
+        let a = Complexity::new(1.5, 2).with_coeff(3.0);
+        let b = Complexity::new(0.5, -1).with_coeff(2.0);
+        let p = a.mul(&b);
+        assert_eq!(p.n_exp, 2.0);
+        assert_eq!(p.log_exp, 1);
+        assert_eq!(p.coeff, 6.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The word-transmission and processing cost algebra.
+//!
+//! [`CostModel`] bundles the delay model, the word width
+//! `w = Θ(log N)` and the layout pitch, and exposes exactly the costs the
+//! paper derives in §II.B:
+//!
+//! * a tree primitive (`ROOTTOLEAF`, `LEAFTOROOT`, …) moves one `w`-bit word
+//!   along a root↔leaf path: one-bit latency `Σ_levels d(len)` plus `w − 1`
+//!   pipelined bits — `Θ(log² N)` under the logarithmic model;
+//! * aggregating primitives (`COUNT`/`SUM`/`MIN`-`LEAFTOROOT`) add `O(1)`
+//!   per level for the bit-serial adder/comparator and widen the result by
+//!   `log C` bits (sum/count) — same Θ;
+//! * base-processor arithmetic is bit-serial: compare/add in `w`, multiply
+//!   in `Θ(w)` by the serial pipeline multiplier (refs \[6\], \[13\]).
+
+use crate::tree::{path_bit_latency, scaled_path_bit_latency};
+use crate::{log2_ceil, BitTime, DelayModel};
+
+/// All parameters needed to price an operation in bit-times.
+///
+/// Construct with [`CostModel::thompson`] (the paper's main model) or
+/// [`CostModel::constant_delay`] (§VII.D / Table IV), or build one by hand.
+///
+/// # Example
+///
+/// ```
+/// use orthotrees_vlsi::CostModel;
+/// let m = CostModel::thompson(256);
+/// assert_eq!(m.word_bits, 8);
+/// // Aggregation costs at least as much as a plain broadcast.
+/// assert!(m.tree_aggregate(256, m.leaf_pitch()) >= m.tree_root_to_leaf(256, m.leaf_pitch()));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Wire delay model (constant / logarithmic / linear).
+    pub delay: DelayModel,
+    /// Word width `w` in bits; the paper assumes `w = Θ(log N)`.
+    pub word_bits: u32,
+    /// Leaf pitch of the layout in λ. In the OTN layout both the BP and the
+    /// tree channel make this `Θ(log N)`; the OTC uses the same pitch for its
+    /// cycle grid.
+    pub pitch: u64,
+    /// Whether Thompson's "scaling" technique (\[31\], §II.B) is applied: IPs
+    /// grow geometrically towards the root so every level costs `O(1)`,
+    /// reducing each primitive from `Θ(log² N)` to `Θ(log N)` at unchanged
+    /// `O(N² log² N)` area. Off by default (the paper's stated results
+    /// assume it off; §VII notes the possible `log N` improvement).
+    pub scaled: bool,
+    /// Whether links carry whole words in parallel (`w`-wide buses), so a
+    /// word op costs one unit instead of `Θ(w)` bit-serial steps. This is
+    /// the unit-cost convention of the constant-delay literature the paper
+    /// compares against in §VII.D / Table IV ("N numbers can be sorted in
+    /// O(log² N) time on both the CCC and the PSN" counts unit word
+    /// operations). Off by default — the paper's own analysis is
+    /// bit-serial (§II.B assumption ii).
+    pub word_parallel: bool,
+}
+
+impl CostModel {
+    /// Thompson's logarithmic-delay model for a problem of size `n`:
+    /// word width `⌈log₂ n⌉` (min 1) and pitch `max(1, ⌈log₂ n⌉)`.
+    pub fn thompson(n: usize) -> Self {
+        let w = log2_ceil(n as u64).max(1);
+        CostModel {
+            delay: DelayModel::Logarithmic,
+            word_bits: w,
+            pitch: u64::from(w),
+            scaled: false,
+            word_parallel: false,
+        }
+    }
+
+    /// The constant-delay model of §VII.D (Table IV), same word width/pitch
+    /// conventions as [`CostModel::thompson`].
+    pub fn constant_delay(n: usize) -> Self {
+        CostModel { delay: DelayModel::Constant, ..CostModel::thompson(n) }
+    }
+
+    /// The linear-delay model (paper refs \[4\], \[8\]); provided for the model
+    /// ablation bench.
+    pub fn linear_delay(n: usize) -> Self {
+        CostModel { delay: DelayModel::Linear, ..CostModel::thompson(n) }
+    }
+
+    /// The unit-cost constant-delay model of the literature the paper
+    /// compares against in §VII.D / Table IV: O(1) per wire regardless of
+    /// length *and* word-parallel links, so any word hop or word operation
+    /// is one unit. Under this model the PSN/CCC sort in Θ(log² N) and the
+    /// OTN in Θ(log N), reproducing Table IV.
+    pub fn unit_delay(n: usize) -> Self {
+        CostModel { delay: DelayModel::Constant, word_parallel: true, ..CostModel::thompson(n) }
+    }
+
+    /// Returns this model with Thompson/Leighton scaling enabled.
+    #[must_use]
+    pub fn with_scaling(self) -> Self {
+        CostModel { scaled: true, ..self }
+    }
+
+    /// Returns this model with a different word width.
+    #[must_use]
+    pub fn with_word_bits(self, word_bits: u32) -> Self {
+        CostModel { word_bits, ..self }
+    }
+
+    /// The leaf pitch in λ.
+    pub fn leaf_pitch(&self) -> u64 {
+        self.pitch
+    }
+
+    /// One-bit root↔leaf latency of a tree over `leaves` leaves at `pitch`.
+    pub fn tree_bit_latency(&self, leaves: usize, pitch: u64) -> BitTime {
+        if self.scaled {
+            scaled_path_bit_latency(leaves)
+        } else {
+            path_bit_latency(leaves, pitch, self.delay)
+        }
+    }
+
+    /// Cost of moving one `w`-bit word between the root and the leaves of a
+    /// tree (`ROOTTOLEAF` / `LEAFTOROOT`): one-bit latency plus `w − 1`
+    /// pipelined bits.
+    ///
+    /// This prices the *streaming* implementation of §VII.D ("as each bit is
+    /// received by an IP, it is transmitted forward") which needs only O(1)
+    /// storage per IP (§II.B note on `LEAFTOLEAF`); under the logarithmic
+    /// model both implementations are Θ(log² N).
+    pub fn tree_root_to_leaf(&self, leaves: usize, pitch: u64) -> BitTime {
+        self.tree_bit_latency(leaves, pitch) + self.word_tail(self.word_bits)
+    }
+
+    /// The serialisation tail of a `bits`-wide word: `bits − 1` pipelined
+    /// bit-times, or zero on word-parallel links.
+    fn word_tail(&self, bits: u32) -> BitTime {
+        if self.word_parallel {
+            BitTime::ZERO
+        } else {
+            BitTime::new(u64::from(bits.max(1)) - 1)
+        }
+    }
+
+    /// One local word operation: one unit on word-parallel hardware, `k·w`
+    /// bit-times bit-serially.
+    fn word_op(&self, k: u64) -> BitTime {
+        if self.word_parallel {
+            BitTime::new(k.max(1))
+        } else {
+            BitTime::new(k * u64::from(self.word_bits.max(1)))
+        }
+    }
+
+    /// Cost of an aggregating leaf-to-root primitive
+    /// (`COUNT-`/`SUM-`/`MIN-LEAFTOROOT`).
+    ///
+    /// Each IP inserts one gate delay per level (bit-serial add LSB-first, or
+    /// compare MSB-first for MIN — §VII.D discusses the bit-order), and the
+    /// result word widens to `w + log₂(leaves)` bits for SUM/COUNT. We charge
+    /// the widened word for all aggregates (a safe upper bound that keeps
+    /// MIN/SUM symmetric; both are Θ(log² N) / Θ(log N) as required).
+    pub fn tree_aggregate(&self, leaves: usize, pitch: u64) -> BitTime {
+        let depth = u64::from(log2_ceil(leaves as u64));
+        let widened = self.word_bits.max(1) + log2_ceil(leaves as u64);
+        self.tree_bit_latency(leaves, pitch) + BitTime::new(depth) + self.word_tail(widened)
+    }
+
+    /// Cost of a `LEAFTOLEAF`-style composite: one `LEAFTOROOT` followed by
+    /// one `ROOTTOLEAF` on the same tree (paper §II.B composite 1).
+    pub fn tree_leaf_to_leaf(&self, leaves: usize, pitch: u64) -> BitTime {
+        self.tree_root_to_leaf(leaves, pitch) + self.tree_root_to_leaf(leaves, pitch)
+    }
+
+    /// Cost of an aggregate-then-broadcast composite
+    /// (`COUNT-`/`SUM-`/`MIN-LEAFTOLEAF`, §II.B composites 2–3).
+    pub fn tree_aggregate_to_leaf(&self, leaves: usize, pitch: u64) -> BitTime {
+        self.tree_aggregate(leaves, pitch) + self.tree_root_to_leaf(leaves, pitch)
+    }
+
+    /// Pipeline issue interval: successive words enter a tree `Θ(w)` apart
+    /// ("pipelining implies a separation of O(log N) time between successive
+    /// elements", §III.A).
+    pub fn pipeline_interval(&self) -> BitTime {
+        self.word_op(1)
+    }
+
+    /// Cost of moving one word across one hop of an OTC cycle (`CIRCULATE`):
+    /// neighbours are `O(1)` apart inside the `O(log N) × O(log N)` cycle
+    /// block, so the wire is `O(1)` long and the word streams through in
+    /// `Θ(w)`.
+    pub fn cycle_step(&self) -> BitTime {
+        self.delay.wire_bit_delay(1) + self.word_tail(self.word_bits)
+    }
+
+    /// Bit-serial compare of two `w`-bit words at a base processor.
+    pub fn compare(&self) -> BitTime {
+        self.word_op(1)
+    }
+
+    /// Bit-serial add of two `w`-bit words at a base processor.
+    pub fn add(&self) -> BitTime {
+        self.word_op(1)
+    }
+
+    /// Bit-serial multiply by the serial pipeline multiplier (refs \[6\],
+    /// \[13\]): `Θ(w)` time in `O(w)` area (paper §II.B: "multiplication … can
+    /// be done using O(log N) area and O(log N) time").
+    pub fn multiply(&self) -> BitTime {
+        self.word_op(2)
+    }
+
+    /// A single-bit local operation (flag set/test, 1-bit logic).
+    pub fn bit_op(&self) -> BitTime {
+        BitTime::new(1)
+    }
+
+    /// Cost of moving one word over a point-to-point wire of length `len`
+    /// (used by the mesh/PSN/CCC baselines): per-bit delay plus pipelined
+    /// remainder of the word.
+    pub fn wire_word(&self, len: u64) -> BitTime {
+        self.delay.wire_bit_delay(len) + self.word_tail(self.word_bits)
+    }
+}
+
+impl Default for CostModel {
+    /// Thompson's model for `n = 256` (`w = 8`).
+    fn default() -> Self {
+        CostModel::thompson(256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thompson_constructor_sets_log_widths() {
+        let m = CostModel::thompson(1024);
+        assert_eq!(m.word_bits, 10);
+        assert_eq!(m.pitch, 10);
+        assert_eq!(m.delay, DelayModel::Logarithmic);
+        assert!(!m.scaled);
+    }
+
+    #[test]
+    fn thompson_of_tiny_problem_keeps_word_width_positive() {
+        let m = CostModel::thompson(1);
+        assert_eq!(m.word_bits, 1);
+        assert!(m.tree_root_to_leaf(1, m.pitch) >= BitTime::ZERO);
+        assert!(m.compare().get() >= 1);
+    }
+
+    #[test]
+    fn primitive_cost_is_theta_log_squared() {
+        // tree_root_to_leaf(n)/log²n bounded above and below across a sweep.
+        let mut ratios = Vec::new();
+        for k in 3..=14u32 {
+            let n = 1usize << k;
+            let m = CostModel::thompson(n);
+            let t = m.tree_root_to_leaf(n, m.pitch).get() as f64;
+            ratios.push(t / (k as f64 * k as f64));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 3.0, "{ratios:?}");
+    }
+
+    #[test]
+    fn scaling_reduces_primitive_to_theta_log() {
+        for k in [6u32, 10, 14] {
+            let n = 1usize << k;
+            let m = CostModel::thompson(n).with_scaling();
+            let t = m.tree_root_to_leaf(n, m.pitch).get();
+            // 2 per level + (w-1): ~3 log n.
+            assert!(t <= 4 * u64::from(k), "k={k} t={t}");
+            assert!(t >= 2 * u64::from(k), "k={k} t={t}");
+        }
+    }
+
+    #[test]
+    fn constant_delay_primitive_is_theta_log() {
+        for k in [4u32, 8, 12] {
+            let n = 1usize << k;
+            let m = CostModel::constant_delay(n);
+            let t = m.tree_root_to_leaf(n, m.pitch).get();
+            assert_eq!(t, u64::from(k) + u64::from(k) - 1, "one per level + w-1");
+        }
+    }
+
+    #[test]
+    fn aggregate_dominates_broadcast() {
+        let m = CostModel::thompson(64);
+        assert!(m.tree_aggregate(64, m.pitch) > m.tree_root_to_leaf(64, m.pitch));
+        assert_eq!(
+            m.tree_leaf_to_leaf(64, m.pitch),
+            m.tree_root_to_leaf(64, m.pitch) * 2
+        );
+        assert_eq!(
+            m.tree_aggregate_to_leaf(64, m.pitch),
+            m.tree_aggregate(64, m.pitch) + m.tree_root_to_leaf(64, m.pitch)
+        );
+    }
+
+    #[test]
+    fn local_op_costs_scale_with_word() {
+        let m = CostModel::thompson(256);
+        assert_eq!(m.compare().get(), 8);
+        assert_eq!(m.add().get(), 8);
+        assert_eq!(m.multiply().get(), 16);
+        assert_eq!(m.bit_op().get(), 1);
+        assert_eq!(m.pipeline_interval().get(), 8);
+    }
+
+    #[test]
+    fn cycle_step_is_theta_word() {
+        let m = CostModel::thompson(1 << 12);
+        assert_eq!(m.cycle_step().get(), 1 + 12 - 1);
+    }
+
+    #[test]
+    fn wire_word_matches_model() {
+        let m = CostModel::thompson(16); // w = 4
+        assert_eq!(m.wire_word(1).get(), 1 + 3);
+        assert_eq!(m.wire_word(8).get(), 4 + 3);
+        let c = CostModel::constant_delay(16);
+        assert_eq!(c.wire_word(1 << 20).get(), 1 + 3);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let m = CostModel::thompson(64).with_word_bits(13).with_scaling();
+        assert_eq!(m.word_bits, 13);
+        assert!(m.scaled);
+    }
+}

@@ -1,0 +1,119 @@
+//! Wire delay models (paper §I.A).
+//!
+//! The literature the paper surveys differs chiefly in the time a bit needs
+//! to propagate across a wire of length `K`:
+//!
+//! * `O(1)` — the *constant delay* model of Preparata–Vuillemin, Brent–
+//!   Goldschlager and others (paper refs \[5\], \[23\], \[24\]);
+//! * `O(log K)` — Thompson's *logarithmic delay* model (refs \[29\], \[30\]),
+//!   which the paper adopts for its main analysis: the wire's driver has
+//!   `log K` amplification stages, each contributing one gate delay;
+//! * `O(K)` — the *linear delay* model (refs \[4\], \[8\]).
+
+use crate::{log2_ceil, BitTime};
+
+/// How long one bit takes to cross a wire, as a function of wire length.
+///
+/// Section VII.D of the paper re-evaluates every network under
+/// [`DelayModel::Constant`] (Table IV); the main analysis uses
+/// [`DelayModel::Logarithmic`]. [`DelayModel::Linear`] is included for
+/// completeness of the model survey in §I.A.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DelayModel {
+    /// One bit-time per wire regardless of length (`O(1)` transfer).
+    Constant,
+    /// `1 + ⌈log₂ K⌉` bit-times for a wire of length `K` (Thompson's model).
+    /// This is the paper's primary model.
+    #[default]
+    Logarithmic,
+    /// `max(1, K)` bit-times for a wire of length `K`.
+    Linear,
+}
+
+impl DelayModel {
+    /// Per-bit delay of a wire of length `len` (in λ).
+    ///
+    /// A zero-length "wire" (two abutting cells) still costs one bit-time,
+    /// representing the latch at the receiving end; this keeps every hop
+    /// causally ordered in the event simulator.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use orthotrees_vlsi::DelayModel;
+    /// assert_eq!(DelayModel::Constant.wire_bit_delay(1024).get(), 1);
+    /// assert_eq!(DelayModel::Logarithmic.wire_bit_delay(1024).get(), 11);
+    /// assert_eq!(DelayModel::Linear.wire_bit_delay(1024).get(), 1024);
+    /// ```
+    pub fn wire_bit_delay(self, len: u64) -> BitTime {
+        let t = match self {
+            DelayModel::Constant => 1,
+            DelayModel::Logarithmic => 1 + u64::from(log2_ceil(len)),
+            DelayModel::Linear => len.max(1),
+        };
+        BitTime::new(t)
+    }
+
+    /// Human-readable name used in reports and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            DelayModel::Constant => "constant",
+            DelayModel::Logarithmic => "logarithmic",
+            DelayModel::Linear => "linear",
+        }
+    }
+
+    /// All models, in the order the paper discusses them.
+    pub const ALL: [DelayModel; 3] =
+        [DelayModel::Constant, DelayModel::Logarithmic, DelayModel::Linear];
+}
+
+impl std::fmt::Display for DelayModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_wire_still_costs_one() {
+        for m in DelayModel::ALL {
+            assert_eq!(m.wire_bit_delay(0).get(), 1, "{m}");
+            assert_eq!(m.wire_bit_delay(1).get(), 1, "{m}");
+        }
+    }
+
+    #[test]
+    fn logarithmic_grows_like_log() {
+        let m = DelayModel::Logarithmic;
+        assert_eq!(m.wire_bit_delay(2).get(), 2);
+        assert_eq!(m.wire_bit_delay(3).get(), 3);
+        assert_eq!(m.wire_bit_delay(4).get(), 3);
+        assert_eq!(m.wire_bit_delay(1 << 20).get(), 21);
+    }
+
+    #[test]
+    fn models_are_ordered_for_long_wires() {
+        for len in [2u64, 16, 1000, 1 << 30] {
+            let c = DelayModel::Constant.wire_bit_delay(len);
+            let l = DelayModel::Logarithmic.wire_bit_delay(len);
+            let n = DelayModel::Linear.wire_bit_delay(len);
+            assert!(c <= l && l <= n, "len={len}");
+        }
+    }
+
+    #[test]
+    fn names_round_trip_display() {
+        assert_eq!(DelayModel::Constant.to_string(), "constant");
+        assert_eq!(DelayModel::Logarithmic.to_string(), "logarithmic");
+        assert_eq!(DelayModel::Linear.to_string(), "linear");
+    }
+
+    #[test]
+    fn default_is_thompsons_model() {
+        assert_eq!(DelayModel::default(), DelayModel::Logarithmic);
+    }
+}

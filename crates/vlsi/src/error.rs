@@ -1,0 +1,121 @@
+//! Error type shared by the model and the network constructors downstream.
+
+use std::fmt;
+
+/// Errors raised when a network or cost model is configured inconsistently.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A dimension that must be a power of two was not.
+    NotPowerOfTwo {
+        /// What the dimension configures (e.g. "OTN side length").
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A dimension was below the supported minimum.
+    TooSmall {
+        /// What the dimension configures.
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+        /// The smallest supported value.
+        min: usize,
+    },
+    /// Two inputs that must agree in size did not.
+    DimensionMismatch {
+        /// What was being matched (e.g. "matrix sides").
+        what: &'static str,
+        /// The expected size.
+        expected: usize,
+        /// The size actually supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotPowerOfTwo { what, value } => {
+                write!(f, "{what} must be a power of two, got {value}")
+            }
+            ModelError::TooSmall { what, value, min } => {
+                write!(f, "{what} must be at least {min}, got {value}")
+            }
+            ModelError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what} mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// Validates that `value` is a power of two, for the dimension `what`.
+    pub fn require_power_of_two(what: &'static str, value: usize) -> Result<(), ModelError> {
+        if crate::is_power_of_two(value) {
+            Ok(())
+        } else {
+            Err(ModelError::NotPowerOfTwo { what, value })
+        }
+    }
+
+    /// Validates that `value ≥ min`, for the dimension `what`.
+    pub fn require_at_least(
+        what: &'static str,
+        value: usize,
+        min: usize,
+    ) -> Result<(), ModelError> {
+        if value >= min {
+            Ok(())
+        } else {
+            Err(ModelError::TooSmall { what, value, min })
+        }
+    }
+
+    /// Validates that `actual == expected`, for the quantity `what`.
+    pub fn require_equal(
+        what: &'static str,
+        expected: usize,
+        actual: usize,
+    ) -> Result<(), ModelError> {
+        if expected == actual {
+            Ok(())
+        } else {
+            Err(ModelError::DimensionMismatch { what, expected, actual })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_validation() {
+        assert!(ModelError::require_power_of_two("side", 8).is_ok());
+        let err = ModelError::require_power_of_two("side", 6).unwrap_err();
+        assert_eq!(err.to_string(), "side must be a power of two, got 6");
+    }
+
+    #[test]
+    fn minimum_validation() {
+        assert!(ModelError::require_at_least("rows", 4, 2).is_ok());
+        let err = ModelError::require_at_least("rows", 1, 2).unwrap_err();
+        assert!(err.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn equality_validation() {
+        assert!(ModelError::require_equal("matrix sides", 4, 4).is_ok());
+        let err = ModelError::require_equal("matrix sides", 4, 5).unwrap_err();
+        assert_eq!(err.to_string(), "matrix sides mismatch: expected 4, got 5");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        let err = ModelError::NotPowerOfTwo { what: "x", value: 3 };
+        takes_err(&err);
+    }
+}

@@ -1,0 +1,157 @@
+//! Thompson's VLSI model of computation, as used by Nath, Maheshwari and
+//! Bhatt in *"Efficient VLSI Networks for Parallel Processing Based on
+//! Orthogonal Trees"* (IEEE Trans. Computers, C-32(6), 1983).
+//!
+//! The model's salient features (paper §I.A):
+//!
+//! 1. one bit of logic or storage occupies `O(1)` area;
+//! 2. wires are `O(1)` units wide and may cross at right angles;
+//! 3. a wire of length `K` has a driver of `log K` amplification stages, so a
+//!    bit needs `O(log K)` time to cross it — but the stages are individually
+//!    clocked, so successive bits of a word pipeline through at `O(1)`
+//!    intervals.
+//!
+//! This crate provides the *units* ([`BitTime`], [`Area`]), the *wire delay
+//! models* ([`DelayModel`]: constant, logarithmic, linear — §I.A and §VII.D),
+//! the *word-transmission cost algebra* ([`CostModel`]), the geometry of tree
+//! embeddings whose per-level wire lengths the costs are computed from
+//! ([`tree`]), a simulated [`Clock`] with operation statistics, and a small
+//! closed-form Θ-complexity algebra ([`Complexity`]) used to encode the
+//! paper's tables.
+//!
+//! # Example
+//!
+//! ```
+//! use orthotrees_vlsi::{CostModel, DelayModel};
+//!
+//! // A 16-leaf row tree of a (16x16)-OTN with word width ceil(log2 16) = 4.
+//! let m = CostModel::thompson(16);
+//! let broadcast = m.tree_root_to_leaf(16, m.leaf_pitch());
+//! // Under the logarithmic model this is Θ(log² N): a handful of bit-times.
+//! assert!(broadcast.get() > 0);
+//! let faster = CostModel { delay: DelayModel::Constant, ..m }
+//!     .tree_root_to_leaf(16, m.leaf_pitch());
+//! assert!(faster < broadcast);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod complexity;
+mod cost;
+mod delay;
+mod error;
+mod stats;
+pub mod tree;
+mod units;
+
+pub use clock::Clock;
+pub use complexity::Complexity;
+pub use cost::CostModel;
+pub use delay::DelayModel;
+pub use error::ModelError;
+pub use stats::OpStats;
+pub use units::{Area, BitTime};
+
+/// Returns `⌈log₂ n⌉` for `n ≥ 1` (and `0` for `n = 0` or `1`).
+///
+/// This is the word width the paper assumes for values in `0..n`
+/// ("all numbers being used are O(log N) bits long", §II.B).
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(orthotrees_vlsi::log2_ceil(16), 4);
+/// assert_eq!(orthotrees_vlsi::log2_ceil(17), 5);
+/// assert_eq!(orthotrees_vlsi::log2_ceil(1), 0);
+/// ```
+pub fn log2_ceil(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Returns `⌊log₂ n⌋` for `n ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(orthotrees_vlsi::log2_floor(16), 4);
+/// assert_eq!(orthotrees_vlsi::log2_floor(17), 4);
+/// ```
+pub fn log2_floor(n: u64) -> u32 {
+    assert!(n > 0, "log2_floor(0) is undefined");
+    63 - n.leading_zeros()
+}
+
+/// Returns `true` if `n` is a power of two (`n ≥ 1`).
+///
+/// The paper's networks are defined for power-of-two side lengths; all
+/// constructors in the workspace validate their dimensions with this.
+pub fn is_power_of_two(n: usize) -> bool {
+    n >= 1 && n.is_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_small_values() {
+        let expect = [
+            (0, 0),
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (1024, 10),
+            (1025, 11),
+        ];
+        for (n, e) in expect {
+            assert_eq!(log2_ceil(n), e, "log2_ceil({n})");
+        }
+    }
+
+    #[test]
+    fn log2_floor_small_values() {
+        let expect = [(1, 0), (2, 1), (3, 1), (4, 2), (7, 2), (8, 3), (1023, 9), (1024, 10)];
+        for (n, e) in expect {
+            assert_eq!(log2_floor(n), e, "log2_floor({n})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn log2_floor_zero_panics() {
+        let _ = log2_floor(0);
+    }
+
+    #[test]
+    fn power_of_two_detection() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(2));
+        assert!(is_power_of_two(64));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(3));
+        assert!(!is_power_of_two(96));
+    }
+
+    #[test]
+    fn floor_and_ceil_agree_on_powers_of_two() {
+        for k in 0..20u32 {
+            let n = 1u64 << k;
+            assert_eq!(log2_ceil(n), k);
+            assert_eq!(log2_floor(n), k);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Operation statistics, accumulated by the networks' primitives.
+//!
+//! Besides the clock, every primitive bumps a counter here; the experiment
+//! reports use these to break a measured time down into its constituent
+//! operations (e.g. "SORT-OTN at N=256: 3 broadcasts, 2 aggregates, 1
+//! leaf-op phase"), which is how we check an implementation follows the
+//! paper's procedure step for step.
+
+use std::fmt;
+
+/// Counts of executed primitive operations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Root-to-leaf broadcasts (`ROOTTOLEAF`, `ROOTTOCYCLE`).
+    pub broadcasts: u64,
+    /// Leaf-to-root sends (`LEAFTOROOT`, `CYCLETOROOT`).
+    pub sends: u64,
+    /// Aggregating reductions (`COUNT`/`SUM`/`MIN`-`LEAFTOROOT` and friends).
+    pub aggregates: u64,
+    /// Parallel base-processor compute phases (compare/add/multiply/flag).
+    pub leaf_ops: u64,
+    /// Cycle rotations (`CIRCULATE` / `VECTORCIRCULATE`, OTC only).
+    pub circulates: u64,
+    /// Point-to-point word moves (mesh/PSN/CCC baselines).
+    pub hops: u64,
+    /// Words injected through input ports.
+    pub inputs: u64,
+    /// Words emitted through output ports.
+    pub outputs: u64,
+}
+
+impl OpStats {
+    /// An all-zero counter set.
+    pub fn new() -> Self {
+        OpStats::default()
+    }
+
+    /// Total primitive operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.broadcasts
+            + self.sends
+            + self.aggregates
+            + self.leaf_ops
+            + self.circulates
+            + self.hops
+            + self.inputs
+            + self.outputs
+    }
+
+    /// Component-wise difference `self − earlier` (counts accumulated since
+    /// the `earlier` snapshot was taken).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `earlier` exceeds `self`'s (a snapshot
+    /// from the future).
+    #[must_use]
+    pub fn since(&self, earlier: &OpStats) -> OpStats {
+        let sub = |a: u64, b: u64, what: &str| {
+            a.checked_sub(b).unwrap_or_else(|| panic!("OpStats::since: {what} went backwards"))
+        };
+        OpStats {
+            broadcasts: sub(self.broadcasts, earlier.broadcasts, "broadcasts"),
+            sends: sub(self.sends, earlier.sends, "sends"),
+            aggregates: sub(self.aggregates, earlier.aggregates, "aggregates"),
+            leaf_ops: sub(self.leaf_ops, earlier.leaf_ops, "leaf_ops"),
+            circulates: sub(self.circulates, earlier.circulates, "circulates"),
+            hops: sub(self.hops, earlier.hops, "hops"),
+            inputs: sub(self.inputs, earlier.inputs, "inputs"),
+            outputs: sub(self.outputs, earlier.outputs, "outputs"),
+        }
+    }
+
+    /// Component-wise sum (combine stats from sub-phases).
+    #[must_use]
+    pub fn merged(&self, other: &OpStats) -> OpStats {
+        OpStats {
+            broadcasts: self.broadcasts + other.broadcasts,
+            sends: self.sends + other.sends,
+            aggregates: self.aggregates + other.aggregates,
+            leaf_ops: self.leaf_ops + other.leaf_ops,
+            circulates: self.circulates + other.circulates,
+            hops: self.hops + other.hops,
+            inputs: self.inputs + other.inputs,
+            outputs: self.outputs + other.outputs,
+        }
+    }
+}
+
+impl fmt::Display for OpStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "broadcasts={} sends={} aggregates={} leaf_ops={} circulates={} hops={} io={}/{}",
+            self.broadcasts,
+            self.sends,
+            self.aggregates,
+            self.leaf_ops,
+            self.circulates,
+            self.hops,
+            self.inputs,
+            self.outputs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_all_fields() {
+        let s = OpStats {
+            broadcasts: 1,
+            sends: 2,
+            aggregates: 3,
+            leaf_ops: 4,
+            circulates: 5,
+            hops: 6,
+            inputs: 7,
+            outputs: 8,
+        };
+        assert_eq!(s.total(), 36);
+    }
+
+    #[test]
+    fn merged_adds_componentwise() {
+        let a = OpStats { broadcasts: 1, hops: 2, ..OpStats::new() };
+        let b = OpStats { broadcasts: 10, leaf_ops: 5, ..OpStats::new() };
+        let m = a.merged(&b);
+        assert_eq!(m.broadcasts, 11);
+        assert_eq!(m.hops, 2);
+        assert_eq!(m.leaf_ops, 5);
+        assert_eq!(m.total(), 18);
+    }
+
+    #[test]
+    fn since_subtracts_componentwise() {
+        let early = OpStats { broadcasts: 2, sends: 1, ..OpStats::new() };
+        let late = OpStats { broadcasts: 5, sends: 1, leaf_ops: 3, ..OpStats::new() };
+        let d = late.since(&early);
+        assert_eq!(d.broadcasts, 3);
+        assert_eq!(d.sends, 0);
+        assert_eq!(d.leaf_ops, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn since_rejects_future_snapshots() {
+        let early = OpStats { hops: 9, ..OpStats::new() };
+        let _ = OpStats::new().since(&early);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_fields() {
+        let s = OpStats::new();
+        let d = s.to_string();
+        assert!(d.contains("broadcasts=0"));
+        assert!(d.contains("io=0/0"));
+    }
+}

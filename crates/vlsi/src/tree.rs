@@ -1,0 +1,159 @@
+//! Geometry of the strip embedding of a complete binary tree.
+//!
+//! In the OTN layout (paper Fig. 1), the tree over the `C` base processors of
+//! a row is embedded in the horizontal strip between adjacent rows. At level
+//! `h` (with `h = 1` just above the leaves and `h = log₂ C` at the root) the
+//! tree's wires span `2^(h-1)` leaf pitches. These per-level wire lengths are
+//! the *only* geometric input the communication cost algebra needs: a
+//! root↔leaf path crosses exactly one wire per level, so its one-bit latency
+//! is the sum of per-level delays, and a `w`-bit word then pipelines behind
+//! the first bit at one bit per bit-time.
+
+use crate::{log2_ceil, BitTime, DelayModel};
+
+/// Per-level wire lengths of a complete binary tree over `leaves` leaves at
+/// pitch `pitch`, ordered from the leaf level (index 0) to the root level.
+///
+/// `leaves` must be a power of two ≥ 1. One leaf means an empty path (the
+/// root *is* the leaf).
+///
+/// # Panics
+///
+/// Panics if `leaves` is zero or not a power of two.
+///
+/// # Example
+///
+/// ```
+/// let lens = orthotrees_vlsi::tree::level_wire_lengths(8, 3);
+/// assert_eq!(lens, vec![3, 6, 12]);
+/// ```
+pub fn level_wire_lengths(leaves: usize, pitch: u64) -> Vec<u64> {
+    assert!(
+        leaves.is_power_of_two(),
+        "tree must have a power-of-two leaf count, got {leaves}"
+    );
+    let depth = log2_ceil(leaves as u64);
+    (0..depth).map(|h| pitch << h).collect()
+}
+
+/// One-bit root↔leaf latency: the sum of per-level wire delays.
+///
+/// This is the `Θ(log² C)` quantity of paper §II.B under the logarithmic
+/// model ("the longest branch in this path is O(N log N) units and hence
+/// introduces an O(log N) delay; since there are log N branches in the path,
+/// transmitting one bit from root to leaf or vice versa takes O(log² N)
+/// time").
+pub fn path_bit_latency(leaves: usize, pitch: u64, delay: DelayModel) -> BitTime {
+    level_wire_lengths(leaves, pitch)
+        .into_iter()
+        .map(|len| delay.wire_bit_delay(len))
+        .sum()
+}
+
+/// One-bit root↔leaf latency under *scaling* (Thompson \[31\], Leighton \[16\]):
+/// each internal processor is a constant factor larger than its children, so
+/// every level contributes only `O(1)` delay and the whole path costs
+/// `Θ(log C)` while the layout area stays `O(N² log² N)` (paper §II.B).
+///
+/// We charge two bit-times per level: one wire, one latch.
+pub fn scaled_path_bit_latency(leaves: usize) -> BitTime {
+    let depth = u64::from(log2_ceil(leaves as u64));
+    BitTime::new(2 * depth)
+}
+
+/// The length of the longest wire in the tree (the root-level wire).
+///
+/// Returns 0 for a single-leaf tree.
+pub fn longest_wire(leaves: usize, pitch: u64) -> u64 {
+    level_wire_lengths(leaves, pitch).last().copied().unwrap_or(0)
+}
+
+/// Total wire length of the strip embedding (all levels, both subtree halves).
+///
+/// At level `h` there are `leaves / 2^h` internal nodes, each with two child
+/// wires of length `pitch·2^(h-1)` (we count per-level totals exactly as the
+/// layout routes them: `leaves/2^h · 2` wires of `pitch·2^(h-1)` each, i.e.
+/// `leaves · pitch` per level) — `Θ(C log C · pitch)` overall, which is what
+/// makes the inter-row strip `Θ(log C)` tracks tall at `Θ(pitch·C)` width.
+pub fn total_wire_length(leaves: usize, pitch: u64) -> u64 {
+    let depth = log2_ceil(leaves as u64);
+    (leaves as u64) * pitch * u64::from(depth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_lengths_double_per_level() {
+        let lens = level_wire_lengths(16, 5);
+        assert_eq!(lens, vec![5, 10, 20, 40]);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_no_wires() {
+        assert!(level_wire_lengths(1, 7).is_empty());
+        assert_eq!(path_bit_latency(1, 7, DelayModel::Logarithmic), BitTime::ZERO);
+        assert_eq!(longest_wire(1, 7), 0);
+        assert_eq!(total_wire_length(1, 7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_leaves_panics() {
+        let _ = level_wire_lengths(6, 1);
+    }
+
+    #[test]
+    fn latency_is_theta_log_squared_under_log_model() {
+        // With pitch = log2(n), latency(n) / log²(n) should stay within a
+        // narrow constant band as n grows.
+        let mut ratios = Vec::new();
+        for k in 3..=14u32 {
+            let n = 1usize << k;
+            let pitch = u64::from(k); // pitch = Θ(log N) as in the OTN layout
+            let t = path_bit_latency(n, pitch, DelayModel::Logarithmic).get() as f64;
+            ratios.push(t / (k as f64 * k as f64));
+        }
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi / lo < 3.0, "not Θ(log²): ratios {ratios:?}");
+    }
+
+    #[test]
+    fn latency_is_theta_log_under_constant_model() {
+        for k in 1..=14u32 {
+            let n = 1usize << k;
+            let t = path_bit_latency(n, 4, DelayModel::Constant).get();
+            assert_eq!(t, u64::from(k), "one bit-time per level");
+        }
+    }
+
+    #[test]
+    fn latency_is_theta_n_under_linear_model() {
+        // Dominated by the root wire: Θ(pitch · n).
+        for k in 2..=12u32 {
+            let n = 1usize << k;
+            let t = path_bit_latency(n, 1, DelayModel::Linear).get();
+            // Geometric sum: 1 + 2 + … + n/2 = n - 1.
+            assert_eq!(t, (n as u64) - 1);
+        }
+    }
+
+    #[test]
+    fn scaled_latency_is_two_per_level() {
+        assert_eq!(scaled_path_bit_latency(1024).get(), 20);
+        assert_eq!(scaled_path_bit_latency(1), BitTime::ZERO);
+    }
+
+    #[test]
+    fn longest_wire_is_half_span() {
+        // Root wire spans half the leaves.
+        assert_eq!(longest_wire(16, 3), 3 * 8);
+    }
+
+    #[test]
+    fn total_wire_length_matches_closed_form() {
+        assert_eq!(total_wire_length(8, 2), 8 * 2 * 3);
+    }
+}

@@ -1,0 +1,228 @@
+//! Simulation units: [`BitTime`] and [`Area`].
+//!
+//! Both are newtypes over `u64` so that times and areas cannot be confused
+//! with each other or with ordinary counts, while still supporting the
+//! arithmetic the cost algebra needs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Simulated time, counted in *bit-times* (τ).
+///
+/// One bit-time is the time for one bit to traverse an `O(1)`-length wire or
+/// one gate — the unit in which all of the paper's time bounds are stated.
+/// All communication primitives charge an integral number of bit-times
+/// derived from the wire lengths of the constructed layout and the active
+/// [`DelayModel`](crate::DelayModel).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitTime(u64);
+
+impl BitTime {
+    /// Zero elapsed time.
+    pub const ZERO: BitTime = BitTime(0);
+
+    /// Wraps a raw bit-time count.
+    pub const fn new(t: u64) -> Self {
+        BitTime(t)
+    }
+
+    /// Returns the raw bit-time count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `self * k` (e.g. `k` sequential repetitions of an operation).
+    #[must_use]
+    pub const fn times(self, k: u64) -> Self {
+        BitTime(self.0 * k)
+    }
+
+    /// Saturating subtraction; useful when overlapping pipeline stages.
+    #[must_use]
+    pub const fn saturating_sub(self, other: Self) -> Self {
+        BitTime(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two completion times (parallel composition: both branches
+    /// run concurrently, the phase ends when the slower one does).
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        BitTime(self.0.max(other.0))
+    }
+
+    /// Converts to `f64` for fitting and ratio computations.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for BitTime {
+    type Output = BitTime;
+    fn add(self, rhs: BitTime) -> BitTime {
+        BitTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for BitTime {
+    fn add_assign(&mut self, rhs: BitTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for BitTime {
+    type Output = BitTime;
+    fn sub(self, rhs: BitTime) -> BitTime {
+        BitTime(self.0.checked_sub(rhs.0).expect("BitTime subtraction underflow"))
+    }
+}
+
+impl Mul<u64> for BitTime {
+    type Output = BitTime;
+    fn mul(self, rhs: u64) -> BitTime {
+        BitTime(self.0 * rhs)
+    }
+}
+
+impl Sum for BitTime {
+    fn sum<I: Iterator<Item = BitTime>>(iter: I) -> BitTime {
+        BitTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for BitTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}τ", self.0)
+    }
+}
+
+/// Chip area, counted in square layout units (λ²).
+///
+/// λ is Thompson's grid pitch: wires are one λ wide and one bit of logic or
+/// storage occupies `O(1)` λ². Areas in this workspace are *measured* from
+/// constructed layouts (bounding box of all placed processors and routed
+/// wires), never asserted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Area(u64);
+
+impl Area {
+    /// Zero area.
+    pub const ZERO: Area = Area(0);
+
+    /// Wraps a raw λ² count.
+    pub const fn new(a: u64) -> Self {
+        Area(a)
+    }
+
+    /// Constructs the area of a `w × h` rectangle.
+    pub const fn of_rect(w: u64, h: u64) -> Self {
+        Area(w * h)
+    }
+
+    /// Returns the raw λ² count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to `f64` for fitting and ratio computations.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The `area · time²` figure of merit (paper §I: "A figure of merit
+    /// proposed to take both time and chip area into account is area·time²").
+    ///
+    /// Returned as `f64` since the product routinely exceeds `u64` range.
+    pub fn at2(self, t: BitTime) -> f64 {
+        self.as_f64() * t.as_f64() * t.as_f64()
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+    fn mul(self, rhs: u64) -> Area {
+        Area(self.0 * rhs)
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        Area(iter.map(|a| a.0).sum())
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}λ²", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_time_arithmetic() {
+        let a = BitTime::new(3);
+        let b = BitTime::new(4);
+        assert_eq!((a + b).get(), 7);
+        assert_eq!((b - a).get(), 1);
+        assert_eq!(a.times(5).get(), 15);
+        assert_eq!((a * 2).get(), 6);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.saturating_sub(a).get(), 1);
+        assert_eq!(a.saturating_sub(b), BitTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn bit_time_sub_underflow_panics() {
+        let _ = BitTime::new(1) - BitTime::new(2);
+    }
+
+    #[test]
+    fn bit_time_sum_and_display() {
+        let total: BitTime = (1..=4).map(BitTime::new).sum();
+        assert_eq!(total.get(), 10);
+        assert_eq!(total.to_string(), "10τ");
+    }
+
+    #[test]
+    fn area_arithmetic_and_at2() {
+        let a = Area::of_rect(10, 20);
+        assert_eq!(a.get(), 200);
+        assert_eq!((a + Area::new(1)).get(), 201);
+        assert_eq!((a * 3).get(), 600);
+        let t = BitTime::new(5);
+        assert_eq!(a.at2(t), 200.0 * 25.0);
+        assert_eq!(a.to_string(), "200λ²");
+    }
+
+    #[test]
+    fn area_sum() {
+        let total: Area = [Area::new(1), Area::new(2), Area::new(3)].into_iter().sum();
+        assert_eq!(total.get(), 6);
+    }
+
+    #[test]
+    fn at2_handles_large_products_without_overflow() {
+        let a = Area::new(u64::MAX / 2);
+        let t = BitTime::new(1 << 30);
+        let v = a.at2(t);
+        assert!(v.is_finite());
+        assert!(v > 1e30);
+    }
+}

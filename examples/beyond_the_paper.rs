@@ -1,0 +1,63 @@
+//! Beyond the tables: the library pieces this reproduction grew around the
+//! paper's §VII discussion and the mesh-of-trees folklore —
+//!
+//! * prefix sums and stream compaction (`otn::prefix`);
+//! * k-th order statistics without a full sort (`otn::sort::select_kth`);
+//! * triangle counting with the Table II multiplier (`otn::graph::triangles`);
+//! * Leighton's 3-D mesh of trees and its unpipelined matrix product
+//!   (`mot3d`, quoted by the paper in §VII.B).
+//!
+//! Run with: `cargo run --release -p orthotrees-bench --example beyond_the_paper`
+
+use orthotrees::otn::{self, Otn};
+use orthotrees::{mot3d, Grid};
+use orthotrees_analysis::workloads;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- prefix sums & compaction ---------------------------------------
+    let xs = [3, 1, 4, 1, 5, 9, 2, 6];
+    let scan = otn::prefix::prefix_sums(&xs)?;
+    println!("prefix sums of {xs:?}: {:?} in {}", scan.output, scan.time);
+
+    let keep = [true, false, true, false, true, false, true, false];
+    let packed = otn::prefix::compact(&xs, &keep)?;
+    println!("compacted evens-by-position: {:?} in {}", packed.output, packed.time);
+
+    // --- selection without sorting --------------------------------------
+    let n = 64;
+    let data = workloads::distinct_words(n, 9);
+    let mut net = Otn::for_sorting(n)?;
+    let median = otn::sort::select_kth(&mut net, &data, n / 2)?;
+    println!("\nmedian of {n} values: {} in {} (vs a full SORT-OTN)", median.value, median.time);
+
+    // --- triangle counting ----------------------------------------------
+    let adj = workloads::gnp_adjacency(16, 0.35, 3);
+    let tri = otn::graph::triangles::count_triangles(&adj)?;
+    println!(
+        "\nG(16, 0.35) has {} triangles (trace(A³)/6 via two wide products) in {}",
+        tri.count, tri.time
+    );
+    assert_eq!(tri.count, otn::graph::triangles::reference_triangles(&adj));
+
+    // --- the 3-D mesh of trees -------------------------------------------
+    let side = 8;
+    let a = Grid::from_fn(side, side, |i, j| ((i * 3 + j) % 5) as i64);
+    let b = Grid::from_fn(side, side, |i, j| ((i + 2 * j) % 7) as i64);
+    let out = mot3d::matmul(&a, &b)?;
+    assert_eq!(out.c, otn::matmul::reference_matmul(&a, &b));
+    let mut otn_net = Otn::for_sorting(side)?;
+    let pipelined = otn::matmul::matmul(&mut otn_net, &a, &b)?;
+    println!(
+        "\n{side}×{side} matmul: 3-D mesh of trees {} vs pipelined 2-D OTN {} \
+         (the §VII.B trade: N³ processors buy away the pipeline)",
+        out.time, pipelined.time
+    );
+    println!(
+        "3-D modeled area {} vs 2-D OTN area {} — AT² {:.3e} vs {:.3e}",
+        mot3d::Mot3d::predicted_area(side),
+        orthotrees_layout::otn::OtnLayout::predicted_area_default(side),
+        mot3d::Mot3d::predicted_area(side).at2(out.time),
+        orthotrees_layout::otn::OtnLayout::predicted_area_default(side).at2(pipelined.time),
+    );
+    Ok(())
+}

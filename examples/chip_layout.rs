@@ -1,0 +1,57 @@
+//! Draw the chips: the paper's Fig. 1 (OTN), Fig. 2 (one OTC cycle) and
+//! Fig. 3 (OTC) as ASCII art, and inspect the measured layout metrics the
+//! area columns of the tables are built from.
+//!
+//! Run with: `cargo run -p orthotrees-bench --example chip_layout`
+
+use orthotrees_layout::mesh::MeshLayout;
+use orthotrees_layout::otc::{CycleLayout, OtcLayout};
+use orthotrees_layout::otn::OtnLayout;
+use orthotrees_layout::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fig. 1 — the (4×4)-OTN: white circles (o) are base processors, black
+    // dots (*) the tree processors; row trees live in the horizontal
+    // strips, column trees in the vertical channels.
+    let otn = OtnLayout::build(4, 2)?;
+    println!("{}", render::ascii(otn.chip(), 200));
+
+    // Fig. 2 — one OTC cycle: log N slivers of O(log N)×O(1) with the ring
+    // wiring above.
+    let cycle = CycleLayout::build(4, 4)?;
+    println!("{}", render::ascii(cycle.chip(), 100));
+
+    // Fig. 3 — the (4×4)-OTC (N = 16).
+    let otc = OtcLayout::build(4, 4, 4)?;
+    println!("{}", render::ascii(otc.chip(), 250));
+
+    // Measured metrics, side by side.
+    println!("layout summaries:");
+    for summary in [
+        otn.chip().summary(),
+        cycle.chip().summary(),
+        otc.chip().summary(),
+        MeshLayout::build(4, 4, 2)?.chip().summary(),
+    ] {
+        println!("  {summary}");
+    }
+
+    // And the punchline of §V: at equal problem size the OTC chip is
+    // asymptotically smaller than the OTN chip.
+    println!("\nsame-problem-size areas:");
+    println!("{:>8} | {:>14} | {:>14} | {:>7}", "N", "OTN [λ²]", "OTC [λ²]", "ratio");
+    for k in [4u32, 6, 8, 10] {
+        let n = 1usize << k;
+        let a_otn = OtnLayout::predicted_area_default(n);
+        let (m, l) = orthotrees_layout::otc::otc_dims(n)?;
+        let a_otc = OtcLayout::predicted_area(m, l, k.max(1));
+        println!(
+            "{:>8} | {:>14} | {:>14} | {:>7.2}",
+            n,
+            a_otn.get(),
+            a_otc.get(),
+            a_otn.as_f64() / a_otc.as_f64()
+        );
+    }
+    Ok(())
+}

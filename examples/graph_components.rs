@@ -1,0 +1,88 @@
+//! Graph algorithms on the orthogonal-trees networks: connected components
+//! and minimum spanning tree of random graphs, checked against sequential
+//! references and compared OTN vs OTC vs mesh — the paper's Table III
+//! story, live.
+//!
+//! Run with: `cargo run -p orthotrees-bench --example graph_components`
+
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::graph::{cc, mst};
+use orthotrees_analysis::workloads;
+use orthotrees_baselines::{mesh, seq};
+use orthotrees_layout::otc::OtcLayout;
+use orthotrees_layout::otn::OtnLayout;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64;
+    let adj = workloads::gnp_adjacency(n, 0.05, 7);
+    let edges = workloads::edges_of(&adj);
+    println!("G({n}, 0.05): {} edges", edges.len());
+
+    // --- connected components -----------------------------------------
+    let otn = cc::connected_components(&adj)?;
+    let reference = seq::components(n, &edges);
+    assert_eq!(otn.labels, reference, "OTN CC must match union–find");
+    println!(
+        "\nOTN connected components: {} components, {} hook-and-shortcut iterations, {}",
+        count_distinct(&otn.labels),
+        otn.iterations,
+        otn.time
+    );
+
+    // The OTC runs the same algorithm in (Θ-)equal time but Θ(log² N) less
+    // area — §VI.B's direct conversion, measured operation by operation:
+    let otc_out = otc::cc::connected_components(&adj)?;
+    assert_eq!(otc_out.labels, reference, "OTC CC must match union–find too");
+    let (m, l) = Otc::dims_for(n)?;
+    let w = 2 * orthotrees_vlsi::log2_ceil(n as u64) + 2;
+    let otn_area = OtnLayout::predicted_area(n, w);
+    let otc_area = OtcLayout::predicted_area(m, l, w);
+    println!(
+        "OTC (direct, measured):   {} on an ({m}×{m})-OTC of {l}-cycles",
+        otc_out.time
+    );
+    println!(
+        "chip areas:               OTN {otn_area}, OTC {otc_area} ({:.1}× smaller)",
+        otn_area.as_f64() / otc_area.as_f64()
+    );
+    println!(
+        "AT² (the Table III gap):  OTN {:.3e}, OTC {:.3e}, mesh {:.3e}",
+        otn_area.at2(otn.time),
+        otc_area.at2(otc_out.time),
+        {
+            let rows = workloads::grid_to_rows(&adj);
+            let mesh_out = mesh::closure::connected_components(&rows)?;
+            assert_eq!(mesh_out.labels, reference);
+            orthotrees_layout::mesh::MeshLayout::predicted_area(
+                n,
+                n,
+                orthotrees_vlsi::log2_ceil(n as u64),
+            )
+            .at2(mesh_out.time)
+        }
+    );
+
+    // --- minimum spanning tree ------------------------------------------
+    let weights = workloads::random_weights(n, 0.08, 500, 11);
+    let wedges = workloads::weighted_edges_of(&weights);
+    let outcome = mst::minimum_spanning_tree(&weights)?;
+    let (ref_weight, ref_edges) = seq::kruskal(n, &wedges);
+    assert_eq!(outcome.total_weight, ref_weight, "MST weight must match Kruskal");
+    println!(
+        "\nOTN minimum spanning tree: {} edges, total weight {}, {} Borůvka phases, {}",
+        outcome.edges.len(),
+        outcome.total_weight,
+        outcome.phases,
+        outcome.time
+    );
+    assert_eq!(outcome.edges.len(), ref_edges);
+    println!("first edges: {:?}", &outcome.edges[..outcome.edges.len().min(5)]);
+    Ok(())
+}
+
+fn count_distinct(labels: &[i64]) -> usize {
+    let mut v = labels.to_vec();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}

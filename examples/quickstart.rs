@@ -1,0 +1,37 @@
+//! Quickstart: build an orthogonal trees network, sort on it, and read the
+//! VLSI-model cost.
+//!
+//! Run with: `cargo run -p orthotrees-bench --example quickstart`
+
+use orthotrees::otn::{self, Otn};
+use orthotrees_layout::otn::OtnLayout;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A (16×16)-OTN under Thompson's logarithmic-delay model.
+    let n = 16;
+    let mut net = Otn::for_sorting(n)?;
+
+    // The paper's SORT-OTN: inputs appear at the row-tree roots (input
+    // ports), the sorted sequence at the column-tree roots (output ports).
+    let inputs: Vec<i64> = vec![42, 7, 13, 99, 3, 56, 21, 88, 5, 67, 31, 74, 11, 95, 2, 60];
+    let outcome = otn::sort::sort(&mut net, &inputs)?;
+
+    println!("inputs:  {inputs:?}");
+    println!("sorted:  {:?}", outcome.sorted);
+    println!();
+    println!("simulated time:      {} (Θ(log² N) bit-times)", outcome.time);
+    println!("operations executed: {}", outcome.stats);
+
+    // Area comes from the constructed chip layout, not a formula.
+    let layout = OtnLayout::with_default_word(n)?;
+    let area = layout.area();
+    println!("chip area:           {area} (Θ(N² log² N))");
+    println!("AT²:                 {:.3e}", area.at2(outcome.time));
+    println!();
+    println!(
+        "the same chip holds {} base processors and {} tree processors",
+        layout.base_processor_count(),
+        layout.internal_processor_count()
+    );
+    Ok(())
+}

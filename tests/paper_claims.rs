@@ -1,0 +1,346 @@
+//! The paper's quantitative claims, checked end to end against measured
+//! sweeps — the table-level acceptance tests of the reproduction.
+//!
+//! At laptop-scale `N` a least-squares fit cannot cleanly separate `N^0.2`
+//! from a log factor (the regressors are nearly collinear), so the shape
+//! claims are asserted with two robust instruments:
+//!
+//! * **Θ-spread** ([`orthotrees_analysis::fit::theta_spread`]): the
+//!   max/min of `T/(N^a log^b N)` over the sweep must stay within a small
+//!   band for the paper's `(a, b)` — and diverge for rival shapes;
+//! * **relative growth**: a network the paper says is polylog must grow
+//!   strictly slower across the sweep than one the paper says is
+//!   polynomial.
+
+use orthotrees_analysis::fit::theta_spread;
+use orthotrees_analysis::report::{self, ReportConfig};
+use orthotrees_analysis::sweep::{self, Sweep};
+
+fn cfg() -> ReportConfig {
+    ReportConfig {
+        sort_ns: vec![16, 32, 64, 128, 256, 512],
+        matmul_ns: vec![2, 4, 8, 16],
+        graph_ns: vec![8, 16, 32, 64],
+        seed: 0xABCD,
+    }
+}
+
+const SORT_NS: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+
+fn time_points(s: &Sweep) -> Vec<(u64, f64)> {
+    s.samples.iter().map(|p| (p.n as u64, p.time.as_f64())).collect()
+}
+
+fn area_points(s: &Sweep) -> Vec<(u64, f64)> {
+    s.samples.iter().map(|p| (p.n as u64, p.area.as_f64())).collect()
+}
+
+/// Overall growth exponent across the sweep: `log(T_last/T_first) /
+/// log(n_last/n_first)` — the slope a log-log plot would show.
+fn growth_exponent(points: &[(u64, f64)]) -> f64 {
+    let (n0, t0) = points.first().copied().expect("nonempty");
+    let (n1, t1) = points.last().copied().expect("nonempty");
+    (t1 / t0).ln() / (n1 as f64 / n0 as f64).ln()
+}
+
+/// §II.B: SORT-OTN runs in Θ(log² N): the log² form is Θ-consistent
+/// (bounded spread) and the growth is far below any polynomial.
+#[test]
+fn claim_sort_otn_is_theta_log_squared() {
+    let s = sweep::sort_otn(&SORT_NS, 1, false);
+    let pts = time_points(&s);
+    let spread = theta_spread(&pts, 0.0, 2.0).unwrap();
+    assert!(spread < 2.5, "T/log²N spread {spread:.2} too wide");
+    let g = growth_exponent(&pts);
+    assert!(g < 0.4, "growth exponent {g:.2} looks polynomial");
+    // And log² fits better than the mesh's √N shape.
+    let sqrt_spread = theta_spread(&pts, 0.5, 0.0).unwrap();
+    assert!(spread < sqrt_spread, "log² ({spread:.2}) should beat √N ({sqrt_spread:.2})");
+}
+
+/// §VI.A: SORT-OTC matches the OTN's Θ(log² N) while its chip is Θ(N²).
+#[test]
+fn claim_sort_otc_is_theta_log_squared_with_quadratic_area() {
+    let s = sweep::sort_otc(&SORT_NS, 1);
+    let spread = theta_spread(&time_points(&s), 0.0, 2.0).unwrap();
+    assert!(spread < 2.5, "OTC T/log²N spread {spread:.2}");
+    let area_spread = theta_spread(&area_points(&s), 2.0, 0.0).unwrap();
+    assert!(area_spread < 3.0, "OTC area/N² spread {area_spread:.2}");
+    // The area really is log²-smaller than the OTN's: the OTN/OTC area
+    // ratio must grow.
+    let otn = sweep::sort_otn(&SORT_NS, 1, false);
+    let ratios: Vec<f64> = otn
+        .samples
+        .iter()
+        .zip(&s.samples)
+        .map(|(a, b)| a.area.as_f64() / b.area.as_f64())
+        .collect();
+    assert!(
+        ratios.last().unwrap() > &(2.0 * ratios.first().unwrap()),
+        "OTN/OTC area gap should widen: {ratios:?}"
+    );
+}
+
+/// §II.A (Leighton): the OTN occupies Θ(N² log² N).
+#[test]
+fn claim_otn_area_is_n2_log2() {
+    let s = sweep::sort_otn(&SORT_NS, 1, false);
+    let pts = area_points(&s);
+    let spread = theta_spread(&pts, 2.0, 2.0).unwrap();
+    assert!(spread < 2.0, "area/(N²log²N) spread {spread:.2}");
+    let no_log_spread = theta_spread(&pts, 2.0, 0.0).unwrap();
+    assert!(spread < no_log_spread, "the log² factor is real");
+}
+
+/// Table I: the mesh's time is Θ(√N·polylog) — its growth exponent sits
+/// near ½ while every tree/shuffle network stays polylog.
+#[test]
+fn claim_table1_time_shapes() {
+    let mesh = sweep::sort_mesh(&SORT_NS, 1, false);
+    let mesh_pts = time_points(&mesh);
+    // √N·log² (our shear sort carries one more log than Thompson's √N
+    // sorter — recorded in EXPERIMENTS.md) is Θ-consistent, and at these N
+    // the log inflation pushes the raw growth exponent towards 0.9.
+    let mesh_spread = theta_spread(&mesh_pts, 0.5, 2.0).unwrap();
+    assert!(mesh_spread < 2.0, "mesh sort not √N·log²-shaped: spread {mesh_spread:.2}");
+    let g_mesh = growth_exponent(&mesh_pts);
+    assert!((0.6..1.1).contains(&g_mesh), "mesh sort growth {g_mesh:.2}");
+    for s in [
+        sweep::sort_psn(&SORT_NS, 1, false),
+        sweep::sort_ccc(&SORT_NS, 1, false),
+        sweep::sort_otn(&SORT_NS, 1, false),
+        sweep::sort_otc(&SORT_NS, 1),
+    ] {
+        // Polylog vs √N·polylog: the mesh-to-network time ratio must widen
+        // across the sweep (growth exponents alone cannot separate log³
+        // from √N at these N — ln log³N / ln N ≈ 0.66 here).
+        let pts = time_points(&s);
+        let first_ratio = mesh_pts.first().unwrap().1 / pts.first().unwrap().1;
+        let last_ratio = mesh_pts.last().unwrap().1 / pts.last().unwrap().1;
+        assert!(
+            last_ratio > 1.5 * first_ratio,
+            "{}: mesh/network ratio should widen: {first_ratio:.2} → {last_ratio:.2}",
+            s.network
+        );
+    }
+    // PSN/CCC are Θ(log³): log³ is Θ-consistent and beats log².
+    for s in [sweep::sort_psn(&SORT_NS, 1, false), sweep::sort_ccc(&SORT_NS, 1, false)] {
+        let pts = time_points(&s);
+        let s3 = theta_spread(&pts, 0.0, 3.0).unwrap();
+        let s2 = theta_spread(&pts, 0.0, 2.0).unwrap();
+        assert!(s3 < 1.6, "{}: log³ spread {s3:.2}", s.network);
+        assert!(s3 < s2, "{}: log³ ({s3:.2}) should beat log² ({s2:.2})", s.network);
+    }
+}
+
+/// Table I: the OTC's measured AT² beats the OTN's at every size and the
+/// gap grows (it is Θ(log² N)); at laptop-scale N the mesh is *not* yet
+/// first (its shear-sort constants dominate), which the ranking check
+/// reports as the finite-size caveat recorded in EXPERIMENTS.md.
+#[test]
+fn claim_table1_at2_ordering() {
+    let t = report::table1(&cfg());
+    let ranking = t.measured_ranking();
+    let pos = |name: &str| ranking.iter().position(|(n, _)| n == name).unwrap();
+    assert!(pos("OTC") < pos("OTN"), "Table I OTC/OTN inverted: {ranking:?}");
+
+    let otn = sweep::sort_otn(&SORT_NS, 1, false);
+    let otc = sweep::sort_otc(&SORT_NS, 1);
+    let gaps: Vec<f64> = otn
+        .samples
+        .iter()
+        .zip(&otc.samples)
+        .map(|(a, b)| a.at2() / b.at2())
+        .collect();
+    assert!(gaps.iter().all(|&g| g > 1.0), "OTC must always win: {gaps:?}");
+    assert!(
+        gaps.last().unwrap() > gaps.first().unwrap(),
+        "the OTC's AT² advantage must grow: {gaps:?}"
+    );
+}
+
+/// Table II: Boolean matmul — mesh Θ(N), wide OTN polylog, OTC's smaller
+/// wide network wins on AT².
+#[test]
+fn claim_table2_shapes() {
+    let ns = [2usize, 4, 8, 16, 32];
+    let mesh = sweep::boolmm_mesh(&ns, 2);
+    let g_mesh = growth_exponent(&time_points(&mesh));
+    assert!((g_mesh - 1.0).abs() < 0.25, "mesh Cannon growth {g_mesh:.2}");
+    let otn = sweep::boolmm_otn(&ns, 2);
+    let g_otn = growth_exponent(&time_points(&otn));
+    assert!(g_otn < g_mesh - 0.3, "wide OTN growth {g_otn:.2} vs mesh {g_mesh:.2}");
+    let otc = sweep::boolmm_otc(&ns, 2);
+    for (a, b) in otn.samples.iter().zip(&otc.samples) {
+        assert!(b.at2() < a.at2(), "OTC wide multiplier must beat OTN at n={}", a.n);
+    }
+}
+
+/// Table III: connected components — the mesh grows ≈linearly, the OTN
+/// polylog (strictly slower growth), and the OTC beats the OTN on AT².
+#[test]
+fn claim_table3_shapes() {
+    let ns = [8usize, 16, 32, 64, 128, 256];
+    let mesh = sweep::cc_mesh(&ns, 3);
+    let mesh_pts = time_points(&mesh);
+    // Mesh CC is Θ(N·w) = Θ(N log N): that shape is tight.
+    let mesh_spread = theta_spread(&mesh_pts, 1.0, 1.0).unwrap();
+    assert!(mesh_spread < 1.6, "mesh CC not N·log-shaped: spread {mesh_spread:.2}");
+    let g_mesh = growth_exponent(&mesh_pts);
+    assert!((1.0..1.5).contains(&g_mesh), "mesh CC growth {g_mesh:.2}");
+    let otn = sweep::cc_otn(&ns, 3);
+    let g_otn = growth_exponent(&time_points(&otn));
+    assert!(g_otn < g_mesh - 0.2, "OTN CC growth {g_otn:.2} vs mesh {g_mesh:.2}");
+    // Θ(log⁴±1): T/log⁵ must not grow.
+    let pts = time_points(&otn);
+    let first = pts.first().unwrap();
+    let last = pts.last().unwrap();
+    let norm = |&(n, t): &(u64, f64)| t / (n as f64).log2().powi(5);
+    assert!(norm(last) < norm(first) * 1.5, "CC time above log⁵ envelope");
+    let otc = sweep::cc_otc(&ns, 3);
+    for (a, b) in otn.samples.iter().zip(&otc.samples) {
+        assert!(b.at2() < a.at2(), "OTC CC must beat OTN CC at n={}", a.n);
+    }
+}
+
+/// Table III′ (MST): the directly implemented OTC Borůvka beats the OTN on
+/// AT² at every size — the §VI.B area saving survives the measured
+/// constants — while both produce Kruskal-optimal forests (checked inside
+/// the sweeps' debug assertions and the core tests).
+#[test]
+fn claim_table3_mst_otc_beats_otn() {
+    let ns = [8usize, 16, 32, 64];
+    let otn = sweep::mst_otn(&ns, 5);
+    let otc = sweep::mst_otc(&ns, 5);
+    for (a, b) in otn.samples.iter().zip(&otc.samples) {
+        assert!(b.at2() < a.at2(), "OTC MST must beat OTN MST at n={}", a.n);
+    }
+    // The §VI.B storage point: MST's OTC area carries an extra ≈log N over
+    // the CC configuration's Θ(N²).
+    let cc = sweep::cc_otc(&ns, 5);
+    for (mst_s, cc_s) in otc.samples.iter().zip(&cc.samples) {
+        assert!(mst_s.area > cc_s.area, "weight storage must cost area at n={}", mst_s.n);
+    }
+}
+
+/// The abstract's exact Θ claims, symbolically: CC AT² = N² log⁸ N on the
+/// OTC vs N⁴ log⁴ on PSN/CCC and N⁴ on the mesh — OTC dominates, with a
+/// finite crossover against the mesh.
+#[test]
+fn claim_abstract_at2_symbolics() {
+    use orthotrees_vlsi::Complexity;
+    let otc_cc = Complexity::new(2.0, 8);
+    let psn_cc = Complexity::new(4.0, 4);
+    let mesh_cc = Complexity::poly(4.0);
+    assert!(otc_cc.dominates(&psn_cc));
+    assert!(otc_cc.dominates(&mesh_cc));
+    let crossover = otc_cc.crossover_below(&mesh_cc, 1 << 62).expect("finite crossover");
+    assert!(crossover > 1 << 10, "polylog⁸ loses to N² only beyond moderate N");
+}
+
+/// Table IV: under the unit-cost model the OTN sorts in Θ(log N) —
+/// strictly faster than the PSN/CCC's Θ(log² N).
+#[test]
+fn claim_table4_shapes() {
+    let otn = sweep::sort_otn(&SORT_NS, 1, true);
+    let psn = sweep::sort_psn(&SORT_NS, 1, true);
+    for (a, b) in otn.samples.iter().zip(&psn.samples) {
+        assert!(a.time < b.time, "OTN unit sort must beat PSN at n={}", a.n);
+    }
+    let pts = time_points(&otn);
+    let s1 = theta_spread(&pts, 0.0, 1.0).unwrap();
+    let s2 = theta_spread(&pts, 0.0, 2.0).unwrap();
+    assert!(s1 < s2, "OTN unit sort is Θ(log N), not log²: {s1:.2} vs {s2:.2}");
+    let psn_pts = time_points(&psn);
+    let p2 = theta_spread(&psn_pts, 0.0, 2.0).unwrap();
+    assert!(p2 < 1.6, "PSN unit sort is Θ(log² N): spread {p2:.2}");
+}
+
+/// §VII.D: "The time performance of the Mesh does not change because it
+/// has only short wires" — identical mesh times under the logarithmic and
+/// plain constant-delay models (bit-serial in both).
+#[test]
+fn claim_mesh_is_delay_model_invariant() {
+    use orthotrees_baselines::mesh::{sort::shear_sort, Mesh};
+    let xs = orthotrees_analysis::workloads::distinct_words(64, 4);
+    let mut log_net = Mesh::new(8, 8, orthotrees::CostModel::thompson(64)).unwrap();
+    let mut const_net = Mesh::new(8, 8, orthotrees::CostModel::constant_delay(64)).unwrap();
+    let t_log = shear_sort(&mut log_net, &xs).unwrap().time;
+    let t_const = shear_sort(&mut const_net, &xs).unwrap().time;
+    assert_eq!(t_log, t_const);
+}
+
+/// §II.B / [31]: scaling removes ≈one log factor from SORT-OTN, and the
+/// speedup grows with N.
+#[test]
+fn claim_scaling_speeds_up_sort() {
+    use orthotrees::otn::{sort, Otn};
+    let mut ratios = Vec::new();
+    for k in [5u32, 7, 9] {
+        let n = 1usize << k;
+        let xs = orthotrees_analysis::workloads::distinct_words(n, 6);
+        let mut plain = Otn::for_sorting(n).unwrap();
+        let t_plain = sort::sort(&mut plain, &xs).unwrap().time;
+        let mut scaled =
+            Otn::new(n, n, orthotrees::CostModel::thompson(n).with_scaling()).unwrap();
+        let t_scaled = sort::sort(&mut scaled, &xs).unwrap().time;
+        ratios.push((k, t_plain.as_f64() / t_scaled.as_f64()));
+    }
+    assert!(ratios.windows(2).all(|w| w[1].1 > w[0].1), "{ratios:?}");
+    assert!(ratios.last().unwrap().1 > 1.5, "{ratios:?}");
+}
+
+/// §IV: bitonic sort and DFT on the (√N×√N)-OTN run in Θ(√N·polylog):
+/// growth exponent between ½ and ~0.85, and strictly above the rank sort's
+/// polylog.
+#[test]
+fn claim_section4_sqrt_shapes() {
+    use orthotrees::otn::{bitonic, dft, Otn};
+    let mut bit_pts = Vec::new();
+    let mut dft_pts = Vec::new();
+    for k in [4usize, 8, 16, 32] {
+        let n = k * k;
+        let xs = orthotrees_analysis::workloads::distinct_words(n, 8);
+        let mut net = Otn::for_sorting(k).unwrap();
+        bit_pts.push((n as u64, bitonic::bitonic_sort(&mut net, &xs).unwrap().time.as_f64()));
+        let mut net2 = Otn::for_sorting(k).unwrap();
+        dft_pts.push((n as u64, dft::dft(&mut net2, &xs).unwrap().time.as_f64()));
+    }
+    // The mesh's shear sort is the paper's own √N·polylog yardstick
+    // ("an O(N^1/2) time bound can be obtained on a mesh of equal area"):
+    // the OTN's bitonic/DFT must track its shape across the sweep.
+    let mesh = sweep::sort_mesh(&[16, 64, 256, 1024], 8, false);
+    let mesh_pts = time_points(&mesh);
+    // Bitonic runs log N merges of pipelined COMPEXes (√N·log² here);
+    // the DFT is a single butterfly pass (√N·log).
+    for (name, log_exp, pts) in [("bitonic", 2.0, bit_pts), ("dft", 1.0, dft_pts)] {
+        let g = growth_exponent(&pts);
+        assert!((0.35..1.1).contains(&g), "{name} growth {g:.2} not ≈√N·polylog");
+        let sqrt_spread = theta_spread(&pts, 0.5, log_exp).unwrap();
+        assert!(sqrt_spread < 4.0, "{name}: √N·log^{log_exp} spread {sqrt_spread:.2}");
+        // Ratio against the mesh yardstick drifts by at most a log factor.
+        let ratios: Vec<f64> = pts
+            .iter()
+            .filter_map(|&(n, t)| {
+                mesh_pts.iter().find(|&&(m, _)| m == n).map(|&(_, mt)| t / mt)
+            })
+            .collect();
+        assert!(ratios.len() >= 3, "{name}: need shared sizes");
+        let hi = ratios.iter().cloned().fold(0.0f64, f64::max);
+        let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(hi / lo < 4.0, "{name} vs mesh drifts {ratios:?}");
+    }
+}
+
+/// §VIII: pipelining brings the per-problem sorting cost down to the issue
+/// interval, reproducing the OTC's N² log⁴ N AT² on the plain OTN.
+#[test]
+fn claim_section8_pipelining() {
+    use orthotrees::otn::{pipeline, Otn};
+    let n = 128;
+    let net = Otn::for_sorting(n).unwrap();
+    let problems: Vec<Vec<i64>> =
+        (0..20).map(|p| orthotrees_analysis::workloads::distinct_words(n, p)).collect();
+    let out = pipeline::pipelined_sorts(&net, &problems).unwrap();
+    assert!(out.per_problem_time() < out.single_latency.as_f64() / 3.0);
+}
