@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, lints. Run from the repo root.
+set -euo pipefail
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

@@ -9,6 +9,8 @@
 //!   `T(N) = c · N^a · log^b N` from a measured sweep;
 //! * [`sweep`] — one measured `(N, area, time)` series per network ×
 //!   problem;
+//! * [`faults`] — degradation sweeps: sorted-output accuracy and slowdown
+//!   vs injected word-fault rate;
 //! * [`tables`] — the paper's table entries as [`Complexity`] terms plus
 //!   the machinery to print paper-vs-measured tables;
 //! * [`report`] — the experiment battery behind EXPERIMENTS.md;
@@ -24,11 +26,13 @@
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod faults;
 pub mod fit;
 pub mod report;
 pub mod sweep;
 pub mod tables;
 pub mod workloads;
 
+pub use faults::{FaultPoint, FaultSweep};
 pub use fit::{fit_poly_log, Fit};
 pub use sweep::{Sample, Sweep};

@@ -34,7 +34,7 @@ fn bench_primitives(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("event_sim_broadcast", n), &n, |b, _| {
             let m = CostModel::thompson(n);
-            b.iter(|| black_box(experiments::broadcast_completion_time(n, &m)))
+            b.iter(|| black_box(experiments::broadcast_completion_time(n, &m).unwrap()))
         });
     }
     group.finish();

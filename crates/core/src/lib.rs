@@ -58,8 +58,10 @@ mod grid;
 pub mod mot3d;
 pub mod otc;
 pub mod otn;
+pub mod resilience;
 mod word;
 
 pub use grid::Grid;
-pub use orthotrees_vlsi::{Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats};
+pub use orthotrees_vlsi::{Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats, SimError};
+pub use resilience::{DarkLeaf, FaultPlan, FaultReport, FaultStats, TreeAxis};
 pub use word::{pack, unpack, Word};

@@ -21,6 +21,7 @@ pub mod matmul;
 pub mod mst;
 pub mod sort;
 
+use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
 use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostModel, ModelError};
 
@@ -98,6 +99,9 @@ pub struct Otc {
     reg_names: Vec<&'static str>,
     row_roots: Vec<Vec<Option<Word>>>,
     col_roots: Vec<Vec<Option<Word>>>,
+    /// Installed fault scenario; `None` keeps every primitive on the exact
+    /// fault-free path.
+    fault: Option<FaultState>,
 }
 
 impl Otc {
@@ -144,6 +148,7 @@ impl Otc {
             reg_names: Vec::new(),
             row_roots: vec![vec![None; cycle]; m],
             col_roots: vec![vec![None; cycle]; m],
+            fault: None,
         })
     }
 
@@ -320,6 +325,78 @@ impl Otc {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection, detection and graceful degradation (see
+    // [`crate::resilience`]). The OTC's trees have one leaf per *cycle*,
+    // so a dark leaf is a whole cycle cut from one of its trees.
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault scenario for all subsequent
+    /// primitives; returns the degradation verdicts for its dead IPs.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> &FaultReport {
+        self.fault = Some(FaultState::new(plan, self.m, self.m, self.m, self.m));
+        &self.fault.as_ref().expect("just installed").report
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The degradation report of the installed plan, if any.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.fault.as_ref().map(|f| &f.report)
+    }
+
+    /// Counters for the faults injected so far (all zero with no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Whether cycle `leaf` of tree `tree` along `axis` is cut off.
+    fn is_dark(&self, axis: Axis, tree: usize, leaf: usize) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_dark(axis, tree, leaf))
+    }
+
+    fn begin_fault_round(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.next_round();
+        }
+    }
+
+    /// One stream-word transit at `(axis, tree, slot)` under the installed
+    /// plan (identity without one).
+    fn word_transit(
+        &mut self,
+        axis: Axis,
+        tree: usize,
+        slot: usize,
+        value: Option<Word>,
+    ) -> (Option<Word>, u32) {
+        let width = self.model.word_bits;
+        match &mut self.fault {
+            Some(f) => f.transit(resilience::site(axis, tree, slot), value, width),
+            None => (value, 0),
+        }
+    }
+
+    /// Charges the fault overhead of one streamed primitive on `axis`:
+    /// `attempts` retransmitted streams plus the sibling-reroute penalty.
+    fn charge_fault_overhead(&mut self, axis: Axis, attempts: u32, aggregate: bool) {
+        let Some(f) = &self.fault else { return };
+        let span = f.reroute_span[match axis {
+            Axis::Rows => 0,
+            Axis::Cols => 1,
+        }];
+        let mut extra = self.stream_cost(aggregate) * u64::from(attempts);
+        if span > 0 {
+            extra += self.model.tree_leaf_to_leaf(2 * span, self.pitch);
+        }
+        if extra > BitTime::ZERO {
+            self.clock.advance(extra);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Primitives (§V.B).
     // ------------------------------------------------------------------
 
@@ -340,6 +417,9 @@ impl Otc {
 
     /// `ROOTTOCYCLE(Vector, Dest)`: each tree of `axis` streams its root
     /// buffer to the selected cycles; `dest[q] := buffer[q]`.
+    ///
+    /// Under an installed [`FaultPlan`], every delivered stream word is an
+    /// independent transit and dark cycles receive nothing.
     pub fn root_to_cycle(
         &mut self,
         axis: Axis,
@@ -352,19 +432,24 @@ impl Otc {
             for t in 0..self.m {
                 for l in 0..self.m {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
                         for q in 0..self.cycle {
-                            writes.push(((i, j, q), self.roots(axis)[t][q]));
+                            writes.push((t, l * self.cycle + q, (i, j, q), self.roots(axis)[t][q]));
                         }
                     }
                 }
             }
         }
-        for ((i, j, q), v) in writes {
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, slot, (i, j, q), v) in writes {
+            let (v, att) = self.word_transit(axis, t, slot, v);
+            attempts = attempts.max(att);
             let at = self.idx(i, j, q);
             self.regs[dest.0][at] = v;
         }
         self.charge_stream(false, false);
+        self.charge_fault_overhead(axis, attempts, false);
     }
 
     /// `CYCLETOROOT(Vector, Source)`: each tree's root receives, for every
@@ -373,16 +458,23 @@ impl Otc {
     /// taken from register B(q) of cycle (i,j) such that register A(q) in
     /// this cycle contains a 1").
     ///
+    /// Under an installed [`FaultPlan`], dark cycles cannot reach the
+    /// root, each ascending stream word is one parity-checked transit, and
+    /// per-position contention keeps the first selected cycle instead of
+    /// panicking (corrupted selectors legitimately collide).
+    ///
     /// # Panics
     ///
-    /// Panics if two cycles of the same tree are selected for the same
-    /// stream position (contention).
+    /// Without a fault plan, panics if two cycles of the same tree are
+    /// selected for the same stream position — invariant: the per-position
+    /// selector specifies at most one cycle per tree.
     pub fn cycle_to_root(
         &mut self,
         axis: Axis,
         src: Reg,
         sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        let degraded = self.fault.is_some();
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
@@ -391,11 +483,15 @@ impl Otc {
                     let mut found = false;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) {
-                            assert!(
-                                !found,
-                                "CYCLETOROOT contention: tree {t} position {q} selected twice"
-                            );
+                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
+                            if found {
+                                assert!(
+                                    degraded,
+                                    "CYCLETOROOT contention: tree {t} position {q} selected \
+                                     twice (invariant: one cycle per tree and position)"
+                                );
+                                continue; // under faults: keep the first word
+                            }
                             found = true;
                             new_roots[t][q] = view.get(src, i, j, q);
                         }
@@ -403,8 +499,36 @@ impl Otc {
                 }
             }
         }
+        self.finish_stream_aggregate(axis, new_roots, false, true);
+    }
+
+    /// Shared tail of the root-bound stream primitives: every buffer word
+    /// transits under the fault plan, the roots update, cost and fault
+    /// overhead are charged.
+    fn finish_stream_aggregate(
+        &mut self,
+        axis: Axis,
+        mut new_roots: Vec<Vec<Option<Word>>>,
+        aggregate: bool,
+        send: bool,
+    ) {
+        self.begin_fault_round();
+        let mut attempts = 0;
+        if self.fault.is_some() {
+            for t in 0..self.m {
+                for q in 0..self.cycle {
+                    // Root-bound slots sit above the per-cycle broadcast
+                    // slot range (`m * cycle`), keeping sites injective.
+                    let slot = self.m * self.cycle + q;
+                    let (v, att) = self.word_transit(axis, t, slot, new_roots[t][q]);
+                    attempts = attempts.max(att);
+                    new_roots[t][q] = v;
+                }
+            }
+        }
         *self.roots_mut(axis) = new_roots;
-        self.charge_stream(false, true);
+        self.charge_stream(aggregate, send);
+        self.charge_fault_overhead(axis, attempts, aggregate);
     }
 
     /// `SUM-CYCLETOROOT`: root buffer position `q` receives the sum over
@@ -423,7 +547,7 @@ impl Otc {
                     let mut sum: Word = 0;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) {
+                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
                             sum += view.get(src, i, j, q).unwrap_or(0);
                         }
                     }
@@ -431,8 +555,7 @@ impl Otc {
                 }
             }
         }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_stream(true, false);
+        self.finish_stream_aggregate(axis, new_roots, true, false);
     }
 
     /// `MIN-CYCLETOROOT`: per-position minimum over the selected cycles.
@@ -450,7 +573,7 @@ impl Otc {
                     let mut best: Option<Word> = None;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) {
+                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
                             if let Some(v) = view.get(src, i, j, q) {
                                 best = Some(best.map_or(v, |b: Word| b.min(v)));
                             }
@@ -460,8 +583,7 @@ impl Otc {
                 }
             }
         }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_stream(true, false);
+        self.finish_stream_aggregate(axis, new_roots, true, false);
     }
 
     /// `CYCLETOCYCLE(Vector, Source, Dest)` (§V.B composite 3).

@@ -77,6 +77,12 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
             }
             for q in 0..l {
                 if let (Some(rank), Some(val)) = (cyc.get(r, q), cyc.get(a, q)) {
+                    // Out-of-range ranks only arise from corrupted words
+                    // under a fault plan; staging skips them so the run
+                    // degrades instead of indexing out of the cycle.
+                    if rank < 0 || rank as usize >= n {
+                        continue;
+                    }
                     let rank = rank as usize;
                     if rank % m == j {
                         cyc.set(d, rank / m, Some(val));
@@ -87,15 +93,27 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
         net.cycle_to_root(Axis::Cols, d, |i, j, q, v| v.get(d, i, j, q).is_some());
     });
 
+    let degraded = net.has_fault_plan();
     let buffers = net.read_col_root_buffers();
     let mut sorted = vec![0; n];
+    let mut missing = Vec::new();
     for (j, buf) in buffers.iter().enumerate() {
         for (p, v) in buf.iter().enumerate() {
-            sorted[p * m + j] = v.expect("every rank 0..N is realised exactly once");
+            match v {
+                Some(w) => sorted[p * m + j] = *w,
+                None if degraded => missing.push(p * m + j),
+                // Invariant (fault-free): ranks are a permutation of 0..N,
+                // so every output stream slot is filled exactly once.
+                None => panic!(
+                    "rank invariant violated: output slot {} received no word",
+                    p * m + j
+                ),
+            }
         }
     }
+    missing.sort_unstable();
     let stats = net.clock().stats().since(&stats_before);
-    Ok(SortOutcome { sorted, time, stats })
+    Ok(SortOutcome { sorted, missing, time, stats })
 }
 
 #[cfg(test)]

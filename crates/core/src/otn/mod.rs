@@ -24,6 +24,7 @@ pub mod prefix;
 pub mod sort;
 
 use crate::grid::Grid;
+use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
 use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostModel, ModelError};
 
@@ -125,6 +126,9 @@ pub struct Otn {
     reg_names: Vec<&'static str>,
     row_roots: Vec<Option<Word>>,
     col_roots: Vec<Option<Word>>,
+    /// Installed fault scenario; `None` keeps every primitive on the exact
+    /// fault-free path.
+    fault: Option<FaultState>,
 }
 
 impl Otn {
@@ -151,6 +155,7 @@ impl Otn {
             reg_names: Vec::new(),
             row_roots: vec![None; rows],
             col_roots: vec![None; cols],
+            fault: None,
         })
     }
 
@@ -324,6 +329,85 @@ impl Otn {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection, detection and graceful degradation (see
+    // [`crate::resilience`]). An installed *empty* plan changes nothing.
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic fault scenario for all subsequent
+    /// primitives and returns the degradation verdicts for its dead IPs:
+    /// which subtrees were rerouted through their sibling, and which leaves
+    /// went dark.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) -> &FaultReport {
+        self.fault = Some(FaultState::new(plan, self.rows, self.cols, self.cols, self.rows));
+        &self.fault.as_ref().expect("just installed").report
+    }
+
+    /// Whether a fault plan is installed.
+    pub fn has_fault_plan(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The degradation report of the installed plan, if any.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        self.fault.as_ref().map(|f| &f.report)
+    }
+
+    /// Counters for the faults injected so far (all zero with no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Whether `leaf` of `tree` along `axis` is cut off by a dead IP.
+    fn is_dark(&self, axis: Axis, tree: usize, leaf: usize) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.is_dark(axis, tree, leaf))
+    }
+
+    /// Opens a new transit round for the next faultable primitive.
+    fn begin_fault_round(&mut self) {
+        if let Some(f) = &mut self.fault {
+            f.next_round();
+        }
+    }
+
+    /// One word transit at `(axis, tree, leaf)` under the installed plan
+    /// (identity without one). Returns the delivered word and extra
+    /// attempts used.
+    fn word_transit(
+        &mut self,
+        axis: Axis,
+        tree: usize,
+        leaf: usize,
+        value: Option<Word>,
+    ) -> (Option<Word>, u32) {
+        let width = self.model.word_bits;
+        match &mut self.fault {
+            Some(f) => f.transit(resilience::site(axis, tree, leaf), value, width),
+            None => (value, 0),
+        }
+    }
+
+    /// Charges the time overhead a faultable primitive on `axis` incurred:
+    /// `attempts` retransmission rounds of `base`, plus the lateral
+    /// crossing penalty when the axis has rerouted subtrees.
+    fn charge_fault_overhead(&mut self, axis: Axis, attempts: u32, base: BitTime) {
+        let Some(f) = &self.fault else { return };
+        let span = f.reroute_span[match axis {
+            Axis::Rows => 0,
+            Axis::Cols => 1,
+        }];
+        let mut extra = base * u64::from(attempts);
+        if span > 0 {
+            // Detour through the sibling subtree: down from the common
+            // parent and across, like a leaf-to-leaf hop within the
+            // doubled subtree.
+            extra += self.model.tree_leaf_to_leaf(2 * span, self.pitch);
+        }
+        if extra > BitTime::ZERO {
+            self.clock.advance(extra);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Primitive operations (§II.B). Each charges its model cost once for
     // the whole parallel tree family.
     // ------------------------------------------------------------------
@@ -350,6 +434,10 @@ impl Otn {
     /// register to its selected leaves, which store it in `dest`.
     ///
     /// The selector receives `(row, col, view)` grid coordinates.
+    ///
+    /// Under an installed [`FaultPlan`], each leaf's delivered copy is an
+    /// independent transit (parity-checked, retried, possibly erased or
+    /// silently corrupted), and dark leaves receive nothing.
     pub fn root_to_leaf(
         &mut self,
         axis: Axis,
@@ -364,27 +452,38 @@ impl Otn {
                 let value = self.roots(axis)[t];
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
-                        writes.push((i, j, value));
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
+                        writes.push((t, l, i, j, value));
                     }
                 }
             }
         }
-        for (i, j, v) in writes {
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, l, i, j, v) in writes {
+            let (v, att) = self.word_transit(axis, t, l, v);
+            attempts = attempts.max(att);
             self.regs[dest.0].set(i, j, v);
         }
         self.charge_broadcast(axis);
+        let base = self.model.tree_root_to_leaf(leaves, self.pitch);
+        self.charge_fault_overhead(axis, attempts, base);
     }
 
     /// `LEAFTOROOT(Vector, Source)`: in each tree of `axis`, the selected
     /// BP's `src` register travels to the root. Selecting no BP leaves the
     /// root `NULL`.
     ///
+    /// Under an installed [`FaultPlan`], dark leaves cannot reach their
+    /// root, the ascending word is one parity-checked transit per tree,
+    /// and selector contention keeps the first selected BP instead of
+    /// panicking (corrupted ranks legitimately collide).
+    ///
     /// # Panics
     ///
-    /// Panics if a tree has more than one selected BP — the tree is a
-    /// single channel, so that would be contention (the paper's Selector
-    /// "specifies one BP in Vector").
+    /// Without a fault plan, panics if a tree has more than one selected
+    /// BP — invariant: the paper's Selector "specifies one BP in Vector",
+    /// the tree being a single channel.
     pub fn leaf_to_root(
         &mut self,
         axis: Axis,
@@ -392,6 +491,7 @@ impl Otn {
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
+        let degraded = self.fault.is_some();
         let mut new_roots = vec![None; trees];
         {
             let view = RegsView { regs: &self.regs };
@@ -399,23 +499,37 @@ impl Otn {
                 let mut found = false;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
-                        assert!(
-                            !found,
-                            "LEAFTOROOT contention: tree {t} of {axis:?} selected twice"
-                        );
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
+                        if found {
+                            assert!(
+                                degraded,
+                                "LEAFTOROOT contention: tree {t} of {axis:?} selected twice \
+                                 (invariant: the Selector specifies one BP per tree)"
+                            );
+                            continue; // under faults: keep the first word
+                        }
                         found = true;
                         new_roots[t] = view.get(src, i, j);
                     }
                 }
             }
         }
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, root) in new_roots.iter_mut().enumerate() {
+            let (v, att) = self.word_transit(axis, t, resilience::TREE_SITE, *root);
+            attempts = attempts.max(att);
+            *root = v;
+        }
         *self.roots_mut(axis) = new_roots;
         self.charge_send(axis);
+        let base = self.model.tree_root_to_leaf(leaves, self.pitch);
+        self.charge_fault_overhead(axis, attempts, base);
     }
 
     /// `COUNT-LEAFTOROOT(Vector)`: each root receives the number of leaves
     /// whose `flag` register is a non-zero word (§II.B primitive 3).
+    /// Dark leaves contribute nothing under an installed [`FaultPlan`].
     pub fn count_to_root(&mut self, axis: Axis, flag: Reg) {
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
@@ -423,14 +537,32 @@ impl Otn {
             let mut count: Word = 0;
             for l in 0..leaves {
                 let (i, j) = Self::coords(axis, t, l);
-                if matches!(*self.regs[flag.0].get(i, j), Some(v) if v != 0) {
+                if matches!(*self.regs[flag.0].get(i, j), Some(v) if v != 0)
+                    && !self.is_dark(axis, t, l)
+                {
                     count += 1;
                 }
             }
             new_roots[t] = Some(count);
         }
+        self.finish_aggregate(axis, new_roots);
+    }
+
+    /// Shared tail of the aggregating primitives: the per-tree result word
+    /// transits under the fault plan, roots update, the aggregate cost and
+    /// fault overhead are charged.
+    fn finish_aggregate(&mut self, axis: Axis, mut new_roots: Vec<Option<Word>>) {
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, root) in new_roots.iter_mut().enumerate() {
+            let (v, att) = self.word_transit(axis, t, resilience::TREE_SITE, *root);
+            attempts = attempts.max(att);
+            *root = v;
+        }
         *self.roots_mut(axis) = new_roots;
         self.charge_aggregate(axis);
+        let base = self.model.tree_aggregate(self.leaves(axis), self.pitch);
+        self.charge_fault_overhead(axis, attempts, base);
     }
 
     /// `SUM-LEAFTOROOT(Vector, Source)`: each root receives the sum of the
@@ -450,15 +582,14 @@ impl Otn {
                 let mut sum: Word = 0;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
                         sum += view.get(src, i, j).unwrap_or(0);
                     }
                 }
                 new_roots[t] = Some(sum);
             }
         }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_aggregate(axis);
+        self.finish_aggregate(axis, new_roots);
     }
 
     /// `MIN-LEAFTOROOT(Vector, Source)`: each root receives the minimum of
@@ -477,7 +608,7 @@ impl Otn {
                 let mut best: Option<Word> = None;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
                         if let Some(v) = view.get(src, i, j) {
                             best = Some(best.map_or(v, |b: Word| b.min(v)));
                         }
@@ -486,8 +617,7 @@ impl Otn {
                 new_roots[t] = best;
             }
         }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_aggregate(axis);
+        self.finish_aggregate(axis, new_roots);
     }
 
     /// `MAX-LEAFTOROOT`: each root receives the maximum of the selected
@@ -507,7 +637,7 @@ impl Otn {
                 let mut best: Option<Word> = None;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) {
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
                         if let Some(v) = view.get(src, i, j) {
                             best = Some(best.map_or(v, |b: Word| b.max(v)));
                         }
@@ -516,8 +646,7 @@ impl Otn {
                 new_roots[t] = best;
             }
         }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_aggregate(axis);
+        self.finish_aggregate(axis, new_roots);
     }
 
     // ------------------------------------------------------------------

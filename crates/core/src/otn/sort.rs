@@ -28,7 +28,14 @@ use orthotrees_vlsi::{BitTime, ModelError, OpStats};
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SortOutcome {
     /// The `N` inputs in ascending order, as read from the output ports.
+    ///
+    /// Under an installed fault plan, an output port that received no word
+    /// (erased transmission, dark leaf, or a rank collision from corrupted
+    /// comparisons) contributes `0` here and its position is listed in
+    /// [`SortOutcome::missing`].
     pub sorted: Vec<Word>,
+    /// Output positions that received no word. Always empty fault-free.
+    pub missing: Vec<usize>,
     /// Simulated time of the sort proper (input loading excluded, as in the
     /// paper: "the numbers are initially available at the input ports").
     pub time: BitTime,
@@ -84,13 +91,25 @@ pub fn sort(net: &mut Otn, xs: &[Word]) -> Result<SortOutcome, ModelError> {
         net.leaf_to_root(Axis::Cols, a, |i, j, v| v.get(r, i, j) == Some(j as Word));
     });
 
+    let degraded = net.has_fault_plan();
+    let mut missing = Vec::new();
     let sorted = net
         .read_col_roots()
         .into_iter()
-        .map(|v| v.expect("every rank 0..N is realised by exactly one element"))
+        .enumerate()
+        .map(|(p, v)| match v {
+            Some(w) => w,
+            None if degraded => {
+                missing.push(p);
+                0
+            }
+            // Invariant (fault-free): the COUNT ranks are a permutation of
+            // 0..N, so every output port receives exactly one word.
+            None => panic!("rank invariant violated: output port {p} received no word"),
+        })
         .collect();
     let stats = net.clock().stats().since(&stats_before);
-    Ok(SortOutcome { sorted, time, stats })
+    Ok(SortOutcome { sorted, missing, time, stats })
 }
 
 /// Result of a selection run.
@@ -138,7 +157,10 @@ pub fn select_kth(net: &mut Otn, xs: &[Word], k: usize) -> Result<SelectOutcome,
             j == 0 && v.get(r, i, 0) == Some(k as Word)
         });
     });
-    let value = net.roots(Axis::Cols)[0].expect("rank k exists");
+    // Invariant (fault-free): ranks are a permutation of 0..N and k < N,
+    // so exactly one BP of column 0 holds rank k.
+    let value = net.roots(Axis::Cols)[0]
+        .expect("rank invariant violated: no BP of column 0 holds rank k");
     Ok(SelectOutcome { value, time })
 }
 

@@ -1,0 +1,166 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds without access to crates.io, so the subset of
+//! proptest's API that `tests/property_suite.rs` (and the fault suite) use
+//! is reimplemented here: the [`proptest!`] macro, [`strategy::Strategy`]
+//! with ranges / tuples / [`collection::vec`] / `prop_flat_map`,
+//! [`any`], the `prop_assert*` macros and `prop_assume!`.
+//!
+//! Differences from the real crate: cases are drawn from a deterministic
+//! per-test seed (no persistence files, no env overrides) and failing
+//! inputs are *not shrunk* — the panic message carries the case index and
+//! assertion text instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+/// Per-test configuration (case count only).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why one drawn case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts with this message.
+    Fail(String),
+    /// The case was vetoed by `prop_assume!`; another is drawn.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Outcome of one drawn case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The strategy for an "any value of `T`" draw ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Strategy producing arbitrary values of `Self`.
+    type Strategy: strategy::Strategy<Value = Self>;
+    /// That strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Any value of type `A` (only the types the workspace draws).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = strategy::AnyBool;
+    fn arbitrary() -> Self::Strategy {
+        strategy::AnyBool
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, Arbitrary, ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn sums(xs in proptest::collection::vec(0i64..10, 8)) {
+///         prop_assert!(xs.iter().sum::<i64>() < 80);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )* ) => { $(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::runner::run(&__config, stringify!($name), |__rng| {
+                $( let $arg = $crate::strategy::Strategy::pick(&($strat), __rng); )*
+                let mut __case = || -> $crate::TestCaseResult { $body Ok(()) };
+                __case()
+            });
+        }
+    )* };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// process) so the runner can report the drawn inputs' case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l,
+            __r
+        );
+    }};
+}
+
+/// Vetoes the current case; the runner draws a replacement.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,119 @@
+//! The case runner: draws deterministic cases until the configured number
+//! pass, panicking on the first failure (no shrinking).
+
+use crate::{ProptestConfig, TestCaseError, TestCaseResult};
+
+/// Deterministic SplitMix64 generator used for all strategy draws.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let z = self.state;
+        let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// FNV-1a, used to derive a per-test base seed from the test's name so
+/// every property test explores a distinct deterministic stream.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` draws pass.
+///
+/// # Panics
+///
+/// Panics on the first failing case (carrying the case index and the
+/// assertion message), or if `prop_assume!` rejects too many draws.
+pub fn run(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> TestCaseResult,
+) {
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while passed < config.cases {
+        assert!(
+            rejected < 16 * config.cases + 256,
+            "proptest: too many rejected cases in `{name}` ({rejected} rejections)"
+        );
+        let mut rng = TestRng::new(base.wrapping_add(index.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        index += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => rejected += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case #{index}: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_all_cases_pass() {
+        run(&ProptestConfig::with_cases(10), "t", |_| Ok(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn panics_on_failure() {
+        run(&ProptestConfig::with_cases(10), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn rejections_draw_replacements() {
+        let mut n = 0;
+        run(&ProptestConfig::with_cases(5), "t", |_| {
+            n += 1;
+            if n % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(n >= 9, "rejected draws were replaced");
+    }
+
+    #[test]
+    fn same_test_name_same_stream() {
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        run(&ProptestConfig::with_cases(4), "stream", |rng| {
+            a.push(rng.next_u64());
+            Ok(())
+        });
+        run(&ProptestConfig::with_cases(4), "stream", |rng| {
+            b.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(a, b);
+    }
+}

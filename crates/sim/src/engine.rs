@@ -8,9 +8,10 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
-use orthotrees_vlsi::{BitTime, DelayModel};
+use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 
 /// One delivered bit, for post-hoc inspection in tests.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -57,6 +58,11 @@ pub struct Engine {
     now: BitTime,
     log: Vec<EventLog>,
     keep_log: bool,
+    /// Installed fault scenario, if any. `None` is the fast path: the run
+    /// loop touches no fault code at all.
+    fault_plan: Option<FaultPlan>,
+    budget: RunBudget,
+    fault_stats: FaultStats,
 }
 
 impl Engine {
@@ -72,6 +78,9 @@ impl Engine {
             now: BitTime::ZERO,
             log: Vec::new(),
             keep_log: false,
+            fault_plan: None,
+            budget: RunBudget::default(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -80,6 +89,24 @@ impl Engine {
     pub fn with_event_log(mut self) -> Self {
         self.keep_log = true;
         self
+    }
+
+    /// Installs a fault scenario. An empty plan leaves the run bit-for-bit
+    /// identical to an uninstrumented one.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Replaces the default run watchdog budget.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Counters for the faults the installed plan actually injected.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
     }
 
     /// Adds a node, returning its id.
@@ -144,6 +171,24 @@ impl Engine {
             for &lid in links {
                 let arrive = self.links[lid.0].admit(ready, self.delay);
                 self.seq += 1;
+                let mut bit = bit;
+                match self.fault_plan.as_ref().and_then(|p| {
+                    if p.affects_links() { p.link_fault(lid, self.seq) } else { None }
+                }) {
+                    None => {}
+                    Some(kind) => {
+                        self.fault_stats.injected += 1;
+                        self.fault_stats.faulty_bits += 1;
+                        match kind {
+                            LinkFaultKind::StuckAtZero => bit.value = false,
+                            LinkFaultKind::StuckAtOne => bit.value = true,
+                            LinkFaultKind::Flip => bit.value = !bit.value,
+                            // The wire slot is consumed (admit above) but
+                            // the bit never arrives.
+                            LinkFaultKind::Drop => continue,
+                        }
+                    }
+                }
                 let link = &self.links[lid.0];
                 self.queue.push(Reverse(Pending {
                     at: arrive,
@@ -161,8 +206,17 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if more than `10^9` events fire (runaway feedback loop).
+    /// Panics if the run exceeds its [`RunBudget`] — under the default
+    /// budget of `10^9` events that indicates a runaway feedback loop.
+    /// Callers that installed a tighter budget on purpose should use
+    /// [`Engine::try_run`] and handle the error.
     pub fn run(&mut self) -> BitTime {
+        self.try_run().expect("run budget exhausted: runaway feedback loop, or use try_run")
+    }
+
+    /// Runs to quiescence like [`Engine::run`], but reports a watchdog trip
+    /// as [`SimError::BudgetExhausted`] instead of hanging or panicking.
+    pub fn try_run(&mut self) -> Result<BitTime, SimError> {
         for i in 0..self.nodes.len() {
             let mut out = Outbox::default();
             self.nodes[i].on_start(&mut out);
@@ -171,7 +225,26 @@ impl Engine {
         let mut fired = 0u64;
         while let Some(Reverse(ev)) = self.queue.pop() {
             fired += 1;
-            assert!(fired < 1_000_000_000, "event storm: runaway simulation");
+            if fired > self.budget.max_events {
+                return Err(SimError::BudgetExhausted {
+                    what: "events",
+                    limit: self.budget.max_events,
+                });
+            }
+            if let Some(max_time) = self.budget.max_time {
+                if ev.at > max_time {
+                    return Err(SimError::BudgetExhausted {
+                        what: "bit-time units",
+                        limit: max_time.get(),
+                    });
+                }
+            }
+            if let Some(plan) = &self.fault_plan {
+                if plan.affects_nodes() && !plan.node_alive(ev.node, ev.at) {
+                    self.fault_stats.suppressed += 1;
+                    continue;
+                }
+            }
             self.now = self.now.max(ev.at);
             if self.keep_log {
                 self.log.push(EventLog { at: ev.at, node: ev.node, port: ev.port, bit: ev.bit });
@@ -180,7 +253,7 @@ impl Engine {
             self.nodes[ev.node.0].on_bit(ev.at, ev.port, ev.bit, &mut out);
             self.flush_outbox(ev.node, ev.at, out);
         }
-        self.now
+        Ok(self.now)
     }
 
     /// Latest completion time reported by any node's
@@ -310,5 +383,136 @@ mod tests {
         let mut e = Engine::new(DelayModel::Constant);
         let a = e.add_node(Box::new(Repeater));
         e.connect(a, PortId(0), NodeId(7), PortId(0), 1);
+    }
+
+    /// Builds the fanout topology under an optional fault plan and returns
+    /// the delivered-bit log.
+    fn logged_run(plan: Option<FaultPlan>) -> Vec<EventLog> {
+        let e = Engine::new(DelayModel::Logarithmic).with_event_log();
+        let mut e = match plan {
+            Some(p) => e.with_fault_plan(p),
+            None => e,
+        };
+        let src = e.add_node(Box::new(WordSource { width: 6 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 64);
+        e.connect(mid, PortId(0), dst, PortId(0), 16);
+        e.run();
+        e.log().to_vec()
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_for_bit_identical() {
+        assert_eq!(logged_run(None), logged_run(Some(FaultPlan::new(12345))));
+    }
+
+    #[test]
+    fn stuck_at_one_link_forces_every_bit_high() {
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
+        let plan = FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::StuckAtOne);
+        let mut e = e.with_fault_plan(plan);
+        e.run();
+        assert_eq!(e.log().len(), 4);
+        assert!(e.log().iter().all(|ev| ev.bit.value), "all bits stuck at 1");
+        assert_eq!(e.fault_stats().faulty_bits, 4);
+    }
+
+    #[test]
+    fn dropping_link_loses_every_bit() {
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 5 }));
+        let dst = e.add_node(Box::new(Sink { expected: 5, got: 0, done: None }));
+        let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(
+            FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Drop),
+        );
+        e.run();
+        assert!(e.log().is_empty(), "no bit survives a dropping link");
+        assert_eq!(e.completion_time(), None);
+        assert_eq!(e.fault_stats().faulty_bits, 5);
+    }
+
+    #[test]
+    fn dead_node_discards_deliveries() {
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 3 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 3, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 1);
+        e.connect(mid, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_dead_node(mid));
+        e.run();
+        assert!(e.log().is_empty(), "dead repeater forwards nothing");
+        assert_eq!(e.fault_stats().suppressed, 3);
+    }
+
+    #[test]
+    fn outage_window_suppresses_only_in_window() {
+        // Constant delay 1: bits of an 8-bit word arrive at t = 1..=8.
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 8 }));
+        let dst = e.add_node(Box::new(Sink { expected: 8, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_outage(
+            dst,
+            BitTime::new(3),
+            BitTime::new(6),
+        ));
+        e.run();
+        // t = 3, 4, 5 suppressed; 1, 2, 6, 7, 8 delivered.
+        assert_eq!(e.log().len(), 5);
+        assert_eq!(e.fault_stats().suppressed, 3);
+    }
+
+    #[test]
+    fn watchdog_reports_budget_exhaustion_instead_of_hanging() {
+        // Two repeaters in a loop bounce a bit forever.
+        let mut e = Engine::new(DelayModel::Constant);
+        let a = e.add_node(Box::new(WordSource { width: 1 }));
+        let b = e.add_node(Box::new(Repeater));
+        let c = e.add_node(Box::new(Repeater));
+        e.connect(a, PortId(0), b, PortId(0), 1);
+        e.connect(b, PortId(0), c, PortId(0), 1);
+        e.connect(c, PortId(0), b, PortId(0), 1);
+        let mut e = e.with_budget(RunBudget::events(1000));
+        match e.try_run() {
+            Err(SimError::BudgetExhausted { what: "events", limit: 1000 }) => {}
+            other => panic!("expected event-budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn time_budget_trips_on_slow_runs() {
+        let mut e = Engine::new(DelayModel::Logarithmic);
+        let src = e.add_node(Box::new(WordSource { width: 8 }));
+        let dst = e.add_node(Box::new(Sink { expected: 8, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1024); // last arrival t = 18
+        let mut e = e.with_budget(RunBudget::default().with_max_time(BitTime::new(10)));
+        match e.try_run() {
+            Err(SimError::BudgetExhausted { what: "bit-time units", .. }) => {}
+            other => panic!("expected time-budget exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn random_link_faults_are_reproducible_across_runs() {
+        let run = || -> (Vec<EventLog>, FaultStats) {
+            let mut e = Engine::new(DelayModel::Constant).with_event_log();
+            let src = e.add_node(Box::new(WordSource { width: 32 }));
+            let dst = e.add_node(Box::new(Sink { expected: 32, got: 0, done: None }));
+            e.connect(src, PortId(0), dst, PortId(0), 1);
+            let mut e = e.with_fault_plan(FaultPlan::new(77).with_link_fault_rate(0.3));
+            e.run();
+            (e.log().to_vec(), *e.fault_stats())
+        };
+        let (log_a, stats_a) = run();
+        let (log_b, stats_b) = run();
+        assert_eq!(log_a, log_b, "same seed, same plan: identical event sequence");
+        assert_eq!(stats_a, stats_b);
+        assert!(stats_a.injected > 0, "rate 0.3 over 32 bits should fault something");
     }
 }

@@ -17,7 +17,7 @@
 
 use crate::engine::Engine;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
-use orthotrees_vlsi::{log2_ceil, BitTime, CostModel};
+use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
 /// Port conventions inside the tree experiments.
 const TO_PARENT: PortId = PortId(0);
@@ -246,14 +246,32 @@ fn build_tree(
     TreeIds { levels }
 }
 
+impl TreeIds {
+    /// The single node of the top level.
+    fn root(&self) -> NodeId {
+        // Invariant: build_tree pushes one level per depth and halves the
+        // node count each level, so the top level holds exactly one node.
+        *self
+            .levels
+            .last()
+            .and_then(|l| l.first())
+            .expect("tree root invariant violated: build_tree left an empty top level")
+    }
+}
+
 /// Simulates `ROOTTOLEAF` of one `m.word_bits`-bit word over a tree of
 /// `leaves` leaves at the model's pitch; returns the time the last leaf
 /// holds the complete word.
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
 /// # Panics
 ///
 /// Panics if `leaves` is not a power of two.
-pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> BitTime {
+pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime, SimError> {
     let w = m.word_bits.max(1);
     let mut e = Engine::new(m.delay);
     let ids = build_tree(
@@ -268,32 +286,44 @@ pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> BitTime {
     // node feeding the root's children directly when depth >= 1; for a
     // 1-leaf tree the "broadcast" is free.
     if leaves == 1 {
-        return BitTime::ZERO;
+        return Ok(BitTime::ZERO);
     }
     // The generic builder made the root a DownRepeater with no parent; feed
     // it through a zero-length wire from a dedicated source node.
-    let root = *ids.levels.last().unwrap().first().unwrap();
+    let root = ids.root();
     let src = e.add_node(Box::new(WordSource { word: 0b1011, width: w, lsb_first: true, port: TO_PARENT }));
     e.connect(src, TO_PARENT, root, FROM_PARENT, 0);
     // A zero-length wire still costs one τ (receiving latch); subtract it so
     // the measurement covers exactly the root-to-leaf path.
     let injected = m.delay.wire_bit_delay(0);
-    e.run();
-    e.completion_time().expect("all leaves complete") - injected
+    e.try_run()?;
+    let done = e
+        .completion_time()
+        .ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
+    Ok(done - injected)
 }
 
 /// Simulates `LEAFTOROOT` from leaf `source_leaf`; returns the time the root
 /// holds the complete word, and the word (for functional verification).
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the root sink never
+/// assembles the full word.
+///
 /// # Panics
 ///
 /// Panics if `leaves` is not a power of two or `source_leaf` out of range.
-pub fn send_completion_time(leaves: usize, source_leaf: usize, m: &CostModel) -> (BitTime, u64) {
+pub fn send_completion_time(
+    leaves: usize,
+    source_leaf: usize,
+    m: &CostModel,
+) -> Result<(BitTime, u64), SimError> {
     assert!(source_leaf < leaves, "source leaf out of range");
     let w = m.word_bits.max(1);
     let word = 0b1101u64 & ((1 << w) - 1).max(1);
     if leaves == 1 {
-        return (BitTime::ZERO, word);
+        return Ok((BitTime::ZERO, word));
     }
     let mut e = Engine::new(m.delay);
     let ids = build_tree(
@@ -311,14 +341,20 @@ pub fn send_completion_time(leaves: usize, source_leaf: usize, m: &CostModel) ->
         &mut |_| Box::new(UpRepeater),
     );
     // Attach a sink above the root through a zero-length wire.
-    let root = *ids.levels.last().unwrap().first().unwrap();
+    let root = ids.root();
     let sink = e.add_node(Box::new(WordSink::new(w, true)));
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
-    e.run();
-    let t = e.completion_time().expect("root sink completes") - injected;
-    let v = e.node(sink).result().expect("sink assembled a word");
-    (t, v)
+    e.try_run()?;
+    let t = e
+        .completion_time()
+        .ok_or(SimError::NoCompletion { what: "root sink" })?
+        - injected;
+    let v = e
+        .node(sink)
+        .result()
+        .ok_or(SimError::NoCompletion { what: "root sink word" })?;
+    Ok((t, v))
 }
 
 struct IdleLeaf;
@@ -330,11 +366,16 @@ impl NodeBehavior for IdleLeaf {
 /// zero-padded to the widened width `w + log₂ leaves`); returns the
 /// completion time at the root and the computed sum.
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the root sink never
+/// assembles the aggregate.
+///
 /// # Panics
 ///
 /// Panics if `values.len()` is not a power of two ≥ 2, or any value needs
 /// more than `m.word_bits` bits.
-pub fn sum_completion_time(values: &[u64], m: &CostModel) -> (BitTime, u64) {
+pub fn sum_completion_time(values: &[u64], m: &CostModel) -> Result<(BitTime, u64), SimError> {
     run_aggregate(values, m, true)
 }
 
@@ -342,14 +383,18 @@ pub fn sum_completion_time(values: &[u64], m: &CostModel) -> (BitTime, u64) {
 /// computed minimum. The transmitted width is the plain word width `w` (no
 /// widening — minima do not grow).
 ///
+/// # Errors
+///
+/// Same conditions as [`sum_completion_time`].
+///
 /// # Panics
 ///
 /// Same conditions as [`sum_completion_time`].
-pub fn min_completion_time(values: &[u64], m: &CostModel) -> (BitTime, u64) {
+pub fn min_completion_time(values: &[u64], m: &CostModel) -> Result<(BitTime, u64), SimError> {
     run_aggregate(values, m, false)
 }
 
-fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (BitTime, u64) {
+fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> Result<(BitTime, u64), SimError> {
     let leaves = values.len();
     assert!(leaves >= 2 && leaves.is_power_of_two(), "need a power-of-two leaf count >= 2");
     let w = m.word_bits.max(1);
@@ -375,14 +420,20 @@ fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (BitTime, u64) {
             }
         },
     );
-    let root = *ids.levels.last().unwrap().first().unwrap();
+    let root = ids.root();
     let sink = e.add_node(Box::new(WordSink::new(width, sum)));
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
-    e.run();
-    let t = e.completion_time().expect("aggregate completes") - injected;
-    let v = e.node(sink).result().expect("sink assembled a word");
-    (t, v)
+    e.try_run()?;
+    let t = e
+        .completion_time()
+        .ok_or(SimError::NoCompletion { what: "aggregate root" })?
+        - injected;
+    let v = e
+        .node(sink)
+        .result()
+        .ok_or(SimError::NoCompletion { what: "aggregate word" })?;
+    Ok((t, v))
 }
 
 /// Simulates a full `LEAFTOLEAF` composite at bit level: one word travels
@@ -391,11 +442,20 @@ fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (BitTime, u64) {
 /// §II.B). Returns the time the last leaf holds the complete word, which
 /// must equal [`CostModel::tree_leaf_to_leaf`].
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
 /// # Panics
 ///
 /// Panics if `leaves` is not a power of two ≥ 2 or `source_leaf` is out of
 /// range.
-pub fn leaf_to_leaf_completion_time(leaves: usize, source_leaf: usize, m: &CostModel) -> BitTime {
+pub fn leaf_to_leaf_completion_time(
+    leaves: usize,
+    source_leaf: usize,
+    m: &CostModel,
+) -> Result<BitTime, SimError> {
     assert!(leaves.is_power_of_two() && leaves >= 2, "need a power-of-two tree >= 2");
     assert!(source_leaf < leaves, "source leaf out of range");
     let w = m.word_bits.max(1);
@@ -428,14 +488,17 @@ pub fn leaf_to_leaf_completion_time(leaves: usize, source_leaf: usize, m: &CostM
     );
     // Glue: the up-root forwards straight into the down-root (zero-length
     // wire; its 1τ latch is subtracted like the injection latch elsewhere).
-    let up_root = *up.levels.last().unwrap().first().unwrap();
+    let up_root = up.root();
     let turn = e.add_node(Box::new(TurnAround { expected: w, buffered: Vec::new() }));
-    let down_root = *down.levels.last().unwrap().first().unwrap();
+    let down_root = down.root();
     e.connect(up_root, TO_PARENT, turn, FROM_LEFT, 0);
     e.connect(turn, TO_PARENT, down_root, FROM_PARENT, 0);
     let injected = m.delay.wire_bit_delay(0) + m.delay.wire_bit_delay(0);
-    e.run();
-    e.completion_time().expect("all leaves complete") - injected
+    e.try_run()?;
+    let done = e
+        .completion_time()
+        .ok_or(SimError::NoCompletion { what: "destination leaves" })?;
+    Ok(done - injected)
 }
 
 /// The root of a `LEAFTOLEAF`: buffers the entire word, then re-emits it
@@ -472,11 +535,20 @@ impl NodeBehavior for TurnAround {
 /// interleaves the contending words bit by bit, which overlaps their
 /// serialisation slightly differently from the word-granular model.
 ///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the root never receives
+/// all `stream_count · w` bits.
+///
 /// # Panics
 ///
 /// Panics unless `leaves` is a power of two and
 /// `1 ≤ stream_count ≤ leaves`.
-pub fn stream_completion_time(leaves: usize, stream_count: usize, m: &CostModel) -> BitTime {
+pub fn stream_completion_time(
+    leaves: usize,
+    stream_count: usize,
+    m: &CostModel,
+) -> Result<BitTime, SimError> {
     assert!(leaves.is_power_of_two() && leaves >= 2, "need a power-of-two tree");
     assert!(
         (1..=leaves).contains(&stream_count),
@@ -503,12 +575,15 @@ pub fn stream_completion_time(leaves: usize, stream_count: usize, m: &CostModel)
         },
         &mut |_| Box::new(UpRepeater),
     );
-    let root = *ids.levels.last().unwrap().first().unwrap();
+    let root = ids.root();
     let sink = e.add_node(Box::new(WordSink::new(w * stream_count as u32, true)));
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
-    e.run();
-    e.completion_time().expect("all bits arrive") - injected
+    e.try_run()?;
+    let done = e
+        .completion_time()
+        .ok_or(SimError::NoCompletion { what: "converging streams" })?;
+    Ok(done - injected)
 }
 
 /// The closed-form completion time the MIN experiment should match:
@@ -537,7 +612,7 @@ mod tests {
         for k in 1..=6u32 {
             let n = 1usize << k;
             for m in models(n.max(4)) {
-                let simulated = broadcast_completion_time(n, &m);
+                let simulated = broadcast_completion_time(n, &m).unwrap();
                 let analytic = m.tree_root_to_leaf(n, m.leaf_pitch());
                 assert_eq!(simulated, analytic, "n={n} model={}", m.delay);
             }
@@ -549,7 +624,7 @@ mod tests {
         for n in [2usize, 4, 16, 64] {
             for m in models(n.max(4)) {
                 for leaf in [0, n - 1, n / 2] {
-                    let (t, v) = send_completion_time(n, leaf, &m);
+                    let (t, v) = send_completion_time(n, leaf, &m).unwrap();
                     assert_eq!(t, m.tree_root_to_leaf(n, m.leaf_pitch()), "n={n}");
                     assert_eq!(v, 0b1101 & ((1 << m.word_bits) - 1));
                 }
@@ -563,7 +638,7 @@ mod tests {
             let n = 1usize << k;
             let m = CostModel::thompson(n.max(4));
             let values: Vec<u64> = (0..n as u64).map(|i| i % (1 << m.word_bits)).collect();
-            let (t, v) = sum_completion_time(&values, &m);
+            let (t, v) = sum_completion_time(&values, &m).unwrap();
             assert_eq!(v, values.iter().sum::<u64>(), "n={n}");
             assert_eq!(t, m.tree_aggregate(n, m.leaf_pitch()), "n={n}");
         }
@@ -573,7 +648,7 @@ mod tests {
     fn sum_works_under_constant_and_linear_models() {
         let values = [3u64, 1, 7, 7];
         for m in models(16) {
-            let (t, v) = sum_completion_time(&values, &m);
+            let (t, v) = sum_completion_time(&values, &m).unwrap();
             assert_eq!(v, 18);
             assert_eq!(t, m.tree_aggregate(4, m.leaf_pitch()), "model={}", m.delay);
         }
@@ -586,7 +661,7 @@ mod tests {
             let m = CostModel::thompson(n.max(4));
             let values: Vec<u64> =
                 (0..n as u64).map(|i| (i * 7 + 3) % (1 << m.word_bits)).collect();
-            let (t, v) = min_completion_time(&values, &m);
+            let (t, v) = min_completion_time(&values, &m).unwrap();
             assert_eq!(v, *values.iter().min().unwrap(), "n={n}");
             assert_eq!(t, expected_min_time(n, &m), "n={n}");
             assert!(t <= m.tree_aggregate(n, m.leaf_pitch()), "charged cost is an upper bound");
@@ -596,14 +671,14 @@ mod tests {
     #[test]
     fn min_handles_equal_values() {
         let m = CostModel::thompson(16);
-        let (_, v) = min_completion_time(&[5, 5, 5, 5], &m);
+        let (_, v) = min_completion_time(&[5, 5, 5, 5], &m).unwrap();
         assert_eq!(v, 5);
     }
 
     #[test]
     fn min_distinguishes_adjacent_values() {
         let m = CostModel::thompson(16);
-        let (_, v) = min_completion_time(&[8, 9, 10, 9], &m);
+        let (_, v) = min_completion_time(&[8, 9, 10, 9], &m).unwrap();
         assert_eq!(v, 8);
     }
 
@@ -611,17 +686,17 @@ mod tests {
     fn broadcast_constant_model_is_theta_log() {
         let n = 64;
         let m = CostModel::constant_delay(n);
-        let t = broadcast_completion_time(n, &m).get();
+        let t = broadcast_completion_time(n, &m).unwrap().get();
         assert_eq!(t, 6 + u64::from(m.word_bits) - 1);
     }
 
     #[test]
     fn one_and_two_leaf_edge_cases() {
         let m = CostModel::thompson(4);
-        assert_eq!(broadcast_completion_time(1, &m), BitTime::ZERO);
-        let (t, _) = send_completion_time(1, 0, &m);
+        assert_eq!(broadcast_completion_time(1, &m).unwrap(), BitTime::ZERO);
+        let (t, _) = send_completion_time(1, 0, &m).unwrap();
         assert_eq!(t, BitTime::ZERO);
-        let (t2, v2) = sum_completion_time(&[1, 2], &m);
+        let (t2, v2) = sum_completion_time(&[1, 2], &m).unwrap();
         assert_eq!(v2, 3);
         assert!(t2.get() > 0);
     }
@@ -638,7 +713,7 @@ mod tests {
         for n in [2usize, 8, 32] {
             for m in models(n.max(4)) {
                 for leaf in [0, n - 1] {
-                    let t = leaf_to_leaf_completion_time(n, leaf, &m);
+                    let t = leaf_to_leaf_completion_time(n, leaf, &m).unwrap();
                     assert_eq!(
                         t,
                         m.tree_leaf_to_leaf(n, m.leaf_pitch()),
@@ -655,7 +730,7 @@ mod tests {
         for n in [4usize, 16, 64] {
             let m = CostModel::thompson(n);
             assert_eq!(
-                stream_completion_time(n, 1, &m),
+                stream_completion_time(n, 1, &m).unwrap(),
                 m.tree_root_to_leaf(n, m.leaf_pitch()),
                 "n={n}"
             );
@@ -668,9 +743,9 @@ mod tests {
         // extra word adds exactly w bit-times behind the first.
         for n in [8usize, 32] {
             let m = CostModel::thompson(n);
-            let one = stream_completion_time(n, 1, &m);
+            let one = stream_completion_time(n, 1, &m).unwrap();
             for d in [2usize, 4, n / 2] {
-                let t = stream_completion_time(n, d, &m);
+                let t = stream_completion_time(n, d, &m).unwrap();
                 let extra = (t - one).get();
                 let expect = (d as u64 - 1) * u64::from(m.word_bits);
                 // Bit-level interleaving may finish a little earlier than
@@ -698,7 +773,7 @@ mod tests {
         // vs the simulated Θ(log² n).
         let n = 1 << 10;
         let m = CostModel::thompson(n);
-        let unscaled = broadcast_completion_time(n, &m);
+        let unscaled = broadcast_completion_time(n, &m).unwrap();
         let scaled = m.with_scaling().tree_root_to_leaf(n, m.leaf_pitch());
         assert!(scaled < unscaled);
     }

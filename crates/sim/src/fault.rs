@@ -1,0 +1,483 @@
+//! Deterministic, seed-driven fault injection.
+//!
+//! A [`FaultPlan`] describes *which* faults a run should experience: link
+//! faults (stuck-at-0/1, bit flips, drops) at a configurable rate or pinned
+//! to specific wires, dead nodes, transient node-outage windows, and —
+//! consumed by the word-level networks in the `orthotrees` crate — per-word
+//! transit faults and dead internal tree processors.
+//!
+//! Every decision is a *pure function* of the plan's seed and the fault
+//! site's coordinates (link id, emission sequence number, tree/leaf index,
+//! round counter, retry attempt). No generator state is threaded through
+//! the simulation, so the same seed and plan reproduce the identical fault
+//! sequence regardless of how callers interleave their queries — the
+//! determinism guarantee DESIGN.md §"Fault model" documents and the fault
+//! suite asserts.
+
+use crate::link::LinkId;
+use crate::node::NodeId;
+use orthotrees_vlsi::BitTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a faulty link does to a bit in transit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Every bit arrives as 0.
+    StuckAtZero,
+    /// Every bit arrives as 1.
+    StuckAtOne,
+    /// The bit arrives inverted.
+    Flip,
+    /// The bit never arrives.
+    Drop,
+}
+
+/// Which family of trees a dead internal processor belongs to, mirroring
+/// the word-level networks' `Axis` without depending on them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TreeAxis {
+    /// The row trees.
+    Rows,
+    /// The column trees.
+    Cols,
+}
+
+/// A dead internal processor (IP) of one tree of an orthogonal-trees
+/// network. Level 1 is the IPs directly above the leaves; the IP at
+/// `(level h, index k)` roots the subtree of leaves `k·2^h .. (k+1)·2^h`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeadIp {
+    /// Tree family.
+    pub axis: TreeAxis,
+    /// Tree index within the family.
+    pub tree: usize,
+    /// Height above the leaves (`1 ..= log₂ leaves`).
+    pub level: u32,
+    /// Index of the IP within its level.
+    pub index: usize,
+}
+
+/// A transient node outage: deliveries to `node` in `[from, until)` are
+/// discarded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outage {
+    /// The affected node.
+    pub node: NodeId,
+    /// First faulty bit-time (inclusive).
+    pub from: BitTime,
+    /// First healthy bit-time again (exclusive).
+    pub until: BitTime,
+}
+
+/// A deterministic fault scenario. An *empty* plan (the [`Default`]) injects
+/// nothing: installing it must leave every simulation bit-for-bit identical
+/// to running without a plan, which the fault suite's property test checks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Probability that any one bit emission over a link is faulted.
+    link_fault_rate: f64,
+    /// Explicit permanent per-link faults (unit tests, targeted scenarios).
+    stuck_links: BTreeMap<usize, LinkFaultKind>,
+    /// Nodes that never react to a delivered bit.
+    dead_nodes: BTreeSet<usize>,
+    /// Transient outage windows.
+    outages: Vec<Outage>,
+    /// Probability that one *word* transit through a tree is faulted
+    /// (consumed by the word-level `Otn`/`Otc` primitives).
+    word_fault_rate: f64,
+    /// Of faulted words: fraction that are dropped outright.
+    drop_fraction: f64,
+    /// Of faulted words: fraction corrupted by an even number of bit flips,
+    /// which per-word parity cannot detect.
+    undetectable_fraction: f64,
+    /// Retransmissions allowed per detected word fault.
+    max_retries: u32,
+    /// Dead internal tree processors.
+    dead_ips: Vec<DeadIp>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            link_fault_rate: 0.0,
+            stuck_links: BTreeMap::new(),
+            dead_nodes: BTreeSet::new(),
+            outages: Vec::new(),
+            word_fault_rate: 0.0,
+            drop_fraction: 0.2,
+            undetectable_fraction: 0.1,
+            max_retries: 2,
+            dead_ips: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan drawing all random decisions from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, ..FaultPlan::default() }
+    }
+
+    /// Sets the per-bit link fault probability (engine level).
+    #[must_use]
+    pub fn with_link_fault_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be a probability");
+        self.link_fault_rate = rate;
+        self
+    }
+
+    /// Pins a permanent fault to one specific link.
+    #[must_use]
+    pub fn with_link_fault(mut self, link: LinkId, kind: LinkFaultKind) -> Self {
+        self.stuck_links.insert(link.0, kind);
+        self
+    }
+
+    /// Declares a node permanently dead (deliveries are discarded).
+    #[must_use]
+    pub fn with_dead_node(mut self, node: NodeId) -> Self {
+        self.dead_nodes.insert(node.0);
+        self
+    }
+
+    /// Declares a transient outage window for a node.
+    #[must_use]
+    pub fn with_outage(mut self, node: NodeId, from: BitTime, until: BitTime) -> Self {
+        assert!(from < until, "outage window must be non-empty");
+        self.outages.push(Outage { node, from, until });
+        self
+    }
+
+    /// Sets the per-word transit fault probability (word level).
+    #[must_use]
+    pub fn with_word_fault_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate must be a probability");
+        self.word_fault_rate = rate;
+        self
+    }
+
+    /// Sets the fraction of word faults that drop the word outright.
+    #[must_use]
+    pub fn with_drop_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be a probability");
+        self.drop_fraction = f;
+        self
+    }
+
+    /// Sets the fraction of word faults that evade parity (even flips).
+    #[must_use]
+    pub fn with_undetectable_fraction(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f), "fraction must be a probability");
+        self.undetectable_fraction = f;
+        self
+    }
+
+    /// Sets the retransmission budget per detected word fault.
+    #[must_use]
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Declares one internal tree processor dead.
+    #[must_use]
+    pub fn with_dead_ip(mut self, axis: TreeAxis, tree: usize, level: u32, index: usize) -> Self {
+        assert!(level >= 1, "level 0 is the leaves; IPs start at level 1");
+        self.dead_ips.push(DeadIp { axis, tree, level, index });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Per-word transit fault probability.
+    pub fn word_fault_rate(&self) -> f64 {
+        self.word_fault_rate
+    }
+
+    /// Retransmission budget per detected word fault.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// The declared dead internal processors.
+    pub fn dead_ips(&self) -> &[DeadIp] {
+        &self.dead_ips
+    }
+
+    /// Whether `node` accepts a delivery at time `at`.
+    pub fn node_alive(&self, node: NodeId, at: BitTime) -> bool {
+        if self.dead_nodes.contains(&node.0) {
+            return false;
+        }
+        !self
+            .outages
+            .iter()
+            .any(|o| o.node == node && o.from <= at && at < o.until)
+    }
+
+    /// Whether the plan can affect engine-level delivery at all (fast path:
+    /// an installed-but-empty plan must not perturb anything).
+    pub fn affects_links(&self) -> bool {
+        self.link_fault_rate > 0.0 || !self.stuck_links.is_empty()
+    }
+
+    /// Whether the plan declares any dead or flaky nodes.
+    pub fn affects_nodes(&self) -> bool {
+        !self.dead_nodes.is_empty() || !self.outages.is_empty()
+    }
+
+    /// The fault, if any, afflicting the bit sent over `link` as emission
+    /// number `seq` — a pure function of `(seed, link, seq)`.
+    pub fn link_fault(&self, link: LinkId, seq: u64) -> Option<LinkFaultKind> {
+        if let Some(&kind) = self.stuck_links.get(&link.0) {
+            return Some(kind);
+        }
+        if self.link_fault_rate <= 0.0 {
+            return None;
+        }
+        let h = hash3(self.seed, 0x11A7, link.0 as u64, seq);
+        if unit(h) >= self.link_fault_rate {
+            return None;
+        }
+        Some(match hash3(self.seed, 0x11A8, link.0 as u64, seq) % 4 {
+            0 => LinkFaultKind::StuckAtZero,
+            1 => LinkFaultKind::StuckAtOne,
+            2 => LinkFaultKind::Flip,
+            _ => LinkFaultKind::Drop,
+        })
+    }
+
+    /// The word-level fault, if any, afflicting attempt number `attempt` of
+    /// transit `round` at `site` — a pure function of the coordinates.
+    pub fn word_fault(&self, site: u64, round: u64, attempt: u32) -> Option<WordFaultKind> {
+        if self.word_fault_rate <= 0.0 {
+            return None;
+        }
+        let key = round.wrapping_mul(0x1_0000).wrapping_add(u64::from(attempt));
+        let h = hash3(self.seed, site, key, 0x30AD);
+        if unit(h) >= self.word_fault_rate {
+            return None;
+        }
+        let r = unit(hash3(self.seed, site, key, 0x30AE));
+        let pick = hash3(self.seed, site, key, 0x30AF);
+        if r < self.drop_fraction {
+            Some(WordFaultKind::Drop)
+        } else if r < self.drop_fraction + self.undetectable_fraction {
+            Some(WordFaultKind::DoubleFlip { bit_a: pick as u32, bit_b: (pick >> 32) as u32 })
+        } else {
+            Some(WordFaultKind::SingleFlip { bit: pick as u32 })
+        }
+    }
+}
+
+/// A word-transit fault drawn by [`FaultPlan::word_fault`]. Bit positions
+/// are raw draws; callers reduce them modulo the transmitted word width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WordFaultKind {
+    /// The word never arrives. Detected by framing (a selected word was
+    /// expected); retried.
+    Drop,
+    /// One bit arrives inverted. Detected by per-word parity; retried.
+    SingleFlip {
+        /// Raw draw for the flipped position.
+        bit: u32,
+    },
+    /// Two distinct bits arrive inverted — parity balances out, so the
+    /// corruption passes *undetected*.
+    DoubleFlip {
+        /// Raw draw for the first position.
+        bit_a: u32,
+        /// Raw draw for the second position.
+        bit_b: u32,
+    },
+}
+
+/// Watchdog limits for one engine run. The default budget is far beyond
+/// any well-formed network's needs, so hitting it indicates a runaway
+/// feedback loop — reported as [`SimError::BudgetExhausted`]
+/// (`orthotrees_vlsi::SimError`) instead of a hang.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum delivered events.
+    pub max_events: u64,
+    /// Maximum simulated time any event may carry, if bounded.
+    pub max_time: Option<BitTime>,
+}
+
+impl Default for RunBudget {
+    fn default() -> Self {
+        RunBudget { max_events: 1_000_000_000, max_time: None }
+    }
+}
+
+impl RunBudget {
+    /// A budget of at most `max_events` deliveries.
+    pub fn events(max_events: u64) -> Self {
+        RunBudget { max_events, max_time: None }
+    }
+
+    /// Caps the simulated time as well.
+    #[must_use]
+    pub fn with_max_time(mut self, t: BitTime) -> Self {
+        self.max_time = Some(t);
+        self
+    }
+}
+
+/// Counters describing what a fault plan actually did to a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Faults injected (bit- or word-level).
+    pub injected: u64,
+    /// Word faults caught by parity or framing.
+    pub detected: u64,
+    /// Detected word faults repaired by retransmission.
+    pub corrected: u64,
+    /// Retransmissions performed.
+    pub retries: u64,
+    /// Detected word faults that survived every retry; the word was erased
+    /// (delivered as `NULL`) rather than passed on corrupt.
+    pub erasures: u64,
+    /// Undetected corruptions delivered as good data.
+    pub silent: u64,
+    /// Bits dropped or mangled on engine-level links.
+    pub faulty_bits: u64,
+    /// Deliveries discarded because the target node was dead or in outage.
+    pub suppressed: u64,
+}
+
+impl FaultStats {
+    /// Folds another run's counters into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.corrected += other.corrected;
+        self.retries += other.retries;
+        self.erasures += other.erasures;
+        self.silent += other.silent;
+        self.faulty_bits += other.faulty_bits;
+        self.suppressed += other.suppressed;
+    }
+}
+
+/// SplitMix64 finalizer: the one-way mixing step behind every draw.
+fn mix(z: u64) -> u64 {
+    let z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stateless three-coordinate hash: the determinism backbone.
+pub fn hash3(seed: u64, a: u64, b: u64, c: u64) -> u64 {
+    mix(seed ^ mix(a ^ mix(b ^ mix(c))))
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+pub fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new(7);
+        assert!(!p.affects_links() && !p.affects_nodes());
+        for seq in 0..1000 {
+            assert_eq!(p.link_fault(LinkId(3), seq), None);
+            assert_eq!(p.word_fault(42, seq, 0), None);
+        }
+        assert!(p.node_alive(NodeId(0), BitTime::new(5)));
+    }
+
+    #[test]
+    fn draws_are_pure_functions_of_coordinates() {
+        let p = FaultPlan::new(99).with_link_fault_rate(0.5).with_word_fault_rate(0.5);
+        for seq in 0..200 {
+            assert_eq!(p.link_fault(LinkId(1), seq), p.link_fault(LinkId(1), seq));
+            assert_eq!(p.word_fault(5, seq, 1), p.word_fault(5, seq, 1));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_fault_patterns() {
+        let a = FaultPlan::new(1).with_link_fault_rate(0.3);
+        let b = FaultPlan::new(2).with_link_fault_rate(0.3);
+        let pattern = |p: &FaultPlan| -> Vec<bool> {
+            (0..256).map(|s| p.link_fault(LinkId(0), s).is_some()).collect()
+        };
+        assert_ne!(pattern(&a), pattern(&b));
+    }
+
+    #[test]
+    fn link_fault_rate_is_roughly_honoured() {
+        let p = FaultPlan::new(3).with_link_fault_rate(0.25);
+        let hits = (0..4000).filter(|&s| p.link_fault(LinkId(0), s).is_some()).count();
+        assert!((800..1200).contains(&hits), "~25% of 4000, got {hits}");
+    }
+
+    #[test]
+    fn pinned_link_fault_always_fires() {
+        let p = FaultPlan::new(0).with_link_fault(LinkId(2), LinkFaultKind::StuckAtOne);
+        for seq in 0..50 {
+            assert_eq!(p.link_fault(LinkId(2), seq), Some(LinkFaultKind::StuckAtOne));
+            assert_eq!(p.link_fault(LinkId(1), seq), None);
+        }
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let p = FaultPlan::new(0)
+            .with_outage(NodeId(4), BitTime::new(10), BitTime::new(20))
+            .with_dead_node(NodeId(9));
+        assert!(p.node_alive(NodeId(4), BitTime::new(9)));
+        assert!(!p.node_alive(NodeId(4), BitTime::new(10)));
+        assert!(!p.node_alive(NodeId(4), BitTime::new(19)));
+        assert!(p.node_alive(NodeId(4), BitTime::new(20)));
+        assert!(!p.node_alive(NodeId(9), BitTime::new(0)));
+    }
+
+    #[test]
+    fn word_fault_mix_covers_all_kinds() {
+        let p = FaultPlan::new(11)
+            .with_word_fault_rate(1.0)
+            .with_drop_fraction(0.3)
+            .with_undetectable_fraction(0.3);
+        let (mut drops, mut singles, mut doubles) = (0, 0, 0);
+        for round in 0..300 {
+            match p.word_fault(0, round, 0) {
+                Some(WordFaultKind::Drop) => drops += 1,
+                Some(WordFaultKind::SingleFlip { .. }) => singles += 1,
+                Some(WordFaultKind::DoubleFlip { .. }) => doubles += 1,
+                None => panic!("rate 1.0 must always fault"),
+            }
+        }
+        assert!(drops > 0 && singles > 0 && doubles > 0, "{drops}/{singles}/{doubles}");
+    }
+
+    #[test]
+    fn budget_constructors() {
+        let b = RunBudget::events(10).with_max_time(BitTime::new(99));
+        assert_eq!(b.max_events, 10);
+        assert_eq!(b.max_time, Some(BitTime::new(99)));
+        assert!(RunBudget::default().max_events >= 1_000_000_000);
+    }
+
+    #[test]
+    fn stats_absorb_sums_fields() {
+        let mut a = FaultStats { injected: 1, detected: 2, ..FaultStats::default() };
+        let b = FaultStats { injected: 3, silent: 4, ..FaultStats::default() };
+        a.absorb(&b);
+        assert_eq!(a.injected, 4);
+        assert_eq!(a.detected, 2);
+        assert_eq!(a.silent, 4);
+    }
+}

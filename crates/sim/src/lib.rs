@@ -21,9 +21,10 @@
 //! use orthotrees_vlsi::CostModel;
 //!
 //! let m = CostModel::thompson(16);
-//! let simulated = broadcast_completion_time(16, &m);
+//! let simulated = broadcast_completion_time(16, &m)?;
 //! let analytic = m.tree_root_to_leaf(16, m.leaf_pitch());
 //! assert_eq!(simulated, analytic);
+//! # Ok::<(), orthotrees_vlsi::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -31,9 +32,11 @@
 
 mod engine;
 pub mod experiments;
+pub mod fault;
 mod link;
 mod node;
 
 pub use engine::{Engine, EventLog};
+pub use fault::{DeadIp, FaultPlan, FaultStats, LinkFaultKind, Outage, RunBudget, TreeAxis, WordFaultKind};
 pub use link::{Link, LinkId};
 pub use node::{Bit, NodeBehavior, NodeId, Outbox, PortId};

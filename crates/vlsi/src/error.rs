@@ -1,4 +1,5 @@
-//! Error type shared by the model and the network constructors downstream.
+//! Error types shared by the model, the network constructors, and the
+//! simulators downstream.
 
 use std::fmt;
 
@@ -87,9 +88,85 @@ impl ModelError {
     }
 }
 
+/// Errors raised while *running* a simulation: structured replacements for
+/// the hangs and panics a misbehaving configuration could otherwise cause.
+///
+/// Configuration errors stay [`ModelError`]; `SimError` wraps them so
+/// fallible simulation paths can propagate both kinds through one type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The network or model was configured inconsistently.
+    Model(ModelError),
+    /// A run watchdog limit was hit before quiescence (runaway feedback
+    /// loop, misrouted bit, or a genuinely under-budgeted run).
+    BudgetExhausted {
+        /// Which budget ran out (`"events"` or `"bit-time"`).
+        what: &'static str,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A completion probe never reported: the network went quiescent
+    /// without any sink receiving its full word.
+    NoCompletion {
+        /// What was being waited for (e.g. `"broadcast leaves"`).
+        what: &'static str,
+    },
+    /// A detected fault persisted through every permitted retransmission.
+    RetriesExhausted {
+        /// The operation that kept failing (e.g. `"LEAFTOROOT word"`).
+        what: &'static str,
+        /// How many retries were attempted.
+        retries: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Model(e) => e.fmt(f),
+            SimError::BudgetExhausted { what, limit } => {
+                write!(f, "run budget exhausted: more than {limit} {what}")
+            }
+            SimError::NoCompletion { what } => {
+                write!(f, "simulation went quiescent before {what} completed")
+            }
+            SimError::RetriesExhausted { what, retries } => {
+                write!(f, "{what} still faulty after {retries} retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sim_error_displays_and_wraps() {
+        let e: SimError = ModelError::NotPowerOfTwo { what: "side", value: 6 }.into();
+        assert!(e.to_string().contains("power of two"));
+        let b = SimError::BudgetExhausted { what: "events", limit: 10 };
+        assert_eq!(b.to_string(), "run budget exhausted: more than 10 events");
+        let r = SimError::RetriesExhausted { what: "LEAFTOROOT word", retries: 3 };
+        assert!(r.to_string().contains("after 3 retries"));
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&b);
+    }
 
     #[test]
     fn power_of_two_validation() {

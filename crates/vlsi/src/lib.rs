@@ -50,7 +50,7 @@ pub use clock::Clock;
 pub use complexity::Complexity;
 pub use cost::CostModel;
 pub use delay::DelayModel;
-pub use error::ModelError;
+pub use error::{ModelError, SimError};
 pub use stats::OpStats;
 pub use units::{Area, BitTime};
 

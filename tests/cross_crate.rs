@@ -43,14 +43,16 @@ fn event_simulator_validates_the_cost_model_at_network_pitch() {
     for n in [4usize, 16, 64] {
         let net = Otn::for_sorting(n).unwrap();
         let model = *net.model();
-        let simulated = experiments::broadcast_completion_time(n, &with_pitch(model, net.pitch()));
+        let simulated = experiments::broadcast_completion_time(n, &with_pitch(model, net.pitch()))
+            .unwrap();
         assert_eq!(
             simulated,
             model.tree_root_to_leaf(n, net.pitch()),
             "broadcast cost diverges at n={n}"
         );
         let values: Vec<u64> = (0..n as u64).map(|v| v % (1 << model.word_bits)).collect();
-        let (t, sum) = experiments::sum_completion_time(&values, &with_pitch(model, net.pitch()));
+        let (t, sum) =
+            experiments::sum_completion_time(&values, &with_pitch(model, net.pitch())).unwrap();
         assert_eq!(sum, values.iter().sum::<u64>());
         assert_eq!(t, model.tree_aggregate(n, net.pitch()), "sum cost diverges at n={n}");
     }
