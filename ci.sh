@@ -2,6 +2,7 @@
 # Tier-1 gate: build, full test suite, lints. Run from the repo root.
 set -euo pipefail
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings

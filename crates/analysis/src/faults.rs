@@ -65,8 +65,15 @@ impl FaultSweep {
         );
         let header = format!(
             "{:>8} | {:>8} | {:>8} | {:>7} | {:>8} | {:>8} | {:>9} | {:>8} | {:>6}",
-            "rate", "accuracy", "slowdown", "missing", "injected", "detected", "corrected",
-            "erasures", "silent"
+            "rate",
+            "accuracy",
+            "slowdown",
+            "missing",
+            "injected",
+            "detected",
+            "corrected",
+            "erasures",
+            "silent"
         );
         let _ = writeln!(out, "{header}");
         let _ = writeln!(out, "{}", "-".repeat(header.len()));

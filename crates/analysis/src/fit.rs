@@ -39,9 +39,8 @@ impl std::fmt::Display for Fit {
 /// `y = β₀ + β₁·x₁ + β₂·x₂` by Gaussian elimination.
 fn solve3(mut m: [[f64; 4]; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&r, &s| {
-            m[r][col].abs().partial_cmp(&m[s][col].abs()).expect("finite")
-        })?;
+        let pivot = (col..3)
+            .max_by(|&r, &s| m[r][col].abs().partial_cmp(&m[s][col].abs()).expect("finite"))?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -92,11 +91,7 @@ pub fn fit_points(points: &[(u64, f64)]) -> Option<Fit> {
         sx1y += x1 * y;
         sx2y += x2 * y;
     }
-    let beta = solve3([
-        [k, sx1, sx2, sy],
-        [sx1, sx1x1, sx1x2, sx1y],
-        [sx2, sx1x2, sx2x2, sx2y],
-    ])?;
+    let beta = solve3([[k, sx1, sx2, sy], [sx1, sx1x1, sx1x2, sx1y], [sx2, sx1x2, sx2x2, sx2y]])?;
     let (b0, a, b) = (beta[0], beta[1], beta[2]);
     // R² in log space.
     let mean = sy / k;
@@ -140,10 +135,7 @@ pub fn theta_spread(points: &[(u64, f64)], n_exp: f64, log_exp: f64) -> Option<f
 /// Among candidate `(n_exp, log_exp)` shapes, the one with the smallest
 /// [`theta_spread`] — a tiny model-selection step used by the reports to
 /// name the best-matching Θ form.
-pub fn best_theta(
-    points: &[(u64, f64)],
-    candidates: &[(f64, f64)],
-) -> Option<((f64, f64), f64)> {
+pub fn best_theta(points: &[(u64, f64)], candidates: &[(f64, f64)]) -> Option<((f64, f64), f64)> {
     candidates
         .iter()
         .filter_map(|&(a, b)| theta_spread(points, a, b).map(|s| ((a, b), s)))

@@ -14,6 +14,8 @@
 //! * [`tables`] — the paper's table entries as [`Complexity`] terms plus
 //!   the machinery to print paper-vs-measured tables;
 //! * [`report`] — the experiment battery behind EXPERIMENTS.md;
+//! * [`obsreport`] — phase time-attribution and link-utilization tables
+//!   rendered from instrumented runs (see `orthotrees-obs`);
 //! * [`csv`] — machine-readable export of every sweep and table.
 //!
 //! [`Complexity`]: orthotrees_vlsi::Complexity
@@ -28,6 +30,7 @@
 pub mod csv;
 pub mod faults;
 pub mod fit;
+pub mod obsreport;
 pub mod report;
 pub mod sweep;
 pub mod tables;

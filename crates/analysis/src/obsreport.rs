@@ -1,0 +1,238 @@
+//! Observability reports: phase time-attribution and link-utilization
+//! tables rendered from a [`Recorder`], plus the instrumented runs that
+//! feed them.
+//!
+//! Two levels of the stack are profiled:
+//!
+//! * **word level** — [`otn_sort_observed`] / [`otc_sort_observed`] run
+//!   the paper's sorting procedures with a recorder installed, so every
+//!   primitive's clock charge lands in a named phase span
+//!   (`ROOTTOLEAF`, `LEAFTOROOT`, `VECTORCIRCULATE`, …). The
+//!   [`phase_table`] rendered from it is *complete*: self times sum
+//!   exactly to the completion time (checked by a test here and enforced
+//!   crate-side by `crates/core/tests/observability.rs`);
+//! * **bit level** — [`broadcast_link_profile`] runs the discrete-event
+//!   `ROOTTOLEAF` model with the engine recorder on, yielding per-link
+//!   bits-carried/utilization/queueing and the calendar-depth histogram
+//!   that [`link_table`] renders.
+
+use crate::workloads;
+use orthotrees::obs::Recorder;
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::{sort, Otn};
+use orthotrees::BitTime;
+use orthotrees_sim::experiments;
+use orthotrees_vlsi::{CostModel, SimError};
+use std::fmt::Write as _;
+
+/// Runs `SORT-OTN` on `n` seeded words with a recorder installed;
+/// returns the outcome and the recorder.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two (the sorting network's
+/// constructor requirement).
+pub fn otn_sort_observed(n: usize, seed: u64) -> (sort::SortOutcome, Recorder) {
+    let xs = workloads::distinct_words(n, seed);
+    let mut net = Otn::for_sorting(n).expect("power-of-two sort size");
+    net.install_recorder(Recorder::new());
+    let out = sort::sort(&mut net, &xs).expect("matched input length");
+    let rec = net.take_recorder().expect("recorder was installed");
+    (out, rec)
+}
+
+/// Runs `SORT-OTC` on `n` seeded words with a recorder installed;
+/// returns the outcome and the recorder.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two or below the OTC minimum (4).
+pub fn otc_sort_observed(n: usize, seed: u64) -> (sort::SortOutcome, Recorder) {
+    let xs = workloads::distinct_words(n, seed);
+    let mut net = Otc::for_sorting(n).expect("power-of-two sort size");
+    net.install_recorder(Recorder::new());
+    let out = otc::sort::sort(&mut net, &xs).expect("matched input length");
+    let rec = net.take_recorder().expect("recorder was installed");
+    (out, rec)
+}
+
+/// Runs the bit-level `ROOTTOLEAF` model over `leaves` leaves with the
+/// engine recorder on; returns the completion time and the recorder
+/// (per-link traffic, node activations, calendar depths).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the bit-level run fails to complete.
+pub fn broadcast_link_profile(
+    leaves: usize,
+    m: &CostModel,
+) -> Result<(BitTime, Recorder), SimError> {
+    experiments::broadcast_observed(leaves, m)
+}
+
+/// Renders the per-phase time-attribution table. The `self` column sums
+/// exactly to `completion` (every clock advance happens inside a span),
+/// and the footer states the check.
+pub fn phase_table(rec: &Recorder, completion: BitTime) -> String {
+    let totals = rec.phase_totals();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>12} {:>12} {:>7}",
+        "phase", "count", "total", "self", "self%"
+    );
+    let mut attributed = 0u64;
+    for p in &totals {
+        attributed += p.self_time.get();
+        let pct = if completion.get() == 0 {
+            0.0
+        } else {
+            100.0 * p.self_time.get() as f64 / completion.get() as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>12} {:>12} {:>6.1}%",
+            p.name,
+            p.count,
+            p.total.get(),
+            p.self_time.get(),
+            pct
+        );
+    }
+    let check = if attributed == completion.get() { "complete" } else { "INCOMPLETE" };
+    let _ = writeln!(
+        out,
+        "{:<20} {:>6} {:>12} {:>12} ({check}: Σself = completion {})",
+        "TOTAL",
+        "",
+        "",
+        attributed,
+        completion.get()
+    );
+    out
+}
+
+/// Renders the per-link utilization table — the 10 busiest links (by
+/// queueing, then bits) plus a fleet summary line with the calendar-depth
+/// histogram stats from a bit-level run's recorder.
+pub fn link_table(rec: &Recorder) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>8} {:>10} {:>6}",
+        "link", "bits", "queued", "wait(tau)", "util"
+    );
+    let mut active: Vec<(usize, &orthotrees::obs::LinkStats)> =
+        rec.links().iter().enumerate().filter(|(_, l)| l.bits > 0).collect();
+    let total_bits: u64 = active.iter().map(|(_, l)| l.bits).sum();
+    let count = active.len();
+    active.sort_by(|(ai, a), (bi, b)| {
+        (b.wait_total, b.bits).cmp(&(a.wait_total, a.bits)).then(ai.cmp(bi))
+    });
+    for (i, l) in active.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8} {:>8} {:>10} {:>6.2}",
+            i,
+            l.bits,
+            l.queued_bits,
+            l.wait_total,
+            l.utilization()
+        );
+    }
+    if count > 10 {
+        let _ = writeln!(out, "… {} more active links elided", count - 10);
+    }
+    let cal = rec.calendar_depth();
+    let _ = writeln!(
+        out,
+        "{count} active links, {total_bits} bits carried; calendar depth mean {:.1}, max {}",
+        cal.mean(),
+        cal.max()
+    );
+    out
+}
+
+/// The full observability section of the report: OTN and OTC sorting
+/// phase breakdowns at size `sort_n`, and the bit-level link profile of a
+/// `ROOTTOLEAF` broadcast over `sort_n` leaves.
+pub fn observability_report(sort_n: usize, seed: u64) -> String {
+    let mut out = String::new();
+    let (otn_out, otn_rec) = otn_sort_observed(sort_n, seed);
+    let _ = writeln!(
+        out,
+        "Phase attribution — SORT-OTN, N = {sort_n} (completion {} bit-times):",
+        otn_out.time.get()
+    );
+    out.push_str(&phase_table(&otn_rec, otn_out.time));
+    out.push('\n');
+
+    let (otc_out, otc_rec) = otc_sort_observed(sort_n, seed);
+    let _ = writeln!(
+        out,
+        "Phase attribution — SORT-OTC, N = {sort_n} (completion {} bit-times):",
+        otc_out.time.get()
+    );
+    out.push_str(&phase_table(&otc_rec, otc_out.time));
+    out.push('\n');
+
+    let m = CostModel::thompson(sort_n);
+    match broadcast_link_profile(sort_n, &m) {
+        Ok((t, rec)) => {
+            let _ = writeln!(
+                out,
+                "Link utilization — bit-level ROOTTOLEAF over {sort_n} leaves \
+                 (completion {} bit-times):",
+                t.get()
+            );
+            out.push_str(&link_table(&rec));
+        }
+        Err(e) => {
+            let _ = writeln!(out, "Link utilization: bit-level run failed: {e}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_table_totals_sum_to_completion() {
+        let (out, rec) = otn_sort_observed(16, 7);
+        let text = phase_table(&rec, out.time);
+        assert!(text.contains("complete"), "{text}");
+        assert!(!text.contains("INCOMPLETE"), "{text}");
+        assert!(text.contains("SORT-OTN"));
+        assert!(text.contains("ROOTTOLEAF"));
+    }
+
+    #[test]
+    fn otc_phase_table_totals_sum_to_completion() {
+        let (out, rec) = otc_sort_observed(16, 7);
+        let text = phase_table(&rec, out.time);
+        assert!(text.contains("complete"), "{text}");
+        assert!(!text.contains("INCOMPLETE"), "{text}");
+        assert!(text.contains("VECTORCIRCULATE"));
+    }
+
+    #[test]
+    fn link_table_reports_full_pipelining() {
+        let m = CostModel::thompson(16);
+        let (_, rec) = broadcast_link_profile(16, &m).unwrap();
+        let text = link_table(&rec);
+        assert!(text.contains("active links"), "{text}");
+        // The broadcast pipelines one bit per tau on every active wire.
+        assert!(text.contains("1.00"), "{text}");
+    }
+
+    #[test]
+    fn observability_report_has_all_three_sections() {
+        let text = observability_report(16, 42);
+        assert!(text.contains("SORT-OTN"));
+        assert!(text.contains("SORT-OTC"));
+        assert!(text.contains("Link utilization"));
+        assert!(!text.contains("INCOMPLETE"), "{text}");
+    }
+}

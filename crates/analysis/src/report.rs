@@ -169,12 +169,7 @@ pub fn crossover_report() -> String {
             "PSN/CCC",
             Complexity::new(4.0, 4),
         ),
-        (
-            "OTC vs CCC, Boolean matmul",
-            Complexity::new(4.0, 2),
-            "CCC",
-            Complexity::new(6.0, 2),
-        ),
+        ("OTC vs CCC, Boolean matmul", Complexity::new(4.0, 2), "CCC", Complexity::new(6.0, 2)),
     ];
     for (name, otc, rival, other) in cases {
         match otc.crossover_below(&other, limit) {
@@ -210,6 +205,11 @@ pub fn full_report(cfg: &ReportConfig) -> String {
     }
     out.push_str("Crossovers (from the paper's Θ forms):\n");
     out.push_str(&crossover_report());
+    out.push('\n');
+    // Phase/utilization profile at a fixed moderate size (the breakdown
+    // shape is size-independent; 128 keeps the report fast).
+    let obs_n = cfg.sort_ns.iter().copied().filter(|&n| n <= 128).max().unwrap_or(16);
+    out.push_str(&crate::obsreport::observability_report(obs_n, cfg.seed));
     out
 }
 

@@ -259,11 +259,7 @@ pub fn boolmm_otn(ns: &[usize], seed: u64) -> Sweep {
             let b = workloads::random_bool_matrix(n, 0.3, seed ^ 1);
             let out = otn::matmul::bool_matmul_wide(&a, &b).expect("power-of-two side");
             let w = log2_ceil((n * n) as u64).max(1);
-            Sample {
-                n,
-                time: out.time,
-                area: OtnLayout::predicted_area_rect(n * n, n, w),
-            }
+            Sample { n, time: out.time, area: OtnLayout::predicted_area_rect(n * n, n, w) }
         })
         .collect();
     Sweep {

@@ -162,9 +162,7 @@ impl ReproTable {
     /// against measured constants.
     pub fn measured_ranking(&self) -> Vec<(String, f64)> {
         let comparable = |r: &&TableRow| {
-            r.sweep
-                .as_ref()
-                .is_some_and(|s| s.provenance != crate::sweep::Provenance::Analytic)
+            r.sweep.as_ref().is_some_and(|s| s.provenance != crate::sweep::Provenance::Analytic)
         };
         let common_n = self
             .rows
@@ -198,8 +196,16 @@ impl ReproTable {
         let _ = writeln!(out, "{} — {}", self.id, self.title);
         let header = format!(
             "{:<6} | {:<16} | {:<12} | {:<16} | {:>6} | {:>14} | {:>12} | {:>10} | {:<20} | {}",
-            "net", "paper area", "paper time", "paper AT2", "n", "area [l^2]", "time [tau]",
-            "AT2", "fitted time", "provenance"
+            "net",
+            "paper area",
+            "paper time",
+            "paper AT2",
+            "n",
+            "area [l^2]",
+            "time [tau]",
+            "AT2",
+            "fitted time",
+            "provenance"
         );
         let _ = writeln!(out, "{header}");
         let _ = writeln!(out, "{}", "-".repeat(header.len()));

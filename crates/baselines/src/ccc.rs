@@ -50,13 +50,7 @@ impl Ccc {
     /// Returns [`ModelError`] unless `n` is a power of two ≥ 4.
     pub fn new(n: usize) -> Result<Self, ModelError> {
         let layout = ModeledLayout::new(ModeledNetwork::CubeConnectedCycles, n)?;
-        Ok(Ccc {
-            n,
-            model: CostModel::thompson(n),
-            layout,
-            clock: Clock::new(),
-            vals: Vec::new(),
-        })
+        Ok(Ccc { n, model: CostModel::thompson(n), layout, clock: Clock::new(), vals: Vec::new() })
     }
 
     /// Element count.

@@ -56,9 +56,7 @@ fn cannon(net: &mut Mesh, a: &[Vec<Word>], b: &[Vec<Word>], boolean: bool) -> Me
         }
     });
 
-    let c = (0..n)
-        .map(|i| (0..n).map(|j| net.peek(creg, i, j).unwrap_or(0)).collect())
-        .collect();
+    let c = (0..n).map(|i| (0..n).map(|j| net.peek(creg, i, j).unwrap_or(0)).collect()).collect();
     let stats = net.clock().stats().since(&stats_before);
     MeshMatMulOutcome { c, time, stats }
 }

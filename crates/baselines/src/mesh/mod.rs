@@ -61,14 +61,7 @@ impl Mesh {
     pub fn new(rows: usize, cols: usize, model: CostModel) -> Result<Self, ModelError> {
         ModelError::require_at_least("mesh rows", rows, 1)?;
         ModelError::require_at_least("mesh cols", cols, 1)?;
-        Ok(Mesh {
-            rows,
-            cols,
-            model,
-            clock: Clock::new(),
-            regs: Vec::new(),
-            reg_names: Vec::new(),
-        })
+        Ok(Mesh { rows, cols, model, clock: Clock::new(), regs: Vec::new(), reg_names: Vec::new() })
     }
 
     /// The square mesh that sorts `n` numbers (`√n × √n`, Thompson model).
@@ -150,21 +143,50 @@ impl Mesh {
             for j in 0..cols {
                 // Which source cell feeds (i, j)?
                 let src = match dir {
-                    Dir::Left => (i, if j + 1 < cols { j + 1 } else if wrap { 0 } else { cols }),
-                    Dir::Right => {
-                        (i, if j > 0 { j - 1 } else if wrap { cols - 1 } else { cols })
-                    }
-                    Dir::Up => (if i + 1 < rows { i + 1 } else if wrap { 0 } else { rows }, j),
-                    Dir::Down => {
-                        (if i > 0 { i - 1 } else if wrap { rows - 1 } else { rows }, j)
-                    }
+                    Dir::Left => (
+                        i,
+                        if j + 1 < cols {
+                            j + 1
+                        } else if wrap {
+                            0
+                        } else {
+                            cols
+                        },
+                    ),
+                    Dir::Right => (
+                        i,
+                        if j > 0 {
+                            j - 1
+                        } else if wrap {
+                            cols - 1
+                        } else {
+                            cols
+                        },
+                    ),
+                    Dir::Up => (
+                        if i + 1 < rows {
+                            i + 1
+                        } else if wrap {
+                            0
+                        } else {
+                            rows
+                        },
+                        j,
+                    ),
+                    Dir::Down => (
+                        if i > 0 {
+                            i - 1
+                        } else if wrap {
+                            rows - 1
+                        } else {
+                            rows
+                        },
+                        j,
+                    ),
                 };
                 let at = self.idx(i, j);
-                self.regs[r.0][at] = if src.0 < rows && src.1 < cols {
-                    old[src.0 * cols + src.1]
-                } else {
-                    None
-                };
+                self.regs[r.0][at] =
+                    if src.0 < rows && src.1 < cols { old[src.0 * cols + src.1] } else { None };
             }
         }
         self.clock.advance(self.model.wire_word(1));
@@ -311,15 +333,9 @@ mod tests {
         let a = m.alloc_reg("A");
         m.load_reg(a, |_, j| Some([4, 3, 2, 1][j]));
         m.odd_even_round(Lines::Rows, 0, a, |_| true);
-        assert_eq!(
-            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
-            vec![3, 4, 1, 2]
-        );
+        assert_eq!((0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(), vec![3, 4, 1, 2]);
         m.odd_even_round(Lines::Rows, 1, a, |_| true);
-        assert_eq!(
-            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
-            vec![3, 1, 4, 2]
-        );
+        assert_eq!((0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(), vec![3, 1, 4, 2]);
     }
 
     #[test]
@@ -328,10 +344,7 @@ mod tests {
         let a = m.alloc_reg("A");
         m.load_reg(a, |_, j| Some(j as Word));
         m.odd_even_round(Lines::Rows, 0, a, |_| false);
-        assert_eq!(
-            (0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(),
-            vec![1, 0, 3, 2]
-        );
+        assert_eq!((0..4).map(|j| m.peek(a, 0, j).unwrap()).collect::<Vec<_>>(), vec![1, 0, 3, 2]);
     }
 
     #[test]
@@ -341,9 +354,7 @@ mod tests {
         let b = m.alloc_reg("B");
         m.load_reg(a, |i, j| Some((i + j) as Word));
         let cost = m.model().multiply();
-        m.cell_phase(cost, |i, j, v| {
-            vec![(b, v.get(a, i, j).map(|x| x * 10))]
-        });
+        m.cell_phase(cost, |i, j, v| vec![(b, v.get(a, i, j).map(|x| x * 10))]);
         assert_eq!(m.peek(b, 1, 1), Some(20));
     }
 

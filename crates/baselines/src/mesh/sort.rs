@@ -110,8 +110,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         for side in [2usize, 4, 8] {
             for _ in 0..3 {
-                let xs: Vec<Word> =
-                    (0..side * side).map(|_| rng.random_range(-100..100)).collect();
+                let xs: Vec<Word> = (0..side * side).map(|_| rng.random_range(-100..100)).collect();
                 assert_sorts(side, &xs);
             }
         }

@@ -68,9 +68,7 @@ pub fn matmul(a: &[Vec<Word>], b: &[Vec<Word>]) -> Vec<Vec<Word>> {
     let n = a.len();
     assert!(a.iter().all(|r| r.len() == n), "A must be n×n");
     assert!(b.len() == n && b.iter().all(|r| r.len() == n), "B must be n×n");
-    (0..n)
-        .map(|i| (0..n).map(|j| (0..n).map(|k| a[i][k] * b[k][j]).sum()).collect())
-        .collect()
+    (0..n).map(|i| (0..n).map(|j| (0..n).map(|k| a[i][k] * b[k][j]).sum()).collect()).collect()
 }
 
 /// Boolean matrix product (AND/OR semiring, entries 0/1).

@@ -36,11 +36,7 @@ fn bench_figures(c: &mut Criterion) {
     for k in [2u32, 3, 4, 5, 6] {
         let n = 1usize << k;
         let otn = OtnLayout::with_default_word(n).unwrap().area();
-        let otc = if n >= 4 {
-            OtcLayout::for_problem_size(n).unwrap().area().get()
-        } else {
-            0
-        };
+        let otc = if n >= 4 { OtcLayout::for_problem_size(n).unwrap().area().get() } else { 0 };
         println!("  N={n:>4}: OTN {otn}, OTC {otc} λ²");
     }
 }

@@ -22,9 +22,7 @@ fn bench_table2(c: &mut Criterion) {
             bch.iter(|| black_box(matmul::bool_matmul_wide(&a, &b).unwrap().time))
         });
         group.bench_with_input(BenchmarkId::new("mesh_cannon", n), &n, |bch, _| {
-            bch.iter(|| {
-                black_box(mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap().time)
-            })
+            bch.iter(|| black_box(mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap().time))
         });
     }
     group.finish();

@@ -46,8 +46,7 @@ fn pipelining() {
     println!("=== §VIII: pipelined sorting on the OTN ===");
     let n = 256;
     let net = Otn::for_sorting(n).expect("power of two");
-    let problems: Vec<Vec<i64>> =
-        (0..16).map(|p| workloads::distinct_words(n, 100 + p)).collect();
+    let problems: Vec<Vec<i64>> = (0..16).map(|p| workloads::distinct_words(n, 100 + p)).collect();
     let out = otn::pipeline::pipelined_sorts(&net, &problems).expect("sized");
     println!(
         "N = {n}, problems = {}: single latency {}, issue interval {}, makespan {} \
@@ -84,8 +83,7 @@ fn scaling_ablation() {
         let xs = workloads::distinct_words(n, 3);
         let mut plain = Otn::for_sorting(n).expect("dims");
         let t_plain = otn::sort::sort(&mut plain, &xs).expect("sized").time;
-        let mut scaled =
-            Otn::new(n, n, CostModel::thompson(n).with_scaling()).expect("dims");
+        let mut scaled = Otn::new(n, n, CostModel::thompson(n).with_scaling()).expect("dims");
         let t_scaled = otn::sort::sort(&mut scaled, &xs).expect("sized").time;
         println!(
             "{:>8} | {:>12} | {:>12} | {:>6.2}",
@@ -122,7 +120,10 @@ fn cycle_length_ablation() {
 
 fn emulation_check() {
     println!("=== §V check: OTC time ≈ OTN time for sorting ===");
-    println!("{:>8} | {:>12} | {:>12} | {:>12} | {:>6}", "N", "OTN [τ]", "OTC [τ]", "emulated", "ratio");
+    println!(
+        "{:>8} | {:>12} | {:>12} | {:>12} | {:>6}",
+        "N", "OTN [τ]", "OTC [τ]", "emulated", "ratio"
+    );
     for k in [6u32, 8, 10] {
         let n = 1usize << k;
         let xs = workloads::distinct_words(n, 9);

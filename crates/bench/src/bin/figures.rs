@@ -44,7 +44,10 @@ fn main() {
 
     // Area sweeps: the layouts' Θ claims, measured.
     println!("=== Area sweeps (measured layout area / paper Θ) ===");
-    println!("{:>8} | {:>16} | {:>12} | {:>16} | {:>10}", "N", "OTN area", "/(N^2 log^2 N)", "OTC area", "/N^2");
+    println!(
+        "{:>8} | {:>16} | {:>12} | {:>16} | {:>10}",
+        "N", "OTN area", "/(N^2 log^2 N)", "OTC area", "/N^2"
+    );
     for k in [3u32, 4, 5, 6, 7, 8] {
         let n = 1usize << k;
         let otn_area = OtnLayout::with_default_word(n).expect("otn").area();
@@ -58,7 +61,11 @@ fn main() {
         };
         println!(
             "{:>8} | {:>16} | {:>12.3} | {:>16} | {:>10.3}",
-            n, otn_area.get(), otn_ratio, otc_area, otc_ratio
+            n,
+            otn_area.get(),
+            otn_ratio,
+            otc_area,
+            otc_ratio
         );
     }
     println!("\nSVGs written to {}", outdir.display());

@@ -1,14 +1,19 @@
-//! Runs the whole reproduction battery: Tables I–IV (+ MST), rankings and
-//! crossovers. This is the report EXPERIMENTS.md records. Also writes each
-//! table as CSV under `target/report/` for plotting.
+//! Runs the whole reproduction battery: Tables I–IV (+ MST), rankings,
+//! crossovers and the observability profile. This is the report
+//! EXPERIMENTS.md records. Also writes each table as CSV under
+//! `target/report/`, the machine-readable benchmark summary as
+//! `BENCH_2.json`, and a Chrome-trace of the instrumented `SORT-OTN` run
+//! as `target/report/sort_otn.trace.json` (open in Perfetto).
 
-use orthotrees_analysis::{csv, report};
-use orthotrees_bench::preset_from_env;
+use orthotrees::obs::chrome::chrome_trace;
+use orthotrees_analysis::{csv, obsreport, report};
+use orthotrees_bench::{preset_from_env, summary};
 use std::fs;
 use std::path::Path;
 
 fn main() {
-    let cfg = preset_from_env().config();
+    let preset = preset_from_env();
+    let cfg = preset.config();
     print!("{}", report::full_report(&cfg));
 
     let dir = Path::new("target/report");
@@ -26,6 +31,20 @@ fn main() {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
-        println!("\nCSV series written to {}", dir.display());
+
+        // Chrome-trace of the instrumented sort (1 τ = 1 µs in the trace).
+        let obs_n = cfg.sort_ns.iter().copied().filter(|&n| n <= 128).max().unwrap_or(16);
+        let (_, rec) = obsreport::otn_sort_observed(obs_n, cfg.seed);
+        let trace = dir.join("sort_otn.trace.json");
+        if let Err(e) = fs::write(&trace, chrome_trace(&rec).render()) {
+            eprintln!("warning: could not write {}: {e}", trace.display());
+        }
+        println!("\nCSV series and Perfetto trace written to {}", dir.display());
+    }
+
+    let bench = summary::bench_summary(preset.name(), &cfg);
+    match fs::write("BENCH_2.json", bench.render() + "\n") {
+        Ok(()) => println!("Benchmark summary written to BENCH_2.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_2.json: {e}"),
     }
 }

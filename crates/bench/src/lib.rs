@@ -19,6 +19,8 @@
 
 use orthotrees_analysis::report::ReportConfig;
 
+pub mod summary;
+
 /// Sweep-size presets for the binaries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Preset {
@@ -37,6 +39,14 @@ impl Preset {
             }
         }
         Preset::Quick
+    }
+
+    /// The preset's name as written into `BENCH_*.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Quick => "quick",
+            Preset::Full => "full",
+        }
     }
 
     /// The sweep grids for this preset.

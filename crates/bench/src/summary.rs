@@ -1,0 +1,251 @@
+//! Machine-readable benchmark summary — the `BENCH_2.json` emitter.
+//!
+//! One JSON document per `repro` run, schema `orthotrees-bench/v1`
+//! (documented in EXPERIMENTS.md):
+//!
+//! * `tables` — every reproduced table's measured `(n, time, area, AT²)`
+//!   series, one entry per network × problem;
+//! * `phases` — the per-phase time attribution of an instrumented
+//!   `SORT-OTN` and `SORT-OTC` run (self times sum to `completion_bits`;
+//!   the schema test checks this);
+//! * `links` — the bit-level `ROOTTOLEAF` link profile (bits carried,
+//!   utilization, calendar depth).
+//!
+//! Built on the dependency-free JSON support in `orthotrees-obs`, so the
+//! emitted file is parseable (and schema-checkable) by the same code that
+//! wrote it.
+
+use orthotrees::obs::json::Json;
+use orthotrees::obs::Recorder;
+use orthotrees::BitTime;
+use orthotrees_analysis::obsreport;
+use orthotrees_analysis::report::{self, ReportConfig};
+use orthotrees_analysis::tables::ReproTable;
+use orthotrees_vlsi::CostModel;
+
+/// The summary schema identifier.
+pub const SCHEMA: &str = "orthotrees-bench/v1";
+
+fn table_json(t: &ReproTable) -> Json {
+    let rows = t.rows.iter().filter_map(|row| {
+        let sweep = row.sweep.as_ref()?;
+        let samples = sweep.samples.iter().map(|s| {
+            Json::obj([
+                ("n", Json::u64(s.n as u64)),
+                ("time_bits", Json::u64(s.time.get())),
+                ("area_lambda2", Json::u64(s.area.get())),
+                ("at2", Json::f64(s.at2())),
+            ])
+        });
+        Some(Json::obj([
+            ("network", Json::str(sweep.network.clone())),
+            ("problem", Json::str(sweep.problem.clone())),
+            ("provenance", Json::str(sweep.provenance.tag())),
+            ("samples", Json::arr(samples)),
+        ]))
+    });
+    Json::obj([("id", Json::str(t.id)), ("rows", Json::arr(rows))])
+}
+
+fn phase_json(workload: &str, n: usize, completion: BitTime, rec: &Recorder) -> Json {
+    let attribution = rec.phase_totals().into_iter().map(|p| {
+        (
+            p.name,
+            Json::obj([
+                ("count", Json::u64(p.count)),
+                ("total_bits", Json::u64(p.total.get())),
+                ("self_bits", Json::u64(p.self_time.get())),
+            ]),
+        )
+    });
+    let counters = rec.counters().map(|(k, v)| (k.to_string(), Json::u64(v)));
+    Json::obj([
+        ("workload", Json::str(workload)),
+        ("n", Json::u64(n as u64)),
+        ("completion_bits", Json::u64(completion.get())),
+        ("attribution", Json::obj(attribution)),
+        ("counters", Json::obj(counters)),
+    ])
+}
+
+fn links_json(leaves: usize, completion: BitTime, rec: &Recorder) -> Json {
+    let active: Vec<_> = rec.links().iter().filter(|l| l.bits > 0).collect();
+    let total_bits: u64 = active.iter().map(|l| l.bits).sum();
+    let mean_util = if active.is_empty() {
+        0.0
+    } else {
+        active.iter().map(|l| l.utilization()).sum::<f64>() / active.len() as f64
+    };
+    Json::obj([
+        ("experiment", Json::str("ROOTTOLEAF")),
+        ("leaves", Json::u64(leaves as u64)),
+        ("completion_bits", Json::u64(completion.get())),
+        ("active_links", Json::u64(active.len() as u64)),
+        ("total_bits", Json::u64(total_bits)),
+        ("mean_utilization", Json::f64(mean_util)),
+        ("calendar_depth_max", Json::u64(rec.calendar_depth().max())),
+        ("calendar_depth_mean", Json::f64(rec.calendar_depth().mean())),
+    ])
+}
+
+/// Builds the whole benchmark summary document for one report run.
+pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
+    let tables = [
+        report::table1(cfg),
+        report::table2(cfg),
+        report::table3(cfg),
+        report::table3_mst(cfg),
+        report::table4(cfg),
+    ];
+
+    let obs_n = cfg.sort_ns.iter().copied().filter(|&n| n <= 128).max().unwrap_or(16);
+    let (otn_out, otn_rec) = obsreport::otn_sort_observed(obs_n, cfg.seed);
+    let (otc_out, otc_rec) = obsreport::otc_sort_observed(obs_n, cfg.seed);
+    let phases = [
+        phase_json("SORT-OTN", obs_n, otn_out.time, &otn_rec),
+        phase_json("SORT-OTC", obs_n, otc_out.time, &otc_rec),
+    ];
+
+    let m = CostModel::thompson(obs_n);
+    let links = match obsreport::broadcast_link_profile(obs_n, &m) {
+        Ok((t, rec)) => links_json(obs_n, t, &rec),
+        Err(_) => Json::Null,
+    };
+
+    Json::obj([
+        ("schema", Json::str(SCHEMA)),
+        ("preset", Json::str(preset_name)),
+        ("seed", Json::u64(cfg.seed)),
+        ("tables", Json::arr(tables.iter().map(table_json))),
+        ("phases", Json::arr(phases)),
+        ("links", links),
+    ])
+}
+
+/// Checks a parsed summary document against the `orthotrees-bench/v1`
+/// schema; returns the violations found (empty = valid). The phase
+/// sections additionally re-verify the attribution invariant: self times
+/// must sum to the recorded completion time.
+pub fn schema_violations(doc: &Json) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut check = |cond: bool, msg: &str| {
+        if !cond {
+            errs.push(msg.to_string());
+        }
+    };
+    check(doc.get("schema").and_then(Json::as_str) == Some(SCHEMA), "schema tag missing or wrong");
+    check(doc.get("preset").and_then(Json::as_str).is_some(), "preset missing");
+    check(doc.get("seed").and_then(Json::as_u64).is_some(), "seed missing");
+
+    match doc.get("tables").and_then(Json::as_arr) {
+        None => errs.push("tables missing".to_string()),
+        Some(tables) => {
+            for t in tables {
+                if t.get("id").and_then(Json::as_str).is_none() {
+                    errs.push("table without id".to_string());
+                }
+                for row in t.get("rows").and_then(Json::as_arr).unwrap_or(&[]) {
+                    let ok = row.get("network").and_then(Json::as_str).is_some()
+                        && row.get("samples").and_then(Json::as_arr).is_some_and(|ss| {
+                            ss.iter().all(|s| {
+                                s.get("n").and_then(Json::as_u64).is_some()
+                                    && s.get("time_bits").and_then(Json::as_u64).is_some()
+                                    && s.get("area_lambda2").and_then(Json::as_u64).is_some()
+                                    && s.get("at2").and_then(Json::as_f64).is_some()
+                            })
+                        });
+                    if !ok {
+                        errs.push("malformed table row".to_string());
+                    }
+                }
+            }
+        }
+    }
+
+    match doc.get("phases").and_then(Json::as_arr) {
+        None => errs.push("phases missing".to_string()),
+        Some(phases) => {
+            for p in phases {
+                let completion = p.get("completion_bits").and_then(Json::as_u64);
+                let Some(completion) = completion else {
+                    errs.push("phase entry without completion_bits".to_string());
+                    continue;
+                };
+                let attributed: Option<u64> =
+                    p.get("attribution").and_then(Json::as_obj).map(|entries| {
+                        entries
+                            .iter()
+                            .filter_map(|(_, v)| v.get("self_bits").and_then(Json::as_u64))
+                            .sum()
+                    });
+                if attributed != Some(completion) {
+                    errs.push(format!(
+                        "phase attribution incomplete: self sum {attributed:?} vs completion \
+                         {completion}"
+                    ));
+                }
+            }
+        }
+    }
+
+    if let Some(links) = doc.get("links") {
+        if links.get("active_links").and_then(Json::as_u64).is_none() {
+            errs.push("links section malformed".to_string());
+        }
+    } else {
+        errs.push("links missing".to_string());
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ReportConfig {
+        ReportConfig {
+            sort_ns: vec![16, 64],
+            matmul_ns: vec![2, 4],
+            graph_ns: vec![8, 16],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_and_passes_the_schema_check() {
+        let doc = bench_summary("quick", &tiny());
+        let text = doc.render();
+        let parsed = Json::parse(&text).expect("emitted summary must be valid JSON");
+        let errs = schema_violations(&parsed);
+        assert!(errs.is_empty(), "schema violations: {errs:?}");
+    }
+
+    #[test]
+    fn summary_contains_every_table_and_both_phase_workloads() {
+        let doc = bench_summary("quick", &tiny());
+        let ids: Vec<&str> = doc
+            .get("tables")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|t| t.get("id").and_then(Json::as_str))
+            .collect();
+        assert_eq!(ids, ["Table I", "Table II", "Table III", "Table III′", "Table IV"]);
+        let workloads: Vec<&str> = doc
+            .get("phases")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .filter_map(|p| p.get("workload").and_then(Json::as_str))
+            .collect();
+        assert_eq!(workloads, ["SORT-OTN", "SORT-OTC"]);
+    }
+
+    #[test]
+    fn schema_check_flags_a_broken_document() {
+        let doc = Json::parse(r#"{"schema":"orthotrees-bench/v1","preset":"quick"}"#).unwrap();
+        let errs = schema_violations(&doc);
+        assert!(errs.iter().any(|e| e.contains("seed")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("tables")), "{errs:?}");
+    }
+}

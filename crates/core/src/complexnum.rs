@@ -90,9 +90,9 @@ pub fn naive_dft(x: &[Complex]) -> Vec<Complex> {
     let n = x.len();
     (0..n)
         .map(|k| {
-            x.iter()
-                .enumerate()
-                .fold(Complex::ZERO, |acc, (j, &v)| acc + v * Complex::root_of_unity(n, j * k % n.max(1)))
+            x.iter().enumerate().fold(Complex::ZERO, |acc, (j, &v)| {
+                acc + v * Complex::root_of_unity(n, j * k % n.max(1))
+            })
         })
         .collect()
 }

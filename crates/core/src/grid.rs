@@ -45,7 +45,12 @@ impl<T> Grid<T> {
     ///
     /// Panics if out of range.
     pub fn get(&self, row: usize, col: usize) -> &T {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[row * self.cols + col]
     }
 
@@ -55,7 +60,12 @@ impl<T> Grid<T> {
     ///
     /// Panics if out of range.
     pub fn get_mut(&mut self, row: usize, col: usize) -> &mut T {
-        assert!(row < self.rows && col < self.cols, "({row},{col}) out of {}x{}", self.rows, self.cols);
+        assert!(
+            row < self.rows && col < self.cols,
+            "({row},{col}) out of {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[row * self.cols + col]
     }
 

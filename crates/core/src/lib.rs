@@ -62,6 +62,9 @@ pub mod resilience;
 mod word;
 
 pub use grid::Grid;
-pub use orthotrees_vlsi::{Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats, SimError};
+pub use orthotrees_obs as obs;
+pub use orthotrees_vlsi::{
+    Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats, SimError,
+};
 pub use resilience::{DarkLeaf, FaultPlan, FaultReport, FaultStats, TreeAxis};
 pub use word::{pack, unpack, Word};

@@ -69,11 +69,7 @@ impl Mot3d {
             pitch,
             clock: Clock::new(),
             regs: Vec::new(),
-            roots: [
-                Grid::filled(n, n, None),
-                Grid::filled(n, n, None),
-                Grid::filled(n, n, None),
-            ],
+            roots: [Grid::filled(n, n, None), Grid::filled(n, n, None), Grid::filled(n, n, None)],
         })
     }
 

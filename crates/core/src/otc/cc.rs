@@ -121,9 +121,7 @@ pub fn connected_components(adj: &Grid<Word>) -> Result<CcOutcome, ModelError> {
         );
         // Snapshot for the convergence test.
         let (d, prev) = (regs.d, regs.prev);
-        net.bp_phase(PhaseCost::Bit, move |i, j, q, v| {
-            (i == j).then(|| (prev, v.get(d, i, j, q)))
-        });
+        net.bp_phase(PhaseCost::Bit, move |i, j, q, v| (i == j).then(|| (prev, v.get(d, i, j, q))));
 
         distribute_labels(net, &regs);
 
@@ -156,13 +154,7 @@ pub fn connected_components(adj: &Grid<Word>) -> Result<CcOutcome, ModelError> {
             }
         });
         // Row-group minima: minn(I, ·, r) = min over J of pmin.
-        net.min_cycle_to_cycle(
-            Axis::Rows,
-            regs.pmin,
-            |_, _, _, _| true,
-            regs.minn,
-            |_, _, _| true,
-        );
+        net.min_cycle_to_cycle(Axis::Rows, regs.pmin, |_, _, _, _| true, regs.minn, |_, _, _| true);
         // C(v) = min(D(v), minN(v)) at the diagonal.
         let (minn, creg) = (regs.minn, regs.creg);
         net.bp_phase(PhaseCost::Compare, move |i, j, q, v| {
@@ -177,13 +169,7 @@ pub fn connected_components(adj: &Grid<Word>) -> Result<CcOutcome, ModelError> {
             Some((creg, c))
         });
         // C streams along the rows like the labels do.
-        net.cycle_to_cycle(
-            Axis::Rows,
-            regs.creg,
-            |i, j, _, _| i == j,
-            regs.crow,
-            |_, _, _| true,
-        );
+        net.cycle_to_cycle(Axis::Rows, regs.creg, |i, j, _, _| i == j, regs.crow, |_, _, _| true);
         // Group minima by label: lcand(I, J, q'') = min{ C(v) : v in row
         // group I, D(v) = J·L + q'' } — a cycle-local regroup…
         let (drow, crow, lcand) = (regs.drow, regs.crow, regs.lcand);
@@ -240,12 +226,8 @@ pub fn connected_components(adj: &Grid<Word>) -> Result<CcOutcome, ModelError> {
             Some((chflag, Some(Word::from(f))))
         });
         net.sum_cycle_to_root(Axis::Cols, regs.chflag, |_, _, _, _| true);
-        let changed: Word = net
-            .roots(Axis::Cols)
-            .iter()
-            .flat_map(|buf| buf.iter())
-            .map(|v| v.unwrap_or(0))
-            .sum();
+        let changed: Word =
+            net.roots(Axis::Cols).iter().flat_map(|buf| buf.iter()).map(|v| v.unwrap_or(0)).sum();
         if changed == 0 {
             break;
         }

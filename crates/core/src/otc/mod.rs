@@ -23,6 +23,7 @@ pub mod sort;
 
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
+use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostModel, ModelError};
 
 pub use super::otn::Axis;
@@ -102,6 +103,9 @@ pub struct Otc {
     /// Installed fault scenario; `None` keeps every primitive on the exact
     /// fault-free path.
     fault: Option<FaultState>,
+    /// Installed observability recorder; `None` keeps every primitive on
+    /// the exact unrecorded path (same contract as `fault`).
+    recorder: Option<Recorder>,
 }
 
 impl Otc {
@@ -149,6 +153,7 @@ impl Otc {
             row_roots: vec![vec![None; cycle]; m],
             col_roots: vec![vec![None; cycle]; m],
             fault: None,
+            recorder: None,
         })
     }
 
@@ -325,6 +330,45 @@ impl Otc {
     }
 
     // ------------------------------------------------------------------
+    // Observability (see [`orthotrees_obs`]). An absent recorder keeps
+    // every primitive on the exact unrecorded path.
+    // ------------------------------------------------------------------
+
+    /// Installs a recorder that collects phase spans for all subsequent
+    /// primitives.
+    pub fn install_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Removes and returns the installed recorder (export after a run).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Opens a named phase span at the current simulated time (no-op
+    /// without a recorder). Spans nest; close with [`Otc::end_phase`].
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        if let Some(rec) = &mut self.recorder {
+            let now = self.clock.now();
+            rec.open(name, now);
+        }
+    }
+
+    /// Closes the most recently opened phase span (no-op without a
+    /// recorder).
+    pub fn end_phase(&mut self) {
+        if let Some(rec) = &mut self.recorder {
+            let now = self.clock.now();
+            rec.close(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection, detection and graceful degradation (see
     // [`crate::resilience`]). The OTC's trees have one leaf per *cycle*,
     // so a dark leaf is a whole cycle cut from one of its trees.
@@ -392,7 +436,14 @@ impl Otc {
             extra += self.model.tree_leaf_to_leaf(2 * span, self.pitch);
         }
         if extra > BitTime::ZERO {
+            // Attributed as its own (nested) phase so a faulty run's
+            // slowdown is visible in the time-attribution table.
+            self.begin_phase("FAULT-OVERHEAD");
             self.clock.advance(extra);
+            self.end_phase();
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.count("fault.retry_rounds", u64::from(attempts));
         }
     }
 
@@ -411,7 +462,9 @@ impl Otc {
                 }
             }
         }
+        self.begin_phase("VECTORCIRCULATE");
         self.clock.advance(self.model.cycle_step());
+        self.end_phase();
         self.clock.stats_mut().circulates += 1;
     }
 
@@ -426,6 +479,7 @@ impl Otc {
         dest: Reg,
         sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("ROOTTOCYCLE");
         let mut writes = Vec::new();
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
@@ -450,6 +504,7 @@ impl Otc {
         }
         self.charge_stream(false, false);
         self.charge_fault_overhead(axis, attempts, false);
+        self.end_phase();
     }
 
     /// `CYCLETOROOT(Vector, Source)`: each tree's root receives, for every
@@ -474,6 +529,7 @@ impl Otc {
         src: Reg,
         sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("CYCLETOROOT");
         let degraded = self.fault.is_some();
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
@@ -500,6 +556,7 @@ impl Otc {
             }
         }
         self.finish_stream_aggregate(axis, new_roots, false, true);
+        self.end_phase();
     }
 
     /// Shared tail of the root-bound stream primitives: every buffer word
@@ -539,6 +596,7 @@ impl Otc {
         src: Reg,
         sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("SUM-CYCLETOROOT");
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
@@ -556,6 +614,7 @@ impl Otc {
             }
         }
         self.finish_stream_aggregate(axis, new_roots, true, false);
+        self.end_phase();
     }
 
     /// `MIN-CYCLETOROOT`: per-position minimum over the selected cycles.
@@ -565,6 +624,7 @@ impl Otc {
         src: Reg,
         sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MIN-CYCLETOROOT");
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
@@ -584,6 +644,7 @@ impl Otc {
             }
         }
         self.finish_stream_aggregate(axis, new_roots, true, false);
+        self.end_phase();
     }
 
     /// `CYCLETOCYCLE(Vector, Source, Dest)` (§V.B composite 3).
@@ -599,8 +660,10 @@ impl Otc {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("CYCLETOCYCLE");
         self.cycle_to_root(axis, src, src_sel);
         self.root_to_cycle(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `SUM-CYCLETOCYCLE`.
@@ -612,8 +675,10 @@ impl Otc {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("SUM-CYCLETOCYCLE");
         self.sum_cycle_to_root(axis, src, src_sel);
         self.root_to_cycle(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `MIN-CYCLETOCYCLE`.
@@ -625,8 +690,10 @@ impl Otc {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MIN-CYCLETOCYCLE");
         self.min_cycle_to_root(axis, src, src_sel);
         self.root_to_cycle(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// One parallel per-BP compute phase (`f(i, j, q, value) → value` over
@@ -654,7 +721,9 @@ impl Otc {
             self.regs[r.0][at] = v;
         }
         let t = self.phase_cost(cost);
+        self.begin_phase("BP-PHASE");
         self.clock.advance(t);
+        self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
 
@@ -679,7 +748,9 @@ impl Otc {
             }
         }
         let t = self.phase_cost(cost);
+        self.begin_phase("CYCLE-PHASE");
         self.clock.advance(t);
+        self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
 }
@@ -820,9 +891,7 @@ mod tests {
         let a = n.alloc_reg("A");
         let b = n.alloc_reg("B");
         n.load_reg(a, |i, j, q| Some((i + j + q) as Word));
-        n.bp_phase(PhaseCost::Add, |i, j, q, v| {
-            v.get(a, i, j, q).map(|x| (b, Some(x * 2)))
-        });
+        n.bp_phase(PhaseCost::Add, |i, j, q, v| v.get(a, i, j, q).map(|x| (b, Some(x * 2))));
         assert_eq!(n.peek(b, 1, 2, 3), Some(12));
     }
 }

@@ -142,12 +142,8 @@ pub fn minimum_spanning_tree(weights: &Grid<Option<Word>>) -> Result<MstOutcome,
             Some((have, Some(Word::from(f))))
         });
         net.sum_cycle_to_root(Axis::Cols, have, |_, _, _, _| true);
-        let alive: Word = net
-            .roots(Axis::Cols)
-            .iter()
-            .flat_map(|buf| buf.iter())
-            .map(|v| v.unwrap_or(0))
-            .sum();
+        let alive: Word =
+            net.roots(Axis::Cols).iter().flat_map(|buf| buf.iter()).map(|v| v.unwrap_or(0)).sum();
         if alive == 0 {
             break;
         }
@@ -375,8 +371,7 @@ mod tests {
             (0..n - 1).map(|v| (v, v + 1, ((v * 13) % 37) as Word + 1)).collect();
         let weights = from_edges(n, &edges);
         let otc_out = minimum_spanning_tree(&weights).unwrap();
-        let otn_out =
-            crate::otn::graph::mst::minimum_spanning_tree(&weights).unwrap();
+        let otn_out = crate::otn::graph::mst::minimum_spanning_tree(&weights).unwrap();
         assert_eq!(otc_out.total_weight, otn_out.total_weight);
         let ratio = otc_out.time.as_f64() / otn_out.time.as_f64();
         assert!((0.2..6.0).contains(&ratio), "OTC/OTN MST time ratio {ratio:.2}");

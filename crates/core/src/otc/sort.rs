@@ -40,12 +40,12 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
     let r = net.alloc_reg("R");
     let d = net.alloc_reg("D");
 
-    let groups: Vec<Vec<Word>> =
-        (0..m).map(|i| xs[i * l..(i + 1) * l].to_vec()).collect();
+    let groups: Vec<Vec<Word>> = (0..m).map(|i| xs[i * l..(i + 1) * l].to_vec()).collect();
     net.load_row_root_buffers(&groups);
 
     let stats_before = *net.clock().stats();
     let (_, time) = net.elapsed(|net| {
+        net.begin_phase("SORT-OTC");
         // 1) group i to every cycle of row i.
         net.root_to_cycle(Axis::Rows, a, |_, _, _| true);
         // 2) group j (from diagonal cycle (j,j)) to every cycle of column j.
@@ -91,6 +91,7 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
             }
         });
         net.cycle_to_root(Axis::Cols, d, |i, j, q, v| v.get(d, i, j, q).is_some());
+        net.end_phase();
     });
 
     let degraded = net.has_fault_plan();
@@ -104,10 +105,9 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
                 None if degraded => missing.push(p * m + j),
                 // Invariant (fault-free): ranks are a permutation of 0..N,
                 // so every output stream slot is filled exactly once.
-                None => panic!(
-                    "rank invariant violated: output slot {} received no word",
-                    p * m + j
-                ),
+                None => {
+                    panic!("rank invariant violated: output slot {} received no word", p * m + j)
+                }
             }
         }
     }

@@ -235,9 +235,7 @@ mod tests {
         let prod: Vec<Word> = fa.iter().zip(&fb).map(|(&x, &y)| mod_mul(x, y)).collect();
         // Circular convolution, naive.
         let conv: Vec<Word> = (0..n)
-            .map(|i| {
-                (0..n).fold(0, |acc, j| mod_add(acc, mod_mul(a[j], b[(i + n - j) % n])))
-            })
+            .map(|i| (0..n).fold(0, |acc, j| mod_add(acc, mod_mul(a[j], b[(i + n - j) % n]))))
             .collect();
         assert_eq!(naive_ntt(&conv), prod);
     }

@@ -83,10 +83,7 @@ impl Labels {
     pub fn read(&self, net: &mut Otn) -> Vec<Word> {
         let d = self.d;
         net.leaf_to_root(Axis::Cols, d, |i, j, _| i == j);
-        net.roots(Axis::Cols)
-            .iter()
-            .map(|v| v.expect("every vertex has a label"))
-            .collect()
+        net.roots(Axis::Cols).iter().map(|v| v.expect("every vertex has a label")).collect()
     }
 
     /// Replaces each diagonal label `D(v)` by `L(D(v))`, where `L` is a
@@ -178,9 +175,7 @@ mod tests {
         let mut net = Otn::for_graphs(4).unwrap();
         let labels = Labels::init(&mut net);
         // Chain 3→2→1→0, 0→0.
-        net.load_reg(labels.d, |i, j| {
-            (i == j).then_some(if i == 0 { 0 } else { i as Word - 1 })
-        });
+        net.load_reg(labels.d, |i, j| (i == j).then_some(if i == 0 { 0 } else { i as Word - 1 }));
         labels.refresh(&mut net);
         labels.jump(&mut net);
         assert_eq!(labels.read(&mut net), vec![0, 0, 0, 1], "one doubling step");
@@ -190,9 +185,7 @@ mod tests {
     fn shortcut_collapses_chains() {
         let mut net = Otn::for_graphs(16).unwrap();
         let labels = Labels::init(&mut net);
-        net.load_reg(labels.d, |i, j| {
-            (i == j).then_some(if i == 0 { 0 } else { i as Word - 1 })
-        });
+        net.load_reg(labels.d, |i, j| (i == j).then_some(if i == 0 { 0 } else { i as Word - 1 }));
         labels.shortcut(&mut net);
         assert_eq!(labels.read(&mut net), vec![0; 16], "log n jumps flatten a chain of 16");
     }

@@ -317,11 +317,7 @@ mod tests {
                     }
                 }
                 let out = check(n, &edges);
-                assert!(
-                    out.phases <= log2_ceil(n as u64) + 2,
-                    "n={n} took {} phases",
-                    out.phases
-                );
+                assert!(out.phases <= log2_ceil(n as u64) + 2, "n={n} took {} phases", out.phases);
             }
         }
     }

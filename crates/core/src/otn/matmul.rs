@@ -67,11 +67,7 @@ pub fn vector_matrix(
         });
         net.sum_to_root(Axis::Cols, p, all);
     });
-    let y = net
-        .roots(Axis::Cols)
-        .iter()
-        .map(|v| v.expect("SUM roots are never NULL"))
-        .collect();
+    let y = net.roots(Axis::Cols).iter().map(|v| v.expect("SUM roots are never NULL")).collect();
     Ok(VectorMatrixOutcome { y, time })
 }
 
@@ -85,7 +81,9 @@ pub fn vector_matrix(
 pub fn matmul(net: &mut Otn, a: &Grid<Word>, b: &Grid<Word>) -> Result<MatMulOutcome, ModelError> {
     let n = net.rows();
     ModelError::require_equal("square network", net.rows(), net.cols())?;
-    for (what, g) in [("A rows", a.rows()), ("A cols", a.cols()), ("B rows", b.rows()), ("B cols", b.cols())] {
+    for (what, g) in
+        [("A rows", a.rows()), ("A cols", a.cols()), ("B rows", b.rows()), ("B cols", b.cols())]
+    {
         ModelError::require_equal(what, n, g)?;
     }
     let breg = net.alloc_reg("B");

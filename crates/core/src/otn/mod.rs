@@ -26,6 +26,7 @@ pub mod sort;
 use crate::grid::Grid;
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
+use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostModel, ModelError};
 
 /// Handle to a named register plane allocated with [`Otn::alloc_reg`].
@@ -129,6 +130,10 @@ pub struct Otn {
     /// Installed fault scenario; `None` keeps every primitive on the exact
     /// fault-free path.
     fault: Option<FaultState>,
+    /// Installed observability recorder; `None` (the default) keeps every
+    /// primitive free of recording code. Recording never changes a
+    /// simulated bit, time, or output.
+    recorder: Option<Recorder>,
 }
 
 impl Otn {
@@ -156,6 +161,7 @@ impl Otn {
             row_roots: vec![None; rows],
             col_roots: vec![None; cols],
             fault: None,
+            recorder: None,
         })
     }
 
@@ -329,6 +335,50 @@ impl Otn {
     }
 
     // ------------------------------------------------------------------
+    // Observability (see [`orthotrees_obs`]). Every primitive wraps its
+    // clock advances in a span named after the paper's primitive, so the
+    // recorder's per-phase self times sum exactly to the elapsed time.
+    // ------------------------------------------------------------------
+
+    /// Installs an observability [`Recorder`]: subsequent primitives open
+    /// spans named after the paper's operations (`ROOTTOLEAF`,
+    /// `LEAFTOROOT`, …) on the simulated clock. Recording changes no
+    /// simulated bit, time, or output (bit-identity, enforced by tests).
+    pub fn install_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Removes and returns the installed recorder (export after a run).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Opens a named phase span at the current simulated time (no-op
+    /// without a recorder). Spans nest; close with [`Otn::end_phase`].
+    /// Algorithms use this to group primitive spans under procedure-level
+    /// phases (e.g. `SORT-OTN`).
+    pub fn begin_phase(&mut self, name: impl Into<String>) {
+        if let Some(rec) = &mut self.recorder {
+            let now = self.clock.now();
+            rec.open(name, now);
+        }
+    }
+
+    /// Closes the most recently opened phase span (no-op without a
+    /// recorder).
+    pub fn end_phase(&mut self) {
+        if let Some(rec) = &mut self.recorder {
+            let now = self.clock.now();
+            rec.close(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Fault injection, detection and graceful degradation (see
     // [`crate::resilience`]). An installed *empty* plan changes nothing.
     // ------------------------------------------------------------------
@@ -403,7 +453,14 @@ impl Otn {
             extra += self.model.tree_leaf_to_leaf(2 * span, self.pitch);
         }
         if extra > BitTime::ZERO {
+            // Attributed as its own (nested) phase so a faulty run's
+            // slowdown is visible in the time-attribution table.
+            self.begin_phase("FAULT-OVERHEAD");
             self.clock.advance(extra);
+            self.end_phase();
+        }
+        if let Some(rec) = &mut self.recorder {
+            rec.count("fault.retry_rounds", u64::from(attempts));
         }
     }
 
@@ -444,6 +501,7 @@ impl Otn {
         dest: Reg,
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("ROOTTOLEAF");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut writes = Vec::new();
         {
@@ -468,6 +526,7 @@ impl Otn {
         self.charge_broadcast(axis);
         let base = self.model.tree_root_to_leaf(leaves, self.pitch);
         self.charge_fault_overhead(axis, attempts, base);
+        self.end_phase();
     }
 
     /// `LEAFTOROOT(Vector, Source)`: in each tree of `axis`, the selected
@@ -490,6 +549,7 @@ impl Otn {
         src: Reg,
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let degraded = self.fault.is_some();
         let mut new_roots = vec![None; trees];
@@ -525,12 +585,14 @@ impl Otn {
         self.charge_send(axis);
         let base = self.model.tree_root_to_leaf(leaves, self.pitch);
         self.charge_fault_overhead(axis, attempts, base);
+        self.end_phase();
     }
 
     /// `COUNT-LEAFTOROOT(Vector)`: each root receives the number of leaves
     /// whose `flag` register is a non-zero word (§II.B primitive 3).
     /// Dark leaves contribute nothing under an installed [`FaultPlan`].
     pub fn count_to_root(&mut self, axis: Axis, flag: Reg) {
+        self.begin_phase("COUNT-LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
         for t in 0..trees {
@@ -546,6 +608,7 @@ impl Otn {
             new_roots[t] = Some(count);
         }
         self.finish_aggregate(axis, new_roots);
+        self.end_phase();
     }
 
     /// Shared tail of the aggregating primitives: the per-tree result word
@@ -574,6 +637,7 @@ impl Otn {
         src: Reg,
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("SUM-LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
         {
@@ -590,6 +654,7 @@ impl Otn {
             }
         }
         self.finish_aggregate(axis, new_roots);
+        self.end_phase();
     }
 
     /// `MIN-LEAFTOROOT(Vector, Source)`: each root receives the minimum of
@@ -600,6 +665,7 @@ impl Otn {
         src: Reg,
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MIN-LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
         {
@@ -618,6 +684,7 @@ impl Otn {
             }
         }
         self.finish_aggregate(axis, new_roots);
+        self.end_phase();
     }
 
     /// `MAX-LEAFTOROOT`: each root receives the maximum of the selected
@@ -629,6 +696,7 @@ impl Otn {
         src: Reg,
         sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MAX-LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
         {
@@ -647,6 +715,7 @@ impl Otn {
             }
         }
         self.finish_aggregate(axis, new_roots);
+        self.end_phase();
     }
 
     // ------------------------------------------------------------------
@@ -666,8 +735,10 @@ impl Otn {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("LEAFTOLEAF");
         self.leaf_to_root(axis, src, src_sel);
         self.root_to_leaf(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `COUNT-LEAFTOLEAF(Vector, Dest)` (composite 2).
@@ -678,8 +749,10 @@ impl Otn {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("COUNT-LEAFTOLEAF");
         self.count_to_root(axis, flag);
         self.root_to_leaf(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `SUM-LEAFTOLEAF(Vector, Source, Dest)` (composite 3).
@@ -691,8 +764,10 @@ impl Otn {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("SUM-LEAFTOLEAF");
         self.sum_to_root(axis, src, src_sel);
         self.root_to_leaf(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `MIN-LEAFTOLEAF(Vector, Source, Dest)`.
@@ -704,8 +779,10 @@ impl Otn {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MIN-LEAFTOLEAF");
         self.min_to_root(axis, src, src_sel);
         self.root_to_leaf(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     /// `MAX-LEAFTOLEAF(Vector, Source, Dest)`.
@@ -717,8 +794,10 @@ impl Otn {
         dest: Reg,
         dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
     ) {
+        self.begin_phase("MAX-LEAFTOLEAF");
         self.max_to_root(axis, src, src_sel);
         self.root_to_leaf(axis, dest, dest_sel);
+        self.end_phase();
     }
 
     // ------------------------------------------------------------------
@@ -727,11 +806,7 @@ impl Otn {
 
     /// One parallel compute phase: `f(row, col, regs)` runs at every BP;
     /// `cost` is charged once for the whole phase (all BPs in parallel).
-    pub fn bp_phase(
-        &mut self,
-        cost: PhaseCost,
-        mut f: impl FnMut(usize, usize, &mut BpRegs<'_>),
-    ) {
+    pub fn bp_phase(&mut self, cost: PhaseCost, mut f: impl FnMut(usize, usize, &mut BpRegs<'_>)) {
         for i in 0..self.rows {
             for j in 0..self.cols {
                 let mut bp = BpRegs { regs: &mut self.regs, row: i, col: j };
@@ -745,7 +820,9 @@ impl Otn {
             PhaseCost::Multiply => self.model.multiply(),
             PhaseCost::Words(k) => self.model.compare() * k,
         };
+        self.begin_phase("BP-PHASE");
         self.clock.advance(t);
+        self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
 
@@ -767,7 +844,9 @@ impl Otn {
         for (t_idx, root) in self.roots_mut(axis).iter_mut().enumerate() {
             f(t_idx, root);
         }
+        self.begin_phase("ROOT-PHASE");
         self.clock.advance(t);
+        self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
 
@@ -836,7 +915,9 @@ impl Otn {
                 PhaseCost::Multiply => self.model.multiply(),
                 PhaseCost::Words(k) => self.model.compare() * k,
             };
+        self.begin_phase("PAIRWISE");
         self.clock.advance(cost);
+        self.end_phase();
         let stats = self.clock.stats_mut();
         stats.sends += 1;
         stats.broadcasts += 1;
@@ -927,10 +1008,7 @@ mod tests {
         n.load_reg(a, |i, j| if j == 3 { None } else { Some((i * 4 + j) as Word) });
         n.sum_to_root(Axis::Rows, a, |_, j, _| j != 0);
         // Row i: (4i+1) + (4i+2) + NULL = 8i+3.
-        assert_eq!(
-            n.roots(Axis::Rows),
-            &[Some(3), Some(11), Some(19), Some(27)]
-        );
+        assert_eq!(n.roots(Axis::Rows), &[Some(3), Some(11), Some(19), Some(27)]);
     }
 
     #[test]

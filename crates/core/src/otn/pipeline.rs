@@ -56,10 +56,7 @@ impl PipelineOutcome {
 ///
 /// Returns [`ModelError`] if `problems` is empty or any problem's length
 /// differs from the network side.
-pub fn pipelined_sorts(
-    net: &Otn,
-    problems: &[Vec<Word>],
-) -> Result<PipelineOutcome, ModelError> {
+pub fn pipelined_sorts(net: &Otn, problems: &[Vec<Word>]) -> Result<PipelineOutcome, ModelError> {
     ModelError::require_at_least("problem count", problems.len(), 1)?;
     let mut outputs = Vec::with_capacity(problems.len());
     let mut single_latency = BitTime::ZERO;
@@ -74,13 +71,7 @@ pub fn pipelined_sorts(
     let k = problems.len() as u64;
     let makespan = single_latency + issue_interval * (k - 1);
     let makespan_unpipelined = single_latency * k;
-    Ok(PipelineOutcome {
-        outputs,
-        single_latency,
-        issue_interval,
-        makespan,
-        makespan_unpipelined,
-    })
+    Ok(PipelineOutcome { outputs, single_latency, issue_interval, makespan, makespan_unpipelined })
 }
 
 #[cfg(test)]
@@ -88,9 +79,7 @@ mod tests {
     use super::*;
 
     fn problems(n: usize, k: usize) -> Vec<Vec<Word>> {
-        (0..k)
-            .map(|p| (0..n).map(|i| ((i * 31 + p * 17) % n) as Word).collect())
-            .collect()
+        (0..k).map(|p| (0..n).map(|i| ((i * 31 + p * 17) % n) as Word).collect()).collect()
     }
 
     #[test]
@@ -113,10 +102,7 @@ mod tests {
         // With many problems the per-problem time tends to the interval,
         // far below the single latency.
         assert!(out.per_problem_time() < out.single_latency.as_f64() / 2.0);
-        assert_eq!(
-            out.makespan,
-            out.single_latency + out.issue_interval * 9
-        );
+        assert_eq!(out.makespan, out.single_latency + out.issue_interval * 9);
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Otn {
         // aggregate plus one broadcast.
         let up = self.model().tree_aggregate(self.leaves(axis), self.pitch());
         let down = self.model().tree_root_to_leaf(self.leaves(axis), self.pitch());
+        self.begin_phase("SCAN");
         self.clock_mut().advance(up + down);
+        self.end_phase();
         let stats = self.clock_mut().stats_mut();
         stats.aggregates += 1;
         stats.broadcasts += 1;
@@ -153,7 +155,9 @@ impl Otn {
         let leaves = self.leaves(Axis::Rows);
         let t = self.model().tree_leaf_to_leaf(leaves, self.pitch())
             + self.model().pipeline_interval() * (leaves as u64 / 2).max(1);
+        self.begin_phase("ROUTE");
         self.clock_mut().advance(t);
+        self.end_phase();
         let stats = self.clock_mut().stats_mut();
         stats.sends += 1;
         stats.broadcasts += 1;
@@ -202,10 +206,7 @@ mod tests {
         let model = *net.model();
         let pitch = net.pitch();
         let (_, dt) = net.elapsed(|net| net.prefix_sum_rows(a, s));
-        assert_eq!(
-            dt,
-            model.tree_aggregate(8, pitch) + model.tree_root_to_leaf(8, pitch)
-        );
+        assert_eq!(dt, model.tree_aggregate(8, pitch) + model.tree_root_to_leaf(8, pitch));
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub fn sort(net: &mut Otn, xs: &[Word]) -> Result<SortOutcome, ModelError> {
     net.load_row_roots(xs);
     let stats_before = *net.clock().stats();
     let (_, time) = net.elapsed(|net| {
+        net.begin_phase("SORT-OTN");
         // 1) every BP of row i learns x(i).
         net.root_to_leaf(Axis::Rows, a, all);
         // 2) via column tree i, the diagonal BP's A (= x(i)) reaches every
@@ -89,6 +90,7 @@ pub fn sort(net: &mut Otn, xs: &[Word]) -> Result<SortOutcome, ModelError> {
         net.count_to_leaf(Axis::Rows, flag, r, all);
         // 5) column tree i extracts the element of rank i.
         net.leaf_to_root(Axis::Cols, a, |i, j, v| v.get(r, i, j) == Some(j as Word));
+        net.end_phase();
     });
 
     let degraded = net.has_fault_plan();
@@ -153,14 +155,12 @@ pub fn select_kth(net: &mut Otn, xs: &[Word], k: usize) -> Result<SelectOutcome,
         });
         net.count_to_leaf(Axis::Rows, flag, r, all);
         // Column tree 0 extracts the rank-k element (the copy in column 0).
-        net.leaf_to_root(Axis::Cols, a, move |i, j, v| {
-            j == 0 && v.get(r, i, 0) == Some(k as Word)
-        });
+        net.leaf_to_root(Axis::Cols, a, move |i, j, v| j == 0 && v.get(r, i, 0) == Some(k as Word));
     });
     // Invariant (fault-free): ranks are a permutation of 0..N and k < N,
     // so exactly one BP of column 0 holds rank k.
-    let value = net.roots(Axis::Cols)[0]
-        .expect("rank invariant violated: no BP of column 0 holds rank k");
+    let value =
+        net.roots(Axis::Cols)[0].expect("rank invariant violated: no BP of column 0 holds rank k");
     Ok(SelectOutcome { value, time })
 }
 
@@ -283,8 +283,7 @@ mod tests {
         let xs: Vec<Word> = (0..64).rev().collect();
         let mut log_net = Otn::for_sorting(64).unwrap();
         let t_log = sort(&mut log_net, &xs).unwrap().time;
-        let mut const_net =
-            Otn::new(64, 64, crate::CostModel::constant_delay(64)).unwrap();
+        let mut const_net = Otn::new(64, 64, crate::CostModel::constant_delay(64)).unwrap();
         let t_const = sort(&mut const_net, &xs).unwrap().time;
         assert!(t_const < t_log, "§VII.D: constant-delay model is faster");
     }

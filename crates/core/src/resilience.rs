@@ -182,7 +182,12 @@ impl FaultState {
     /// (0 = clean first try). Parity-detected faults are retried up to the
     /// plan's budget; exhaustion delivers an erasure (`NULL`); a
     /// parity-evading double flip delivers corrupted data.
-    pub fn transit(&mut self, site: u64, value: Option<Word>, word_bits: u32) -> (Option<Word>, u32) {
+    pub fn transit(
+        &mut self,
+        site: u64,
+        value: Option<Word>,
+        word_bits: u32,
+    ) -> (Option<Word>, u32) {
         if value.is_none() || self.plan.word_fault_rate() <= 0.0 {
             return (value, 0); // NULL carries no payload to corrupt
         }
@@ -216,8 +221,7 @@ impl FaultState {
                     if b == a {
                         b = (b + 1) % width;
                     }
-                    let corrupted =
-                        value.map(|w| w ^ (1 << a) ^ (1 << b));
+                    let corrupted = value.map(|w| w ^ (1 << a) ^ (1 << b));
                     return (corrupted, attempt);
                 }
             }
@@ -244,16 +248,20 @@ mod tests {
 
     #[test]
     fn null_words_never_fault() {
-        let mut fs =
-            FaultState::new(FaultPlan::new(1).with_word_fault_rate(1.0), 4, 4, 4, 4);
+        let mut fs = FaultState::new(FaultPlan::new(1).with_word_fault_rate(1.0), 4, 4, 4, 4);
         assert_eq!(fs.transit(0, None, 8), (None, 0));
         assert_eq!(fs.stats.injected, 0);
     }
 
     #[test]
     fn always_faulting_plan_erases_or_corrupts() {
-        let mut fs =
-            FaultState::new(FaultPlan::new(5).with_word_fault_rate(1.0).with_max_retries(2), 4, 4, 4, 4);
+        let mut fs = FaultState::new(
+            FaultPlan::new(5).with_word_fault_rate(1.0).with_max_retries(2),
+            4,
+            4,
+            4,
+            4,
+        );
         let mut erased = 0;
         let mut corrupted = 0;
         for s in 0..200 {
@@ -275,8 +283,7 @@ mod tests {
 
     #[test]
     fn moderate_rate_mostly_corrects() {
-        let mut fs =
-            FaultState::new(FaultPlan::new(9).with_word_fault_rate(0.3), 8, 8, 8, 8);
+        let mut fs = FaultState::new(FaultPlan::new(9).with_word_fault_rate(0.3), 8, 8, 8, 8);
         for s in 0..500 {
             fs.next_round();
             let _ = fs.transit(s, Some(7), 8);
@@ -323,9 +330,12 @@ mod tests {
 
     #[test]
     fn dead_sibling_pair_darkens_both_subtrees() {
-        let plan = FaultPlan::new(0)
-            .with_dead_ip(TreeAxis::Cols, 1, 2, 0)
-            .with_dead_ip(TreeAxis::Cols, 1, 2, 1);
+        let plan = FaultPlan::new(0).with_dead_ip(TreeAxis::Cols, 1, 2, 0).with_dead_ip(
+            TreeAxis::Cols,
+            1,
+            2,
+            1,
+        );
         let fs = FaultState::new(plan, 8, 8, 8, 8);
         assert!(fs.report.rerouted.is_empty());
         assert_eq!(fs.report.dark.len(), 8, "both 4-leaf subtrees dark");
@@ -360,5 +370,4 @@ mod tests {
         assert_ne!(site(Axis::Rows, 1, 2), site(Axis::Rows, 2, 1));
         assert_ne!(site(Axis::Rows, 1, TREE_SITE), site(Axis::Rows, 1, 0));
     }
-
 }

@@ -1,0 +1,130 @@
+//! Observability contract tests for the instrumented networks.
+//!
+//! Two invariants:
+//!
+//! 1. **Bit identity** — installing a [`Recorder`] changes *nothing* about
+//!    a run: outputs, simulated times and operation counts are identical
+//!    with and without one (the zero-overhead-when-absent contract, and
+//!    its dual: recording is purely passive).
+//! 2. **Complete attribution** — every clock advance inside a procedure
+//!    happens inside some phase span, so per-phase self times sum exactly
+//!    to the run's completion time. The time-attribution table has no
+//!    "unaccounted" row.
+
+use orthotrees::obs::Recorder;
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::{sort, Otn};
+use orthotrees::{FaultPlan, Word};
+
+fn otn_sort_input(n: usize) -> Vec<Word> {
+    (0..n as Word).map(|v| (v * 37 + 11) % n as Word).collect()
+}
+
+#[test]
+fn otn_sort_is_bit_identical_with_recorder_installed() {
+    let xs = otn_sort_input(16);
+    let mut plain = Otn::for_sorting(16).unwrap();
+    let baseline = sort::sort(&mut plain, &xs).unwrap();
+
+    let mut recorded = Otn::for_sorting(16).unwrap();
+    recorded.install_recorder(Recorder::new());
+    let observed = sort::sort(&mut recorded, &xs).unwrap();
+
+    assert_eq!(observed, baseline, "a recorder must not perturb the run");
+    let rec = recorded.take_recorder().unwrap();
+    assert!(!rec.spans().is_empty(), "the run must have been recorded");
+}
+
+#[test]
+fn otn_phase_self_times_sum_to_completion_time() {
+    let xs = otn_sort_input(16);
+    let mut net = Otn::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    let out = sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    assert_eq!(rec.total_recorded(), out.time, "root spans must cover the whole run");
+    let attributed: u64 = rec.phase_totals().iter().map(|p| p.self_time.get()).sum();
+    assert_eq!(attributed, out.time.get(), "self times must sum to completion time");
+
+    // The five SORT-OTN steps appear under their paper names, inside the
+    // procedure-level span.
+    let top = rec.phase_totals();
+    let names: Vec<&str> = top.iter().map(|p| p.name.as_str()).collect();
+    for expect in
+        ["SORT-OTN", "ROOTTOLEAF", "LEAFTOLEAF", "BP-PHASE", "COUNT-LEAFTOLEAF", "LEAFTOROOT"]
+    {
+        assert!(names.contains(&expect), "missing phase {expect}: {names:?}");
+    }
+    let sort_span = top.iter().find(|p| p.name == "SORT-OTN").unwrap();
+    assert_eq!(sort_span.count, 1);
+    assert_eq!(sort_span.total, out.time, "the procedure span covers the whole sort");
+}
+
+#[test]
+fn otc_sort_is_bit_identical_with_recorder_installed() {
+    let xs = otn_sort_input(16);
+    let mut plain = Otc::for_sorting(16).unwrap();
+    let baseline = otc::sort::sort(&mut plain, &xs).unwrap();
+
+    let mut recorded = Otc::for_sorting(16).unwrap();
+    recorded.install_recorder(Recorder::new());
+    let observed = otc::sort::sort(&mut recorded, &xs).unwrap();
+
+    assert_eq!(observed, baseline, "a recorder must not perturb the run");
+    let rec = recorded.take_recorder().unwrap();
+    assert!(!rec.spans().is_empty(), "the run must have been recorded");
+}
+
+#[test]
+fn otc_phase_self_times_sum_to_completion_time() {
+    let xs = otn_sort_input(16);
+    let mut net = Otc::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    let out = otc::sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    assert_eq!(rec.total_recorded(), out.time, "root spans must cover the whole run");
+    let attributed: u64 = rec.phase_totals().iter().map(|p| p.self_time.get()).sum();
+    assert_eq!(attributed, out.time.get(), "self times must sum to completion time");
+
+    let names: Vec<String> = rec.phase_totals().iter().map(|p| p.name.clone()).collect();
+    for expect in
+        ["SORT-OTC", "ROOTTOCYCLE", "CYCLETOCYCLE", "VECTORCIRCULATE", "BP-PHASE", "CYCLE-PHASE"]
+    {
+        assert!(names.iter().any(|n| n == expect), "missing phase {expect}: {names:?}");
+    }
+}
+
+#[test]
+fn fault_overhead_is_attributed_and_counted() {
+    let xs = otn_sort_input(16);
+    // Every faulted word is detectable (no drops, no parity evasion), so
+    // faults surface purely as counted retry rounds.
+    let plan = FaultPlan::new(42)
+        .with_word_fault_rate(0.3)
+        .with_drop_fraction(0.0)
+        .with_undetectable_fraction(0.0)
+        .with_max_retries(8);
+
+    let mut net = Otn::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    net.install_fault_plan(plan.clone());
+    let out = sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    // Retries both show up as a counter and as their own phase, and the
+    // attribution invariant still holds under faults.
+    assert!(rec.counter("fault.retry_rounds") > 0, "retries must be counted");
+    let totals = rec.phase_totals();
+    let overhead = totals.iter().find(|p| p.name == "FAULT-OVERHEAD");
+    assert!(overhead.is_some_and(|p| p.self_time.get() > 0), "overhead must be attributed");
+    let attributed: u64 = totals.iter().map(|p| p.self_time.get()).sum();
+    assert_eq!(attributed, out.time.get());
+
+    // And the recorder still does not perturb the degraded run.
+    let mut plain = Otn::for_sorting(16).unwrap();
+    plain.install_fault_plan(plan);
+    let baseline = sort::sort(&mut plain, &xs).unwrap();
+    assert_eq!(out, baseline);
+}

@@ -83,11 +83,8 @@ impl Chip {
 
     /// The bounding box of all components and wires.
     pub fn bounding_box(&self) -> Rect {
-        let mut it = self
-            .components
-            .iter()
-            .map(|c| c.rect)
-            .chain(self.wires.iter().map(|w| w.bounds()));
+        let mut it =
+            self.components.iter().map(|c| c.rect).chain(self.wires.iter().map(|w| w.bounds()));
         let Some(first) = it.next() else {
             return Rect::default();
         };
@@ -202,7 +199,12 @@ impl fmt::Display for LayoutSummary {
         write!(
             f,
             "{}: {}×{} = {} ({} components, {} wires, longest wire {}λ)",
-            self.name, self.width, self.height, self.area, self.components, self.wires,
+            self.name,
+            self.width,
+            self.height,
+            self.area,
+            self.components,
+            self.wires,
             self.longest_wire
         )
     }

@@ -306,11 +306,7 @@ mod tests {
     fn predicted_area_matches_construction() {
         for (m, l, w) in [(2usize, 2usize, 2u32), (4, 4, 4), (8, 4, 6), (16, 8, 8)] {
             let built = OtcLayout::build(m, l, w).unwrap();
-            assert_eq!(
-                built.area(),
-                OtcLayout::predicted_area(m, l, w),
-                "m={m} L={l} w={w}"
-            );
+            assert_eq!(built.area(), OtcLayout::predicted_area(m, l, w), "m={m} L={l} w={w}");
         }
     }
 

@@ -102,8 +102,7 @@ pub fn build_grid_of_trees(
     let mut blocks = Vec::with_capacity(n * n);
     for row in 0..n {
         for col in 0..n {
-            let rect =
-                Rect::new(col as u64 * pitch_x, row as u64 * pitch_y, block_w, block_h);
+            let rect = Rect::new(col as u64 * pitch_x, row as u64 * pitch_y, block_w, block_h);
             place_block(chip, row, col, rect);
             blocks.push(rect);
         }
@@ -112,8 +111,14 @@ pub fn build_grid_of_trees(
     let mut row_roots = Vec::with_capacity(n);
     let mut col_roots = Vec::with_capacity(n);
     for i in 0..n {
-        row_roots.push(TreeRoot { index: i, at: embed_row_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h) });
-        col_roots.push(TreeRoot { index: i, at: embed_col_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h) });
+        row_roots.push(TreeRoot {
+            index: i,
+            at: embed_row_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h),
+        });
+        col_roots.push(TreeRoot {
+            index: i,
+            at: embed_col_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h),
+        });
     }
 
     GridOfTrees { n, pitch_x, pitch_y, depth, row_roots, col_roots, blocks }
@@ -134,9 +139,8 @@ fn embed_row_tree(
     let strip_y = |h: u32| row as u64 * pitch_y + block_h + u64::from(h - 1);
     let ip_x = |cell: usize| cell as u64 * pitch_x + block_w + u64::from(depth);
     // Leaf connection points: bottom-centre of each block in the row.
-    let leaf = |col: usize| {
-        Point::new(col as u64 * pitch_x + block_w / 2, row as u64 * pitch_y + block_h)
-    };
+    let leaf =
+        |col: usize| Point::new(col as u64 * pitch_x + block_w / 2, row as u64 * pitch_y + block_h);
     if n == 1 {
         return leaf(0);
     }
@@ -173,9 +177,8 @@ fn embed_col_tree(
     let chan_x = |h: u32| col as u64 * pitch_x + block_w + u64::from(h - 1);
     let ip_y = |cell: usize| cell as u64 * pitch_y + block_h + u64::from(depth);
     // Leaf connection points: right-centre of each block in the column.
-    let leaf = |row: usize| {
-        Point::new(col as u64 * pitch_x + block_w, row as u64 * pitch_y + block_h / 2)
-    };
+    let leaf =
+        |row: usize| Point::new(col as u64 * pitch_x + block_w, row as u64 * pitch_y + block_h / 2);
     if n == 1 {
         return leaf(0);
     }

@@ -1,0 +1,489 @@
+//! Observability for the orthotrees simulators: structured spans, counters,
+//! histograms and exporters.
+//!
+//! The paper's claims are all quantitative — `Θ(log² N)` primitives,
+//! `Θ(N² log² N)` vs `Θ(N²)` area, AT² optimality — so seeing *where*
+//! simulated bit-times go matters as much as the end-to-end number. This
+//! crate provides the [`Recorder`], a passive instrument the simulation
+//! structures accept as an optional hook:
+//!
+//! * **Spans** — nested, named phases on the simulated clock (the phase
+//!   names match the paper's primitive names: `ROOTTOLEAF`, `LEAFTOROOT`,
+//!   `VECTORCIRCULATE`, …). [`Recorder::phase_totals`] aggregates them into
+//!   a time-attribution table whose *self times* sum exactly to the
+//!   recorded completion time.
+//! * **Counters** — monotone named `u64`s (fault retries, delivered bits).
+//! * **Histograms** — power-of-two-bucketed distributions (event-calendar
+//!   depth, per-link queueing delay).
+//! * **Engine tables** — per-node activation counts and per-link
+//!   bits-carried / queueing / utilization, filled by the discrete-event
+//!   engine of `orthotrees-sim`.
+//!
+//! The zero-overhead contract: holders store an `Option<Recorder>` and the
+//! hot path touches no observability code when it is `None`; with a
+//! recorder installed, recording never changes a simulated bit, time, or
+//! output (bit-identity — enforced by tests in the consuming crates).
+//!
+//! Exporters: [`chrome::chrome_trace`] renders a `trace_event` JSON file
+//! viewable in Perfetto (<https://ui.perfetto.dev>); [`json`] is the
+//! dependency-free JSON value used by every machine-readable dump
+//! (`BENCH_*.json`).
+//!
+//! # Example
+//!
+//! ```
+//! use orthotrees_obs::Recorder;
+//! use orthotrees_vlsi::BitTime;
+//!
+//! let mut rec = Recorder::new();
+//! rec.open("SORT", BitTime::ZERO);
+//! rec.open("ROOTTOLEAF", BitTime::ZERO);
+//! rec.close(BitTime::new(40));
+//! rec.open("LEAFTOROOT", BitTime::new(40));
+//! rec.close(BitTime::new(90));
+//! rec.close(BitTime::new(90));
+//! assert_eq!(rec.total_recorded(), BitTime::new(90));
+//! let totals = rec.phase_totals();
+//! assert_eq!(totals.iter().map(|p| p.self_time.get()).sum::<u64>(), 90);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+
+use orthotrees_vlsi::BitTime;
+use std::collections::BTreeMap;
+
+/// One named, closed phase on the simulated clock.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Phase name (the paper's primitive names where applicable).
+    pub name: String,
+    /// Simulated time the phase opened.
+    pub start: BitTime,
+    /// Simulated time the phase closed (`>= start`).
+    pub end: BitTime,
+    /// Index of the enclosing span in [`Recorder::spans`], if nested.
+    pub parent: Option<usize>,
+    /// Nesting depth (root spans are depth 0).
+    pub depth: u32,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> BitTime {
+        self.end - self.start
+    }
+}
+
+/// Aggregated time attribution for one phase name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseTotal {
+    /// Phase name.
+    pub name: String,
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total duration (children included).
+    pub total: BitTime,
+    /// Exclusive duration (children subtracted). Self times over all
+    /// phases sum to [`Recorder::total_recorded`].
+    pub self_time: BitTime,
+}
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `b` holds samples in `[2^(b−1), 2^b)` (bucket 0 holds exactly 0),
+/// which resolves the orders of magnitude the simulator cares about without
+/// per-histogram configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 65], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        let b = if value == 0 { 0 } else { 64 - value.leading_zeros() as usize };
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs, in
+    /// ascending order. Bucket 0 reports upper bound 1 (samples equal 0).
+    pub fn nonzero_buckets(&self) -> Vec<(u128, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (1u128 << b, c))
+            .collect()
+    }
+}
+
+/// Per-link traffic metrics, filled by the discrete-event engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Bits admitted onto the wire.
+    pub bits: u64,
+    /// Bits that found the wire entrance still occupied and had to wait.
+    pub queued_bits: u64,
+    /// Total waiting time across all queued bits, in bit-times.
+    pub wait_total: u64,
+    /// Entrance time of the first bit (meaningful when `bits > 0`).
+    pub first_enter: BitTime,
+    /// Entrance time of the last bit.
+    pub last_enter: BitTime,
+}
+
+impl LinkStats {
+    /// Fraction of the link's active window `[first_enter, last_enter]`
+    /// in which a bit entered the wire (1.0 = fully pipelined, the
+    /// Thompson bound of one bit per τ). 0.0 for an unused link.
+    pub fn utilization(&self) -> f64 {
+        if self.bits == 0 {
+            return 0.0;
+        }
+        let window = self.last_enter.get() - self.first_enter.get() + 1;
+        self.bits as f64 / window as f64
+    }
+}
+
+/// The observability hook: collects spans, counters, histograms and the
+/// engine's per-node / per-link tables. See the [crate docs](self).
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    spans: Vec<Span>,
+    open: Vec<usize>,
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    node_activations: Vec<u64>,
+    links: Vec<LinkStats>,
+    calendar_depth: Histogram,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Recorder::default()
+    }
+
+    // --------------------------------------------------------------
+    // Spans.
+    // --------------------------------------------------------------
+
+    /// Opens a phase span at simulated time `at`. Spans nest: a span
+    /// opened while another is open becomes its child.
+    pub fn open(&mut self, name: impl Into<String>, at: BitTime) {
+        let parent = self.open.last().copied();
+        let depth = parent.map_or(0, |p| self.spans[p].depth + 1);
+        self.spans.push(Span { name: name.into(), start: at, end: at, parent, depth });
+        self.open.push(self.spans.len() - 1);
+    }
+
+    /// Closes the most recently opened span at simulated time `at`.
+    /// Closing with no span open is a no-op (tolerated so partially
+    /// instrumented callers cannot poison a run).
+    pub fn close(&mut self, at: BitTime) {
+        if let Some(i) = self.open.pop() {
+            self.spans[i].end = at;
+        }
+    }
+
+    /// Closes every span still open (end-of-run cleanup).
+    pub fn close_all(&mut self, at: BitTime) {
+        while !self.open.is_empty() {
+            self.close(at);
+        }
+    }
+
+    /// All closed and still-open spans, in open order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Aggregated per-phase time attribution. Self times across all
+    /// entries sum to [`Recorder::total_recorded`]; entries are sorted by
+    /// descending self time.
+    pub fn phase_totals(&self) -> Vec<PhaseTotal> {
+        let mut child_time = vec![0u64; self.spans.len()];
+        for s in &self.spans {
+            if let Some(p) = s.parent {
+                child_time[p] += s.duration().get();
+            }
+        }
+        let mut by_name: BTreeMap<&str, PhaseTotal> = BTreeMap::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            let dur = s.duration().get();
+            let own = dur.saturating_sub(child_time[i]);
+            let e = by_name.entry(&s.name).or_insert_with(|| PhaseTotal {
+                name: s.name.clone(),
+                count: 0,
+                total: BitTime::ZERO,
+                self_time: BitTime::ZERO,
+            });
+            e.count += 1;
+            e.total += BitTime::new(dur);
+            e.self_time += BitTime::new(own);
+        }
+        let mut out: Vec<PhaseTotal> = by_name.into_values().collect();
+        out.sort_by(|a, b| b.self_time.cmp(&a.self_time).then_with(|| a.name.cmp(&b.name)));
+        out
+    }
+
+    /// Total simulated time covered by root spans (the recorded portion of
+    /// the run). Equals the clock's elapsed time when every clock advance
+    /// happens inside a span — the invariant the instrumented networks
+    /// maintain and the bit-identity tests check.
+    pub fn total_recorded(&self) -> BitTime {
+        self.spans.iter().filter(|s| s.parent.is_none()).map(Span::duration).sum()
+    }
+
+    // --------------------------------------------------------------
+    // Counters and histograms.
+    // --------------------------------------------------------------
+
+    /// Adds `delta` to the named counter (created at 0 on first use).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// The named counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// One counter's value (0 if never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// The named histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    // --------------------------------------------------------------
+    // Engine tables (filled by `orthotrees-sim`).
+    // --------------------------------------------------------------
+
+    /// Records one activation (delivered bit) of node `node`.
+    pub fn node_activated(&mut self, node: usize) {
+        if self.node_activations.len() <= node {
+            self.node_activations.resize(node + 1, 0);
+        }
+        self.node_activations[node] += 1;
+    }
+
+    /// Per-node activation counts, indexed by node id.
+    pub fn node_activations(&self) -> &[u64] {
+        &self.node_activations
+    }
+
+    /// Records one bit entering link `link` at time `enter`, having waited
+    /// `waited` bit-times for the wire entrance (0 = admitted immediately).
+    pub fn link_bit(&mut self, link: usize, enter: BitTime, waited: u64) {
+        if self.links.len() <= link {
+            self.links.resize(link + 1, LinkStats::default());
+        }
+        let l = &mut self.links[link];
+        if l.bits == 0 {
+            l.first_enter = enter;
+        }
+        l.bits += 1;
+        l.last_enter = enter;
+        if waited > 0 {
+            l.queued_bits += 1;
+            l.wait_total += waited;
+        }
+    }
+
+    /// Per-link traffic metrics, indexed by link id.
+    pub fn links(&self) -> &[LinkStats] {
+        &self.links
+    }
+
+    /// Samples the event-calendar depth (taken by the engine at each pop).
+    pub fn calendar_sample(&mut self, depth: usize) {
+        self.calendar_depth.observe(depth as u64);
+    }
+
+    /// The event-calendar depth distribution.
+    pub fn calendar_depth(&self) -> &Histogram {
+        &self.calendar_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_attribute_self_time() {
+        let mut r = Recorder::new();
+        r.open("SORT", BitTime::ZERO);
+        r.open("ROOTTOLEAF", BitTime::ZERO);
+        r.close(BitTime::new(30));
+        r.open("LEAFTOROOT", BitTime::new(30));
+        r.close(BitTime::new(70));
+        r.close(BitTime::new(100)); // SORT's own tail: 30τ
+        let totals = r.phase_totals();
+        let get = |n: &str| totals.iter().find(|p| p.name == n).unwrap();
+        assert_eq!(get("SORT").total, BitTime::new(100));
+        assert_eq!(get("SORT").self_time, BitTime::new(30));
+        assert_eq!(get("ROOTTOLEAF").self_time, BitTime::new(30));
+        assert_eq!(get("LEAFTOROOT").self_time, BitTime::new(40));
+        let sum: u64 = totals.iter().map(|p| p.self_time.get()).sum();
+        assert_eq!(sum, r.total_recorded().get());
+    }
+
+    #[test]
+    fn sibling_roots_sum() {
+        let mut r = Recorder::new();
+        r.open("A", BitTime::ZERO);
+        r.close(BitTime::new(10));
+        r.open("B", BitTime::new(10));
+        r.close(BitTime::new(25));
+        assert_eq!(r.total_recorded(), BitTime::new(25));
+        assert_eq!(r.spans().len(), 2);
+        assert_eq!(r.spans()[1].depth, 0);
+    }
+
+    #[test]
+    fn close_without_open_is_tolerated() {
+        let mut r = Recorder::new();
+        r.close(BitTime::new(5));
+        assert!(r.spans().is_empty());
+        r.open("X", BitTime::ZERO);
+        r.close_all(BitTime::new(3));
+        assert_eq!(r.spans()[0].end, BitTime::new(3));
+    }
+
+    #[test]
+    fn phase_totals_merge_repeated_names() {
+        let mut r = Recorder::new();
+        for k in 0..3u64 {
+            r.open("ROOTTOLEAF", BitTime::new(10 * k));
+            r.close(BitTime::new(10 * k + 7));
+        }
+        let totals = r.phase_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].count, 3);
+        assert_eq!(totals[0].total, BitTime::new(21));
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.sum(), 1010);
+        let buckets = h.nonzero_buckets();
+        // 0 → bucket 1; 1 → 2; 2,3 → 4; 4 → 8; 1000 → 1024.
+        assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (8, 1), (1024, 1)]);
+        assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut r = Recorder::new();
+        assert_eq!(r.counter("fault.retries"), 0);
+        r.count("fault.retries", 2);
+        r.count("fault.retries", 3);
+        r.count("noop", 0); // not created
+        assert_eq!(r.counter("fault.retries"), 5);
+        assert_eq!(r.counters().count(), 1);
+    }
+
+    #[test]
+    fn link_stats_track_pipelining() {
+        let mut r = Recorder::new();
+        // Three bits back to back (full pipeline), one that waited 2τ.
+        r.link_bit(1, BitTime::new(5), 0);
+        r.link_bit(1, BitTime::new(6), 0);
+        r.link_bit(1, BitTime::new(7), 2);
+        let l = r.links()[1];
+        assert_eq!(l.bits, 3);
+        assert_eq!(l.queued_bits, 1);
+        assert_eq!(l.wait_total, 2);
+        assert!((l.utilization() - 1.0).abs() < 1e-9, "3 bits over [5,7]");
+        assert_eq!(r.links()[0], LinkStats::default(), "untouched link zeroed");
+    }
+
+    #[test]
+    fn node_activations_grow_on_demand() {
+        let mut r = Recorder::new();
+        r.node_activated(4);
+        r.node_activated(4);
+        r.node_activated(0);
+        assert_eq!(r.node_activations(), &[1, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn unused_link_has_zero_utilization() {
+        let l = LinkStats::default();
+        assert_eq!(l.utilization(), 0.0);
+    }
+
+    #[test]
+    fn calendar_histogram_counts_samples() {
+        let mut r = Recorder::new();
+        for d in [1usize, 2, 2, 8] {
+            r.calendar_sample(d);
+        }
+        assert_eq!(r.calendar_depth().count(), 4);
+        assert_eq!(r.calendar_depth().max(), 8);
+    }
+}

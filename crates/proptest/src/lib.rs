@@ -87,14 +87,20 @@ pub mod prelude {
 
 /// Declares a block of property tests.
 ///
-/// ```ignore
+/// Each entry expands to an ordinary function running the drawn cases
+/// (attributes like `#[test]` pass through), so the example below can
+/// call the generated function directly:
+///
+/// ```
+/// use proptest::prelude::*;
+///
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(24))]
-///     #[test]
 ///     fn sums(xs in proptest::collection::vec(0i64..10, 8)) {
 ///         prop_assert!(xs.iter().sum::<i64>() < 80);
 ///     }
 /// }
+/// sums();
 /// ```
 #[macro_export]
 macro_rules! proptest {

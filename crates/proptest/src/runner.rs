@@ -84,9 +84,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed at case")]
     fn panics_on_failure() {
-        run(&ProptestConfig::with_cases(10), "t", |_| {
-            Err(TestCaseError::fail("boom"))
-        });
+        run(&ProptestConfig::with_cases(10), "t", |_| Err(TestCaseError::fail("boom")));
     }
 
     #[test]

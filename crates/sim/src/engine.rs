@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 
 /// One delivered bit, for post-hoc inspection in tests.
@@ -63,6 +64,10 @@ pub struct Engine {
     fault_plan: Option<FaultPlan>,
     budget: RunBudget,
     fault_stats: FaultStats,
+    /// Installed observability hook, if any. `None` is the fast path: the
+    /// run loop touches no recording code at all (same contract as
+    /// `fault_plan`), and recording never changes a simulated bit or time.
+    recorder: Option<Recorder>,
 }
 
 impl Engine {
@@ -81,6 +86,7 @@ impl Engine {
             fault_plan: None,
             budget: RunBudget::default(),
             fault_stats: FaultStats::default(),
+            recorder: None,
         }
     }
 
@@ -107,6 +113,25 @@ impl Engine {
     /// Counters for the faults the installed plan actually injected.
     pub fn fault_stats(&self) -> &FaultStats {
         &self.fault_stats
+    }
+
+    /// Installs an observability [`Recorder`]. The run then fills its
+    /// per-node activation counts, per-link traffic/queueing metrics and
+    /// event-calendar depth histogram; simulated bits, times and outputs
+    /// are unchanged (bit-identity, enforced by tests).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The installed recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Removes and returns the installed recorder (export after a run).
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
     }
 
     /// Adds a node, returning its id.
@@ -169,11 +194,26 @@ impl Engine {
                 continue; // emission on an unconnected port is dropped
             };
             for &lid in links {
-                let arrive = self.links[lid.0].admit(ready, self.delay);
+                let arrive = match &mut self.recorder {
+                    None => self.links[lid.0].admit(ready, self.delay),
+                    Some(rec) => {
+                        let link = &mut self.links[lid.0];
+                        let waited = link.free_at.get().saturating_sub(ready.get());
+                        let arrive = link.admit(ready, self.delay);
+                        // The entrance slot the bit actually took.
+                        let enter = arrive - link.bit_delay(self.delay);
+                        rec.link_bit(lid.0, enter, waited);
+                        arrive
+                    }
+                };
                 self.seq += 1;
                 let mut bit = bit;
                 match self.fault_plan.as_ref().and_then(|p| {
-                    if p.affects_links() { p.link_fault(lid, self.seq) } else { None }
+                    if p.affects_links() {
+                        p.link_fault(lid, self.seq)
+                    } else {
+                        None
+                    }
                 }) {
                     None => {}
                     Some(kind) => {
@@ -244,6 +284,12 @@ impl Engine {
                     self.fault_stats.suppressed += 1;
                     continue;
                 }
+            }
+            if let Some(rec) = &mut self.recorder {
+                // Depth of the calendar when this event fired (itself
+                // included), and the receiving node's activation.
+                rec.calendar_sample(self.queue.len() + 1);
+                rec.node_activated(ev.node.0);
             }
             self.now = self.now.max(ev.at);
             if self.keep_log {
@@ -427,9 +473,7 @@ mod tests {
         let src = e.add_node(Box::new(WordSource { width: 5 }));
         let dst = e.add_node(Box::new(Sink { expected: 5, got: 0, done: None }));
         let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
-        let mut e = e.with_fault_plan(
-            FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Drop),
-        );
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Drop));
         e.run();
         assert!(e.log().is_empty(), "no bit survives a dropping link");
         assert_eq!(e.completion_time(), None);
@@ -457,11 +501,8 @@ mod tests {
         let src = e.add_node(Box::new(WordSource { width: 8 }));
         let dst = e.add_node(Box::new(Sink { expected: 8, got: 0, done: None }));
         e.connect(src, PortId(0), dst, PortId(0), 1);
-        let mut e = e.with_fault_plan(FaultPlan::new(0).with_outage(
-            dst,
-            BitTime::new(3),
-            BitTime::new(6),
-        ));
+        let mut e =
+            e.with_fault_plan(FaultPlan::new(0).with_outage(dst, BitTime::new(3), BitTime::new(6)));
         e.run();
         // t = 3, 4, 5 suppressed; 1, 2, 6, 7, 8 delivered.
         assert_eq!(e.log().len(), 5);
@@ -496,6 +537,109 @@ mod tests {
             Err(SimError::BudgetExhausted { what: "bit-time units", .. }) => {}
             other => panic!("expected time-budget exhaustion, got {other:?}"),
         }
+    }
+
+    /// The fanout-through-repeater topology used by the recorder tests.
+    fn instrumented_run(recorder: bool) -> (Vec<EventLog>, BitTime, Option<Recorder>) {
+        let e = Engine::new(DelayModel::Logarithmic).with_event_log();
+        let mut e = if recorder { e.with_recorder(Recorder::new()) } else { e };
+        let src = e.add_node(Box::new(WordSource { width: 6 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 64);
+        e.connect(mid, PortId(0), dst, PortId(0), 16);
+        let end = e.run();
+        (e.log().to_vec(), end, e.take_recorder())
+    }
+
+    #[test]
+    fn recorder_is_bit_identical_to_uninstrumented_run() {
+        let (log_off, end_off, none) = instrumented_run(false);
+        let (log_on, end_on, rec) = instrumented_run(true);
+        assert!(none.is_none());
+        assert_eq!(log_off, log_on, "recorder must not change any delivered bit");
+        assert_eq!(end_off, end_on, "recorder must not change the completion time");
+        assert!(rec.is_some());
+    }
+
+    #[test]
+    fn recorder_counts_node_activations_and_link_bits() {
+        let (_, _, rec) = instrumented_run(true);
+        let rec = rec.unwrap();
+        // Node 0 (source) receives nothing; the repeater and sink see all
+        // six bits each.
+        assert_eq!(rec.node_activations(), &[0, 6, 6]);
+        assert_eq!(rec.links()[0].bits, 6);
+        assert_eq!(rec.links()[1].bits, 6);
+        // The source presents all 6 bits at t=0: five of them queue behind
+        // the first on link 0; the repeater forwards at 1-bit intervals so
+        // link 1 never blocks.
+        assert_eq!(rec.links()[0].queued_bits, 5);
+        assert_eq!(rec.links()[0].wait_total, 1 + 2 + 3 + 4 + 5);
+        assert_eq!(rec.links()[1].queued_bits, 0);
+        assert!((rec.links()[0].utilization() - 1.0).abs() < 1e-9, "saturated wire");
+        assert_eq!(rec.calendar_depth().count(), 12, "one sample per delivery");
+    }
+
+    #[test]
+    fn recorder_composes_with_fault_plans() {
+        let mut e =
+            Engine::new(DelayModel::Constant).with_event_log().with_recorder(Recorder::new());
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Drop));
+        e.run();
+        let rec = e.take_recorder().unwrap();
+        // Dropped bits consumed their wire slot: carried but never delivered.
+        assert_eq!(rec.links()[0].bits, 4);
+        assert_eq!(rec.node_activations(), &[] as &[u64], "no delivery ever fired");
+    }
+
+    // --------------------------------------------------------------
+    // EventLog ordering guarantees (the contract `Recorder` and the
+    // fault-injection bit-identity tests build on).
+    // --------------------------------------------------------------
+
+    #[test]
+    fn event_log_is_sorted_by_delivery_time() {
+        let (log, end, _) = instrumented_run(false);
+        assert!(!log.is_empty());
+        assert!(log.windows(2).all(|w| w[0].at <= w[1].at), "log must be time-sorted");
+        assert_eq!(log.last().unwrap().at, end, "last entry is the completion time");
+    }
+
+    #[test]
+    fn event_log_tie_break_is_scheduling_order_fifo() {
+        // Three sources, same wire length: all first bits arrive at t=1.
+        // The tie-break is the order the bits were scheduled (node start
+        // order), not heap-internal order.
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let sources: Vec<NodeId> =
+            (0..3).map(|_| e.add_node(Box::new(WordSource { width: 2 }))).collect();
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        for (p, &s) in sources.iter().enumerate() {
+            e.connect(s, PortId(0), dst, PortId(p), 1);
+        }
+        e.run();
+        let ports: Vec<usize> = e.log().iter().map(|ev| ev.port.0).collect();
+        // t=1: first bit of each source in insertion order; t=2: second bits.
+        assert_eq!(ports, vec![0, 1, 2, 0, 1, 2]);
+        assert!(e.log().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn event_log_off_by_default_and_stable_across_reruns() {
+        let mut e = Engine::new(DelayModel::Constant);
+        let src = e.add_node(Box::new(WordSource { width: 3 }));
+        let dst = e.add_node(Box::new(Sink { expected: 3, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1);
+        e.run();
+        assert!(e.log().is_empty(), "no log unless with_event_log() was called");
+        // Two fresh engines with the same topology produce identical logs.
+        let (a, _, _) = instrumented_run(false);
+        let (b, _, _) = instrumented_run(false);
+        assert_eq!(a, b, "deterministic replay");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::engine::Engine;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
 /// Port conventions inside the tree experiments.
@@ -168,7 +169,12 @@ struct SerialMin {
 
 impl SerialMin {
     fn new(width: u32) -> Self {
-        SerialMin { left: vec![None; width as usize], right: vec![None; width as usize], winner: None, next: 0 }
+        SerialMin {
+            left: vec![None; width as usize],
+            right: vec![None; width as usize],
+            winner: None,
+            next: 0,
+        }
     }
 }
 
@@ -272,8 +278,36 @@ impl TreeIds {
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime, SimError> {
+    broadcast_run(leaves, m, false).map(|(t, _)| t)
+}
+
+/// [`broadcast_completion_time`] with a [`Recorder`] installed: returns
+/// the completion time plus the recorder holding the run's per-link
+/// traffic, per-node activation and calendar-depth tables.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn broadcast_observed(leaves: usize, m: &CostModel) -> Result<(BitTime, Recorder), SimError> {
+    broadcast_run(leaves, m, true)
+        .map(|(t, rec)| (t, rec.expect("recorder was installed for this run")))
+}
+
+fn broadcast_run(
+    leaves: usize,
+    m: &CostModel,
+    record: bool,
+) -> Result<(BitTime, Option<Recorder>), SimError> {
     let w = m.word_bits.max(1);
     let mut e = Engine::new(m.delay);
+    if record {
+        e = e.with_recorder(Recorder::new());
+    }
     let ids = build_tree(
         &mut e,
         leaves,
@@ -286,21 +320,24 @@ pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime
     // node feeding the root's children directly when depth >= 1; for a
     // 1-leaf tree the "broadcast" is free.
     if leaves == 1 {
-        return Ok(BitTime::ZERO);
+        return Ok((BitTime::ZERO, e.take_recorder()));
     }
     // The generic builder made the root a DownRepeater with no parent; feed
     // it through a zero-length wire from a dedicated source node.
     let root = ids.root();
-    let src = e.add_node(Box::new(WordSource { word: 0b1011, width: w, lsb_first: true, port: TO_PARENT }));
+    let src = e.add_node(Box::new(WordSource {
+        word: 0b1011,
+        width: w,
+        lsb_first: true,
+        port: TO_PARENT,
+    }));
     e.connect(src, TO_PARENT, root, FROM_PARENT, 0);
     // A zero-length wire still costs one τ (receiving latch); subtract it so
     // the measurement covers exactly the root-to-leaf path.
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
-    let done = e
-        .completion_time()
-        .ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
-    Ok(done - injected)
+    let done = e.completion_time().ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
+    Ok((done - injected, e.take_recorder()))
 }
 
 /// Simulates `LEAFTOROOT` from leaf `source_leaf`; returns the time the root
@@ -346,14 +383,8 @@ pub fn send_completion_time(
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
-    let t = e
-        .completion_time()
-        .ok_or(SimError::NoCompletion { what: "root sink" })?
-        - injected;
-    let v = e
-        .node(sink)
-        .result()
-        .ok_or(SimError::NoCompletion { what: "root sink word" })?;
+    let t = e.completion_time().ok_or(SimError::NoCompletion { what: "root sink" })? - injected;
+    let v = e.node(sink).result().ok_or(SimError::NoCompletion { what: "root sink word" })?;
     Ok((t, v))
 }
 
@@ -425,14 +456,9 @@ fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> Result<(BitTime, u
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
-    let t = e
-        .completion_time()
-        .ok_or(SimError::NoCompletion { what: "aggregate root" })?
-        - injected;
-    let v = e
-        .node(sink)
-        .result()
-        .ok_or(SimError::NoCompletion { what: "aggregate word" })?;
+    let t =
+        e.completion_time().ok_or(SimError::NoCompletion { what: "aggregate root" })? - injected;
+    let v = e.node(sink).result().ok_or(SimError::NoCompletion { what: "aggregate word" })?;
     Ok((t, v))
 }
 
@@ -495,9 +521,7 @@ pub fn leaf_to_leaf_completion_time(
     e.connect(turn, TO_PARENT, down_root, FROM_PARENT, 0);
     let injected = m.delay.wire_bit_delay(0) + m.delay.wire_bit_delay(0);
     e.try_run()?;
-    let done = e
-        .completion_time()
-        .ok_or(SimError::NoCompletion { what: "destination leaves" })?;
+    let done = e.completion_time().ok_or(SimError::NoCompletion { what: "destination leaves" })?;
     Ok(done - injected)
 }
 
@@ -580,9 +604,7 @@ pub fn stream_completion_time(
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
-    let done = e
-        .completion_time()
-        .ok_or(SimError::NoCompletion { what: "converging streams" })?;
+    let done = e.completion_time().ok_or(SimError::NoCompletion { what: "converging streams" })?;
     Ok(done - injected)
 }
 

@@ -214,10 +214,7 @@ impl FaultPlan {
         if self.dead_nodes.contains(&node.0) {
             return false;
         }
-        !self
-            .outages
-            .iter()
-            .any(|o| o.node == node && o.from <= at && at < o.until)
+        !self.outages.iter().any(|o| o.node == node && o.from <= at && at < o.until)
     }
 
     /// Whether the plan can affect engine-level delivery at all (fast path:

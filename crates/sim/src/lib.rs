@@ -37,6 +37,9 @@ mod link;
 mod node;
 
 pub use engine::{Engine, EventLog};
-pub use fault::{DeadIp, FaultPlan, FaultStats, LinkFaultKind, Outage, RunBudget, TreeAxis, WordFaultKind};
+pub use fault::{
+    DeadIp, FaultPlan, FaultStats, LinkFaultKind, Outage, RunBudget, TreeAxis, WordFaultKind,
+};
 pub use link::{Link, LinkId};
 pub use node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+pub use orthotrees_obs::Recorder;

@@ -205,9 +205,7 @@ mod tests {
         // N² log¹⁰ N < N⁴ once log¹⁰N < N², i.e. fairly large N.
         let otn_cc = Complexity::new(2.0, 10);
         let mesh_cc = Complexity::poly(4.0);
-        let x = otn_cc
-            .crossover_below(&mesh_cc, 1 << 40)
-            .expect("crossover must exist");
+        let x = otn_cc.crossover_below(&mesh_cc, 1 << 40).expect("crossover must exist");
         assert!(x > 4);
         assert!(otn_cc.eval(x) < mesh_cc.eval(x));
         assert!(otn_cc.eval(x / 2) >= mesh_cc.eval(x / 2));

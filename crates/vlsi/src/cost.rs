@@ -289,10 +289,7 @@ mod tests {
     fn aggregate_dominates_broadcast() {
         let m = CostModel::thompson(64);
         assert!(m.tree_aggregate(64, m.pitch) > m.tree_root_to_leaf(64, m.pitch));
-        assert_eq!(
-            m.tree_leaf_to_leaf(64, m.pitch),
-            m.tree_root_to_leaf(64, m.pitch) * 2
-        );
+        assert_eq!(m.tree_leaf_to_leaf(64, m.pitch), m.tree_root_to_leaf(64, m.pitch) * 2);
         assert_eq!(
             m.tree_aggregate_to_leaf(64, m.pitch),
             m.tree_aggregate(64, m.pitch) + m.tree_root_to_leaf(64, m.pitch)

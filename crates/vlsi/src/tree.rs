@@ -28,10 +28,7 @@ use crate::{log2_ceil, BitTime, DelayModel};
 /// assert_eq!(lens, vec![3, 6, 12]);
 /// ```
 pub fn level_wire_lengths(leaves: usize, pitch: u64) -> Vec<u64> {
-    assert!(
-        leaves.is_power_of_two(),
-        "tree must have a power-of-two leaf count, got {leaves}"
-    );
+    assert!(leaves.is_power_of_two(), "tree must have a power-of-two leaf count, got {leaves}");
     let depth = log2_ceil(leaves as u64);
     (0..depth).map(|h| pitch << h).collect()
 }
@@ -44,10 +41,7 @@ pub fn level_wire_lengths(leaves: usize, pitch: u64) -> Vec<u64> {
 /// transmitting one bit from root to leaf or vice versa takes O(log² N)
 /// time").
 pub fn path_bit_latency(leaves: usize, pitch: u64, delay: DelayModel) -> BitTime {
-    level_wire_lengths(leaves, pitch)
-        .into_iter()
-        .map(|len| delay.wire_bit_delay(len))
-        .sum()
+    level_wire_lengths(leaves, pitch).into_iter().map(|len| delay.wire_bit_delay(len)).sum()
 }
 
 /// One-bit root↔leaf latency under *scaling* (Thompson \[31\], Leighton \[16\]):

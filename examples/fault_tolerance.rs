@@ -36,9 +36,7 @@ fn main() {
 
     // One dead IP whose sibling is alive: traffic reroutes laterally.
     let mut net = Otn::for_sorting(16).unwrap();
-    let report = net.install_fault_plan(
-        FaultPlan::new(seed).with_dead_ip(TreeAxis::Rows, 3, 1, 0),
-    );
+    let report = net.install_fault_plan(FaultPlan::new(seed).with_dead_ip(TreeAxis::Rows, 3, 1, 0));
     println!(
         "  dead IP (row tree 3, level 1, subtree 0): rerouted through {} sibling(s), {} dark leaves",
         report.rerouted.len(),
@@ -51,9 +49,12 @@ fn main() {
     // sort reports which output positions never received a word.
     let mut net = Otn::for_sorting(16).unwrap();
     let report = net.install_fault_plan(
-        FaultPlan::new(seed)
-            .with_dead_ip(TreeAxis::Rows, 3, 1, 0)
-            .with_dead_ip(TreeAxis::Rows, 3, 1, 1),
+        FaultPlan::new(seed).with_dead_ip(TreeAxis::Rows, 3, 1, 0).with_dead_ip(
+            TreeAxis::Rows,
+            3,
+            1,
+            1,
+        ),
     );
     let dark: Vec<_> = report.dark.iter().map(|d| (d.tree, d.leaf)).collect();
     println!("\n  dead sibling pair (row tree 3, level 1): dark (tree, leaf) = {dark:?}");

@@ -37,10 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = 2 * orthotrees_vlsi::log2_ceil(n as u64) + 2;
     let otn_area = OtnLayout::predicted_area(n, w);
     let otc_area = OtcLayout::predicted_area(m, l, w);
-    println!(
-        "OTC (direct, measured):   {} on an ({m}×{m})-OTC of {l}-cycles",
-        otc_out.time
-    );
+    println!("OTC (direct, measured):   {} on an ({m}×{m})-OTC of {l}-cycles", otc_out.time);
     println!(
         "chip areas:               OTN {otn_area}, OTC {otc_area} ({:.1}× smaller)",
         otn_area.as_f64() / otc_area.as_f64()

@@ -19,11 +19,7 @@ use orthotrees_sim::experiments;
 fn core_and_layout_agree_on_otc_decomposition() {
     for k in 2..=14u32 {
         let n = 1usize << k;
-        assert_eq!(
-            Otc::dims_for(n).unwrap(),
-            otc_dims(n).unwrap(),
-            "OTC dims diverge at n={n}"
-        );
+        assert_eq!(Otc::dims_for(n).unwrap(), otc_dims(n).unwrap(), "OTC dims diverge at n={n}");
     }
 }
 
@@ -43,8 +39,8 @@ fn event_simulator_validates_the_cost_model_at_network_pitch() {
     for n in [4usize, 16, 64] {
         let net = Otn::for_sorting(n).unwrap();
         let model = *net.model();
-        let simulated = experiments::broadcast_completion_time(n, &with_pitch(model, net.pitch()))
-            .unwrap();
+        let simulated =
+            experiments::broadcast_completion_time(n, &with_pitch(model, net.pitch())).unwrap();
         assert_eq!(
             simulated,
             model.tree_root_to_leaf(n, net.pitch()),
@@ -113,10 +109,8 @@ fn connected_components_agree_across_implementations() {
         // component = min reachable vertex.
         let closure = otn::graph::closure::transitive_closure(&adj).unwrap();
         for v in 0..n {
-            let min_reach = (0..n)
-                .filter(|&u| *closure.reach.get(v, u) != 0)
-                .min()
-                .expect("v reaches itself");
+            let min_reach =
+                (0..n).filter(|&u| *closure.reach.get(v, u) != 0).min().expect("v reaches itself");
             assert_eq!(min_reach as i64, reference[v], "closure CC, n={n}, v={v}");
         }
     }

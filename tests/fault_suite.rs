@@ -97,10 +97,7 @@ fn time_budget_trips_before_a_slow_run_finishes() {
     let dst = e.add_node(Box::new(Counter { got: 0 }));
     e.connect(src, PortId(0), dst, PortId(0), 4096);
     let mut e = e.with_budget(RunBudget::default().with_max_time(BitTime::new(5)));
-    assert!(matches!(
-        e.try_run(),
-        Err(SimError::BudgetExhausted { what: "bit-time units", .. })
-    ));
+    assert!(matches!(e.try_run(), Err(SimError::BudgetExhausted { what: "bit-time units", .. })));
 }
 
 // ---------------------------------------------------------------------
@@ -130,9 +127,7 @@ fn stuck_at_links_force_the_wire_to_a_constant() {
 fn dead_ip_with_live_sibling_reroutes_and_still_sorts() {
     let xs: Vec<i64> = (0..16).rev().collect();
     let mut net = Otn::for_sorting(16).unwrap();
-    let report = net.install_fault_plan(
-        FaultPlan::new(1).with_dead_ip(TreeAxis::Rows, 2, 1, 0),
-    );
+    let report = net.install_fault_plan(FaultPlan::new(1).with_dead_ip(TreeAxis::Rows, 2, 1, 0));
     assert_eq!(report.rerouted.len(), 1, "the live sibling covers the dead subtree");
     assert!(report.dark.is_empty());
     let out = otn::sort::sort(&mut net, &xs).unwrap();
@@ -150,9 +145,12 @@ fn dead_sibling_pair_darkens_leaves_but_the_sort_survives() {
     let xs: Vec<i64> = (0..16).rev().collect();
     let mut net = Otn::for_sorting(16).unwrap();
     let report = net.install_fault_plan(
-        FaultPlan::new(1)
-            .with_dead_ip(TreeAxis::Rows, 2, 1, 0)
-            .with_dead_ip(TreeAxis::Rows, 2, 1, 1),
+        FaultPlan::new(1).with_dead_ip(TreeAxis::Rows, 2, 1, 0).with_dead_ip(
+            TreeAxis::Rows,
+            2,
+            1,
+            1,
+        ),
     );
     assert_eq!(report.dark.len(), 4, "both level-1 subtrees of a 16-leaf tree go dark");
     assert!(report.rerouted.is_empty(), "a dead sibling cannot absorb the reroute");

@@ -44,11 +44,7 @@ fn cc_direct_otc_tracks_otn_and_wins_at2() {
         let otn_out = otn::graph::cc::connected_components(&adj).unwrap();
         let otc_out = otc::cc::connected_components(&adj).unwrap();
         assert_eq!(otn_out.labels, otc_out.labels, "n={n}");
-        assert_eq!(
-            otc_out.labels,
-            seq::components(n, &workloads::edges_of(&adj)),
-            "n={n}"
-        );
+        assert_eq!(otc_out.labels, seq::components(n, &workloads::edges_of(&adj)), "n={n}");
 
         let ratio = otc_out.time.as_f64() / otn_out.time.as_f64();
         assert!(BAND.contains(&ratio), "cc n={n}: OTC/OTN = {ratio:.2}");

@@ -146,12 +146,8 @@ fn claim_table1_at2_ordering() {
 
     let otn = sweep::sort_otn(&SORT_NS, 1, false);
     let otc = sweep::sort_otc(&SORT_NS, 1);
-    let gaps: Vec<f64> = otn
-        .samples
-        .iter()
-        .zip(&otc.samples)
-        .map(|(a, b)| a.at2() / b.at2())
-        .collect();
+    let gaps: Vec<f64> =
+        otn.samples.iter().zip(&otc.samples).map(|(a, b)| a.at2() / b.at2()).collect();
     assert!(gaps.iter().all(|&g| g > 1.0), "OTC must always win: {gaps:?}");
     assert!(
         gaps.last().unwrap() > gaps.first().unwrap(),
@@ -281,8 +277,7 @@ fn claim_scaling_speeds_up_sort() {
         let xs = orthotrees_analysis::workloads::distinct_words(n, 6);
         let mut plain = Otn::for_sorting(n).unwrap();
         let t_plain = sort::sort(&mut plain, &xs).unwrap().time;
-        let mut scaled =
-            Otn::new(n, n, orthotrees::CostModel::thompson(n).with_scaling()).unwrap();
+        let mut scaled = Otn::new(n, n, orthotrees::CostModel::thompson(n).with_scaling()).unwrap();
         let t_scaled = sort::sort(&mut scaled, &xs).unwrap().time;
         ratios.push((k, t_plain.as_f64() / t_scaled.as_f64()));
     }
@@ -321,9 +316,7 @@ fn claim_section4_sqrt_shapes() {
         // Ratio against the mesh yardstick drifts by at most a log factor.
         let ratios: Vec<f64> = pts
             .iter()
-            .filter_map(|&(n, t)| {
-                mesh_pts.iter().find(|&&(m, _)| m == n).map(|&(_, mt)| t / mt)
-            })
+            .filter_map(|&(n, t)| mesh_pts.iter().find(|&&(m, _)| m == n).map(|&(_, mt)| t / mt))
             .collect();
         assert!(ratios.len() >= 3, "{name}: need shared sizes");
         let hi = ratios.iter().cloned().fold(0.0f64, f64::max);

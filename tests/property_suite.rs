@@ -11,8 +11,7 @@ use proptest::prelude::*;
 
 /// A power-of-two length in a small range, plus that many words.
 fn words(max_log: u32) -> impl Strategy<Value = Vec<i64>> {
-    (2u32..=max_log)
-        .prop_flat_map(|k| proptest::collection::vec(-1000i64..1000, 1usize << k))
+    (2u32..=max_log).prop_flat_map(|k| proptest::collection::vec(-1000i64..1000, 1usize << k))
 }
 
 proptest! {
