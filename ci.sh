@@ -6,3 +6,4 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+cargo run --release -p orthotrees-verify --bin netlint -- --all

@@ -49,11 +49,12 @@ fn solve3(mut m: [[f64; 4]; 3]) -> Option<[f64; 3]> {
         for x in m[col].iter_mut() {
             *x /= p;
         }
-        for row in 0..3 {
+        let pivot_row = m[col];
+        for (row, r) in m.iter_mut().enumerate() {
             if row != col {
-                let factor = m[row][col];
-                for x in 0..4 {
-                    m[row][x] -= factor * m[col][x];
+                let factor = r[col];
+                for (x, v) in r.iter_mut().enumerate() {
+                    *v -= factor * pivot_row[x];
                 }
             }
         }

@@ -20,13 +20,6 @@
 //!
 //! [`Complexity`]: orthotrees_vlsi::Complexity
 
-#![forbid(unsafe_code)]
-// Index-driven loops here are deliberate: the index is a hardware
-// coordinate (tree number, cycle position, matrix offset), not a mere
-// subscript, and `enumerate()` rewrites would obscure the coordinate math.
-#![allow(clippy::needless_range_loop)]
-#![warn(missing_docs)]
-
 pub mod csv;
 pub mod faults;
 pub mod fit;

@@ -29,9 +29,6 @@
 //! assert!(out.sorted.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod ccc;
 pub mod mesh;
 pub mod psn;

@@ -27,7 +27,7 @@ fn bench_ablations(c: &mut Criterion) {
                     let model = CostModel { delay, ..CostModel::thompson(n) };
                     let mut net = Otn::new(n, n, model).unwrap();
                     black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
-                })
+                });
             },
         );
     }
@@ -41,7 +41,7 @@ fn bench_ablations(c: &mut Criterion) {
                 }
                 let mut net = Otn::new(n, n, model).unwrap();
                 black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
-            })
+            });
         });
     }
 
@@ -53,7 +53,7 @@ fn bench_ablations(c: &mut Criterion) {
                 b.iter(|| {
                     let mut net = Otc::new(n / l, l, CostModel::thompson(n)).unwrap();
                     black_box(otc::sort::sort(&mut net, &xs).unwrap().time)
-                })
+                });
             },
         );
     }

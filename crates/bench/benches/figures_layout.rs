@@ -14,21 +14,21 @@ fn bench_figures(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(1));
     for &n in &[4usize, 16, 64] {
         group.bench_with_input(BenchmarkId::new("otn_layout", n), &n, |b, _| {
-            b.iter(|| black_box(OtnLayout::with_default_word(n).unwrap().area()))
+            b.iter(|| black_box(OtnLayout::with_default_word(n).unwrap().area()));
         });
         if n >= 4 {
             group.bench_with_input(BenchmarkId::new("otc_layout", n), &n, |b, _| {
-                b.iter(|| black_box(OtcLayout::for_problem_size(n).unwrap().area()))
+                b.iter(|| black_box(OtcLayout::for_problem_size(n).unwrap().area()));
             });
         }
     }
     group.bench_function("fig1_render_ascii", |b| {
         let layout = OtnLayout::build(4, 2).unwrap();
-        b.iter(|| black_box(render::ascii(layout.chip(), 200).len()))
+        b.iter(|| black_box(render::ascii(layout.chip(), 200).len()));
     });
     group.bench_function("fig2_render_svg", |b| {
         let cyc = CycleLayout::build(4, 4).unwrap();
-        b.iter(|| black_box(render::svg(cyc.chip(), 8).len()))
+        b.iter(|| black_box(render::svg(cyc.chip(), 8).len()));
     });
     group.finish();
 

@@ -21,7 +21,7 @@ fn bench_primitives(c: &mut Criterion) {
             b.iter(|| {
                 net.root_to_leaf(Axis::Rows, a, all);
                 black_box(net.clock().now())
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("sum_leaftoroot", n), &n, |b, _| {
             let mut net = Otn::for_sorting(n).unwrap();
@@ -30,11 +30,11 @@ fn bench_primitives(c: &mut Criterion) {
             b.iter(|| {
                 net.sum_to_root(Axis::Cols, a, all);
                 black_box(net.clock().now())
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("event_sim_broadcast", n), &n, |b, _| {
             let m = CostModel::thompson(n);
-            b.iter(|| black_box(experiments::broadcast_completion_time(n, &m).unwrap()))
+            b.iter(|| black_box(experiments::broadcast_completion_time(n, &m).unwrap()));
         });
     }
     group.finish();

@@ -22,31 +22,31 @@ fn bench_table1(c: &mut Criterion) {
             b.iter(|| {
                 let mut net = Otn::for_sorting(n).unwrap();
                 black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("otc", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = Otc::for_sorting(n).unwrap();
                 black_box(orthotrees::otc::sort::sort(&mut net, &xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("mesh", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = mesh::Mesh::for_sorting(n).unwrap();
                 black_box(mesh::sort::shear_sort(&mut net, &xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("psn", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = Psn::new(n).unwrap();
                 black_box(net.sort(&xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("ccc", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = Ccc::new(n).unwrap();
                 black_box(net.sort(&xs).unwrap().time)
-            })
+            });
         });
     }
     group.finish();

@@ -19,10 +19,12 @@ fn bench_table2(c: &mut Criterion) {
         let rows_b = workloads::grid_to_rows(&b);
 
         group.bench_with_input(BenchmarkId::new("otn_wide", n), &n, |bch, _| {
-            bch.iter(|| black_box(matmul::bool_matmul_wide(&a, &b).unwrap().time))
+            bch.iter(|| black_box(matmul::bool_matmul_wide(&a, &b).unwrap().time));
         });
         group.bench_with_input(BenchmarkId::new("mesh_cannon", n), &n, |bch, _| {
-            bch.iter(|| black_box(mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap().time))
+            bch.iter(|| {
+                black_box(mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap().time)
+            });
         });
     }
     group.finish();

@@ -19,19 +19,19 @@ fn bench_table3(c: &mut Criterion) {
         let weights = workloads::random_weights(n, (4.0 / n as f64).min(0.5), 500, 2);
 
         group.bench_with_input(BenchmarkId::new("otn_cc", n), &n, |b, _| {
-            b.iter(|| black_box(cc::connected_components(&adj).unwrap().time))
+            b.iter(|| black_box(cc::connected_components(&adj).unwrap().time));
         });
         group.bench_with_input(BenchmarkId::new("mesh_cc", n), &n, |b, _| {
-            b.iter(|| black_box(mesh::closure::connected_components(&rows).unwrap().time))
+            b.iter(|| black_box(mesh::closure::connected_components(&rows).unwrap().time));
         });
         group.bench_with_input(BenchmarkId::new("otc_cc", n), &n, |b, _| {
-            b.iter(|| black_box(otc::cc::connected_components(&adj).unwrap().time))
+            b.iter(|| black_box(otc::cc::connected_components(&adj).unwrap().time));
         });
         group.bench_with_input(BenchmarkId::new("otn_mst", n), &n, |b, _| {
-            b.iter(|| black_box(mst::minimum_spanning_tree(&weights).unwrap().time))
+            b.iter(|| black_box(mst::minimum_spanning_tree(&weights).unwrap().time));
         });
         group.bench_with_input(BenchmarkId::new("otc_mst", n), &n, |b, _| {
-            b.iter(|| black_box(otc::mst::minimum_spanning_tree(&weights).unwrap().time))
+            b.iter(|| black_box(otc::mst::minimum_spanning_tree(&weights).unwrap().time));
         });
     }
     group.finish();

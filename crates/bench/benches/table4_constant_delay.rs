@@ -19,21 +19,21 @@ fn bench_table4(c: &mut Criterion) {
             b.iter(|| {
                 let mut net = Otn::new(n, n, CostModel::unit_delay(n)).unwrap();
                 black_box(otn::sort::sort(&mut net, &xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("psn_unit", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = Psn::new(n).unwrap();
                 net.set_model(CostModel::unit_delay(n));
                 black_box(net.sort(&xs).unwrap().time)
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("ccc_unit", n), &n, |b, _| {
             b.iter(|| {
                 let mut net = Ccc::new(n).unwrap();
                 net.set_model(CostModel::unit_delay(n));
                 black_box(net.sort(&xs).unwrap().time)
-            })
+            });
         });
     }
     group.finish();

@@ -14,9 +14,6 @@
 //!
 //! Pass `--full` for the larger sweep grids (slower, tighter fits).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use orthotrees_analysis::report::ReportConfig;
 
 pub mod summary;

@@ -46,13 +46,6 @@
 //! assert!(outcome.time.get() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-// Index-driven loops here are deliberate: the index is a hardware
-// coordinate (tree number, cycle position, matrix offset), not a mere
-// subscript, and `enumerate()` rewrites would obscure the coordinate math.
-#![allow(clippy::needless_range_loop)]
-#![warn(missing_docs)]
-
 pub mod complexnum;
 mod grid;
 pub mod mot3d;

@@ -534,8 +534,8 @@ impl Otc {
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for t in 0..self.m {
-                for q in 0..self.cycle {
+            for (t, row) in new_roots.iter_mut().enumerate() {
+                for (q, slot) in row.iter_mut().enumerate() {
                     let mut found = false;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
@@ -549,7 +549,7 @@ impl Otc {
                                 continue; // under faults: keep the first word
                             }
                             found = true;
-                            new_roots[t][q] = view.get(src, i, j, q);
+                            *slot = view.get(src, i, j, q);
                         }
                     }
                 }
@@ -572,14 +572,14 @@ impl Otc {
         self.begin_fault_round();
         let mut attempts = 0;
         if self.fault.is_some() {
-            for t in 0..self.m {
-                for q in 0..self.cycle {
-                    // Root-bound slots sit above the per-cycle broadcast
-                    // slot range (`m * cycle`), keeping sites injective.
-                    let slot = self.m * self.cycle + q;
-                    let (v, att) = self.word_transit(axis, t, slot, new_roots[t][q]);
+            // Root-bound slots sit above the per-cycle broadcast slot
+            // range (`m * cycle`), keeping sites injective.
+            let site_base = self.m * self.cycle;
+            for (t, row) in new_roots.iter_mut().enumerate() {
+                for (q, slot) in row.iter_mut().enumerate() {
+                    let (v, att) = self.word_transit(axis, t, site_base + q, *slot);
                     attempts = attempts.max(att);
-                    new_roots[t][q] = v;
+                    *slot = v;
                 }
             }
         }
@@ -600,8 +600,8 @@ impl Otc {
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for t in 0..self.m {
-                for q in 0..self.cycle {
+            for (t, row) in new_roots.iter_mut().enumerate() {
+                for (q, slot) in row.iter_mut().enumerate() {
                     let mut sum: Word = 0;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
@@ -609,7 +609,7 @@ impl Otc {
                             sum += view.get(src, i, j, q).unwrap_or(0);
                         }
                     }
-                    new_roots[t][q] = Some(sum);
+                    *slot = Some(sum);
                 }
             }
         }
@@ -628,8 +628,8 @@ impl Otc {
         let mut new_roots = vec![vec![None; self.cycle]; self.m];
         {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for t in 0..self.m {
-                for q in 0..self.cycle {
+            for (t, row) in new_roots.iter_mut().enumerate() {
+                for (q, slot) in row.iter_mut().enumerate() {
                     let mut best: Option<Word> = None;
                     for l in 0..self.m {
                         let (i, j) = Self::coords(axis, t, l);
@@ -639,7 +639,7 @@ impl Otc {
                             }
                         }
                     }
-                    new_roots[t][q] = best;
+                    *slot = best;
                 }
             }
         }

@@ -555,7 +555,7 @@ impl Otn {
         let mut new_roots = vec![None; trees];
         {
             let view = RegsView { regs: &self.regs };
-            for t in 0..trees {
+            for (t, root) in new_roots.iter_mut().enumerate() {
                 let mut found = false;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
@@ -569,7 +569,7 @@ impl Otn {
                             continue; // under faults: keep the first word
                         }
                         found = true;
-                        new_roots[t] = view.get(src, i, j);
+                        *root = view.get(src, i, j);
                     }
                 }
             }
@@ -595,7 +595,7 @@ impl Otn {
         self.begin_phase("COUNT-LEAFTOROOT");
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let mut new_roots = vec![None; trees];
-        for t in 0..trees {
+        for (t, root) in new_roots.iter_mut().enumerate() {
             let mut count: Word = 0;
             for l in 0..leaves {
                 let (i, j) = Self::coords(axis, t, l);
@@ -605,7 +605,7 @@ impl Otn {
                     count += 1;
                 }
             }
-            new_roots[t] = Some(count);
+            *root = Some(count);
         }
         self.finish_aggregate(axis, new_roots);
         self.end_phase();
@@ -642,7 +642,7 @@ impl Otn {
         let mut new_roots = vec![None; trees];
         {
             let view = RegsView { regs: &self.regs };
-            for t in 0..trees {
+            for (t, root) in new_roots.iter_mut().enumerate() {
                 let mut sum: Word = 0;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
@@ -650,7 +650,7 @@ impl Otn {
                         sum += view.get(src, i, j).unwrap_or(0);
                     }
                 }
-                new_roots[t] = Some(sum);
+                *root = Some(sum);
             }
         }
         self.finish_aggregate(axis, new_roots);
@@ -670,7 +670,7 @@ impl Otn {
         let mut new_roots = vec![None; trees];
         {
             let view = RegsView { regs: &self.regs };
-            for t in 0..trees {
+            for (t, root) in new_roots.iter_mut().enumerate() {
                 let mut best: Option<Word> = None;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
@@ -680,7 +680,7 @@ impl Otn {
                         }
                     }
                 }
-                new_roots[t] = best;
+                *root = best;
             }
         }
         self.finish_aggregate(axis, new_roots);
@@ -701,7 +701,7 @@ impl Otn {
         let mut new_roots = vec![None; trees];
         {
             let view = RegsView { regs: &self.regs };
-            for t in 0..trees {
+            for (t, root) in new_roots.iter_mut().enumerate() {
                 let mut best: Option<Word> = None;
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
@@ -711,7 +711,7 @@ impl Otn {
                         }
                     }
                 }
-                new_roots[t] = best;
+                *root = best;
             }
         }
         self.finish_aggregate(axis, new_roots);

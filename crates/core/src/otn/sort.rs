@@ -241,10 +241,10 @@ mod tests {
         let xs: Vec<Word> = vec![9, 1, 7, 3, 5, 5, 2, 8];
         let mut sorted = xs.clone();
         sorted.sort_unstable();
-        for k in 0..xs.len() {
+        for (k, &expected) in sorted.iter().enumerate() {
             let mut net = Otn::for_sorting(xs.len()).unwrap();
             let out = select_kth(&mut net, &xs, k).unwrap();
-            assert_eq!(out.value, sorted[k], "k={k}");
+            assert_eq!(out.value, expected, "k={k}");
         }
     }
 

@@ -153,10 +153,11 @@ impl FaultState {
                 self.report.rerouted.push(*ip);
                 self.reroute_span[ax] = self.reroute_span[ax].max(span);
             } else {
-                for leaf in lo..(lo + span).min(leaves) {
-                    if !masks[ip.tree][leaf] {
-                        masks[ip.tree][leaf] = true;
-                        self.report.dark.push(DarkLeaf { axis, tree: ip.tree, leaf });
+                let hi = (lo + span).min(leaves);
+                for (off, dark) in masks[ip.tree][lo..hi].iter_mut().enumerate() {
+                    if !*dark {
+                        *dark = true;
+                        self.report.dark.push(DarkLeaf { axis, tree: ip.tree, leaf: lo + off });
                     }
                 }
             }

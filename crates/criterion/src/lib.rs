@@ -7,9 +7,6 @@
 //! mean time per iteration to stdout; there is no statistical analysis,
 //! plotting, or baseline comparison.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
@@ -201,6 +198,8 @@ impl Bencher {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark targets (generated by
+        /// `criterion_group!`).
         pub fn $name() {
             let mut criterion = $crate::Criterion::default();
             $( $target(&mut criterion); )+
@@ -230,7 +229,7 @@ mod tests {
         group.warm_up_time(Duration::from_micros(10));
         group.measurement_time(Duration::from_micros(100));
         group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
-            b.iter(|| (0..n).sum::<u64>())
+            b.iter(|| (0..n).sum::<u64>());
         });
         group.finish();
     }

@@ -33,9 +33,6 @@
 //! assert_eq!(layout.internal_processor_count(), 24);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod chip;
 mod geometry;
 pub mod mesh;

@@ -108,34 +108,33 @@ pub fn build_grid_of_trees(
         }
     }
 
+    let geo = TreeGeometry { n, depth, pitch_x, pitch_y, block_w, block_h };
     let mut row_roots = Vec::with_capacity(n);
     let mut col_roots = Vec::with_capacity(n);
     for i in 0..n {
-        row_roots.push(TreeRoot {
-            index: i,
-            at: embed_row_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h),
-        });
-        col_roots.push(TreeRoot {
-            index: i,
-            at: embed_col_tree(chip, i, n, depth, pitch_x, pitch_y, block_w, block_h),
-        });
+        row_roots.push(TreeRoot { index: i, at: embed_row_tree(chip, i, geo) });
+        col_roots.push(TreeRoot { index: i, at: embed_col_tree(chip, i, geo) });
     }
 
     GridOfTrees { n, pitch_x, pitch_y, depth, row_roots, col_roots, blocks }
 }
 
-/// Embeds row tree `row`; returns the root position.
-#[allow(clippy::too_many_arguments)]
-fn embed_row_tree(
-    chip: &mut Chip,
-    row: usize,
+/// The shared geometry of one grid-of-trees embedding: grid side, tree
+/// depth, pitches and block footprint. Threaded to the per-tree embedding
+/// routines instead of a long positional argument list.
+#[derive(Clone, Copy, Debug)]
+struct TreeGeometry {
     n: usize,
     depth: u32,
     pitch_x: u64,
     pitch_y: u64,
     block_w: u64,
     block_h: u64,
-) -> Point {
+}
+
+/// Embeds row tree `row`; returns the root position.
+fn embed_row_tree(chip: &mut Chip, row: usize, geo: TreeGeometry) -> Point {
+    let TreeGeometry { n, depth, pitch_x, pitch_y, block_w, block_h } = geo;
     let strip_y = |h: u32| row as u64 * pitch_y + block_h + u64::from(h - 1);
     let ip_x = |cell: usize| cell as u64 * pitch_x + block_w + u64::from(depth);
     // Leaf connection points: bottom-centre of each block in the row.
@@ -163,17 +162,8 @@ fn embed_row_tree(
 }
 
 /// Embeds column tree `col`; returns the root position.
-#[allow(clippy::too_many_arguments)]
-fn embed_col_tree(
-    chip: &mut Chip,
-    col: usize,
-    n: usize,
-    depth: u32,
-    pitch_x: u64,
-    pitch_y: u64,
-    block_w: u64,
-    block_h: u64,
-) -> Point {
+fn embed_col_tree(chip: &mut Chip, col: usize, geo: TreeGeometry) -> Point {
+    let TreeGeometry { n, depth, pitch_x, pitch_y, block_w, block_h } = geo;
     let chan_x = |h: u32| col as u64 * pitch_x + block_w + u64::from(h - 1);
     let ip_y = |cell: usize| cell as u64 * pitch_y + block_h + u64::from(depth);
     // Leaf connection points: right-centre of each block in the column.

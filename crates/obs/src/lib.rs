@@ -47,9 +47,6 @@
 //! assert_eq!(totals.iter().map(|p| p.self_time.get()).sum::<u64>(), 90);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod chrome;
 pub mod json;
 

@@ -11,9 +11,6 @@
 //! inputs are *not shrunk* — the panic message carries the case index and
 //! assertion text instead.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod collection;
 pub mod runner;
 pub mod strategy;

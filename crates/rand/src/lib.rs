@@ -10,9 +10,6 @@
 //! crucially, *stable across platforms and releases*, which is all the
 //! workspace requires ("same seed yields the same inputs on every run").
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 /// A source of random 64-bit words.
 pub trait RngCore {
     /// The next 64 bits from the generator.

@@ -68,6 +68,9 @@ pub struct Engine {
     /// run loop touches no recording code at all (same contract as
     /// `fault_plan`), and recording never changes a simulated bit or time.
     recorder: Option<Recorder>,
+    /// Reverse the tie-break among same-timestamp events (verification
+    /// only). Correct networks must produce identical results either way.
+    lifo_ties: bool,
 }
 
 impl Engine {
@@ -87,6 +90,7 @@ impl Engine {
             budget: RunBudget::default(),
             fault_stats: FaultStats::default(),
             recorder: None,
+            lifo_ties: false,
         }
     }
 
@@ -94,6 +98,20 @@ impl Engine {
     /// log grows with one entry per delivered bit).
     pub fn with_event_log(mut self) -> Self {
         self.keep_log = true;
+        self
+    }
+
+    /// Delivers same-timestamp events in *reverse* scheduling order (LIFO)
+    /// instead of the default FIFO tie-break.
+    ///
+    /// This is a verification knob, not a simulation feature: a correctly
+    /// wired network must compute the same results and completion time
+    /// under either policy, because events that share a timestamp land on
+    /// distinct (node, port) pairs and therefore commute. The determinism
+    /// checker in `orthotrees-verify` runs each network under both
+    /// policies and flags any observable difference.
+    pub fn with_lifo_ties(mut self) -> Self {
+        self.lifo_ties = true;
         self
     }
 
@@ -187,6 +205,24 @@ impl Engine {
         self.nodes[id.0].as_ref()
     }
 
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The full link table, in creation order (`LinkId(i)` is `links()[i]`).
+    ///
+    /// This is the netlist view that static analyzers (the
+    /// `orthotrees-verify` crate) consume without running the engine.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The wire-delay model this engine prices links under.
+    pub fn delay_model(&self) -> DelayModel {
+        self.delay
+    }
+
     fn flush_outbox(&mut self, from: NodeId, ready: BitTime, out: Outbox) {
         for (port, bit, hold) in out.emissions {
             let ready = ready + hold;
@@ -230,9 +266,12 @@ impl Engine {
                     }
                 }
                 let link = &self.links[lid.0];
+                // The fault plan above keys off the raw scheduling counter;
+                // only the *ordering* value is permuted under LIFO ties.
+                let order = if self.lifo_ties { u64::MAX - self.seq } else { self.seq };
                 self.queue.push(Reverse(Pending {
                     at: arrive,
-                    seq: self.seq,
+                    seq: order,
                     node: link.to,
                     port: link.to_port,
                     bit,
@@ -626,6 +665,26 @@ mod tests {
         // t=1: first bit of each source in insertion order; t=2: second bits.
         assert_eq!(ports, vec![0, 1, 2, 0, 1, 2]);
         assert!(e.log().windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn lifo_ties_reverse_same_time_deliveries_only() {
+        // Same topology as the FIFO tie-break test: all first bits arrive
+        // at t=1, all second bits at t=2. LIFO reverses order *within* each
+        // timestamp but never across timestamps, and the completion time is
+        // unchanged.
+        let mut e = Engine::new(DelayModel::Constant).with_event_log().with_lifo_ties();
+        let sources: Vec<NodeId> =
+            (0..3).map(|_| e.add_node(Box::new(WordSource { width: 2 }))).collect();
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        for (p, &s) in sources.iter().enumerate() {
+            e.connect(s, PortId(0), dst, PortId(p), 1);
+        }
+        let end = e.run();
+        let ports: Vec<usize> = e.log().iter().map(|ev| ev.port.0).collect();
+        assert_eq!(ports, vec![2, 1, 0, 2, 1, 0]);
+        assert!(e.log().windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(end.get(), 2);
     }
 
     #[test]

@@ -27,9 +27,6 @@
 //! # Ok::<(), orthotrees_vlsi::SimError>(())
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod engine;
 pub mod experiments;
 pub mod fault;

@@ -1,0 +1,141 @@
+//! `netlint` — run every static verification pass over the stock
+//! configurations.
+//!
+//! ```text
+//! netlint [--all] [--json] [--rules]
+//! ```
+//!
+//! - `--all` (default): topology, schedule, word-level, layout and
+//!   determinism passes over the paper's standard configurations;
+//! - `--json`: emit the report as an `orthotrees-verify/v1` JSON document
+//!   instead of text;
+//! - `--rules`: print the rule catalogue and exit.
+//!
+//! Exits nonzero if any finding (error or warning) was produced — CI runs
+//! this after the test suite, so a drifted convention fails the build.
+
+use orthotrees::otc::Otc;
+use orthotrees::otn::Otn;
+use orthotrees_verify::diag::Report;
+use orthotrees_verify::net::{lint_structure, lint_tree, tree_netlist, DegreeBounds, TreeShape};
+use orthotrees_verify::schedule::{
+    aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
+    stream_schedule,
+};
+use orthotrees_verify::{determinism, words, RULES};
+use orthotrees_vlsi::{tree::level_wire_lengths, CostModel};
+
+/// Tree sizes the netlist and schedule passes sweep.
+const TREE_LEAVES: [usize; 5] = [2, 4, 16, 64, 256];
+
+/// Problem sizes for the word-level OTN/OTC passes (the paper-claims
+/// sweep range).
+const SORT_NS: [usize; 6] = [16, 32, 64, 128, 256, 512];
+const GRAPH_NS: [usize; 4] = [8, 16, 32, 64];
+
+/// Layout sizes (full geometric construction, so kept modest).
+const LAYOUT_NS: [usize; 4] = [2, 4, 8, 16];
+
+fn lint_trees(report: &mut Report) {
+    for leaves in TREE_LEAVES {
+        let pitch = CostModel::thompson(leaves).leaf_pitch();
+        for downward in [true, false] {
+            let dir = if downward { "down" } else { "up" };
+            let net = tree_netlist(format!("tree[{leaves}]/{dir}"), leaves, pitch, downward);
+            report.extend(lint_structure(&net, DegreeBounds::default()));
+            report.extend(lint_tree(&net, TreeShape { leaves, pitch, downward }));
+        }
+    }
+}
+
+fn lint_schedules(report: &mut Report) {
+    for leaves in TREE_LEAVES {
+        let models = [
+            CostModel::thompson(leaves),
+            CostModel::constant_delay(leaves),
+            CostModel::linear_delay(leaves),
+        ];
+        for m in models {
+            let name = format!("tree[{leaves}] under {:?}", m.delay);
+            let pitch = m.leaf_pitch();
+            let levels = level_wire_lengths(leaves, pitch);
+
+            let b = broadcast_schedule(&levels, m.word_bits, m.delay);
+            report.extend(lint_conflicts(&name, &b));
+            report.extend(lint_budget(&name, &b, leaves, m.word_bits, m.delay));
+            report.extend(lint_against_model(&name, &b, m.tree_root_to_leaf(leaves, pitch)));
+
+            let a = aggregate_schedule(&levels, m.word_bits, m.delay);
+            report.extend(lint_conflicts(&name, &a));
+            report.extend(lint_budget(&name, &a, leaves, m.word_bits, m.delay));
+            report.extend(lint_against_model(&name, &a, m.tree_aggregate(leaves, pitch)));
+
+            let words = 8usize;
+            let interval = m.pipeline_interval();
+            let s = stream_schedule(&levels, m.word_bits, m.delay, words, interval.get());
+            report.extend(lint_conflicts(&name, &s));
+            let charged = m.tree_root_to_leaf(leaves, pitch) + interval.times(words as u64 - 1);
+            report.extend(lint_against_model(&name, &s, charged));
+        }
+    }
+}
+
+fn lint_words(report: &mut Report) {
+    for n in SORT_NS {
+        match Otn::for_sorting(n) {
+            Ok(net) => report.extend(words::lint_otn(&net)),
+            Err(e) => eprintln!("netlint: skipping OTN sort n={n}: {e}"),
+        }
+        match Otc::for_sorting(n) {
+            Ok(net) => report.extend(words::lint_otc(&net)),
+            Err(e) => eprintln!("netlint: skipping OTC sort n={n}: {e}"),
+        }
+    }
+    for n in GRAPH_NS {
+        match Otn::for_graphs(n) {
+            Ok(net) => report.extend(words::lint_otn(&net)),
+            Err(e) => eprintln!("netlint: skipping OTN graphs n={n}: {e}"),
+        }
+    }
+}
+
+fn lint_layouts(report: &mut Report) {
+    for n in LAYOUT_NS {
+        let word = orthotrees_vlsi::log2_ceil((n * n) as u64).max(1);
+        report.extend(words::lint_layout(n, word));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let unknown: Vec<&String> =
+        args.iter().filter(|a| !matches!(a.as_str(), "--all" | "--json" | "--rules")).collect();
+    if !unknown.is_empty() {
+        eprintln!("netlint: unknown argument(s): {unknown:?}");
+        eprintln!("usage: netlint [--all] [--json] [--rules]");
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "--rules") {
+        for r in RULES {
+            println!("{} [{}] {}", r.id, r.severity.name(), r.summary);
+        }
+        return;
+    }
+
+    let mut report = Report::new();
+    lint_trees(&mut report);
+    lint_schedules(&mut report);
+    lint_words(&mut report);
+    lint_layouts(&mut report);
+    report.extend(determinism::stock_findings());
+
+    if json {
+        println!("{}", report.to_json().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}

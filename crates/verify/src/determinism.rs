@@ -1,0 +1,212 @@
+//! Engine determinism checker: do same-timestamp events commute?
+//!
+//! The event engine breaks timestamp ties FIFO (by scheduling sequence).
+//! A *correct* network never depends on that order: two bits delivered at
+//! the same τ to the same node must produce the same end state whichever
+//! is processed first, or the "simulation" is really measuring an artifact
+//! of the queue implementation.
+//!
+//! [`check_commutes`] runs the same network twice — once with the default
+//! FIFO tie-break and once with the engine's LIFO verification knob
+//! ([`Engine::with_lifo_ties`]) — and compares completion time, every
+//! node's result, and the *multiset* of delivered events. Any divergence
+//! is a DET-001 finding: somewhere a pair of simultaneous events does not
+//! commute.
+
+use crate::diag::Finding;
+use orthotrees_sim::{Bit, Engine, NodeBehavior, Outbox, PortId};
+use orthotrees_vlsi::{BitTime, DelayModel};
+use std::collections::HashMap;
+
+/// Runs `build(false)` (FIFO ties) and `build(true)` (LIFO ties) to
+/// quiescence and reports every observable divergence as DET-001.
+///
+/// `build` must construct the *same* network both times, differing only in
+/// the engine's tie-break mode — typically
+/// `Engine::new(model)` vs `Engine::new(model).with_lifo_ties()`.
+pub fn check_commutes(network: &str, build: impl Fn(bool) -> Engine) -> Vec<Finding> {
+    let mut fifo = build(false);
+    let mut lifo = build(true);
+    let t_fifo = fifo.run();
+    let t_lifo = lifo.run();
+    let mut out = Vec::new();
+    if t_fifo != t_lifo {
+        out.push(Finding::new(
+            "DET-001",
+            network,
+            "completion time".to_string(),
+            format!("FIFO tie-break finishes at {t_fifo} τ, LIFO at {t_lifo} τ"),
+            "make simultaneous deliveries commute (no first-wins state)",
+        ));
+    }
+    if fifo.node_count() != lifo.node_count() {
+        out.push(Finding::new(
+            "DET-001",
+            network,
+            "node count".to_string(),
+            format!("builder produced {} vs {} nodes", fifo.node_count(), lifo.node_count()),
+            "the builder must construct the same network for both modes",
+        ));
+        return out;
+    }
+    for i in 0..fifo.node_count() {
+        let a = fifo.node(orthotrees_sim::NodeId(i)).result();
+        let b = lifo.node(orthotrees_sim::NodeId(i)).result();
+        if a != b {
+            out.push(Finding::new(
+                "DET-001",
+                network,
+                format!("node {i}"),
+                format!("result {a:?} under FIFO ties but {b:?} under LIFO"),
+                "make simultaneous deliveries commute (no first-wins state)",
+            ));
+        }
+    }
+    // Compare delivered events as a multiset: order within a τ is exactly
+    // what is allowed to differ, but the *set* of deliveries must not.
+    let mut counts: HashMap<(u64, usize, usize, bool, u32), i64> = HashMap::new();
+    for e in fifo.log() {
+        *counts.entry((e.at.get(), e.node.0, e.port.0, e.bit.value, e.bit.index)).or_insert(0) += 1;
+    }
+    for e in lifo.log() {
+        *counts.entry((e.at.get(), e.node.0, e.port.0, e.bit.value, e.bit.index)).or_insert(0) -= 1;
+    }
+    for ((at, node, port, value, index), n) in counts.into_iter().filter(|&(_, n)| n != 0) {
+        out.push(Finding::new(
+            "DET-001",
+            network,
+            format!("node {node} port {port} at {at} τ"),
+            format!(
+                "delivery of bit {value} (index {index}) occurs {} more time(s) under {}",
+                n.abs(),
+                if n > 0 { "FIFO" } else { "LIFO" }
+            ),
+            "a tie-order change must not create or destroy deliveries",
+        ));
+    }
+    out.sort_by(|a, b| a.subject.cmp(&b.subject));
+    out
+}
+
+/// A source that emits one word LSB-first starting at time zero.
+struct Source {
+    value: u64,
+    width: u32,
+}
+impl NodeBehavior for Source {
+    fn on_start(&mut self, out: &mut Outbox) {
+        for i in 0..self.width {
+            out.send_after(
+                PortId(0),
+                Bit { value: (self.value >> i) & 1 == 1, index: i },
+                BitTime::new(u64::from(i)),
+            );
+        }
+    }
+    fn on_bit(&mut self, _: BitTime, _: PortId, _: Bit, _: &mut Outbox) {}
+}
+
+/// A sink that ORs every arriving word into an accumulator — an
+/// order-insensitive combine, so ties must commute.
+struct OrSink {
+    acc: u64,
+    done: Option<BitTime>,
+}
+impl NodeBehavior for OrSink {
+    fn on_bit(&mut self, now: BitTime, _: PortId, bit: Bit, _: &mut Outbox) {
+        if bit.value {
+            self.acc |= 1 << bit.index;
+        }
+        self.done = Some(self.done.map_or(now, |d| d.max(now)));
+    }
+    fn completed_at(&self) -> Option<BitTime> {
+        self.done
+    }
+    fn result(&self) -> Option<u64> {
+        Some(self.acc)
+    }
+}
+
+/// A deliberately order-*sensitive* sink: only the first bit to arrive at
+/// each index is kept. Under simultaneous arrivals from two sources, the
+/// tie-break order decides the result — the canonical DET-001 violation,
+/// kept public so tests can prove the checker actually fires.
+#[derive(Default)]
+pub struct FirstWins {
+    word: u64,
+    claimed: u64,
+}
+impl FirstWins {
+    /// An empty latch.
+    pub fn new() -> Self {
+        FirstWins::default()
+    }
+}
+impl NodeBehavior for FirstWins {
+    fn on_bit(&mut self, _: BitTime, _: PortId, bit: Bit, _: &mut Outbox) {
+        if self.claimed & (1 << bit.index) == 0 {
+            self.claimed |= 1 << bit.index;
+            if bit.value {
+                self.word |= 1 << bit.index;
+            }
+        }
+    }
+    fn result(&self) -> Option<u64> {
+        Some(self.word)
+    }
+}
+
+/// Builds a fan-in network: `sources` word sources, all wired to one sink
+/// over equal-length wires so every delivery ties with its peers.
+pub fn fan_in(
+    model: DelayModel,
+    sources: u32,
+    width: u32,
+    sink: Box<dyn NodeBehavior>,
+    lifo: bool,
+) -> Engine {
+    let mut e = Engine::new(model).with_event_log();
+    if lifo {
+        e = e.with_lifo_ties();
+    }
+    let s = e.add_node(sink);
+    for i in 0..sources {
+        // Distinct bit patterns so an order dependence changes the result.
+        let src = e.add_node(Box::new(Source { value: 0b1010_0101 ^ u64::from(i), width }));
+        e.connect(src, PortId(0), s, PortId(i as usize), 8);
+    }
+    e
+}
+
+/// The stock determinism checks `netlint` runs: order-insensitive fan-in
+/// combines under every delay model must commute.
+pub fn stock_findings() -> Vec<Finding> {
+    let mut out = Vec::new();
+    for model in [DelayModel::Constant, DelayModel::Logarithmic, DelayModel::Linear] {
+        for sources in [2u32, 4, 8] {
+            let name = format!("fan-in[{sources}] under {model:?}");
+            out.extend(check_commutes(&name, |lifo| {
+                fan_in(model, sources, 8, Box::new(OrSink { acc: 0, done: None }), lifo)
+            }));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn commuting_networks_are_clean() {
+        assert!(stock_findings().is_empty());
+    }
+
+    #[test]
+    fn first_wins_latch_is_det001() {
+        let f = check_commutes("first-wins", |lifo| {
+            fan_in(DelayModel::Logarithmic, 3, 8, Box::new(FirstWins::new()), lifo)
+        });
+        assert!(f.iter().any(|f| f.rule == "DET-001"), "{f:?}");
+    }
+}

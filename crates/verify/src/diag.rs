@@ -1,0 +1,319 @@
+//! Structured diagnostics: the rule catalogue, findings and reports.
+//!
+//! Every check in this crate reports through the same vocabulary: a
+//! [`Finding`] names the violated rule (stable id), the network and the
+//! node/link it anchors to, what is wrong, and how to fix it. A [`Report`]
+//! collects findings across passes and renders them as text or as an
+//! [`obs::json`](orthotrees_obs::json) document for machine consumption.
+//!
+//! Rule ids are **stable**: tests (the mutation matrix) and downstream
+//! tooling key off them, so an id is never renumbered or reused.
+
+use orthotrees_obs::json::Json;
+
+/// How bad a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but not provably wrong (e.g. budget heuristics).
+    Warning,
+    /// The network violates a structural or scheduling invariant.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One rule of the catalogue.
+#[derive(Clone, Copy, Debug)]
+pub struct Rule {
+    /// Stable identifier (`NET-001`, `TREE-003`, ...).
+    pub id: &'static str,
+    /// One-line summary of what the rule checks.
+    pub summary: &'static str,
+    /// Severity of a violation.
+    pub severity: Severity,
+}
+
+/// The full rule catalogue, in id order (mirrored in DESIGN.md §10).
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "NET-001",
+        summary: "input port driven by more than one link (write-write wiring conflict)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "NET-002",
+        summary: "link endpoint references a node that does not exist (dangling wire)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "NET-003",
+        summary: "node degree or port fan-out exceeds the paper's constant bound",
+        severity: Severity::Error,
+    },
+    Rule { id: "NET-004", summary: "link connects a node to itself", severity: Severity::Error },
+    Rule {
+        id: "NET-005",
+        summary: "two identical parallel links between the same port pair",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "TREE-001",
+        summary: "not a complete binary tree with the expected leaf count",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "TREE-002",
+        summary: "node unreachable from the tree root (disconnected subtree)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "TREE-003",
+        summary: "wire length violates the strip embedding's level rule (pitch·2^(h−1))",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "OTN-001",
+        summary: "OTN dimensions are not powers of two",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "OTN-002",
+        summary: "OTN leaf pitch disagrees with the layout convention (w + depth + 1)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "OTC-001",
+        summary: "OTC cycle length is not the Θ(log N) decomposition of dims_for",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "OTC-002",
+        summary: "OTC pitch disagrees with the cycle-block convention",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "AREA-001",
+        summary: "constructed layout area disagrees with the closed-form prediction",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "GEO-001",
+        summary: "layout components overlap on the chip",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SCHED-001",
+        summary: "two words occupy the same link entrance slot (write-write drive conflict)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "SCHED-002",
+        summary: "primitive's static step count exceeds its O(log² N) budget",
+        severity: Severity::Warning,
+    },
+    Rule {
+        id: "SCHED-003",
+        summary: "derived static schedule disagrees with the charged closed-form cost",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "DET-001",
+        summary: "same-timestamp events do not commute (tie-break order changes results)",
+        severity: Severity::Error,
+    },
+];
+
+/// Looks a rule up by id.
+///
+/// # Panics
+///
+/// Panics if `id` is not in the catalogue — rule ids are compile-time
+/// constants, so an unknown id is a bug in this crate.
+pub fn rule(id: &str) -> &'static Rule {
+    RULES.iter().find(|r| r.id == id).unwrap_or_else(|| panic!("unknown rule id {id}"))
+}
+
+/// One diagnostic: a rule violation anchored to a network element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's stable id.
+    pub rule: &'static str,
+    /// Severity (copied from the catalogue at construction).
+    pub severity: Severity,
+    /// Which network/configuration was being checked.
+    pub network: String,
+    /// The node/link/level the finding anchors to.
+    pub subject: String,
+    /// What is wrong, with the observed and expected values.
+    pub detail: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Finding {
+    /// Creates a finding for catalogue rule `id`.
+    pub fn new(
+        id: &'static str,
+        network: impl Into<String>,
+        subject: impl Into<String>,
+        detail: impl Into<String>,
+        hint: impl Into<String>,
+    ) -> Self {
+        Finding {
+            rule: id,
+            severity: rule(id).severity,
+            network: network.into(),
+            subject: subject.into(),
+            detail: detail.into(),
+            hint: hint.into(),
+        }
+    }
+
+    /// Renders one line of text: `RULE severity network subject: detail`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} [{}] {} · {}: {} (fix: {})",
+            self.rule,
+            self.severity.name(),
+            self.network,
+            self.subject,
+            self.detail,
+            self.hint
+        )
+    }
+
+    /// The finding as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("rule", Json::str(self.rule)),
+            ("severity", Json::str(self.severity.name())),
+            ("network", Json::str(self.network.clone())),
+            ("subject", Json::str(self.subject.clone())),
+            ("detail", Json::str(self.detail.clone())),
+            ("hint", Json::str(self.hint.clone())),
+        ])
+    }
+}
+
+/// A collection of findings across verification passes.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    findings: Vec<Finding>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, f: Finding) {
+        self.findings.push(f);
+    }
+
+    /// Adds a batch of findings.
+    pub fn extend(&mut self, fs: impl IntoIterator<Item = Finding>) {
+        self.findings.extend(fs);
+    }
+
+    /// All findings, in insertion order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// True when no findings were collected.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Number of findings for one rule id.
+    pub fn count(&self, rule: &str) -> usize {
+        self.findings.iter().filter(|f| f.rule == rule).count()
+    }
+
+    /// True if at least one finding matches `rule`.
+    pub fn has(&self, rule: &str) -> bool {
+        self.count(rule) > 0
+    }
+
+    /// Renders the report as human-readable text (one line per finding,
+    /// plus a summary line).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        let errors = self.findings.iter().filter(|f| f.severity == Severity::Error).count();
+        let warnings = self.findings.len() - errors;
+        out.push_str(&format!("{errors} error(s), {warnings} warning(s)\n"));
+        out
+    }
+
+    /// The report as a JSON document (schema `orthotrees-verify/v1`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str("orthotrees-verify/v1")),
+            ("findings", Json::arr(self.findings.iter().map(Finding::to_json))),
+            (
+                "errors",
+                Json::u64(
+                    self.findings.iter().filter(|f| f.severity == Severity::Error).count() as u64
+                ),
+            ),
+            (
+                "warnings",
+                Json::u64(
+                    self.findings.iter().filter(|f| f.severity == Severity::Warning).count() as u64
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_ordered() {
+        let mut seen = std::collections::HashSet::new();
+        for r in RULES {
+            assert!(seen.insert(r.id), "duplicate rule id {}", r.id);
+        }
+    }
+
+    #[test]
+    fn findings_inherit_catalogue_severity() {
+        let f = Finding::new("SCHED-002", "net", "subj", "detail", "hint");
+        assert_eq!(f.severity, Severity::Warning);
+        let f = Finding::new("NET-001", "net", "subj", "detail", "hint");
+        assert_eq!(f.severity, Severity::Error);
+    }
+
+    #[test]
+    fn report_round_trips_to_json() {
+        let mut r = Report::new();
+        r.push(Finding::new("NET-004", "t", "link 0", "self-loop", "remove it"));
+        let doc = r.to_json().render();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("errors").and_then(Json::as_u64), Some(1));
+        let arr = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].get("rule").and_then(Json::as_str), Some("NET-004"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown rule id")]
+    fn unknown_rule_id_is_a_bug() {
+        let _ = rule("NOPE-999");
+    }
+}

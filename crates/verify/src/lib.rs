@@ -1,0 +1,54 @@
+//! Static verification of orthogonal-trees networks.
+//!
+//! Everything in this crate analyzes a network **without running it**. The
+//! simulator crates already check dynamic behaviour (completion times,
+//! functional results); this crate checks the things a run can silently
+//! get wrong — wiring, geometry, schedules and tie-break order — and
+//! reports them as structured diagnostics with stable rule ids.
+//!
+//! Four analysis passes:
+//!
+//! - [`net`] — the **topology linter**: snapshots a
+//!   [`sim::Engine`](orthotrees_sim::Engine)'s link table into a plain
+//!   [`Netlist`](net::Netlist) and checks port-wiring bijectivity
+//!   (`NET-*`) and the complete-binary-tree shape plus strip-embedding
+//!   wire lengths (`TREE-*`).
+//! - [`schedule`] — the **static schedule analyzer**: re-derives link
+//!   occupancy intervals symbolically from per-level wire lengths and
+//!   detects write-write drive conflicts (`SCHED-001`), `O(log² N)` budget
+//!   violations (`SCHED-002`) and drift from the charged closed-form costs
+//!   (`SCHED-003`).
+//! - [`words`] — the **convention cross-checker**: word-level OTN/OTC
+//!   builders versus the layout crate's pitch, decomposition and area
+//!   closed forms (`OTN-*`, `OTC-*`, `AREA-001`, `GEO-001`).
+//! - [`determinism`] — the **tie-break checker**: runs a network under
+//!   FIFO and LIFO same-timestamp ordering and flags any observable
+//!   divergence (`DET-001`).
+//!
+//! The [`mutate`] module corrupts known-good netlists and is used by the
+//! test suite to prove every rule actually fires. The `netlint` binary
+//! runs all passes over the stock configurations and is wired into CI.
+//!
+//! # Example
+//!
+//! ```
+//! use orthotrees_verify::net::{lint_structure, lint_tree, tree_netlist};
+//! use orthotrees_verify::net::{DegreeBounds, TreeShape};
+//!
+//! let net = tree_netlist("row tree", 16, 5, false);
+//! assert!(lint_structure(&net, DegreeBounds::default()).is_empty());
+//! let shape = TreeShape { leaves: 16, pitch: 5, downward: false };
+//! assert!(lint_tree(&net, shape).is_empty());
+//! ```
+
+pub mod determinism;
+pub mod diag;
+pub mod mutate;
+pub mod net;
+pub mod schedule;
+pub mod words;
+
+pub use diag::{Finding, Report, Rule, Severity, RULES};
+pub use mutate::Mutation;
+pub use net::Netlist;
+pub use schedule::Schedule;

@@ -1,0 +1,441 @@
+//! The netlist snapshot and the structural topology linter.
+//!
+//! A [`Netlist`] is a plain-data view of a [`sim::Engine`](Engine)'s wiring
+//! — node count plus the link table — cheap to extract, cheap to corrupt
+//! (the mutation harness edits it freely), and independent of any node
+//! behaviour. [`lint_structure`] checks the port-wiring invariants the
+//! paper's constant-degree networks must satisfy; [`lint_tree`] checks the
+//! complete-binary-tree shape and the strip embedding's per-level wire
+//! lengths (`pitch · 2^(h−1)` at level `h`).
+
+use crate::diag::Finding;
+use orthotrees_sim::{Bit, Engine, NodeBehavior, Outbox, PortId};
+use orthotrees_vlsi::{log2_ceil, BitTime, DelayModel};
+use std::collections::HashMap;
+
+/// One wire of the netlist, as plain data.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Source node index.
+    pub from: usize,
+    /// Source port.
+    pub from_port: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Destination port.
+    pub to_port: usize,
+    /// Physical wire length in λ.
+    pub length: u64,
+}
+
+/// A static snapshot of a network's wiring.
+#[derive(Clone, Debug)]
+pub struct Netlist {
+    /// Display name of the configuration this snapshot came from.
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// The link table.
+    pub links: Vec<LinkSpec>,
+}
+
+impl Netlist {
+    /// Extracts the wiring of a built (not necessarily run) engine.
+    pub fn from_engine(name: impl Into<String>, engine: &Engine) -> Self {
+        Netlist {
+            name: name.into(),
+            nodes: engine.node_count(),
+            links: engine
+                .links()
+                .iter()
+                .map(|l| LinkSpec {
+                    from: l.from.0,
+                    from_port: l.from_port.0,
+                    to: l.to.0,
+                    to_port: l.to_port.0,
+                    length: l.length,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A do-nothing node behaviour used when building netlists purely for
+/// static analysis — the engine is never run.
+struct Wire;
+impl NodeBehavior for Wire {
+    fn on_bit(&mut self, _: BitTime, _: PortId, _: Bit, _: &mut Outbox) {}
+}
+
+/// Port conventions shared with `sim::experiments` (and the OTN layout).
+const TO_PARENT: usize = 0;
+const TO_LEFT: usize = 1;
+const TO_RIGHT: usize = 2;
+const FROM_PARENT: usize = 0;
+const FROM_LEFT: usize = 1;
+const FROM_RIGHT: usize = 2;
+
+/// Builds a real [`Engine`] wired as the complete binary tree the
+/// experiments and the strip embedding use — level-`h` wires are
+/// `pitch · 2^(h−1)` λ — and returns its netlist snapshot.
+///
+/// `downward` wires parent→children (`ROOTTOLEAF`); otherwise
+/// children→parent (`LEAFTOROOT`). Node ids: leaves first (`0..leaves`),
+/// then one level at a time up to the root (last id).
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn tree_netlist(name: impl Into<String>, leaves: usize, pitch: u64, downward: bool) -> Netlist {
+    assert!(leaves.is_power_of_two(), "leaf count must be a power of two, got {leaves}");
+    // The delay model is irrelevant for a never-run engine; any one works.
+    let mut e = Engine::new(DelayModel::Logarithmic);
+    let depth = log2_ceil(leaves as u64);
+    let mut below: Vec<_> = (0..leaves).map(|_| e.add_node(Box::new(Wire))).collect();
+    for h in 1..=depth {
+        let wire = pitch << (h - 1);
+        let mut level = Vec::with_capacity(below.len() / 2);
+        for pair in below.chunks(2) {
+            let node = e.add_node(Box::new(Wire));
+            let (l, r) = (pair[0], pair[1]);
+            if downward {
+                e.connect(node, PortId(TO_LEFT), l, PortId(FROM_PARENT), wire);
+                e.connect(node, PortId(TO_RIGHT), r, PortId(FROM_PARENT), wire);
+            } else {
+                e.connect(l, PortId(TO_PARENT), node, PortId(FROM_LEFT), wire);
+                e.connect(r, PortId(TO_PARENT), node, PortId(FROM_RIGHT), wire);
+            }
+            level.push(node);
+        }
+        below = level;
+    }
+    Netlist::from_engine(name, &e)
+}
+
+/// The constant-degree bounds of the paper's processors: an IP talks to a
+/// parent and two children (§II.A), and every wire has exactly one driver
+/// and one receiver.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeBounds {
+    /// Maximum distinct ports (in + out) per node.
+    pub max_ports_per_node: usize,
+    /// Maximum links fanning out of one output port.
+    pub max_fanout_per_port: usize,
+}
+
+impl Default for DegreeBounds {
+    fn default() -> Self {
+        DegreeBounds { max_ports_per_node: 3, max_fanout_per_port: 1 }
+    }
+}
+
+/// Structural port-wiring lint: NET-001 double-driven input ports, NET-002
+/// dangling endpoints, NET-003 degree bounds, NET-004 self-loops, NET-005
+/// duplicate links.
+pub fn lint_structure(net: &Netlist, bounds: DegreeBounds) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut drivers: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut fanout: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut exact: HashMap<(usize, usize, usize, usize), usize> = HashMap::new();
+    let mut ports: HashMap<usize, std::collections::BTreeSet<(bool, usize)>> = HashMap::new();
+
+    for (i, l) in net.links.iter().enumerate() {
+        if l.from >= net.nodes || l.to >= net.nodes {
+            out.push(Finding::new(
+                "NET-002",
+                &net.name,
+                format!("link {i}"),
+                format!(
+                    "endpoint {} out of range (network has {} nodes)",
+                    l.from.max(l.to),
+                    net.nodes
+                ),
+                "reconnect the wire to an existing processor",
+            ));
+            continue; // other maps would be polluted by phantom nodes
+        }
+        if l.from == l.to {
+            out.push(Finding::new(
+                "NET-004",
+                &net.name,
+                format!("link {i} at node {}", l.from),
+                "wire connects a node to itself".to_string(),
+                "a processor never drives its own input; rewire to the intended neighbour",
+            ));
+        }
+        *drivers.entry((l.to, l.to_port)).or_insert(0) += 1;
+        *fanout.entry((l.from, l.from_port)).or_insert(0) += 1;
+        *exact.entry((l.from, l.from_port, l.to, l.to_port)).or_insert(0) += 1;
+        ports.entry(l.from).or_default().insert((false, l.from_port));
+        ports.entry(l.to).or_default().insert((true, l.to_port));
+    }
+
+    for ((to, port), n) in drivers.iter().filter(|(_, &n)| n > 1) {
+        out.push(Finding::new(
+            "NET-001",
+            &net.name,
+            format!("node {to} port {port}"),
+            format!("input port driven by {n} links"),
+            "every input port has exactly one driver; move one wire to a free port",
+        ));
+    }
+    for ((from, port), n) in fanout.iter().filter(|(_, &n)| n > bounds.max_fanout_per_port) {
+        out.push(Finding::new(
+            "NET-003",
+            &net.name,
+            format!("node {from} port {port}"),
+            format!("output fan-out {n} exceeds bound {}", bounds.max_fanout_per_port),
+            "split the broadcast across dedicated child ports",
+        ));
+    }
+    for ((from, fp, to, tp), n) in exact.iter().filter(|(_, &n)| n > 1) {
+        out.push(Finding::new(
+            "NET-005",
+            &net.name,
+            format!("{n} links {from}.{fp} -> {to}.{tp}"),
+            "identical parallel wires between the same port pair".to_string(),
+            "remove the duplicate wire",
+        ));
+    }
+    for (node, used) in ports.iter().filter(|(_, used)| used.len() > bounds.max_ports_per_node) {
+        out.push(Finding::new(
+            "NET-003",
+            &net.name,
+            format!("node {node}"),
+            format!("{} distinct ports exceed bound {}", used.len(), bounds.max_ports_per_node),
+            "the paper's processors have constant degree (parent + two children)",
+        ));
+    }
+    out.sort_by(|a, b| (a.rule, a.subject.clone()).cmp(&(b.rule, b.subject.clone())));
+    out
+}
+
+/// What a tree netlist is expected to look like.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeShape {
+    /// Number of leaves (power of two).
+    pub leaves: usize,
+    /// Leaf pitch: level-`h` wires must be `pitch · 2^(h−1)` λ.
+    pub pitch: u64,
+    /// Wired parent→children (`true`) or children→parent.
+    pub downward: bool,
+}
+
+/// Tree-shape lint: TREE-001 complete-binary shape and leaf count,
+/// TREE-002 reachability from the root, TREE-003 per-level wire lengths.
+pub fn lint_tree(net: &Netlist, shape: TreeShape) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let depth = log2_ceil(shape.leaves as u64);
+    let expected_nodes = 2 * shape.leaves - 1;
+    if net.nodes != expected_nodes {
+        out.push(Finding::new(
+            "TREE-001",
+            &net.name,
+            format!("{} nodes", net.nodes),
+            format!(
+                "a complete binary tree over {} leaves has {expected_nodes} nodes",
+                shape.leaves
+            ),
+            "rebuild the tree level by level (leaves, then pairwise parents)",
+        ));
+    }
+
+    // Orient every link as parent → child regardless of wiring direction.
+    let mut children: HashMap<usize, Vec<(usize, u64)>> = HashMap::new();
+    let mut has_parent = vec![false; net.nodes];
+    for l in &net.links {
+        if l.from >= net.nodes || l.to >= net.nodes {
+            continue; // NET-002 already reported by lint_structure
+        }
+        let (parent, child) = if shape.downward { (l.from, l.to) } else { (l.to, l.from) };
+        children.entry(parent).or_default().push((child, l.length));
+        has_parent[child] = true;
+    }
+
+    let roots: Vec<usize> = (0..net.nodes).filter(|&v| !has_parent[v]).collect();
+    if roots.len() != 1 {
+        for &r in roots.iter().skip(1) {
+            out.push(Finding::new(
+                "TREE-002",
+                &net.name,
+                format!("node {r}"),
+                "node has no parent: the tree is disconnected".to_string(),
+                "reconnect the orphaned subtree to its parent IP",
+            ));
+        }
+        if roots.is_empty() {
+            out.push(Finding::new(
+                "TREE-002",
+                &net.name,
+                "no root".to_string(),
+                "every node has a parent: the links contain a cycle".to_string(),
+                "a tree has exactly one parentless node (the root)",
+            ));
+            return out;
+        }
+    }
+
+    // BFS from the (first) root, checking arity, depth and wire lengths.
+    let root = roots[0];
+    let mut seen = vec![false; net.nodes];
+    let mut queue = std::collections::VecDeque::from([(root, 0u32)]);
+    seen[root] = true;
+    let mut leaf_count = 0usize;
+    while let Some((v, d)) = queue.pop_front() {
+        let kids = children.get(&v).map(Vec::as_slice).unwrap_or(&[]);
+        match kids.len() {
+            0 => {
+                leaf_count += 1;
+                if d != depth {
+                    out.push(Finding::new(
+                        "TREE-001",
+                        &net.name,
+                        format!("leaf node {v}"),
+                        format!("leaf at depth {d}, expected {depth} (tree not complete)"),
+                        "every leaf of a complete tree sits at the same depth",
+                    ));
+                }
+            }
+            2 => {}
+            n => out.push(Finding::new(
+                "TREE-001",
+                &net.name,
+                format!("node {v}"),
+                format!("internal node has {n} children, expected 2"),
+                "every IP merges exactly two subtrees",
+            )),
+        }
+        // Level of the wires below a node at depth d: h = depth − d.
+        if d < depth {
+            let h = depth - d;
+            let expect = shape.pitch << (h - 1);
+            for &(child, len) in kids {
+                if len != expect {
+                    out.push(Finding::new(
+                        "TREE-003",
+                        &net.name,
+                        format!("wire {v} -> {child} (level {h})"),
+                        format!("length {len} λ, the strip embedding requires {expect} λ"),
+                        "level-h wires span 2^(h−1) leaf pitches — reroute to the embedding",
+                    ));
+                }
+                if !seen[child] {
+                    seen[child] = true;
+                    queue.push_back((child, d + 1));
+                }
+            }
+        }
+    }
+    if leaf_count != shape.leaves {
+        out.push(Finding::new(
+            "TREE-001",
+            &net.name,
+            format!("{leaf_count} leaves"),
+            format!("expected {} leaves", shape.leaves),
+            "the row/column tree must cover every base processor exactly once",
+        ));
+    }
+    for v in (0..net.nodes).filter(|&v| !seen[v]) {
+        out.push(Finding::new(
+            "TREE-002",
+            &net.name,
+            format!("node {v}"),
+            "node unreachable from the root".to_string(),
+            "reconnect the orphaned subtree to its parent IP",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_tree(leaves: usize, downward: bool) -> Netlist {
+        tree_netlist(format!("tree[{leaves}]"), leaves, 4, downward)
+    }
+
+    #[test]
+    fn stock_trees_lint_clean_both_directions() {
+        for leaves in [2usize, 4, 8, 64] {
+            for downward in [true, false] {
+                let net = clean_tree(leaves, downward);
+                assert!(lint_structure(&net, DegreeBounds::default()).is_empty());
+                let shape = TreeShape { leaves, pitch: 4, downward };
+                assert!(lint_tree(&net, shape).is_empty(), "leaves={leaves} down={downward}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_netlist_matches_the_closed_form_counts() {
+        let net = clean_tree(16, true);
+        assert_eq!(net.nodes, 31);
+        assert_eq!(net.links.len(), 30);
+        // Level wire lengths match the vlsi::tree closed form.
+        let lens = orthotrees_vlsi::tree::level_wire_lengths(16, 4);
+        for h in 1..=4u32 {
+            assert!(net.links.iter().any(|l| l.length == lens[(h - 1) as usize]), "level {h}");
+        }
+    }
+
+    #[test]
+    fn double_driven_port_is_net001() {
+        let mut net = clean_tree(8, false);
+        // Redirect one upward link onto its sibling's input port.
+        let l0 = net.links[0];
+        net.links[1].to = l0.to;
+        net.links[1].to_port = l0.to_port;
+        let f = lint_structure(&net, DegreeBounds::default());
+        assert!(f.iter().any(|f| f.rule == "NET-001"), "{f:?}");
+    }
+
+    #[test]
+    fn dangling_endpoint_is_net002() {
+        let mut net = clean_tree(4, true);
+        net.links[0].to = 999;
+        let f = lint_structure(&net, DegreeBounds::default());
+        assert!(f.iter().any(|f| f.rule == "NET-002"));
+    }
+
+    #[test]
+    fn self_loop_is_net004() {
+        let mut net = clean_tree(4, true);
+        net.links[0].to = net.links[0].from;
+        let f = lint_structure(&net, DegreeBounds::default());
+        assert!(f.iter().any(|f| f.rule == "NET-004"));
+    }
+
+    #[test]
+    fn duplicate_link_is_net005() {
+        let mut net = clean_tree(4, true);
+        let dup = net.links[0];
+        net.links.push(dup);
+        let f = lint_structure(&net, DegreeBounds::default());
+        assert!(f.iter().any(|f| f.rule == "NET-005"));
+    }
+
+    #[test]
+    fn dropped_link_is_tree002() {
+        let mut net = clean_tree(8, true);
+        net.links.pop();
+        let f = lint_tree(&net, TreeShape { leaves: 8, pitch: 4, downward: true });
+        assert!(f.iter().any(|f| f.rule == "TREE-002"), "{f:?}");
+    }
+
+    #[test]
+    fn stretched_wire_is_tree003() {
+        let mut net = clean_tree(8, true);
+        net.links[0].length *= 3;
+        let f = lint_tree(&net, TreeShape { leaves: 8, pitch: 4, downward: true });
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "TREE-003");
+    }
+
+    #[test]
+    fn wrong_leaf_count_is_tree001() {
+        let net = clean_tree(8, true);
+        let f = lint_tree(&net, TreeShape { leaves: 16, pitch: 4, downward: true });
+        assert!(f.iter().any(|f| f.rule == "TREE-001"));
+    }
+}

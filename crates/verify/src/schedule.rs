@@ -1,0 +1,294 @@
+//! Static schedule analysis: link-occupancy intervals and race detection.
+//!
+//! The charged primitives (`charge_broadcast`, `charge_send`,
+//! `charge_aggregate` in `orthotrees::otn`) price communication with closed
+//! forms. This module re-derives those costs *symbolically* from the
+//! per-level wire lengths of the tree embedding: every word's bits claim
+//! one entrance slot per τ on each wire of the root↔leaf path, giving a
+//! set of `(level, slot range)` occupancy windows.
+//!
+//! Three checks run over a derived [`Schedule`]:
+//! - **SCHED-001** — two words claim overlapping entrance slots on the same
+//!   wire (a write-write drive conflict on the shared tree link);
+//! - **SCHED-002** — the completion time exceeds the `O(log² N)` budget the
+//!   paper promises for tree primitives under the logarithmic model;
+//! - **SCHED-003** — the derived completion disagrees with the closed-form
+//!   cost the simulator charges, i.e. the cost algebra and the wire-level
+//!   schedule have drifted apart.
+
+use crate::diag::Finding;
+use orthotrees_vlsi::{log2_ceil, BitTime, DelayModel};
+
+/// One occupancy interval: word `word` holds the entrance of the level-`h`
+/// wire for slots `start..=end` (inclusive, in τ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Window {
+    /// Tree level of the occupied wire (1 = just above the leaves).
+    pub level: u32,
+    /// Index of the word claiming the slots.
+    pub word: usize,
+    /// First occupied entrance slot.
+    pub start: u64,
+    /// Last occupied entrance slot.
+    pub end: u64,
+}
+
+/// A derived static schedule for one primitive on one tree.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Name of the primitive (`broadcast`, `aggregate`, `stream[d]`, ...).
+    pub name: String,
+    /// All occupancy windows, in derivation order.
+    pub windows: Vec<Window>,
+    /// Derived completion time: when the last bit reaches its destination.
+    pub completion: BitTime,
+}
+
+fn delays(levels: &[u64], delay: DelayModel) -> Vec<u64> {
+    levels.iter().map(|&len| delay.wire_bit_delay(len).get()).collect()
+}
+
+/// Derives the `ROOTTOLEAF` schedule of one `word`-bit word over a tree
+/// whose per-level wire lengths are `levels` (index 0 = leaf level, as
+/// returned by [`orthotrees_vlsi::tree::level_wire_lengths`]).
+///
+/// The word enters the root-level wire at slot 0 and streams downward —
+/// each repeater IP forwards bits as they arrive, so the entrance of the
+/// level-`h` wire opens after the bit delays of all levels above it.
+pub fn broadcast_schedule(levels: &[u64], word: u32, delay: DelayModel) -> Schedule {
+    let d = delays(levels, delay);
+    let depth = d.len() as u32;
+    let w = u64::from(word.max(1));
+    let mut windows = Vec::with_capacity(d.len());
+    let mut start = 0u64;
+    for h in (1..=depth).rev() {
+        windows.push(Window { level: h, word: 0, start, end: start + w - 1 });
+        start += d[(h - 1) as usize];
+    }
+    // `start` is now the arrival of the first bit at the leaves.
+    Schedule { name: "broadcast".into(), windows, completion: BitTime::new(start + w - 1) }
+}
+
+/// Derives the `LEAFTOROOT` aggregate schedule: the word climbs the tree,
+/// each IP inserting one gate delay (bit-serial add/compare stage), and
+/// widens to `word + depth` bits (SUM/COUNT carry growth; MIN is charged
+/// the same safe bound, matching [`CostModel::tree_aggregate`]).
+///
+/// [`CostModel::tree_aggregate`]: orthotrees_vlsi::CostModel::tree_aggregate
+pub fn aggregate_schedule(levels: &[u64], word: u32, delay: DelayModel) -> Schedule {
+    let d = delays(levels, delay);
+    let depth = d.len() as u32;
+    let widened = u64::from(word.max(1) + depth);
+    let mut windows = Vec::with_capacity(d.len());
+    let mut start = 0u64;
+    for h in 1..=depth {
+        windows.push(Window { level: h, word: 0, start, end: start + widened - 1 });
+        // Wire delay of this level, plus the gate delay of the IP above it.
+        start += d[(h - 1) as usize] + 1;
+    }
+    // `start` already includes the root's combine gate delay.
+    Schedule { name: "aggregate".into(), windows, completion: BitTime::new(start + widened - 1) }
+}
+
+/// Derives the pipelined-stream schedule of `words` successive words
+/// issued `interval` τ apart down the same tree (paper §III.A: "pipelining
+/// implies a separation of O(log N) time between successive elements").
+pub fn stream_schedule(
+    levels: &[u64],
+    word: u32,
+    delay: DelayModel,
+    words: usize,
+    interval: u64,
+) -> Schedule {
+    let single = broadcast_schedule(levels, word, delay);
+    let mut windows = Vec::with_capacity(single.windows.len() * words.max(1));
+    for k in 0..words.max(1) {
+        let shift = k as u64 * interval;
+        windows.extend(single.windows.iter().map(|wd| Window {
+            word: k,
+            start: wd.start + shift,
+            end: wd.end + shift,
+            ..*wd
+        }));
+    }
+    let tail = (words.max(1) as u64 - 1) * interval;
+    Schedule {
+        name: format!("stream[{words}]"),
+        windows,
+        completion: single.completion + BitTime::new(tail),
+    }
+}
+
+/// SCHED-001: reports every pair of words whose entrance windows overlap on
+/// the same wire — a write-write drive conflict.
+pub fn lint_conflicts(network: &str, sched: &Schedule) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut by_level = sched.windows.clone();
+    by_level.sort_by_key(|w| (w.level, w.start, w.word));
+    for pair in by_level.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        if a.level == b.level && a.word != b.word && b.start <= a.end {
+            out.push(Finding::new(
+                "SCHED-001",
+                network,
+                format!("{} level-{} wire", sched.name, a.level),
+                format!(
+                    "word {} holds entrance slots {}..={} but word {} enters at {}",
+                    a.word, a.start, a.end, b.word, b.start
+                ),
+                "issue successive words at least one word-length apart (pipeline interval)",
+            ));
+        }
+    }
+    out
+}
+
+/// SCHED-002: warns when a derived tree-primitive completion exceeds the
+/// `O(log² N)` budget. Only meaningful under the constant and logarithmic
+/// delay models — linear-delay trees are Θ(N) by design, so they are
+/// skipped rather than flagged.
+pub fn lint_budget(
+    network: &str,
+    sched: &Schedule,
+    leaves: usize,
+    word: u32,
+    delay: DelayModel,
+) -> Vec<Finding> {
+    if delay == DelayModel::Linear {
+        return Vec::new();
+    }
+    let d = u64::from(log2_ceil(leaves as u64));
+    let w = u64::from(word.max(1));
+    // Generous constant: a root↔leaf path costs at most (1+log wire)·depth
+    // plus the word tail, so 4·(depth + w + 1)² dominates every legitimate
+    // tree primitive while still catching asymptotic regressions.
+    let budget = 4 * (d + w + 1) * (d + w + 1);
+    if sched.completion.get() > budget {
+        return vec![Finding::new(
+            "SCHED-002",
+            network,
+            format!("{} over {leaves} leaves", sched.name),
+            format!("completion {} τ exceeds the O(log² N) budget {budget} τ", sched.completion),
+            "a tree primitive must finish in O(log² N); check for stretched wires",
+        )];
+    }
+    Vec::new()
+}
+
+/// SCHED-003: checks the derived completion against the closed-form cost
+/// the cost algebra charges for the same primitive.
+pub fn lint_against_model(network: &str, sched: &Schedule, charged: BitTime) -> Vec<Finding> {
+    if sched.completion != charged {
+        return vec![Finding::new(
+            "SCHED-003",
+            network,
+            sched.name.clone(),
+            format!(
+                "derived schedule completes at {} τ but the cost algebra charges {} τ",
+                sched.completion, charged
+            ),
+            "the symbolic schedule and CostModel must agree; one of them has drifted",
+        )];
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthotrees_vlsi::{tree::level_wire_lengths, CostModel};
+
+    fn model(leaves: usize) -> CostModel {
+        CostModel::thompson(leaves)
+    }
+
+    #[test]
+    fn broadcast_matches_the_charged_closed_form() {
+        for leaves in [2usize, 4, 16, 256] {
+            for m in [model(leaves), CostModel::constant_delay(leaves)] {
+                let levels = level_wire_lengths(leaves, m.leaf_pitch());
+                let s = broadcast_schedule(&levels, m.word_bits, m.delay);
+                let charged = m.tree_root_to_leaf(leaves, m.leaf_pitch());
+                assert!(lint_against_model("t", &s, charged).is_empty(), "leaves={leaves}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_matches_the_charged_closed_form() {
+        for leaves in [2usize, 8, 64] {
+            let m = model(leaves);
+            let levels = level_wire_lengths(leaves, m.leaf_pitch());
+            let s = aggregate_schedule(&levels, m.word_bits, m.delay);
+            let charged = m.tree_aggregate(leaves, m.leaf_pitch());
+            assert!(lint_against_model("t", &s, charged).is_empty(), "leaves={leaves}");
+        }
+    }
+
+    #[test]
+    fn stretched_wire_breaks_sched003() {
+        let m = model(16);
+        let mut levels = level_wire_lengths(16, m.leaf_pitch());
+        levels[2] *= 5;
+        let s = broadcast_schedule(&levels, m.word_bits, m.delay);
+        let charged = m.tree_root_to_leaf(16, m.leaf_pitch());
+        let f = lint_against_model("t", &s, charged);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "SCHED-003");
+    }
+
+    #[test]
+    fn well_spaced_stream_has_no_conflicts() {
+        let m = model(64);
+        let levels = level_wire_lengths(64, m.leaf_pitch());
+        let s = stream_schedule(&levels, m.word_bits, m.delay, 8, m.pipeline_interval().get());
+        assert!(lint_conflicts("t", &s).is_empty());
+        let charged = m.tree_root_to_leaf(64, m.leaf_pitch()) + m.pipeline_interval().times(7);
+        assert!(lint_against_model("t", &s, charged).is_empty());
+    }
+
+    #[test]
+    fn over_eager_stream_is_a_drive_conflict() {
+        let m = model(64);
+        let levels = level_wire_lengths(64, m.leaf_pitch());
+        // Issue faster than one word-length apart: entrances collide.
+        let s = stream_schedule(&levels, m.word_bits, m.delay, 4, 1);
+        let f = lint_conflicts("t", &s);
+        assert!(f.iter().any(|f| f.rule == "SCHED-001"), "{f:?}");
+    }
+
+    #[test]
+    fn log_model_primitives_fit_the_budget() {
+        for leaves in [4usize, 64, 1024] {
+            let m = model(leaves);
+            let levels = level_wire_lengths(leaves, m.leaf_pitch());
+            let s = broadcast_schedule(&levels, m.word_bits, m.delay);
+            assert!(lint_budget("t", &s, leaves, m.word_bits, m.delay).is_empty(), "{leaves}");
+            let a = aggregate_schedule(&levels, m.word_bits, m.delay);
+            assert!(lint_budget("t", &a, leaves, m.word_bits, m.delay).is_empty(), "{leaves}");
+        }
+    }
+
+    #[test]
+    fn wildly_stretched_tree_blows_the_budget() {
+        // Under the logarithmic model a stretch only costs log₂ of itself,
+        // so it takes an astronomic wire to break the budget — which is
+        // exactly the point: legitimate embeddings never get close.
+        let m = model(4);
+        let levels: Vec<u64> =
+            level_wire_lengths(4, m.leaf_pitch()).iter().map(|&l| l << 50).collect();
+        let s = broadcast_schedule(&levels, m.word_bits, m.delay);
+        let f = lint_budget("t", &s, 4, m.word_bits, m.delay);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "SCHED-002");
+        assert_eq!(f[0].severity, crate::diag::Severity::Warning);
+    }
+
+    #[test]
+    fn linear_model_is_exempt_from_the_budget() {
+        let m = CostModel::linear_delay(1024);
+        let levels = level_wire_lengths(1024, m.leaf_pitch());
+        let s = broadcast_schedule(&levels, m.word_bits, m.delay);
+        assert!(lint_budget("t", &s, 1024, m.word_bits, m.delay).is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Word-level network and layout lints: OTN/OTC conventions and area
+//! cross-checks.
+//!
+//! The word-level builders ([`Otn`], [`Otc`]) and the geometric layouts
+//! (`orthotrees-layout`) encode the same conventions independently — the
+//! leaf pitch, the Θ(log N) cycle decomposition, the closed-form areas.
+//! These lints re-derive each convention from first principles and flag any
+//! component that has drifted: OTN-001/002 for the mesh-of-trees, OTC-001/
+//! 002 for the cycle decomposition, AREA-001 for constructed-vs-predicted
+//! area, GEO-001 for physical component overlap on the chip.
+
+use crate::diag::Finding;
+use orthotrees::otc::Otc;
+use orthotrees::otn::Otn;
+use orthotrees_layout::otc::{otc_dims, OtcLayout};
+use orthotrees_layout::otn::OtnLayout;
+use orthotrees_vlsi::log2_ceil;
+
+/// Lints a word-level OTN against the paper's conventions: power-of-two
+/// dimensions (OTN-001) and the layout leaf pitch `w + depth + 1` (OTN-002).
+pub fn lint_otn(net: &Otn) -> Vec<Finding> {
+    let name = format!("({}x{})-OTN", net.rows(), net.cols());
+    let mut out = Vec::new();
+    for (axis, dim) in [("rows", net.rows()), ("cols", net.cols())] {
+        if !dim.is_power_of_two() {
+            out.push(Finding::new(
+                "OTN-001",
+                &name,
+                format!("{axis} = {dim}"),
+                "mesh-of-trees dimensions must be powers of two".to_string(),
+                "round the problem size up to the next power of two",
+            ));
+        }
+    }
+    let depth = log2_ceil(net.rows().max(net.cols()) as u64);
+    let expected = u64::from(net.model().word_bits) + u64::from(depth) + 1;
+    if net.pitch() != expected {
+        out.push(Finding::new(
+            "OTN-002",
+            &name,
+            format!("pitch {}", net.pitch()),
+            format!("layout convention requires w + depth + 1 = {expected} λ"),
+            "the BP pitch must leave room for the register and one tree track per level",
+        ));
+    }
+    out
+}
+
+/// Lints a word-level OTC: the cycle length must be the Θ(log N)
+/// decomposition [`Otc::dims_for`] prescribes (OTC-001) and the pitch must
+/// follow the cycle-block convention (OTC-002).
+pub fn lint_otc(net: &Otc) -> Vec<Finding> {
+    let name = format!("({m}x{m})-OTC (L={l})", m = net.side(), l = net.cycle_len());
+    let mut out = Vec::new();
+    // The canonical decomposition is over the *problem size* n = m · L
+    // (the sorting OTC for n keys has m cycles per tree of L BPs each).
+    let n = net.side() * net.cycle_len();
+    match Otc::dims_for(n) {
+        Ok((m, cycle)) if (m, cycle) == (net.side(), net.cycle_len()) => {}
+        Ok((m, cycle)) => out.push(Finding::new(
+            "OTC-001",
+            &name,
+            format!("decomposition ({} , {})", net.side(), net.cycle_len()),
+            format!("problem size {n} decomposes as ({m}, {cycle}) cycles of Θ(log N) BPs"),
+            "use Otc::dims_for to split N into m·cycle with cycle = Θ(log N)",
+        )),
+        Err(e) => out.push(Finding::new(
+            "OTC-001",
+            &name,
+            format!("problem size {n}"),
+            format!("no valid OTC decomposition: {e}"),
+            "OTC problem sizes must be powers of two, at least 4",
+        )),
+    }
+    let depth = log2_ceil(net.side() as u64);
+    let block = (2 * net.cycle_len() as u64 - 1).max(u64::from(net.model().word_bits) + 1);
+    let expected = block + u64::from(depth) + 1;
+    if net.pitch() != expected {
+        out.push(Finding::new(
+            "OTC-002",
+            &name,
+            format!("pitch {}", net.pitch()),
+            format!("cycle-block convention requires {expected} λ"),
+            "the cycle pitch is the block side (2L−1 or w+1) plus one track per level",
+        ));
+    }
+    out
+}
+
+/// Cross-checks the constructed layouts for problem size `n` against their
+/// closed-form predictions (AREA-001) and scans the chips for physically
+/// overlapping components (GEO-001).
+///
+/// `word_bits` is the register width the OTN layout is built with; the OTC
+/// uses the paper's default `⌈log₂ n⌉`.
+pub fn lint_layout(n: usize, word_bits: u32) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    match OtnLayout::build(n, word_bits) {
+        Ok(layout) => {
+            let name = format!("({n}x{n})-OTN layout");
+            let predicted = OtnLayout::predicted_area(n, word_bits);
+            if layout.area() != predicted {
+                out.push(Finding::new(
+                    "AREA-001",
+                    &name,
+                    format!("area {}", layout.area()),
+                    format!("closed form predicts {predicted}"),
+                    "predicted_area and build must stay in lockstep",
+                ));
+            }
+            if let Some((a, b)) = layout.chip().find_component_overlap() {
+                out.push(Finding::new(
+                    "GEO-001",
+                    &name,
+                    format!("components {a} and {b}"),
+                    "placed components overlap on the chip".to_string(),
+                    "every BP/IP occupies exclusive area in the strip embedding",
+                ));
+            }
+        }
+        Err(e) => out.push(Finding::new(
+            "AREA-001",
+            format!("({n}x{n})-OTN layout"),
+            "build".to_string(),
+            format!("layout construction failed: {e}"),
+            "lint_layout expects a power-of-two n and nonzero word width",
+        )),
+    }
+
+    match OtcLayout::for_problem_size(n * n) {
+        Ok(layout) => {
+            let name = format!("OTC layout for N={}", n * n);
+            let predicted = OtcLayout::predicted_area(
+                layout.side(),
+                layout.cycle_len(),
+                layout.word_bits() as u32,
+            );
+            if layout.area() != predicted {
+                out.push(Finding::new(
+                    "AREA-001",
+                    &name,
+                    format!("area {}", layout.area()),
+                    format!("closed form predicts {predicted}"),
+                    "predicted_area and build must stay in lockstep",
+                ));
+            }
+            if let Some((a, b)) = layout.chip().find_component_overlap() {
+                out.push(Finding::new(
+                    "GEO-001",
+                    &name,
+                    format!("components {a} and {b}"),
+                    "placed components overlap on the chip".to_string(),
+                    "cycle blocks and tree IPs occupy exclusive area",
+                ));
+            }
+            // The two crates' decompositions must agree.
+            let word_dims = Otc::dims_for(n * n);
+            let layout_dims = otc_dims(n * n);
+            if word_dims.as_ref().ok() != layout_dims.as_ref().ok() {
+                out.push(Finding::new(
+                    "OTC-001",
+                    &name,
+                    "dims_for vs otc_dims".to_string(),
+                    format!("word level says {word_dims:?}, layout says {layout_dims:?}"),
+                    "the decomposition convention is shared; keep both crates in sync",
+                ));
+            }
+        }
+        Err(e) => out.push(Finding::new(
+            "AREA-001",
+            format!("OTC layout for N={}", n * n),
+            "build".to_string(),
+            format!("layout construction failed: {e}"),
+            "lint_layout expects a power-of-two n ≥ 2",
+        )),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orthotrees_vlsi::CostModel;
+
+    #[test]
+    fn stock_otn_configs_lint_clean() {
+        for n in [2usize, 16, 64, 256] {
+            assert!(lint_otn(&Otn::for_sorting(n).unwrap()).is_empty(), "sorting n={n}");
+        }
+        for n in [8usize, 64] {
+            assert!(lint_otn(&Otn::for_graphs(n).unwrap()).is_empty(), "graphs n={n}");
+        }
+        assert!(lint_otn(&Otn::wide(4, 64).unwrap()).is_empty(), "wide 4x64");
+    }
+
+    #[test]
+    fn stock_otc_configs_lint_clean() {
+        for n in [16usize, 64, 256, 1024] {
+            assert!(lint_otc(&Otc::for_sorting(n).unwrap()).is_empty(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn non_canonical_otc_decomposition_is_otc001() {
+        // 64 = 8·8 is a legal Otc but not dims_for(64) = (16, 4).
+        let net = Otc::new(8, 8, CostModel::thompson(64)).unwrap();
+        let f = lint_otc(&net);
+        assert!(f.iter().any(|f| f.rule == "OTC-001"), "{f:?}");
+    }
+
+    #[test]
+    fn doctored_pitch_is_otn002() {
+        // A model with a different word width shifts the expected pitch; an
+        // Otn built normally always matches, so fake the drift by linting a
+        // network whose model was widened after construction is impossible —
+        // instead check the formula is actually exercised.
+        let net = Otn::for_sorting(16).unwrap();
+        let depth = log2_ceil(16u64);
+        assert_eq!(net.pitch(), u64::from(net.model().word_bits) + u64::from(depth) + 1);
+        assert!(lint_otn(&net).is_empty());
+    }
+
+    #[test]
+    fn stock_layouts_lint_clean() {
+        for n in [2usize, 4, 8, 16] {
+            let f = lint_layout(n, log2_ceil((n * n) as u64).max(1));
+            assert!(f.is_empty(), "n={n}: {f:?}");
+        }
+    }
+}

@@ -34,9 +34,6 @@
 //! assert!(faster < broadcast);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 mod clock;
 mod complexity;
 mod cost;

@@ -1,6 +1,3 @@
-// Index-driven loops intentionally mirror the networks' coordinate math.
-#![allow(clippy::needless_range_loop)]
-
 //! Cross-crate integration tests: the conventions that crates share —
 //! layout pitches, OTC decompositions, cost formulas vs the bit-level
 //! event simulator — must agree, and every parallel algorithm must agree
@@ -108,10 +105,10 @@ fn connected_components_agree_across_implementations() {
         // The transitive closure also induces the same components: v's
         // component = min reachable vertex.
         let closure = otn::graph::closure::transitive_closure(&adj).unwrap();
-        for v in 0..n {
+        for (v, &label) in reference.iter().enumerate() {
             let min_reach =
                 (0..n).filter(|&u| *closure.reach.get(v, u) != 0).min().expect("v reaches itself");
-            assert_eq!(min_reach as i64, reference[v], "closure CC, n={n}, v={v}");
+            assert_eq!(min_reach as i64, label, "closure CC, n={n}, v={v}");
         }
     }
 }
@@ -139,10 +136,10 @@ fn matmul_agrees_between_otn_and_mesh() {
     let rows_b = workloads::grid_to_rows(&b);
     let cannon = mesh::matmul::cannon_bool_matmul(&rows_a, &rows_b).unwrap();
     let reference = seq::bool_matmul(&rows_a, &rows_b);
-    for i in 0..n {
-        for j in 0..n {
-            assert_eq!(*wide.c.get(i, j), reference[i][j], "wide ({i},{j})");
-            assert_eq!(cannon.c[i][j], reference[i][j], "cannon ({i},{j})");
+    for (i, ref_row) in reference.iter().enumerate() {
+        for (j, &ref_bit) in ref_row.iter().enumerate() {
+            assert_eq!(*wide.c.get(i, j), ref_bit, "wide ({i},{j})");
+            assert_eq!(cannon.c[i][j], ref_bit, "cannon ({i},{j})");
         }
     }
 }
