@@ -7,3 +7,5 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo run --release -p orthotrees-verify --bin netlint -- --all
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+cargo run --release -p orthotrees-bench --bin benchdiff -- --baseline BENCH_2.json

@@ -16,10 +16,14 @@
 //! * [`report`] — the experiment battery behind EXPERIMENTS.md;
 //! * [`obsreport`] — phase time-attribution and link-utilization tables
 //!   rendered from instrumented runs (see `orthotrees-obs`);
+//! * [`critpath`] — causal attribution and critical-path breakdowns:
+//!   where every bit-time of a run's completion went, cross-checked
+//!   against the `CostModel` closed forms;
 //! * [`csv`] — machine-readable export of every sweep and table.
 //!
 //! [`Complexity`]: orthotrees_vlsi::Complexity
 
+pub mod critpath;
 pub mod csv;
 pub mod faults;
 pub mod fit;

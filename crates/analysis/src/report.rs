@@ -210,6 +210,8 @@ pub fn full_report(cfg: &ReportConfig) -> String {
     // shape is size-independent; 128 keeps the report fast).
     let obs_n = cfg.sort_ns.iter().copied().filter(|&n| n <= 128).max().unwrap_or(16);
     out.push_str(&crate::obsreport::observability_report(obs_n, cfg.seed));
+    out.push('\n');
+    out.push_str(&crate::critpath::critpath_report(obs_n, cfg.seed));
     out
 }
 

@@ -1,0 +1,105 @@
+//! `benchdiff` — diff two `orthotrees-bench/v1` benchmark summaries.
+//!
+//! ```text
+//! benchdiff --baseline BENCH_2.json [--current <file>] [--json <out>]
+//!           [--time-threshold 0.05] [--at2-threshold 0.10]
+//! ```
+//!
+//! - `--baseline <file>` (required): the committed reference summary;
+//! - `--current <file>`: the summary to compare. Omitted, `benchdiff`
+//!   regenerates one in-process with the baseline's preset — the honest
+//!   reproduction CI runs (the simulators are deterministic, so a clean
+//!   tree diffs with zero relative change everywhere);
+//! - `--json <out>`: also write the `orthotrees-benchdiff/v1` document;
+//! - `--time-threshold` / `--at2-threshold`: override the relative
+//!   regression thresholds (defaults 5% and 10%).
+//!
+//! Exits 0 when clean (no regression, nothing missing), 1 on a
+//! regression or a vanished sample, 2 on bad arguments or unreadable
+//! input.
+
+use orthotrees::obs::json::Json;
+use orthotrees_bench::compare::{diff, Thresholds};
+use orthotrees_bench::{summary, Preset};
+use std::fs;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("benchdiff: {msg}");
+    eprintln!(
+        "usage: benchdiff --baseline <file> [--current <file>] [--json <out>] \
+         [--time-threshold X] [--at2-threshold X]"
+    );
+    exit(2);
+}
+
+fn read_doc(path: &str) -> Json {
+    let text =
+        fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e:?}")));
+    if doc.get("schema").and_then(Json::as_str) != Some(summary::SCHEMA) {
+        fail(&format!("{path} is not an {} document", summary::SCHEMA));
+    }
+    doc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut json_out = None;
+    let mut thresholds = Thresholds::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{name} needs a value")))
+        };
+        match a.as_str() {
+            "--baseline" => baseline_path = Some(value("--baseline")),
+            "--current" => current_path = Some(value("--current")),
+            "--json" => json_out = Some(value("--json")),
+            "--time-threshold" => {
+                thresholds.time_rel = value("--time-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--time-threshold must be a number"));
+            }
+            "--at2-threshold" => {
+                thresholds.at2_rel = value("--at2-threshold")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--at2-threshold must be a number"));
+            }
+            other => fail(&format!("unknown argument {other}")),
+        }
+    }
+    let Some(baseline_path) = baseline_path else { fail("--baseline is required") };
+    let baseline = read_doc(&baseline_path);
+
+    let current = match &current_path {
+        Some(p) => read_doc(p),
+        None => {
+            // Regenerate with the baseline's preset so the grids match.
+            let preset = match baseline.get("preset").and_then(Json::as_str) {
+                Some("full") => Preset::Full,
+                _ => Preset::Quick,
+            };
+            eprintln!(
+                "benchdiff: no --current given; regenerating a {} run in-process …",
+                preset.name()
+            );
+            summary::bench_summary(preset.name(), &preset.config())
+        }
+    };
+
+    let report = diff(&baseline, &current, &thresholds);
+    print!("{}", report.render_text());
+    if let Some(out) = json_out {
+        if let Err(e) = fs::write(&out, report.to_json().render() + "\n") {
+            fail(&format!("cannot write {out}: {e}"));
+        }
+        println!("diff document written to {out}");
+    }
+    if !report.is_clean() {
+        exit(1);
+    }
+}

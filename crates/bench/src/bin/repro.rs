@@ -5,7 +5,7 @@
 //! `BENCH_2.json`, and a Chrome-trace of the instrumented `SORT-OTN` run
 //! as `target/report/sort_otn.trace.json` (open in Perfetto).
 
-use orthotrees::obs::chrome::chrome_trace;
+use orthotrees::obs::chrome::chrome_trace_with_flows;
 use orthotrees_analysis::{csv, obsreport, report};
 use orthotrees_bench::{preset_from_env, summary};
 use std::fs;
@@ -36,7 +36,7 @@ fn main() {
         let obs_n = cfg.sort_ns.iter().copied().filter(|&n| n <= 128).max().unwrap_or(16);
         let (_, rec) = obsreport::otn_sort_observed(obs_n, cfg.seed);
         let trace = dir.join("sort_otn.trace.json");
-        if let Err(e) = fs::write(&trace, chrome_trace(&rec).render()) {
+        if let Err(e) = fs::write(&trace, chrome_trace_with_flows(&rec).render()) {
             eprintln!("warning: could not write {}: {e}", trace.display());
         }
         println!("\nCSV series and Perfetto trace written to {}", dir.display());

@@ -1,0 +1,373 @@
+//! Benchmark regression diffing — the `benchdiff` binary's engine.
+//!
+//! Compares two `orthotrees-bench/v1` summary documents (a committed
+//! baseline such as `BENCH_2.json` and a freshly regenerated run) sample
+//! by sample: tables are matched by id, rows by `(network, problem)`,
+//! samples by `n`, and the phase sections by workload. Each matched
+//! metric is classified against a *relative* threshold —
+//! [`Thresholds::time_rel`] for `time_bits`/`completion_bits`,
+//! [`Thresholds::at2_rel`] for the noisier `at2` — and the verdicts are
+//! rendered as text or as an `orthotrees-benchdiff/v1` JSON document.
+//!
+//! The simulators are deterministic, so on an honest reproduction every
+//! entry is [`Status::Ok`] with a relative change of exactly zero; the
+//! thresholds exist to absorb *intentional* cost-model retunes (within
+//! bounds) while still failing CI on anything larger — see `ci.sh`.
+
+use orthotrees::obs::json::Json;
+use std::fmt::Write as _;
+
+/// The diff document's schema identifier.
+pub const SCHEMA: &str = "orthotrees-benchdiff/v1";
+
+/// Relative regression thresholds, per metric family.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// Allowed relative change in `time_bits` / `completion_bits`
+    /// before a sample counts as regressed (default 5%).
+    pub time_rel: f64,
+    /// Allowed relative change in `at2` (default 10% — area enters
+    /// squared, so layout retunes move it more).
+    pub at2_rel: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds { time_rel: 0.05, at2_rel: 0.10 }
+    }
+}
+
+/// Verdict for one compared metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Within threshold of the baseline.
+    Ok,
+    /// Better than the baseline by more than the threshold.
+    Improved,
+    /// Worse than the baseline by more than the threshold.
+    Regressed,
+    /// Present in the baseline but absent from the current run (a
+    /// vanished table, row or sample — always a failure).
+    Missing,
+}
+
+impl Status {
+    /// Lower-case name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Regressed => "regressed",
+            Status::Missing => "missing",
+        }
+    }
+}
+
+/// One compared metric: where it lives, both values, the verdict.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffEntry {
+    /// Table id (or `"phases"` for the phase section).
+    pub table: String,
+    /// Network (or workload) name.
+    pub network: String,
+    /// Problem name (empty for phase entries).
+    pub problem: String,
+    /// Problem size.
+    pub n: u64,
+    /// Metric name (`time_bits`, `at2`, `completion_bits`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (0 when [`Status::Missing`]).
+    pub current: f64,
+    /// Relative change `(current − baseline) / baseline`.
+    pub rel: f64,
+    /// The verdict.
+    pub status: Status,
+}
+
+impl DiffEntry {
+    fn classify(&mut self, threshold: f64) {
+        if self.status == Status::Missing {
+            return;
+        }
+        self.rel = if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.current - self.baseline) / self.baseline
+        };
+        self.status = if self.rel > threshold {
+            Status::Regressed
+        } else if self.rel < -threshold {
+            Status::Improved
+        } else {
+            Status::Ok
+        };
+    }
+}
+
+/// The full diff of two summary documents.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Every compared metric, in document order.
+    pub entries: Vec<DiffEntry>,
+}
+
+impl DiffReport {
+    /// True when nothing regressed or went missing (improvements are
+    /// clean — they are reported, not failed).
+    pub fn is_clean(&self) -> bool {
+        !self.entries.iter().any(|e| matches!(e.status, Status::Regressed | Status::Missing))
+    }
+
+    /// Entries with a given status.
+    pub fn with_status(&self, status: Status) -> impl Iterator<Item = &DiffEntry> {
+        self.entries.iter().filter(move |e| e.status == status)
+    }
+
+    /// Renders the report as text: one line per non-`ok` entry plus a
+    /// summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for e in self.entries.iter().filter(|e| e.status != Status::Ok) {
+            let _ = writeln!(
+                out,
+                "{:<9} {} · {} {} n={} {}: {} → {} ({:+.1}%)",
+                e.status.name(),
+                e.table,
+                e.network,
+                e.problem,
+                e.n,
+                e.metric,
+                e.baseline,
+                e.current,
+                100.0 * e.rel
+            );
+        }
+        let count = |s| self.entries.iter().filter(|e| e.status == s).count();
+        let _ = writeln!(
+            out,
+            "{} compared: {} ok, {} improved, {} regressed, {} missing",
+            self.entries.len(),
+            count(Status::Ok),
+            count(Status::Improved),
+            count(Status::Regressed),
+            count(Status::Missing)
+        );
+        out
+    }
+
+    /// The report as an `orthotrees-benchdiff/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "entries",
+                Json::arr(self.entries.iter().map(|e| {
+                    Json::obj([
+                        ("table", Json::str(e.table.clone())),
+                        ("network", Json::str(e.network.clone())),
+                        ("problem", Json::str(e.problem.clone())),
+                        ("n", Json::u64(e.n)),
+                        ("metric", Json::str(e.metric)),
+                        ("baseline", Json::f64(e.baseline)),
+                        ("current", Json::f64(e.current)),
+                        ("rel", Json::f64(e.rel)),
+                        ("status", Json::str(e.status.name())),
+                    ])
+                })),
+            ),
+            ("regressed", Json::u64(self.with_status(Status::Regressed).count() as u64)),
+            ("missing", Json::u64(self.with_status(Status::Missing).count() as u64)),
+            ("clean", Json::bool(self.is_clean())),
+        ])
+    }
+}
+
+fn sample_value(s: &Json, metric: &str) -> Option<f64> {
+    s.get(metric)
+        .and_then(Json::as_u64)
+        .map(|v| v as f64)
+        .or_else(|| s.get(metric).and_then(Json::as_f64))
+}
+
+fn find_row<'a>(table: &'a Json, network: &str, problem: &str) -> Option<&'a Json> {
+    table.get("rows").and_then(Json::as_arr)?.iter().find(|r| {
+        r.get("network").and_then(Json::as_str) == Some(network)
+            && r.get("problem").and_then(Json::as_str).unwrap_or("") == problem
+    })
+}
+
+fn find_sample(row: &Json, n: u64) -> Option<&Json> {
+    row.get("samples")
+        .and_then(Json::as_arr)?
+        .iter()
+        .find(|s| s.get("n").and_then(Json::as_u64) == Some(n))
+}
+
+/// Diffs `current` against `baseline` (both parsed `orthotrees-bench/v1`
+/// documents) under `thresholds`. Everything present in the baseline is
+/// looked up in the current run; baseline-missing entries that only the
+/// current run has are *not* failures (new tables are growth).
+pub fn diff(baseline: &Json, current: &Json, thresholds: &Thresholds) -> DiffReport {
+    let mut report = DiffReport::default();
+    let empty = Vec::new();
+    let tables = baseline.get("tables").and_then(Json::as_arr).unwrap_or(&empty);
+    for table in tables {
+        let id = table.get("id").and_then(Json::as_str).unwrap_or("?");
+        let cur_table = current
+            .get("tables")
+            .and_then(Json::as_arr)
+            .and_then(|ts| ts.iter().find(|t| t.get("id").and_then(Json::as_str) == Some(id)));
+        for row in table.get("rows").and_then(Json::as_arr).unwrap_or(&empty) {
+            let network = row.get("network").and_then(Json::as_str).unwrap_or("?");
+            let problem = row.get("problem").and_then(Json::as_str).unwrap_or("");
+            let cur_row = cur_table.and_then(|t| find_row(t, network, problem));
+            for s in row.get("samples").and_then(Json::as_arr).unwrap_or(&empty) {
+                let n = s.get("n").and_then(Json::as_u64).unwrap_or(0);
+                let cur_s = cur_row.and_then(|r| find_sample(r, n));
+                for (metric, thr) in
+                    [("time_bits", thresholds.time_rel), ("at2", thresholds.at2_rel)]
+                {
+                    let Some(base_v) = sample_value(s, metric) else { continue };
+                    let mut e = DiffEntry {
+                        table: id.to_string(),
+                        network: network.to_string(),
+                        problem: problem.to_string(),
+                        n,
+                        metric: if metric == "time_bits" { "time_bits" } else { "at2" },
+                        baseline: base_v,
+                        current: 0.0,
+                        rel: 0.0,
+                        status: Status::Missing,
+                    };
+                    if let Some(cur_v) = cur_s.and_then(|c| sample_value(c, metric)) {
+                        e.current = cur_v;
+                        e.status = Status::Ok;
+                        e.classify(thr);
+                    }
+                    report.entries.push(e);
+                }
+            }
+        }
+    }
+
+    // Phase sections: completion time per instrumented workload.
+    let phases = baseline.get("phases").and_then(Json::as_arr).unwrap_or(&empty);
+    for p in phases {
+        let workload = p.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let n = p.get("n").and_then(Json::as_u64).unwrap_or(0);
+        let Some(base_v) = sample_value(p, "completion_bits") else { continue };
+        let cur_v = current.get("phases").and_then(Json::as_arr).and_then(|ps| {
+            ps.iter()
+                .find(|c| {
+                    c.get("workload").and_then(Json::as_str) == Some(workload)
+                        && c.get("n").and_then(Json::as_u64) == Some(n)
+                })
+                .and_then(|c| sample_value(c, "completion_bits"))
+        });
+        let mut e = DiffEntry {
+            table: "phases".to_string(),
+            network: workload.to_string(),
+            problem: String::new(),
+            n,
+            metric: "completion_bits",
+            baseline: base_v,
+            current: 0.0,
+            rel: 0.0,
+            status: Status::Missing,
+        };
+        if let Some(cur_v) = cur_v {
+            e.current = cur_v;
+            e.status = Status::Ok;
+            e.classify(thresholds.time_rel);
+        }
+        report.entries.push(e);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(time: u64) -> Json {
+        let text = format!(
+            r#"{{"schema":"orthotrees-bench/v1","preset":"quick","seed":1,
+                "tables":[{{"id":"Table I","rows":[{{"network":"OTN","problem":"sorting",
+                "samples":[{{"n":16,"time_bits":{time},"area_lambda2":100,"at2":{at2}}}]}}]}}],
+                "phases":[{{"workload":"SORT-OTN","n":16,"completion_bits":{time}}}],
+                "links":{{"active_links":1}}}}"#,
+            time = time,
+            at2 = time * time * 100,
+        );
+        Json::parse(&text).unwrap()
+    }
+
+    #[test]
+    fn identical_documents_are_clean_with_zero_change() {
+        let doc = fixture(1000);
+        let report = diff(&doc, &doc, &Thresholds::default());
+        assert!(report.is_clean());
+        assert!(report.entries.iter().all(|e| e.status == Status::Ok && e.rel == 0.0));
+        // time + at2 for the one sample, plus the phase completion.
+        assert_eq!(report.entries.len(), 3);
+    }
+
+    #[test]
+    fn a_five_percent_time_regression_fails() {
+        let base = fixture(1000);
+        let cur = fixture(1051); // +5.1% > the 5% time threshold
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        let regressed: Vec<_> = report.with_status(Status::Regressed).collect();
+        assert!(regressed.iter().any(|e| e.metric == "time_bits"), "{regressed:?}");
+        assert!(report.render_text().contains("regressed"), "{}", report.render_text());
+    }
+
+    #[test]
+    fn a_large_improvement_is_clean_but_reported() {
+        let base = fixture(1000);
+        let cur = fixture(800);
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(report.is_clean(), "improvements must not fail the gate");
+        assert!(report.with_status(Status::Improved).count() > 0);
+    }
+
+    #[test]
+    fn a_vanished_sample_is_missing_and_fails() {
+        let base = fixture(1000);
+        let cur = Json::parse(
+            r#"{"schema":"orthotrees-bench/v1","preset":"quick","seed":1,
+                "tables":[],"phases":[],"links":{"active_links":1}}"#,
+        )
+        .unwrap();
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        assert_eq!(report.with_status(Status::Missing).count(), report.entries.len());
+    }
+
+    #[test]
+    fn small_drift_within_threshold_is_ok() {
+        let base = fixture(1000);
+        let cur = fixture(1040); // +4% < 5%
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(report.is_clean());
+        assert!(report.entries.iter().all(|e| e.status == Status::Ok));
+    }
+
+    #[test]
+    fn diff_json_round_trips_with_schema() {
+        let base = fixture(1000);
+        let cur = fixture(1100);
+        let report = diff(&base, &cur, &Thresholds::default());
+        let doc = Json::parse(&report.to_json().render()).unwrap();
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(SCHEMA));
+        assert_eq!(doc.get("clean").and_then(Json::as_bool), Some(false));
+        assert!(doc.get("regressed").and_then(Json::as_u64).unwrap() > 0);
+    }
+}

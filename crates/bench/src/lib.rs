@@ -16,6 +16,7 @@
 
 use orthotrees_analysis::report::ReportConfig;
 
+pub mod compare;
 pub mod summary;
 
 /// Sweep-size presets for the binaries.

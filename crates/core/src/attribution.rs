@@ -1,0 +1,149 @@
+//! Causal decomposition of the word-level clock charges.
+//!
+//! The closed-form machines ([`Otn`](crate::otn::Otn) /
+//! [`Otc`](crate::otc::Otc)) advance their clock by whole primitive costs;
+//! this module splits every such charge into the same
+//! [`SegmentKind`](orthotrees_obs::causal::SegmentKind) vocabulary the
+//! bit-level engine traces — one wire-delay slice per tree level, a
+//! queue-wait slice for the pipelined word tail, node-compute slices for
+//! the bit-serial per-level operators — and records them on the
+//! [`Recorder`] via [`seg_charge`]. Because a single word-serial clock
+//! drives everything, *every* segment is on the critical path, so the
+//! segments of a run tile its elapsed time exactly:
+//! `Recorder::segments_total() == Recorder::total_recorded()` — the
+//! invariant `analysis::critpath`, the `CRIT-*` verify rules and the
+//! causal proptest suite all build on.
+
+use orthotrees_obs::causal::SegmentKind;
+use orthotrees_obs::Recorder;
+use orthotrees_vlsi::{BitTime, Clock, CostModel};
+
+/// One slice of a charge: `(kind, tree level (1 = leaves), duration)`.
+pub(crate) type Part = (SegmentKind, Option<u32>, BitTime);
+
+/// Records `parts` as consecutive segments from the clock's current time,
+/// then advances the clock by `expected` — which the parts must sum to
+/// (checked under `debug_assertions`; every decomposition below is exact
+/// by construction against the `CostModel` closed forms).
+pub(crate) fn seg_charge(
+    clock: &mut Clock,
+    recorder: &mut Option<Recorder>,
+    expected: BitTime,
+    parts: &[Part],
+) {
+    let total: BitTime = parts.iter().map(|p| p.2).sum();
+    debug_assert_eq!(total, expected, "segment decomposition must sum to the charge: {parts:?}");
+    if let Some(rec) = recorder {
+        let mut at = clock.now();
+        for &(kind, level, dur) in parts {
+            rec.segment(kind, level, at, at + dur);
+            at += dur;
+        }
+    }
+    clock.advance(expected);
+}
+
+/// A root-to-leaf word movement (`ROOTTOLEAF` and friends): the head bit
+/// crosses each level's wire top-down, then the word tail pipelines in.
+/// Sums to [`CostModel::tree_root_to_leaf`].
+pub(crate) fn downward_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<Part> {
+    let mut parts: Vec<Part> = m
+        .level_bit_delays(leaves, pitch)
+        .into_iter()
+        .enumerate()
+        .map(|(h, d)| (SegmentKind::WireDelay, Some(h as u32 + 1), d))
+        .collect();
+    parts.reverse(); // time order: the root level's wire is crossed first
+    parts.push((SegmentKind::QueueWait, None, m.word_tail_bits()));
+    parts
+}
+
+/// A leaf-to-root word movement (`LEAFTOROOT`): same slices bottom-up.
+/// Sums to [`CostModel::tree_root_to_leaf`].
+pub(crate) fn upward_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<Part> {
+    let mut parts: Vec<Part> = m
+        .level_bit_delays(leaves, pitch)
+        .into_iter()
+        .enumerate()
+        .map(|(h, d)| (SegmentKind::WireDelay, Some(h as u32 + 1), d))
+        .collect();
+    parts.push((SegmentKind::QueueWait, None, m.word_tail_bits()));
+    parts
+}
+
+/// An aggregating ascent (`SUM`/`COUNT`/`MIN-LEAFTOROOT`): each level adds
+/// its wire plus one bit-time of the bit-serial adder/comparator, and the
+/// widened result word's tail pipelines in at the end. Sums to
+/// [`CostModel::tree_aggregate`].
+pub(crate) fn aggregate_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<Part> {
+    let mut parts = Vec::new();
+    for (h, d) in m.level_bit_delays(leaves, pitch).into_iter().enumerate() {
+        parts.push((SegmentKind::WireDelay, Some(h as u32 + 1), d));
+        parts.push((SegmentKind::NodeCompute, Some(h as u32 + 1), BitTime::new(1)));
+    }
+    parts.push((SegmentKind::QueueWait, None, m.aggregate_tail_bits(leaves)));
+    parts
+}
+
+/// A pure local compute phase of duration `t` (BP/root/cycle phases).
+pub(crate) fn compute_parts(t: BitTime) -> Vec<Part> {
+    vec![(SegmentKind::NodeCompute, None, t)]
+}
+
+/// A pure wait of duration `t` (fault-retry overhead, pipeline spacing).
+pub(crate) fn wait_parts(t: BitTime) -> Vec<Part> {
+    vec![(SegmentKind::QueueWait, None, t)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompositions_sum_to_the_closed_forms() {
+        for n in [1usize, 2, 16, 256] {
+            for m in [
+                CostModel::thompson(n.max(2)),
+                CostModel::constant_delay(n.max(2)),
+                CostModel::linear_delay(n.max(2)),
+                CostModel::unit_delay(n.max(2)),
+                CostModel::thompson(n.max(2)).with_scaling(),
+            ] {
+                let p = m.leaf_pitch();
+                let sum = |ps: Vec<Part>| ps.iter().map(|x| x.2).sum::<BitTime>();
+                assert_eq!(sum(downward_parts(&m, n, p)), m.tree_root_to_leaf(n, p));
+                assert_eq!(sum(upward_parts(&m, n, p)), m.tree_root_to_leaf(n, p));
+                assert_eq!(sum(aggregate_parts(&m, n, p)), m.tree_aggregate(n, p));
+            }
+        }
+    }
+
+    #[test]
+    fn seg_charge_records_contiguous_segments() {
+        let m = CostModel::thompson(8);
+        let mut clock = Clock::new();
+        let mut rec = Some(Recorder::new());
+        rec.as_mut().unwrap().open("ROOTTOLEAF", BitTime::ZERO);
+        let parts = downward_parts(&m, 8, m.leaf_pitch());
+        seg_charge(&mut clock, &mut rec, m.tree_root_to_leaf(8, m.leaf_pitch()), &parts);
+        let now = clock.now();
+        let rec = {
+            let mut r = rec.unwrap();
+            r.close(now);
+            r
+        };
+        assert_eq!(rec.segments_total(), now);
+        assert!(rec.segments().windows(2).all(|w| w[0].end == w[1].start), "contiguous tiling");
+        // Down a 3-level tree: levels 3, 2, 1 in that time order.
+        let levels: Vec<u32> = rec.segments().iter().filter_map(|s| s.level).collect();
+        assert_eq!(levels, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn seg_charge_without_recorder_still_advances() {
+        let mut clock = Clock::new();
+        let mut rec: Option<Recorder> = None;
+        seg_charge(&mut clock, &mut rec, BitTime::new(5), &wait_parts(BitTime::new(5)));
+        assert_eq!(clock.now(), BitTime::new(5));
+    }
+}

@@ -46,6 +46,7 @@
 //! assert!(outcome.time.get() > 0);
 //! ```
 
+mod attribution;
 pub mod complexnum;
 mod grid;
 pub mod mot3d;

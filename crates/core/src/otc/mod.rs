@@ -23,6 +23,7 @@ pub mod sort;
 
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
+use orthotrees_obs::causal::SegmentKind;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostModel, ModelError};
 
@@ -305,9 +306,28 @@ impl Otc {
         base + self.model.cycle_step() * (self.cycle as u64 - 1)
     }
 
+    /// Advances the clock by `expected` while recording its causal
+    /// decomposition `parts` (see [`crate::attribution`]).
+    fn seg_charge(&mut self, expected: BitTime, parts: &[crate::attribution::Part]) {
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, expected, parts);
+    }
+
     fn charge_stream(&mut self, aggregate: bool, send: bool) {
         let t = self.stream_cost(aggregate);
-        self.clock.advance(t);
+        // Causally: one tree traversal (up, down, or aggregating up) for
+        // the first word, then the remaining L−1 stream words pipeline in
+        // one cycle_step apart.
+        let mut parts = if aggregate {
+            crate::attribution::aggregate_parts(&self.model, self.m, self.pitch)
+        } else if send {
+            crate::attribution::upward_parts(&self.model, self.m, self.pitch)
+        } else {
+            crate::attribution::downward_parts(&self.model, self.m, self.pitch)
+        };
+        parts.extend(crate::attribution::wait_parts(
+            self.model.cycle_step() * (self.cycle as u64 - 1),
+        ));
+        self.seg_charge(t, &parts);
         let stats = self.clock.stats_mut();
         if aggregate {
             stats.aggregates += 1;
@@ -437,9 +457,11 @@ impl Otc {
         }
         if extra > BitTime::ZERO {
             // Attributed as its own (nested) phase so a faulty run's
-            // slowdown is visible in the time-attribution table.
+            // slowdown is visible in the time-attribution table; causally
+            // it is pure waiting (retransmitted streams / detour latency).
             self.begin_phase("FAULT-OVERHEAD");
-            self.clock.advance(extra);
+            let parts = crate::attribution::wait_parts(extra);
+            self.seg_charge(extra, &parts);
             self.end_phase();
         }
         if let Some(rec) = &mut self.recorder {
@@ -463,7 +485,12 @@ impl Otc {
             }
         }
         self.begin_phase("VECTORCIRCULATE");
-        self.clock.advance(self.model.cycle_step());
+        // One O(1)-long hop inside the cycle block, then the word tail.
+        let parts = [
+            (SegmentKind::WireDelay, None, self.model.delay.wire_bit_delay(1)),
+            (SegmentKind::QueueWait, None, self.model.word_tail_bits()),
+        ];
+        self.seg_charge(self.model.cycle_step(), &parts);
         self.end_phase();
         self.clock.stats_mut().circulates += 1;
     }
@@ -722,7 +749,8 @@ impl Otc {
         }
         let t = self.phase_cost(cost);
         self.begin_phase("BP-PHASE");
-        self.clock.advance(t);
+        let parts = crate::attribution::compute_parts(t);
+        self.seg_charge(t, &parts);
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
@@ -749,7 +777,8 @@ impl Otc {
         }
         let t = self.phase_cost(cost);
         self.begin_phase("CYCLE-PHASE");
-        self.clock.advance(t);
+        let parts = crate::attribution::compute_parts(t);
+        self.seg_charge(t, &parts);
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }

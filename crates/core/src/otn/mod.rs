@@ -334,6 +334,12 @@ impl Otn {
         &mut self.clock
     }
 
+    /// Advances the clock by `expected` while recording its causal
+    /// decomposition `parts` (see [`crate::attribution`]).
+    pub(crate) fn seg_charge(&mut self, expected: BitTime, parts: &[crate::attribution::Part]) {
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, expected, parts);
+    }
+
     // ------------------------------------------------------------------
     // Observability (see [`orthotrees_obs`]). Every primitive wraps its
     // clock advances in a span named after the paper's primitive, so the
@@ -454,9 +460,15 @@ impl Otn {
         }
         if extra > BitTime::ZERO {
             // Attributed as its own (nested) phase so a faulty run's
-            // slowdown is visible in the time-attribution table.
+            // slowdown is visible in the time-attribution table; causally
+            // it is pure waiting (retransmission rounds / detour latency).
             self.begin_phase("FAULT-OVERHEAD");
-            self.clock.advance(extra);
+            crate::attribution::seg_charge(
+                &mut self.clock,
+                &mut self.recorder,
+                extra,
+                &crate::attribution::wait_parts(extra),
+            );
             self.end_phase();
         }
         if let Some(rec) = &mut self.recorder {
@@ -470,20 +482,26 @@ impl Otn {
     // ------------------------------------------------------------------
 
     fn charge_broadcast(&mut self, axis: Axis) {
-        let t = self.model.tree_root_to_leaf(self.leaves(axis), self.pitch);
-        self.clock.advance(t);
+        let leaves = self.leaves(axis);
+        let t = self.model.tree_root_to_leaf(leaves, self.pitch);
+        let parts = crate::attribution::downward_parts(&self.model, leaves, self.pitch);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
         self.clock.stats_mut().broadcasts += 1;
     }
 
     fn charge_send(&mut self, axis: Axis) {
-        let t = self.model.tree_root_to_leaf(self.leaves(axis), self.pitch);
-        self.clock.advance(t);
+        let leaves = self.leaves(axis);
+        let t = self.model.tree_root_to_leaf(leaves, self.pitch);
+        let parts = crate::attribution::upward_parts(&self.model, leaves, self.pitch);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
         self.clock.stats_mut().sends += 1;
     }
 
     fn charge_aggregate(&mut self, axis: Axis) {
-        let t = self.model.tree_aggregate(self.leaves(axis), self.pitch);
-        self.clock.advance(t);
+        let leaves = self.leaves(axis);
+        let t = self.model.tree_aggregate(leaves, self.pitch);
+        let parts = crate::attribution::aggregate_parts(&self.model, leaves, self.pitch);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
         self.clock.stats_mut().aggregates += 1;
     }
 
@@ -821,7 +839,12 @@ impl Otn {
             PhaseCost::Words(k) => self.model.compare() * k,
         };
         self.begin_phase("BP-PHASE");
-        self.clock.advance(t);
+        crate::attribution::seg_charge(
+            &mut self.clock,
+            &mut self.recorder,
+            t,
+            &crate::attribution::compute_parts(t),
+        );
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
@@ -845,7 +868,12 @@ impl Otn {
             f(t_idx, root);
         }
         self.begin_phase("ROOT-PHASE");
-        self.clock.advance(t);
+        crate::attribution::seg_charge(
+            &mut self.clock,
+            &mut self.recorder,
+            t,
+            &crate::attribution::compute_parts(t),
+        );
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
@@ -907,16 +935,24 @@ impl Otn {
                 self.regs[reg.0].set(bi, bj, nb);
             }
         }
-        let cost = self.pairwise_cost(axis, dist)
-            + match extra {
-                PhaseCost::Bit => self.model.bit_op(),
-                PhaseCost::Compare => self.model.compare(),
-                PhaseCost::Add => self.model.add(),
-                PhaseCost::Multiply => self.model.multiply(),
-                PhaseCost::Words(k) => self.model.compare() * k,
-            };
+        let extra_t = match extra {
+            PhaseCost::Bit => self.model.bit_op(),
+            PhaseCost::Compare => self.model.compare(),
+            PhaseCost::Add => self.model.add(),
+            PhaseCost::Multiply => self.model.multiply(),
+            PhaseCost::Words(k) => self.model.compare() * k,
+        };
+        let cost = self.pairwise_cost(axis, dist) + extra_t;
+        // Causally: up and down the 2·dist-leaf subtree, the pipelined
+        // spacing of the dist contending words, then the local combine.
+        let mut parts = crate::attribution::upward_parts(&self.model, 2 * dist, self.pitch);
+        parts.extend(crate::attribution::downward_parts(&self.model, 2 * dist, self.pitch));
+        parts.extend(crate::attribution::wait_parts(
+            self.model.pipeline_interval() * (dist as u64 - 1),
+        ));
+        parts.extend(crate::attribution::compute_parts(extra_t));
         self.begin_phase("PAIRWISE");
-        self.clock.advance(cost);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, cost, &parts);
         self.end_phase();
         let stats = self.clock.stats_mut();
         stats.sends += 1;

@@ -27,10 +27,14 @@ impl Otn {
         // Up-sweep + down-sweep: two pipelined traversals with one
         // bit-serial adder delay per level — the same price as one
         // aggregate plus one broadcast.
-        let up = self.model().tree_aggregate(self.leaves(axis), self.pitch());
-        let down = self.model().tree_root_to_leaf(self.leaves(axis), self.pitch());
+        let leaves = self.leaves(axis);
+        let (model, pitch) = (*self.model(), self.pitch());
+        let up = model.tree_aggregate(leaves, pitch);
+        let down = model.tree_root_to_leaf(leaves, pitch);
+        let mut parts = crate::attribution::aggregate_parts(&model, leaves, pitch);
+        parts.extend(crate::attribution::downward_parts(&model, leaves, pitch));
         self.begin_phase("SCAN");
-        self.clock_mut().advance(up + down);
+        self.seg_charge(up + down, &parts);
         self.end_phase();
         let stats = self.clock_mut().stats_mut();
         stats.aggregates += 1;
@@ -153,10 +157,16 @@ impl Otn {
     /// arbitrary monotone route).
     pub(crate) fn charge_route_phase(&mut self) {
         let leaves = self.leaves(Axis::Rows);
-        let t = self.model().tree_leaf_to_leaf(leaves, self.pitch())
-            + self.model().pipeline_interval() * (leaves as u64 / 2).max(1);
+        let (model, pitch) = (*self.model(), self.pitch());
+        let spacing = model.pipeline_interval() * (leaves as u64 / 2).max(1);
+        let t = model.tree_leaf_to_leaf(leaves, pitch) + spacing;
+        // Causally: up and down the row trees plus the pipelined spacing
+        // of the words crossing the root.
+        let mut parts = crate::attribution::upward_parts(&model, leaves, pitch);
+        parts.extend(crate::attribution::downward_parts(&model, leaves, pitch));
+        parts.extend(crate::attribution::wait_parts(spacing));
         self.begin_phase("ROUTE");
-        self.clock_mut().advance(t);
+        self.seg_charge(t, &parts);
         self.end_phase();
         let stats = self.clock_mut().stats_mut();
         stats.sends += 1;

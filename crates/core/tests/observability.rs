@@ -10,7 +10,12 @@
 //!    happens inside some phase span, so per-phase self times sum exactly
 //!    to the run's completion time. The time-attribution table has no
 //!    "unaccounted" row.
+//! 3. **Complete causal decomposition** — every clock advance is further
+//!    split into wire-delay / queue-wait / node-compute segments, so
+//!    Σ segment durations equals the completion time exactly, phase by
+//!    phase (the single word-serial clock makes every segment critical).
 
+use orthotrees::obs::causal::SegmentKind;
 use orthotrees::obs::Recorder;
 use orthotrees::otc::{self, Otc};
 use orthotrees::otn::{sort, Otn};
@@ -94,6 +99,75 @@ fn otc_phase_self_times_sum_to_completion_time() {
     {
         assert!(names.iter().any(|n| n == expect), "missing phase {expect}: {names:?}");
     }
+}
+
+#[test]
+fn otn_segments_tile_the_completion_time() {
+    let xs = otn_sort_input(16);
+    let mut net = Otn::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    let out = sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    assert_eq!(rec.segments_total(), out.time, "Σ segments == completion, exactly");
+    assert!(
+        rec.segments().windows(2).all(|w| w[0].end == w[1].start),
+        "segments tile the clock with no gaps or overlaps"
+    );
+    // Every segment lands inside a named phase, and all three causal
+    // categories occur in a sort (wires, word tails, BP compute).
+    assert!(rec.segments().iter().all(|s| s.span.is_some()), "no unattributed segment");
+    let attr = rec.segment_attribution();
+    for kind in [SegmentKind::WireDelay, SegmentKind::QueueWait, SegmentKind::NodeCompute] {
+        assert!(attr.iter().any(|t| t.kind == kind && t.total.get() > 0), "missing {kind:?}");
+    }
+    let total: u64 = attr.iter().map(|t| t.total.get()).sum();
+    assert_eq!(total, out.time.get());
+    // Wire segments carry tree levels; a 16×16 OTN's trees have 4 levels.
+    let levels: std::collections::BTreeSet<u32> =
+        rec.segments().iter().filter_map(|s| s.level).collect();
+    assert_eq!(levels.into_iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+}
+
+#[test]
+fn otc_segments_tile_the_completion_time() {
+    let xs = otn_sort_input(16);
+    let mut net = Otc::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    let out = otc::sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    assert_eq!(rec.segments_total(), out.time, "Σ segments == completion, exactly");
+    assert!(rec.segments().windows(2).all(|w| w[0].end == w[1].start));
+    assert!(rec.segments().iter().all(|s| s.span.is_some()));
+    let total: u64 = rec.segment_attribution().iter().map(|t| t.total.get()).sum();
+    assert_eq!(total, out.time.get());
+}
+
+#[test]
+fn fault_overhead_appears_as_queue_wait_segments() {
+    let xs = otn_sort_input(16);
+    let plan = FaultPlan::new(42)
+        .with_word_fault_rate(0.3)
+        .with_drop_fraction(0.0)
+        .with_undetectable_fraction(0.0)
+        .with_max_retries(8);
+    let mut net = Otn::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    net.install_fault_plan(plan);
+    let out = sort::sort(&mut net, &xs).unwrap();
+    let rec = net.take_recorder().unwrap();
+
+    // Retried rounds never vanish from the causal view: they tile the
+    // clock like everything else, as queue-wait inside FAULT-OVERHEAD.
+    assert_eq!(rec.segments_total(), out.time, "faulty runs still tile exactly");
+    let overhead: Vec<_> =
+        rec.segments().iter().filter(|s| rec.segment_phase(s) == "FAULT-OVERHEAD").collect();
+    assert!(!overhead.is_empty(), "retry rounds must surface as segments");
+    assert!(overhead.iter().all(|s| s.kind == SegmentKind::QueueWait));
+    let overhead_total: u64 = overhead.iter().map(|s| s.duration().get()).sum();
+    let phase = rec.phase_totals().into_iter().find(|p| p.name == "FAULT-OVERHEAD").unwrap();
+    assert_eq!(overhead_total, phase.self_time.get(), "segments cover the whole overhead phase");
 }
 
 #[test]

@@ -1,0 +1,442 @@
+//! Causal tracing: per-hop message provenance and the critical path.
+//!
+//! The [`Recorder`](crate::Recorder) answers *how long* each phase took;
+//! this module answers *why*. Two instruments share one vocabulary of
+//! [`SegmentKind`]s (wire delay, queue wait, node compute):
+//!
+//! * **bit level** — the discrete-event engine of `orthotrees-sim`
+//!   assigns every scheduled bit a [`MsgId`] and records one [`Hop`] per
+//!   wire admission into a [`CausalTrace`]: which link, when the bit was
+//!   presented, when it entered the wire, when it arrived, and which
+//!   delivered message *triggered* the emission. A backward walk from the
+//!   completion event ([`CausalTrace::critical_path`]) then tiles the
+//!   whole completion time `[0, T]` with segments — wire delay, entrance
+//!   queueing, and node compute (emission hold) — with no gaps and no
+//!   overlaps, so Σ segments = completion exactly. Everything *not* on
+//!   the path gets per-link slack ([`CausalTrace::link_slacks`]).
+//! * **word level** — the closed-form OTN/OTC machines decompose every
+//!   clock charge into [`CausalSegment`]s (stored on the `Recorder`): one
+//!   wire-delay segment per tree level, queue-wait for the pipelined word
+//!   tail, node-compute for the bit-serial adders/comparators. The serial
+//!   clock makes everything critical, so here too Σ segments = elapsed
+//!   time, and the per-level wire segments must match the `CostModel`
+//!   closed form bit for bit (the `CRIT-*` rules of `orthotrees-verify`).
+//!
+//! Both instruments follow the crate's zero-overhead contract: the engine
+//! holds an `Option<CausalTrace>` and the hot path touches no tracing code
+//! when it is `None`.
+
+use orthotrees_vlsi::BitTime;
+use std::collections::BTreeMap;
+
+/// Identity of one scheduled bit (the engine's scheduling sequence
+/// number, unique per run and stable under tie-break permutations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MsgId(pub u64);
+
+/// What a slice of completion time was spent on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentKind {
+    /// Propagation along a wire (the delay model applied to its length).
+    WireDelay,
+    /// Waiting for a busy wire entrance (pipelining / serialisation: one
+    /// bit per τ, so a word's tail bits always queue behind its head).
+    QueueWait,
+    /// Node-side processing before emission (gate delays, emission holds).
+    NodeCompute,
+}
+
+impl SegmentKind {
+    /// Short lower-case label used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::WireDelay => "wire-delay",
+            SegmentKind::QueueWait => "queue-wait",
+            SegmentKind::NodeCompute => "node-compute",
+        }
+    }
+}
+
+/// One word-level causal segment recorded by
+/// [`Recorder::segment`](crate::Recorder::segment): a half-open slice
+/// `[start, end)` of the simulated clock attributed to one cost category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CausalSegment {
+    /// Index of the innermost open span when the segment was recorded
+    /// (resolve to a phase name with
+    /// [`Recorder::segment_phase`](crate::Recorder::segment_phase)).
+    pub span: Option<usize>,
+    /// Tree level the segment belongs to (1 = leaf level), if any.
+    pub level: Option<u32>,
+    /// Cost category.
+    pub kind: SegmentKind,
+    /// Segment start on the simulated clock.
+    pub start: BitTime,
+    /// Segment end (`> start`; zero-length segments are not recorded).
+    pub end: BitTime,
+}
+
+impl CausalSegment {
+    /// The segment's duration.
+    pub fn duration(&self) -> BitTime {
+        self.end - self.start
+    }
+}
+
+/// Aggregated word-level attribution for one `(phase, kind)` pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentTotal {
+    /// Phase name of the enclosing span (`"(unattributed)"` if none).
+    pub phase: String,
+    /// Cost category.
+    pub kind: SegmentKind,
+    /// Number of segments aggregated.
+    pub count: u64,
+    /// Total duration.
+    pub total: BitTime,
+}
+
+/// One bit-hop recorded by the engine: message `msg` was emitted (because
+/// delivered message `pred` triggered its node, or on node start) and
+/// admitted onto `link`.
+///
+/// Time tiles exactly: `trigger_at ≤ ready ≤ enter ≤ arrive`, with
+/// `ready − trigger_at` the emission hold (node compute), `enter − ready`
+/// the wire-entrance queueing and `arrive − enter` the wire delay — and
+/// `trigger_at` equals the predecessor's `arrive` (or 0 at node start).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// The scheduled bit's id.
+    pub msg: MsgId,
+    /// The delivered message whose arrival triggered this emission
+    /// (`None` for bits emitted at node start).
+    pub pred: Option<MsgId>,
+    /// Link the bit was admitted onto.
+    pub link: usize,
+    /// That link's physical length in λ.
+    pub link_len: u64,
+    /// Arrival time of `pred` at the emitting node (0 at node start).
+    pub trigger_at: BitTime,
+    /// Time the node presented the bit at the wire (`trigger_at + hold`).
+    pub ready: BitTime,
+    /// Time the bit actually entered the wire (queueing resolved).
+    pub enter: BitTime,
+    /// Time the bit arrived at the far end.
+    pub arrive: BitTime,
+    /// Whether the bit was actually delivered (false for bits lost to a
+    /// dropping link fault or a dead receiving node).
+    pub delivered: bool,
+}
+
+/// Per-link slack relative to the completion event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkSlack {
+    /// Link id.
+    pub link: usize,
+    /// Link length in λ.
+    pub link_len: u64,
+    /// Latest delivered arrival through this link.
+    pub last_arrive: BitTime,
+    /// `completion − last_arrive`: how much later this link's last bit
+    /// could have arrived without delaying completion. The final link of
+    /// the critical path has slack 0.
+    pub slack: BitTime,
+}
+
+/// One segment of the critical path (bit level).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathSegment {
+    /// The message whose hop this slice belongs to.
+    pub msg: MsgId,
+    /// Cost category.
+    pub kind: SegmentKind,
+    /// The link involved (`None` for node-compute slices).
+    pub link: Option<usize>,
+    /// That link's length in λ.
+    pub link_len: Option<u64>,
+    /// Slice start.
+    pub start: BitTime,
+    /// Slice end (`> start`).
+    pub end: BitTime,
+}
+
+impl PathSegment {
+    /// The slice's duration.
+    pub fn duration(&self) -> BitTime {
+        self.end - self.start
+    }
+}
+
+/// The critical path extracted by a backward walk from one delivered
+/// message: a gap-free tiling of `[0, completion]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The path's slices in time order (earliest first), zero-length
+    /// slices elided.
+    pub segments: Vec<PathSegment>,
+    /// Arrival time of the walk's end message — the time the path
+    /// explains.
+    pub completion: BitTime,
+}
+
+impl CriticalPath {
+    /// Total duration attributed to one cost category.
+    pub fn kind_total(&self, kind: SegmentKind) -> BitTime {
+        self.segments.iter().filter(|s| s.kind == kind).map(PathSegment::duration).sum()
+    }
+
+    /// Whether the slices tile `[0, completion]` exactly: contiguous,
+    /// starting at 0 and ending at `completion`. The engine's recording
+    /// discipline guarantees this; the `CRIT-002` verify rule asserts it.
+    pub fn covers_completion(&self) -> bool {
+        let contiguous = self.segments.windows(2).all(|w| w[0].end == w[1].start);
+        let start_ok = self
+            .segments
+            .first()
+            .map_or(self.completion == BitTime::ZERO, |s| s.start == BitTime::ZERO);
+        let end_ok = self
+            .segments
+            .last()
+            .map_or(self.completion == BitTime::ZERO, |s| s.end == self.completion);
+        contiguous && start_ok && end_ok
+    }
+
+    /// The wire-delay slices in time order (the per-level decomposition a
+    /// clean `ROOTTOLEAF` is checked against).
+    pub fn wire_segments(&self) -> impl Iterator<Item = &PathSegment> {
+        self.segments.iter().filter(|s| s.kind == SegmentKind::WireDelay)
+    }
+}
+
+/// The bit-level causal trace: every hop of a run, indexed by message id.
+#[derive(Clone, Debug, Default)]
+pub struct CausalTrace {
+    hops: Vec<Hop>,
+    by_msg: BTreeMap<u64, usize>,
+}
+
+impl CausalTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        CausalTrace::default()
+    }
+
+    /// Records one hop. Message ids must be unique per run (the engine's
+    /// scheduling counter guarantees this).
+    pub fn record_hop(&mut self, hop: Hop) {
+        self.by_msg.insert(hop.msg.0, self.hops.len());
+        self.hops.push(hop);
+    }
+
+    /// Marks a recorded hop as never delivered (dropped on the wire or
+    /// discarded by a dead receiving node).
+    pub fn mark_undelivered(&mut self, msg: MsgId) {
+        if let Some(&i) = self.by_msg.get(&msg.0) {
+            self.hops[i].delivered = false;
+        }
+    }
+
+    /// All hops in scheduling order.
+    pub fn hops(&self) -> &[Hop] {
+        &self.hops
+    }
+
+    /// Number of recorded hops.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The hop of one message, if recorded.
+    pub fn hop(&self, msg: MsgId) -> Option<&Hop> {
+        self.by_msg.get(&msg.0).map(|&i| &self.hops[i])
+    }
+
+    /// The completion event: the delivered hop with the latest arrival
+    /// (ties broken towards the later-scheduled message).
+    pub fn completion(&self) -> Option<&Hop> {
+        self.hops.iter().filter(|h| h.delivered).max_by_key(|h| (h.arrive, h.msg))
+    }
+
+    /// Extracts the critical path by walking predecessor edges backwards
+    /// from the completion event. `None` if nothing was delivered.
+    pub fn critical_path(&self) -> Option<CriticalPath> {
+        self.completion().and_then(|h| self.critical_path_to(h.msg))
+    }
+
+    /// Extracts the critical path ending at `msg`'s arrival. `None` if
+    /// the message (or any predecessor) was never recorded.
+    pub fn critical_path_to(&self, msg: MsgId) -> Option<CriticalPath> {
+        let completion = self.hop(msg)?.arrive;
+        let mut segments = Vec::new();
+        let mut cur = Some(msg);
+        while let Some(m) = cur {
+            let h = self.hop(m)?;
+            let mut push = |kind, link: Option<usize>, len, start: BitTime, end: BitTime| {
+                if end > start {
+                    segments.push(PathSegment {
+                        msg: h.msg,
+                        kind,
+                        link,
+                        link_len: len,
+                        start,
+                        end,
+                    });
+                }
+            };
+            push(SegmentKind::WireDelay, Some(h.link), Some(h.link_len), h.enter, h.arrive);
+            push(SegmentKind::QueueWait, Some(h.link), Some(h.link_len), h.ready, h.enter);
+            push(SegmentKind::NodeCompute, None, None, h.trigger_at, h.ready);
+            if h.pred.is_none() {
+                debug_assert_eq!(
+                    h.trigger_at,
+                    BitTime::ZERO,
+                    "start-of-run emissions must be anchored at t = 0"
+                );
+            }
+            cur = h.pred;
+        }
+        segments.reverse();
+        Some(CriticalPath { segments, completion })
+    }
+
+    /// Per-link slack relative to the completion event, in link-id order.
+    /// Links that delivered nothing are omitted. Empty if nothing
+    /// completed.
+    pub fn link_slacks(&self) -> Vec<LinkSlack> {
+        let Some(completion) = self.completion().map(|h| h.arrive) else {
+            return Vec::new();
+        };
+        let mut last: BTreeMap<usize, (u64, BitTime)> = BTreeMap::new();
+        for h in self.hops.iter().filter(|h| h.delivered) {
+            let e = last.entry(h.link).or_insert((h.link_len, h.arrive));
+            e.1 = e.1.max(h.arrive);
+        }
+        last.into_iter()
+            .map(|(link, (link_len, last_arrive))| LinkSlack {
+                link,
+                link_len,
+                last_arrive,
+                slack: completion - last_arrive,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-hop chain: start-emitted bit crosses link 0 (delay 3), the
+    /// relay holds it 2τ, it queues 1τ at link 1's entrance, then crosses
+    /// link 1 (delay 4). Completion at t = 10.
+    fn chain() -> CausalTrace {
+        let mut tr = CausalTrace::new();
+        tr.record_hop(Hop {
+            msg: MsgId(1),
+            pred: None,
+            link: 0,
+            link_len: 8,
+            trigger_at: BitTime::ZERO,
+            ready: BitTime::ZERO,
+            enter: BitTime::ZERO,
+            arrive: BitTime::new(3),
+            delivered: true,
+        });
+        tr.record_hop(Hop {
+            msg: MsgId(2),
+            pred: Some(MsgId(1)),
+            link: 1,
+            link_len: 16,
+            trigger_at: BitTime::new(3),
+            ready: BitTime::new(5),
+            enter: BitTime::new(6),
+            arrive: BitTime::new(10),
+            delivered: true,
+        });
+        tr
+    }
+
+    #[test]
+    fn critical_path_tiles_completion_exactly() {
+        let tr = chain();
+        let path = tr.critical_path().unwrap();
+        assert_eq!(path.completion, BitTime::new(10));
+        assert!(path.covers_completion(), "{path:?}");
+        let total: BitTime = path.segments.iter().map(PathSegment::duration).sum();
+        assert_eq!(total, path.completion);
+        assert_eq!(path.kind_total(SegmentKind::WireDelay), BitTime::new(7));
+        assert_eq!(path.kind_total(SegmentKind::NodeCompute), BitTime::new(2));
+        assert_eq!(path.kind_total(SegmentKind::QueueWait), BitTime::new(1));
+    }
+
+    #[test]
+    fn path_segments_are_in_time_order_with_links_attached() {
+        let path = chain().critical_path().unwrap();
+        assert!(path.segments.windows(2).all(|w| w[0].end <= w[1].start));
+        let wires: Vec<_> = path.wire_segments().map(|s| (s.link, s.link_len)).collect();
+        assert_eq!(wires, vec![(Some(0), Some(8)), (Some(1), Some(16))]);
+    }
+
+    #[test]
+    fn undelivered_messages_never_complete() {
+        let mut tr = chain();
+        tr.mark_undelivered(MsgId(2));
+        assert_eq!(tr.completion().unwrap().msg, MsgId(1));
+        let path = tr.critical_path().unwrap();
+        assert_eq!(path.completion, BitTime::new(3));
+    }
+
+    #[test]
+    fn link_slack_is_zero_on_the_final_link() {
+        let slacks = chain().link_slacks();
+        assert_eq!(slacks.len(), 2);
+        assert_eq!(slacks[0].link, 0);
+        assert_eq!(slacks[0].slack, BitTime::new(7));
+        assert_eq!(slacks[1].link, 1);
+        assert_eq!(slacks[1].slack, BitTime::ZERO);
+    }
+
+    #[test]
+    fn empty_trace_has_no_path_and_no_slack() {
+        let tr = CausalTrace::new();
+        assert!(tr.is_empty());
+        assert!(tr.critical_path().is_none());
+        assert!(tr.link_slacks().is_empty());
+    }
+
+    #[test]
+    fn gap_in_the_chain_is_detected_by_covers_completion() {
+        // Predecessor arrives at 3, but the successor claims trigger 4:
+        // the tiling has a hole and covers_completion must say so.
+        let mut tr = CausalTrace::new();
+        tr.record_hop(Hop {
+            msg: MsgId(1),
+            pred: None,
+            link: 0,
+            link_len: 1,
+            trigger_at: BitTime::ZERO,
+            ready: BitTime::ZERO,
+            enter: BitTime::ZERO,
+            arrive: BitTime::new(3),
+            delivered: true,
+        });
+        tr.record_hop(Hop {
+            msg: MsgId(2),
+            pred: Some(MsgId(1)),
+            link: 1,
+            link_len: 1,
+            trigger_at: BitTime::new(4),
+            ready: BitTime::new(4),
+            enter: BitTime::new(4),
+            arrive: BitTime::new(5),
+            delivered: true,
+        });
+        let path = tr.critical_path().unwrap();
+        assert!(!path.covers_completion(), "{path:?}");
+    }
+}

@@ -12,12 +12,7 @@
 use crate::json::Json;
 use crate::Recorder;
 
-/// Renders the recorder as a Chrome-trace JSON document.
-///
-/// Spans become `"ph": "X"` complete events on one track (`pid` 0, `tid`
-/// 0); nesting is reconstructed by the viewer from containment. Counters
-/// and histogram means are attached under `"otherData"`.
-pub fn chrome_trace(rec: &Recorder) -> Json {
+fn span_events(rec: &Recorder) -> Vec<Json> {
     let mut events = vec![Json::obj([
         ("name", Json::str("process_name")),
         ("ph", Json::str("M")),
@@ -36,6 +31,10 @@ pub fn chrome_trace(rec: &Recorder) -> Json {
             ("tid", Json::u64(0)),
         ]));
     }
+    events
+}
+
+fn assemble(rec: &Recorder, events: Vec<Json>) -> Json {
     let other = Json::obj(
         rec.counters()
             .map(|(name, v)| (name.to_string(), Json::u64(v)))
@@ -47,6 +46,77 @@ pub fn chrome_trace(rec: &Recorder) -> Json {
         ("displayTimeUnit", Json::str("ms")),
         ("otherData", other),
     ])
+}
+
+/// Renders the recorder as a Chrome-trace JSON document.
+///
+/// Spans become `"ph": "X"` complete events on one track (`pid` 0, `tid`
+/// 0); nesting is reconstructed by the viewer from containment. Counters
+/// and histogram means are attached under `"otherData"`.
+pub fn chrome_trace(rec: &Recorder) -> Json {
+    assemble(rec, span_events(rec))
+}
+
+/// Renders the recorder with its causal segments as a second track plus
+/// flow arrows — the Perfetto view of *where the time went*.
+///
+/// On top of [`chrome_trace`]'s phase track (`tid` 0), every causal
+/// segment ([`Recorder::segments`]) becomes a `"ph": "X"` event on
+/// `tid` 1 named after its [`SegmentKind`](crate::causal::SegmentKind)
+/// (with the tree level and phase in `args`), and consecutive segments
+/// are linked with `"s"`/`"f"` flow-event pairs sharing an id, so
+/// Perfetto draws the causal chain as arrows across the track.
+pub fn chrome_trace_with_flows(rec: &Recorder) -> Json {
+    let mut events = span_events(rec);
+    events.push(Json::obj([
+        ("name", Json::str("thread_name")),
+        ("ph", Json::str("M")),
+        ("pid", Json::u64(0)),
+        ("tid", Json::u64(1)),
+        ("args", Json::obj([("name", Json::str("causal segments"))])),
+    ]));
+    let segments = rec.segments();
+    for (i, seg) in segments.iter().enumerate() {
+        let name = match seg.level {
+            Some(level) => format!("{} L{level}", seg.kind.name()),
+            None => seg.kind.name().to_string(),
+        };
+        events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str("causal")),
+            ("ph", Json::str("X")),
+            ("ts", Json::u64(seg.start.get())),
+            ("dur", Json::u64(seg.duration().get())),
+            ("pid", Json::u64(0)),
+            ("tid", Json::u64(1)),
+            (
+                "args",
+                Json::obj([
+                    ("phase", Json::str(rec.segment_phase(seg))),
+                    ("level", seg.level.map_or(Json::Null, |l| Json::u64(u64::from(l)))),
+                ]),
+            ),
+        ]));
+        // A flow arrow from this segment to its successor: the "s" end
+        // binds inside this slice, the "f" end inside the next.
+        if i + 1 < segments.len() {
+            let flow = |ph: &str, ts: u64| {
+                Json::obj([
+                    ("name", Json::str("causal-chain")),
+                    ("cat", Json::str("causal")),
+                    ("ph", Json::str(ph)),
+                    ("id", Json::u64(i as u64)),
+                    ("ts", Json::u64(ts)),
+                    ("pid", Json::u64(0)),
+                    ("tid", Json::u64(1)),
+                    ("bp", Json::str("e")),
+                ])
+            };
+            events.push(flow("s", seg.start.get()));
+            events.push(flow("f", segments[i + 1].start.get()));
+        }
+    }
+    assemble(rec, events)
 }
 
 #[cfg(test)]
@@ -90,6 +160,49 @@ mod tests {
         let other = doc.get("otherData").unwrap();
         assert_eq!(other.get("fault.retries").and_then(Json::as_u64), Some(3));
         assert_eq!(other.get("calendar.mean").and_then(Json::as_f64), Some(7.0));
+    }
+
+    #[test]
+    fn flow_trace_links_consecutive_segments() {
+        use crate::causal::SegmentKind;
+        let mut r = Recorder::new();
+        r.open("ROOTTOLEAF", BitTime::ZERO);
+        r.segment(SegmentKind::WireDelay, Some(2), BitTime::ZERO, BitTime::new(8));
+        r.segment(SegmentKind::WireDelay, Some(1), BitTime::new(8), BitTime::new(12));
+        r.segment(SegmentKind::QueueWait, None, BitTime::new(12), BitTime::new(17));
+        r.close(BitTime::new(17));
+        let doc = chrome_trace_with_flows(&r);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let segs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat").and_then(Json::as_str) == Some("causal"))
+            .collect();
+        // 3 segment slices + 2 flow pairs.
+        let slices = segs.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"));
+        assert_eq!(slices.count(), 3);
+        let starts = segs.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("s"));
+        let ends = segs.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("f"));
+        assert_eq!(starts.count(), 2);
+        assert_eq!(ends.count(), 2);
+        // Segment slices carry the phase and level attribution.
+        let wire = segs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("wire-delay L2"))
+            .unwrap();
+        let args = wire.get("args").unwrap();
+        assert_eq!(args.get("phase").and_then(Json::as_str), Some("ROOTTOLEAF"));
+        assert_eq!(args.get("level").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn flow_trace_without_segments_matches_the_plain_trace_events() {
+        let plain = chrome_trace(&sample());
+        let flows = chrome_trace_with_flows(&sample());
+        let n = |d: &Json| d.get("traceEvents").and_then(Json::as_arr).unwrap().len();
+        // Only the tid-1 thread-name metadata event is added.
+        assert_eq!(n(&flows), n(&plain) + 1);
     }
 
     #[test]

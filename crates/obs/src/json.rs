@@ -56,6 +56,11 @@ impl Json {
         Json::Num(v)
     }
 
+    /// A boolean value.
+    pub fn bool(v: bool) -> Json {
+        Json::Bool(v)
+    }
+
     /// An array from an iterator.
     pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
         Json::Arr(items.into_iter().collect())
@@ -79,6 +84,14 @@ impl Json {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }

@@ -47,6 +47,7 @@
 //! assert_eq!(totals.iter().map(|p| p.self_time.get()).sum::<u64>(), 90);
 //! ```
 
+pub mod causal;
 pub mod chrome;
 pub mod json;
 
@@ -93,7 +94,10 @@ pub struct PhaseTotal {
 ///
 /// Bucket `b` holds samples in `[2^(b−1), 2^b)` (bucket 0 holds exactly 0),
 /// which resolves the orders of magnitude the simulator cares about without
-/// per-histogram configuration.
+/// per-histogram configuration. Exact powers of two open their own bucket:
+/// sample `2^k` lands in bucket `k+1` (the half-open lower boundary of
+/// `[2^k, 2^(k+1))`), so bucket 65 is never needed — `u64::MAX < 2^64`
+/// lands in bucket 64.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
@@ -138,7 +142,10 @@ impl Histogram {
         self.max
     }
 
-    /// Mean sample, or 0.0 if empty.
+    /// Mean sample. **Contract:** an empty histogram reports mean `0.0`,
+    /// not `NaN` — report tables and JSON exports render means directly,
+    /// and a `NaN` would poison text diffs and violate the JSON grammar,
+    /// while 0.0 is unambiguous alongside `count() == 0`.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -198,6 +205,8 @@ pub struct Recorder {
     node_activations: Vec<u64>,
     links: Vec<LinkStats>,
     calendar_depth: Histogram,
+    segments: Vec<causal::CausalSegment>,
+    diagnostics: Vec<String>,
 }
 
 impl Recorder {
@@ -220,19 +229,67 @@ impl Recorder {
     }
 
     /// Closes the most recently opened span at simulated time `at`.
-    /// Closing with no span open is a no-op (tolerated so partially
-    /// instrumented callers cannot poison a run).
+    ///
+    /// Closing with no span open is an instrumentation bug (an unbalanced
+    /// `open`/`close` pair silently truncates self-time attribution): it
+    /// records a [diagnostic](Recorder::diagnostics) naming the last span
+    /// closed, panics under `debug_assertions`, and is otherwise a no-op
+    /// so a release-mode run cannot be poisoned.
     pub fn close(&mut self, at: BitTime) {
-        if let Some(i) = self.open.pop() {
-            self.spans[i].end = at;
+        match self.open.pop() {
+            Some(i) => self.spans[i].end = at,
+            None => {
+                let last = self
+                    .spans
+                    .last()
+                    .map_or_else(|| "(no spans recorded)".to_string(), |s| s.name.clone());
+                self.diagnostics.push(format!(
+                    "unbalanced close at t={} with no span open (last closed: {last})",
+                    at.get()
+                ));
+                debug_assert!(
+                    false,
+                    "Recorder::close at t={} with no span open (last closed: {last})",
+                    at.get()
+                );
+            }
         }
     }
 
     /// Closes every span still open (end-of-run cleanup).
+    ///
+    /// A span still open here means some caller forgot its matching
+    /// `close` — the span's self-time silently absorbs everything up to
+    /// `at`. Each such span is force-closed, but also recorded as a
+    /// [diagnostic](Recorder::diagnostics) by name, and the call panics
+    /// under `debug_assertions`.
     pub fn close_all(&mut self, at: BitTime) {
-        while !self.open.is_empty() {
-            self.close(at);
+        if !self.open.is_empty() {
+            let names: Vec<String> =
+                self.open.iter().map(|&i| self.spans[i].name.clone()).collect();
+            self.diagnostics.push(format!(
+                "{} span(s) still open at close_all(t={}): {}",
+                names.len(),
+                at.get(),
+                names.join(", ")
+            ));
+            while let Some(i) = self.open.pop() {
+                self.spans[i].end = at;
+            }
+            debug_assert!(
+                false,
+                "Recorder::close_all(t={}) found unclosed span(s): {}",
+                at.get(),
+                names.join(", ")
+            );
         }
+    }
+
+    /// Span-balance diagnostics collected by [`close`](Recorder::close) /
+    /// [`close_all`](Recorder::close_all). Empty on a well-instrumented
+    /// run.
+    pub fn diagnostics(&self) -> &[String] {
+        &self.diagnostics
     }
 
     /// All closed and still-open spans, in open order.
@@ -358,6 +415,78 @@ impl Recorder {
     pub fn calendar_depth(&self) -> &Histogram {
         &self.calendar_depth
     }
+
+    // --------------------------------------------------------------
+    // Causal segments (word-level critical-path decomposition).
+    // --------------------------------------------------------------
+
+    /// Records one causal segment `[start, end)` attributed to `kind` (and
+    /// optionally a tree `level`, 1 = leaf level), tagged with the
+    /// innermost open span. Zero-length segments are dropped.
+    ///
+    /// The word-level machines call this for every piece of a clock
+    /// charge, so Σ segment durations equals the elapsed clock exactly —
+    /// the invariant `analysis::critpath` and the `CRIT-*` verify rules
+    /// build on.
+    pub fn segment(
+        &mut self,
+        kind: causal::SegmentKind,
+        level: Option<u32>,
+        start: BitTime,
+        end: BitTime,
+    ) {
+        if end > start {
+            let span = self.open.last().copied();
+            self.segments.push(causal::CausalSegment { span, level, kind, start, end });
+        }
+    }
+
+    /// All recorded causal segments, in recording (time) order.
+    pub fn segments(&self) -> &[causal::CausalSegment] {
+        &self.segments
+    }
+
+    /// Total time covered by causal segments. Equals
+    /// [`total_recorded`](Recorder::total_recorded) when every in-span
+    /// clock advance was decomposed into segments.
+    pub fn segments_total(&self) -> BitTime {
+        self.segments.iter().map(causal::CausalSegment::duration).sum()
+    }
+
+    /// The phase name a segment was recorded under (`"(unattributed)"`
+    /// when no span was open).
+    pub fn segment_phase(&self, seg: &causal::CausalSegment) -> &str {
+        seg.span.map_or("(unattributed)", |i| self.spans[i].name.as_str())
+    }
+
+    /// Aggregates segments into `(phase, kind)` totals, sorted by
+    /// descending total time (name/kind as tie-breaks).
+    pub fn segment_attribution(&self) -> Vec<causal::SegmentTotal> {
+        let mut by_key: BTreeMap<(String, causal::SegmentKind), (u64, BitTime)> = BTreeMap::new();
+        for s in &self.segments {
+            let e = by_key
+                .entry((self.segment_phase(s).to_string(), s.kind))
+                .or_insert((0, BitTime::ZERO));
+            e.0 += 1;
+            e.1 += s.duration();
+        }
+        let mut out: Vec<causal::SegmentTotal> = by_key
+            .into_iter()
+            .map(|((phase, kind), (count, total))| causal::SegmentTotal {
+                phase,
+                kind,
+                count,
+                total,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.total
+                .cmp(&a.total)
+                .then_with(|| a.phase.cmp(&b.phase))
+                .then_with(|| a.kind.cmp(&b.kind))
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -396,13 +525,44 @@ mod tests {
     }
 
     #[test]
-    fn close_without_open_is_tolerated() {
+    fn unbalanced_close_is_diagnosed_and_panics_in_debug() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
         let mut r = Recorder::new();
+        r.open("SORT", BitTime::ZERO);
         r.close(BitTime::new(5));
-        assert!(r.spans().is_empty());
-        r.open("X", BitTime::ZERO);
-        r.close_all(BitTime::new(3));
+        let unwound = catch_unwind(AssertUnwindSafe(|| r.close(BitTime::new(7)))).is_err();
+        assert_eq!(unwound, cfg!(debug_assertions));
+        assert_eq!(r.diagnostics().len(), 1);
+        assert!(r.diagnostics()[0].contains("no span open"), "{:?}", r.diagnostics());
+        assert!(r.diagnostics()[0].contains("SORT"), "names the last closed span");
+        // The recorder itself stays usable (release-mode no-op contract).
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.total_recorded(), BitTime::new(5));
+    }
+
+    #[test]
+    fn spans_left_open_at_close_all_are_named() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut r = Recorder::new();
+        r.open("SORT", BitTime::ZERO);
+        r.open("ROOTTOLEAF", BitTime::ZERO);
+        let unwound = catch_unwind(AssertUnwindSafe(|| r.close_all(BitTime::new(3)))).is_err();
+        assert_eq!(unwound, cfg!(debug_assertions));
+        // Both spans were still force-closed at t=3 before the assert.
         assert_eq!(r.spans()[0].end, BitTime::new(3));
+        assert_eq!(r.spans()[1].end, BitTime::new(3));
+        assert_eq!(r.diagnostics().len(), 1);
+        assert!(r.diagnostics()[0].contains("ROOTTOLEAF"), "{:?}", r.diagnostics());
+        assert!(r.diagnostics()[0].contains("SORT"), "{:?}", r.diagnostics());
+    }
+
+    #[test]
+    fn balanced_runs_have_no_diagnostics() {
+        let mut r = Recorder::new();
+        r.open("A", BitTime::ZERO);
+        r.close(BitTime::new(2));
+        r.close_all(BitTime::new(2)); // nothing open: clean no-op
+        assert!(r.diagnostics().is_empty());
     }
 
     #[test]
@@ -431,6 +591,72 @@ mod tests {
         // 0 → bucket 1; 1 → 2; 2,3 → 4; 4 → 8; 1000 → 1024.
         assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (8, 1), (1024, 1)]);
         assert!((h.mean() - 1010.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_extreme_value_lands_in_top_bucket() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+        // 64 - leading_zeros(u64::MAX) = 64: the last bucket, upper bound
+        // 2^64 (exclusive) — no overflow, no out-of-bounds index.
+        assert_eq!(h.nonzero_buckets(), vec![(1u128 << 64, 2)]);
+        assert!((h.mean() - u64::MAX as f64).abs() < 1e4, "mean of two MAX samples");
+    }
+
+    #[test]
+    fn histogram_empty_mean_is_zero_not_nan() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(!h.mean().is_nan(), "documented contract: 0.0, never NaN");
+        assert_eq!(h.max(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries_are_half_open() {
+        let mut h = Histogram::new();
+        // Each exact power of two 2^k opens bucket k+1: [2^k, 2^(k+1)).
+        for k in [0u32, 1, 5, 63] {
+            h.observe(1u64 << k);
+        }
+        let buckets = h.nonzero_buckets();
+        assert_eq!(
+            buckets,
+            vec![(2, 1), (4, 1), (64, 1), (1u128 << 64, 1)],
+            "2^k sits at the lower boundary of its bucket, never the upper"
+        );
+        // And the value just below a boundary stays in the lower bucket.
+        let mut h2 = Histogram::new();
+        h2.observe(63);
+        h2.observe(64);
+        assert_eq!(h2.nonzero_buckets(), vec![(64, 1), (128, 1)]);
+    }
+
+    #[test]
+    fn segments_attribute_to_open_phase() {
+        use causal::SegmentKind;
+        let mut r = Recorder::new();
+        r.open("ROOTTOLEAF", BitTime::ZERO);
+        r.segment(SegmentKind::WireDelay, Some(1), BitTime::ZERO, BitTime::new(4));
+        r.segment(SegmentKind::QueueWait, None, BitTime::new(4), BitTime::new(9));
+        r.segment(SegmentKind::NodeCompute, None, BitTime::new(9), BitTime::new(9)); // dropped
+        r.close(BitTime::new(9));
+        r.segment(SegmentKind::NodeCompute, None, BitTime::new(9), BitTime::new(10));
+        assert_eq!(r.segments().len(), 3, "zero-length segment elided");
+        assert_eq!(r.segments_total(), BitTime::new(10));
+        assert_eq!(r.segment_phase(&r.segments()[0]), "ROOTTOLEAF");
+        assert_eq!(r.segment_phase(&r.segments()[2]), "(unattributed)");
+        let attr = r.segment_attribution();
+        assert_eq!(attr[0].phase, "ROOTTOLEAF");
+        assert_eq!(attr[0].kind, SegmentKind::QueueWait);
+        assert_eq!(attr[0].total, BitTime::new(5));
+        let total: u64 = attr.iter().map(|t| t.total.get()).sum();
+        assert_eq!(total, 10);
     }
 
     #[test]

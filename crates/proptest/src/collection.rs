@@ -3,7 +3,7 @@
 use crate::runner::TestRng;
 use crate::strategy::Strategy;
 
-/// How many elements a [`vec`] strategy may draw.
+/// How many elements a [`vec()`] strategy may draw.
 #[derive(Clone, Copy, Debug)]
 pub struct SizeRange {
     lo: usize,
@@ -36,7 +36,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     VecStrategy { element, size: size.into() }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,

@@ -11,6 +11,7 @@ use std::collections::BinaryHeap;
 use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_obs::causal::{CausalTrace, Hop, MsgId};
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 
@@ -31,6 +32,10 @@ pub struct EventLog {
 struct Pending {
     at: BitTime,
     seq: u64,
+    /// Raw scheduling counter value = this bit's causal [`MsgId`]. Kept
+    /// separate from `seq` because the LIFO-ties knob permutes `seq`; not
+    /// part of the manual `Ord` below, so ordering is unchanged.
+    msg: u64,
     node: NodeId,
     port: PortId,
     bit: Bit,
@@ -68,6 +73,10 @@ pub struct Engine {
     /// run loop touches no recording code at all (same contract as
     /// `fault_plan`), and recording never changes a simulated bit or time.
     recorder: Option<Recorder>,
+    /// Installed causal trace, if any. Same contract as `recorder`:
+    /// `None` is the fast path, and tracing never changes a simulated bit
+    /// or time.
+    causal: Option<CausalTrace>,
     /// Reverse the tie-break among same-timestamp events (verification
     /// only). Correct networks must produce identical results either way.
     lifo_ties: bool,
@@ -90,6 +99,7 @@ impl Engine {
             budget: RunBudget::default(),
             fault_stats: FaultStats::default(),
             recorder: None,
+            causal: None,
             lifo_ties: false,
         }
     }
@@ -150,6 +160,29 @@ impl Engine {
     /// Removes and returns the installed recorder (export after a run).
     pub fn take_recorder(&mut self) -> Option<Recorder> {
         self.recorder.take()
+    }
+
+    /// Installs a causal trace: the run then records one
+    /// [`Hop`](orthotrees_obs::causal::Hop) per scheduled bit — which link,
+    /// when it was presented / entered / arrived, and which delivered
+    /// message triggered the emission — so
+    /// [`CausalTrace::critical_path`] can explain the completion time
+    /// hop by hop. Simulated bits, times and outputs are unchanged
+    /// (bit-identity, enforced by tests).
+    pub fn with_causal_trace(mut self) -> Self {
+        self.causal = Some(CausalTrace::new());
+        self
+    }
+
+    /// The installed causal trace, if any.
+    pub fn causal_trace(&self) -> Option<&CausalTrace> {
+        self.causal.as_ref()
+    }
+
+    /// Removes and returns the installed causal trace (analysis after a
+    /// run).
+    pub fn take_causal_trace(&mut self) -> Option<CausalTrace> {
+        self.causal.take()
     }
 
     /// Adds a node, returning its id.
@@ -223,26 +256,44 @@ impl Engine {
         self.delay
     }
 
-    fn flush_outbox(&mut self, from: NodeId, ready: BitTime, out: Outbox) {
+    fn flush_outbox(&mut self, from: NodeId, ready: BitTime, trigger: Option<MsgId>, out: Outbox) {
+        // `ready` at entry is the triggering delivery's arrival time (or 0
+        // at node start): the causal anchor every emission hold counts from.
+        let trigger_at = ready;
         for (port, bit, hold) in out.emissions {
             let ready = ready + hold;
             let Some(links) = self.routes[from.0].get(port.0) else {
                 continue; // emission on an unconnected port is dropped
             };
             for &lid in links {
-                let arrive = match &mut self.recorder {
-                    None => self.links[lid.0].admit(ready, self.delay),
-                    Some(rec) => {
-                        let link = &mut self.links[lid.0];
-                        let waited = link.free_at.get().saturating_sub(ready.get());
-                        let arrive = link.admit(ready, self.delay);
-                        // The entrance slot the bit actually took.
-                        let enter = arrive - link.bit_delay(self.delay);
+                let mut enter = BitTime::ZERO;
+                let arrive = if self.recorder.is_none() && self.causal.is_none() {
+                    self.links[lid.0].admit(ready, self.delay)
+                } else {
+                    let link = &mut self.links[lid.0];
+                    let waited = link.free_at.get().saturating_sub(ready.get());
+                    let arrive = link.admit(ready, self.delay);
+                    // The entrance slot the bit actually took.
+                    enter = arrive - link.bit_delay(self.delay);
+                    if let Some(rec) = &mut self.recorder {
                         rec.link_bit(lid.0, enter, waited);
-                        arrive
                     }
+                    arrive
                 };
                 self.seq += 1;
+                if let Some(tr) = &mut self.causal {
+                    tr.record_hop(Hop {
+                        msg: MsgId(self.seq),
+                        pred: trigger,
+                        link: lid.0,
+                        link_len: self.links[lid.0].length,
+                        trigger_at,
+                        ready,
+                        enter,
+                        arrive,
+                        delivered: true,
+                    });
+                }
                 let mut bit = bit;
                 match self.fault_plan.as_ref().and_then(|p| {
                     if p.affects_links() {
@@ -261,7 +312,12 @@ impl Engine {
                             LinkFaultKind::Flip => bit.value = !bit.value,
                             // The wire slot is consumed (admit above) but
                             // the bit never arrives.
-                            LinkFaultKind::Drop => continue,
+                            LinkFaultKind::Drop => {
+                                if let Some(tr) = &mut self.causal {
+                                    tr.mark_undelivered(MsgId(self.seq));
+                                }
+                                continue;
+                            }
                         }
                     }
                 }
@@ -272,6 +328,7 @@ impl Engine {
                 self.queue.push(Reverse(Pending {
                     at: arrive,
                     seq: order,
+                    msg: self.seq,
                     node: link.to,
                     port: link.to_port,
                     bit,
@@ -299,7 +356,7 @@ impl Engine {
         for i in 0..self.nodes.len() {
             let mut out = Outbox::default();
             self.nodes[i].on_start(&mut out);
-            self.flush_outbox(NodeId(i), BitTime::ZERO, out);
+            self.flush_outbox(NodeId(i), BitTime::ZERO, None, out);
         }
         let mut fired = 0u64;
         while let Some(Reverse(ev)) = self.queue.pop() {
@@ -321,6 +378,9 @@ impl Engine {
             if let Some(plan) = &self.fault_plan {
                 if plan.affects_nodes() && !plan.node_alive(ev.node, ev.at) {
                     self.fault_stats.suppressed += 1;
+                    if let Some(tr) = &mut self.causal {
+                        tr.mark_undelivered(MsgId(ev.msg));
+                    }
                     continue;
                 }
             }
@@ -336,7 +396,7 @@ impl Engine {
             }
             let mut out = Outbox::default();
             self.nodes[ev.node.0].on_bit(ev.at, ev.port, ev.bit, &mut out);
-            self.flush_outbox(ev.node, ev.at, out);
+            self.flush_outbox(ev.node, ev.at, Some(MsgId(ev.msg)), out);
         }
         Ok(self.now)
     }
@@ -633,6 +693,118 @@ mod tests {
         // Dropped bits consumed their wire slot: carried but never delivered.
         assert_eq!(rec.links()[0].bits, 4);
         assert_eq!(rec.node_activations(), &[] as &[u64], "no delivery ever fired");
+    }
+
+    // --------------------------------------------------------------
+    // Causal tracing.
+    // --------------------------------------------------------------
+
+    /// The recorder-test topology with a causal trace attached: 6-bit
+    /// word, src → repeater → sink over 64λ (d=7) and 16λ (d=5) wires.
+    fn traced_run() -> (Vec<EventLog>, BitTime, CausalTrace) {
+        let mut e = Engine::new(DelayModel::Logarithmic).with_event_log().with_causal_trace();
+        let src = e.add_node(Box::new(WordSource { width: 6 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 64);
+        e.connect(mid, PortId(0), dst, PortId(0), 16);
+        let end = e.run();
+        let trace = e.take_causal_trace().unwrap();
+        (e.log().to_vec(), end, trace)
+    }
+
+    #[test]
+    fn causal_trace_is_bit_identical_to_untraced_run() {
+        let (log_off, end_off, _) = instrumented_run(false);
+        let (log_on, end_on, trace) = traced_run();
+        assert_eq!(log_off, log_on, "causal trace must not change any delivered bit");
+        assert_eq!(end_off, end_on, "causal trace must not change the completion time");
+        assert_eq!(trace.len(), 12, "one hop per scheduled bit");
+    }
+
+    #[test]
+    fn critical_path_tiles_the_completion_time() {
+        use orthotrees_obs::causal::SegmentKind;
+        let (_, end, trace) = traced_run();
+        let path = trace.critical_path().expect("run delivered bits");
+        assert_eq!(path.completion, end);
+        assert!(path.covers_completion(), "{path:?}");
+        let total: BitTime = path.segments.iter().map(|s| s.duration()).sum();
+        assert_eq!(total, end, "Σ path segments == completion, exactly");
+        // The last word bit queues w−1 = 5τ behind its siblings at the
+        // first wire's entrance, then streams through both wires: 7 + 5.
+        assert_eq!(path.kind_total(SegmentKind::QueueWait), BitTime::new(5));
+        assert_eq!(path.kind_total(SegmentKind::WireDelay), BitTime::new(12));
+        assert_eq!(path.kind_total(SegmentKind::NodeCompute), BitTime::ZERO);
+        let wire_links: Vec<_> = path.wire_segments().map(|s| s.link.unwrap()).collect();
+        assert_eq!(wire_links, vec![0, 1], "path crosses the links in order");
+    }
+
+    #[test]
+    fn off_path_link_gets_positive_slack() {
+        let (_, end, trace) = traced_run();
+        let slacks = trace.link_slacks();
+        assert_eq!(slacks.len(), 2);
+        // Link 0's last bit arrives at the repeater d2 = 5τ before the end.
+        assert_eq!(slacks[0].link, 0);
+        assert_eq!(slacks[0].slack, BitTime::new(5));
+        assert_eq!(slacks[1].link, 1);
+        assert_eq!(slacks[1].slack, BitTime::ZERO, "final link is critical");
+        assert_eq!(slacks[1].last_arrive, end);
+    }
+
+    #[test]
+    fn dropped_and_suppressed_bits_never_complete_a_trace() {
+        // Dropping link: every hop recorded, none delivered, no path.
+        let mut e = Engine::new(DelayModel::Constant).with_causal_trace();
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Drop));
+        e.run();
+        let trace = e.take_causal_trace().unwrap();
+        assert_eq!(trace.len(), 4, "dropped bits still consumed wire slots");
+        assert!(trace.hops().iter().all(|h| !h.delivered));
+        assert!(trace.critical_path().is_none());
+
+        // Dead node: deliveries to it are marked undelivered, so the path
+        // ends at the last live delivery.
+        let mut e = Engine::new(DelayModel::Constant).with_causal_trace();
+        let src = e.add_node(Box::new(WordSource { width: 3 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 3, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 1);
+        e.connect(mid, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_dead_node(mid));
+        let end = e.run();
+        assert_eq!(end, BitTime::ZERO, "nothing was ever delivered");
+        let trace = e.take_causal_trace().unwrap();
+        assert!(trace.hops().iter().all(|h| !h.delivered));
+        assert!(trace.critical_path().is_none());
+    }
+
+    #[test]
+    fn causal_trace_composes_with_recorder_and_lifo_ties() {
+        let run = |lifo: bool| {
+            let e = Engine::new(DelayModel::Logarithmic)
+                .with_event_log()
+                .with_recorder(Recorder::new())
+                .with_causal_trace();
+            let mut e = if lifo { e.with_lifo_ties() } else { e };
+            let src = e.add_node(Box::new(WordSource { width: 6 }));
+            let mid = e.add_node(Box::new(Repeater));
+            let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+            e.connect(src, PortId(0), mid, PortId(0), 64);
+            e.connect(mid, PortId(0), dst, PortId(0), 16);
+            let end = e.run();
+            let trace = e.take_causal_trace().unwrap();
+            (end, trace.critical_path().unwrap().completion)
+        };
+        let (end_fifo, path_fifo) = run(false);
+        let (end_lifo, path_lifo) = run(true);
+        assert_eq!(end_fifo, path_fifo);
+        assert_eq!(end_lifo, path_lifo, "msg ids survive the LIFO seq permutation");
+        assert_eq!(end_fifo, end_lifo);
     }
 
     // --------------------------------------------------------------

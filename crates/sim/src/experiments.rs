@@ -17,6 +17,7 @@
 
 use crate::engine::Engine;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use orthotrees_obs::causal::CausalTrace;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
@@ -278,7 +279,7 @@ impl TreeIds {
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime, SimError> {
-    broadcast_run(leaves, m, false).map(|(t, _)| t)
+    broadcast_run(leaves, m, false, false).map(|(t, _, _)| t)
 }
 
 /// [`broadcast_completion_time`] with a [`Recorder`] installed: returns
@@ -294,19 +295,46 @@ pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_observed(leaves: usize, m: &CostModel) -> Result<(BitTime, Recorder), SimError> {
-    broadcast_run(leaves, m, true)
-        .map(|(t, rec)| (t, rec.expect("recorder was installed for this run")))
+    broadcast_run(leaves, m, true, false)
+        .map(|(t, rec, _)| (t, rec.expect("recorder was installed for this run")))
+}
+
+/// [`broadcast_completion_time`] with a [`CausalTrace`] installed: returns
+/// the completion time plus the trace whose
+/// [`critical_path`](CausalTrace::critical_path) explains it hop by hop.
+/// The path's wire-delay slices of positive length reproduce the per-level
+/// closed-form decomposition
+/// [`CostModel::level_bit_delays`](orthotrees_vlsi::CostModel::level_bit_delays)
+/// exactly — the `CRIT-001` rule of `orthotrees-verify` checks this.
+///
+/// For a 1-leaf tree the trace is empty (the broadcast is free).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn broadcast_traced(leaves: usize, m: &CostModel) -> Result<(BitTime, CausalTrace), SimError> {
+    broadcast_run(leaves, m, false, true)
+        .map(|(t, _, tr)| (t, tr.expect("causal trace was installed for this run")))
 }
 
 fn broadcast_run(
     leaves: usize,
     m: &CostModel,
     record: bool,
-) -> Result<(BitTime, Option<Recorder>), SimError> {
+    traced: bool,
+) -> Result<(BitTime, Option<Recorder>, Option<CausalTrace>), SimError> {
     let w = m.word_bits.max(1);
     let mut e = Engine::new(m.delay);
     if record {
         e = e.with_recorder(Recorder::new());
+    }
+    if traced {
+        e = e.with_causal_trace();
     }
     let ids = build_tree(
         &mut e,
@@ -320,7 +348,7 @@ fn broadcast_run(
     // node feeding the root's children directly when depth >= 1; for a
     // 1-leaf tree the "broadcast" is free.
     if leaves == 1 {
-        return Ok((BitTime::ZERO, e.take_recorder()));
+        return Ok((BitTime::ZERO, e.take_recorder(), e.take_causal_trace()));
     }
     // The generic builder made the root a DownRepeater with no parent; feed
     // it through a zero-length wire from a dedicated source node.
@@ -337,7 +365,7 @@ fn broadcast_run(
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
     let done = e.completion_time().ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
-    Ok((done - injected, e.take_recorder()))
+    Ok((done - injected, e.take_recorder(), e.take_causal_trace()))
 }
 
 /// Simulates `LEAFTOROOT` from leaf `source_leaf`; returns the time the root
@@ -786,6 +814,48 @@ mod tests {
     fn stream_rejects_too_many_sources() {
         let m = CostModel::thompson(8);
         let _ = stream_completion_time(8, 9, &m);
+    }
+
+    #[test]
+    fn traced_broadcast_critical_path_matches_the_closed_form_per_level() {
+        use orthotrees_obs::causal::SegmentKind;
+        for n in [2usize, 8, 32] {
+            for m in
+                [CostModel::thompson(n), CostModel::constant_delay(n), CostModel::linear_delay(n)]
+            {
+                let pitch = m.leaf_pitch();
+                let (t, trace) = broadcast_traced(n, &m).unwrap();
+                assert_eq!(t, m.tree_root_to_leaf(n, pitch), "completion still exact");
+                let path = trace.critical_path().unwrap();
+                assert!(path.covers_completion(), "n={n} {:?}: {path:?}", m.delay);
+                // Wire slices over positive-length links, root level first
+                // (the injection feed is the one zero-length wire).
+                let wires: Vec<BitTime> = path
+                    .wire_segments()
+                    .filter(|s| s.link_len.unwrap() > 0)
+                    .map(|s| s.duration())
+                    .collect();
+                let mut expect = m.level_bit_delays(n, pitch);
+                expect.reverse(); // closed form is leaf level first
+                assert_eq!(wires, expect, "n={n} {:?}", m.delay);
+                // Everything else on the path is the injection wire plus the
+                // word tail queueing at the first wire entrance.
+                let injected = m.delay.wire_bit_delay(0);
+                let other = path.kind_total(SegmentKind::QueueWait)
+                    + path.kind_total(SegmentKind::NodeCompute)
+                    + injected;
+                let wire_total: BitTime = wires.iter().copied().sum();
+                assert_eq!(wire_total + other, path.completion);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_broadcast_of_single_leaf_is_empty() {
+        let m = CostModel::thompson(2);
+        let (t, trace) = broadcast_traced(1, &m).unwrap();
+        assert_eq!(t, BitTime::ZERO);
+        assert!(trace.is_empty());
     }
 
     #[test]

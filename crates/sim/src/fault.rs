@@ -296,8 +296,9 @@ pub enum WordFaultKind {
 
 /// Watchdog limits for one engine run. The default budget is far beyond
 /// any well-formed network's needs, so hitting it indicates a runaway
-/// feedback loop — reported as [`SimError::BudgetExhausted`]
-/// (`orthotrees_vlsi::SimError`) instead of a hang.
+/// feedback loop — reported as
+/// [`SimError::BudgetExhausted`](orthotrees_vlsi::SimError::BudgetExhausted)
+/// instead of a hang.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunBudget {
     /// Maximum delivered events.

@@ -22,7 +22,7 @@ use orthotrees_verify::schedule::{
     aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
     stream_schedule,
 };
-use orthotrees_verify::{determinism, words, RULES};
+use orthotrees_verify::{critpath, determinism, words, RULES};
 use orthotrees_vlsi::{tree::level_wire_lengths, CostModel};
 
 /// Tree sizes the netlist and schedule passes sweep.
@@ -129,6 +129,7 @@ fn main() {
     lint_words(&mut report);
     lint_layouts(&mut report);
     report.extend(determinism::stock_findings());
+    report.extend(critpath::stock_findings(&TREE_LEAVES));
 
     if json {
         println!("{}", report.to_json().render());

@@ -129,6 +129,21 @@ pub const RULES: &[Rule] = &[
         summary: "same-timestamp events do not commute (tie-break order changes results)",
         severity: Severity::Error,
     },
+    Rule {
+        id: "CRIT-001",
+        summary: "clean ROOTTOLEAF critical path disagrees with the per-level closed-form delays",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "CRIT-002",
+        summary: "critical path does not tile [0, completion] (gap, overlap or wrong endpoints)",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "CRIT-003",
+        summary: "link slack accounting broken (no zero-slack completion link)",
+        severity: Severity::Error,
+    },
 ];
 
 /// Looks a rule up by id.

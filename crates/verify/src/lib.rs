@@ -10,7 +10,7 @@
 //!
 //! - [`net`] — the **topology linter**: snapshots a
 //!   [`sim::Engine`](orthotrees_sim::Engine)'s link table into a plain
-//!   [`Netlist`](net::Netlist) and checks port-wiring bijectivity
+//!   [`net::Netlist`] and checks port-wiring bijectivity
 //!   (`NET-*`) and the complete-binary-tree shape plus strip-embedding
 //!   wire lengths (`TREE-*`).
 //! - [`schedule`] — the **static schedule analyzer**: re-derives link
@@ -24,6 +24,10 @@
 //! - [`determinism`] — the **tie-break checker**: runs a network under
 //!   FIFO and LIFO same-timestamp ordering and flags any observable
 //!   divergence (`DET-001`).
+//! - [`critpath`] — the **causal-trace checker**: extracts the critical
+//!   path of a traced bit-level broadcast and asserts it tiles the
+//!   completion time exactly and matches the `CostModel` per-level
+//!   closed forms bit for bit (`CRIT-*`).
 //!
 //! The [`mutate`] module corrupts known-good netlists and is used by the
 //! test suite to prove every rule actually fires. The `netlint` binary
@@ -41,6 +45,7 @@
 //! assert!(lint_tree(&net, shape).is_empty());
 //! ```
 
+pub mod critpath;
 pub mod determinism;
 pub mod diag;
 pub mod mutate;

@@ -13,7 +13,7 @@
 //! * base-processor arithmetic is bit-serial: compare/add in `w`, multiply
 //!   in `Θ(w)` by the serial pipeline multiplier (refs \[6\], \[13\]).
 
-use crate::tree::{path_bit_latency, scaled_path_bit_latency};
+use crate::tree::{level_wire_lengths, path_bit_latency, scaled_path_bit_latency};
 use crate::{log2_ceil, BitTime, DelayModel};
 
 /// All parameters needed to price an operation in bit-times.
@@ -115,6 +115,40 @@ impl CostModel {
         } else {
             path_bit_latency(leaves, pitch, self.delay)
         }
+    }
+
+    /// Per-level one-bit wire delays of a tree over `leaves` leaves at
+    /// `pitch`, leaf level first (index `h` is the level-`h+1` wire of
+    /// length `pitch·2^h`; with scaling every level costs `2τ`). Sums to
+    /// [`tree_bit_latency`](CostModel::tree_bit_latency) — this is the
+    /// closed form's own decomposition, which the causal critical path of
+    /// a clean broadcast must reproduce exactly (the `CRIT-001` rule).
+    pub fn level_bit_delays(&self, leaves: usize, pitch: u64) -> Vec<BitTime> {
+        if self.scaled {
+            let depth = log2_ceil(leaves as u64) as usize;
+            vec![BitTime::new(2); depth]
+        } else {
+            level_wire_lengths(leaves, pitch)
+                .into_iter()
+                .map(|len| self.delay.wire_bit_delay(len))
+                .collect()
+        }
+    }
+
+    /// The serialisation tail of the model's own `w`-bit word
+    /// ([`word_tail`](CostModel::tree_root_to_leaf) of `word_bits`):
+    /// `w − 1` pipelined bit-times, 0 on word-parallel links. Public so
+    /// causal attribution can decompose a broadcast charge without
+    /// re-deriving the convention.
+    pub fn word_tail_bits(&self) -> BitTime {
+        self.word_tail(self.word_bits)
+    }
+
+    /// The serialisation tail of an aggregate's widened result word
+    /// (`w + log₂ leaves` bits — the SUM/COUNT convention of
+    /// [`tree_aggregate`](CostModel::tree_aggregate)).
+    pub fn aggregate_tail_bits(&self, leaves: usize) -> BitTime {
+        self.word_tail(self.word_bits.max(1) + log2_ceil(leaves as u64))
     }
 
     /// Cost of moving one `w`-bit word between the root and the leaves of a
@@ -319,6 +353,36 @@ mod tests {
         assert_eq!(m.wire_word(8).get(), 4 + 3);
         let c = CostModel::constant_delay(16);
         assert_eq!(c.wire_word(1 << 20).get(), 1 + 3);
+    }
+
+    #[test]
+    fn level_bit_delays_sum_to_tree_bit_latency() {
+        for n in [2usize, 8, 64, 256] {
+            for m in [
+                CostModel::thompson(n),
+                CostModel::constant_delay(n),
+                CostModel::linear_delay(n),
+                CostModel::thompson(n).with_scaling(),
+            ] {
+                let levels = m.level_bit_delays(n, m.pitch);
+                assert_eq!(levels.len(), log2_ceil(n as u64) as usize);
+                let sum: BitTime = levels.iter().copied().sum();
+                assert_eq!(sum, m.tree_bit_latency(n, m.pitch), "n={n} {:?}", m.delay);
+            }
+        }
+    }
+
+    #[test]
+    fn tail_helpers_reproduce_closed_forms() {
+        for n in [2usize, 16, 256] {
+            let m = CostModel::thompson(n);
+            let base = m.tree_bit_latency(n, m.pitch);
+            assert_eq!(base + m.word_tail_bits(), m.tree_root_to_leaf(n, m.pitch));
+            let depth = BitTime::new(u64::from(log2_ceil(n as u64)));
+            assert_eq!(base + depth + m.aggregate_tail_bits(n), m.tree_aggregate(n, m.pitch));
+            let u = CostModel::unit_delay(n);
+            assert_eq!(u.word_tail_bits(), BitTime::ZERO, "word-parallel tail is free");
+        }
     }
 
     #[test]
