@@ -70,16 +70,39 @@ pub fn broadcast_link_profile(
     experiments::broadcast_observed(leaves, m)
 }
 
-/// Renders the per-phase time-attribution table. The `self` column sums
-/// exactly to `completion` (every clock advance happens inside a span),
-/// and the footer states the check.
+/// The registry classification of a span name for the phase table:
+/// `class` plus the direction for communication entries (`comm/stream`),
+/// or `-` for spans that are not registry primitives.
+fn registry_kind(name: &str) -> &'static str {
+    use orthotrees::primitive::{Class, Direction};
+    match orthotrees::primitive::lookup(name) {
+        None => "-",
+        Some(s) => match (s.class, s.direction) {
+            (Class::Communication, Some(Direction::Broadcast)) => "comm/broadcast",
+            (Class::Communication, Some(Direction::Send)) => "comm/send",
+            (Class::Communication, Some(Direction::Aggregate)) => "comm/aggregate",
+            (Class::Communication, Some(Direction::Stream)) => "comm/stream",
+            (Class::Communication, Some(Direction::Circulate)) => "comm/circulate",
+            (Class::Communication, None) => "comm",
+            (Class::Composite, _) => "composite",
+            (Class::Compute, _) => "compute",
+            (Class::Procedure, _) => "procedure",
+            (Class::Overhead, _) => "overhead",
+        },
+    }
+}
+
+/// Renders the per-phase time-attribution table, each row annotated with
+/// the span's registry classification. The `self` column sums exactly to
+/// `completion` (every clock advance happens inside a span), and the
+/// footer states the check.
 pub fn phase_table(rec: &Recorder, completion: BitTime) -> String {
     let totals = rec.phase_totals();
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<20} {:>6} {:>12} {:>12} {:>7}",
-        "phase", "count", "total", "self", "self%"
+        "{:<20} {:<14} {:>6} {:>12} {:>12} {:>7}",
+        "phase", "kind", "count", "total", "self", "self%"
     );
     let mut attributed = 0u64;
     for p in &totals {
@@ -91,8 +114,9 @@ pub fn phase_table(rec: &Recorder, completion: BitTime) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<20} {:>6} {:>12} {:>12} {:>6.1}%",
+            "{:<20} {:<14} {:>6} {:>12} {:>12} {:>6.1}%",
             p.name,
+            registry_kind(&p.name),
             p.count,
             p.total.get(),
             p.self_time.get(),
@@ -102,8 +126,9 @@ pub fn phase_table(rec: &Recorder, completion: BitTime) -> String {
     let check = if attributed == completion.get() { "complete" } else { "INCOMPLETE" };
     let _ = writeln!(
         out,
-        "{:<20} {:>6} {:>12} {:>12} ({check}: Σself = completion {})",
+        "{:<20} {:<14} {:>6} {:>12} {:>12} ({check}: Σself = completion {})",
         "TOTAL",
+        "",
         "",
         "",
         attributed,
@@ -206,6 +231,18 @@ mod tests {
         assert!(!text.contains("INCOMPLETE"), "{text}");
         assert!(text.contains("SORT-OTN"));
         assert!(text.contains("ROOTTOLEAF"));
+    }
+
+    #[test]
+    fn phase_table_annotates_rows_with_registry_kinds() {
+        let (out, rec) = otn_sort_observed(16, 7);
+        let text = phase_table(&rec, out.time);
+        assert!(text.contains("comm/broadcast"), "{text}");
+        assert!(text.contains("procedure"), "{text}");
+        let (out, rec) = otc_sort_observed(16, 7);
+        let text = phase_table(&rec, out.time);
+        assert!(text.contains("comm/stream"), "{text}");
+        assert!(text.contains("comm/circulate"), "{text}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use orthotrees_obs::causal::SegmentKind;
 use orthotrees_obs::Recorder;
-use orthotrees_vlsi::{BitTime, Clock, CostModel};
+use orthotrees_vlsi::{BitTime, Clock, CostKind, CostModel};
 
 /// One slice of a charge: `(kind, tree level (1 = leaves), duration)`.
 pub(crate) type Part = (SegmentKind, Option<u32>, BitTime);
@@ -59,7 +59,8 @@ pub(crate) fn downward_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<Pa
 }
 
 /// A leaf-to-root word movement (`LEAFTOROOT`): same slices bottom-up.
-/// Sums to [`CostModel::tree_root_to_leaf`].
+/// Sums to [`CostModel::tree_leaf_to_root`] (≡ `tree_root_to_leaf` — the
+/// relay ascent inserts no per-level gate delay).
 pub(crate) fn upward_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<Part> {
     let mut parts: Vec<Part> = m
         .level_bit_delays(leaves, pitch)
@@ -83,6 +84,51 @@ pub(crate) fn aggregate_parts(m: &CostModel, leaves: usize, pitch: u64) -> Vec<P
     }
     parts.push((SegmentKind::QueueWait, None, m.aggregate_tail_bits(leaves)));
     parts
+}
+
+/// The segment decomposition of a registry cost kind: the attribution
+/// mirror of [`CostModel::primitive_cost`], which the result sums to
+/// exactly (checked by `seg_charge`'s debug assertion on every charge and
+/// pinned by a test below). The stream kinds append the pipelined
+/// `cycle_len − 1` circulate hops as one queue-wait slice; `cycle_len` is
+/// ignored by the tree kinds (OTN callers pass 1).
+pub(crate) fn primitive_parts(
+    m: &CostModel,
+    kind: CostKind,
+    leaves: usize,
+    pitch: u64,
+    cycle_len: usize,
+) -> Vec<Part> {
+    let stream_tail = |parts: &mut Vec<Part>| {
+        let tail = m.cycle_step() * (cycle_len.saturating_sub(1) as u64);
+        if tail > BitTime::ZERO {
+            parts.push((SegmentKind::QueueWait, None, tail));
+        }
+    };
+    match kind {
+        CostKind::Broadcast => downward_parts(m, leaves, pitch),
+        CostKind::Send => upward_parts(m, leaves, pitch),
+        CostKind::Aggregate => aggregate_parts(m, leaves, pitch),
+        CostKind::StreamBroadcast => {
+            let mut parts = downward_parts(m, leaves, pitch);
+            stream_tail(&mut parts);
+            parts
+        }
+        CostKind::StreamSend => {
+            let mut parts = upward_parts(m, leaves, pitch);
+            stream_tail(&mut parts);
+            parts
+        }
+        CostKind::StreamAggregate => {
+            let mut parts = aggregate_parts(m, leaves, pitch);
+            stream_tail(&mut parts);
+            parts
+        }
+        CostKind::CycleStep => vec![
+            (SegmentKind::WireDelay, None, m.delay.wire_bit_delay(1)),
+            (SegmentKind::QueueWait, None, m.word_tail_bits()),
+        ],
+    }
 }
 
 /// A pure local compute phase of duration `t` (BP/root/cycle phases).
@@ -114,6 +160,36 @@ mod tests {
                 assert_eq!(sum(downward_parts(&m, n, p)), m.tree_root_to_leaf(n, p));
                 assert_eq!(sum(upward_parts(&m, n, p)), m.tree_root_to_leaf(n, p));
                 assert_eq!(sum(aggregate_parts(&m, n, p)), m.tree_aggregate(n, p));
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_parts_sum_to_primitive_cost() {
+        // The attribution mirror of CostModel::primitive_cost: for every
+        // cost kind the segment decomposition sums to the closed form the
+        // charge uses, under every delay model.
+        for n in [2usize, 16, 64] {
+            for m in [
+                CostModel::thompson(n),
+                CostModel::constant_delay(n),
+                CostModel::linear_delay(n),
+                CostModel::unit_delay(n),
+                CostModel::thompson(n).with_scaling(),
+            ] {
+                let p = m.leaf_pitch();
+                for kind in CostKind::ALL {
+                    for cycle_len in [1usize, 4] {
+                        let parts = primitive_parts(&m, kind, n, p, cycle_len);
+                        let sum: BitTime = parts.iter().map(|x| x.2).sum();
+                        assert_eq!(
+                            sum,
+                            m.primitive_cost(kind, n, p, cycle_len),
+                            "{kind:?} n={n} cycle={cycle_len} {:?}",
+                            m.delay
+                        );
+                    }
+                }
             }
         }
     }

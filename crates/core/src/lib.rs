@@ -34,6 +34,14 @@
 //! * Leighton's three-dimensional mesh of trees and its unpipelined
 //!   `Θ(polylog)` matrix multiplication — [`mot3d`] (§VII.B).
 //!
+//! Every primitive's identity — span name, communication direction, combine
+//! monoid, result-width rule and cost kind — is declared exactly once in the
+//! [`primitive::REGISTRY`]; the executors, the cost model, the observability
+//! spans, the causal attribution and the `orthotrees-verify` rules all
+//! derive from that single table. The registry also exposes the per-tree
+//! independence of every primitive, which [`ParallelPolicy::Threads`] turns
+//! into scoped-thread parallelism with bit- and clock-identical results.
+//!
 //! # Quick start
 //!
 //! ```
@@ -52,6 +60,7 @@ mod grid;
 pub mod mot3d;
 pub mod otc;
 pub mod otn;
+pub mod primitive;
 pub mod resilience;
 mod word;
 
@@ -60,5 +69,6 @@ pub use orthotrees_obs as obs;
 pub use orthotrees_vlsi::{
     Area, BitTime, Clock, CostModel, DelayModel, ModelError, OpStats, SimError,
 };
+pub use primitive::ParallelPolicy;
 pub use resilience::{DarkLeaf, FaultPlan, FaultReport, FaultStats, TreeAxis};
 pub use word::{pack, unpack, Word};

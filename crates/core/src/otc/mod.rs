@@ -21,11 +21,11 @@ pub mod matmul;
 pub mod mst;
 pub mod sort;
 
+use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
-use orthotrees_obs::causal::SegmentKind;
 use orthotrees_obs::Recorder;
-use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostModel, ModelError};
+use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostKind, CostModel, ModelError};
 
 pub use super::otn::Axis;
 
@@ -89,6 +89,10 @@ impl CycleRegs<'_> {
 /// Cost class of a local compute phase (re-exported shape of the OTN's).
 pub use super::otn::PhaseCost;
 
+/// One tree's downward gather: `(tree, stream slot, (row, col, position),
+/// value)` per selected cycle position (see [`Otc`]'s `stream_downward`).
+type StreamWrites = Vec<(usize, usize, (usize, usize, usize), Option<Word>)>;
+
 /// The orthogonal tree cycles network.
 #[derive(Clone, Debug)]
 pub struct Otc {
@@ -107,6 +111,8 @@ pub struct Otc {
     /// Installed observability recorder; `None` keeps every primitive on
     /// the exact unrecorded path (same contract as `fault`).
     recorder: Option<Recorder>,
+    /// How the per-tree independent gather of each primitive executes.
+    parallel: ParallelPolicy,
 }
 
 impl Otc {
@@ -155,7 +161,21 @@ impl Otc {
             col_roots: vec![vec![None; cycle]; m],
             fault: None,
             recorder: None,
+            parallel: ParallelPolicy::default(),
         })
+    }
+
+    /// Sets how the per-tree independent portions of each primitive
+    /// execute (see [`ParallelPolicy`]). Both policies are bit- and
+    /// clock-identical — asserted by property tests; `Threads` trades
+    /// scoped-thread overhead for wall-clock speedup on large networks.
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.parallel = policy;
+    }
+
+    /// The active parallel execution policy.
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        self.parallel
     }
 
     /// The OTC that sorts `n` numbers: [`Otc::dims_for`]`(n)` with
@@ -298,45 +318,14 @@ impl Otc {
     /// one tree traversal (§V.B: "a pipeline of length O(log² N) in which
     /// log N elements are transmitted at O(log N) intervals of time").
     pub fn stream_cost(&self, aggregate: bool) -> BitTime {
-        let base = if aggregate {
-            self.model.tree_aggregate(self.m, self.pitch)
-        } else {
-            self.model.tree_root_to_leaf(self.m, self.pitch)
-        };
-        base + self.model.cycle_step() * (self.cycle as u64 - 1)
+        let kind = if aggregate { CostKind::StreamAggregate } else { CostKind::StreamBroadcast };
+        self.model.primitive_cost(kind, self.m, self.pitch, self.cycle)
     }
 
     /// Advances the clock by `expected` while recording its causal
     /// decomposition `parts` (see [`crate::attribution`]).
     fn seg_charge(&mut self, expected: BitTime, parts: &[crate::attribution::Part]) {
         crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, expected, parts);
-    }
-
-    fn charge_stream(&mut self, aggregate: bool, send: bool) {
-        let t = self.stream_cost(aggregate);
-        // Causally: one tree traversal (up, down, or aggregating up) for
-        // the first word, then the remaining L−1 stream words pipeline in
-        // one cycle_step apart.
-        let mut parts = if aggregate {
-            crate::attribution::aggregate_parts(&self.model, self.m, self.pitch)
-        } else if send {
-            crate::attribution::upward_parts(&self.model, self.m, self.pitch)
-        } else {
-            crate::attribution::downward_parts(&self.model, self.m, self.pitch)
-        };
-        parts.extend(crate::attribution::wait_parts(
-            self.model.cycle_step() * (self.cycle as u64 - 1),
-        ));
-        self.seg_charge(t, &parts);
-        let stats = self.clock.stats_mut();
-        if aggregate {
-            stats.aggregates += 1;
-        } else if send {
-            stats.sends += 1;
-        } else {
-            stats.broadcasts += 1;
-        }
-        stats.circulates += self.cycle as u64 - 1;
     }
 
     fn phase_cost(&self, cost: PhaseCost) -> BitTime {
@@ -444,14 +433,16 @@ impl Otc {
     }
 
     /// Charges the fault overhead of one streamed primitive on `axis`:
-    /// `attempts` retransmitted streams plus the sibling-reroute penalty.
-    fn charge_fault_overhead(&mut self, axis: Axis, attempts: u32, aggregate: bool) {
+    /// `attempts` retransmitted streams of `base` plus the sibling-reroute
+    /// penalty. `base` is the same registry-priced cost the primitive just
+    /// charged, so charge and overhead can never disagree.
+    fn charge_fault_overhead(&mut self, axis: Axis, attempts: u32, base: BitTime) {
         let Some(f) = &self.fault else { return };
         let span = f.reroute_span[match axis {
             Axis::Rows => 0,
             Axis::Cols => 1,
         }];
-        let mut extra = self.stream_cost(aggregate) * u64::from(attempts);
+        let mut extra = base * u64::from(attempts);
         if span > 0 {
             extra += self.model.tree_leaf_to_leaf(2 * span, self.pitch);
         }
@@ -459,7 +450,7 @@ impl Otc {
             // Attributed as its own (nested) phase so a faulty run's
             // slowdown is visible in the time-attribution table; causally
             // it is pure waiting (retransmitted streams / detour latency).
-            self.begin_phase("FAULT-OVERHEAD");
+            self.begin_phase(primitive::spec_for("FAULT-OVERHEAD").name);
             let parts = crate::attribution::wait_parts(extra);
             self.seg_charge(extra, &parts);
             self.end_phase();
@@ -467,6 +458,166 @@ impl Otc {
         if let Some(rec) = &mut self.recorder {
             rec.count("fault.retry_rounds", u64::from(attempts));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The shared descriptor-driven executor (see [`crate::primitive`]).
+    // Every §V.B stream primitive below is a thin call into these:
+    // selector gather (fanned out per tree under ParallelPolicy::Threads)
+    // → fault round → per-stream-word transit → register/root-buffer
+    // writes → one registry-derived charge.
+    // ------------------------------------------------------------------
+
+    /// Charges `spec`'s registry cost kind once for the whole tree family
+    /// of `axis`: the clock charge, its causal segment decomposition, the
+    /// matching operation statistics (including the `L − 1` pipelined
+    /// circulate hops of a stream) and the fault-overhead base all derive
+    /// from the same [`CostKind`], so they can never disagree.
+    fn charge_primitive(&mut self, spec: &PrimitiveSpec, axis: Axis, attempts: u32) {
+        let kind = spec.cost.unwrap_or_else(|| panic!("{} declares no cost kind", spec.name));
+        let t = self.model.primitive_cost(kind, self.m, self.pitch, self.cycle);
+        let parts =
+            crate::attribution::primitive_parts(&self.model, kind, self.m, self.pitch, self.cycle);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
+        let stats = self.clock.stats_mut();
+        match kind {
+            CostKind::Broadcast | CostKind::StreamBroadcast => stats.broadcasts += 1,
+            CostKind::Send | CostKind::StreamSend => stats.sends += 1,
+            CostKind::Aggregate | CostKind::StreamAggregate => stats.aggregates += 1,
+            CostKind::CycleStep => stats.circulates += 1,
+        }
+        if kind.is_stream() {
+            stats.circulates += self.cycle as u64 - 1;
+        }
+        self.charge_fault_overhead(axis, attempts, t);
+    }
+
+    /// The downward stream executor (`ROOTTOCYCLE`): gathers each tree's
+    /// selected cycles' stream words, then transits and writes every word
+    /// in tree order and charges the registry cost.
+    fn stream_downward(
+        &mut self,
+        name: &str,
+        axis: Axis,
+        dest: Reg,
+        sel: &(impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync),
+    ) {
+        let spec = primitive::spec_for(name);
+        self.begin_phase(spec.name);
+        let writes: Vec<StreamWrites> = {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            primitive::per_tree(self.parallel, self.m, |t| {
+                let mut w = Vec::new();
+                for l in 0..self.m {
+                    let (i, j) = Self::coords(axis, t, l);
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
+                        for q in 0..self.cycle {
+                            w.push((t, l * self.cycle + q, (i, j, q), self.roots(axis)[t][q]));
+                        }
+                    }
+                }
+                w
+            })
+        };
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, slot, (i, j, q), v) in writes.into_iter().flatten() {
+            let (v, att) = self.word_transit(axis, t, slot, v);
+            attempts = attempts.max(att);
+            let at = self.idx(i, j, q);
+            self.regs[dest.0][at] = v;
+        }
+        self.charge_primitive(spec, axis, attempts);
+        self.end_phase();
+    }
+
+    /// The upward stream executor (`CYCLETOROOT` and the stream
+    /// aggregates): per tree and stream position, folds the selected
+    /// cycles' words through `spec`'s combine
+    /// [`Monoid`](crate::primitive::Monoid), then transits each root-bound
+    /// word in tree order and charges the registry cost.
+    fn stream_upward(
+        &mut self,
+        name: &str,
+        axis: Axis,
+        src: Reg,
+        sel: &(impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync),
+    ) {
+        let spec = primitive::spec_for(name);
+        let monoid =
+            spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
+        self.begin_phase(spec.name);
+        let degraded = self.fault.is_some();
+        let mut new_roots: Vec<Vec<Option<Word>>> = {
+            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
+            primitive::per_tree(self.parallel, self.m, |t| {
+                (0..self.cycle)
+                    .map(|q| {
+                        let mut acc = Acc::new(monoid);
+                        for l in 0..self.m {
+                            let (i, j) = Self::coords(axis, t, l);
+                            if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
+                                // On First contention under faults, the
+                                // fold keeps the first word (corrupted
+                                // selectors legitimately collide); in a
+                                // healthy net it is an invariant violation.
+                                acc.fold(view.get(src, i, j, q), || {
+                                    assert!(
+                                        degraded,
+                                        "{} contention: tree {t} position {q} selected twice \
+                                         (invariant: one cycle per tree and position)",
+                                        spec.name
+                                    );
+                                });
+                            }
+                        }
+                        acc.finish()
+                    })
+                    .collect()
+            })
+        };
+        self.begin_fault_round();
+        let mut attempts = 0;
+        if self.fault.is_some() {
+            // Root-bound slots sit above the per-cycle broadcast slot
+            // range (`m * cycle`), keeping sites injective.
+            let site_base = self.m * self.cycle;
+            for (t, row) in new_roots.iter_mut().enumerate() {
+                for (q, slot) in row.iter_mut().enumerate() {
+                    let (v, att) = self.word_transit(axis, t, site_base + q, *slot);
+                    attempts = attempts.max(att);
+                    *slot = v;
+                }
+            }
+        }
+        *self.roots_mut(axis) = new_roots;
+        self.charge_primitive(spec, axis, attempts);
+        self.end_phase();
+    }
+
+    /// The composite executor: opens `name`'s enclosing registry span and
+    /// runs its two legs (each charges itself).
+    fn composite(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
+        let spec = primitive::spec_for(name);
+        debug_assert!(spec.composite_of.is_some(), "{} is not a composite", spec.name);
+        self.begin_phase(spec.name);
+        f(self);
+        self.end_phase();
+    }
+
+    /// Charges a local compute phase of duration `t` under its registry
+    /// span name.
+    fn charge_compute(&mut self, name: &str, t: BitTime) {
+        let spec = primitive::spec_for(name);
+        self.begin_phase(spec.name);
+        crate::attribution::seg_charge(
+            &mut self.clock,
+            &mut self.recorder,
+            t,
+            &crate::attribution::compute_parts(t),
+        );
+        self.end_phase();
+        self.clock.stats_mut().leaf_ops += 1;
     }
 
     // ------------------------------------------------------------------
@@ -484,13 +635,19 @@ impl Otc {
                 }
             }
         }
-        self.begin_phase("VECTORCIRCULATE");
         // One O(1)-long hop inside the cycle block, then the word tail.
-        let parts = [
-            (SegmentKind::WireDelay, None, self.model.delay.wire_bit_delay(1)),
-            (SegmentKind::QueueWait, None, self.model.word_tail_bits()),
-        ];
-        self.seg_charge(self.model.cycle_step(), &parts);
+        // Never a faultable tree traversal, so no fault-overhead charge.
+        let spec = primitive::spec_for("VECTORCIRCULATE");
+        self.begin_phase(spec.name);
+        let t = self.model.primitive_cost(CostKind::CycleStep, self.m, self.pitch, self.cycle);
+        let parts = crate::attribution::primitive_parts(
+            &self.model,
+            CostKind::CycleStep,
+            self.m,
+            self.pitch,
+            self.cycle,
+        );
+        self.seg_charge(t, &parts);
         self.end_phase();
         self.clock.stats_mut().circulates += 1;
     }
@@ -504,34 +661,9 @@ impl Otc {
         &mut self,
         axis: Axis,
         dest: Reg,
-        sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("ROOTTOCYCLE");
-        let mut writes = Vec::new();
-        {
-            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for t in 0..self.m {
-                for l in 0..self.m {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        for q in 0..self.cycle {
-                            writes.push((t, l * self.cycle + q, (i, j, q), self.roots(axis)[t][q]));
-                        }
-                    }
-                }
-            }
-        }
-        self.begin_fault_round();
-        let mut attempts = 0;
-        for (t, slot, (i, j, q), v) in writes {
-            let (v, att) = self.word_transit(axis, t, slot, v);
-            attempts = attempts.max(att);
-            let at = self.idx(i, j, q);
-            self.regs[dest.0][at] = v;
-        }
-        self.charge_stream(false, false);
-        self.charge_fault_overhead(axis, attempts, false);
-        self.end_phase();
+        self.stream_downward("ROOTTOCYCLE", axis, dest, &sel);
     }
 
     /// `CYCLETOROOT(Vector, Source)`: each tree's root receives, for every
@@ -554,65 +686,9 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("CYCLETOROOT");
-        let degraded = self.fault.is_some();
-        let mut new_roots = vec![vec![None; self.cycle]; self.m];
-        {
-            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for (t, row) in new_roots.iter_mut().enumerate() {
-                for (q, slot) in row.iter_mut().enumerate() {
-                    let mut found = false;
-                    for l in 0..self.m {
-                        let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
-                            if found {
-                                assert!(
-                                    degraded,
-                                    "CYCLETOROOT contention: tree {t} position {q} selected \
-                                     twice (invariant: one cycle per tree and position)"
-                                );
-                                continue; // under faults: keep the first word
-                            }
-                            found = true;
-                            *slot = view.get(src, i, j, q);
-                        }
-                    }
-                }
-            }
-        }
-        self.finish_stream_aggregate(axis, new_roots, false, true);
-        self.end_phase();
-    }
-
-    /// Shared tail of the root-bound stream primitives: every buffer word
-    /// transits under the fault plan, the roots update, cost and fault
-    /// overhead are charged.
-    fn finish_stream_aggregate(
-        &mut self,
-        axis: Axis,
-        mut new_roots: Vec<Vec<Option<Word>>>,
-        aggregate: bool,
-        send: bool,
-    ) {
-        self.begin_fault_round();
-        let mut attempts = 0;
-        if self.fault.is_some() {
-            // Root-bound slots sit above the per-cycle broadcast slot
-            // range (`m * cycle`), keeping sites injective.
-            let site_base = self.m * self.cycle;
-            for (t, row) in new_roots.iter_mut().enumerate() {
-                for (q, slot) in row.iter_mut().enumerate() {
-                    let (v, att) = self.word_transit(axis, t, site_base + q, *slot);
-                    attempts = attempts.max(att);
-                    *slot = v;
-                }
-            }
-        }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_stream(aggregate, send);
-        self.charge_fault_overhead(axis, attempts, aggregate);
+        self.stream_upward("CYCLETOROOT", axis, src, &sel);
     }
 
     /// `SUM-CYCLETOROOT`: root buffer position `q` receives the sum over
@@ -621,27 +697,9 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("SUM-CYCLETOROOT");
-        let mut new_roots = vec![vec![None; self.cycle]; self.m];
-        {
-            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for (t, row) in new_roots.iter_mut().enumerate() {
-                for (q, slot) in row.iter_mut().enumerate() {
-                    let mut sum: Word = 0;
-                    for l in 0..self.m {
-                        let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
-                            sum += view.get(src, i, j, q).unwrap_or(0);
-                        }
-                    }
-                    *slot = Some(sum);
-                }
-            }
-        }
-        self.finish_stream_aggregate(axis, new_roots, true, false);
-        self.end_phase();
+        self.stream_upward("SUM-CYCLETOROOT", axis, src, &sel);
     }
 
     /// `MIN-CYCLETOROOT`: per-position minimum over the selected cycles.
@@ -649,29 +707,9 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MIN-CYCLETOROOT");
-        let mut new_roots = vec![vec![None; self.cycle]; self.m];
-        {
-            let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
-            for (t, row) in new_roots.iter_mut().enumerate() {
-                for (q, slot) in row.iter_mut().enumerate() {
-                    let mut best: Option<Word> = None;
-                    for l in 0..self.m {
-                        let (i, j) = Self::coords(axis, t, l);
-                        if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
-                            if let Some(v) = view.get(src, i, j, q) {
-                                best = Some(best.map_or(v, |b: Word| b.min(v)));
-                            }
-                        }
-                    }
-                    *slot = best;
-                }
-            }
-        }
-        self.finish_stream_aggregate(axis, new_roots, true, false);
-        self.end_phase();
+        self.stream_upward("MIN-CYCLETOROOT", axis, src, &sel);
     }
 
     /// `CYCLETOCYCLE(Vector, Source, Dest)` (§V.B composite 3).
@@ -683,14 +721,14 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("CYCLETOCYCLE");
-        self.cycle_to_root(axis, src, src_sel);
-        self.root_to_cycle(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("CYCLETOCYCLE", |n| {
+            n.cycle_to_root(axis, src, src_sel);
+            n.root_to_cycle(axis, dest, dest_sel);
+        });
     }
 
     /// `SUM-CYCLETOCYCLE`.
@@ -698,14 +736,14 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("SUM-CYCLETOCYCLE");
-        self.sum_cycle_to_root(axis, src, src_sel);
-        self.root_to_cycle(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("SUM-CYCLETOCYCLE", |n| {
+            n.sum_cycle_to_root(axis, src, src_sel);
+            n.root_to_cycle(axis, dest, dest_sel);
+        });
     }
 
     /// `MIN-CYCLETOCYCLE`.
@@ -713,14 +751,14 @@ impl Otc {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MIN-CYCLETOCYCLE");
-        self.min_cycle_to_root(axis, src, src_sel);
-        self.root_to_cycle(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("MIN-CYCLETOCYCLE", |n| {
+            n.min_cycle_to_root(axis, src, src_sel);
+            n.root_to_cycle(axis, dest, dest_sel);
+        });
     }
 
     /// One parallel per-BP compute phase (`f(i, j, q, value) → value` over
@@ -748,11 +786,7 @@ impl Otc {
             self.regs[r.0][at] = v;
         }
         let t = self.phase_cost(cost);
-        self.begin_phase("BP-PHASE");
-        let parts = crate::attribution::compute_parts(t);
-        self.seg_charge(t, &parts);
-        self.end_phase();
-        self.clock.stats_mut().leaf_ops += 1;
+        self.charge_compute("BP-PHASE", t);
     }
 
     /// Zeroes a register plane as one parallel bit phase (flag reset).
@@ -776,11 +810,7 @@ impl Otc {
             }
         }
         let t = self.phase_cost(cost);
-        self.begin_phase("CYCLE-PHASE");
-        let parts = crate::attribution::compute_parts(t);
-        self.seg_charge(t, &parts);
-        self.end_phase();
-        self.clock.stats_mut().leaf_ops += 1;
+        self.charge_compute("CYCLE-PHASE", t);
     }
 }
 

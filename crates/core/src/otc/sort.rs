@@ -45,7 +45,7 @@ pub fn sort(net: &mut Otc, xs: &[Word]) -> Result<SortOutcome, ModelError> {
 
     let stats_before = *net.clock().stats();
     let (_, time) = net.elapsed(|net| {
-        net.begin_phase("SORT-OTC");
+        net.begin_phase(crate::primitive::spec_for("SORT-OTC").name);
         // 1) group i to every cycle of row i.
         net.root_to_cycle(Axis::Rows, a, |_, _, _| true);
         // 2) group j (from diagonal cycle (j,j)) to every cycle of column j.

@@ -24,10 +24,11 @@ pub mod prefix;
 pub mod sort;
 
 use crate::grid::Grid;
+use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
 use orthotrees_obs::Recorder;
-use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostModel, ModelError};
+use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostKind, CostModel, ModelError};
 
 /// Handle to a named register plane allocated with [`Otn::alloc_reg`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -134,6 +135,8 @@ pub struct Otn {
     /// primitive free of recording code. Recording never changes a
     /// simulated bit, time, or output.
     recorder: Option<Recorder>,
+    /// How the per-tree independent gather of each primitive executes.
+    parallel: ParallelPolicy,
 }
 
 impl Otn {
@@ -162,7 +165,21 @@ impl Otn {
             col_roots: vec![None; cols],
             fault: None,
             recorder: None,
+            parallel: ParallelPolicy::default(),
         })
+    }
+
+    /// Sets how the per-tree independent portions of each primitive
+    /// execute (see [`ParallelPolicy`]). Both policies are bit- and
+    /// clock-identical — asserted by property tests; `Threads` trades
+    /// scoped-thread overhead for wall-clock speedup on large networks.
+    pub fn set_parallel_policy(&mut self, policy: ParallelPolicy) {
+        self.parallel = policy;
+    }
+
+    /// The active parallel execution policy.
+    pub fn parallel_policy(&self) -> ParallelPolicy {
+        self.parallel
     }
 
     /// A square `(n × n)`-OTN under Thompson's model with word width
@@ -462,7 +479,7 @@ impl Otn {
             // Attributed as its own (nested) phase so a faulty run's
             // slowdown is visible in the time-attribution table; causally
             // it is pure waiting (retransmission rounds / detour latency).
-            self.begin_phase("FAULT-OVERHEAD");
+            self.begin_phase(primitive::spec_for("FAULT-OVERHEAD").name);
             crate::attribution::seg_charge(
                 &mut self.clock,
                 &mut self.recorder,
@@ -477,33 +494,166 @@ impl Otn {
     }
 
     // ------------------------------------------------------------------
+    // The shared descriptor-driven executor (tentpole of the primitive
+    // registry). Every §II.B primitive below is a thin call into these:
+    // selector gather (fanned out per tree under ParallelPolicy::Threads)
+    // → fault round → per-word transit → register/root writes → one
+    // registry-derived charge.
+    // ------------------------------------------------------------------
+
+    /// Charges `spec`'s registry cost kind once for the whole tree family
+    /// of `axis`: the clock charge, its causal segment decomposition, the
+    /// matching operation statistic and the fault-overhead base all derive
+    /// from the same [`CostKind`], so they can never disagree.
+    fn charge_primitive(&mut self, spec: &PrimitiveSpec, axis: Axis, attempts: u32) {
+        let leaves = self.leaves(axis);
+        let kind = spec.cost.unwrap_or_else(|| panic!("{} declares no cost kind", spec.name));
+        let t = self.model.primitive_cost(kind, leaves, self.pitch, 1);
+        let parts = crate::attribution::primitive_parts(&self.model, kind, leaves, self.pitch, 1);
+        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
+        let stats = self.clock.stats_mut();
+        match kind {
+            CostKind::Broadcast | CostKind::StreamBroadcast => stats.broadcasts += 1,
+            CostKind::Send | CostKind::StreamSend => stats.sends += 1,
+            CostKind::Aggregate | CostKind::StreamAggregate => stats.aggregates += 1,
+            CostKind::CycleStep => stats.circulates += 1,
+        }
+        self.charge_fault_overhead(axis, attempts, t);
+    }
+
+    /// The downward executor (`ROOTTOLEAF`): gathers every tree's selected
+    /// leaves, then transits and writes each delivered word in tree order,
+    /// then charges the registry cost.
+    ///
+    /// [`DownWrites`] is the per-tree gather result: one
+    /// `(tree, leaf, row, col, value)` tuple per selected leaf.
+    fn tree_downward(
+        &mut self,
+        name: &str,
+        axis: Axis,
+        dest: Reg,
+        sel: &(impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync),
+    ) {
+        let spec = primitive::spec_for(name);
+        self.begin_phase(spec.name);
+        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
+        let writes: Vec<DownWrites> = {
+            let view = RegsView { regs: &self.regs };
+            primitive::per_tree(self.parallel, trees, |t| {
+                let value = self.roots(axis)[t];
+                (0..leaves)
+                    .filter_map(|l| {
+                        let (i, j) = Self::coords(axis, t, l);
+                        (sel(i, j, &view) && !self.is_dark(axis, t, l))
+                            .then_some((t, l, i, j, value))
+                    })
+                    .collect()
+            })
+        };
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, l, i, j, v) in writes.into_iter().flatten() {
+            let (v, att) = self.word_transit(axis, t, l, v);
+            attempts = attempts.max(att);
+            self.regs[dest.0].set(i, j, v);
+        }
+        self.charge_primitive(spec, axis, attempts);
+        self.end_phase();
+    }
+
+    /// The upward executor (`LEAFTOROOT` and the aggregates): folds each
+    /// tree's selected leaves through `spec`'s combine [`Monoid`]
+    /// (`crate::primitive::Monoid`), then transits each root word in tree
+    /// order and charges the registry cost.
+    fn tree_upward(
+        &mut self,
+        name: &str,
+        axis: Axis,
+        src: Reg,
+        sel: &(impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync),
+    ) {
+        let spec = primitive::spec_for(name);
+        let monoid =
+            spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
+        self.begin_phase(spec.name);
+        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
+        let degraded = self.fault.is_some();
+        let mut new_roots: Vec<Option<Word>> = {
+            let view = RegsView { regs: &self.regs };
+            primitive::per_tree(self.parallel, trees, |t| {
+                let mut acc = Acc::new(monoid);
+                for l in 0..leaves {
+                    let (i, j) = Self::coords(axis, t, l);
+                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
+                        // On First contention under faults, the fold keeps
+                        // the first word (corrupted ranks legitimately
+                        // collide); in a healthy net it is an invariant
+                        // violation.
+                        acc.fold(view.get(src, i, j), || {
+                            assert!(
+                                degraded,
+                                "{} contention: tree {t} of {axis:?} selected twice \
+                                 (invariant: the Selector specifies one BP per tree)",
+                                spec.name
+                            );
+                        });
+                    }
+                }
+                acc.finish()
+            })
+        };
+        self.begin_fault_round();
+        let mut attempts = 0;
+        for (t, root) in new_roots.iter_mut().enumerate() {
+            let (v, att) = self.word_transit(axis, t, resilience::TREE_SITE, *root);
+            attempts = attempts.max(att);
+            *root = v;
+        }
+        *self.roots_mut(axis) = new_roots;
+        self.charge_primitive(spec, axis, attempts);
+        self.end_phase();
+    }
+
+    /// The composite executor: opens `name`'s enclosing registry span and
+    /// runs its two legs (each charges itself).
+    fn composite(&mut self, name: &str, f: impl FnOnce(&mut Self)) {
+        let spec = primitive::spec_for(name);
+        debug_assert!(spec.composite_of.is_some(), "{} is not a composite", spec.name);
+        self.begin_phase(spec.name);
+        f(self);
+        self.end_phase();
+    }
+
+    /// The model price of a [`PhaseCost`] class.
+    fn phase_cost(&self, cost: PhaseCost) -> BitTime {
+        match cost {
+            PhaseCost::Bit => self.model.bit_op(),
+            PhaseCost::Compare => self.model.compare(),
+            PhaseCost::Add => self.model.add(),
+            PhaseCost::Multiply => self.model.multiply(),
+            PhaseCost::Words(k) => self.model.compare() * k,
+        }
+    }
+
+    /// Charges a local compute phase of duration `t` under its registry
+    /// span name.
+    fn charge_compute(&mut self, name: &str, t: BitTime) {
+        let spec = primitive::spec_for(name);
+        self.begin_phase(spec.name);
+        crate::attribution::seg_charge(
+            &mut self.clock,
+            &mut self.recorder,
+            t,
+            &crate::attribution::compute_parts(t),
+        );
+        self.end_phase();
+        self.clock.stats_mut().leaf_ops += 1;
+    }
+
+    // ------------------------------------------------------------------
     // Primitive operations (§II.B). Each charges its model cost once for
     // the whole parallel tree family.
     // ------------------------------------------------------------------
-
-    fn charge_broadcast(&mut self, axis: Axis) {
-        let leaves = self.leaves(axis);
-        let t = self.model.tree_root_to_leaf(leaves, self.pitch);
-        let parts = crate::attribution::downward_parts(&self.model, leaves, self.pitch);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
-        self.clock.stats_mut().broadcasts += 1;
-    }
-
-    fn charge_send(&mut self, axis: Axis) {
-        let leaves = self.leaves(axis);
-        let t = self.model.tree_root_to_leaf(leaves, self.pitch);
-        let parts = crate::attribution::upward_parts(&self.model, leaves, self.pitch);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
-        self.clock.stats_mut().sends += 1;
-    }
-
-    fn charge_aggregate(&mut self, axis: Axis) {
-        let leaves = self.leaves(axis);
-        let t = self.model.tree_aggregate(leaves, self.pitch);
-        let parts = crate::attribution::aggregate_parts(&self.model, leaves, self.pitch);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
-        self.clock.stats_mut().aggregates += 1;
-    }
 
     /// `ROOTTOLEAF(Vector, Dest)`: each tree of `axis` broadcasts its root
     /// register to its selected leaves, which store it in `dest`.
@@ -517,34 +667,9 @@ impl Otn {
         &mut self,
         axis: Axis,
         dest: Reg,
-        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("ROOTTOLEAF");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let mut writes = Vec::new();
-        {
-            let view = RegsView { regs: &self.regs };
-            for t in 0..trees {
-                let value = self.roots(axis)[t];
-                for l in 0..leaves {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        writes.push((t, l, i, j, value));
-                    }
-                }
-            }
-        }
-        self.begin_fault_round();
-        let mut attempts = 0;
-        for (t, l, i, j, v) in writes {
-            let (v, att) = self.word_transit(axis, t, l, v);
-            attempts = attempts.max(att);
-            self.regs[dest.0].set(i, j, v);
-        }
-        self.charge_broadcast(axis);
-        let base = self.model.tree_root_to_leaf(leaves, self.pitch);
-        self.charge_fault_overhead(axis, attempts, base);
-        self.end_phase();
+        self.tree_downward("ROOTTOLEAF", axis, dest, &sel);
     }
 
     /// `LEAFTOROOT(Vector, Source)`: in each tree of `axis`, the selected
@@ -565,85 +690,17 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("LEAFTOROOT");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let degraded = self.fault.is_some();
-        let mut new_roots = vec![None; trees];
-        {
-            let view = RegsView { regs: &self.regs };
-            for (t, root) in new_roots.iter_mut().enumerate() {
-                let mut found = false;
-                for l in 0..leaves {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        if found {
-                            assert!(
-                                degraded,
-                                "LEAFTOROOT contention: tree {t} of {axis:?} selected twice \
-                                 (invariant: the Selector specifies one BP per tree)"
-                            );
-                            continue; // under faults: keep the first word
-                        }
-                        found = true;
-                        *root = view.get(src, i, j);
-                    }
-                }
-            }
-        }
-        self.begin_fault_round();
-        let mut attempts = 0;
-        for (t, root) in new_roots.iter_mut().enumerate() {
-            let (v, att) = self.word_transit(axis, t, resilience::TREE_SITE, *root);
-            attempts = attempts.max(att);
-            *root = v;
-        }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_send(axis);
-        let base = self.model.tree_root_to_leaf(leaves, self.pitch);
-        self.charge_fault_overhead(axis, attempts, base);
-        self.end_phase();
+        self.tree_upward("LEAFTOROOT", axis, src, &sel);
     }
 
     /// `COUNT-LEAFTOROOT(Vector)`: each root receives the number of leaves
     /// whose `flag` register is a non-zero word (§II.B primitive 3).
     /// Dark leaves contribute nothing under an installed [`FaultPlan`].
     pub fn count_to_root(&mut self, axis: Axis, flag: Reg) {
-        self.begin_phase("COUNT-LEAFTOROOT");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let mut new_roots = vec![None; trees];
-        for (t, root) in new_roots.iter_mut().enumerate() {
-            let mut count: Word = 0;
-            for l in 0..leaves {
-                let (i, j) = Self::coords(axis, t, l);
-                if matches!(*self.regs[flag.0].get(i, j), Some(v) if v != 0)
-                    && !self.is_dark(axis, t, l)
-                {
-                    count += 1;
-                }
-            }
-            *root = Some(count);
-        }
-        self.finish_aggregate(axis, new_roots);
-        self.end_phase();
-    }
-
-    /// Shared tail of the aggregating primitives: the per-tree result word
-    /// transits under the fault plan, roots update, the aggregate cost and
-    /// fault overhead are charged.
-    fn finish_aggregate(&mut self, axis: Axis, mut new_roots: Vec<Option<Word>>) {
-        self.begin_fault_round();
-        let mut attempts = 0;
-        for (t, root) in new_roots.iter_mut().enumerate() {
-            let (v, att) = self.word_transit(axis, t, resilience::TREE_SITE, *root);
-            attempts = attempts.max(att);
-            *root = v;
-        }
-        *self.roots_mut(axis) = new_roots;
-        self.charge_aggregate(axis);
-        let base = self.model.tree_aggregate(self.leaves(axis), self.pitch);
-        self.charge_fault_overhead(axis, attempts, base);
+        let sel = move |i: usize, j: usize, view: &RegsView<'_>| matches!(view.get(flag, i, j), Some(v) if v != 0);
+        self.tree_upward("COUNT-LEAFTOROOT", axis, flag, &sel);
     }
 
     /// `SUM-LEAFTOROOT(Vector, Source)`: each root receives the sum of the
@@ -653,26 +710,9 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("SUM-LEAFTOROOT");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let mut new_roots = vec![None; trees];
-        {
-            let view = RegsView { regs: &self.regs };
-            for (t, root) in new_roots.iter_mut().enumerate() {
-                let mut sum: Word = 0;
-                for l in 0..leaves {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        sum += view.get(src, i, j).unwrap_or(0);
-                    }
-                }
-                *root = Some(sum);
-            }
-        }
-        self.finish_aggregate(axis, new_roots);
-        self.end_phase();
+        self.tree_upward("SUM-LEAFTOROOT", axis, src, &sel);
     }
 
     /// `MIN-LEAFTOROOT(Vector, Source)`: each root receives the minimum of
@@ -681,28 +721,9 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MIN-LEAFTOROOT");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let mut new_roots = vec![None; trees];
-        {
-            let view = RegsView { regs: &self.regs };
-            for (t, root) in new_roots.iter_mut().enumerate() {
-                let mut best: Option<Word> = None;
-                for l in 0..leaves {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        if let Some(v) = view.get(src, i, j) {
-                            best = Some(best.map_or(v, |b: Word| b.min(v)));
-                        }
-                    }
-                }
-                *root = best;
-            }
-        }
-        self.finish_aggregate(axis, new_roots);
-        self.end_phase();
+        self.tree_upward("MIN-LEAFTOROOT", axis, src, &sel);
     }
 
     /// `MAX-LEAFTOROOT`: each root receives the maximum of the selected
@@ -712,28 +733,9 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MAX-LEAFTOROOT");
-        let (trees, leaves) = (self.trees(axis), self.leaves(axis));
-        let mut new_roots = vec![None; trees];
-        {
-            let view = RegsView { regs: &self.regs };
-            for (t, root) in new_roots.iter_mut().enumerate() {
-                let mut best: Option<Word> = None;
-                for l in 0..leaves {
-                    let (i, j) = Self::coords(axis, t, l);
-                    if sel(i, j, &view) && !self.is_dark(axis, t, l) {
-                        if let Some(v) = view.get(src, i, j) {
-                            best = Some(best.map_or(v, |b: Word| b.max(v)));
-                        }
-                    }
-                }
-                *root = best;
-            }
-        }
-        self.finish_aggregate(axis, new_roots);
-        self.end_phase();
+        self.tree_upward("MAX-LEAFTOROOT", axis, src, &sel);
     }
 
     // ------------------------------------------------------------------
@@ -749,14 +751,14 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("LEAFTOLEAF");
-        self.leaf_to_root(axis, src, src_sel);
-        self.root_to_leaf(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("LEAFTOLEAF", |net| {
+            net.leaf_to_root(axis, src, src_sel);
+            net.root_to_leaf(axis, dest, dest_sel);
+        });
     }
 
     /// `COUNT-LEAFTOLEAF(Vector, Dest)` (composite 2).
@@ -765,12 +767,12 @@ impl Otn {
         axis: Axis,
         flag: Reg,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("COUNT-LEAFTOLEAF");
-        self.count_to_root(axis, flag);
-        self.root_to_leaf(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("COUNT-LEAFTOLEAF", |net| {
+            net.count_to_root(axis, flag);
+            net.root_to_leaf(axis, dest, dest_sel);
+        });
     }
 
     /// `SUM-LEAFTOLEAF(Vector, Source, Dest)` (composite 3).
@@ -778,14 +780,14 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("SUM-LEAFTOLEAF");
-        self.sum_to_root(axis, src, src_sel);
-        self.root_to_leaf(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("SUM-LEAFTOLEAF", |net| {
+            net.sum_to_root(axis, src, src_sel);
+            net.root_to_leaf(axis, dest, dest_sel);
+        });
     }
 
     /// `MIN-LEAFTOLEAF(Vector, Source, Dest)`.
@@ -793,14 +795,14 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MIN-LEAFTOLEAF");
-        self.min_to_root(axis, src, src_sel);
-        self.root_to_leaf(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("MIN-LEAFTOLEAF", |net| {
+            net.min_to_root(axis, src, src_sel);
+            net.root_to_leaf(axis, dest, dest_sel);
+        });
     }
 
     /// `MAX-LEAFTOLEAF(Vector, Source, Dest)`.
@@ -808,14 +810,14 @@ impl Otn {
         &mut self,
         axis: Axis,
         src: Reg,
-        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        src_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
         dest: Reg,
-        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool,
+        dest_sel: impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync,
     ) {
-        self.begin_phase("MAX-LEAFTOLEAF");
-        self.max_to_root(axis, src, src_sel);
-        self.root_to_leaf(axis, dest, dest_sel);
-        self.end_phase();
+        self.composite("MAX-LEAFTOLEAF", |net| {
+            net.max_to_root(axis, src, src_sel);
+            net.root_to_leaf(axis, dest, dest_sel);
+        });
     }
 
     // ------------------------------------------------------------------
@@ -831,22 +833,8 @@ impl Otn {
                 f(i, j, &mut bp);
             }
         }
-        let t = match cost {
-            PhaseCost::Bit => self.model.bit_op(),
-            PhaseCost::Compare => self.model.compare(),
-            PhaseCost::Add => self.model.add(),
-            PhaseCost::Multiply => self.model.multiply(),
-            PhaseCost::Words(k) => self.model.compare() * k,
-        };
-        self.begin_phase("BP-PHASE");
-        crate::attribution::seg_charge(
-            &mut self.clock,
-            &mut self.recorder,
-            t,
-            &crate::attribution::compute_parts(t),
-        );
-        self.end_phase();
-        self.clock.stats_mut().leaf_ops += 1;
+        let t = self.phase_cost(cost);
+        self.charge_compute("BP-PHASE", t);
     }
 
     /// One parallel compute phase at the roots of `axis`:
@@ -857,25 +845,11 @@ impl Otn {
         cost: PhaseCost,
         mut f: impl FnMut(usize, &mut Option<Word>),
     ) {
-        let t = match cost {
-            PhaseCost::Bit => self.model.bit_op(),
-            PhaseCost::Compare => self.model.compare(),
-            PhaseCost::Add => self.model.add(),
-            PhaseCost::Multiply => self.model.multiply(),
-            PhaseCost::Words(k) => self.model.compare() * k,
-        };
+        let t = self.phase_cost(cost);
         for (t_idx, root) in self.roots_mut(axis).iter_mut().enumerate() {
             f(t_idx, root);
         }
-        self.begin_phase("ROOT-PHASE");
-        crate::attribution::seg_charge(
-            &mut self.clock,
-            &mut self.recorder,
-            t,
-            &crate::attribution::compute_parts(t),
-        );
-        self.end_phase();
-        self.clock.stats_mut().leaf_ops += 1;
+        self.charge_compute("ROOT-PHASE", t);
     }
 
     /// Sets the root registers of `axis` directly (host-side; free).
@@ -935,13 +909,7 @@ impl Otn {
                 self.regs[reg.0].set(bi, bj, nb);
             }
         }
-        let extra_t = match extra {
-            PhaseCost::Bit => self.model.bit_op(),
-            PhaseCost::Compare => self.model.compare(),
-            PhaseCost::Add => self.model.add(),
-            PhaseCost::Multiply => self.model.multiply(),
-            PhaseCost::Words(k) => self.model.compare() * k,
-        };
+        let extra_t = self.phase_cost(extra);
         let cost = self.pairwise_cost(axis, dist) + extra_t;
         // Causally: up and down the 2·dist-leaf subtree, the pipelined
         // spacing of the dist contending words, then the local combine.
@@ -951,7 +919,7 @@ impl Otn {
             self.model.pipeline_interval() * (dist as u64 - 1),
         ));
         parts.extend(crate::attribution::compute_parts(extra_t));
-        self.begin_phase("PAIRWISE");
+        self.begin_phase(primitive::spec_for("PAIRWISE").name);
         crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, cost, &parts);
         self.end_phase();
         let stats = self.clock.stats_mut();
@@ -965,6 +933,10 @@ impl Otn {
 pub fn all(_row: usize, _col: usize, _view: &RegsView<'_>) -> bool {
     true
 }
+
+/// One tree's downward gather: `(tree, leaf, row, col, value)` per
+/// selected leaf (see [`Otn`]'s `tree_downward`).
+type DownWrites = Vec<(usize, usize, usize, usize, Option<Word>)>;
 
 #[cfg(test)]
 mod tests {

@@ -33,7 +33,7 @@ impl Otn {
         let down = model.tree_root_to_leaf(leaves, pitch);
         let mut parts = crate::attribution::aggregate_parts(&model, leaves, pitch);
         parts.extend(crate::attribution::downward_parts(&model, leaves, pitch));
-        self.begin_phase("SCAN");
+        self.begin_phase(crate::primitive::spec_for("SCAN").name);
         self.seg_charge(up + down, &parts);
         self.end_phase();
         let stats = self.clock_mut().stats_mut();
@@ -113,10 +113,24 @@ pub fn prefix_sums(xs: &[Word]) -> Result<ScanOutcome, ModelError> {
 ///
 /// Returns [`ModelError`] unless `xs.len() == keep.len()` is a power of two.
 pub fn compact(xs: &[Word], keep: &[bool]) -> Result<ScanOutcome, ModelError> {
-    ModelError::require_equal("values vs flags", xs.len(), keep.len())?;
     ModelError::require_power_of_two("compaction length", xs.len())?;
+    let mut net = Otn::new(1, xs.len(), crate::CostModel::thompson(xs.len()))?;
+    compact_on(&mut net, xs, keep)
+}
+
+/// [`compact`] on a caller-supplied net (one row of `xs.len()` columns is
+/// used), so the run inherits the net's cost model, fault plan and
+/// recorder — the registry-coverage tests drive the `SCAN` and `ROUTE`
+/// spans through this entry point.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] unless `xs.len() == keep.len()` equals the
+/// net's column count.
+pub fn compact_on(net: &mut Otn, xs: &[Word], keep: &[bool]) -> Result<ScanOutcome, ModelError> {
+    ModelError::require_equal("values vs flags", xs.len(), keep.len())?;
+    ModelError::require_equal("compaction length vs columns", xs.len(), net.cols())?;
     let n = xs.len();
-    let mut net = Otn::new(1, n, crate::CostModel::thompson(n))?;
     let val = net.alloc_reg("val");
     let flag = net.alloc_reg("flag");
     let rank = net.alloc_reg("rank");
@@ -165,7 +179,7 @@ impl Otn {
         let mut parts = crate::attribution::upward_parts(&model, leaves, pitch);
         parts.extend(crate::attribution::downward_parts(&model, leaves, pitch));
         parts.extend(crate::attribution::wait_parts(spacing));
-        self.begin_phase("ROUTE");
+        self.begin_phase(crate::primitive::spec_for("ROUTE").name);
         self.seg_charge(t, &parts);
         self.end_phase();
         let stats = self.clock_mut().stats_mut();

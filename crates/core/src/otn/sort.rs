@@ -72,7 +72,7 @@ pub fn sort(net: &mut Otn, xs: &[Word]) -> Result<SortOutcome, ModelError> {
     net.load_row_roots(xs);
     let stats_before = *net.clock().stats();
     let (_, time) = net.elapsed(|net| {
-        net.begin_phase("SORT-OTN");
+        net.begin_phase(crate::primitive::spec_for("SORT-OTN").name);
         // 1) every BP of row i learns x(i).
         net.root_to_leaf(Axis::Rows, a, all);
         // 2) via column tree i, the diagonal BP's A (= x(i)) reaches every

@@ -21,6 +21,22 @@ use orthotrees_obs::causal::CausalTrace;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
+/// Which registry primitive each bit-level experiment models, as
+/// `(experiment function, registry name)` pairs. The names refer to
+/// entries of `orthotrees::primitive::REGISTRY` (this crate deliberately
+/// does not depend on the word-level crate, so the pairing is by name);
+/// the cross-crate registry-coverage test asserts every name here is a
+/// registry entry. `stream_completion_time` models the §III.A pipelined
+/// variant of `ROOTTOLEAF` traffic rather than a separate primitive.
+pub const PAPER_PRIMITIVES: &[(&str, &str)] = &[
+    ("broadcast_completion_time", "ROOTTOLEAF"),
+    ("send_completion_time", "LEAFTOROOT"),
+    ("sum_completion_time", "SUM-LEAFTOROOT"),
+    ("min_completion_time", "MIN-LEAFTOROOT"),
+    ("leaf_to_leaf_completion_time", "LEAFTOLEAF"),
+    ("stream_completion_time", "ROOTTOLEAF"),
+];
+
 /// Port conventions inside the tree experiments.
 const TO_PARENT: PortId = PortId(0);
 const TO_LEFT: PortId = PortId(1);

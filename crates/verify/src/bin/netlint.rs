@@ -5,8 +5,9 @@
 //! netlint [--all] [--json] [--rules]
 //! ```
 //!
-//! - `--all` (default): topology, schedule, word-level, layout and
-//!   determinism passes over the paper's standard configurations;
+//! - `--all` (default): topology, schedule, word-level, layout,
+//!   determinism, critical-path and primitive-registry passes over the
+//!   paper's standard configurations;
 //! - `--json`: emit the report as an `orthotrees-verify/v1` JSON document
 //!   instead of text;
 //! - `--rules`: print the rule catalogue and exit.
@@ -22,8 +23,8 @@ use orthotrees_verify::schedule::{
     aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
     stream_schedule,
 };
-use orthotrees_verify::{critpath, determinism, words, RULES};
-use orthotrees_vlsi::{tree::level_wire_lengths, CostModel};
+use orthotrees_verify::{critpath, determinism, primitive, words, RULES};
+use orthotrees_vlsi::{tree::level_wire_lengths, CostKind, CostModel};
 
 /// Tree sizes the netlist and schedule passes sweep.
 const TREE_LEAVES: [usize; 5] = [2, 4, 16, 64, 256];
@@ -49,6 +50,18 @@ fn lint_trees(report: &mut Report) {
 }
 
 fn lint_schedules(report: &mut Report) {
+    // The expectation table derives from the primitive registry: every
+    // distinct tree-traversal cost kind some registry entry declares is
+    // re-derived as a static schedule and checked against the same
+    // `primitive_cost` closed form the executors charge.
+    let mut kinds: Vec<CostKind> = Vec::new();
+    for s in orthotrees::primitive::REGISTRY {
+        if let Some(kind) = s.cost {
+            if !kind.is_stream() && kind != CostKind::CycleStep && !kinds.contains(&kind) {
+                kinds.push(kind);
+            }
+        }
+    }
     for leaves in TREE_LEAVES {
         let models = [
             CostModel::thompson(leaves),
@@ -56,20 +69,31 @@ fn lint_schedules(report: &mut Report) {
             CostModel::linear_delay(leaves),
         ];
         for m in models {
-            let name = format!("tree[{leaves}] under {:?}", m.delay);
             let pitch = m.leaf_pitch();
             let levels = level_wire_lengths(leaves, pitch);
 
-            let b = broadcast_schedule(&levels, m.word_bits, m.delay);
-            report.extend(lint_conflicts(&name, &b));
-            report.extend(lint_budget(&name, &b, leaves, m.word_bits, m.delay));
-            report.extend(lint_against_model(&name, &b, m.tree_root_to_leaf(leaves, pitch)));
+            for &kind in &kinds {
+                let name = format!("tree[{leaves}] {kind:?} under {:?}", m.delay);
+                // Send shares the broadcast traversal shape: the relay
+                // ascent inserts no per-level gate delay (§II.B), which
+                // is exactly why tree_leaf_to_root ≡ tree_root_to_leaf.
+                let sched = match kind {
+                    CostKind::Broadcast | CostKind::Send => {
+                        broadcast_schedule(&levels, m.word_bits, m.delay)
+                    }
+                    CostKind::Aggregate => aggregate_schedule(&levels, m.word_bits, m.delay),
+                    other => unreachable!("non-tree kind {other:?} filtered above"),
+                };
+                report.extend(lint_conflicts(&name, &sched));
+                report.extend(lint_budget(&name, &sched, leaves, m.word_bits, m.delay));
+                report.extend(lint_against_model(
+                    &name,
+                    &sched,
+                    m.primitive_cost(kind, leaves, pitch, 1),
+                ));
+            }
 
-            let a = aggregate_schedule(&levels, m.word_bits, m.delay);
-            report.extend(lint_conflicts(&name, &a));
-            report.extend(lint_budget(&name, &a, leaves, m.word_bits, m.delay));
-            report.extend(lint_against_model(&name, &a, m.tree_aggregate(leaves, pitch)));
-
+            let name = format!("tree[{leaves}] under {:?}", m.delay);
             let words = 8usize;
             let interval = m.pipeline_interval();
             let s = stream_schedule(&levels, m.word_bits, m.delay, words, interval.get());
@@ -130,6 +154,7 @@ fn main() {
     lint_layouts(&mut report);
     report.extend(determinism::stock_findings());
     report.extend(critpath::stock_findings(&TREE_LEAVES));
+    report.extend(primitive::stock_findings());
 
     if json {
         println!("{}", report.to_json().render());

@@ -98,7 +98,14 @@ pub fn lint_roottoleaf(
         return out; // lint_trace reports the missing completion
     };
     let pitch = m.leaf_pitch();
-    let expect_t = m.tree_root_to_leaf(leaves, pitch) + m.delay.wire_bit_delay(0);
+    // The expected completion derives from the registry: ROOTTOLEAF's
+    // declared cost kind priced by the same `primitive_cost` the word-level
+    // executor charges, so this rule pins the bit-level engine, the closed
+    // form and the registry to one value.
+    let kind = orthotrees::primitive::spec_for("ROOTTOLEAF")
+        .cost
+        .expect("ROOTTOLEAF declares a cost kind");
+    let expect_t = m.primitive_cost(kind, leaves, pitch, 1) + m.delay.wire_bit_delay(0);
     if path.completion != expect_t {
         out.push(Finding::new(
             "CRIT-001",

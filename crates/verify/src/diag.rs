@@ -144,6 +144,12 @@ pub const RULES: &[Rule] = &[
         summary: "link slack accounting broken (no zero-slack completion link)",
         severity: Severity::Error,
     },
+    Rule {
+        id: "PRIM-001",
+        summary: "primitive registry disagrees with the CostModel (unpriced entry, \
+                  drifted closed form, or unreachable cost kind)",
+        severity: Severity::Error,
+    },
 ];
 
 /// Looks a rule up by id.

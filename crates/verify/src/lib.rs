@@ -28,6 +28,10 @@
 //!   path of a traced bit-level broadcast and asserts it tiles the
 //!   completion time exactly and matches the `CostModel` per-level
 //!   closed forms bit for bit (`CRIT-*`).
+//! - [`primitive`] — the **registry cross-checker**: the primitive
+//!   descriptor registry versus `CostModel::primitive_cost` — every cost
+//!   kind priced as its closed-form composition, every kind reachable,
+//!   every composite's legs valid (`PRIM-001`).
 //!
 //! The [`mutate`] module corrupts known-good netlists and is used by the
 //! test suite to prove every rule actually fires. The `netlint` binary
@@ -50,6 +54,7 @@ pub mod determinism;
 pub mod diag;
 pub mod mutate;
 pub mod net;
+pub mod primitive;
 pub mod schedule;
 pub mod words;
 

@@ -1,0 +1,204 @@
+//! The registry cross-checker (`PRIM-001`): the primitive-descriptor
+//! registry versus the [`CostModel`] closed forms.
+//!
+//! The registry ([`orthotrees::primitive::REGISTRY`]) is the single source
+//! of truth the executors, the cost model, the span names and the causal
+//! attribution all derive from. This pass re-derives, independently of
+//! [`CostModel::primitive_cost`], what each [`CostKind`] must price to —
+//! the §II.B / §V.B closed-form compositions — and flags any drift, plus
+//! the structural invariants that keep the table usable: every
+//! communication entry is priced and directed, every cost kind is
+//! reachable from some entry, and every composite's legs are themselves
+//! registry entries.
+
+use orthotrees::primitive::{Class, REGISTRY};
+use orthotrees_vlsi::{BitTime, CostKind, CostModel};
+
+use crate::diag::Finding;
+
+/// Tree sizes the closed-form cross-check sweeps.
+const SAMPLE_LEAVES: [usize; 3] = [4, 16, 64];
+
+/// Cycle lengths the stream kinds are priced at.
+const SAMPLE_CYCLES: [usize; 2] = [2, 4];
+
+/// The independent restatement of what `kind` must cost: the §II.B tree
+/// traversal closed forms, with the stream kinds adding the pipelined
+/// `cycle − 1` circulate hops (§V.B).
+fn expected_cost(
+    m: &CostModel,
+    kind: CostKind,
+    leaves: usize,
+    pitch: u64,
+    cycle: usize,
+) -> BitTime {
+    let tail = m.cycle_step() * (cycle as u64 - 1);
+    match kind {
+        CostKind::Broadcast => m.tree_root_to_leaf(leaves, pitch),
+        CostKind::Send => m.tree_leaf_to_root(leaves, pitch),
+        CostKind::Aggregate => m.tree_aggregate(leaves, pitch),
+        CostKind::StreamBroadcast => m.tree_root_to_leaf(leaves, pitch) + tail,
+        CostKind::StreamSend => m.tree_leaf_to_root(leaves, pitch) + tail,
+        CostKind::StreamAggregate => m.tree_aggregate(leaves, pitch) + tail,
+        CostKind::CycleStep => m.cycle_step(),
+    }
+}
+
+/// Checks a pricing function against the closed-form expectations over the
+/// sample sweep. [`lint_registry`] passes [`CostModel::primitive_cost`];
+/// tests pass corrupted pricers to prove the rule fires.
+pub fn lint_costs_with(
+    network: &str,
+    model: &CostModel,
+    price: impl Fn(CostKind, usize, u64, usize) -> BitTime,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let pitch = model.leaf_pitch();
+    for kind in CostKind::ALL {
+        let cycles: &[usize] =
+            if kind.is_stream() || kind == CostKind::CycleStep { &SAMPLE_CYCLES } else { &[1] };
+        for &leaves in &SAMPLE_LEAVES {
+            for &cycle in cycles {
+                let got = price(kind, leaves, pitch, cycle);
+                let want = expected_cost(model, kind, leaves, pitch, cycle);
+                if got != want {
+                    out.push(Finding::new(
+                        "PRIM-001",
+                        network,
+                        format!("{kind:?} leaves={leaves} cycle={cycle}"),
+                        format!("priced {got:?}, closed-form composition gives {want:?}"),
+                        "keep CostModel::primitive_cost equal to the §II.B/§V.B \
+                         closed forms the registry documents",
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Checks the registry table itself plus the model's pricing of it:
+///
+/// 1. every communication entry except the distance-parameterised
+///    `PAIRWISE` declares a direction and a cost kind;
+/// 2. [`CostModel::primitive_cost`] matches the closed-form composition of
+///    every cost kind over the sample sweep;
+/// 3. every [`CostKind`] is reachable from some registry entry (a dead
+///    closed form means a layer stopped deriving from the table);
+/// 4. every composite's legs are registry communication entries.
+pub fn lint_registry(network: &str, model: &CostModel) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for s in REGISTRY.iter().filter(|s| s.class == Class::Communication) {
+        if s.name == "PAIRWISE" {
+            continue;
+        }
+        if s.direction.is_none() {
+            out.push(Finding::new(
+                "PRIM-001",
+                network,
+                s.name,
+                "communication entry declares no direction",
+                "add the §II.B/§V.B Direction to the registry entry",
+            ));
+        }
+        if s.cost.is_none() {
+            out.push(Finding::new(
+                "PRIM-001",
+                network,
+                s.name,
+                "communication entry declares no cost kind",
+                "add the CostKind its charge derives from",
+            ));
+        }
+    }
+    out.extend(lint_costs_with(network, model, |kind, leaves, pitch, cycle| {
+        model.primitive_cost(kind, leaves, pitch, cycle)
+    }));
+    for kind in CostKind::ALL {
+        if !REGISTRY.iter().any(|s| s.cost == Some(kind)) {
+            out.push(Finding::new(
+                "PRIM-001",
+                network,
+                format!("{kind:?}"),
+                "no registry entry uses this cost kind",
+                "either a primitive stopped deriving its cost from the registry \
+                 or the kind should be removed",
+            ));
+        }
+    }
+    for s in REGISTRY.iter().filter(|s| s.class == Class::Composite) {
+        let Some((up, down)) = s.composite_of else {
+            out.push(Finding::new(
+                "PRIM-001",
+                network,
+                s.name,
+                "composite declares no legs",
+                "set composite_of to the (upward, downward) registry names",
+            ));
+            continue;
+        };
+        for leg in [up, down] {
+            if !REGISTRY.iter().any(|e| e.name == leg && e.class == Class::Communication) {
+                out.push(Finding::new(
+                    "PRIM-001",
+                    network,
+                    s.name,
+                    format!("composite leg {leg:?} is not a registry communication entry"),
+                    "reference only communication-class registry names",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The registry pass over the stock cost models (the `netlint` entry
+/// point).
+pub fn stock_findings() -> Vec<Finding> {
+    let mut out = Vec::new();
+    for n in [16usize, 64, 256] {
+        for m in [CostModel::thompson(n), CostModel::constant_delay(n), CostModel::linear_delay(n)]
+        {
+            out.extend(lint_registry(&format!("registry[n={n}] under {:?}", m.delay), &m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_registry_is_clean() {
+        assert!(stock_findings().is_empty(), "{:?}", stock_findings());
+    }
+
+    #[test]
+    fn a_drifted_closed_form_is_prim001() {
+        let m = CostModel::thompson(16);
+        // Corrupt the pricer: Send drawn from the aggregate form instead
+        // of the leaf-to-root form (the historical drift class the
+        // registry exists to prevent).
+        let fs = lint_costs_with("mutated", &m, |kind, leaves, pitch, cycle| match kind {
+            CostKind::Send => m.tree_aggregate(leaves, pitch),
+            _ => m.primitive_cost(kind, leaves, pitch, cycle),
+        });
+        assert!(!fs.is_empty());
+        assert!(fs.iter().all(|f| f.rule == "PRIM-001"));
+        assert!(fs.iter().all(|f| f.subject.starts_with("Send")));
+    }
+
+    #[test]
+    fn a_zeroed_stream_tail_is_prim001() {
+        let m = CostModel::thompson(64);
+        let fs = lint_costs_with("mutated", &m, |kind, leaves, pitch, _| {
+            // Corrupt the pricer: streams forget their cycle tail.
+            m.primitive_cost(kind, leaves, pitch, 1)
+        });
+        assert!(fs.iter().any(|f| f.subject.starts_with("StreamBroadcast")));
+        // CycleStep's price does not depend on the cycle length, so the
+        // corrupted pricer still gets it right.
+        assert!(!fs.iter().any(|f| f.subject.starts_with("CycleStep")));
+    }
+}

@@ -16,6 +16,52 @@
 use crate::tree::{level_wire_lengths, path_bit_latency, scaled_path_bit_latency};
 use crate::{log2_ceil, BitTime, DelayModel};
 
+/// The cost class of a paper primitive, as declared by the primitive
+/// registry (`orthotrees::primitive`). [`CostModel::primitive_cost`] maps
+/// each kind to exactly one closed form, so a primitive's charged cost and
+/// its fault-overhead base are derived from the same place and can never
+/// disagree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CostKind {
+    /// A root-to-leaf word movement ([`CostModel::tree_root_to_leaf`]).
+    Broadcast,
+    /// A leaf-to-root relay ascent ([`CostModel::tree_leaf_to_root`]).
+    Send,
+    /// An aggregating ascent ([`CostModel::tree_aggregate`]).
+    Aggregate,
+    /// An OTC stream of `L` broadcast words pipelined behind one
+    /// [`CostModel::tree_root_to_leaf`] traversal.
+    StreamBroadcast,
+    /// An OTC stream of `L` ascending words pipelined behind one
+    /// [`CostModel::tree_leaf_to_root`] traversal.
+    StreamSend,
+    /// An OTC stream of `L` aggregate results pipelined behind one
+    /// [`CostModel::tree_aggregate`] traversal.
+    StreamAggregate,
+    /// One hop of an OTC cycle ([`CostModel::cycle_step`]).
+    CycleStep,
+}
+
+impl CostKind {
+    /// Every kind, for reachability checks (the `PRIM-001` verify rule
+    /// asserts each one is used by at least one registry entry).
+    pub const ALL: [CostKind; 7] = [
+        CostKind::Broadcast,
+        CostKind::Send,
+        CostKind::Aggregate,
+        CostKind::StreamBroadcast,
+        CostKind::StreamSend,
+        CostKind::StreamAggregate,
+        CostKind::CycleStep,
+    ];
+
+    /// Whether this is one of the OTC's pipelined stream kinds (their cost
+    /// depends on the cycle length).
+    pub fn is_stream(self) -> bool {
+        matches!(self, CostKind::StreamBroadcast | CostKind::StreamSend | CostKind::StreamAggregate)
+    }
+}
+
 /// All parameters needed to price an operation in bit-times.
 ///
 /// Construct with [`CostModel::thompson`] (the paper's main model) or
@@ -161,6 +207,48 @@ impl CostModel {
     /// model both implementations are Θ(log² N).
     pub fn tree_root_to_leaf(&self, leaves: usize, pitch: u64) -> BitTime {
         self.tree_bit_latency(leaves, pitch) + self.word_tail(self.word_bits)
+    }
+
+    /// Cost of relaying one `w`-bit word from a leaf up to the root
+    /// (`LEAFTOROOT` — the paper's *send* form): one-bit latency plus
+    /// `w − 1` pipelined bits.
+    ///
+    /// The ascent mirrors the descent exactly — IPs forward bits without
+    /// inserting gate delays (§II.B: only the *aggregating* primitives add
+    /// `O(1)` logic per level), so the closed form coincides with
+    /// [`tree_root_to_leaf`](CostModel::tree_root_to_leaf). It is still a
+    /// distinct form: send-shaped primitives (and their fault-overhead
+    /// bases) must cite *this* function, so that a future asymmetric delay
+    /// convention changes them together rather than silently leaving the
+    /// overhead base on the broadcast form.
+    pub fn tree_leaf_to_root(&self, leaves: usize, pitch: u64) -> BitTime {
+        self.tree_bit_latency(leaves, pitch) + self.word_tail(self.word_bits)
+    }
+
+    /// The closed form for a registry cost kind: the single place that maps
+    /// a [`CostKind`] to a price, used for both the primitive's clock
+    /// charge and its fault-overhead base (which therefore can never
+    /// disagree). `cycle_len` is the OTC cycle length; the stream kinds
+    /// append `cycle_len − 1` pipelined [`cycle_step`](CostModel::cycle_step)
+    /// hops behind one tree traversal, and the tree kinds ignore it
+    /// (callers on the OTN pass 1).
+    pub fn primitive_cost(
+        &self,
+        kind: CostKind,
+        leaves: usize,
+        pitch: u64,
+        cycle_len: usize,
+    ) -> BitTime {
+        let stream_tail = || self.cycle_step() * (cycle_len.saturating_sub(1) as u64);
+        match kind {
+            CostKind::Broadcast => self.tree_root_to_leaf(leaves, pitch),
+            CostKind::Send => self.tree_leaf_to_root(leaves, pitch),
+            CostKind::Aggregate => self.tree_aggregate(leaves, pitch),
+            CostKind::StreamBroadcast => self.tree_root_to_leaf(leaves, pitch) + stream_tail(),
+            CostKind::StreamSend => self.tree_leaf_to_root(leaves, pitch) + stream_tail(),
+            CostKind::StreamAggregate => self.tree_aggregate(leaves, pitch) + stream_tail(),
+            CostKind::CycleStep => self.cycle_step(),
+        }
     }
 
     /// The serialisation tail of a `bits`-wide word: `bits − 1` pipelined
@@ -383,6 +471,60 @@ mod tests {
             let u = CostModel::unit_delay(n);
             assert_eq!(u.word_tail_bits(), BitTime::ZERO, "word-parallel tail is free");
         }
+    }
+
+    #[test]
+    fn send_form_mirrors_broadcast_form() {
+        // §II.B: the relay ascent inserts no per-level gate delay, so the
+        // send closed form coincides with the broadcast one under every
+        // model. (This is what makes the leaf_to_root overhead-base fix
+        // identity-preserving on the committed goldens.)
+        for n in [2usize, 16, 256] {
+            for m in [
+                CostModel::thompson(n),
+                CostModel::constant_delay(n),
+                CostModel::linear_delay(n),
+                CostModel::unit_delay(n),
+                CostModel::thompson(n).with_scaling(),
+            ] {
+                assert_eq!(m.tree_leaf_to_root(n, m.pitch), m.tree_root_to_leaf(n, m.pitch));
+            }
+        }
+    }
+
+    #[test]
+    fn primitive_cost_maps_each_kind_to_its_closed_form() {
+        let m = CostModel::thompson(64);
+        let p = m.pitch;
+        let step = m.cycle_step();
+        assert_eq!(m.primitive_cost(CostKind::Broadcast, 64, p, 1), m.tree_root_to_leaf(64, p));
+        assert_eq!(m.primitive_cost(CostKind::Send, 64, p, 1), m.tree_leaf_to_root(64, p));
+        assert_eq!(m.primitive_cost(CostKind::Aggregate, 64, p, 1), m.tree_aggregate(64, p));
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamBroadcast, 8, p, 4),
+            m.tree_root_to_leaf(8, p) + step * 3
+        );
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamSend, 8, p, 4),
+            m.tree_leaf_to_root(8, p) + step * 3
+        );
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamAggregate, 8, p, 4),
+            m.tree_aggregate(8, p) + step * 3
+        );
+        assert_eq!(m.primitive_cost(CostKind::CycleStep, 8, p, 4), step);
+        // The tree kinds ignore the cycle length; a degenerate 0-cycle
+        // stream degenerates to the bare traversal.
+        assert_eq!(
+            m.primitive_cost(CostKind::Broadcast, 64, p, 9),
+            m.primitive_cost(CostKind::Broadcast, 64, p, 1)
+        );
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamBroadcast, 64, p, 0),
+            m.tree_root_to_leaf(64, p)
+        );
+        assert!(CostKind::StreamSend.is_stream() && !CostKind::Send.is_stream());
+        assert_eq!(CostKind::ALL.len(), 7);
     }
 
     #[test]

@@ -45,7 +45,7 @@ mod units;
 
 pub use clock::Clock;
 pub use complexity::Complexity;
-pub use cost::CostModel;
+pub use cost::{CostKind, CostModel};
 pub use delay::DelayModel;
 pub use error::{ModelError, SimError};
 pub use stats::OpStats;

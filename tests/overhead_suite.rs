@@ -1,0 +1,152 @@
+//! Fault-overhead base regression: each faultable primitive's retry
+//! round must be priced from *its own* registry cost kind — the exact
+//! bug class of the old `Otn::leaf_to_root`, whose overhead base cited
+//! the broadcast closed form where the send form was intended. Under a
+//! plan whose every transit faults detectably with `k` retries, the
+//! elapsed time of one primitive is exactly `(1 + k) ×` its registry
+//! cost: the charge itself plus `k` retransmissions of the same base.
+
+use orthotrees::otc::Otc;
+use orthotrees::otn::{self, Axis, Otn};
+use orthotrees::primitive;
+use orthotrees::{BitTime, FaultPlan, Word};
+use orthotrees_vlsi::{CostKind, CostModel};
+
+/// Every transit faults, every fault is parity-detectable, `k` retries:
+/// each transit deterministically spends exactly `k` extra attempts
+/// (and delivers an erasure, which these tests ignore — only the clock
+/// is under test).
+fn deterministic_plan(k: u32) -> FaultPlan {
+    FaultPlan::new(17).with_word_fault_rate(1.0).with_undetectable_fraction(0.0).with_max_retries(k)
+}
+
+/// Runs one named OTN primitive under `deterministic_plan(k)` and
+/// returns its elapsed time and its registry-priced base cost.
+fn otn_elapsed(name: &str, k: u32) -> (BitTime, BitTime) {
+    let n = 16;
+    let mut net = Otn::for_sorting(n).unwrap();
+    net.install_fault_plan(deterministic_plan(k));
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j| Some((1 + i * n + j) as Word));
+    net.load_row_roots(&vec![7; n]);
+    let kind = primitive::spec_for(name).cost.expect("a communication primitive declares a cost");
+    let base = net.model().primitive_cost(kind, net.leaves(Axis::Rows), net.pitch(), 1);
+    let ((), t) = net.elapsed(|net| match name {
+        "ROOTTOLEAF" => net.root_to_leaf(Axis::Rows, b, otn::all),
+        "LEAFTOROOT" => net.leaf_to_root(Axis::Rows, a, |_, j, _| j == 0),
+        "COUNT-LEAFTOROOT" => net.count_to_root(Axis::Rows, a),
+        "SUM-LEAFTOROOT" => net.sum_to_root(Axis::Rows, a, otn::all),
+        "MIN-LEAFTOROOT" => net.min_to_root(Axis::Rows, a, otn::all),
+        "MAX-LEAFTOROOT" => net.max_to_root(Axis::Rows, a, otn::all),
+        other => panic!("no OTN driver for {other}"),
+    });
+    (t, base)
+}
+
+/// Runs one named OTC stream primitive under `deterministic_plan(k)`.
+fn otc_elapsed(name: &str, k: u32) -> (BitTime, BitTime) {
+    let mut net = Otc::for_sorting(16).unwrap();
+    net.install_fault_plan(deterministic_plan(k));
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j, q| Some((1 + i + 4 * j + 16 * q) as Word));
+    net.load_row_root_buffers(&vec![vec![3; net.cycle_len()]; net.side()]);
+    let kind = primitive::spec_for(name).cost.expect("a stream primitive declares a cost");
+    let base = net.model().primitive_cost(kind, net.side(), net.pitch(), net.cycle_len());
+    let ((), t) = net.elapsed(|net| match name {
+        "ROOTTOCYCLE" => net.root_to_cycle(Axis::Rows, b, |_, _, _| true),
+        "CYCLETOROOT" => net.cycle_to_root(Axis::Rows, a, |_, j, _, _| j == 0),
+        "SUM-CYCLETOROOT" => net.sum_cycle_to_root(Axis::Rows, a, |_, _, _, _| true),
+        "MIN-CYCLETOROOT" => net.min_cycle_to_root(Axis::Rows, a, |_, _, _, _| true),
+        other => panic!("no OTC driver for {other}"),
+    });
+    (t, base)
+}
+
+#[test]
+fn each_otn_primitive_overhead_scales_its_own_base() {
+    for k in [1u32, 3] {
+        for name in [
+            "ROOTTOLEAF",
+            "LEAFTOROOT",
+            "COUNT-LEAFTOROOT",
+            "SUM-LEAFTOROOT",
+            "MIN-LEAFTOROOT",
+            "MAX-LEAFTOROOT",
+        ] {
+            let (t, base) = otn_elapsed(name, k);
+            assert_eq!(
+                t,
+                base * u64::from(1 + k),
+                "{name} with {k} forced retries must cost (1 + {k}) × its registry base"
+            );
+        }
+    }
+}
+
+#[test]
+fn each_otc_primitive_overhead_scales_its_own_base() {
+    for k in [1u32, 3] {
+        for name in ["ROOTTOCYCLE", "CYCLETOROOT", "SUM-CYCLETOROOT", "MIN-CYCLETOROOT"] {
+            let (t, base) = otc_elapsed(name, k);
+            assert_eq!(
+                t,
+                base * u64::from(1 + k),
+                "{name} with {k} forced retries must cost (1 + {k}) × its registry base"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_clean_run_charges_exactly_the_registry_base() {
+    for name in ["ROOTTOLEAF", "LEAFTOROOT", "SUM-LEAFTOROOT"] {
+        let (t, base) = otn_elapsed(name, 0);
+        // k = 0: the only faulting round is the final (erased) attempt,
+        // so no retry time is charged — the primitive costs its base.
+        assert_eq!(t, base, "{name} without retries must cost exactly its base");
+    }
+}
+
+/// `LEAFTOROOT`'s overhead base is now `tree_leaf_to_root` — the *send*
+/// form — instead of the broadcast form it used to cite. The fix is
+/// intentionally value-preserving: relays insert no per-level gate delay
+/// (§II.B), so the two closed forms coincide and every pre-fix golden
+/// clock total stays bit-identical. This test pins the coincidence so a
+/// future asymmetric delay convention re-derives both sides together.
+#[test]
+fn send_form_fix_is_value_preserving() {
+    for leaves in [4usize, 16, 64, 256] {
+        let m = CostModel::thompson(leaves);
+        let pitch = m.leaf_pitch();
+        assert_eq!(m.tree_leaf_to_root(leaves, pitch), m.tree_root_to_leaf(leaves, pitch));
+    }
+}
+
+/// The registry pricing table itself: one closed form per cost kind, the
+/// stream kinds appending `cycle_len − 1` pipelined cycle hops.
+#[test]
+fn each_cost_kind_is_pinned_to_its_closed_form() {
+    let m = CostModel::thompson(16);
+    let pitch = m.leaf_pitch();
+    assert_eq!(m.primitive_cost(CostKind::Broadcast, 16, pitch, 1), m.tree_root_to_leaf(16, pitch));
+    assert_eq!(m.primitive_cost(CostKind::Send, 16, pitch, 1), m.tree_leaf_to_root(16, pitch));
+    assert_eq!(m.primitive_cost(CostKind::Aggregate, 16, pitch, 1), m.tree_aggregate(16, pitch));
+    for cycle in [1usize, 2, 4, 8] {
+        let tail = m.cycle_step() * (cycle as u64 - 1);
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamBroadcast, 16, pitch, cycle),
+            m.tree_root_to_leaf(16, pitch) + tail
+        );
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamSend, 16, pitch, cycle),
+            m.tree_leaf_to_root(16, pitch) + tail
+        );
+        assert_eq!(
+            m.primitive_cost(CostKind::StreamAggregate, 16, pitch, cycle),
+            m.tree_aggregate(16, pitch) + tail
+        );
+        assert_eq!(m.primitive_cost(CostKind::CycleStep, 16, pitch, cycle), m.cycle_step());
+    }
+}

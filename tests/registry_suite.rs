@@ -1,0 +1,156 @@
+//! Registry ↔ observability coverage: every span name the [`Recorder`]
+//! sees while the full primitive repertoire runs must be an entry of
+//! [`orthotrees::primitive::REGISTRY`] for that network, and every
+//! registry entry claiming the network must actually be seen. Either
+//! direction failing means a layer drifted from the descriptor table —
+//! a renamed span, a primitive added without a registry entry, or a
+//! registry entry nothing implements.
+
+use std::collections::BTreeSet;
+
+use orthotrees::obs::Recorder;
+use orthotrees::otc::{self, Otc};
+use orthotrees::otn::{self, prefix, Axis, Otn, PhaseCost};
+use orthotrees::primitive::{self, Network};
+use orthotrees::{FaultPlan, Word};
+use orthotrees_sim::experiments;
+
+/// Every distinct span name a recorder saw (phases aggregate by name).
+fn span_names(rec: &Recorder) -> BTreeSet<String> {
+    rec.phase_totals().iter().map(|p| p.name.clone()).collect()
+}
+
+/// Registry names claiming membership in a network.
+fn registry_names(on: impl Fn(Network) -> bool) -> BTreeSet<String> {
+    primitive::REGISTRY.iter().filter(|s| on(s.network)).map(|s| s.name.to_string()).collect()
+}
+
+/// A plan whose every word transit faults detectably, so one retry round
+/// is charged and the `FAULT-OVERHEAD` span must appear.
+fn always_faulting() -> FaultPlan {
+    FaultPlan::new(9).with_word_fault_rate(1.0).with_undetectable_fraction(0.0).with_max_retries(1)
+}
+
+/// Runs every §II.B primitive, every composite, the compute phases and
+/// the SCAN/ROUTE/SORT-OTN procedures on one recorded net, then a faulty
+/// broadcast for the overhead span; returns all span names seen.
+fn otn_sweep() -> BTreeSet<String> {
+    let n = 16;
+    let mut net = Otn::for_sorting(n).unwrap();
+    net.install_recorder(Recorder::new());
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j| Some((i * n + j) as Word));
+    net.load_row_roots(&vec![7; n]);
+
+    net.root_to_leaf(Axis::Rows, b, otn::all);
+    net.leaf_to_root(Axis::Rows, a, |_, j, _| j == 0);
+    net.count_to_root(Axis::Rows, a);
+    net.sum_to_root(Axis::Rows, a, otn::all);
+    net.min_to_root(Axis::Rows, a, otn::all);
+    net.max_to_root(Axis::Rows, a, otn::all);
+    net.leaf_to_leaf(Axis::Rows, a, |_, j, _| j == 0, b, otn::all);
+    net.count_to_leaf(Axis::Rows, a, b, otn::all);
+    net.sum_to_leaf(Axis::Rows, a, |_, j, _| j == 0, b, otn::all);
+    net.min_to_leaf(Axis::Rows, a, |_, j, _| j == 0, b, otn::all);
+    net.max_to_leaf(Axis::Rows, a, |_, j, _| j == 0, b, otn::all);
+    net.pairwise(Axis::Rows, 1, a, PhaseCost::Bit, |_, _, x, y| (y, x));
+    net.bp_phase(PhaseCost::Bit, |_, _, _| {});
+    net.root_phase(Axis::Rows, PhaseCost::Bit, |_, _| {});
+
+    let xs: Vec<Word> = (0..n as Word).rev().collect();
+    otn::sort::sort(&mut net, &xs).unwrap();
+    net.prefix_sum_rows(a, b);
+    let keep: Vec<bool> = (0..n).map(|j| j % 2 == 0).collect();
+    prefix::compact_on(&mut net, &xs, &keep).unwrap();
+
+    // Last, a degraded broadcast so the retry round charges its span.
+    net.install_fault_plan(always_faulting());
+    net.root_to_leaf(Axis::Rows, b, otn::all);
+
+    span_names(&net.take_recorder().unwrap())
+}
+
+/// The OTC counterpart: every §V.B stream primitive, the composites, the
+/// compute phases, SORT-OTC and a degraded stream for `FAULT-OVERHEAD`.
+fn otc_sweep() -> BTreeSet<String> {
+    let mut net = Otc::for_sorting(16).unwrap();
+    net.install_recorder(Recorder::new());
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j, q| Some((i + 4 * j + 16 * q) as Word));
+    net.load_row_root_buffers(&vec![vec![3; net.cycle_len()]; net.side()]);
+
+    net.circulate(&[a]);
+    net.root_to_cycle(Axis::Rows, b, |_, _, _| true);
+    net.cycle_to_root(Axis::Rows, a, |_, j, _, _| j == 0);
+    net.sum_cycle_to_root(Axis::Rows, a, |_, _, _, _| true);
+    net.min_cycle_to_root(Axis::Rows, a, |_, _, _, _| true);
+    net.cycle_to_cycle(Axis::Rows, a, |_, j, _, _| j == 0, b, |_, _, _| true);
+    net.sum_cycle_to_cycle(Axis::Rows, a, |_, _, _, _| true, b, |_, _, _| true);
+    net.min_cycle_to_cycle(Axis::Rows, a, |_, _, _, _| true, b, |_, _, _| true);
+    net.bp_phase(PhaseCost::Bit, |_, _, _, _| None);
+    net.cycle_phase(PhaseCost::Bit, |_, _, _| {});
+
+    let xs: Vec<Word> = (0..16).rev().collect();
+    otc::sort::sort(&mut net, &xs).unwrap();
+
+    net.install_fault_plan(always_faulting());
+    net.root_to_cycle(Axis::Rows, b, |_, _, _| true);
+
+    span_names(&net.take_recorder().unwrap())
+}
+
+#[test]
+fn otn_spans_and_registry_entries_coincide() {
+    let seen = otn_sweep();
+    let expected = registry_names(Network::on_otn);
+    let unregistered: Vec<&String> = seen.difference(&expected).collect();
+    assert!(
+        unregistered.is_empty(),
+        "spans recorded on the OTN with no registry entry claiming Network::Otn: {unregistered:?}"
+    );
+    let unexercised: Vec<&String> = expected.difference(&seen).collect();
+    assert!(
+        unexercised.is_empty(),
+        "registry entries claiming Network::Otn that no primitive recorded: {unexercised:?}"
+    );
+}
+
+#[test]
+fn otc_spans_and_registry_entries_coincide() {
+    let seen = otc_sweep();
+    let expected = registry_names(Network::on_otc);
+    let unregistered: Vec<&String> = seen.difference(&expected).collect();
+    assert!(
+        unregistered.is_empty(),
+        "spans recorded on the OTC with no registry entry claiming Network::Otc: {unregistered:?}"
+    );
+    let unexercised: Vec<&String> = expected.difference(&seen).collect();
+    assert!(
+        unexercised.is_empty(),
+        "registry entries claiming Network::Otc that no primitive recorded: {unexercised:?}"
+    );
+}
+
+#[test]
+fn experiment_metrics_name_registry_primitives() {
+    for &(metric, prim) in experiments::PAPER_PRIMITIVES {
+        assert!(
+            primitive::lookup(prim).is_some(),
+            "experiment metric {metric:?} cites {prim:?}, which is not a registry entry"
+        );
+    }
+}
+
+#[test]
+fn every_span_seen_is_network_appropriate() {
+    for name in otn_sweep() {
+        let spec = primitive::lookup(&name).unwrap();
+        assert!(spec.network.on_otn(), "{name} recorded on the OTN but registered for OTC only");
+    }
+    for name in otc_sweep() {
+        let spec = primitive::lookup(&name).unwrap();
+        assert!(spec.network.on_otc(), "{name} recorded on the OTC but registered for OTN only");
+    }
+}
