@@ -9,3 +9,6 @@ cargo clippy --all-targets -- -D warnings
 cargo run --release -p orthotrees-verify --bin netlint -- --all
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo run --release -p orthotrees-bench --bin benchdiff -- --baseline BENCH_2.json
+# Bounded recovery soak (fixed seed, outage-dense plan, n = 128): must
+# recover within the pinned attempt budget; see tests/recovery_suite.rs.
+cargo test --release -q -p orthotrees-bench --test recovery_suite -- --ignored ci_bounded_soak

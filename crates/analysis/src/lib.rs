@@ -16,6 +16,9 @@
 //! * [`report`] — the experiment battery behind EXPERIMENTS.md;
 //! * [`obsreport`] — phase time-attribution and link-utilization tables
 //!   rendered from instrumented runs (see `orthotrees-obs`);
+//! * [`recovery`] — supervised crash-recovery workloads (engine outage,
+//!   word-level chaos soak) whose `RecoveryReport`s feed the report's
+//!   recovery table and the bench summary's `recovery` section;
 //! * [`critpath`] — causal attribution and critical-path breakdowns:
 //!   where every bit-time of a run's completion went, cross-checked
 //!   against the `CostModel` closed forms;
@@ -28,6 +31,7 @@ pub mod csv;
 pub mod faults;
 pub mod fit;
 pub mod obsreport;
+pub mod recovery;
 pub mod report;
 pub mod sweep;
 pub mod tables;

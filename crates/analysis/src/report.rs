@@ -212,6 +212,8 @@ pub fn full_report(cfg: &ReportConfig) -> String {
     out.push_str(&crate::obsreport::observability_report(obs_n, cfg.seed));
     out.push('\n');
     out.push_str(&crate::critpath::critpath_report(obs_n, cfg.seed));
+    out.push('\n');
+    out.push_str(&crate::recovery::recovery_report_section(cfg.seed));
     out
 }
 
@@ -289,5 +291,6 @@ mod tests {
             assert!(text.contains(id), "missing {id}");
         }
         assert!(text.contains("Crossovers"));
+        assert!(text.contains("Crash recovery"), "recovery section missing");
     }
 }

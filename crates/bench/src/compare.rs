@@ -3,11 +3,12 @@
 //! Compares two `orthotrees-bench/v1` summary documents (a committed
 //! baseline such as `BENCH_2.json` and a freshly regenerated run) sample
 //! by sample: tables are matched by id, rows by `(network, problem)`,
-//! samples by `n`, and the phase sections by workload. Each matched
-//! metric is classified against a *relative* threshold —
+//! samples by `n`, and the phase and recovery sections by workload. Each
+//! matched metric is classified against a *relative* threshold —
 //! [`Thresholds::time_rel`] for `time_bits`/`completion_bits`,
-//! [`Thresholds::at2_rel`] for the noisier `at2` — and the verdicts are
-//! rendered as text or as an `orthotrees-benchdiff/v1` JSON document.
+//! [`Thresholds::at2_rel`] for the noisier `at2` and the recovery
+//! `overhead_pct` — and the verdicts are rendered as text or as an
+//! `orthotrees-benchdiff/v1` JSON document.
 //!
 //! The simulators are deterministic, so on an honest reproduction every
 //! entry is [`Status::Ok`] with a relative change of exactly zero; the
@@ -66,15 +67,15 @@ impl Status {
 /// One compared metric: where it lives, both values, the verdict.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiffEntry {
-    /// Table id (or `"phases"` for the phase section).
+    /// Table id (or `"phases"` / `"recovery"` for those sections).
     pub table: String,
     /// Network (or workload) name.
     pub network: String,
-    /// Problem name (empty for phase entries).
+    /// Problem name (empty for phase and recovery entries).
     pub problem: String,
     /// Problem size.
     pub n: u64,
-    /// Metric name (`time_bits`, `at2`, `completion_bits`).
+    /// Metric name (`time_bits`, `at2`, `completion_bits`, `overhead_pct`).
     pub metric: &'static str,
     /// Baseline value.
     pub baseline: f64,
@@ -288,6 +289,48 @@ pub fn diff(baseline: &Json, current: &Json, thresholds: &Thresholds) -> DiffRep
         }
         report.entries.push(e);
     }
+
+    // Recovery section: supervised crash-recovery cost per workload. The
+    // recovered completion time is gated like any other time metric; the
+    // replay overhead percentage gets the looser `at2` threshold (a
+    // one-event shift in where a checkpoint lands moves it more).
+    let recovery = baseline.get("recovery").and_then(Json::as_arr).unwrap_or(&empty);
+    for r in recovery {
+        let workload = r.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let n = r.get("n").and_then(Json::as_u64).unwrap_or(0);
+        let cur_r = current.get("recovery").and_then(Json::as_arr).and_then(|rs| {
+            rs.iter().find(|c| {
+                c.get("workload").and_then(Json::as_str) == Some(workload)
+                    && c.get("n").and_then(Json::as_u64) == Some(n)
+            })
+        });
+        for (metric, thr) in
+            [("completion_bits", thresholds.time_rel), ("overhead_pct", thresholds.at2_rel)]
+        {
+            let Some(base_v) = sample_value(r, metric) else { continue };
+            let mut e = DiffEntry {
+                table: "recovery".to_string(),
+                network: workload.to_string(),
+                problem: String::new(),
+                n,
+                metric: if metric == "completion_bits" {
+                    "completion_bits"
+                } else {
+                    "overhead_pct"
+                },
+                baseline: base_v,
+                current: 0.0,
+                rel: 0.0,
+                status: Status::Missing,
+            };
+            if let Some(cur_v) = cur_r.and_then(|c| sample_value(c, metric)) {
+                e.current = cur_v;
+                e.status = Status::Ok;
+                e.classify(thr);
+            }
+            report.entries.push(e);
+        }
+    }
     report
 }
 
@@ -295,17 +338,26 @@ pub fn diff(baseline: &Json, current: &Json, thresholds: &Thresholds) -> DiffRep
 mod tests {
     use super::*;
 
-    fn fixture(time: u64) -> Json {
+    fn fixture_with_overhead(time: u64, overhead: f64) -> Json {
         let text = format!(
             r#"{{"schema":"orthotrees-bench/v1","preset":"quick","seed":1,
                 "tables":[{{"id":"Table I","rows":[{{"network":"OTN","problem":"sorting",
                 "samples":[{{"n":16,"time_bits":{time},"area_lambda2":100,"at2":{at2}}}]}}]}}],
                 "phases":[{{"workload":"SORT-OTN","n":16,"completion_bits":{time}}}],
-                "links":{{"active_links":1}}}}"#,
+                "links":{{"active_links":1}},
+                "recovery":[{{"workload":"SUM-OUTAGE","n":16,"attempts":2,"rollbacks":1,
+                "checkpoints":4,"replayed_events":50,"replayed_bits":25,
+                "completion_bits":{time},"overhead_pct":{overhead},
+                "final_checkpoint_events":16}}]}}"#,
             time = time,
             at2 = time * time * 100,
+            overhead = overhead,
         );
         Json::parse(&text).unwrap()
+    }
+
+    fn fixture(time: u64) -> Json {
+        fixture_with_overhead(time, 12.5)
     }
 
     #[test]
@@ -314,8 +366,39 @@ mod tests {
         let report = diff(&doc, &doc, &Thresholds::default());
         assert!(report.is_clean());
         assert!(report.entries.iter().all(|e| e.status == Status::Ok && e.rel == 0.0));
-        // time + at2 for the one sample, plus the phase completion.
-        assert_eq!(report.entries.len(), 3);
+        // time + at2 for the one sample, the phase completion, and the
+        // recovery entry's completion + overhead.
+        assert_eq!(report.entries.len(), 5);
+    }
+
+    #[test]
+    fn a_recovery_overhead_regression_fails() {
+        let base = fixture_with_overhead(1000, 12.5);
+        let cur = fixture_with_overhead(1000, 14.0); // +12% > the 10% threshold
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        let regressed: Vec<_> = report.with_status(Status::Regressed).collect();
+        assert!(
+            regressed.iter().any(|e| e.table == "recovery" && e.metric == "overhead_pct"),
+            "{regressed:?}"
+        );
+    }
+
+    #[test]
+    fn a_vanished_recovery_workload_is_missing() {
+        let base = fixture(1000);
+        let mut cur = fixture(1000);
+        if let Json::Obj(pairs) = &mut cur {
+            pairs.retain(|(k, _)| k != "recovery");
+        }
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        assert!(
+            report.with_status(Status::Missing).all(|e| e.table == "recovery"),
+            "{:?}",
+            report.entries
+        );
+        assert_eq!(report.with_status(Status::Missing).count(), 2);
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //!   `SORT-OTN` and `SORT-OTC` run (self times sum to `completion_bits`;
 //!   the schema test checks this);
 //! * `links` — the bit-level `ROOTTOLEAF` link profile (bits carried,
-//!   utilization, calendar depth).
+//!   utilization, calendar depth);
+//! * `recovery` — supervised crash-recovery cost, one entry per
+//!   workload (engine outage, word-level soak): attempts, rollbacks,
+//!   replayed events/bit-time and the checkpoint overhead percentage.
 //!
 //! Built on the dependency-free JSON support in `orthotrees-obs`, so the
 //! emitted file is parseable (and schema-checkable) by the same code that
@@ -19,8 +22,10 @@ use orthotrees::obs::json::Json;
 use orthotrees::obs::Recorder;
 use orthotrees::BitTime;
 use orthotrees_analysis::obsreport;
+use orthotrees_analysis::recovery;
 use orthotrees_analysis::report::{self, ReportConfig};
 use orthotrees_analysis::tables::ReproTable;
+use orthotrees_sim::RecoveryReport;
 use orthotrees_vlsi::CostModel;
 
 /// The summary schema identifier.
@@ -88,6 +93,20 @@ fn links_json(leaves: usize, completion: BitTime, rec: &Recorder) -> Json {
     ])
 }
 
+/// One `recovery` entry: the workload label and size prepended to the
+/// [`RecoveryReport`]'s own JSON shape (attempts, rollbacks, checkpoints,
+/// replayed_events, replayed_bits, completion_bits, overhead_pct,
+/// final_checkpoint_events).
+fn recovery_json(workload: &str, n: usize, report: &RecoveryReport) -> Json {
+    let doc = report.to_json();
+    let fields: Vec<(String, Json)> = doc.as_obj().map(<[_]>::to_vec).unwrap_or_default();
+    Json::obj(
+        [("workload".to_string(), Json::str(workload)), ("n".to_string(), Json::u64(n as u64))]
+            .into_iter()
+            .chain(fields),
+    )
+}
+
 /// Builds the whole benchmark summary document for one report run.
 pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
     let tables = [
@@ -112,6 +131,18 @@ pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
         Err(_) => Json::Null,
     };
 
+    // Supervised crash-recovery cost at a fixed small size: the workloads
+    // are deterministic in the seed, so the entries diff exactly against a
+    // committed baseline. A failed workload simply omits its entry, which
+    // benchdiff then reports as Missing.
+    let mut recovery_entries = Vec::new();
+    if let Ok((r, _rec)) = recovery::engine_outage_recovery(16, cfg.seed) {
+        recovery_entries.push(recovery_json("SUM-OUTAGE", 16, &r));
+    }
+    if let Ok(r) = recovery::otn_soak_recovery(16, 12, cfg.seed) {
+        recovery_entries.push(recovery_json("SOAK-OTN", 16, &r));
+    }
+
     Json::obj([
         ("schema", Json::str(SCHEMA)),
         ("preset", Json::str(preset_name)),
@@ -119,6 +150,7 @@ pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
         ("tables", Json::arr(tables.iter().map(table_json))),
         ("phases", Json::arr(phases)),
         ("links", links),
+        ("recovery", Json::arr(recovery_entries)),
     ])
 }
 
@@ -195,6 +227,39 @@ pub fn schema_violations(doc: &Json) -> Vec<String> {
     } else {
         errs.push("links missing".to_string());
     }
+
+    match doc.get("recovery").and_then(Json::as_arr) {
+        None => errs.push("recovery missing".to_string()),
+        Some(entries) => {
+            for e in entries {
+                let well_formed = e.get("workload").and_then(Json::as_str).is_some()
+                    && e.get("n").and_then(Json::as_u64).is_some()
+                    && [
+                        "checkpoints",
+                        "replayed_events",
+                        "replayed_bits",
+                        "completion_bits",
+                        "final_checkpoint_events",
+                    ]
+                    .iter()
+                    .all(|k| e.get(k).and_then(Json::as_u64).is_some())
+                    && e.get("overhead_pct").and_then(Json::as_f64).is_some();
+                if !well_formed {
+                    errs.push("malformed recovery entry".to_string());
+                    continue;
+                }
+                // Attempt accounting: every rollback starts one retry.
+                let attempts = e.get("attempts").and_then(Json::as_u64);
+                let rollbacks = e.get("rollbacks").and_then(Json::as_u64);
+                match (attempts, rollbacks) {
+                    (Some(a), Some(r)) if a == r + 1 => {}
+                    _ => errs.push(format!(
+                        "recovery attempts {attempts:?} must equal rollbacks {rollbacks:?} + 1"
+                    )),
+                }
+            }
+        }
+    }
     errs
 }
 
@@ -242,10 +307,42 @@ mod tests {
     }
 
     #[test]
+    fn summary_recovery_section_covers_both_supervised_workloads() {
+        let doc = bench_summary("quick", &tiny());
+        let entries = doc.get("recovery").and_then(Json::as_arr).unwrap();
+        let workloads: Vec<&str> =
+            entries.iter().filter_map(|e| e.get("workload").and_then(Json::as_str)).collect();
+        assert_eq!(workloads, ["SUM-OUTAGE", "SOAK-OTN"]);
+        for e in entries {
+            assert!(
+                e.get("rollbacks").and_then(Json::as_u64).unwrap() >= 1,
+                "recovery workload never tripped the supervisor: {}",
+                e.render()
+            );
+            assert!(e.get("overhead_pct").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
     fn schema_check_flags_a_broken_document() {
         let doc = Json::parse(r#"{"schema":"orthotrees-bench/v1","preset":"quick"}"#).unwrap();
         let errs = schema_violations(&doc);
         assert!(errs.iter().any(|e| e.contains("seed")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("tables")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("recovery")), "{errs:?}");
+    }
+
+    #[test]
+    fn schema_check_flags_inconsistent_recovery_accounting() {
+        let doc = Json::parse(
+            r#"{"schema":"orthotrees-bench/v1","preset":"quick","seed":1,
+                "tables":[],"phases":[],"links":{"active_links":1},
+                "recovery":[{"workload":"SUM-OUTAGE","n":16,"attempts":5,"rollbacks":1,
+                "checkpoints":3,"replayed_events":10,"replayed_bits":9,
+                "completion_bits":90,"overhead_pct":10.0,"final_checkpoint_events":16}]}"#,
+        )
+        .unwrap();
+        let errs = schema_violations(&doc);
+        assert!(errs.iter().any(|e| e.contains("rollbacks")), "{errs:?}");
     }
 }

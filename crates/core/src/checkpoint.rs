@@ -1,0 +1,234 @@
+//! Shared plumbing for the word-level network checkpoints.
+//!
+//! The engine-level checkpoint lives in `orthotrees_sim::snapshot`; the
+//! word-level networks ([`Otn`](crate::otn::Otn), [`Otc`](crate::otc::Otc))
+//! have their own snapshot types (`otn::checkpoint`, `otc::checkpoint`)
+//! whose natural boundary is a whole primitive or problem rather than a
+//! single event. This module holds the encoding helpers both share: the
+//! dependency-free JSON shapes for the simulated [`Clock`] (time plus
+//! [`OpStats`]), the [`FaultStats`] counters, the fault-round cursor and
+//! individual [`Word`]s — plus the small validation vocabulary that turns
+//! malformed documents into [`SimError::SnapshotFormat`] instead of
+//! panics or garbage.
+
+use crate::resilience::FaultStats;
+use crate::word::Word;
+use orthotrees_obs::json::Json;
+use orthotrees_vlsi::{BitTime, Clock, DelayModel, OpStats, SimError};
+
+/// Largest magnitude a checkpointed [`Word`] may have: JSON numbers are
+/// `f64`, exact only up to 2⁵³.
+const WORD_LIMIT: i64 = 1 << 53;
+
+pub(crate) fn bad(detail: impl Into<String>) -> SimError {
+    SimError::SnapshotFormat { detail: detail.into() }
+}
+
+pub(crate) fn mismatch(
+    what: &'static str,
+    expected: impl ToString,
+    actual: impl ToString,
+) -> SimError {
+    SimError::SnapshotMismatch { what, expected: expected.to_string(), actual: actual.to_string() }
+}
+
+pub(crate) fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, SimError> {
+    doc.get(key).ok_or_else(|| bad(format!("missing field `{key}`")))
+}
+
+pub(crate) fn req_u64(doc: &Json, key: &str) -> Result<u64, SimError> {
+    req(doc, key)?.as_u64().ok_or_else(|| bad(format!("field `{key}` is not an integer")))
+}
+
+pub(crate) fn req_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], SimError> {
+    req(doc, key)?.as_arr().ok_or_else(|| bad(format!("field `{key}` is not an array")))
+}
+
+pub(crate) fn delay_tag(d: DelayModel) -> &'static str {
+    match d {
+        DelayModel::Constant => "Constant",
+        DelayModel::Logarithmic => "Logarithmic",
+        DelayModel::Linear => "Linear",
+    }
+}
+
+/// One register slot (or root port): `null`, or the word as an exact
+/// integer.
+pub(crate) fn word_to_json(w: Option<Word>) -> Json {
+    match w {
+        None => Json::Null,
+        Some(v) => {
+            assert!(v.abs() < WORD_LIMIT, "checkpointed word {v} exceeds JSON exact range");
+            Json::f64(v as f64)
+        }
+    }
+}
+
+pub(crate) fn word_from_json(j: &Json, what: &str) -> Result<Option<Word>, SimError> {
+    match j {
+        Json::Null => Ok(None),
+        Json::Num(n) if n.fract() == 0.0 && n.abs() < WORD_LIMIT as f64 => Ok(Some(*n as i64)),
+        other => Err(bad(format!("{what} is not null or an exact integer: {}", other.render()))),
+    }
+}
+
+/// `{"now": t, "stats": {8 counters}}` from the decomposed parts a
+/// snapshot stores.
+pub(crate) fn clock_parts_to_json(now: BitTime, s: &OpStats) -> Json {
+    Json::obj([
+        ("now", Json::u64(now.get())),
+        (
+            "stats",
+            Json::obj([
+                ("broadcasts", Json::u64(s.broadcasts)),
+                ("sends", Json::u64(s.sends)),
+                ("aggregates", Json::u64(s.aggregates)),
+                ("leaf_ops", Json::u64(s.leaf_ops)),
+                ("circulates", Json::u64(s.circulates)),
+                ("hops", Json::u64(s.hops)),
+                ("inputs", Json::u64(s.inputs)),
+                ("outputs", Json::u64(s.outputs)),
+            ]),
+        ),
+    ])
+}
+
+pub(crate) fn clock_from_json(doc: &Json) -> Result<(BitTime, OpStats), SimError> {
+    let s = req(doc, "stats")?;
+    Ok((
+        BitTime::new(req_u64(doc, "now")?),
+        OpStats {
+            broadcasts: req_u64(s, "broadcasts")?,
+            sends: req_u64(s, "sends")?,
+            aggregates: req_u64(s, "aggregates")?,
+            leaf_ops: req_u64(s, "leaf_ops")?,
+            circulates: req_u64(s, "circulates")?,
+            hops: req_u64(s, "hops")?,
+            inputs: req_u64(s, "inputs")?,
+            outputs: req_u64(s, "outputs")?,
+        },
+    ))
+}
+
+/// Overwrites `clock` with a checkpointed `(now, stats)` pair.
+pub(crate) fn restore_clock(clock: &mut Clock, now: BitTime, stats: OpStats) {
+    clock.reset();
+    clock.advance(now);
+    *clock.stats_mut() = stats;
+}
+
+/// `null`, or `{"round": r, "stats": {8 counters}}`: the *mutable* part of
+/// a network's fault state. The plan itself is configuration and never
+/// checkpointed — healing legitimately changes it between checkpoint and
+/// restore.
+pub(crate) fn fault_to_json(state: Option<(u64, FaultStats)>) -> Json {
+    match state {
+        None => Json::Null,
+        Some((round, s)) => Json::obj([
+            ("round", Json::u64(round)),
+            (
+                "stats",
+                Json::obj([
+                    ("injected", Json::u64(s.injected)),
+                    ("detected", Json::u64(s.detected)),
+                    ("corrected", Json::u64(s.corrected)),
+                    ("retries", Json::u64(s.retries)),
+                    ("erasures", Json::u64(s.erasures)),
+                    ("silent", Json::u64(s.silent)),
+                    ("faulty_bits", Json::u64(s.faulty_bits)),
+                    ("suppressed", Json::u64(s.suppressed)),
+                ]),
+            ),
+        ]),
+    }
+}
+
+pub(crate) fn fault_from_json(doc: &Json) -> Result<Option<(u64, FaultStats)>, SimError> {
+    match doc {
+        Json::Null => Ok(None),
+        obj => {
+            let s = req(obj, "stats")?;
+            Ok(Some((
+                req_u64(obj, "round")?,
+                FaultStats {
+                    injected: req_u64(s, "injected")?,
+                    detected: req_u64(s, "detected")?,
+                    corrected: req_u64(s, "corrected")?,
+                    retries: req_u64(s, "retries")?,
+                    erasures: req_u64(s, "erasures")?,
+                    silent: req_u64(s, "silent")?,
+                    faulty_bits: req_u64(s, "faulty_bits")?,
+                    suppressed: req_u64(s, "suppressed")?,
+                },
+            )))
+        }
+    }
+}
+
+/// Serializes one plane of register values (row-major / flat order).
+pub(crate) fn plane_to_json<'a>(cells: impl Iterator<Item = &'a Option<Word>>) -> Json {
+    Json::arr(cells.map(|w| word_to_json(*w)))
+}
+
+/// Decodes a plane into `out`, validating the length.
+pub(crate) fn plane_from_json(
+    j: &Json,
+    what: &str,
+    out: &mut [Option<Word>],
+) -> Result<(), SimError> {
+    let cells = j.as_arr().ok_or_else(|| bad(format!("{what} is not an array")))?;
+    if cells.len() != out.len() {
+        return Err(bad(format!("{what} has {} cells, expected {}", cells.len(), out.len())));
+    }
+    for (slot, cell) in out.iter_mut().zip(cells) {
+        *slot = word_from_json(cell, what)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip_including_negatives_and_null() {
+        for w in [None, Some(0i64), Some(-5), Some(42), Some(-(1 << 40))] {
+            let j = word_to_json(w);
+            assert_eq!(word_from_json(&j, "cell").unwrap(), w);
+        }
+        assert!(word_from_json(&Json::f64(2.5), "cell").is_err());
+        assert!(word_from_json(&Json::str("x"), "cell").is_err());
+    }
+
+    #[test]
+    fn clock_round_trips_time_and_stats() {
+        let mut c = Clock::new();
+        c.advance(BitTime::new(123));
+        c.stats_mut().broadcasts = 4;
+        c.stats_mut().outputs = 9;
+        let doc = clock_parts_to_json(c.now(), c.stats());
+        let (now, stats) = clock_from_json(&doc).unwrap();
+        let mut back = Clock::new();
+        restore_clock(&mut back, now, stats);
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn fault_state_round_trips_and_null_means_no_plan() {
+        assert_eq!(fault_from_json(&Json::Null).unwrap(), None);
+        let stats = FaultStats { injected: 3, retries: 1, ..FaultStats::default() };
+        let doc = fault_to_json(Some((7, stats)));
+        assert_eq!(fault_from_json(&doc).unwrap(), Some((7, stats)));
+    }
+
+    #[test]
+    fn plane_length_is_validated() {
+        let plane = [Some(1i64), None, Some(-2)];
+        let doc = plane_to_json(plane.iter());
+        let mut out = [None; 3];
+        plane_from_json(&doc, "plane", &mut out).unwrap();
+        assert_eq!(out, plane);
+        let mut short = [None; 2];
+        assert!(plane_from_json(&doc, "plane", &mut short).is_err());
+    }
+}

@@ -84,6 +84,17 @@ impl<T> Grid<T> {
         self.data.iter().enumerate().map(move |(k, v)| (k / cols, k % cols, v))
     }
 
+    /// The backing storage as one flat row-major slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable flat row-major access (bulk operations such as checkpoint
+    /// restore).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// One row as a slice.
     ///
     /// # Panics

@@ -55,6 +55,7 @@
 //! ```
 
 mod attribution;
+mod checkpoint;
 pub mod complexnum;
 mod grid;
 pub mod mot3d;

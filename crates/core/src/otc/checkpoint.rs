@@ -1,0 +1,275 @@
+//! Checkpoint/restore for the word-level OTC.
+//!
+//! The OTC analogue of [`otn::checkpoint`](crate::otn::checkpoint): an
+//! [`OtcSnapshot`] captures the clock, every register plane (flat
+//! `(i·m + j)·L + q` order), the per-tree root *buffers* (`L` words each —
+//! a root streams a whole cycle's worth per §V.B operation) and the
+//! mutable fault state. Shape and plan are configuration the caller
+//! rebuilds; restore validates the shape and rejects mismatches with a
+//! typed error. Schema: `orthotrees-otc-snapshot/v1`.
+
+use super::Otc;
+use crate::checkpoint::{
+    bad, clock_from_json, clock_parts_to_json, delay_tag, fault_from_json, fault_to_json, mismatch,
+    plane_from_json, plane_to_json, req, req_arr, req_u64, restore_clock,
+};
+use crate::resilience::FaultStats;
+use crate::word::Word;
+use orthotrees_obs::json::Json;
+use orthotrees_vlsi::{BitTime, OpStats, SimError};
+
+/// The on-disk schema identifier.
+pub const SCHEMA: &str = "orthotrees-otc-snapshot/v1";
+
+/// A checkpoint of a running [`Otc`]. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct OtcSnapshot {
+    m: usize,
+    cycle: usize,
+    word_bits: u32,
+    delay: &'static str,
+    now: BitTime,
+    stats: OpStats,
+    reg_names: Vec<String>,
+    planes: Vec<Vec<Option<Word>>>,
+    row_roots: Vec<Vec<Option<Word>>>,
+    col_roots: Vec<Vec<Option<Word>>>,
+    fault: Option<(u64, FaultStats)>,
+}
+
+impl OtcSnapshot {
+    /// Simulated time at the checkpoint.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// The checkpoint as an `orthotrees-otc-snapshot/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let roots = |family: &[Vec<Option<Word>>]| {
+            Json::arr(family.iter().map(|buf| plane_to_json(buf.iter())))
+        };
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "network",
+                Json::obj([
+                    ("m", Json::u64(self.m as u64)),
+                    ("cycle", Json::u64(self.cycle as u64)),
+                    ("word_bits", Json::u64(u64::from(self.word_bits))),
+                    ("delay", Json::str(self.delay)),
+                ]),
+            ),
+            ("clock", clock_parts_to_json(self.now, &self.stats)),
+            ("reg_names", Json::arr(self.reg_names.iter().map(Json::str))),
+            ("regs", Json::arr(self.planes.iter().map(|p| plane_to_json(p.iter())))),
+            ("row_roots", roots(&self.row_roots)),
+            ("col_roots", roots(&self.col_roots)),
+            ("fault", fault_to_json(self.fault)),
+        ])
+    }
+
+    /// Renders the checkpoint as JSON text (the on-disk format).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Loads a checkpoint from a parsed `orthotrees-otc-snapshot/v1`
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] on a wrong schema tag, missing
+    /// field or out-of-range value.
+    pub fn from_json(doc: &Json) -> Result<Self, SimError> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(bad(format!("schema tag `{other}`, expected `{SCHEMA}`"))),
+            None => return Err(bad("schema tag missing")),
+        }
+        let net = req(doc, "network")?;
+        let m = req_u64(net, "m")? as usize;
+        let cycle = req_u64(net, "cycle")? as usize;
+        let (now, stats) = clock_from_json(req(doc, "clock")?)?;
+        let reg_names = req_arr(doc, "reg_names")?
+            .iter()
+            .map(|n| {
+                n.as_str().map(str::to_owned).ok_or_else(|| bad("register name is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let raw_planes = req_arr(doc, "regs")?;
+        if raw_planes.len() != reg_names.len() {
+            return Err(bad(format!(
+                "{} register planes for {} register names",
+                raw_planes.len(),
+                reg_names.len()
+            )));
+        }
+        let mut planes = Vec::with_capacity(raw_planes.len());
+        for (plane, name) in raw_planes.iter().zip(&reg_names) {
+            let mut cells = vec![None; m * m * cycle];
+            plane_from_json(plane, &format!("register plane `{name}`"), &mut cells)?;
+            planes.push(cells);
+        }
+        let decode_roots = |key: &str| -> Result<Vec<Vec<Option<Word>>>, SimError> {
+            let family = req_arr(doc, key)?;
+            if family.len() != m {
+                return Err(bad(format!("{key} has {} trees, expected {m}", family.len())));
+            }
+            family
+                .iter()
+                .map(|buf| {
+                    let mut words = vec![None; cycle];
+                    plane_from_json(buf, key, &mut words)?;
+                    Ok(words)
+                })
+                .collect()
+        };
+        Ok(OtcSnapshot {
+            m,
+            cycle,
+            word_bits: u32::try_from(req_u64(net, "word_bits")?)
+                .map_err(|_| bad("word width exceeds u32"))?,
+            delay: match req(net, "delay")?.as_str() {
+                Some("Constant") => "Constant",
+                Some("Logarithmic") => "Logarithmic",
+                Some("Linear") => "Linear",
+                Some(other) => return Err(bad(format!("unknown delay model `{other}`"))),
+                None => return Err(bad("field `delay` is not a string")),
+            },
+            now,
+            stats,
+            reg_names,
+            planes,
+            row_roots: decode_roots("row_roots")?,
+            col_roots: decode_roots("col_roots")?,
+            fault: fault_from_json(req(doc, "fault")?)?,
+        })
+    }
+
+    /// Parses a checkpoint from JSON text (the inverse of
+    /// [`OtcSnapshot::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] if `text` is not valid JSON or
+    /// not a valid `orthotrees-otc-snapshot/v1` document.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let doc = Json::parse(text).map_err(|e| bad(format!("not valid JSON: {e}")))?;
+        OtcSnapshot::from_json(&doc)
+    }
+}
+
+impl Otc {
+    /// Captures the network's complete mutable state (between primitives).
+    pub fn snapshot(&self) -> OtcSnapshot {
+        OtcSnapshot {
+            m: self.m,
+            cycle: self.cycle,
+            word_bits: self.model.word_bits,
+            delay: delay_tag(self.model.delay),
+            now: self.clock.now(),
+            stats: *self.clock.stats(),
+            reg_names: self.reg_names.iter().map(|n| (*n).to_owned()).collect(),
+            planes: self.regs.clone(),
+            row_roots: self.row_roots.clone(),
+            col_roots: self.col_roots.clone(),
+            fault: self.fault.as_ref().map(|f| (f.round(), f.stats)),
+        }
+    }
+
+    /// Restores a checkpoint into this network. Same contract as
+    /// [`Otn::restore`](crate::otn::Otn::restore): shape and register
+    /// layout must match (typed [`SimError::SnapshotMismatch`] otherwise);
+    /// plan, recorder and parallel policy are untouched configuration; the
+    /// mutable fault state is restored when both sides carry one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] on a shape mismatch. On
+    /// error the network is unchanged.
+    pub fn restore(&mut self, snap: &OtcSnapshot) -> Result<(), SimError> {
+        if self.m != snap.m {
+            return Err(mismatch("side length", self.m, snap.m));
+        }
+        if self.cycle != snap.cycle {
+            return Err(mismatch("cycle length", self.cycle, snap.cycle));
+        }
+        if self.model.word_bits != snap.word_bits {
+            return Err(mismatch("word width", self.model.word_bits, snap.word_bits));
+        }
+        if delay_tag(self.model.delay) != snap.delay {
+            return Err(mismatch("delay model", delay_tag(self.model.delay), snap.delay));
+        }
+        let keep = snap.reg_names.len();
+        let prefix_matches = self.reg_names.len() >= keep
+            && self.reg_names.iter().zip(&snap.reg_names).all(|(a, b)| *a == b.as_str());
+        if !prefix_matches {
+            return Err(mismatch(
+                "register layout",
+                self.reg_names.join(","),
+                snap.reg_names.join(","),
+            ));
+        }
+        // Rolling back across an `alloc_reg` boundary: planes allocated
+        // after the checkpoint are discarded, and a retry re-allocates
+        // them at the same indices.
+        self.regs.truncate(keep);
+        self.reg_names.truncate(keep);
+        self.regs.clone_from(&snap.planes);
+        self.row_roots.clone_from(&snap.row_roots);
+        self.col_roots.clone_from(&snap.col_roots);
+        restore_clock(&mut self.clock, snap.now, snap.stats);
+        if let (Some(fault), Some((round, stats))) = (self.fault.as_mut(), snap.fault) {
+            fault.set_round(round);
+            fault.stats = stats;
+        }
+        Ok(())
+    }
+
+    /// Advances the fault-injection epoch so a supervisor retry sees fresh
+    /// deterministic fault draws (see
+    /// [`Otn::bump_fault_epoch`](crate::otn::Otn::bump_fault_epoch)).
+    pub fn bump_fault_epoch(&mut self) {
+        if let Some(fault) = self.fault.as_mut() {
+            fault.set_round(fault.round() + 1_000_003);
+        }
+    }
+
+    /// Serializes the current state straight to JSON text — shorthand for
+    /// `self.snapshot().render()`.
+    pub fn checkpoint_text(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otc::sort;
+
+    #[test]
+    fn snapshot_round_trips_through_json_text() {
+        let mut net = Otc::for_sorting(16).unwrap();
+        let _ = sort::sort(&mut net, &(0..16).rev().collect::<Vec<_>>()).unwrap();
+        let snap = net.snapshot();
+        let text = snap.render();
+        let back = OtcSnapshot::parse(&text).unwrap();
+        let mut fresh = Otc::for_sorting(16).unwrap();
+        let _ = sort::sort(&mut fresh, &(0..16).collect::<Vec<_>>()).unwrap();
+        fresh.restore(&back).unwrap();
+        assert_eq!(fresh.clock(), net.clock());
+        assert_eq!(fresh.snapshot().render(), text);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_cycle_length() {
+        let mut a = Otc::for_sorting(16).unwrap();
+        let _ = sort::sort(&mut a, &(0..16).rev().collect::<Vec<_>>()).unwrap();
+        let snap = a.snapshot();
+        let mut b = Otc::new(4, 8, crate::CostModel::thompson(32)).unwrap();
+        match b.restore(&snap) {
+            Err(SimError::SnapshotMismatch { what: "cycle length", .. }) => {}
+            other => panic!("expected cycle-length mismatch, got {other:?}"),
+        }
+    }
+}

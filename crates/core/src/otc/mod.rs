@@ -16,6 +16,7 @@
 //! and [`emulate`] (the §V simulation argument priced from op counts).
 
 pub mod cc;
+pub mod checkpoint;
 pub mod emulate;
 pub mod matmul;
 pub mod mst;
@@ -474,6 +475,9 @@ impl Otc {
     /// circulate hops of a stream) and the fault-overhead base all derive
     /// from the same [`CostKind`], so they can never disagree.
     fn charge_primitive(&mut self, spec: &PrimitiveSpec, axis: Axis, attempts: u32) {
+        // Invariant: executors only charge registry primitives that declare
+        // a cost kind (the registry coverage tests pin this statically), so
+        // a `None` is a registry-definition bug, not a runtime state.
         let kind = spec.cost.unwrap_or_else(|| panic!("{} declares no cost kind", spec.name));
         let t = self.model.primitive_cost(kind, self.m, self.pitch, self.cycle);
         let parts =
@@ -544,6 +548,9 @@ impl Otc {
         sel: &(impl Fn(usize, usize, usize, &OtcRegsView<'_>) -> bool + Sync),
     ) {
         let spec = primitive::spec_for(name);
+        // Invariant: aggregate executors are only called with registry
+        // primitives that declare a combine monoid (pinned by the registry
+        // coverage tests) — a `None` is a registry-definition bug.
         let monoid =
             spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
         self.begin_phase(spec.name);

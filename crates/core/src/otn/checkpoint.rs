@@ -1,0 +1,317 @@
+//! Checkpoint/restore for the word-level OTN.
+//!
+//! An [`OtnSnapshot`] captures everything that changes while algorithms
+//! run: the simulated [`Clock`](orthotrees_vlsi::Clock) (time and
+//! [`OpStats`]), every allocated register plane,
+//! the row- and column-root ports, and — when a
+//! [`FaultPlan`](crate::resilience::FaultPlan) is installed — the mutable
+//! fault state (transit-round cursor and [`FaultStats`]); the network
+//! *shape* (dimensions, cost model, register layout) and the plan itself
+//! are configuration the caller rebuilds. The natural checkpoint boundary
+//! is between primitives or problems — exactly where the recovery
+//! supervisor ([`orthotrees_sim::recovery`]) checkpoints a pipelined
+//! multi-problem run.
+//!
+//! Snapshots serialize to the workspace's dependency-free JSON (schema
+//! `orthotrees-otn-snapshot/v1`) via [`OtnSnapshot::render`] /
+//! [`OtnSnapshot::parse`], so a checkpoint survives process death.
+
+use super::Otn;
+use crate::checkpoint::{
+    bad, clock_from_json, clock_parts_to_json, delay_tag, fault_from_json, fault_to_json, mismatch,
+    plane_from_json, plane_to_json, req, req_arr, req_u64, restore_clock, word_from_json,
+};
+use crate::resilience::FaultStats;
+use orthotrees_obs::json::Json;
+use orthotrees_vlsi::{BitTime, OpStats, SimError};
+
+/// The on-disk schema identifier.
+pub const SCHEMA: &str = "orthotrees-otn-snapshot/v1";
+
+/// A checkpoint of a running [`Otn`]. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct OtnSnapshot {
+    rows: usize,
+    cols: usize,
+    word_bits: u32,
+    delay: &'static str,
+    now: BitTime,
+    stats: OpStats,
+    reg_names: Vec<String>,
+    planes: Vec<Vec<Option<crate::word::Word>>>,
+    row_roots: Vec<Option<crate::word::Word>>,
+    col_roots: Vec<Option<crate::word::Word>>,
+    fault: Option<(u64, FaultStats)>,
+}
+
+impl OtnSnapshot {
+    /// Simulated time at the checkpoint.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// The checkpoint as an `orthotrees-otn-snapshot/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "network",
+                Json::obj([
+                    ("rows", Json::u64(self.rows as u64)),
+                    ("cols", Json::u64(self.cols as u64)),
+                    ("word_bits", Json::u64(u64::from(self.word_bits))),
+                    ("delay", Json::str(self.delay)),
+                ]),
+            ),
+            ("clock", clock_parts_to_json(self.now, &self.stats)),
+            ("reg_names", Json::arr(self.reg_names.iter().map(Json::str))),
+            ("regs", Json::arr(self.planes.iter().map(|p| plane_to_json(p.iter())))),
+            ("row_roots", plane_to_json(self.row_roots.iter())),
+            ("col_roots", plane_to_json(self.col_roots.iter())),
+            ("fault", fault_to_json(self.fault)),
+        ])
+    }
+
+    /// Renders the checkpoint as JSON text (the on-disk format).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Loads a checkpoint from a parsed `orthotrees-otn-snapshot/v1`
+    /// document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] on a wrong schema tag, missing
+    /// field or out-of-range value.
+    pub fn from_json(doc: &Json) -> Result<Self, SimError> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(bad(format!("schema tag `{other}`, expected `{SCHEMA}`"))),
+            None => return Err(bad("schema tag missing")),
+        }
+        let net = req(doc, "network")?;
+        let rows = req_u64(net, "rows")? as usize;
+        let cols = req_u64(net, "cols")? as usize;
+        let (now, stats) = clock_from_json(req(doc, "clock")?)?;
+        let reg_names = req_arr(doc, "reg_names")?
+            .iter()
+            .map(|n| {
+                n.as_str().map(str::to_owned).ok_or_else(|| bad("register name is not a string"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let raw_planes = req_arr(doc, "regs")?;
+        if raw_planes.len() != reg_names.len() {
+            return Err(bad(format!(
+                "{} register planes for {} register names",
+                raw_planes.len(),
+                reg_names.len()
+            )));
+        }
+        let mut planes = Vec::with_capacity(raw_planes.len());
+        for (plane, name) in raw_planes.iter().zip(&reg_names) {
+            let mut cells = vec![None; rows * cols];
+            plane_from_json(plane, &format!("register plane `{name}`"), &mut cells)?;
+            planes.push(cells);
+        }
+        let decode_roots = |key: &str, len: usize| -> Result<Vec<_>, SimError> {
+            let arr = req_arr(doc, key)?;
+            if arr.len() != len {
+                return Err(bad(format!("{key} has {} ports, expected {len}", arr.len())));
+            }
+            arr.iter().map(|w| word_from_json(w, key)).collect()
+        };
+        Ok(OtnSnapshot {
+            rows,
+            cols,
+            word_bits: u32::try_from(req_u64(net, "word_bits")?)
+                .map_err(|_| bad("word width exceeds u32"))?,
+            delay: match req(net, "delay")?.as_str() {
+                Some("Constant") => "Constant",
+                Some("Logarithmic") => "Logarithmic",
+                Some("Linear") => "Linear",
+                Some(other) => return Err(bad(format!("unknown delay model `{other}`"))),
+                None => return Err(bad("field `delay` is not a string")),
+            },
+            now,
+            stats,
+            reg_names,
+            planes,
+            row_roots: decode_roots("row_roots", rows)?,
+            col_roots: decode_roots("col_roots", cols)?,
+            fault: fault_from_json(req(doc, "fault")?)?,
+        })
+    }
+
+    /// Parses a checkpoint from JSON text (the inverse of
+    /// [`OtnSnapshot::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] if `text` is not valid JSON or
+    /// not a valid `orthotrees-otn-snapshot/v1` document.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let doc = Json::parse(text).map_err(|e| bad(format!("not valid JSON: {e}")))?;
+        OtnSnapshot::from_json(&doc)
+    }
+}
+
+impl Otn {
+    /// Captures the network's complete mutable state. Call between
+    /// primitives (any point where no primitive is mid-flight — the
+    /// network has no other kind of point, since primitives run to
+    /// completion).
+    pub fn snapshot(&self) -> OtnSnapshot {
+        OtnSnapshot {
+            rows: self.rows,
+            cols: self.cols,
+            word_bits: self.model.word_bits,
+            delay: delay_tag(self.model.delay),
+            now: self.clock.now(),
+            stats: *self.clock.stats(),
+            reg_names: self.reg_names.iter().map(|n| (*n).to_owned()).collect(),
+            planes: self.regs.iter().map(|g| g.as_slice().to_vec()).collect(),
+            row_roots: self.row_roots.clone(),
+            col_roots: self.col_roots.clone(),
+            fault: self.fault.as_ref().map(|f| (f.round(), f.stats)),
+        }
+    }
+
+    /// Restores a checkpoint into this network.
+    ///
+    /// The network must have the same shape the checkpoint was written
+    /// from: dimensions, word width, delay model, and a register layout
+    /// (names, in allocation order) that *starts with* the checkpoint's —
+    /// planes allocated after the checkpoint are discarded, so a rollback
+    /// across an [`alloc_reg`](Otn::alloc_reg) boundary works and a retry
+    /// re-allocates at the same indices. Anything else is rejected with a
+    /// typed [`SimError::SnapshotMismatch`]. The installed fault *plan*,
+    /// recorder and parallel policy are configuration and stay untouched;
+    /// the mutable fault state (round cursor, stats) is restored when both
+    /// the network and the checkpoint carry one. A checkpoint with fault
+    /// state restores cleanly into a plan-free network (the healing path:
+    /// the plan was removed between checkpoint and retry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] on a shape mismatch. On
+    /// error the network is unchanged.
+    pub fn restore(&mut self, snap: &OtnSnapshot) -> Result<(), SimError> {
+        if self.rows != snap.rows {
+            return Err(mismatch("row count", self.rows, snap.rows));
+        }
+        if self.cols != snap.cols {
+            return Err(mismatch("column count", self.cols, snap.cols));
+        }
+        if self.model.word_bits != snap.word_bits {
+            return Err(mismatch("word width", self.model.word_bits, snap.word_bits));
+        }
+        if delay_tag(self.model.delay) != snap.delay {
+            return Err(mismatch("delay model", delay_tag(self.model.delay), snap.delay));
+        }
+        let keep = snap.reg_names.len();
+        let prefix_matches = self.reg_names.len() >= keep
+            && self.reg_names.iter().zip(&snap.reg_names).all(|(a, b)| *a == b.as_str());
+        if !prefix_matches {
+            return Err(mismatch(
+                "register layout",
+                self.reg_names.join(","),
+                snap.reg_names.join(","),
+            ));
+        }
+        // Rolling back across an `alloc_reg` boundary: planes allocated
+        // after the checkpoint are discarded, and a retry re-allocates
+        // them at the same indices.
+        self.regs.truncate(keep);
+        self.reg_names.truncate(keep);
+        for (grid, plane) in self.regs.iter_mut().zip(&snap.planes) {
+            grid.as_mut_slice().clone_from_slice(plane);
+        }
+        self.row_roots.clone_from(&snap.row_roots);
+        self.col_roots.clone_from(&snap.col_roots);
+        restore_clock(&mut self.clock, snap.now, snap.stats);
+        if let (Some(fault), Some((round, stats))) = (self.fault.as_mut(), snap.fault) {
+            fault.set_round(round);
+            fault.stats = stats;
+        }
+        Ok(())
+    }
+
+    /// Advances the fault-injection epoch: jumps the transit-round cursor
+    /// forward so subsequent primitives see *fresh* deterministic fault
+    /// draws. The recovery supervisor calls this between retries —
+    /// without it, a retry replays the exact transient that killed the
+    /// previous attempt, forever.
+    pub fn bump_fault_epoch(&mut self) {
+        if let Some(fault) = self.fault.as_mut() {
+            // A large prime stride keeps every epoch's draw sequence
+            // disjoint from every other epoch for any realistic run length.
+            fault.set_round(fault.round() + 1_000_003);
+        }
+    }
+
+    /// Serializes the current state straight to JSON text — shorthand for
+    /// `self.snapshot().render()`.
+    pub fn checkpoint_text(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::otn::sort;
+
+    #[test]
+    fn snapshot_round_trips_through_json_text() {
+        let mut net = Otn::for_sorting(8).unwrap();
+        let out = sort::sort(&mut net, &[5, 3, 7, 1, 6, 2, 8, 4]).unwrap();
+        let snap = net.snapshot();
+        let text = snap.render();
+        let back = OtnSnapshot::parse(&text).unwrap();
+        let mut fresh = Otn::for_sorting(8).unwrap();
+        // Same register layout: sort() allocates on demand, so replay the
+        // allocation by sorting once and restoring over it.
+        let _ = sort::sort(&mut fresh, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        fresh.restore(&back).unwrap();
+        assert_eq!(fresh.clock(), net.clock());
+        assert_eq!(fresh.snapshot().render(), text);
+        assert!(out.time > BitTime::ZERO);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_shape_and_layout() {
+        let mut a = Otn::for_sorting(8).unwrap();
+        let _ = sort::sort(&mut a, &[5, 3, 7, 1, 6, 2, 8, 4]).unwrap();
+        let snap = a.snapshot();
+
+        let mut wrong_size = Otn::for_sorting(16).unwrap();
+        match wrong_size.restore(&snap) {
+            Err(SimError::SnapshotMismatch { what: "row count", .. }) => {}
+            other => panic!("expected row-count mismatch, got {other:?}"),
+        }
+
+        let mut wrong_regs = Otn::for_sorting(8).unwrap();
+        match wrong_regs.restore(&snap) {
+            Err(SimError::SnapshotMismatch { what: "register layout", .. }) => {}
+            other => panic!("expected register-layout mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_detail() {
+        assert!(OtnSnapshot::parse("not json").is_err());
+        assert!(OtnSnapshot::parse("{\"schema\":\"wrong/v9\"}").is_err());
+        let mut net = Otn::for_sorting(4).unwrap();
+        let _ = sort::sort(&mut net, &[4, 3, 2, 1]).unwrap();
+        let text = net.checkpoint_text();
+        // Tamper: drop the clock field entirely.
+        let tampered = text.replacen("\"clock\"", "\"clokk\"", 1);
+        match OtnSnapshot::parse(&tampered) {
+            Err(SimError::SnapshotFormat { detail }) => {
+                assert!(detail.contains("clock"), "{detail}");
+            }
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! procedures are.
 
 pub mod bitonic;
+pub mod checkpoint;
 pub mod dft;
 pub mod graph;
 pub mod matmul;
@@ -507,6 +508,9 @@ impl Otn {
     /// from the same [`CostKind`], so they can never disagree.
     fn charge_primitive(&mut self, spec: &PrimitiveSpec, axis: Axis, attempts: u32) {
         let leaves = self.leaves(axis);
+        // Invariant: executors only charge registry primitives that declare
+        // a cost kind (the registry coverage tests pin this statically), so
+        // a `None` is a registry-definition bug, not a runtime state.
         let kind = spec.cost.unwrap_or_else(|| panic!("{} declares no cost kind", spec.name));
         let t = self.model.primitive_cost(kind, leaves, self.pitch, 1);
         let parts = crate::attribution::primitive_parts(&self.model, kind, leaves, self.pitch, 1);
@@ -573,6 +577,9 @@ impl Otn {
         sel: &(impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync),
     ) {
         let spec = primitive::spec_for(name);
+        // Invariant: aggregate executors are only called with registry
+        // primitives that declare a combine monoid (pinned by the registry
+        // coverage tests) — a `None` is a registry-definition bug.
         let monoid =
             spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
         self.begin_phase(spec.name);

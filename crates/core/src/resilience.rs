@@ -178,6 +178,19 @@ impl FaultState {
         self.round += 1;
     }
 
+    /// The current transit-round cursor (checkpointed so a restored run
+    /// replays the same deterministic fault draws).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Overwrites the transit-round cursor (checkpoint restore, or an
+    /// epoch bump so a retry sees fresh draws instead of the same
+    /// transient).
+    pub fn set_round(&mut self, round: u64) {
+        self.round = round;
+    }
+
     /// Passes `value` through one faulty word transit at `site`. Returns
     /// the delivered value and the number of *extra* attempts spent
     /// (0 = clean first try). Parity-detected faults are retried up to the

@@ -29,16 +29,16 @@ pub struct EventLog {
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-struct Pending {
-    at: BitTime,
-    seq: u64,
+pub(crate) struct Pending {
+    pub(crate) at: BitTime,
+    pub(crate) seq: u64,
     /// Raw scheduling counter value = this bit's causal [`MsgId`]. Kept
     /// separate from `seq` because the LIFO-ties knob permutes `seq`; not
     /// part of the manual `Ord` below, so ordering is unchanged.
-    msg: u64,
-    node: NodeId,
-    port: PortId,
-    bit: Bit,
+    pub(crate) msg: u64,
+    pub(crate) node: NodeId,
+    pub(crate) port: PortId,
+    pub(crate) bit: Bit,
 }
 
 impl Ord for Pending {
@@ -52,23 +52,34 @@ impl PartialOrd for Pending {
     }
 }
 
+/// Did a bounded run slice drain the calendar or stop at the event limit?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The calendar drained: no event is pending. The time is that of the
+    /// last delivered bit.
+    Quiescent(BitTime),
+    /// The event limit was reached with work still pending — a clean
+    /// event boundary, safe to [`snapshot`](Engine::snapshot).
+    Paused(BitTime),
+}
+
 /// The simulation engine: nodes, links, a pending-event calendar.
 pub struct Engine {
-    nodes: Vec<Box<dyn NodeBehavior>>,
-    links: Vec<Link>,
+    pub(crate) nodes: Vec<Box<dyn NodeBehavior>>,
+    pub(crate) links: Vec<Link>,
     /// Outgoing links per (node, port), resolved at build time.
     routes: Vec<Vec<Vec<LinkId>>>,
     delay: DelayModel,
-    queue: BinaryHeap<Reverse<Pending>>,
-    seq: u64,
-    now: BitTime,
-    log: Vec<EventLog>,
-    keep_log: bool,
+    pub(crate) queue: BinaryHeap<Reverse<Pending>>,
+    pub(crate) seq: u64,
+    pub(crate) now: BitTime,
+    pub(crate) log: Vec<EventLog>,
+    pub(crate) keep_log: bool,
     /// Installed fault scenario, if any. `None` is the fast path: the run
     /// loop touches no fault code at all.
     fault_plan: Option<FaultPlan>,
     budget: RunBudget,
-    fault_stats: FaultStats,
+    pub(crate) fault_stats: FaultStats,
     /// Installed observability hook, if any. `None` is the fast path: the
     /// run loop touches no recording code at all (same contract as
     /// `fault_plan`), and recording never changes a simulated bit or time.
@@ -79,7 +90,15 @@ pub struct Engine {
     causal: Option<CausalTrace>,
     /// Reverse the tie-break among same-timestamp events (verification
     /// only). Correct networks must produce identical results either way.
-    lifo_ties: bool,
+    pub(crate) lifo_ties: bool,
+    /// Whether [`on_start`](NodeBehavior::on_start) has been fired. Runs
+    /// resumed from a checkpoint must not start the sources again.
+    pub(crate) started: bool,
+    /// Events delivered over the engine's lifetime. The [`RunBudget`]
+    /// watchdog counts against this *persistent* counter, so an
+    /// interrupted-and-resumed run trips a budget at exactly the same
+    /// event as the uninterrupted one.
+    pub(crate) delivered: u64,
 }
 
 impl Engine {
@@ -101,6 +120,8 @@ impl Engine {
             recorder: None,
             causal: None,
             lifo_ties: false,
+            started: false,
+            delivered: 0,
         }
     }
 
@@ -353,15 +374,42 @@ impl Engine {
     /// Runs to quiescence like [`Engine::run`], but reports a watchdog trip
     /// as [`SimError::BudgetExhausted`] instead of hanging or panicking.
     pub fn try_run(&mut self) -> Result<BitTime, SimError> {
-        for i in 0..self.nodes.len() {
-            let mut out = Outbox::default();
-            self.nodes[i].on_start(&mut out);
-            self.flush_outbox(NodeId(i), BitTime::ZERO, None, out);
+        match self.try_run_for(u64::MAX)? {
+            RunStatus::Quiescent(t) | RunStatus::Paused(t) => Ok(t),
+        }
+    }
+
+    /// Runs at most `max_events` deliveries, stopping at a clean event
+    /// boundary — the stepping primitive checkpointing and the recovery
+    /// supervisor are built on.
+    ///
+    /// The first call fires every node's
+    /// [`on_start`](NodeBehavior::on_start); subsequent calls (and calls
+    /// after [`Engine::restore`]) resume where the calendar left off.
+    /// Interleaving `try_run_for` slices is observably identical to one
+    /// uninterrupted [`Engine::try_run`]: the [`RunBudget`] counts
+    /// delivered events over the engine's lifetime, not per call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] when the watchdog trips.
+    pub fn try_run_for(&mut self, max_events: u64) -> Result<RunStatus, SimError> {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                let mut out = Outbox::default();
+                self.nodes[i].on_start(&mut out);
+                self.flush_outbox(NodeId(i), BitTime::ZERO, None, out);
+            }
         }
         let mut fired = 0u64;
-        while let Some(Reverse(ev)) = self.queue.pop() {
+        while fired < max_events {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                return Ok(RunStatus::Quiescent(self.now));
+            };
             fired += 1;
-            if fired > self.budget.max_events {
+            self.delivered += 1;
+            if self.delivered > self.budget.max_events {
                 return Err(SimError::BudgetExhausted {
                     what: "events",
                     limit: self.budget.max_events,
@@ -398,7 +446,41 @@ impl Engine {
             self.nodes[ev.node.0].on_bit(ev.at, ev.port, ev.bit, &mut out);
             self.flush_outbox(ev.node, ev.at, Some(MsgId(ev.msg)), out);
         }
-        Ok(self.now)
+        if self.queue.is_empty() {
+            Ok(RunStatus::Quiescent(self.now))
+        } else {
+            Ok(RunStatus::Paused(self.now))
+        }
+    }
+
+    /// Events delivered over the engine's lifetime (survives
+    /// [`Engine::snapshot`] / [`Engine::restore`], so the [`RunBudget`]
+    /// watchdog sees one consistent count).
+    pub fn delivered_events(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Replaces the installed fault scenario mid-run. This is the recovery
+    /// supervisor's *repair* knob: after rolling back to a checkpoint it
+    /// can clear an outage or swap in a weakened plan before retrying.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Mutable access to the installed recorder (the recovery supervisor
+    /// marks replayed windows as `RECOVERY` spans through this).
+    pub fn recorder_mut(&mut self) -> Option<&mut Recorder> {
+        self.recorder.as_mut()
+    }
+
+    /// Replaces the run watchdog budget mid-run. Like
+    /// [`set_fault_plan`](Engine::set_fault_plan), this is a supervisor
+    /// repair knob: a retry after a [`BudgetExhausted`] trip is pointless
+    /// unless the budget is raised or the workload shrinks.
+    ///
+    /// [`BudgetExhausted`]: SimError::BudgetExhausted
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
     }
 
     /// Latest completion time reported by any node's

@@ -16,10 +16,103 @@
 //!   arrive first").
 
 use crate::engine::Engine;
+use crate::fault::FaultPlan;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+use crate::recovery::{supervise_engine, RecoveryPolicy, RecoveryReport};
 use orthotrees_obs::causal::CausalTrace;
+use orthotrees_obs::json::Json;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
+
+// ----------------------------------------------------------------------
+// Checkpoint helpers shared by the stateful node behaviours below. The
+// save_state/load_state encodings are deliberately compact: a per-slot
+// option-of-bit vector becomes a `'0'/'1'/'.'` string, and words that may
+// exceed JSON's exact-integer range travel as hex strings.
+// ----------------------------------------------------------------------
+
+fn snap_err(detail: String) -> SimError {
+    SimError::SnapshotFormat { detail }
+}
+
+fn tri_encode(bits: &[Option<bool>]) -> Json {
+    Json::str(
+        bits.iter()
+            .map(|b| match b {
+                None => '.',
+                Some(false) => '0',
+                Some(true) => '1',
+            })
+            .collect::<String>(),
+    )
+}
+
+fn tri_decode(state: &Json, key: &str, into: &mut [Option<bool>]) -> Result<(), SimError> {
+    let text = state
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| snap_err(format!("node state missing bit-vector `{key}`")))?;
+    if text.len() != into.len() {
+        return Err(snap_err(format!(
+            "node bit-vector `{key}` has {} slots, this node expects {}",
+            text.len(),
+            into.len()
+        )));
+    }
+    for (slot, c) in into.iter_mut().zip(text.chars()) {
+        *slot = match c {
+            '.' => None,
+            '0' => Some(false),
+            '1' => Some(true),
+            other => return Err(snap_err(format!("bit-vector `{key}` holds `{other}`"))),
+        };
+    }
+    Ok(())
+}
+
+fn state_u64(state: &Json, key: &str) -> Result<u64, SimError> {
+    state
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| snap_err(format!("node state missing counter `{key}`")))
+}
+
+fn state_bool(state: &Json, key: &str) -> Result<bool, SimError> {
+    state
+        .get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| snap_err(format!("node state missing flag `{key}`")))
+}
+
+fn word_to_json(word: u64) -> Json {
+    Json::str(format!("{word:x}"))
+}
+
+fn word_from_json(state: &Json, key: &str) -> Result<u64, SimError> {
+    let text = state
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| snap_err(format!("node state missing word `{key}`")))?;
+    u64::from_str_radix(text, 16).map_err(|_| snap_err(format!("word `{key}` is not hex: {text}")))
+}
+
+fn time_to_json(t: Option<BitTime>) -> Json {
+    match t {
+        None => Json::Null,
+        Some(t) => Json::u64(t.get()),
+    }
+}
+
+fn time_from_json(state: &Json, key: &str) -> Result<Option<BitTime>, SimError> {
+    match state.get(key) {
+        None => Err(snap_err(format!("node state missing time `{key}`"))),
+        Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(|t| Some(BitTime::new(t)))
+            .ok_or_else(|| snap_err(format!("time `{key}` is not an integer"))),
+    }
+}
 
 /// Which registry primitive each bit-level experiment models, as
 /// `(experiment function, registry name)` pairs. The names refer to
@@ -123,6 +216,20 @@ impl NodeBehavior for WordSink {
     fn result(&self) -> Option<u64> {
         Some(self.word)
     }
+    fn save_state(&self) -> Json {
+        Json::obj([
+            ("got", Json::u64(u64::from(self.got))),
+            ("word", word_to_json(self.word)),
+            ("done", time_to_json(self.done)),
+        ])
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        self.got = u32::try_from(state_u64(state, "got")?)
+            .map_err(|_| snap_err("sink bit count exceeds u32".into()))?;
+        self.word = word_from_json(state, "word")?;
+        self.done = time_from_json(state, "done")?;
+        Ok(())
+    }
 }
 
 /// Bit-serial full adder (SUM IP): when bit `i` has arrived from both
@@ -152,6 +259,9 @@ impl NodeBehavior for SerialAdder {
         match port {
             FROM_LEFT => self.left[slot] = Some(bit.value),
             FROM_RIGHT => self.right[slot] = Some(bit.value),
+            // Invariant: build_tree wires aggregate nodes with exactly two
+            // child inputs; another port is a harness wiring bug, not a
+            // recoverable simulation state.
             other => panic!("adder received bit on unexpected port {other:?}"),
         }
         // Bits arrive in index order on each side; emit in order as pairs
@@ -171,6 +281,22 @@ impl NodeBehavior for SerialAdder {
             );
             self.next += 1;
         }
+    }
+    fn save_state(&self) -> Json {
+        Json::obj([
+            ("left", tri_encode(&self.left)),
+            ("right", tri_encode(&self.right)),
+            ("carry", Json::bool(self.carry)),
+            ("next", Json::u64(u64::from(self.next))),
+        ])
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        tri_decode(state, "left", &mut self.left)?;
+        tri_decode(state, "right", &mut self.right)?;
+        self.carry = state_bool(state, "carry")?;
+        self.next = u32::try_from(state_u64(state, "next")?)
+            .map_err(|_| snap_err("adder position exceeds u32".into()))?;
+        Ok(())
     }
 }
 
@@ -201,6 +327,7 @@ impl NodeBehavior for SerialMin {
         match port {
             FROM_LEFT => self.left[slot] = Some(bit.value),
             FROM_RIGHT => self.right[slot] = Some(bit.value),
+            // Invariant: same two-child wiring contract as the adder.
             other => panic!("min received bit on unexpected port {other:?}"),
         }
         while (self.next as usize) < self.left.len() {
@@ -222,6 +349,35 @@ impl NodeBehavior for SerialMin {
             out.send_after(TO_PARENT, Bit { value, index: self.next }, BitTime::new(1));
             self.next += 1;
         }
+    }
+    fn save_state(&self) -> Json {
+        Json::obj([
+            ("left", tri_encode(&self.left)),
+            ("right", tri_encode(&self.right)),
+            (
+                "winner",
+                match self.winner {
+                    None => Json::Null,
+                    Some(p) => Json::u64(p.0 as u64),
+                },
+            ),
+            ("next", Json::u64(u64::from(self.next))),
+        ])
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        tri_decode(state, "left", &mut self.left)?;
+        tri_decode(state, "right", &mut self.right)?;
+        self.winner = match state.get("winner") {
+            Some(Json::Null) => None,
+            Some(v) => Some(PortId(
+                v.as_u64().ok_or_else(|| snap_err("min winner port is not an integer".into()))?
+                    as usize,
+            )),
+            None => return Err(snap_err("node state missing `winner`".into())),
+        };
+        self.next = u32::try_from(state_u64(state, "next")?)
+            .map_err(|_| snap_err("min position exceeds u32".into()))?;
+        Ok(())
     }
 }
 
@@ -469,7 +625,8 @@ pub fn min_completion_time(values: &[u64], m: &CostModel) -> Result<(BitTime, u6
     run_aggregate(values, m, false)
 }
 
-fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> Result<(BitTime, u64), SimError> {
+/// Builds the aggregate tree (sum or min) and its root sink.
+fn build_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (Engine, NodeId) {
     let leaves = values.len();
     assert!(leaves >= 2 && leaves.is_power_of_two(), "need a power-of-two leaf count >= 2");
     let w = m.word_bits.max(1);
@@ -498,12 +655,60 @@ fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> Result<(BitTime, u
     let root = ids.root();
     let sink = e.add_node(Box::new(WordSink::new(width, sum)));
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+    (e, sink)
+}
+
+fn run_aggregate(values: &[u64], m: &CostModel, sum: bool) -> Result<(BitTime, u64), SimError> {
+    let (mut e, sink) = build_aggregate(values, m, sum);
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
     let t =
         e.completion_time().ok_or(SimError::NoCompletion { what: "aggregate root" })? - injected;
     let v = e.node(sink).result().ok_or(SimError::NoCompletion { what: "aggregate word" })?;
     Ok((t, v))
+}
+
+/// Runs `SUM-LEAFTOROOT` under the crash-recovery supervisor with a
+/// deterministic mid-run outage injected at the root sink.
+///
+/// A clean run first establishes the completion time `T`; the supervised
+/// run then faces an outage over `[1, T)` that silently swallows every
+/// delivery to the sink, so the first attempt always goes quiescent
+/// without completing. The supervisor detects that as a failure, rolls
+/// back (escalating past checkpoints poisoned by mid-outage state, all
+/// the way to the pristine pre-start snapshot if needed), lets the heal
+/// hook clear the fault plan, and replays to completion. Returns the
+/// [`RecoveryReport`], the [`Recorder`] holding the run's `RECOVERY`
+/// spans, and the computed sum; the recovered completion time equals the
+/// clean run's (replay costs wall clock, not simulated time).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the clean run fails, or the supervised run
+/// exhausts [`RecoveryPolicy::max_attempts`].
+///
+/// # Panics
+///
+/// Same conditions as [`sum_completion_time`].
+pub fn supervised_sum_recovery(
+    values: &[u64],
+    m: &CostModel,
+    policy: &RecoveryPolicy,
+) -> Result<(RecoveryReport, Recorder, u64), SimError> {
+    let (mut clean, _) = build_aggregate(values, m, true);
+    clean.try_run()?;
+    let t = clean.completion_time().ok_or(SimError::NoCompletion { what: "aggregate root" })?;
+
+    let (chaotic, sink) = build_aggregate(values, m, true);
+    let until = BitTime::new(t.get().max(2));
+    let mut chaotic = chaotic
+        .with_recorder(Recorder::new())
+        .with_fault_plan(FaultPlan::new(1).with_outage(sink, BitTime::new(1), until));
+    let report = supervise_engine(&mut chaotic, policy, |e, _failures| e.set_fault_plan(None))?;
+    let v = chaotic.node(sink).result().ok_or(SimError::NoCompletion { what: "aggregate word" })?;
+    let rec =
+        chaotic.take_recorder().ok_or(SimError::NoCompletion { what: "recovery recorder" })?;
+    Ok((report, rec, v))
 }
 
 /// Simulates a full `LEAFTOLEAF` composite at bit level: one word travels
@@ -586,6 +791,36 @@ impl NodeBehavior for TurnAround {
                 out.send(TO_PARENT, b);
             }
         }
+    }
+    fn save_state(&self) -> Json {
+        Json::arr(
+            self.buffered
+                .iter()
+                .map(|b| Json::arr([Json::bool(b.value), Json::u64(u64::from(b.index))])),
+        )
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        let rows =
+            state.as_arr().ok_or_else(|| snap_err("turnaround state is not an array".into()))?;
+        self.buffered.clear();
+        for row in rows {
+            let pair = row
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| snap_err("turnaround entry is not a [value, index] pair".into()))?;
+            self.buffered.push(Bit {
+                value: pair[0]
+                    .as_bool()
+                    .ok_or_else(|| snap_err("turnaround bit value is not a boolean".into()))?,
+                index: u32::try_from(
+                    pair[1]
+                        .as_u64()
+                        .ok_or_else(|| snap_err("turnaround bit index is not an integer".into()))?,
+                )
+                .map_err(|_| snap_err("turnaround bit index exceeds u32".into()))?,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -872,6 +1107,30 @@ mod tests {
         let (t, trace) = broadcast_traced(1, &m).unwrap();
         assert_eq!(t, BitTime::ZERO);
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn supervised_sum_recovers_the_outage_and_matches_the_clean_run() {
+        let values: Vec<u64> = (0..16).collect();
+        let m = CostModel::thompson(16);
+        let (t_clean, sum_clean) = sum_completion_time(&values, &m).unwrap();
+        let policy =
+            RecoveryPolicy { max_attempts: 12, checkpoint_events: 32, min_checkpoint_events: 4 };
+        let (report, rec, sum) = supervised_sum_recovery(&values, &m, &policy).unwrap();
+        assert_eq!(sum, sum_clean);
+        assert_eq!(sum, values.iter().sum::<u64>());
+        // The total-outage first attempt must trip the supervisor at least
+        // once, and the recovered completion time (which includes the
+        // injection wire the closed-form comparison subtracts) matches the
+        // clean run's.
+        assert!(report.rollbacks >= 1, "report: {report:?}");
+        assert_eq!(report.attempts, report.rollbacks + 1);
+        assert_eq!(report.completion, t_clean + m.delay.wire_bit_delay(0));
+        assert!(report.overhead_pct() > 0.0);
+        assert!(
+            rec.phase_totals().iter().any(|p| p.name == "RECOVERY"),
+            "replayed windows must be visible as RECOVERY spans"
+        );
     }
 
     #[test]

@@ -32,11 +32,15 @@ pub mod experiments;
 pub mod fault;
 mod link;
 mod node;
+pub mod recovery;
+pub mod snapshot;
 
-pub use engine::{Engine, EventLog};
+pub use engine::{Engine, EventLog, RunStatus};
 pub use fault::{
     DeadIp, FaultPlan, FaultStats, LinkFaultKind, Outage, RunBudget, TreeAxis, WordFaultKind,
 };
 pub use link::{Link, LinkId};
 pub use node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
 pub use orthotrees_obs::Recorder;
+pub use recovery::{supervise_engine, supervise_steps, RecoveryPolicy, RecoveryReport};
+pub use snapshot::Snapshot;

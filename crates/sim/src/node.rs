@@ -4,7 +4,8 @@
 //! to arriving bits by emitting bits on its output ports; the engine routes
 //! emissions over [`Link`](crate::Link)s with model-priced delays.
 
-use orthotrees_vlsi::BitTime;
+use orthotrees_obs::json::Json;
+use orthotrees_vlsi::{BitTime, SimError};
 
 /// Identifies a node within an [`Engine`](crate::Engine).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -84,6 +85,36 @@ pub trait NodeBehavior {
     /// tree really computed the sum).
     fn result(&self) -> Option<u64> {
         None
+    }
+
+    /// Serializes the node's *mutable* run state for a checkpoint.
+    ///
+    /// The default returns [`Json::Null`], which is correct for stateless
+    /// nodes (repeaters, sources that emit everything in
+    /// [`on_start`](NodeBehavior::on_start)). Stateful nodes — anything
+    /// with accumulators, buffers or completion latches — must override
+    /// both this and [`load_state`](NodeBehavior::load_state), or a
+    /// restored run diverges from the uninterrupted one (the CKPT-001
+    /// verify rule catches exactly that).
+    fn save_state(&self) -> Json {
+        Json::Null
+    }
+
+    /// Restores the node's mutable run state from a checkpoint previously
+    /// produced by [`save_state`](NodeBehavior::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] if `state` is not something
+    /// this node type could have saved. The default accepts only
+    /// [`Json::Null`] (the stateless encoding).
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        match state {
+            Json::Null => Ok(()),
+            other => Err(SimError::SnapshotFormat {
+                detail: format!("stateless node handed saved state {}", other.render()),
+            }),
+        }
     }
 }
 

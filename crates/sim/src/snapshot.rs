@@ -1,0 +1,455 @@
+//! Engine checkpoint/restore.
+//!
+//! A [`Snapshot`] captures everything the discrete-event engine needs to
+//! resume a run at an event boundary: the clock, the pending-event
+//! calendar, every link's pipeline occupancy, every node's mutable state
+//! (via [`NodeBehavior::save_state`](crate::NodeBehavior::save_state)), the delivered-event counter the
+//! [`RunBudget`](crate::RunBudget) watchdog counts against, and the
+//! running [`FaultStats`]. Restoring a snapshot into a freshly built
+//! engine of the same shape and then running to quiescence is observably
+//! identical — bits, times, results, log, stats — to the uninterrupted
+//! run (the `recovery_suite` proptests and the CKPT-001 verify rule hold
+//! this to account).
+//!
+//! Snapshots serialize to the workspace's dependency-free
+//! [`Json`] value (schema
+//! `orthotrees-snapshot/v1`), so a checkpoint written with
+//! [`Snapshot::render`] survives process death and loads back with
+//! [`Snapshot::parse`].
+//!
+//! What a snapshot deliberately does **not** contain: the network shape
+//! (nodes, links, routes — configuration, rebuilt by the caller), the
+//! installed [`FaultPlan`](crate::FaultPlan) (configuration: its draws are
+//! pure functions of the scheduling counter, which *is* saved), and any
+//! installed recorder or causal trace (observers, not simulation state).
+//! [`Engine::restore`] verifies the target engine matches the checkpoint's
+//! shape and rejects mismatches with a typed
+//! [`SimError::SnapshotMismatch`].
+
+use std::cmp::Reverse;
+
+use crate::engine::{Engine, EventLog, Pending, RunStatus};
+use crate::fault::FaultStats;
+use crate::node::{Bit, NodeId, PortId};
+use orthotrees_obs::json::Json;
+use orthotrees_vlsi::{BitTime, DelayModel, SimError};
+
+/// The on-disk schema identifier.
+pub const SCHEMA: &str = "orthotrees-snapshot/v1";
+
+/// One calendar entry, in delivery order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct SnapEvent {
+    at: BitTime,
+    /// Raw scheduling counter (the causal `MsgId`). The heap ordering key
+    /// is *recomputed* on restore from the engine's tie-break mode, so it
+    /// never appears on disk (under LIFO ties it would be `u64::MAX − msg`,
+    /// which the JSON integer range cannot carry).
+    msg: u64,
+    node: usize,
+    port: usize,
+    value: bool,
+    index: u32,
+}
+
+/// A checkpoint of a running [`Engine`]. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    delay: DelayModel,
+    node_count: usize,
+    link_count: usize,
+    lifo_ties: bool,
+    keep_log: bool,
+    now: BitTime,
+    seq: u64,
+    started: bool,
+    delivered: u64,
+    events: Vec<SnapEvent>,
+    free_at: Vec<BitTime>,
+    node_states: Vec<Json>,
+    fault_stats: FaultStats,
+    log: Vec<EventLog>,
+}
+
+fn delay_tag(d: DelayModel) -> &'static str {
+    match d {
+        DelayModel::Constant => "Constant",
+        DelayModel::Logarithmic => "Logarithmic",
+        DelayModel::Linear => "Linear",
+    }
+}
+
+fn delay_from_tag(tag: &str) -> Option<DelayModel> {
+    match tag {
+        "Constant" => Some(DelayModel::Constant),
+        "Logarithmic" => Some(DelayModel::Logarithmic),
+        "Linear" => Some(DelayModel::Linear),
+        _ => None,
+    }
+}
+
+fn bad(detail: impl Into<String>) -> SimError {
+    SimError::SnapshotFormat { detail: detail.into() }
+}
+
+fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, SimError> {
+    doc.get(key).ok_or_else(|| bad(format!("missing field `{key}`")))
+}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, SimError> {
+    req(doc, key)?.as_u64().ok_or_else(|| bad(format!("field `{key}` is not an integer")))
+}
+
+fn req_bool(doc: &Json, key: &str) -> Result<bool, SimError> {
+    req(doc, key)?.as_bool().ok_or_else(|| bad(format!("field `{key}` is not a boolean")))
+}
+
+fn mismatch(what: &'static str, expected: impl ToString, actual: impl ToString) -> SimError {
+    SimError::SnapshotMismatch { what, expected: expected.to_string(), actual: actual.to_string() }
+}
+
+impl Snapshot {
+    /// Simulated time at the checkpoint.
+    pub fn now(&self) -> BitTime {
+        self.now
+    }
+
+    /// Events delivered up to the checkpoint (the watchdog's counter).
+    pub fn delivered_events(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of events pending in the captured calendar.
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The checkpoint as an `orthotrees-snapshot/v1` JSON document.
+    pub fn to_json(&self) -> Json {
+        let events = self.events.iter().map(|e| {
+            Json::Arr(vec![
+                Json::u64(e.at.get()),
+                Json::u64(e.msg),
+                Json::u64(e.node as u64),
+                Json::u64(e.port as u64),
+                Json::bool(e.value),
+                Json::u64(u64::from(e.index)),
+            ])
+        });
+        let log = self.log.iter().map(|e| {
+            Json::Arr(vec![
+                Json::u64(e.at.get()),
+                Json::u64(e.node.0 as u64),
+                Json::u64(e.port.0 as u64),
+                Json::bool(e.bit.value),
+                Json::u64(u64::from(e.bit.index)),
+            ])
+        });
+        let s = &self.fault_stats;
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            (
+                "engine",
+                Json::obj([
+                    ("delay", Json::str(delay_tag(self.delay))),
+                    ("nodes", Json::u64(self.node_count as u64)),
+                    ("links", Json::u64(self.link_count as u64)),
+                    ("lifo_ties", Json::bool(self.lifo_ties)),
+                    ("keep_log", Json::bool(self.keep_log)),
+                    ("now", Json::u64(self.now.get())),
+                    ("seq", Json::u64(self.seq)),
+                    ("started", Json::bool(self.started)),
+                    ("delivered", Json::u64(self.delivered)),
+                ]),
+            ),
+            ("calendar", Json::arr(events)),
+            ("free_at", Json::arr(self.free_at.iter().map(|t| Json::u64(t.get())))),
+            ("node_states", Json::Arr(self.node_states.clone())),
+            (
+                "fault_stats",
+                Json::obj([
+                    ("injected", Json::u64(s.injected)),
+                    ("detected", Json::u64(s.detected)),
+                    ("corrected", Json::u64(s.corrected)),
+                    ("retries", Json::u64(s.retries)),
+                    ("erasures", Json::u64(s.erasures)),
+                    ("silent", Json::u64(s.silent)),
+                    ("faulty_bits", Json::u64(s.faulty_bits)),
+                    ("suppressed", Json::u64(s.suppressed)),
+                ]),
+            ),
+            ("log", Json::arr(log)),
+        ])
+    }
+
+    /// Renders the checkpoint as JSON text (the on-disk format).
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Loads a checkpoint from a parsed `orthotrees-snapshot/v1` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] on a wrong schema tag, a
+    /// missing field, or an out-of-range value.
+    pub fn from_json(doc: &Json) -> Result<Self, SimError> {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            Some(other) => return Err(bad(format!("schema tag `{other}`, expected `{SCHEMA}`"))),
+            None => return Err(bad("schema tag missing")),
+        }
+        let engine = req(doc, "engine")?;
+        let delay_name =
+            req(engine, "delay")?.as_str().ok_or_else(|| bad("field `delay` is not a string"))?;
+        let delay = delay_from_tag(delay_name)
+            .ok_or_else(|| bad(format!("unknown delay model `{delay_name}`")))?;
+        let node_count = req_u64(engine, "nodes")? as usize;
+        let link_count = req_u64(engine, "links")? as usize;
+
+        let ev_row = |row: &Json, what: &str, len: usize| -> Result<Vec<Json>, SimError> {
+            let arr = row.as_arr().ok_or_else(|| bad(format!("{what} entry is not an array")))?;
+            if arr.len() != len {
+                return Err(bad(format!("{what} entry has {} fields, expected {len}", arr.len())));
+            }
+            Ok(arr.to_vec())
+        };
+        let num = |j: &Json, what: &str| -> Result<u64, SimError> {
+            j.as_u64().ok_or_else(|| bad(format!("{what} is not an integer")))
+        };
+        let flag = |j: &Json, what: &str| -> Result<bool, SimError> {
+            j.as_bool().ok_or_else(|| bad(format!("{what} is not a boolean")))
+        };
+
+        let mut events = Vec::new();
+        for row in
+            req(doc, "calendar")?.as_arr().ok_or_else(|| bad("`calendar` is not an array"))?
+        {
+            let f = ev_row(row, "calendar", 6)?;
+            let node = num(&f[2], "calendar node")? as usize;
+            let port = num(&f[3], "calendar port")? as usize;
+            if node >= node_count {
+                return Err(bad(format!("calendar event targets node {node} of {node_count}")));
+            }
+            events.push(SnapEvent {
+                at: BitTime::new(num(&f[0], "calendar time")?),
+                msg: num(&f[1], "calendar msg")?,
+                node,
+                port,
+                value: flag(&f[4], "calendar bit value")?,
+                index: u32::try_from(num(&f[5], "calendar bit index")?)
+                    .map_err(|_| bad("calendar bit index exceeds u32"))?,
+            });
+        }
+
+        let free_at = req(doc, "free_at")?
+            .as_arr()
+            .ok_or_else(|| bad("`free_at` is not an array"))?
+            .iter()
+            .map(|t| Ok(BitTime::new(num(t, "free_at entry")?)))
+            .collect::<Result<Vec<_>, SimError>>()?;
+        if free_at.len() != link_count {
+            return Err(bad(format!(
+                "free_at has {} entries for {link_count} links",
+                free_at.len()
+            )));
+        }
+
+        let node_states = req(doc, "node_states")?
+            .as_arr()
+            .ok_or_else(|| bad("`node_states` is not an array"))?;
+        if node_states.len() != node_count {
+            return Err(bad(format!(
+                "node_states has {} entries for {node_count} nodes",
+                node_states.len()
+            )));
+        }
+
+        let fs = req(doc, "fault_stats")?;
+        let fault_stats = FaultStats {
+            injected: req_u64(fs, "injected")?,
+            detected: req_u64(fs, "detected")?,
+            corrected: req_u64(fs, "corrected")?,
+            retries: req_u64(fs, "retries")?,
+            erasures: req_u64(fs, "erasures")?,
+            silent: req_u64(fs, "silent")?,
+            faulty_bits: req_u64(fs, "faulty_bits")?,
+            suppressed: req_u64(fs, "suppressed")?,
+        };
+
+        let mut log = Vec::new();
+        for row in req(doc, "log")?.as_arr().ok_or_else(|| bad("`log` is not an array"))? {
+            let f = ev_row(row, "log", 5)?;
+            log.push(EventLog {
+                at: BitTime::new(num(&f[0], "log time")?),
+                node: NodeId(num(&f[1], "log node")? as usize),
+                port: PortId(num(&f[2], "log port")? as usize),
+                bit: Bit {
+                    value: flag(&f[3], "log bit value")?,
+                    index: u32::try_from(num(&f[4], "log bit index")?)
+                        .map_err(|_| bad("log bit index exceeds u32"))?,
+                },
+            });
+        }
+
+        Ok(Snapshot {
+            delay,
+            node_count,
+            link_count,
+            lifo_ties: req_bool(engine, "lifo_ties")?,
+            keep_log: req_bool(engine, "keep_log")?,
+            now: BitTime::new(req_u64(engine, "now")?),
+            seq: req_u64(engine, "seq")?,
+            started: req_bool(engine, "started")?,
+            delivered: req_u64(engine, "delivered")?,
+            events,
+            free_at,
+            node_states: node_states.to_vec(),
+            fault_stats,
+            log,
+        })
+    }
+
+    /// Parses a checkpoint from JSON text (the inverse of
+    /// [`Snapshot::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotFormat`] if `text` is not valid JSON or
+    /// not a valid `orthotrees-snapshot/v1` document.
+    pub fn parse(text: &str) -> Result<Self, SimError> {
+        let doc = Json::parse(text).map_err(|e| bad(format!("not valid JSON: {e:?}")))?;
+        Snapshot::from_json(&doc)
+    }
+}
+
+impl Engine {
+    /// Captures the engine's complete run state at the current event
+    /// boundary. Call between [`Engine::try_run_for`] slices (the engine
+    /// is always at an event boundary when that method returns).
+    pub fn snapshot(&self) -> Snapshot {
+        let mut pending: Vec<&Reverse<Pending>> = self.queue.iter().collect();
+        pending.sort_by_key(|p| (p.0.at, p.0.seq));
+        let events = pending
+            .iter()
+            .map(|p| SnapEvent {
+                at: p.0.at,
+                msg: p.0.msg,
+                node: p.0.node.0,
+                port: p.0.port.0,
+                value: p.0.bit.value,
+                index: p.0.bit.index,
+            })
+            .collect();
+        Snapshot {
+            delay: self.delay_model(),
+            node_count: self.nodes.len(),
+            link_count: self.links.len(),
+            lifo_ties: self.lifo_ties,
+            keep_log: self.keep_log,
+            now: self.now,
+            seq: self.seq,
+            started: self.started,
+            delivered: self.delivered,
+            events,
+            free_at: self.links.iter().map(|l| l.free_at).collect(),
+            node_states: self.nodes.iter().map(|n| n.save_state()).collect(),
+            fault_stats: self.fault_stats,
+            log: self.log.clone(),
+        }
+    }
+
+    /// Restores a checkpoint into this engine.
+    ///
+    /// The engine must have the *same shape* the checkpoint was written
+    /// from: same delay model, node and link counts, tie-break mode and
+    /// event-log setting — restoring into anything else would silently
+    /// produce garbage, so each mismatch is rejected with a typed error.
+    /// The installed fault plan, recorder and causal trace are
+    /// configuration, not state: they are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] on a shape mismatch, or
+    /// [`SimError::SnapshotFormat`] if a node rejects its saved state. On
+    /// error the engine may be partially restored and must be discarded.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), SimError> {
+        if self.delay_model() != snap.delay {
+            return Err(mismatch(
+                "delay model",
+                delay_tag(self.delay_model()),
+                delay_tag(snap.delay),
+            ));
+        }
+        if self.nodes.len() != snap.node_count {
+            return Err(mismatch("node count", self.nodes.len(), snap.node_count));
+        }
+        if self.links.len() != snap.link_count {
+            return Err(mismatch("link count", self.links.len(), snap.link_count));
+        }
+        if self.lifo_ties != snap.lifo_ties {
+            return Err(mismatch("tie-break mode", self.lifo_ties, snap.lifo_ties));
+        }
+        if self.keep_log != snap.keep_log {
+            return Err(mismatch("event-log setting", self.keep_log, snap.keep_log));
+        }
+        for (node, state) in self.nodes.iter_mut().zip(&snap.node_states) {
+            node.load_state(state)?;
+        }
+        self.queue.clear();
+        for e in &snap.events {
+            // The heap key is recomputed from the tie-break mode; the raw
+            // scheduling counter is what the snapshot carries.
+            let order = if self.lifo_ties { u64::MAX - e.msg } else { e.msg };
+            self.queue.push(Reverse(Pending {
+                at: e.at,
+                seq: order,
+                msg: e.msg,
+                node: NodeId(e.node),
+                port: PortId(e.port),
+                bit: Bit { value: e.value, index: e.index },
+            }));
+        }
+        for (link, &free_at) in self.links.iter_mut().zip(&snap.free_at) {
+            link.free_at = free_at;
+        }
+        self.now = snap.now;
+        self.seq = snap.seq;
+        self.started = snap.started;
+        self.delivered = snap.delivered;
+        self.fault_stats = snap.fault_stats;
+        self.log = snap.log.clone();
+        Ok(())
+    }
+
+    /// [`try_run_for`](Engine::try_run_for), checkpointing every
+    /// `interval` delivered events. Returns the final status and the
+    /// checkpoints taken, in order (one per completed interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`SimError`] from the run; checkpoints taken before
+    /// the failure are still returned alongside the error by the recovery
+    /// supervisor, which wraps this.
+    pub fn run_checkpointed(
+        &mut self,
+        interval: u64,
+        limit: u64,
+    ) -> Result<(RunStatus, Vec<Snapshot>), SimError> {
+        let mut checkpoints = Vec::new();
+        let mut left = limit;
+        loop {
+            let slice = interval.min(left);
+            match self.try_run_for(slice)? {
+                RunStatus::Quiescent(t) => return Ok((RunStatus::Quiescent(t), checkpoints)),
+                RunStatus::Paused(t) => {
+                    checkpoints.push(self.snapshot());
+                    left = left.saturating_sub(slice);
+                    if left == 0 {
+                        return Ok((RunStatus::Paused(t), checkpoints));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -23,7 +23,7 @@ use orthotrees_verify::schedule::{
     aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
     stream_schedule,
 };
-use orthotrees_verify::{critpath, determinism, primitive, words, RULES};
+use orthotrees_verify::{ckpt, critpath, determinism, primitive, words, RULES};
 use orthotrees_vlsi::{tree::level_wire_lengths, CostKind, CostModel};
 
 /// Tree sizes the netlist and schedule passes sweep.
@@ -153,6 +153,7 @@ fn main() {
     lint_words(&mut report);
     lint_layouts(&mut report);
     report.extend(determinism::stock_findings());
+    report.extend(ckpt::stock_findings());
     report.extend(critpath::stock_findings(&TREE_LEAVES));
     report.extend(primitive::stock_findings());
 

@@ -14,9 +14,25 @@
 //! commute.
 
 use crate::diag::Finding;
+use orthotrees_obs::json::Json;
 use orthotrees_sim::{Bit, Engine, NodeBehavior, Outbox, PortId};
-use orthotrees_vlsi::{BitTime, DelayModel};
+use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 use std::collections::HashMap;
+
+/// Encodes a full-width word for a node checkpoint (hex text: a `u64` can
+/// exceed JSON's exact 2⁵³ integer range).
+fn word_json(w: u64) -> Json {
+    Json::str(format!("{w:x}"))
+}
+
+/// Decodes [`word_json`].
+fn word_back(state: &Json, key: &str) -> Result<u64, SimError> {
+    state.get(key).and_then(Json::as_str).and_then(|s| u64::from_str_radix(s, 16).ok()).ok_or_else(
+        || SimError::SnapshotFormat {
+            detail: format!("sink state field `{key}` is not a hex word"),
+        },
+    )
+}
 
 /// Runs `build(false)` (FIFO ties) and `build(true)` (LIFO ties) to
 /// quiescence and reports every observable divergence as DET-001.
@@ -125,6 +141,28 @@ impl NodeBehavior for OrSink {
     fn result(&self) -> Option<u64> {
         Some(self.acc)
     }
+    fn save_state(&self) -> Json {
+        Json::obj([
+            ("acc", word_json(self.acc)),
+            ("done", self.done.map_or(Json::Null, |t| Json::u64(t.get()))),
+        ])
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        self.acc = word_back(state, "acc")?;
+        self.done = match state.get("done") {
+            Some(Json::Null) | None => None,
+            Some(t) => Some(BitTime::new(t.as_u64().ok_or_else(|| SimError::SnapshotFormat {
+                detail: "sink state field `done` is not a time".into(),
+            })?)),
+        };
+        Ok(())
+    }
+}
+
+/// A fresh order-insensitive OR sink. Public so the checkpoint pass can
+/// reuse it as its canonical stateful-but-checkpoint-aware node.
+pub fn or_sink() -> impl NodeBehavior {
+    OrSink { acc: 0, done: None }
 }
 
 /// A deliberately order-*sensitive* sink: only the first bit to arrive at
@@ -153,6 +191,14 @@ impl NodeBehavior for FirstWins {
     }
     fn result(&self) -> Option<u64> {
         Some(self.word)
+    }
+    fn save_state(&self) -> Json {
+        Json::obj([("word", word_json(self.word)), ("claimed", word_json(self.claimed))])
+    }
+    fn load_state(&mut self, state: &Json) -> Result<(), SimError> {
+        self.word = word_back(state, "word")?;
+        self.claimed = word_back(state, "claimed")?;
+        Ok(())
     }
 }
 

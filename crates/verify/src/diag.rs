@@ -125,6 +125,17 @@ pub const RULES: &[Rule] = &[
         severity: Severity::Error,
     },
     Rule {
+        id: "CKPT-001",
+        summary: "checkpoint/restore round trip diverges from the uninterrupted run",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "CKPT-002",
+        summary: "snapshot on-disk format broken (not a render/parse fixed point, tampering \
+                  accepted, or shape mismatch not rejected)",
+        severity: Severity::Error,
+    },
+    Rule {
         id: "DET-001",
         summary: "same-timestamp events do not commute (tie-break order changes results)",
         severity: Severity::Error,

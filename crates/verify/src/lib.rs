@@ -24,6 +24,10 @@
 //! - [`determinism`] — the **tie-break checker**: runs a network under
 //!   FIFO and LIFO same-timestamp ordering and flags any observable
 //!   divergence (`DET-001`).
+//! - [`ckpt`] — the **checkpoint checker**: interrupts a run at a sweep
+//!   of event boundaries, round-trips the engine snapshot through its
+//!   JSON text and flags any divergence of the resumed run (`CKPT-001`)
+//!   or weakness in the on-disk format (`CKPT-002`).
 //! - [`critpath`] — the **causal-trace checker**: extracts the critical
 //!   path of a traced bit-level broadcast and asserts it tiles the
 //!   completion time exactly and matches the `CostModel` per-level
@@ -49,6 +53,7 @@
 //! assert!(lint_tree(&net, shape).is_empty());
 //! ```
 
+pub mod ckpt;
 pub mod critpath;
 pub mod determinism;
 pub mod diag;

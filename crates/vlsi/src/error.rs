@@ -118,6 +118,24 @@ pub enum SimError {
         /// How many retries were attempted.
         retries: u32,
     },
+    /// A checkpoint was restored into a simulation it was not written for
+    /// (different delay model, node count, link table, ...). Restoring
+    /// anyway would silently produce garbage results, so the mismatch is a
+    /// typed error instead.
+    SnapshotMismatch {
+        /// The property that disagrees (e.g. `"delay model"`).
+        what: &'static str,
+        /// The value the restore target has.
+        expected: String,
+        /// The value recorded in the checkpoint.
+        actual: String,
+    },
+    /// An on-disk checkpoint document is malformed (wrong schema tag,
+    /// missing field, out-of-range value) and cannot be loaded.
+    SnapshotFormat {
+        /// What exactly is malformed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -132,6 +150,12 @@ impl fmt::Display for SimError {
             }
             SimError::RetriesExhausted { what, retries } => {
                 write!(f, "{what} still faulty after {retries} retries")
+            }
+            SimError::SnapshotMismatch { what, expected, actual } => {
+                write!(f, "checkpoint {what} mismatch: this simulation has {expected}, the checkpoint was written with {actual}")
+            }
+            SimError::SnapshotFormat { detail } => {
+                write!(f, "malformed checkpoint document: {detail}")
             }
         }
     }
@@ -166,6 +190,20 @@ mod tests {
         assert!(r.to_string().contains("after 3 retries"));
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&b);
+    }
+
+    #[test]
+    fn snapshot_errors_display_both_sides() {
+        let e = SimError::SnapshotMismatch {
+            what: "delay model",
+            expected: "Logarithmic".into(),
+            actual: "Linear".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("delay model") && text.contains("Logarithmic"));
+        assert!(text.contains("Linear"));
+        let f = SimError::SnapshotFormat { detail: "schema tag missing".into() };
+        assert!(f.to_string().contains("schema tag missing"));
     }
 
     #[test]
