@@ -9,6 +9,10 @@ cargo clippy --all-targets -- -D warnings
 cargo run --release -p orthotrees-verify --bin netlint -- --all
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo run --release -p orthotrees-bench --bin benchdiff -- --baseline BENCH_2.json
+# Profiler smoke: regenerate the quick matrix in-process, validate the
+# document, and diff against the committed baseline (exit 1 on any
+# completion/event/peak regression or hot-spot shift).
+cargo run --release -p orthotrees-bench --bin simprof -- --baseline PROF_7.json
 # Bounded recovery soak (fixed seed, outage-dense plan, n = 128): must
 # recover within the pinned attempt budget; see tests/recovery_suite.rs.
 cargo test --release -q -p orthotrees-bench --test recovery_suite -- --ignored ci_bounded_soak

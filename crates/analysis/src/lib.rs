@@ -22,6 +22,9 @@
 //! * [`critpath`] — causal attribution and critical-path breakdowns:
 //!   where every bit-time of a run's completion went, cross-checked
 //!   against the `CostModel` closed forms;
+//! * [`profreport`] — time-resolved windowed profiles (per-window
+//!   event/traffic/charge tables, hot spots, calendar-depth footprint)
+//!   from the `obs::profile` profiler;
 //! * [`csv`] — machine-readable export of every sweep and table.
 //!
 //! [`Complexity`]: orthotrees_vlsi::Complexity
@@ -31,6 +34,7 @@ pub mod csv;
 pub mod faults;
 pub mod fit;
 pub mod obsreport;
+pub mod profreport;
 pub mod recovery;
 pub mod report;
 pub mod sweep;

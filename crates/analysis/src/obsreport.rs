@@ -171,8 +171,11 @@ pub fn link_table(rec: &Recorder) -> String {
     let cal = rec.calendar_depth();
     let _ = writeln!(
         out,
-        "{count} active links, {total_bits} bits carried; calendar depth mean {:.1}, max {}",
+        "{count} active links, {total_bits} bits carried; calendar depth mean {:.1}, \
+         p50 {}, p99 {}, max {}",
         cal.mean(),
+        cal.percentile(50.0),
+        cal.percentile(99.0),
         cal.max()
     );
     out
@@ -262,6 +265,18 @@ mod tests {
         assert!(text.contains("active links"), "{text}");
         // The broadcast pipelines one bit per tau on every active wire.
         assert!(text.contains("1.00"), "{text}");
+    }
+
+    #[test]
+    fn link_table_reports_calendar_percentiles() {
+        let m = CostModel::thompson(16);
+        let (_, rec) = broadcast_link_profile(16, &m).unwrap();
+        let text = link_table(&rec);
+        assert!(text.contains("p50"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        let cal = rec.calendar_depth();
+        assert!(cal.percentile(50.0) <= cal.percentile(99.0));
+        assert!(cal.percentile(99.0) <= cal.max() || cal.count() == 0);
     }
 
     #[test]

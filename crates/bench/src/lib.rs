@@ -17,6 +17,7 @@
 use orthotrees_analysis::report::ReportConfig;
 
 pub mod compare;
+pub mod profile;
 pub mod summary;
 
 /// Sweep-size presets for the binaries.

@@ -6,11 +6,49 @@
 //! to one microsecond of trace time — bit-times are the only clock the
 //! simulator has, and the viewer's zoom makes the unit label irrelevant.
 //!
-//! Counters and histogram summaries ride along under `"otherData"`, which
-//! the viewers ignore but tooling can read back with [`crate::json`].
+//! Counters render as real `"ph": "C"` counter-track events (a 0 → final
+//! ramp over the recorded interval, which Perfetto draws as a graph above
+//! the span tracks), and also ride along under `"otherData"` with the
+//! histogram summaries so tooling can read the totals back with
+//! [`crate::json`] without walking the event list.
+//! [`chrome_trace_with_counters`] adds the windowed profiler series
+//! (calendar depth, events, link bits, queue wait per window) as further
+//! counter tracks.
 
 use crate::json::Json;
+use crate::profile::Profiler;
 use crate::Recorder;
+
+/// One `"ph": "C"` counter sample. Counter tracks are keyed by `(pid,
+/// name)`; the viewer draws the series as a step graph.
+fn counter_event(name: &str, ts: u64, value: u64) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str("counter")),
+        ("ph", Json::str("C")),
+        ("ts", Json::u64(ts)),
+        ("pid", Json::u64(0)),
+        ("tid", Json::u64(0)),
+        ("args", Json::obj([("value", Json::u64(value))])),
+    ])
+}
+
+/// Every recorder counter as a two-sample ramp: 0 at the start of the
+/// recorded interval, the final value at its end (one sample when the
+/// interval is empty). Samples are emitted in ascending `ts` per track.
+fn counter_events(rec: &Recorder) -> Vec<Json> {
+    let end = rec.total_recorded().get();
+    let mut events = Vec::new();
+    for (name, value) in rec.counters() {
+        if end == 0 {
+            events.push(counter_event(name, 0, value));
+        } else {
+            events.push(counter_event(name, 0, 0));
+            events.push(counter_event(name, end, value));
+        }
+    }
+    events
+}
 
 fn span_events(rec: &Recorder) -> Vec<Json> {
     let mut events = vec![Json::obj([
@@ -34,7 +72,8 @@ fn span_events(rec: &Recorder) -> Vec<Json> {
     events
 }
 
-fn assemble(rec: &Recorder, events: Vec<Json>) -> Json {
+fn assemble(rec: &Recorder, mut events: Vec<Json>) -> Json {
+    events.extend(counter_events(rec));
     let other = Json::obj(
         rec.counters()
             .map(|(name, v)| (name.to_string(), Json::u64(v)))
@@ -51,10 +90,31 @@ fn assemble(rec: &Recorder, events: Vec<Json>) -> Json {
 /// Renders the recorder as a Chrome-trace JSON document.
 ///
 /// Spans become `"ph": "X"` complete events on one track (`pid` 0, `tid`
-/// 0); nesting is reconstructed by the viewer from containment. Counters
-/// and histogram means are attached under `"otherData"`.
+/// 0); nesting is reconstructed by the viewer from containment. Every
+/// counter additionally becomes a `"ph": "C"` counter track (a 0 → final
+/// ramp); counters and histogram means are also attached under
+/// `"otherData"`.
 pub fn chrome_trace(rec: &Recorder) -> Json {
     assemble(rec, span_events(rec))
+}
+
+/// Renders the recorder plus a [`Profiler`]'s windowed series as counter
+/// tracks — calendar depth (window max), events, link bits and queue-wait
+/// τ per window, sampled at each window's start — so the time-resolved
+/// profile renders as graphs above the phase spans in Perfetto. Samples
+/// are in ascending `ts` (the window sequence is gapless and monotone,
+/// PROF-002).
+pub fn chrome_trace_with_counters(rec: &Recorder, prof: &Profiler) -> Json {
+    let mut events = span_events(rec);
+    let width = prof.width();
+    for w in prof.windows() {
+        let ts = w.index * width;
+        events.push(counter_event("profile.calendar_depth", ts, w.cal_max));
+        events.push(counter_event("profile.events", ts, w.events));
+        events.push(counter_event("profile.link_bits", ts, w.link_bits));
+        events.push(counter_event("profile.queue_wait", ts, w.queue_wait));
+    }
+    assemble(rec, events)
 }
 
 /// Renders the recorder with its causal segments as a second track plus
@@ -141,8 +201,8 @@ mod tests {
         let text = doc.render();
         let back = Json::parse(&text).unwrap();
         let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
-        // Metadata + two spans.
-        assert_eq!(events.len(), 3);
+        // Metadata + two spans + the fault.retries counter ramp (2 samples).
+        assert_eq!(events.len(), 5);
         let span = &events[1];
         assert_eq!(span.get("ph").and_then(Json::as_str), Some("X"));
         assert_eq!(span.get("name").and_then(Json::as_str), Some("SORT"));
@@ -160,6 +220,70 @@ mod tests {
         let other = doc.get("otherData").unwrap();
         assert_eq!(other.get("fault.retries").and_then(Json::as_u64), Some(3));
         assert_eq!(other.get("calendar.mean").and_then(Json::as_f64), Some(7.0));
+    }
+
+    /// Collects `(name, ts, value)` for every `"ph": "C"` event and
+    /// asserts each named track's samples arrive in ascending `ts`.
+    fn counter_samples(doc: &Json) -> Vec<(String, u64, u64)> {
+        let back = Json::parse(&doc.render()).unwrap();
+        let events = back.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let mut out = Vec::new();
+        let mut last_ts: std::collections::BTreeMap<String, u64> = Default::default();
+        for ev in events {
+            if ev.get("ph").and_then(Json::as_str) != Some("C") {
+                continue;
+            }
+            let name = ev.get("name").and_then(Json::as_str).unwrap().to_string();
+            let ts = ev.get("ts").and_then(Json::as_u64).unwrap();
+            let value = ev.get("args").and_then(|a| a.get("value")).and_then(Json::as_u64).unwrap();
+            if let Some(&prev) = last_ts.get(&name) {
+                assert!(ts >= prev, "counter {name} not monotone in ts: {prev} then {ts}");
+            }
+            last_ts.insert(name.clone(), ts);
+            out.push((name, ts, value));
+        }
+        out
+    }
+
+    #[test]
+    fn recorder_counters_become_counter_track_ramps() {
+        let samples = counter_samples(&chrome_trace(&sample()));
+        assert_eq!(
+            samples,
+            vec![("fault.retries".to_string(), 0, 0), ("fault.retries".to_string(), 100, 3),],
+            "0 → final ramp over the recorded interval"
+        );
+    }
+
+    #[test]
+    fn counter_ramp_with_empty_interval_is_a_single_sample() {
+        let mut r = Recorder::new();
+        r.count("bits", 9); // no spans: total_recorded() == 0
+        let samples = counter_samples(&chrome_trace(&r));
+        assert_eq!(samples, vec![("bits".to_string(), 0, 9)]);
+    }
+
+    #[test]
+    fn profiler_windows_become_monotone_counter_tracks() {
+        use crate::profile::Profiler;
+        use orthotrees_vlsi::BitTime as T;
+        let mut p = Profiler::new(50);
+        p.event_fired(T::ZERO, 0, 2);
+        p.event_fired(T::new(60), 1, 5);
+        p.link_bit(T::new(60), 0, 3);
+        p.event_fired(T::new(120), 0, 1);
+        let doc = chrome_trace_with_counters(&sample(), &p);
+        let samples = counter_samples(&doc); // asserts per-track monotone ts
+        let depth: Vec<_> =
+            samples.iter().filter(|(n, _, _)| n == "profile.calendar_depth").collect();
+        assert_eq!(depth.len(), 3, "one sample per window");
+        assert_eq!((depth[0].1, depth[0].2), (0, 2));
+        assert_eq!((depth[1].1, depth[1].2), (50, 5));
+        assert_eq!((depth[2].1, depth[2].2), (100, 1));
+        let waits: Vec<_> = samples.iter().filter(|(n, _, _)| n == "profile.queue_wait").collect();
+        assert_eq!(waits[1].2, 3);
+        // The recorder's own counters still ride along.
+        assert!(samples.iter().any(|(n, _, _)| n == "fault.retries"));
     }
 
     #[test]

@@ -50,6 +50,7 @@
 pub mod causal;
 pub mod chrome;
 pub mod json;
+pub mod profile;
 
 use orthotrees_vlsi::BitTime;
 use std::collections::BTreeMap;
@@ -152,6 +153,33 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `p`-th percentile (`p` in `[0, 100]`, clamped) as an
+    /// *upper-bound estimate*: the largest value the rank-`⌈p·count/100⌉`
+    /// sample could have had given its power-of-two bucket, capped at
+    /// [`max`](Histogram::max) — so `percentile(100.0) == max()` exactly,
+    /// and a bucket-0 hit reports 0. **Contract:** an empty histogram
+    /// reports 0, mirroring the [`mean`](Histogram::mean) contract (report
+    /// tables render percentiles directly; 0 is unambiguous alongside
+    /// `count() == 0`).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Bucket b spans [2^(b−1), 2^b): its largest value is
+                // 2^b − 1 (0 for bucket 0; u64::MAX for bucket 64).
+                let upper = if b == 0 { 0 } else { (((1u128) << b) - 1).min(u128::from(u64::MAX)) };
+                return (upper as u64).min(self.max);
+            }
+        }
+        self.max
     }
 
     /// Non-empty buckets as `(upper_bound_exclusive, count)` pairs, in
@@ -615,6 +643,37 @@ mod tests {
         assert!(!h.mean().is_nan(), "documented contract: 0.0, never NaN");
         assert_eq!(h.max(), 0);
         assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn percentile_is_an_upper_bound_capped_at_max() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1000] {
+            h.observe(v);
+        }
+        // Rank ⌈50/100·6⌉ = 3 is the sample 2, bucket [2,4) → upper bound 3.
+        assert_eq!(h.percentile(50.0), 3);
+        // Rank 6 is 1000, bucket [512,1024) → bucket bound 1023, tightened
+        // by the max cap to 1000.
+        assert_eq!(h.percentile(99.0), 1000);
+        assert_eq!(h.percentile(100.0), 1000, "p100 is exactly max");
+        assert_eq!(h.percentile(0.0), 0, "rank clamps to the first sample");
+        assert_eq!(h.percentile(-5.0), h.percentile(0.0), "p clamps low");
+        assert_eq!(h.percentile(250.0), h.percentile(100.0), "p clamps high");
+    }
+
+    #[test]
+    fn percentile_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0, "documented contract: 0, like mean()");
+        assert_eq!(h.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn percentile_extreme_bucket_does_not_overflow() {
+        let mut h = Histogram::new();
+        h.observe(u64::MAX);
+        assert_eq!(h.percentile(50.0), u64::MAX);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
 use orthotrees_obs::causal::{CausalTrace, Hop, MsgId};
+use orthotrees_obs::profile::Profiler;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 
@@ -88,6 +89,10 @@ pub struct Engine {
     /// `None` is the fast path, and tracing never changes a simulated bit
     /// or time.
     causal: Option<CausalTrace>,
+    /// Installed windowed profiler, if any. Same contract as `recorder`:
+    /// `None` is the fast path, and profiling never changes a simulated
+    /// bit or time.
+    profiler: Option<Profiler>,
     /// Reverse the tie-break among same-timestamp events (verification
     /// only). Correct networks must produce identical results either way.
     pub(crate) lifo_ties: bool,
@@ -119,6 +124,7 @@ impl Engine {
             fault_stats: FaultStats::default(),
             recorder: None,
             causal: None,
+            profiler: None,
             lifo_ties: false,
             started: false,
             delivered: 0,
@@ -206,6 +212,27 @@ impl Engine {
         self.causal.take()
     }
 
+    /// Installs a windowed [`Profiler`]: the run then buckets every
+    /// delivery (with its calendar depth), link-entrance bit, emission
+    /// hold and injected fault into fixed-width time windows, and captures
+    /// the engine-structure footprint at the calendar-depth peak.
+    /// Simulated bits, times and outputs are unchanged (bit-identity,
+    /// enforced by the profile proptest suite).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// The installed profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Removes and returns the installed profiler (export after a run).
+    pub fn take_profiler(&mut self) -> Option<Profiler> {
+        self.profiler.take()
+    }
+
     /// Adds a node, returning its id.
     pub fn add_node(&mut self, behavior: Box<dyn NodeBehavior>) -> NodeId {
         let id = NodeId(self.nodes.len());
@@ -286,9 +313,19 @@ impl Engine {
             let Some(links) = self.routes[from.0].get(port.0) else {
                 continue; // emission on an unconnected port is dropped
             };
+            if let Some(prof) = &mut self.profiler {
+                if hold > BitTime::ZERO && !links.is_empty() {
+                    // A nonzero emission hold is the node's compute time,
+                    // anchored at the triggering delivery.
+                    prof.compute_charge(trigger_at, hold.get());
+                }
+            }
             for &lid in links {
                 let mut enter = BitTime::ZERO;
-                let arrive = if self.recorder.is_none() && self.causal.is_none() {
+                let arrive = if self.recorder.is_none()
+                    && self.causal.is_none()
+                    && self.profiler.is_none()
+                {
                     self.links[lid.0].admit(ready, self.delay)
                 } else {
                     let link = &mut self.links[lid.0];
@@ -298,6 +335,9 @@ impl Engine {
                     enter = arrive - link.bit_delay(self.delay);
                     if let Some(rec) = &mut self.recorder {
                         rec.link_bit(lid.0, enter, waited);
+                    }
+                    if let Some(prof) = &mut self.profiler {
+                        prof.link_bit(enter, lid.0, waited);
                     }
                     arrive
                 };
@@ -327,6 +367,9 @@ impl Engine {
                     Some(kind) => {
                         self.fault_stats.injected += 1;
                         self.fault_stats.faulty_bits += 1;
+                        if let Some(prof) = &mut self.profiler {
+                            prof.fault_at(arrive);
+                        }
                         match kind {
                             LinkFaultKind::StuckAtZero => bit.value = false,
                             LinkFaultKind::StuckAtOne => bit.value = true,
@@ -437,6 +480,15 @@ impl Engine {
                 // included), and the receiving node's activation.
                 rec.calendar_sample(self.queue.len() + 1);
                 rec.node_activated(ev.node.0);
+            }
+            if let Some(prof) = &mut self.profiler {
+                let depth = (self.queue.len() + 1) as u64;
+                if prof.event_fired(ev.at, ev.node.0, depth) {
+                    // New calendar-depth peak: capture the engine-structure
+                    // footprint at this moment.
+                    let busy = self.links.iter().filter(|l| l.free_at > ev.at).count() as u64;
+                    prof.record_footprint(ev.at, depth, busy, self.delivered);
+                }
             }
             self.now = self.now.max(ev.at);
             if self.keep_log {
@@ -775,6 +827,82 @@ mod tests {
         // Dropped bits consumed their wire slot: carried but never delivered.
         assert_eq!(rec.links()[0].bits, 4);
         assert_eq!(rec.node_activations(), &[] as &[u64], "no delivery ever fired");
+    }
+
+    // --------------------------------------------------------------
+    // Windowed profiling.
+    // --------------------------------------------------------------
+
+    /// The recorder-test topology with both a recorder and a profiler
+    /// attached, so window sums can be checked against the recorder's
+    /// independent aggregates.
+    fn profiled_run() -> (Vec<EventLog>, BitTime, Recorder, Profiler) {
+        let mut e = Engine::new(DelayModel::Logarithmic)
+            .with_event_log()
+            .with_recorder(Recorder::new())
+            .with_profiler(Profiler::new(4));
+        let src = e.add_node(Box::new(WordSource { width: 6 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 64);
+        e.connect(mid, PortId(0), dst, PortId(0), 16);
+        let end = e.run();
+        let rec = e.take_recorder().unwrap();
+        let prof = e.take_profiler().unwrap();
+        (e.log().to_vec(), end, rec, prof)
+    }
+
+    #[test]
+    fn profiler_is_bit_identical_to_uninstrumented_run() {
+        let (log_off, end_off, _) = instrumented_run(false);
+        let (log_on, end_on, _, prof) = profiled_run();
+        assert_eq!(log_off, log_on, "profiler must not change any delivered bit");
+        assert_eq!(end_off, end_on, "profiler must not change the completion time");
+        assert!(prof.windows().len() > 1, "the run spans several windows");
+    }
+
+    #[test]
+    fn profiler_window_sums_tile_the_recorder_totals() {
+        let (_, _, rec, prof) = profiled_run();
+        let t = prof.totals();
+        assert_eq!(t.events, rec.calendar_depth().count(), "Σ window events");
+        assert_eq!(t.events, rec.node_activations().iter().sum::<u64>());
+        let rec_bits: u64 = rec.links().iter().map(|l| l.bits).sum();
+        let rec_wait: u64 = rec.links().iter().map(|l| l.wait_total).sum();
+        assert_eq!(t.link_bits, rec_bits, "Σ window link bits");
+        assert_eq!(t.queue_wait, rec_wait, "Σ window queue wait");
+        assert_eq!(prof.peak_calendar_depth(), rec.calendar_depth().max());
+        // Per-subject attribution agrees with the recorder's tables.
+        assert_eq!(prof.node_events(), rec.node_activations());
+        let bits: Vec<u64> = rec.links().iter().map(|l| l.bits).collect();
+        assert_eq!(prof.link_traffic(), &bits[..]);
+    }
+
+    #[test]
+    fn profiler_windows_are_gapless_and_footprint_is_at_the_peak() {
+        let (_, end, _, prof) = profiled_run();
+        for (i, w) in prof.windows().iter().enumerate() {
+            assert_eq!(w.index, i as u64, "gapless, monotone window sequence");
+        }
+        let covered = prof.windows().len() as u64 * prof.width();
+        assert!(covered > end.get(), "windows cover the whole run");
+        let f = prof.footprint().expect("a delivery happened");
+        assert_eq!(f.calendar_entries, prof.peak_calendar_depth());
+        assert!(f.at <= end);
+        assert!(f.delivered_events >= 1);
+    }
+
+    #[test]
+    fn profiler_counts_injected_faults_per_window() {
+        let mut e = Engine::new(DelayModel::Constant).with_profiler(Profiler::new(2));
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        let lid = e.connect(src, PortId(0), dst, PortId(0), 1);
+        let mut e = e.with_fault_plan(FaultPlan::new(0).with_link_fault(lid, LinkFaultKind::Flip));
+        e.run();
+        let prof = e.take_profiler().unwrap();
+        assert_eq!(prof.totals().faults, e.fault_stats().injected);
+        assert!(prof.totals().faults > 0, "the always-on flip plan fired");
     }
 
     // --------------------------------------------------------------

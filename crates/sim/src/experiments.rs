@@ -21,6 +21,7 @@ use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
 use crate::recovery::{supervise_engine, RecoveryPolicy, RecoveryReport};
 use orthotrees_obs::causal::CausalTrace;
 use orthotrees_obs::json::Json;
+use orthotrees_obs::profile::Profiler;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
@@ -451,7 +452,7 @@ impl TreeIds {
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime, SimError> {
-    broadcast_run(leaves, m, false, false).map(|(t, _, _)| t)
+    broadcast_run(leaves, m, false, false, false).map(|(t, _, _, _)| t)
 }
 
 /// [`broadcast_completion_time`] with a [`Recorder`] installed: returns
@@ -467,8 +468,35 @@ pub fn broadcast_completion_time(leaves: usize, m: &CostModel) -> Result<BitTime
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_observed(leaves: usize, m: &CostModel) -> Result<(BitTime, Recorder), SimError> {
-    broadcast_run(leaves, m, true, false)
-        .map(|(t, rec, _)| (t, rec.expect("recorder was installed for this run")))
+    broadcast_run(leaves, m, true, false, false)
+        .map(|(t, rec, _, _)| (t, rec.expect("recorder was installed for this run")))
+}
+
+/// [`broadcast_completion_time`] with both a [`Recorder`] and a windowed
+/// [`Profiler`] installed (initial window width 16τ, coalescing as the
+/// run grows): returns the completion time, the recorder's aggregate
+/// tables, and the profiler's time-resolved windows — the pair the
+/// PROF-001 tiling rule compares.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn broadcast_profiled(
+    leaves: usize,
+    m: &CostModel,
+) -> Result<(BitTime, Recorder, Profiler), SimError> {
+    broadcast_run(leaves, m, true, false, true).map(|(t, rec, _, prof)| {
+        (
+            t,
+            rec.expect("recorder was installed for this run"),
+            prof.expect("profiler was installed for this run"),
+        )
+    })
 }
 
 /// [`broadcast_completion_time`] with a [`CausalTrace`] installed: returns
@@ -490,16 +518,19 @@ pub fn broadcast_observed(leaves: usize, m: &CostModel) -> Result<(BitTime, Reco
 ///
 /// Panics if `leaves` is not a power of two.
 pub fn broadcast_traced(leaves: usize, m: &CostModel) -> Result<(BitTime, CausalTrace), SimError> {
-    broadcast_run(leaves, m, false, true)
-        .map(|(t, _, tr)| (t, tr.expect("causal trace was installed for this run")))
+    broadcast_run(leaves, m, false, true, false)
+        .map(|(t, _, tr, _)| (t, tr.expect("causal trace was installed for this run")))
 }
+
+type BroadcastInstruments = (BitTime, Option<Recorder>, Option<CausalTrace>, Option<Profiler>);
 
 fn broadcast_run(
     leaves: usize,
     m: &CostModel,
     record: bool,
     traced: bool,
-) -> Result<(BitTime, Option<Recorder>, Option<CausalTrace>), SimError> {
+    profiled: bool,
+) -> Result<BroadcastInstruments, SimError> {
     let w = m.word_bits.max(1);
     let mut e = Engine::new(m.delay);
     if record {
@@ -507,6 +538,9 @@ fn broadcast_run(
     }
     if traced {
         e = e.with_causal_trace();
+    }
+    if profiled {
+        e = e.with_profiler(Profiler::new(16));
     }
     let ids = build_tree(
         &mut e,
@@ -520,7 +554,7 @@ fn broadcast_run(
     // node feeding the root's children directly when depth >= 1; for a
     // 1-leaf tree the "broadcast" is free.
     if leaves == 1 {
-        return Ok((BitTime::ZERO, e.take_recorder(), e.take_causal_trace()));
+        return Ok((BitTime::ZERO, e.take_recorder(), e.take_causal_trace(), e.take_profiler()));
     }
     // The generic builder made the root a DownRepeater with no parent; feed
     // it through a zero-length wire from a dedicated source node.
@@ -537,7 +571,7 @@ fn broadcast_run(
     let injected = m.delay.wire_bit_delay(0);
     e.try_run()?;
     let done = e.completion_time().ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
-    Ok((done - injected, e.take_recorder(), e.take_causal_trace()))
+    Ok((done - injected, e.take_recorder(), e.take_causal_trace(), e.take_profiler()))
 }
 
 /// Simulates `LEAFTOROOT` from leaf `source_leaf`; returns the time the root
@@ -709,6 +743,45 @@ pub fn supervised_sum_recovery(
     let rec =
         chaotic.take_recorder().ok_or(SimError::NoCompletion { what: "recovery recorder" })?;
     Ok((report, rec, v))
+}
+
+/// [`supervised_sum_recovery`] with a windowed [`Profiler`] riding along
+/// (initial window width 16τ): the outage-dense supervised run's profile
+/// row in `simprof`. Rollback replays land in the profiler exactly as
+/// they land in the recorder — both instruments see every delivered
+/// event, including replayed ones — so the PROF-001 tiling between the
+/// two holds through recovery.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the clean run fails, or the supervised run
+/// exhausts [`RecoveryPolicy::max_attempts`].
+///
+/// # Panics
+///
+/// Same conditions as [`sum_completion_time`].
+pub fn supervised_sum_recovery_profiled(
+    values: &[u64],
+    m: &CostModel,
+    policy: &RecoveryPolicy,
+) -> Result<(RecoveryReport, Recorder, Profiler, u64), SimError> {
+    let (mut clean, _) = build_aggregate(values, m, true);
+    clean.try_run()?;
+    let t = clean.completion_time().ok_or(SimError::NoCompletion { what: "aggregate root" })?;
+
+    let (chaotic, sink) = build_aggregate(values, m, true);
+    let until = BitTime::new(t.get().max(2));
+    let mut chaotic = chaotic
+        .with_recorder(Recorder::new())
+        .with_profiler(Profiler::new(16))
+        .with_fault_plan(FaultPlan::new(1).with_outage(sink, BitTime::new(1), until));
+    let report = supervise_engine(&mut chaotic, policy, |e, _failures| e.set_fault_plan(None))?;
+    let v = chaotic.node(sink).result().ok_or(SimError::NoCompletion { what: "aggregate word" })?;
+    let rec =
+        chaotic.take_recorder().ok_or(SimError::NoCompletion { what: "recovery recorder" })?;
+    let prof =
+        chaotic.take_profiler().ok_or(SimError::NoCompletion { what: "recovery profiler" })?;
+    Ok((report, rec, prof, v))
 }
 
 /// Simulates a full `LEAFTOLEAF` composite at bit level: one word travels

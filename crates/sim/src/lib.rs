@@ -41,6 +41,7 @@ pub use fault::{
 };
 pub use link::{Link, LinkId};
 pub use node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+pub use orthotrees_obs::profile::Profiler;
 pub use orthotrees_obs::Recorder;
 pub use recovery::{supervise_engine, supervise_steps, RecoveryPolicy, RecoveryReport};
 pub use snapshot::Snapshot;

@@ -6,8 +6,8 @@
 //! ```
 //!
 //! - `--all` (default): topology, schedule, word-level, layout,
-//!   determinism, critical-path and primitive-registry passes over the
-//!   paper's standard configurations;
+//!   determinism, checkpoint, critical-path, primitive-registry and
+//!   profiler-invariant passes over the paper's standard configurations;
 //! - `--json`: emit the report as an `orthotrees-verify/v1` JSON document
 //!   instead of text;
 //! - `--rules`: print the rule catalogue and exit.
@@ -23,7 +23,7 @@ use orthotrees_verify::schedule::{
     aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
     stream_schedule,
 };
-use orthotrees_verify::{ckpt, critpath, determinism, primitive, words, RULES};
+use orthotrees_verify::{ckpt, critpath, determinism, primitive, profile, words, RULES};
 use orthotrees_vlsi::{tree::level_wire_lengths, CostKind, CostModel};
 
 /// Tree sizes the netlist and schedule passes sweep.
@@ -156,6 +156,7 @@ fn main() {
     report.extend(ckpt::stock_findings());
     report.extend(critpath::stock_findings(&TREE_LEAVES));
     report.extend(primitive::stock_findings());
+    report.extend(profile::stock_findings());
 
     if json {
         println!("{}", report.to_json().render());

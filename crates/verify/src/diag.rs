@@ -161,6 +161,16 @@ pub const RULES: &[Rule] = &[
                   drifted closed form, or unreachable cost kind)",
         severity: Severity::Error,
     },
+    Rule {
+        id: "PROF-001",
+        summary: "profiler window sums do not tile the recorder's aggregate totals",
+        severity: Severity::Error,
+    },
+    Rule {
+        id: "PROF-002",
+        summary: "profiler window sequence has a gap or is not monotone from index 0",
+        severity: Severity::Error,
+    },
 ];
 
 /// Looks a rule up by id.

@@ -36,6 +36,10 @@
 //!   descriptor registry versus `CostModel::primitive_cost` — every cost
 //!   kind priced as its closed-form composition, every kind reachable,
 //!   every composite's legs valid (`PRIM-001`).
+//! - [`profile`] — the **profiler invariant checker**: windowed profiles
+//!   of bit-level broadcasts and word-level sorts must tile their
+//!   recorder's aggregate totals (`PROF-001`) and keep a gapless,
+//!   monotone window sequence (`PROF-002`).
 //!
 //! The [`mutate`] module corrupts known-good netlists and is used by the
 //! test suite to prove every rule actually fires. The `netlint` binary
@@ -60,6 +64,7 @@ pub mod diag;
 pub mod mutate;
 pub mod net;
 pub mod primitive;
+pub mod profile;
 pub mod schedule;
 pub mod words;
 
