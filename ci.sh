@@ -6,7 +6,16 @@ cargo fmt --check
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
-cargo run --release -p orthotrees-verify --bin netlint -- --all
+# Static verification: all passes, with the JSON report kept as a CI
+# artifact. The committed RULES.md must match the in-code catalogue, the
+# DFLOW mutation fixtures must fire, and the large static-vs-dynamic
+# provenance sweep (2^5..2^7 leaves) runs release-only here.
+mkdir -p target/report
+cargo run --release -p orthotrees-verify --bin netlint -- --all --json > target/report/netlint.json
+cargo run --release -p orthotrees-verify --bin rulegen | diff -u RULES.md - \
+  || { echo "RULES.md is stale; regenerate with: cargo run -p orthotrees-verify --bin rulegen > RULES.md"; exit 1; }
+cargo test --release -q -p orthotrees-bench --test dflow_suite
+cargo test --release -q -p orthotrees-bench --test dflow_suite -- --ignored repertoire_agreement_holds_at_large_sizes
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo run --release -p orthotrees-bench --bin benchdiff -- --baseline BENCH_2.json
 # Profiler smoke: regenerate the quick matrix in-process, validate the

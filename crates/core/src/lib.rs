@@ -38,7 +38,10 @@
 //! monoid, result-width rule and cost kind — is declared exactly once in the
 //! [`primitive::REGISTRY`]; the executors, the cost model, the observability
 //! spans, the causal attribution and the `orthotrees-verify` rules all
-//! derive from that single table. The registry also exposes the per-tree
+//! derive from that single table. The [`dflow`] module renders the same
+//! table as symbolic register programs — the semantic ground truth the
+//! `orthotrees-verify` dataflow rules check every executor and backend
+//! against. The registry also exposes the per-tree
 //! independence of every primitive, which [`ParallelPolicy::Threads`] turns
 //! into scoped-thread parallelism with bit- and clock-identical results.
 //!
@@ -57,6 +60,7 @@
 mod attribution;
 mod checkpoint;
 pub mod complexnum;
+pub mod dflow;
 mod grid;
 pub mod mot3d;
 pub mod otc;

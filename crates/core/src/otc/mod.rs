@@ -25,7 +25,7 @@ pub mod sort;
 use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
-use orthotrees_obs::Recorder;
+use orthotrees_obs::{causal::ReachCell, Recorder};
 use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostKind, CostModel, ModelError};
 
 pub use super::otn::Axis;
@@ -33,6 +33,14 @@ pub use super::otn::Axis;
 /// Handle to a register plane allocated with [`Otc::alloc_reg`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Reg(usize);
+
+impl Reg {
+    /// The plane's index in allocation order — the `reg` coordinate of
+    /// reach events and the key into [`Otc::reg_names`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Read-only view of all register planes for selectors.
 pub struct OtcRegsView<'a> {
@@ -250,6 +258,17 @@ impl Otc {
         Reg(self.regs.len() - 1)
     }
 
+    /// The allocated register-plane names, in [`Reg::index`] order — the
+    /// register-file shape static analyses resolve reach events against.
+    pub fn reg_names(&self) -> &[&'static str] {
+        &self.reg_names
+    }
+
+    /// Number of allocated register planes.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
     fn idx(&self, i: usize, j: usize, q: usize) -> usize {
         (i * self.m + j) * self.cycle + q
     }
@@ -411,6 +430,13 @@ impl Otc {
         self.fault.as_ref().is_some_and(|f| f.is_dark(axis, tree, leaf))
     }
 
+    /// Whether the installed recorder asked for reach events. `false`
+    /// whenever no recorder is installed or tracing was not enabled, so
+    /// the plain profiling path stays free of reach bookkeeping.
+    fn reach_tracing(&self) -> bool {
+        self.recorder.as_ref().is_some_and(Recorder::reach_enabled)
+    }
+
     fn begin_fault_round(&mut self) {
         if let Some(f) = &mut self.fault {
             f.next_round();
@@ -507,6 +533,11 @@ impl Otc {
         sel: &(impl Fn(usize, usize, &OtcRegsView<'_>) -> bool + Sync),
     ) {
         let spec = primitive::spec_for(name);
+        debug_assert!(
+            crate::dflow::shape_of(spec) == Some(crate::dflow::FlowShape::StreamDown),
+            "{} is not a StreamDown-shaped primitive",
+            spec.name
+        );
         self.begin_phase(spec.name);
         let writes: Vec<StreamWrites> = {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
@@ -524,12 +555,28 @@ impl Otc {
             })
         };
         self.begin_fault_round();
+        let tracing = self.reach_tracing();
+        if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+            rec.reach_round_begin();
+        }
         let mut attempts = 0;
         for (t, slot, (i, j, q), v) in writes.into_iter().flatten() {
             let (v, att) = self.word_transit(axis, t, slot, v);
             attempts = attempts.max(att);
             let at = self.idx(i, j, q);
             self.regs[dest.0][at] = v;
+            // One reach event per delivered cycle (the program abstracts
+            // the whole cycle as one leaf cell), not per stream position.
+            if q == 0 {
+                let leaf = (slot / self.cycle) as u64;
+                if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+                    rec.reach(
+                        t as u64,
+                        ReachCell::Root,
+                        ReachCell::Reg { reg: dest.0 as u64, leaf },
+                    );
+                }
+            }
         }
         self.charge_primitive(spec, axis, attempts);
         self.end_phase();
@@ -553,17 +600,30 @@ impl Otc {
         // coverage tests) — a `None` is a registry-definition bug.
         let monoid =
             spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
+        debug_assert!(
+            crate::dflow::shape_of(spec) == Some(crate::dflow::FlowShape::StreamUp),
+            "{} is not a StreamUp-shaped primitive",
+            spec.name
+        );
         self.begin_phase(spec.name);
         let degraded = self.fault.is_some();
-        let mut new_roots: Vec<Vec<Option<Word>>> = {
+        let tracing = self.reach_tracing();
+        let gathered: Vec<(Vec<Option<Word>>, Vec<usize>)> = {
             let view = OtcRegsView { regs: &self.regs, m: self.m, cycle: self.cycle };
             primitive::per_tree(self.parallel, self.m, |t| {
-                (0..self.cycle)
+                // Contributor cycles (deduped across stream positions) are
+                // only collected under reach tracing; the Vec stays empty
+                // (no allocation) otherwise.
+                let mut contributors: Vec<usize> = Vec::new();
+                let buffer: Vec<Option<Word>> = (0..self.cycle)
                     .map(|q| {
                         let mut acc = Acc::new(monoid);
                         for l in 0..self.m {
                             let (i, j) = Self::coords(axis, t, l);
                             if sel(i, j, q, &view) && !self.is_dark(axis, t, l) {
+                                if tracing && !contributors.contains(&l) {
+                                    contributors.push(l);
+                                }
                                 // On First contention under faults, the
                                 // fold keeps the first word (corrupted
                                 // selectors legitimately collide); in a
@@ -580,9 +640,24 @@ impl Otc {
                         }
                         acc.finish()
                     })
-                    .collect()
+                    .collect();
+                (buffer, contributors)
             })
         };
+        if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+            rec.reach_round_begin();
+            for (t, (_, contributors)) in gathered.iter().enumerate() {
+                for &l in contributors {
+                    rec.reach(
+                        t as u64,
+                        ReachCell::Reg { reg: src.0 as u64, leaf: l as u64 },
+                        ReachCell::Root,
+                    );
+                }
+            }
+        }
+        let mut new_roots: Vec<Vec<Option<Word>>> =
+            gathered.into_iter().map(|(buffer, _)| buffer).collect();
         self.begin_fault_round();
         let mut attempts = 0;
         if self.fault.is_some() {
@@ -634,11 +709,36 @@ impl Otc {
     /// `VECTORCIRCULATE` over every cycle: each listed register rotates one
     /// position (`R(q) := R((q+1) mod L)`).
     pub fn circulate(&mut self, regs: &[Reg]) {
+        let tracing = self.reach_tracing();
+        if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+            rec.reach_round_begin();
+        }
         for r in regs {
             for i in 0..self.m {
                 for j in 0..self.m {
                     let base = self.idx(i, j, 0);
                     self.regs[r.0][base..base + self.cycle].rotate_left(1);
+                }
+            }
+            // The rotate program names cycle positions as leaves and each
+            // cycle `(i, j)` as its own tree.
+            if tracing {
+                let (m, cycle) = (self.m, self.cycle);
+                if let Some(rec) = self.recorder.as_mut() {
+                    for i in 0..m {
+                        for j in 0..m {
+                            for q in 0..cycle {
+                                rec.reach(
+                                    (i * m + j) as u64,
+                                    ReachCell::Reg {
+                                        reg: r.0 as u64,
+                                        leaf: ((q + 1) % cycle) as u64,
+                                    },
+                                    ReachCell::Reg { reg: r.0 as u64, leaf: q as u64 },
+                                );
+                            }
+                        }
+                    }
                 }
             }
         }

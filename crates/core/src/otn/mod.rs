@@ -28,12 +28,20 @@ use crate::grid::Grid;
 use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
-use orthotrees_obs::Recorder;
+use orthotrees_obs::{causal::ReachCell, Recorder};
 use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostKind, CostModel, ModelError};
 
 /// Handle to a named register plane allocated with [`Otn::alloc_reg`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Reg(usize);
+
+impl Reg {
+    /// The plane's index in allocation order — the `reg` coordinate of
+    /// reach events and the key into [`Otn::reg_names`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// Which family of trees an operation runs on.
 ///
@@ -260,6 +268,17 @@ impl Otn {
         Reg(self.regs.len() - 1)
     }
 
+    /// The allocated register-plane names, in [`Reg::index`] order — the
+    /// register-file shape static analyses resolve reach events against.
+    pub fn reg_names(&self) -> &[&'static str] {
+        &self.reg_names
+    }
+
+    /// Number of allocated register planes.
+    pub fn reg_count(&self) -> usize {
+        self.regs.len()
+    }
+
     /// Number of leaves of one tree of `axis`.
     pub fn leaves(&self, axis: Axis) -> usize {
         match axis {
@@ -436,6 +455,13 @@ impl Otn {
         self.fault.as_ref().is_some_and(|f| f.is_dark(axis, tree, leaf))
     }
 
+    /// Whether the installed recorder asked for reach events. `false`
+    /// whenever no recorder is installed or tracing was not enabled, so
+    /// the plain profiling path stays free of reach bookkeeping.
+    fn reach_tracing(&self) -> bool {
+        self.recorder.as_ref().is_some_and(Recorder::reach_enabled)
+    }
+
     /// Opens a new transit round for the next faultable primitive.
     fn begin_fault_round(&mut self) {
         if let Some(f) = &mut self.fault {
@@ -539,6 +565,11 @@ impl Otn {
         sel: &(impl Fn(usize, usize, &RegsView<'_>) -> bool + Sync),
     ) {
         let spec = primitive::spec_for(name);
+        debug_assert!(
+            crate::dflow::shape_of(spec) == Some(crate::dflow::FlowShape::Down),
+            "{} is not a Down-shaped primitive",
+            spec.name
+        );
         self.begin_phase(spec.name);
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let writes: Vec<DownWrites> = {
@@ -555,11 +586,22 @@ impl Otn {
             })
         };
         self.begin_fault_round();
+        let tracing = self.reach_tracing();
+        if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+            rec.reach_round_begin();
+        }
         let mut attempts = 0;
         for (t, l, i, j, v) in writes.into_iter().flatten() {
             let (v, att) = self.word_transit(axis, t, l, v);
             attempts = attempts.max(att);
             self.regs[dest.0].set(i, j, v);
+            if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+                rec.reach(
+                    t as u64,
+                    ReachCell::Root,
+                    ReachCell::Reg { reg: dest.0 as u64, leaf: l as u64 },
+                );
+            }
         }
         self.charge_primitive(spec, axis, attempts);
         self.end_phase();
@@ -582,16 +624,28 @@ impl Otn {
         // coverage tests) — a `None` is a registry-definition bug.
         let monoid =
             spec.combine.unwrap_or_else(|| panic!("{} declares no combine monoid", spec.name));
+        debug_assert!(
+            crate::dflow::shape_of(spec) == Some(crate::dflow::FlowShape::Up),
+            "{} is not an Up-shaped primitive",
+            spec.name
+        );
         self.begin_phase(spec.name);
         let (trees, leaves) = (self.trees(axis), self.leaves(axis));
         let degraded = self.fault.is_some();
-        let mut new_roots: Vec<Option<Word>> = {
+        let tracing = self.reach_tracing();
+        let gathered: Vec<(Option<Word>, Vec<usize>)> = {
             let view = RegsView { regs: &self.regs };
             primitive::per_tree(self.parallel, trees, |t| {
                 let mut acc = Acc::new(monoid);
+                // Contributor leaves are only collected under reach
+                // tracing; the Vec stays empty (no allocation) otherwise.
+                let mut contributors = Vec::new();
                 for l in 0..leaves {
                     let (i, j) = Self::coords(axis, t, l);
                     if sel(i, j, &view) && !self.is_dark(axis, t, l) {
+                        if tracing {
+                            contributors.push(l);
+                        }
                         // On First contention under faults, the fold keeps
                         // the first word (corrupted ranks legitimately
                         // collide); in a healthy net it is an invariant
@@ -606,9 +660,22 @@ impl Otn {
                         });
                     }
                 }
-                acc.finish()
+                (acc.finish(), contributors)
             })
         };
+        if let Some(rec) = self.recorder.as_mut().filter(|_| tracing) {
+            rec.reach_round_begin();
+            for (t, (_, contributors)) in gathered.iter().enumerate() {
+                for &l in contributors {
+                    rec.reach(
+                        t as u64,
+                        ReachCell::Reg { reg: src.0 as u64, leaf: l as u64 },
+                        ReachCell::Root,
+                    );
+                }
+            }
+        }
+        let mut new_roots: Vec<Option<Word>> = gathered.into_iter().map(|(v, _)| v).collect();
         self.begin_fault_round();
         let mut attempts = 0;
         for (t, root) in new_roots.iter_mut().enumerate() {

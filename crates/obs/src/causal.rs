@@ -96,6 +96,48 @@ pub struct SegmentTotal {
     pub total: BitTime,
 }
 
+/// One endpoint of a dynamic reach edge: an abstract register-file cell of
+/// the word-level machines, named the way the symbolic dataflow pass
+/// (`verify::dflow`) names cells — a `(register plane, leaf)` pair or the
+/// tree's root register.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReachCell {
+    /// Register plane `reg` at leaf `leaf` of the event's tree. On the OTC
+    /// the leaf is a whole cycle (stream primitives) or a cycle position
+    /// (`VECTORCIRCULATE`), matching the abstraction level of the static
+    /// dataflow programs.
+    Reg {
+        /// Register plane index (`Reg::index` of the executing network).
+        reg: u64,
+        /// Leaf index within the tree.
+        leaf: u64,
+    },
+    /// The tree's root register (OTN) or root stream buffer (OTC).
+    Root,
+}
+
+/// One observed word movement recorded by
+/// [`Recorder::reach`](crate::Recorder::reach): during reach round
+/// `round`, tree `tree` delivered a word from cell `from` into cell `to`.
+///
+/// Rounds partition events by executed primitive leg
+/// ([`Recorder::reach_round_begin`](crate::Recorder::reach_round_begin)):
+/// a resolver must read `from` against the register state *at round
+/// start*, because a leg's writes never feed its own reads (the executors
+/// gather before they write).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReachEvent {
+    /// The reach round (one per executed primitive leg, monotone).
+    pub round: u64,
+    /// Tree index within the executing axis family (cycle index
+    /// `i·m + j` for `VECTORCIRCULATE`).
+    pub tree: u64,
+    /// The cell the word was read from.
+    pub from: ReachCell,
+    /// The cell the word was written to.
+    pub to: ReachCell,
+}
+
 /// One bit-hop recorded by the engine: message `msg` was emitted (because
 /// delivered message `pred` triggered its node, or on node start) and
 /// admitted onto `link`.

@@ -235,6 +235,9 @@ pub struct Recorder {
     calendar_depth: Histogram,
     segments: Vec<causal::CausalSegment>,
     diagnostics: Vec<String>,
+    reach_enabled: bool,
+    reach_round: u64,
+    reach: Vec<causal::ReachEvent>,
 }
 
 impl Recorder {
@@ -514,6 +517,45 @@ impl Recorder {
                 .then_with(|| a.kind.cmp(&b.kind))
         });
         out
+    }
+
+    // --------------------------------------------------------------
+    // Reach tracing.
+    // --------------------------------------------------------------
+
+    /// Turns on dynamic reach tracing. Off by default — installing a
+    /// recorder alone never makes the executors emit reach events, so
+    /// span/counter profiling keeps its exact zero-reach cost; the
+    /// dataflow verifier opts in explicitly.
+    pub fn enable_reach(&mut self) {
+        self.reach_enabled = true;
+    }
+
+    /// Whether reach tracing is on. The word-level executors consult this
+    /// before doing any reach-related bookkeeping.
+    pub fn reach_enabled(&self) -> bool {
+        self.reach_enabled
+    }
+
+    /// Opens a new reach round. The executors call this once per executed
+    /// primitive leg, so events from distinct legs never blur together: a
+    /// resolver replays rounds in order, reading sources against the state
+    /// at round start.
+    pub fn reach_round_begin(&mut self) {
+        self.reach_round += 1;
+    }
+
+    /// Records one word movement in the current reach round. A no-op
+    /// unless [`enable_reach`](Recorder::enable_reach) was called.
+    pub fn reach(&mut self, tree: u64, from: causal::ReachCell, to: causal::ReachCell) {
+        if self.reach_enabled {
+            self.reach.push(causal::ReachEvent { round: self.reach_round, tree, from, to });
+        }
+    }
+
+    /// All recorded reach events, in emission order (rounds monotone).
+    pub fn reach_events(&self) -> &[causal::ReachEvent] {
+        &self.reach
     }
 }
 

@@ -1,0 +1,13 @@
+//! `rulegen` — render the committed `RULES.md` catalogue from the
+//! in-code rule registry.
+//!
+//! ```text
+//! cargo run -p orthotrees-verify --bin rulegen > RULES.md
+//! ```
+//!
+//! CI regenerates the catalogue and diffs it against the committed file,
+//! so the markdown can never drift from [`orthotrees_verify::diag::RULES`].
+
+fn main() {
+    print!("{}", orthotrees_verify::diag::rules_markdown());
+}

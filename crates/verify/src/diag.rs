@@ -39,139 +39,263 @@ pub struct Rule {
     pub summary: &'static str,
     /// Severity of a violation.
     pub severity: Severity,
+    /// The kind of element a finding anchors to (`RULES.md` column).
+    pub subject: &'static str,
+    /// Catalogue-level fix hint (individual findings carry a sharper,
+    /// instance-specific hint).
+    pub hint: &'static str,
 }
 
-/// The full rule catalogue, in id order (mirrored in DESIGN.md §10).
+/// The full rule catalogue, in id order (mirrored in DESIGN.md §10 and
+/// the generated `RULES.md`).
 pub const RULES: &[Rule] = &[
     Rule {
         id: "NET-001",
         summary: "input port driven by more than one link (write-write wiring conflict)",
         severity: Severity::Error,
+        subject: "input port",
+        hint: "rewire so every input port has exactly one driving link",
     },
     Rule {
         id: "NET-002",
         summary: "link endpoint references a node that does not exist (dangling wire)",
         severity: Severity::Error,
+        subject: "link endpoint",
+        hint: "point both link endpoints at nodes inside the netlist",
     },
     Rule {
         id: "NET-003",
         summary: "node degree or port fan-out exceeds the paper's constant bound",
         severity: Severity::Error,
+        subject: "node",
+        hint: "split the node or reroute links until the degree bound holds",
     },
-    Rule { id: "NET-004", summary: "link connects a node to itself", severity: Severity::Error },
+    Rule {
+        id: "NET-004",
+        summary: "link connects a node to itself",
+        severity: Severity::Error,
+        subject: "link",
+        hint: "remove the self-loop or retarget one endpoint",
+    },
     Rule {
         id: "NET-005",
         summary: "two identical parallel links between the same port pair",
         severity: Severity::Error,
+        subject: "link pair",
+        hint: "drop the duplicate link",
     },
     Rule {
         id: "TREE-001",
         summary: "not a complete binary tree with the expected leaf count",
         severity: Severity::Error,
+        subject: "tree",
+        hint: "rebuild the tree with 2·leaves − 1 nodes and leaves-first ids",
     },
     Rule {
         id: "TREE-002",
         summary: "node unreachable from the tree root (disconnected subtree)",
         severity: Severity::Error,
+        subject: "tree node",
+        hint: "restore the missing internal links so the root reaches every node",
     },
     Rule {
         id: "TREE-003",
         summary: "wire length violates the strip embedding's level rule (pitch·2^(h−1))",
         severity: Severity::Error,
+        subject: "tree wire",
+        hint: "use the strip embedding's level length pitch·2^(h−1)",
     },
     Rule {
         id: "OTN-001",
         summary: "OTN dimensions are not powers of two",
         severity: Severity::Error,
+        subject: "network shape",
+        hint: "round the matrix dimensions to powers of two",
     },
     Rule {
         id: "OTN-002",
         summary: "OTN leaf pitch disagrees with the layout convention (w + depth + 1)",
         severity: Severity::Error,
+        subject: "leaf pitch",
+        hint: "set pitch to word bits + tree depth + 1",
     },
     Rule {
         id: "OTC-001",
         summary: "OTC cycle length is not the Θ(log N) decomposition of dims_for",
         severity: Severity::Error,
+        subject: "cycle length",
+        hint: "use the dims_for(n) decomposition for the cycle length",
     },
     Rule {
         id: "OTC-002",
         summary: "OTC pitch disagrees with the cycle-block convention",
         severity: Severity::Error,
+        subject: "leaf pitch",
+        hint: "set pitch to the cycle block max(2L−1, w+1) + depth + 1",
     },
     Rule {
         id: "AREA-001",
         summary: "constructed layout area disagrees with the closed-form prediction",
         severity: Severity::Error,
+        subject: "layout",
+        hint: "reconcile the constructed layout with the closed-form area",
     },
     Rule {
         id: "GEO-001",
         summary: "layout components overlap on the chip",
         severity: Severity::Error,
+        subject: "chip component",
+        hint: "move the overlapping component to a free strip",
     },
     Rule {
         id: "SCHED-001",
         summary: "two words occupy the same link entrance slot (write-write drive conflict)",
         severity: Severity::Error,
+        subject: "link slot",
+        hint: "re-stagger the schedule so each slot carries one word",
     },
     Rule {
         id: "SCHED-002",
         summary: "primitive's static step count exceeds its O(log² N) budget",
         severity: Severity::Warning,
+        subject: "schedule",
+        hint: "shorten the schedule or justify the budget excess",
     },
     Rule {
         id: "SCHED-003",
         summary: "derived static schedule disagrees with the charged closed-form cost",
         severity: Severity::Error,
+        subject: "schedule",
+        hint: "derive the schedule and the charged cost from one closed form",
     },
     Rule {
         id: "CKPT-001",
         summary: "checkpoint/restore round trip diverges from the uninterrupted run",
         severity: Severity::Error,
+        subject: "engine snapshot",
+        hint: "capture the forgotten engine state in the snapshot",
     },
     Rule {
         id: "CKPT-002",
         summary: "snapshot on-disk format broken (not a render/parse fixed point, tampering \
                   accepted, or shape mismatch not rejected)",
         severity: Severity::Error,
+        subject: "snapshot file",
+        hint: "make render/parse a fixed point and reject tampered documents",
     },
     Rule {
         id: "DET-001",
         summary: "same-timestamp events do not commute (tie-break order changes results)",
         severity: Severity::Error,
+        subject: "event pair",
+        hint: "make same-timestamp event handlers commutative",
     },
     Rule {
         id: "CRIT-001",
         summary: "clean ROOTTOLEAF critical path disagrees with the per-level closed-form delays",
         severity: Severity::Error,
+        subject: "critical path",
+        hint: "align per-level wire delays with the closed form",
     },
     Rule {
         id: "CRIT-002",
         summary: "critical path does not tile [0, completion] (gap, overlap or wrong endpoints)",
         severity: Severity::Error,
+        subject: "critical path",
+        hint: "close the gap/overlap so segments tile [0, completion]",
     },
     Rule {
         id: "CRIT-003",
         summary: "link slack accounting broken (no zero-slack completion link)",
         severity: Severity::Error,
+        subject: "link slack",
+        hint: "recompute slacks so the completion link has zero slack",
     },
     Rule {
         id: "PRIM-001",
         summary: "primitive registry disagrees with the CostModel (unpriced entry, \
                   drifted closed form, or unreachable cost kind)",
         severity: Severity::Error,
+        subject: "registry entry",
+        hint: "price the entry through CostModel::primitive_cost",
     },
     Rule {
         id: "PROF-001",
         summary: "profiler window sums do not tile the recorder's aggregate totals",
         severity: Severity::Error,
+        subject: "profile window",
+        hint: "make the window sums tile the recorder totals exactly",
     },
     Rule {
         id: "PROF-002",
         summary: "profiler window sequence has a gap or is not monotone from index 0",
         severity: Severity::Error,
+        subject: "window sequence",
+        hint: "emit windows contiguously from index 0",
+    },
+    Rule {
+        id: "DFLOW-001",
+        summary: "primitive reads a register cell no leg has written (uninitialized read)",
+        severity: Severity::Error,
+        subject: "register cell",
+        hint: "declare the cell as a primitive input or write it in an earlier leg",
+    },
+    Rule {
+        id: "DFLOW-002",
+        summary: "dead register write (overwritten or never consumed before primitive end)",
+        severity: Severity::Error,
+        subject: "register write",
+        hint: "drop the write or route its value to an output / later leg",
+    },
+    Rule {
+        id: "DFLOW-003",
+        summary: "write-write clobber of one register cell inside a single leg",
+        severity: Severity::Error,
+        subject: "register cell",
+        hint: "split the writes across legs or give each its own cell",
+    },
+    Rule {
+        id: "DFLOW-004",
+        summary: "static result width disagrees with the registry's ResultWidth rule",
+        severity: Severity::Error,
+        subject: "result width",
+        hint: "fix the combine monoid or the registry's declared width",
+    },
+    Rule {
+        id: "DFLOW-005",
+        summary: "static provenance set disagrees with the dynamic reach observed in traces",
+        severity: Severity::Error,
+        subject: "provenance set",
+        hint: "make the executor move exactly the words the symbolic program declares",
     },
 ];
+
+/// Renders the catalogue as the markdown document committed as
+/// `RULES.md` (regenerated by the `rulegen` binary; ci.sh diffs the two).
+pub fn rules_markdown() -> String {
+    let mut out = String::from(
+        "# Rule catalogue\n\n\
+         Generated from `orthotrees-verify`'s `diag::RULES` by the `rulegen`\n\
+         binary — do not edit by hand; run\n\
+         `cargo run -p orthotrees-verify --bin rulegen > RULES.md` instead.\n\
+         ci.sh regenerates this file and fails on drift.\n\n\
+         | id | severity | subject | summary | fix hint |\n\
+         |----|----------|---------|---------|----------|\n",
+    );
+    for r in RULES {
+        // Collapse the source's folded string literals to single spaces.
+        let summary = r.summary.split_whitespace().collect::<Vec<_>>().join(" ");
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} |\n",
+            r.id,
+            r.severity.name(),
+            r.subject,
+            summary,
+            r.hint
+        ));
+    }
+    out
+}
 
 /// Looks a rule up by id.
 ///
@@ -181,6 +305,13 @@ pub const RULES: &[Rule] = &[
 /// constants, so an unknown id is a bug in this crate.
 pub fn rule(id: &str) -> &'static Rule {
     RULES.iter().find(|r| r.id == id).unwrap_or_else(|| panic!("unknown rule id {id}"))
+}
+
+/// Looks a rule up by id without panicking — for data that crossed a
+/// serialization boundary (e.g. [`Report::from_json`]), where an unknown
+/// id is malformed input rather than a bug in this crate.
+pub fn find_rule(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
 }
 
 /// One diagnostic: a rule violation anchored to a network element.
@@ -320,6 +451,63 @@ impl Report {
             ),
         ])
     }
+
+    /// Parses a report back from its [`to_json`](Report::to_json)
+    /// rendering, validating the `orthotrees-verify/v1` schema id, every
+    /// rule id against the catalogue, each finding's severity against the
+    /// catalogue severity, and the error/warning tallies against the
+    /// parsed findings. `parse → from_json → to_json` is the identity on
+    /// documents this crate emitted.
+    pub fn from_json(doc: &Json) -> Result<Report, String> {
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing schema id".to_string())?;
+        if schema != "orthotrees-verify/v1" {
+            return Err(format!("unsupported schema {schema:?} (want orthotrees-verify/v1)"));
+        }
+        let items = doc.get("findings").and_then(Json::as_arr).ok_or("missing findings array")?;
+        let mut report = Report::new();
+        for (i, item) in items.iter().enumerate() {
+            let field = |key: &str| {
+                item.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("finding {i}: missing field {key}"))
+            };
+            let id = field("rule")?;
+            let rule =
+                find_rule(&id).ok_or_else(|| format!("finding {i}: unknown rule id {id}"))?;
+            let severity = field("severity")?;
+            if severity != rule.severity.name() {
+                return Err(format!(
+                    "finding {i}: severity {severity:?} contradicts the catalogue's {:?} for {}",
+                    rule.severity.name(),
+                    rule.id
+                ));
+            }
+            report.push(Finding::new(
+                rule.id,
+                field("network")?,
+                field("subject")?,
+                field("detail")?,
+                field("hint")?,
+            ));
+        }
+        for (key, want) in [
+            ("errors", report.findings.iter().filter(|f| f.severity == Severity::Error).count()),
+            (
+                "warnings",
+                report.findings.iter().filter(|f| f.severity == Severity::Warning).count(),
+            ),
+        ] {
+            let got = doc.get(key).and_then(Json::as_u64);
+            if got != Some(want as u64) {
+                return Err(format!("{key} tally {got:?} disagrees with {want} parsed findings"));
+            }
+        }
+        Ok(report)
+    }
 }
 
 #[cfg(test)]
@@ -357,5 +545,50 @@ mod tests {
     #[should_panic(expected = "unknown rule id")]
     fn unknown_rule_id_is_a_bug() {
         let _ = rule("NOPE-999");
+    }
+
+    #[test]
+    fn report_parses_back_from_its_own_json() {
+        let mut r = Report::new();
+        r.push(Finding::new("NET-004", "t", "link 0", "self-loop", "remove it"));
+        r.push(Finding::new("SCHED-002", "t", "sched", "over budget", "shorten"));
+        let doc = Json::parse(&r.to_json().render()).unwrap();
+        let back = Report::from_json(&doc).unwrap();
+        assert_eq!(back.findings(), r.findings());
+        assert_eq!(back.to_json(), r.to_json(), "round trip is the identity");
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_documents() {
+        let bad_schema = Json::parse(r#"{"schema": "other/v9", "findings": []}"#).unwrap();
+        assert!(Report::from_json(&bad_schema).unwrap_err().contains("unsupported schema"));
+        let bad_rule = Json::parse(
+            r#"{"schema": "orthotrees-verify/v1", "findings": [{"rule": "NOPE-1",
+                "severity": "error", "network": "n", "subject": "s", "detail": "d",
+                "hint": "h"}], "errors": 1, "warnings": 0}"#,
+        )
+        .unwrap();
+        assert!(Report::from_json(&bad_rule).unwrap_err().contains("unknown rule id"));
+        let tampered = Json::obj([
+            ("schema", Json::str("orthotrees-verify/v1")),
+            ("findings", Json::arr([Finding::new("NET-001", "t", "s", "d", "h").to_json()])),
+            ("errors", Json::u64(2)),
+            ("warnings", Json::u64(0)),
+        ]);
+        assert!(Report::from_json(&tampered).unwrap_err().contains("tally"));
+    }
+
+    #[test]
+    fn markdown_catalogue_lists_every_rule_once() {
+        let md = rules_markdown();
+        for r in RULES {
+            assert_eq!(
+                md.matches(&format!("| {} |", r.id)).count(),
+                1,
+                "{} appears exactly once",
+                r.id
+            );
+        }
+        assert!(md.contains("| DFLOW-005 | error | provenance set |"));
     }
 }

@@ -40,10 +40,18 @@
 //!   of bit-level broadcasts and word-level sorts must tile their
 //!   recorder's aggregate totals (`PROF-001`) and keep a gapless,
 //!   monotone window sequence (`PROF-002`).
+//! - [`dflow`] — the **symbolic dataflow interpreter**: abstractly
+//!   executes every registry primitive's register program, tracking
+//!   per-cell provenance sets and static widths (`DFLOW-001..004`), and
+//!   checks the static reach against the dynamic reach traced from the
+//!   real executors, with and without injected faults (`DFLOW-005`).
 //!
-//! The [`mutate`] module corrupts known-good netlists and is used by the
-//! test suite to prove every rule actually fires. The `netlint` binary
-//! runs all passes over the stock configurations and is wired into CI.
+//! The [`mutate`] and [`dflow::DflowMutation`] corruption classes prove
+//! every rule actually fires; [`fixtures`] maps each catalogue rule id to
+//! a firing fixture so the meta-test can assert none is vacuous. The
+//! `netlint` binary runs all passes over the stock configurations and is
+//! wired into CI; the `rulegen` binary renders the committed `RULES.md`
+//! catalogue.
 //!
 //! # Example
 //!
@@ -60,7 +68,9 @@
 pub mod ckpt;
 pub mod critpath;
 pub mod determinism;
+pub mod dflow;
 pub mod diag;
+pub mod fixtures;
 pub mod mutate;
 pub mod net;
 pub mod primitive;

@@ -24,17 +24,24 @@ pub enum Mutation {
     DuplicateLink,
     /// Point a wire at a node that does not exist.
     DangleLink,
+    /// Wire a node's output back into its own input.
+    SelfLoop,
+    /// Route two wires out of one output port: the constant-degree bound
+    /// breaks.
+    FanoutOverload,
 }
 
 impl Mutation {
     /// Every mutation class, in declaration order.
-    pub const ALL: [Mutation; 6] = [
+    pub const ALL: [Mutation; 8] = [
         Mutation::DropLink,
         Mutation::SwapPorts,
         Mutation::KillSubtree,
         Mutation::StretchWire,
         Mutation::DuplicateLink,
         Mutation::DangleLink,
+        Mutation::SelfLoop,
+        Mutation::FanoutOverload,
     ];
 
     /// The rule id that must fire when this corruption is linted.
@@ -46,6 +53,8 @@ impl Mutation {
             Mutation::StretchWire => "TREE-003",
             Mutation::DuplicateLink => "NET-005",
             Mutation::DangleLink => "NET-002",
+            Mutation::SelfLoop => "NET-004",
+            Mutation::FanoutOverload => "NET-003",
         }
     }
 
@@ -80,6 +89,14 @@ impl Mutation {
             }
             Mutation::DangleLink => {
                 net.links[0].to = net.nodes + 7;
+            }
+            Mutation::SelfLoop => {
+                net.links[0].to = net.links[0].from;
+            }
+            Mutation::FanoutOverload => {
+                // Route link 1 out of link 0's output port too.
+                net.links[1].from = net.links[0].from;
+                net.links[1].from_port = net.links[0].from_port;
             }
         }
     }

@@ -14,33 +14,94 @@ use orthotrees::otc::Otc;
 use orthotrees::otn::Otn;
 use orthotrees_layout::otc::{otc_dims, OtcLayout};
 use orthotrees_layout::otn::OtnLayout;
+use orthotrees_layout::Chip;
 use orthotrees_vlsi::log2_ceil;
 
-/// Lints a word-level OTN against the paper's conventions: power-of-two
-/// dimensions (OTN-001) and the layout leaf pitch `w + depth + 1` (OTN-002).
-pub fn lint_otn(net: &Otn) -> Vec<Finding> {
-    let name = format!("({}x{})-OTN", net.rows(), net.cols());
+/// The parameter core of [`lint_otn`]: checks the OTN conventions on bare
+/// shape parameters, so both real networks and synthetic (mutated)
+/// parameter sets run through the same rules. Power-of-two dimensions is
+/// OTN-001; the layout leaf pitch `w + depth + 1` is OTN-002.
+pub fn lint_otn_shape(
+    name: &str,
+    rows: usize,
+    cols: usize,
+    word_bits: u32,
+    pitch: u64,
+) -> Vec<Finding> {
     let mut out = Vec::new();
-    for (axis, dim) in [("rows", net.rows()), ("cols", net.cols())] {
+    for (axis, dim) in [("rows", rows), ("cols", cols)] {
         if !dim.is_power_of_two() {
             out.push(Finding::new(
                 "OTN-001",
-                &name,
+                name,
                 format!("{axis} = {dim}"),
                 "mesh-of-trees dimensions must be powers of two".to_string(),
                 "round the problem size up to the next power of two",
             ));
         }
     }
-    let depth = log2_ceil(net.rows().max(net.cols()) as u64);
-    let expected = u64::from(net.model().word_bits) + u64::from(depth) + 1;
-    if net.pitch() != expected {
+    let depth = log2_ceil(rows.max(cols) as u64);
+    let expected = u64::from(word_bits) + u64::from(depth) + 1;
+    if pitch != expected {
         out.push(Finding::new(
             "OTN-002",
-            &name,
-            format!("pitch {}", net.pitch()),
+            name,
+            format!("pitch {pitch}"),
             format!("layout convention requires w + depth + 1 = {expected} λ"),
             "the BP pitch must leave room for the register and one tree track per level",
+        ));
+    }
+    out
+}
+
+/// Lints a word-level OTN against the paper's conventions: power-of-two
+/// dimensions (OTN-001) and the layout leaf pitch `w + depth + 1` (OTN-002).
+pub fn lint_otn(net: &Otn) -> Vec<Finding> {
+    let name = format!("({}x{})-OTN", net.rows(), net.cols());
+    lint_otn_shape(&name, net.rows(), net.cols(), net.model().word_bits, net.pitch())
+}
+
+/// The parameter core of [`lint_otc`]: the Θ(log N) decomposition rule
+/// (OTC-001) and the cycle-block pitch convention (OTC-002) on bare shape
+/// parameters.
+pub fn lint_otc_shape(
+    name: &str,
+    side: usize,
+    cycle_len: usize,
+    word_bits: u32,
+    pitch: u64,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // The canonical decomposition is over the *problem size* n = m · L
+    // (the sorting OTC for n keys has m cycles per tree of L BPs each).
+    let n = side * cycle_len;
+    match Otc::dims_for(n) {
+        Ok((m, cycle)) if (m, cycle) == (side, cycle_len) => {}
+        Ok((m, cycle)) => out.push(Finding::new(
+            "OTC-001",
+            name,
+            format!("decomposition ({side} , {cycle_len})"),
+            format!("problem size {n} decomposes as ({m}, {cycle}) cycles of Θ(log N) BPs"),
+            "use Otc::dims_for to split N into m·cycle with cycle = Θ(log N)",
+        )),
+        Err(e) => out.push(Finding::new(
+            "OTC-001",
+            name,
+            format!("problem size {n}"),
+            format!("no valid OTC decomposition: {e}"),
+            "OTC problem sizes must be powers of two, at least 4",
+        )),
+    }
+    let depth = log2_ceil(side as u64);
+    let block = (2 * cycle_len as u64 - 1).max(u64::from(word_bits) + 1);
+    let expected = block + u64::from(depth) + 1;
+    if pitch != expected {
+        out.push(Finding::new(
+            "OTC-002",
+            name,
+            format!("pitch {pitch}"),
+            format!("cycle-block convention requires {expected} λ"),
+            "the cycle pitch is the block side (2L−1 or w+1) plus one track per level",
         ));
     }
     out
@@ -51,40 +112,23 @@ pub fn lint_otn(net: &Otn) -> Vec<Finding> {
 /// follow the cycle-block convention (OTC-002).
 pub fn lint_otc(net: &Otc) -> Vec<Finding> {
     let name = format!("({m}x{m})-OTC (L={l})", m = net.side(), l = net.cycle_len());
-    let mut out = Vec::new();
-    // The canonical decomposition is over the *problem size* n = m · L
-    // (the sorting OTC for n keys has m cycles per tree of L BPs each).
-    let n = net.side() * net.cycle_len();
-    match Otc::dims_for(n) {
-        Ok((m, cycle)) if (m, cycle) == (net.side(), net.cycle_len()) => {}
-        Ok((m, cycle)) => out.push(Finding::new(
-            "OTC-001",
-            &name,
-            format!("decomposition ({} , {})", net.side(), net.cycle_len()),
-            format!("problem size {n} decomposes as ({m}, {cycle}) cycles of Θ(log N) BPs"),
-            "use Otc::dims_for to split N into m·cycle with cycle = Θ(log N)",
-        )),
-        Err(e) => out.push(Finding::new(
-            "OTC-001",
-            &name,
-            format!("problem size {n}"),
-            format!("no valid OTC decomposition: {e}"),
-            "OTC problem sizes must be powers of two, at least 4",
-        )),
+    lint_otc_shape(&name, net.side(), net.cycle_len(), net.model().word_bits, net.pitch())
+}
+
+/// Scans one chip for physically overlapping placed components (GEO-001) —
+/// the geometric core [`lint_layout`] runs on every constructed layout,
+/// callable directly on hand-built chips too.
+pub fn lint_chip_overlap(name: &str, chip: &Chip) -> Vec<Finding> {
+    match chip.find_component_overlap() {
+        Some((a, b)) => vec![Finding::new(
+            "GEO-001",
+            name,
+            format!("components {a} and {b}"),
+            "placed components overlap on the chip".to_string(),
+            "every BP/IP occupies exclusive area in the strip embedding",
+        )],
+        None => Vec::new(),
     }
-    let depth = log2_ceil(net.side() as u64);
-    let block = (2 * net.cycle_len() as u64 - 1).max(u64::from(net.model().word_bits) + 1);
-    let expected = block + u64::from(depth) + 1;
-    if net.pitch() != expected {
-        out.push(Finding::new(
-            "OTC-002",
-            &name,
-            format!("pitch {}", net.pitch()),
-            format!("cycle-block convention requires {expected} λ"),
-            "the cycle pitch is the block side (2L−1 or w+1) plus one track per level",
-        ));
-    }
-    out
 }
 
 /// Cross-checks the constructed layouts for problem size `n` against their
@@ -109,15 +153,7 @@ pub fn lint_layout(n: usize, word_bits: u32) -> Vec<Finding> {
                     "predicted_area and build must stay in lockstep",
                 ));
             }
-            if let Some((a, b)) = layout.chip().find_component_overlap() {
-                out.push(Finding::new(
-                    "GEO-001",
-                    &name,
-                    format!("components {a} and {b}"),
-                    "placed components overlap on the chip".to_string(),
-                    "every BP/IP occupies exclusive area in the strip embedding",
-                ));
-            }
+            out.extend(lint_chip_overlap(&name, layout.chip()));
         }
         Err(e) => out.push(Finding::new(
             "AREA-001",
@@ -145,15 +181,7 @@ pub fn lint_layout(n: usize, word_bits: u32) -> Vec<Finding> {
                     "predicted_area and build must stay in lockstep",
                 ));
             }
-            if let Some((a, b)) = layout.chip().find_component_overlap() {
-                out.push(Finding::new(
-                    "GEO-001",
-                    &name,
-                    format!("components {a} and {b}"),
-                    "placed components overlap on the chip".to_string(),
-                    "cycle blocks and tree IPs occupy exclusive area",
-                ));
-            }
+            out.extend(lint_chip_overlap(&name, layout.chip()));
             // The two crates' decompositions must agree.
             let word_dims = Otc::dims_for(n * n);
             let layout_dims = otc_dims(n * n);

@@ -97,8 +97,19 @@ fn mutation_classes_cover_the_required_matrix() {
     assert_eq!(ids.len(), Mutation::ALL.len(), "expected rules must be distinct");
     // The ids are stable: spelled out here so renaming one breaks loudly.
     let expected: std::collections::BTreeSet<_> =
-        ["TREE-002", "NET-001", "TREE-001", "TREE-003", "NET-005", "NET-002"].into();
+        ["TREE-002", "NET-001", "TREE-001", "TREE-003", "NET-005", "NET-002", "NET-004", "NET-003"]
+            .into();
     assert_eq!(ids, expected);
+}
+
+/// Every rule in the committed catalogue has a firing fixture — no rule
+/// id can be registered without a corruption that provably triggers it.
+#[test]
+fn every_rule_has_a_firing_fixture() {
+    for rule in orthotrees_verify::RULES {
+        let report = orthotrees_verify::fixtures::firing_fixture(rule.id);
+        assert!(report.has(rule.id), "{}: {}", rule.id, report.render_text());
+    }
 }
 
 /// Layout passes: constructed area matches the closed form and nothing
