@@ -25,3 +25,11 @@ cargo run --release -p orthotrees-bench --bin simprof -- --baseline PROF_7.json
 # Bounded recovery soak (fixed seed, outage-dense plan, n = 128): must
 # recover within the pinned attempt budget; see tests/recovery_suite.rs.
 cargo test --release -q -p orthotrees-bench --test recovery_suite -- --ignored ci_bounded_soak
+# Telemetry gate: regenerate the OpenMetrics + orthotrees-telemetry/v1
+# exports (schema-checked in-process before writing) into target/report/,
+# then run the identity/ε-band suite and its release-only ≥1000-problem
+# pipeline sweep; see tests/telemetry_suite.rs.
+cargo run --release -p orthotrees-bench --bin telemetry
+test -s target/report/telemetry.json && test -s target/report/telemetry.om
+cargo test --release -q -p orthotrees-bench --test telemetry_suite
+cargo test --release -q -p orthotrees-bench --test telemetry_suite -- --ignored pipeline_slo_sustains_a_thousand_problems

@@ -1,0 +1,136 @@
+//! Pipeline-SLO experiment: drives `otn::pipeline` with many independent
+//! sorting problems through one network and reports *service-level*
+//! throughput and latency figures from the streaming telemetry bus —
+//! sustained problems/Mτ plus the p50/p90/p99 of per-problem completion
+//! time, read from the in-house quantile sketch rather than a buffered
+//! list of samples.
+//!
+//! The exact per-problem completion times are kept alongside the sketch:
+//! the `TEL-001` verify rule recomputes the exact quantiles from them and
+//! holds every reported sketch quantile inside the sketch's ε rank band.
+//! [`PipelineSlo::telemetry`] also carries the full bus, so callers can
+//! export the run as OpenMetrics text or an `orthotrees-telemetry/v1`
+//! document (the bench report harness writes both to `target/report/`).
+
+use crate::workloads;
+use orthotrees::obs::telemetry::{Telemetry, REPORTED_QUANTILES};
+use orthotrees::otn::pipeline::pipelined_sorts;
+use orthotrees::otn::Otn;
+use orthotrees_vlsi::{BitTime, ModelError};
+
+/// Throughput/latency figures for one pipelined batch, plus the telemetry
+/// bus that metered it.
+#[derive(Clone, Debug)]
+pub struct PipelineSlo {
+    /// Problem size (network side).
+    pub n: usize,
+    /// Number of pipelined problems in the batch.
+    pub problems: usize,
+    /// Single-problem latency through the three-phase pipeline.
+    pub single_latency: BitTime,
+    /// Interval between successive completions.
+    pub issue_interval: BitTime,
+    /// Batch makespan under the §VIII schedule.
+    pub makespan: BitTime,
+    /// Sketch-reported completion-time quantiles `[p50, p90, p99]` in τ.
+    pub quantiles: [u64; 3],
+    /// Exact per-problem completion times, submission order — what the
+    /// `TEL-001` rule recomputes quantiles from.
+    pub completions: Vec<u64>,
+    /// The telemetry bus the batch was recorded into (counters,
+    /// `pipeline.completion_tau` sketch, periodic snapshots).
+    pub telemetry: Telemetry,
+}
+
+impl PipelineSlo {
+    /// Sustained throughput in problems per 10⁶ τ (problems over the
+    /// batch makespan).
+    pub fn problems_per_mtau(&self) -> f64 {
+        if self.makespan == BitTime::ZERO {
+            return 0.0;
+        }
+        self.problems as f64 / self.makespan.as_f64() * 1e6
+    }
+}
+
+/// Runs `problems` seeded sorting problems of size `n` through one OTN
+/// pipeline, metering the batch into a fresh [`Telemetry`] bus (snapshot
+/// interval = the issue interval, so every completion lands in its own
+/// snapshot window).
+///
+/// Deterministic: the same `(n, problems, seed)` triple produces the
+/// same outputs, completion times and sketch state on every run.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] if `problems == 0` or `n` is not a power of
+/// two that the sorting network accepts.
+pub fn pipeline_telemetry(n: usize, problems: usize, seed: u64) -> Result<PipelineSlo, ModelError> {
+    let net = Otn::for_sorting(n)?;
+    let inputs: Vec<Vec<_>> =
+        (0..problems).map(|k| workloads::distinct_words(n, seed.wrapping_add(k as u64))).collect();
+    let out = pipelined_sorts(&net, &inputs)?;
+
+    let mut tel = Telemetry::new(out.issue_interval.get().max(1));
+    out.record_telemetry(&mut tel);
+    let sk = tel.sketch("pipeline.completion_tau").expect("record_telemetry fed the sketch");
+    let quantiles = [
+        sk.quantile(REPORTED_QUANTILES[0].1).unwrap_or(0),
+        sk.quantile(REPORTED_QUANTILES[1].1).unwrap_or(0),
+        sk.quantile(REPORTED_QUANTILES[2].1).unwrap_or(0),
+    ];
+    let completions = out.completion_times().iter().map(|t| t.get()).collect();
+
+    Ok(PipelineSlo {
+        n,
+        problems,
+        single_latency: out.single_latency,
+        issue_interval: out.issue_interval,
+        makespan: out.makespan,
+        quantiles,
+        completions,
+        telemetry: tel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slo_quantiles_are_ordered_and_bounded_by_the_makespan() {
+        let slo = pipeline_telemetry(16, 40, 42).unwrap();
+        let [p50, p90, p99] = slo.quantiles;
+        assert!(p50 <= p90 && p90 <= p99, "{:?}", slo.quantiles);
+        assert!(p50 >= slo.single_latency.get());
+        assert!(p99 <= slo.makespan.get());
+        assert_eq!(slo.completions.len(), 40);
+        assert!(slo.problems_per_mtau() > 0.0);
+    }
+
+    #[test]
+    fn slo_run_is_deterministic() {
+        let a = pipeline_telemetry(16, 24, 7).unwrap();
+        let b = pipeline_telemetry(16, 24, 7).unwrap();
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.quantiles, b.quantiles);
+        assert_eq!(a.telemetry.to_json().render(), b.telemetry.to_json().render());
+    }
+
+    #[test]
+    fn exact_completions_bracket_the_sketch_quantiles() {
+        use orthotrees::obs::telemetry::within_rank_band;
+        let slo = pipeline_telemetry(32, 64, 3).unwrap();
+        let mut sorted = slo.completions.clone();
+        sorted.sort_unstable();
+        let eps = slo.telemetry.epsilon();
+        for (&(_, q), &v) in REPORTED_QUANTILES.iter().zip(&slo.quantiles) {
+            assert!(within_rank_band(&sorted, q, eps, v), "q={q} v={v} outside ε band");
+        }
+    }
+
+    #[test]
+    fn rejects_an_empty_batch() {
+        assert!(pipeline_telemetry(16, 0, 1).is_err());
+    }
+}

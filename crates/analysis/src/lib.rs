@@ -25,12 +25,18 @@
 //! * [`profreport`] — time-resolved windowed profiles (per-window
 //!   event/traffic/charge tables, hot spots, calendar-depth footprint)
 //!   from the `obs::profile` profiler;
+//! * [`experiments`] — the pipeline-SLO experiment: many pipelined
+//!   sorting problems metered through the `obs::telemetry` streaming
+//!   bus, reporting problems/Mτ and p50/p90/p99 completion quantiles;
+//! * [`telreport`] — the telemetry section of the full report, rendered
+//!   from [`experiments`] runs;
 //! * [`csv`] — machine-readable export of every sweep and table.
 //!
 //! [`Complexity`]: orthotrees_vlsi::Complexity
 
 pub mod critpath;
 pub mod csv;
+pub mod experiments;
 pub mod faults;
 pub mod fit;
 pub mod obsreport;
@@ -39,6 +45,7 @@ pub mod recovery;
 pub mod report;
 pub mod sweep;
 pub mod tables;
+pub mod telreport;
 pub mod workloads;
 
 pub use faults::{FaultPoint, FaultSweep};

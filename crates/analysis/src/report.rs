@@ -216,6 +216,8 @@ pub fn full_report(cfg: &ReportConfig) -> String {
     out.push_str(&crate::profreport::profile_report(obs_n, cfg.seed));
     out.push('\n');
     out.push_str(&crate::recovery::recovery_report_section(cfg.seed));
+    out.push('\n');
+    out.push_str(&crate::telreport::telemetry_report_section(cfg.seed));
     out
 }
 

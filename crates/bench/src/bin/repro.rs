@@ -2,12 +2,13 @@
 //! crossovers and the observability profile. This is the report
 //! EXPERIMENTS.md records. Also writes each table as CSV under
 //! `target/report/`, the machine-readable benchmark summary as
-//! `BENCH_2.json`, and a Chrome-trace of the instrumented `SORT-OTN` run
-//! as `target/report/sort_otn.trace.json` (open in Perfetto).
+//! `BENCH_2.json`, a Chrome-trace of the instrumented `SORT-OTN` run
+//! as `target/report/sort_otn.trace.json` (open in Perfetto), and the
+//! schema-checked telemetry exports (`telemetry.json` / `telemetry.om`).
 
 use orthotrees::obs::chrome::chrome_trace_with_flows;
 use orthotrees_analysis::{csv, obsreport, report};
-use orthotrees_bench::{preset_from_env, summary};
+use orthotrees_bench::{export, preset_from_env, summary};
 use std::fs;
 use std::path::Path;
 
@@ -39,7 +40,23 @@ fn main() {
         if let Err(e) = fs::write(&trace, chrome_trace_with_flows(&rec).render()) {
             eprintln!("warning: could not write {}: {e}", trace.display());
         }
-        println!("\nCSV series and Perfetto trace written to {}", dir.display());
+        // Telemetry exports of the stock pipeline-SLO batch, schema-checked
+        // in-process (see the `telemetry` binary for the standalone gate).
+        match export::telemetry_artifacts(64, 256, cfg.seed) {
+            Ok(art) => {
+                for (name, text) in
+                    [("telemetry.json", &art.json), ("telemetry.om", &art.open_metrics)]
+                {
+                    let path = dir.join(name);
+                    if let Err(e) = fs::write(&path, text) {
+                        eprintln!("warning: could not write {}: {e}", path.display());
+                    }
+                }
+            }
+            Err(errs) => eprintln!("warning: telemetry export failed: {errs:?}"),
+        }
+
+        println!("\nCSV series, Perfetto trace and telemetry exports written to {}", dir.display());
     }
 
     let bench = summary::bench_summary(preset.name(), &cfg);

@@ -3,12 +3,13 @@
 //! Compares two `orthotrees-bench/v1` summary documents (a committed
 //! baseline such as `BENCH_2.json` and a freshly regenerated run) sample
 //! by sample: tables are matched by id, rows by `(network, problem)`,
-//! samples by `n`, and the phase and recovery sections by workload. Each
-//! matched metric is classified against a *relative* threshold —
-//! [`Thresholds::time_rel`] for `time_bits`/`completion_bits`,
-//! [`Thresholds::at2_rel`] for the noisier `at2` and the recovery
-//! `overhead_pct` — and the verdicts are rendered as text or as an
-//! `orthotrees-benchdiff/v1` JSON document.
+//! samples by `n`, and the phase, recovery and telemetry sections by
+//! workload. Each matched metric is classified against a *relative*
+//! threshold — [`Thresholds::time_rel`] for `time_bits` /
+//! `completion_bits` / the telemetry completion quantiles,
+//! [`Thresholds::at2_rel`] for the noisier `at2`, the recovery
+//! `overhead_pct` and the telemetry throughput — and the verdicts are
+//! rendered as text or as an `orthotrees-benchdiff/v1` JSON document.
 //!
 //! The simulators are deterministic, so on an honest reproduction every
 //! entry is [`Status::Ok`] with a relative change of exactly zero; the
@@ -88,6 +89,7 @@ pub struct DiffEntry {
 }
 
 impl DiffEntry {
+    /// Classifies a cost metric (bigger is worse) against `threshold`.
     fn classify(&mut self, threshold: f64) {
         if self.status == Status::Missing {
             return;
@@ -108,6 +110,17 @@ impl DiffEntry {
         } else {
             Status::Ok
         };
+    }
+
+    /// Classifies a rate metric (bigger is better): same relative change,
+    /// opposite verdict polarity.
+    fn classify_rate(&mut self, threshold: f64) {
+        self.classify(threshold);
+        match self.status {
+            Status::Regressed => self.status = Status::Improved,
+            Status::Improved => self.status = Status::Regressed,
+            _ => {}
+        }
     }
 }
 
@@ -331,6 +344,52 @@ pub fn diff(baseline: &Json, current: &Json, thresholds: &Thresholds) -> DiffRep
             report.entries.push(e);
         }
     }
+
+    // Telemetry section: pipeline-SLO figures per workload. The sketch
+    // quantiles and the makespan are exact bit-times, so they get the
+    // tight time threshold; the derived problems/Mτ rate gets the looser
+    // one (it divides two retunable quantities).
+    let telemetry = baseline.get("telemetry").and_then(Json::as_arr).unwrap_or(&empty);
+    for t in telemetry {
+        let workload = t.get("workload").and_then(Json::as_str).unwrap_or("?");
+        let n = t.get("n").and_then(Json::as_u64).unwrap_or(0);
+        let cur_t = current.get("telemetry").and_then(Json::as_arr).and_then(|ts| {
+            ts.iter().find(|c| {
+                c.get("workload").and_then(Json::as_str) == Some(workload)
+                    && c.get("n").and_then(Json::as_u64) == Some(n)
+            })
+        });
+        for (metric, thr) in [
+            ("makespan_bits", thresholds.time_rel),
+            ("p50_bits", thresholds.time_rel),
+            ("p90_bits", thresholds.time_rel),
+            ("p99_bits", thresholds.time_rel),
+            ("problems_per_mtau", thresholds.at2_rel),
+        ] {
+            let Some(base_v) = sample_value(t, metric) else { continue };
+            let mut e = DiffEntry {
+                table: "telemetry".to_string(),
+                network: workload.to_string(),
+                problem: String::new(),
+                n,
+                metric,
+                baseline: base_v,
+                current: 0.0,
+                rel: 0.0,
+                status: Status::Missing,
+            };
+            if let Some(cur_v) = cur_t.and_then(|c| sample_value(c, metric)) {
+                e.current = cur_v;
+                e.status = Status::Ok;
+                if metric == "problems_per_mtau" {
+                    e.classify_rate(thr);
+                } else {
+                    e.classify(thr);
+                }
+            }
+            report.entries.push(e);
+        }
+    }
     report
 }
 
@@ -348,10 +407,18 @@ mod tests {
                 "recovery":[{{"workload":"SUM-OUTAGE","n":16,"attempts":2,"rollbacks":1,
                 "checkpoints":4,"replayed_events":50,"replayed_bits":25,
                 "completion_bits":{time},"overhead_pct":{overhead},
-                "final_checkpoint_events":16}}]}}"#,
+                "final_checkpoint_events":16}}],
+                "telemetry":[{{"workload":"PIPELINE-OTN","n":16,"problems":64,
+                "single_latency_bits":{time},"issue_interval_bits":10,
+                "makespan_bits":{makespan},"problems_per_mtau":{rate},
+                "p50_bits":{p50},"p90_bits":{p90},"p99_bits":{makespan}}}]}}"#,
             time = time,
             at2 = time * time * 100,
             overhead = overhead,
+            makespan = time + 630,
+            p50 = time + 320,
+            p90 = time + 570,
+            rate = 64.0 * 1e6 / (time + 630) as f64,
         );
         Json::parse(&text).unwrap()
     }
@@ -366,9 +433,10 @@ mod tests {
         let report = diff(&doc, &doc, &Thresholds::default());
         assert!(report.is_clean());
         assert!(report.entries.iter().all(|e| e.status == Status::Ok && e.rel == 0.0));
-        // time + at2 for the one sample, the phase completion, and the
-        // recovery entry's completion + overhead.
-        assert_eq!(report.entries.len(), 5);
+        // time + at2 for the one sample, the phase completion, the
+        // recovery entry's completion + overhead, and the telemetry
+        // entry's makespan + three quantiles + rate.
+        assert_eq!(report.entries.len(), 10);
     }
 
     #[test]
@@ -399,6 +467,48 @@ mod tests {
             report.entries
         );
         assert_eq!(report.with_status(Status::Missing).count(), 2);
+    }
+
+    #[test]
+    fn a_telemetry_quantile_regression_fails() {
+        let base = fixture(1000);
+        let mut cur = fixture(1000);
+        if let Json::Obj(pairs) = &mut cur {
+            let tel = pairs.iter_mut().find(|(k, _)| k == "telemetry").unwrap();
+            if let Json::Arr(entries) = &mut tel.1 {
+                entries[0].set("p99_bits", Json::u64(1750)); // +7.4% over 1630
+            }
+        }
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        let regressed: Vec<_> = report.with_status(Status::Regressed).collect();
+        assert!(
+            regressed.iter().any(|e| e.table == "telemetry" && e.metric == "p99_bits"),
+            "{regressed:?}"
+        );
+    }
+
+    #[test]
+    fn a_throughput_drop_is_regressed_not_improved() {
+        let base = fixture(1000);
+        let mut cur = fixture(1000);
+        if let Json::Obj(pairs) = &mut cur {
+            let tel = pairs.iter_mut().find(|(k, _)| k == "telemetry").unwrap();
+            if let Json::Arr(entries) = &mut tel.1 {
+                // −15% throughput: past the 10% rate threshold, and in the
+                // direction that must read as a regression.
+                let rate = 0.85 * 64.0 * 1e6 / 1630.0;
+                entries[0].set("problems_per_mtau", Json::f64(rate));
+            }
+        }
+        let report = diff(&base, &cur, &Thresholds::default());
+        assert!(!report.is_clean());
+        let regressed: Vec<_> = report.with_status(Status::Regressed).collect();
+        assert!(
+            regressed.iter().any(|e| e.table == "telemetry" && e.metric == "problems_per_mtau"),
+            "{regressed:?}"
+        );
+        assert_eq!(report.with_status(Status::Improved).count(), 0);
     }
 
     #[test]

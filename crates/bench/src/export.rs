@@ -1,0 +1,136 @@
+//! Telemetry artifact export — the `telemetry` binary's engine.
+//!
+//! Renders one pipeline-SLO run's telemetry bus as the two artifacts CI
+//! archives under `target/report/`:
+//!
+//! * `telemetry.json` — the `orthotrees-telemetry/v1` document
+//!   (counters, sketch quantile summaries, snapshot series);
+//! * `telemetry.om` — the same registry in OpenMetrics text exposition
+//!   format (counters as `_total`, sketches as `summary` families).
+//!
+//! Both are **schema-checked in-process before they are written**: the
+//! JSON must round-trip through the parser and pass
+//! [`orthotrees::obs::telemetry::schema_violations`]; the OpenMetrics
+//! text must carry every reported quantile of the completion sketch and
+//! end with the `# EOF` terminator. A violation is a hard error — CI
+//! never archives an artifact its own reader would reject.
+
+use orthotrees::obs::json::Json;
+use orthotrees::obs::telemetry::{self, REPORTED_QUANTILES};
+use orthotrees_analysis::experiments::{pipeline_telemetry, PipelineSlo};
+
+/// The two rendered artifacts plus the run they were read from.
+#[derive(Clone, Debug)]
+pub struct TelemetryArtifacts {
+    /// The SLO run the bus metered.
+    pub slo: PipelineSlo,
+    /// `orthotrees-telemetry/v1` JSON text (newline-terminated).
+    pub json: String,
+    /// OpenMetrics text exposition (ends with `# EOF`).
+    pub open_metrics: String,
+}
+
+impl TelemetryArtifacts {
+    /// One human line summarizing the run: throughput and the sketch
+    /// completion quantiles.
+    pub fn summary_line(&self) -> String {
+        let [p50, p90, p99] = self.slo.quantiles;
+        format!(
+            "PIPELINE-OTN n={} problems={}: {:.2} problems/Mτ, \
+             completion p50={p50} p90={p90} p99={p99} τ (makespan {} τ)",
+            self.slo.n,
+            self.slo.problems,
+            self.slo.problems_per_mtau(),
+            self.slo.makespan.get(),
+        )
+    }
+}
+
+/// Checks the rendered OpenMetrics text: `# EOF` terminated, and the
+/// pipeline completion sketch exported as a summary family with every
+/// reported quantile plus `_count`/`_sum`.
+fn open_metrics_violations(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    if !text.ends_with("# EOF\n") {
+        errs.push("missing # EOF terminator".to_string());
+    }
+    if !text.contains("# TYPE pipeline_completion_tau summary") {
+        errs.push("completion sketch not exported as a summary family".to_string());
+    }
+    for (_, q) in REPORTED_QUANTILES {
+        let line = format!("pipeline_completion_tau{{quantile=\"{q}\"}}");
+        if !text.contains(&line) {
+            errs.push(format!("missing quantile sample {line}"));
+        }
+    }
+    for suffix in ["_count", "_sum"] {
+        if !text.contains(&format!("pipeline_completion_tau{suffix}")) {
+            errs.push(format!("missing pipeline_completion_tau{suffix} sample"));
+        }
+    }
+    errs
+}
+
+/// Runs one pipelined sorting batch and renders its telemetry bus as the
+/// two export artifacts, schema-checking both in-process.
+///
+/// # Errors
+///
+/// Returns the collected violations if the run fails or either rendered
+/// artifact fails its own schema check.
+pub fn telemetry_artifacts(
+    n: usize,
+    problems: usize,
+    seed: u64,
+) -> Result<TelemetryArtifacts, Vec<String>> {
+    let slo =
+        pipeline_telemetry(n, problems, seed).map_err(|e| vec![format!("run failed: {e}")])?;
+
+    let json = slo.telemetry.to_json().render() + "\n";
+    let mut errs = match Json::parse(&json) {
+        Ok(doc) => telemetry::schema_violations(&doc),
+        Err(e) => vec![format!("emitted JSON does not parse: {e}")],
+    };
+
+    let open_metrics = slo.telemetry.open_metrics();
+    errs.extend(open_metrics_violations(&open_metrics));
+
+    if errs.is_empty() {
+        Ok(TelemetryArtifacts { slo, json, open_metrics })
+    } else {
+        Err(errs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_pass_their_own_schema_checks() {
+        let art = telemetry_artifacts(16, 32, 42).expect("clean artifacts");
+        assert!(art.json.contains("orthotrees-telemetry/v1"));
+        assert!(art.open_metrics.ends_with("# EOF\n"));
+        assert!(art.summary_line().contains("p99="));
+    }
+
+    #[test]
+    fn artifacts_are_deterministic() {
+        let a = telemetry_artifacts(16, 32, 7).unwrap();
+        let b = telemetry_artifacts(16, 32, 7).unwrap();
+        assert_eq!(a.json, b.json);
+        assert_eq!(a.open_metrics, b.open_metrics);
+    }
+
+    #[test]
+    fn a_gutted_exposition_is_rejected() {
+        let errs = open_metrics_violations("# TYPE engine_delivered counter\n# EOF\n");
+        assert!(errs.iter().any(|e| e.contains("summary family")), "{errs:?}");
+    }
+
+    #[test]
+    fn an_empty_batch_reports_the_run_failure() {
+        let errs = telemetry_artifacts(16, 0, 1).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("run failed")), "{errs:?}");
+    }
+}

@@ -17,6 +17,7 @@
 use orthotrees_analysis::report::ReportConfig;
 
 pub mod compare;
+pub mod export;
 pub mod profile;
 pub mod summary;
 

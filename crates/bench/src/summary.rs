@@ -12,7 +12,10 @@
 //!   utilization, calendar depth);
 //! * `recovery` — supervised crash-recovery cost, one entry per
 //!   workload (engine outage, word-level soak): attempts, rollbacks,
-//!   replayed events/bit-time and the checkpoint overhead percentage.
+//!   replayed events/bit-time and the checkpoint overhead percentage;
+//! * `telemetry` — pipeline-SLO figures, one entry per pipelined
+//!   sorting batch: sustained problems/Mτ and the sketch-reported
+//!   p50/p90/p99 per-problem completion quantiles.
 //!
 //! Built on the dependency-free JSON support in `orthotrees-obs`, so the
 //! emitted file is parseable (and schema-checkable) by the same code that
@@ -21,6 +24,7 @@
 use orthotrees::obs::json::Json;
 use orthotrees::obs::Recorder;
 use orthotrees::BitTime;
+use orthotrees_analysis::experiments::{self, PipelineSlo};
 use orthotrees_analysis::obsreport;
 use orthotrees_analysis::recovery;
 use orthotrees_analysis::report::{self, ReportConfig};
@@ -107,6 +111,23 @@ fn recovery_json(workload: &str, n: usize, report: &RecoveryReport) -> Json {
     )
 }
 
+/// One `telemetry` entry: a pipelined batch's throughput and
+/// completion-time quantiles as reported by the streaming sketch.
+fn telemetry_json(slo: &PipelineSlo) -> Json {
+    Json::obj([
+        ("workload", Json::str("PIPELINE-OTN")),
+        ("n", Json::u64(slo.n as u64)),
+        ("problems", Json::u64(slo.problems as u64)),
+        ("single_latency_bits", Json::u64(slo.single_latency.get())),
+        ("issue_interval_bits", Json::u64(slo.issue_interval.get())),
+        ("makespan_bits", Json::u64(slo.makespan.get())),
+        ("problems_per_mtau", Json::f64(slo.problems_per_mtau())),
+        ("p50_bits", Json::u64(slo.quantiles[0])),
+        ("p90_bits", Json::u64(slo.quantiles[1])),
+        ("p99_bits", Json::u64(slo.quantiles[2])),
+    ])
+}
+
 /// Builds the whole benchmark summary document for one report run.
 pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
     let tables = [
@@ -143,6 +164,15 @@ pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
         recovery_entries.push(recovery_json("SOAK-OTN", 16, &r));
     }
 
+    // Pipeline-SLO figures, deterministic in the seed like the recovery
+    // entries; a failed batch omits its entry (benchdiff reports Missing).
+    let mut telemetry_entries = Vec::new();
+    for (n, problems) in [(16usize, 64usize), (64, 64)] {
+        if let Ok(slo) = experiments::pipeline_telemetry(n, problems, cfg.seed) {
+            telemetry_entries.push(telemetry_json(&slo));
+        }
+    }
+
     Json::obj([
         ("schema", Json::str(SCHEMA)),
         ("preset", Json::str(preset_name)),
@@ -151,6 +181,7 @@ pub fn bench_summary(preset_name: &str, cfg: &ReportConfig) -> Json {
         ("phases", Json::arr(phases)),
         ("links", links),
         ("recovery", Json::arr(recovery_entries)),
+        ("telemetry", Json::arr(telemetry_entries)),
     ])
 }
 
@@ -260,6 +291,42 @@ pub fn schema_violations(doc: &Json) -> Vec<String> {
             }
         }
     }
+
+    match doc.get("telemetry").and_then(Json::as_arr) {
+        None => errs.push("telemetry missing".to_string()),
+        Some(entries) => {
+            for e in entries {
+                let fields = [
+                    "n",
+                    "problems",
+                    "single_latency_bits",
+                    "issue_interval_bits",
+                    "makespan_bits",
+                    "p50_bits",
+                    "p90_bits",
+                    "p99_bits",
+                ]
+                .map(|k| e.get(k).and_then(Json::as_u64));
+                let well_formed = e.get("workload").and_then(Json::as_str).is_some()
+                    && fields.iter().all(Option::is_some)
+                    && e.get("problems_per_mtau").and_then(Json::as_f64).is_some();
+                if !well_formed {
+                    errs.push("malformed telemetry entry".to_string());
+                    continue;
+                }
+                let [_, _, latency, _, makespan, p50, p90, p99] = fields.map(Option::unwrap);
+                if !(p50 <= p90 && p90 <= p99) {
+                    errs.push(format!("telemetry quantiles not monotone: {p50} {p90} {p99}"));
+                }
+                if p99 > makespan || p50 < latency {
+                    errs.push(format!(
+                        "telemetry quantiles escape [single_latency, makespan]: \
+                         {p50}..{p99} vs [{latency}, {makespan}]"
+                    ));
+                }
+            }
+        }
+    }
     errs
 }
 
@@ -330,6 +397,7 @@ mod tests {
         assert!(errs.iter().any(|e| e.contains("seed")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("tables")), "{errs:?}");
         assert!(errs.iter().any(|e| e.contains("recovery")), "{errs:?}");
+        assert!(errs.iter().any(|e| e.contains("telemetry")), "{errs:?}");
     }
 
     #[test]
@@ -344,5 +412,36 @@ mod tests {
         .unwrap();
         let errs = schema_violations(&doc);
         assert!(errs.iter().any(|e| e.contains("rollbacks")), "{errs:?}");
+    }
+
+    #[test]
+    fn summary_telemetry_section_covers_both_pipeline_sizes() {
+        let doc = bench_summary("quick", &tiny());
+        let entries = doc.get("telemetry").and_then(Json::as_arr).unwrap();
+        let ns: Vec<u64> =
+            entries.iter().filter_map(|e| e.get("n").and_then(Json::as_u64)).collect();
+        assert_eq!(ns, [16, 64]);
+        for e in entries {
+            let q = ["p50_bits", "p90_bits", "p99_bits"]
+                .map(|k| e.get(k).and_then(Json::as_u64).unwrap());
+            assert!(q[0] <= q[1] && q[1] <= q[2], "unordered quantiles: {}", e.render());
+            assert!(e.get("problems_per_mtau").and_then(Json::as_f64).unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn schema_check_flags_unordered_telemetry_quantiles() {
+        let doc = Json::parse(
+            r#"{"schema":"orthotrees-bench/v1","preset":"quick","seed":1,
+                "tables":[],"phases":[],"links":{"active_links":1},
+                "recovery":[],
+                "telemetry":[{"workload":"PIPELINE-OTN","n":16,"problems":8,
+                "single_latency_bits":100,"issue_interval_bits":10,
+                "makespan_bits":170,"problems_per_mtau":1.0,
+                "p50_bits":160,"p90_bits":140,"p99_bits":170}]}"#,
+        )
+        .unwrap();
+        let errs = schema_violations(&doc);
+        assert!(errs.iter().any(|e| e.contains("monotone")), "{errs:?}");
     }
 }

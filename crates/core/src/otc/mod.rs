@@ -25,6 +25,7 @@ pub mod sort;
 use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
+use orthotrees_obs::telemetry::Telemetry;
 use orthotrees_obs::{causal::ReachCell, Recorder};
 use orthotrees_vlsi::{log2_ceil, log2_floor, BitTime, Clock, CostKind, CostModel, ModelError};
 
@@ -120,6 +121,8 @@ pub struct Otc {
     /// Installed observability recorder; `None` keeps every primitive on
     /// the exact unrecorded path (same contract as `fault`).
     recorder: Option<Recorder>,
+    /// Installed streaming telemetry bus; same contract as `recorder`.
+    telemetry: Option<Telemetry>,
     /// How the per-tree independent gather of each primitive executes.
     parallel: ParallelPolicy,
 }
@@ -170,6 +173,7 @@ impl Otc {
             col_roots: vec![vec![None; cycle]; m],
             fault: None,
             recorder: None,
+            telemetry: None,
             parallel: ParallelPolicy::default(),
         })
     }
@@ -346,6 +350,11 @@ impl Otc {
     /// decomposition `parts` (see [`crate::attribution`]).
     fn seg_charge(&mut self, expected: BitTime, parts: &[crate::attribution::Part]) {
         crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, expected, parts);
+        if let Some(tel) = &mut self.telemetry {
+            tel.count("otc.charges", 1);
+            tel.observe("otc.charge_tau", expected.get());
+            tel.tick(self.clock.now());
+        }
     }
 
     fn phase_cost(&self, cost: PhaseCost) -> BitTime {
@@ -377,6 +386,32 @@ impl Otc {
     /// Removes and returns the installed recorder (export after a run).
     pub fn take_recorder(&mut self) -> Option<Recorder> {
         self.recorder.take()
+    }
+
+    /// Installs a streaming [`Telemetry`] bus: every subsequent clock
+    /// charge is counted (`otc.charges`), its magnitude fed to the
+    /// `otc.charge_tau` quantile sketch, and periodic counter snapshots
+    /// are cut on the simulated clock. Metering changes no simulated bit,
+    /// time, or output (bit-identity, enforced by the telemetry suite).
+    pub fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The installed telemetry bus, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the installed telemetry bus (algorithms fold
+    /// their own domain counters into the export through this).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Removes and returns the installed telemetry bus (export after a
+    /// run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
     }
 
     /// Opens a named phase span at the current simulated time (no-op
@@ -508,7 +543,7 @@ impl Otc {
         let t = self.model.primitive_cost(kind, self.m, self.pitch, self.cycle);
         let parts =
             crate::attribution::primitive_parts(&self.model, kind, self.m, self.pitch, self.cycle);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
+        self.seg_charge(t, &parts);
         let stats = self.clock.stats_mut();
         match kind {
             CostKind::Broadcast | CostKind::StreamBroadcast => stats.broadcasts += 1,
@@ -692,12 +727,7 @@ impl Otc {
     fn charge_compute(&mut self, name: &str, t: BitTime) {
         let spec = primitive::spec_for(name);
         self.begin_phase(spec.name);
-        crate::attribution::seg_charge(
-            &mut self.clock,
-            &mut self.recorder,
-            t,
-            &crate::attribution::compute_parts(t),
-        );
+        self.seg_charge(t, &crate::attribution::compute_parts(t));
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }

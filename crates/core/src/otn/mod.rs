@@ -28,6 +28,7 @@ use crate::grid::Grid;
 use crate::primitive::{self, Acc, ParallelPolicy, PrimitiveSpec};
 use crate::resilience::{self, FaultPlan, FaultReport, FaultState, FaultStats};
 use crate::word::Word;
+use orthotrees_obs::telemetry::Telemetry;
 use orthotrees_obs::{causal::ReachCell, Recorder};
 use orthotrees_vlsi::{log2_ceil, BitTime, Clock, CostKind, CostModel, ModelError};
 
@@ -144,6 +145,8 @@ pub struct Otn {
     /// primitive free of recording code. Recording never changes a
     /// simulated bit, time, or output.
     recorder: Option<Recorder>,
+    /// Installed streaming telemetry bus; same contract as `recorder`.
+    telemetry: Option<Telemetry>,
     /// How the per-tree independent gather of each primitive executes.
     parallel: ParallelPolicy,
 }
@@ -174,6 +177,7 @@ impl Otn {
             col_roots: vec![None; cols],
             fault: None,
             recorder: None,
+            telemetry: None,
             parallel: ParallelPolicy::default(),
         })
     }
@@ -375,6 +379,11 @@ impl Otn {
     /// decomposition `parts` (see [`crate::attribution`]).
     pub(crate) fn seg_charge(&mut self, expected: BitTime, parts: &[crate::attribution::Part]) {
         crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, expected, parts);
+        if let Some(tel) = &mut self.telemetry {
+            tel.count("otn.charges", 1);
+            tel.observe("otn.charge_tau", expected.get());
+            tel.tick(self.clock.now());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -399,6 +408,32 @@ impl Otn {
     /// Removes and returns the installed recorder (export after a run).
     pub fn take_recorder(&mut self) -> Option<Recorder> {
         self.recorder.take()
+    }
+
+    /// Installs a streaming [`Telemetry`] bus: every subsequent clock
+    /// charge is counted (`otn.charges`), its magnitude fed to the
+    /// `otn.charge_tau` quantile sketch, and periodic counter snapshots
+    /// are cut on the simulated clock. Metering changes no simulated bit,
+    /// time, or output (bit-identity, enforced by the telemetry suite).
+    pub fn install_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The installed telemetry bus, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the installed telemetry bus (algorithms fold
+    /// their own domain counters into the export through this).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Removes and returns the installed telemetry bus (export after a
+    /// run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
     }
 
     /// Opens a named phase span at the current simulated time (no-op
@@ -507,12 +542,7 @@ impl Otn {
             // slowdown is visible in the time-attribution table; causally
             // it is pure waiting (retransmission rounds / detour latency).
             self.begin_phase(primitive::spec_for("FAULT-OVERHEAD").name);
-            crate::attribution::seg_charge(
-                &mut self.clock,
-                &mut self.recorder,
-                extra,
-                &crate::attribution::wait_parts(extra),
-            );
+            self.seg_charge(extra, &crate::attribution::wait_parts(extra));
             self.end_phase();
         }
         if let Some(rec) = &mut self.recorder {
@@ -540,7 +570,7 @@ impl Otn {
         let kind = spec.cost.unwrap_or_else(|| panic!("{} declares no cost kind", spec.name));
         let t = self.model.primitive_cost(kind, leaves, self.pitch, 1);
         let parts = crate::attribution::primitive_parts(&self.model, kind, leaves, self.pitch, 1);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, t, &parts);
+        self.seg_charge(t, &parts);
         let stats = self.clock.stats_mut();
         match kind {
             CostKind::Broadcast | CostKind::StreamBroadcast => stats.broadcasts += 1,
@@ -714,12 +744,7 @@ impl Otn {
     fn charge_compute(&mut self, name: &str, t: BitTime) {
         let spec = primitive::spec_for(name);
         self.begin_phase(spec.name);
-        crate::attribution::seg_charge(
-            &mut self.clock,
-            &mut self.recorder,
-            t,
-            &crate::attribution::compute_parts(t),
-        );
+        self.seg_charge(t, &crate::attribution::compute_parts(t));
         self.end_phase();
         self.clock.stats_mut().leaf_ops += 1;
     }
@@ -994,7 +1019,7 @@ impl Otn {
         ));
         parts.extend(crate::attribution::compute_parts(extra_t));
         self.begin_phase(primitive::spec_for("PAIRWISE").name);
-        crate::attribution::seg_charge(&mut self.clock, &mut self.recorder, cost, &parts);
+        self.seg_charge(cost, &parts);
         self.end_phase();
         let stats = self.clock.stats_mut();
         stats.sends += 1;

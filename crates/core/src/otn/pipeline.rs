@@ -18,6 +18,7 @@
 use super::sort::{sort, SortOutcome};
 use super::Otn;
 use crate::word::Word;
+use orthotrees_obs::telemetry::Telemetry;
 use orthotrees_vlsi::{BitTime, ModelError};
 
 /// Result of a pipelined batch of sorting problems.
@@ -42,6 +43,33 @@ impl PipelineOutcome {
     /// Effective per-problem time under pipelining (`makespan / k`).
     pub fn per_problem_time(&self) -> f64 {
         self.makespan.as_f64() / self.outputs.len() as f64
+    }
+
+    /// Completion time of problem `i` under the §VIII schedule:
+    /// `single_latency + i · issue_interval` (problem 0 completes at the
+    /// single-problem latency, each successor one interval later).
+    pub fn completion_time(&self, i: usize) -> BitTime {
+        self.single_latency + self.issue_interval * i as u64
+    }
+
+    /// Every problem's completion time, in submission order.
+    pub fn completion_times(&self) -> Vec<BitTime> {
+        (0..self.outputs.len()).map(|i| self.completion_time(i)).collect()
+    }
+
+    /// Feeds the batch into a streaming [`Telemetry`] bus: counts the
+    /// problems (`pipeline.problems`), feeds every per-problem completion
+    /// time into the `pipeline.completion_tau` quantile sketch, and cuts
+    /// a counter snapshot at each completion. The `TEL-001` verify rule
+    /// holds the sketch's reported quantiles to the exact quantiles
+    /// recomputed from [`completion_times`](Self::completion_times).
+    pub fn record_telemetry(&self, tel: &mut Telemetry) {
+        for i in 0..self.outputs.len() {
+            let t = self.completion_time(i);
+            tel.count("pipeline.problems", 1);
+            tel.observe("pipeline.completion_tau", t.get());
+            tel.tick(t);
+        }
     }
 }
 
@@ -118,6 +146,20 @@ mod tests {
         let out = pipelined_sorts(&net, &problems(8, 1)).unwrap();
         assert_eq!(out.makespan, out.single_latency);
         assert_eq!(out.makespan, out.makespan_unpipelined);
+    }
+
+    #[test]
+    fn telemetry_records_one_completion_per_problem() {
+        let net = Otn::for_sorting(16).unwrap();
+        let out = pipelined_sorts(&net, &problems(16, 7)).unwrap();
+        let mut tel = Telemetry::new(64);
+        out.record_telemetry(&mut tel);
+        assert_eq!(tel.counter("pipeline.problems"), 7);
+        let sk = tel.sketch("pipeline.completion_tau").expect("completion sketch fed");
+        assert_eq!(sk.count(), 7);
+        assert_eq!(sk.min(), out.single_latency.get(), "first completion is the latency");
+        assert_eq!(sk.max(), out.completion_time(6).get(), "last completion closes the batch");
+        assert_eq!(out.completion_time(out.outputs.len() - 1), out.makespan);
     }
 
     #[test]

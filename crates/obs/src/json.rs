@@ -80,6 +80,18 @@ impl Json {
         }
     }
 
+    /// Replaces member `key` of an object (appended if absent). A no-op
+    /// on other variants — tooling that tampers documents (verify
+    /// fixtures) checks the variant first by construction.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(pairs) = self {
+            match pairs.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => pairs.push((key.to_string(), value)),
+            }
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

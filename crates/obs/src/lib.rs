@@ -29,6 +29,12 @@
 //! dependency-free JSON value used by every machine-readable dump
 //! (`BENCH_*.json`).
 //!
+//! Streaming instruments: [`telemetry`] is the live metrics bus —
+//! counters, gauges and ε-bounded quantile sketches with an OpenMetrics
+//! exporter — and [`flight`] is the bounded crash flight recorder that
+//! dumps a post-mortem document on failure. Both attach to the engine
+//! under the same Option-gated zero-overhead contract as the `Recorder`.
+//!
 //! # Example
 //!
 //! ```
@@ -49,8 +55,10 @@
 
 pub mod causal;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod profile;
+pub mod telemetry;
 
 use orthotrees_vlsi::BitTime;
 use std::collections::BTreeMap;
@@ -716,6 +724,44 @@ mod tests {
         let mut h = Histogram::new();
         h.observe(u64::MAX);
         assert_eq!(h.percentile(50.0), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_single_saturated_bucket_is_flat() {
+        // Every sample in one bucket: all percentiles (0, 50, 100) must
+        // agree, whether that bucket is the zero bucket, an interior one,
+        // or the extreme top bucket.
+        for v in [0u64, 700, u64::MAX] {
+            let mut h = Histogram::new();
+            for _ in 0..1000 {
+                h.observe(v);
+            }
+            assert_eq!(h.count(), 1000);
+            assert_eq!(h.percentile(0.0), h.percentile(100.0), "flat distribution, v={v}");
+            assert_eq!(h.percentile(100.0), v, "p100 is exactly max, v={v}");
+            assert!(h.percentile(50.0) <= v, "upper-bound estimate capped at max, v={v}");
+            assert_eq!(h.nonzero_buckets().len(), 1, "single saturated bucket, v={v}");
+        }
+    }
+
+    #[test]
+    fn percentile_p0_and_p100_bracket_every_estimate() {
+        // p0 ≤ p ≤ p100 for any p: the estimate is monotone in p even
+        // across bucket boundaries and NaN-free at the clamp edges.
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 31, 32, 900, 4096] {
+            h.observe(v);
+        }
+        let p0 = h.percentile(0.0);
+        let p100 = h.percentile(100.0);
+        assert_eq!(p100, h.max());
+        let mut prev = p0;
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let cur = h.percentile(p);
+            assert!(cur >= prev, "percentile must be monotone: p{p} = {cur} < {prev}");
+            prev = cur;
+        }
+        assert!(p0 <= p100);
     }
 
     #[test]

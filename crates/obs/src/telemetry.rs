@@ -1,0 +1,788 @@
+//! Streaming telemetry bus: typed metrics with ε-bounded quantile
+//! sketches, periodic time-series snapshots, and exporters.
+//!
+//! The [`Recorder`](crate::Recorder) and [`Profiler`](crate::profile::Profiler)
+//! answer "how much" and "when" for a *finished* run; neither can report
+//! live service-level quantities — sustained problems/sec, p50/p99
+//! completion latency — over a stream of pipelined problems. The
+//! [`Telemetry`] registry closes that gap with three metric types:
+//!
+//! * **Counters** — monotone named `u64`s (`engine.delivered`,
+//!   `pipeline.problems`);
+//! * **Gauges** — last-written named `u64`s (`pipeline.issue_interval_tau`);
+//! * **Quantile sketches** — [`QuantileSketch`], a deterministic
+//!   Greenwald–Khanna-style streaming summary with a provable rank-error
+//!   bound: `quantile(q)` returns a recorded value whose rank is within
+//!   `ε·n` of `⌈q·n⌉`. In-house because all dependencies are vendored.
+//!
+//! The registry also emits **periodic snapshots** of all counters on the
+//! *simulated* clock (cadence [`Telemetry::interval`]; the row count is
+//! bounded — past [`MAX_SNAPSHOTS`] the cadence doubles and the series
+//! thins deterministically), so a long pipelined run leaves a time series,
+//! not just totals.
+//!
+//! Two export formats: [`Telemetry::open_metrics`] renders the OpenMetrics
+//! text exposition (counters as `_total`, sketches as `summary` families),
+//! and [`Telemetry::to_json`] renders the schema-checked
+//! [`orthotrees-telemetry/v1`](SCHEMA) document that
+//! [`schema_violations`] validates.
+//!
+//! Attachment points follow the established Option-gated zero-overhead
+//! pattern: `sim::Engine` accepts an `Option<Telemetry>` (no telemetry
+//! installed ⇒ the hot loop touches no telemetry code; installed ⇒ bits,
+//! clocks and outputs unchanged — proptest-pinned like the Recorder), and
+//! the word-level `Otn`/`Otc` machines feed one through their central
+//! clock-charge path. The `TEL-001` verify rule holds every sketch to its
+//! ε bound against exactly recomputed quantiles.
+
+use crate::json::Json;
+use orthotrees_vlsi::BitTime;
+use std::collections::BTreeMap;
+
+/// The JSON schema identifier emitted by [`Telemetry::to_json`].
+pub const SCHEMA: &str = "orthotrees-telemetry/v1";
+
+/// Default sketch rank-error bound ε: quantile answers are within 1% of
+/// the exact rank.
+pub const DEFAULT_EPSILON: f64 = 0.01;
+
+/// Snapshot-row bound: one more row than this doubles the snapshot
+/// cadence and thins the series (every other row kept), so memory stays
+/// O(1) in run length.
+pub const MAX_SNAPSHOTS: usize = 128;
+
+/// The quantiles every exporter and verifier reports, as `(label, q)`.
+pub const REPORTED_QUANTILES: [(&str, f64); 3] = [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)];
+
+/// One Greenwald–Khanna tuple: a stored value `v` covering `g` ranks,
+/// with `delta` slack in where those ranks may sit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    v: u64,
+    g: u64,
+    delta: u64,
+}
+
+/// A deterministic streaming quantile sketch with rank error ≤ `ε·n`.
+///
+/// The simplified Greenwald–Khanna construction: stored tuples maintain
+/// `g + Δ ≤ ⌊2εn⌋`, new values insert with `Δ = ⌊2εn⌋ − 1` (0 at the
+/// extremes), and a periodic compress pass merges adjacent tuples whose
+/// combined span still fits the invariant. [`quantile`](Self::quantile)
+/// then answers with a *recorded* value whose rank differs from the
+/// requested `⌈q·n⌉` by at most `⌈ε·n⌉` — the bound the `TEL-001` verify
+/// rule and the sketch-accuracy proptests hold to account.
+#[derive(Clone, Debug)]
+pub struct QuantileSketch {
+    epsilon: f64,
+    entries: Vec<Entry>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    since_compress: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch with rank-error bound `epsilon` (clamped to
+    /// `[0.0001, 0.5]`).
+    pub fn new(epsilon: f64) -> QuantileSketch {
+        QuantileSketch {
+            epsilon: epsilon.clamp(0.0001, 0.5),
+            entries: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            since_compress: 0,
+        }
+    }
+
+    /// The rank-error bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of values observed.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Stored tuples — the sketch's memory footprint, O(1/ε · log(εn))
+    /// rather than O(n).
+    pub fn entries_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The invariant ceiling `⌊2εn⌋` every stored tuple's `g + Δ` must
+    /// respect.
+    fn cap(&self) -> u64 {
+        (2.0 * self.epsilon * self.count as f64).floor() as u64
+    }
+
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let pos = self.entries.partition_point(|e| e.v < value);
+        let delta =
+            if pos == 0 || pos == self.entries.len() { 0 } else { self.cap().saturating_sub(1) };
+        self.entries.insert(pos, Entry { v: value, g: 1, delta });
+        self.since_compress += 1;
+        if self.since_compress as f64 >= 1.0 / (2.0 * self.epsilon) {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Merges adjacent tuples whose combined rank span still fits the
+    /// `g + Δ ≤ ⌊2εn⌋` invariant. Never merges into the first tuple, so
+    /// the minimum stays exactly representable.
+    fn compress(&mut self) {
+        let cap = self.cap();
+        let mut i = self.entries.len().saturating_sub(1);
+        while i >= 2 {
+            let left = self.entries[i - 1];
+            let right = self.entries[i];
+            if left.g + right.g + right.delta <= cap {
+                self.entries[i].g += left.g;
+                self.entries.remove(i - 1);
+            }
+            i -= 1;
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): a recorded value whose
+    /// rank is within `⌈ε·n⌉` of `⌈q·n⌉`. `None` when nothing was
+    /// observed, mirroring the `Histogram::mean` empty contract (callers
+    /// render `None` explicitly rather than a poisoned 0).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let n = self.count as f64;
+        let rank = (q * n).ceil().max(1.0);
+        let margin = self.epsilon * n;
+        // The standard GK answer: the first tuple whose rank envelope
+        // [rmin, rmax] sits within ±εn of the target. One always exists
+        // under the g + Δ ≤ 2εn invariant.
+        let mut rmin = 0u64;
+        for e in &self.entries {
+            rmin += e.g;
+            let rmax = (rmin + e.delta) as f64;
+            if rank - rmin as f64 <= margin && rmax - rank <= margin {
+                return Some(e.v);
+            }
+        }
+        self.entries.last().map(|e| e.v)
+    }
+
+    /// Mean observed value (0.0 when empty — same contract as
+    /// `Histogram::mean`).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Whether `value` sits inside the rank-ε band of the exact quantile `q`
+/// over `sorted` (ascending) data: some rank in
+/// `[⌈q·n⌉ − ⌈εn⌉, ⌈q·n⌉ + ⌈εn⌉]` (clamped to `[1, n]`) holds `value`'s
+/// position. This is the acceptance predicate of the `TEL-001` verify
+/// rule and the sketch-accuracy proptests. An empty `sorted` accepts
+/// nothing.
+pub fn within_rank_band(sorted: &[u64], q: f64, epsilon: f64, value: u64) -> bool {
+    if sorted.is_empty() {
+        return false;
+    }
+    let n = sorted.len() as f64;
+    let rank = (q.clamp(0.0, 1.0) * n).ceil().max(1.0);
+    let margin = (epsilon * n).ceil();
+    let lo = ((rank - margin).max(1.0) as usize).saturating_sub(1);
+    let hi = (((rank + margin).min(n)) as usize).saturating_sub(1);
+    sorted[lo] <= value && value <= sorted[hi]
+}
+
+/// One periodic snapshot row: every counter's value at a simulated-time
+/// boundary.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Simulated time the row was taken.
+    pub at: BitTime,
+    /// Counter values at `at` (monotone across rows, by construction).
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// The streaming metrics bus: a typed registry of counters, gauges and
+/// quantile sketches with periodic snapshots and two exporters. See the
+/// [module docs](self).
+#[derive(Clone, Debug)]
+pub struct Telemetry {
+    epsilon: f64,
+    interval: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    sketches: BTreeMap<String, QuantileSketch>,
+    snapshots: Vec<TelemetrySnapshot>,
+    next_at: u64,
+}
+
+impl Telemetry {
+    /// An empty registry snapshotting every `interval` τ (clamped ≥ 1),
+    /// with the [default ε](DEFAULT_EPSILON) for new sketches.
+    pub fn new(interval: u64) -> Telemetry {
+        Telemetry {
+            epsilon: DEFAULT_EPSILON,
+            interval: interval.max(1),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+            snapshots: Vec::new(),
+            next_at: interval.max(1),
+        }
+    }
+
+    /// Replaces the rank-error bound used by sketches created *after*
+    /// this call.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Telemetry {
+        self.epsilon = epsilon.clamp(0.0001, 0.5);
+        self
+    }
+
+    /// The sketch rank-error bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The effective snapshot cadence in τ (≥ the constructor argument;
+    /// doubles when the series outgrows [`MAX_SNAPSHOTS`]).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Adds `delta` to the named counter (created at 0 on first use;
+    /// a zero delta creates nothing).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// One counter's value (0 if never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// One gauge's value, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into the named quantile sketch (created with the
+    /// registry's ε on first use).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        let eps = self.epsilon;
+        self.sketches
+            .entry(name.to_string())
+            .or_insert_with(|| QuantileSketch::new(eps))
+            .observe(value);
+    }
+
+    /// The named sketch, if any value was ever observed into it.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.get(name)
+    }
+
+    /// The sketches, sorted by name.
+    pub fn sketches(&self) -> impl Iterator<Item = (&str, &QuantileSketch)> {
+        self.sketches.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Advances the simulated clock to `at`, emitting one snapshot row if
+    /// a cadence boundary was crossed since the last tick. Hot-path
+    /// callers (the engine's delivery loop) call this once per event; the
+    /// common case is a single comparison.
+    pub fn tick(&mut self, at: BitTime) {
+        if at.get() < self.next_at {
+            return;
+        }
+        self.snapshots.push(TelemetrySnapshot { at, counters: self.counters.clone() });
+        self.next_at = (at.get() / self.interval + 1) * self.interval;
+        if self.snapshots.len() > MAX_SNAPSHOTS {
+            // Double the cadence and thin deterministically: keep every
+            // other row (the newest always survives).
+            self.interval *= 2;
+            let keep: Vec<TelemetrySnapshot> = self
+                .snapshots
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 2 == 1)
+                .map(|(_, s)| s.clone())
+                .collect();
+            self.snapshots = keep;
+        }
+    }
+
+    /// The periodic snapshot rows, in simulated-time order.
+    pub fn snapshots(&self) -> &[TelemetrySnapshot] {
+        &self.snapshots
+    }
+
+    // --------------------------------------------------------------
+    // Exporters.
+    // --------------------------------------------------------------
+
+    /// The registry in OpenMetrics text exposition format: counters as
+    /// `<name>_total`, gauges plain, sketches as `summary` families with
+    /// the [reported quantiles](REPORTED_QUANTILES) plus `_count`/`_sum`,
+    /// terminated by `# EOF`. Metric names are sanitized to the
+    /// OpenMetrics charset (`[a-zA-Z0-9_]`, dots become underscores).
+    pub fn open_metrics(&self) -> String {
+        let mut out = String::new();
+        for (name, &v) in &self.counters {
+            let n = metric_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n}_total {v}\n"));
+        }
+        for (name, &v) in &self.gauges {
+            let n = metric_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, sk) in &self.sketches {
+            let n = metric_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (_, q) in REPORTED_QUANTILES {
+                if let Some(v) = sk.quantile(q) {
+                    out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+                }
+            }
+            out.push_str(&format!("{n}_count {}\n{n}_sum {}\n", sk.count(), sk.sum()));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// The registry as an [`orthotrees-telemetry/v1`](SCHEMA) JSON
+    /// document: counters, gauges, per-sketch quantile summaries and the
+    /// snapshot series. [`schema_violations`] validates the result.
+    pub fn to_json(&self) -> Json {
+        let counters = Json::obj(self.counters.iter().map(|(k, &v)| (k.as_str(), Json::u64(v))));
+        let gauges = Json::obj(self.gauges.iter().map(|(k, &v)| (k.as_str(), Json::u64(v))));
+        let sketches = Json::arr(self.sketches.iter().map(|(name, sk)| {
+            let mut fields = vec![
+                ("name", Json::str(name)),
+                ("count", Json::u64(sk.count())),
+                ("min", Json::u64(sk.min())),
+                ("max", Json::u64(sk.max())),
+                ("mean", Json::f64(sk.mean())),
+            ];
+            for (label, q) in REPORTED_QUANTILES {
+                fields.push((label, Json::u64(sk.quantile(q).unwrap_or(0))));
+            }
+            Json::obj(fields)
+        }));
+        let snapshots = Json::arr(self.snapshots.iter().map(|s| {
+            Json::obj([
+                ("at", Json::u64(s.at.get())),
+                (
+                    "counters",
+                    Json::obj(s.counters.iter().map(|(k, &v)| (k.as_str(), Json::u64(v)))),
+                ),
+            ])
+        }));
+        Json::obj([
+            ("schema", Json::str(SCHEMA)),
+            ("epsilon", Json::f64(self.epsilon)),
+            ("interval", Json::u64(self.interval)),
+            ("counters", counters),
+            ("gauges", gauges),
+            ("sketches", sketches),
+            ("snapshots", snapshots),
+        ])
+    }
+}
+
+/// Sanitizes a registry name into the OpenMetrics charset: every
+/// character outside `[a-zA-Z0-9_]` becomes `_`, and a leading digit is
+/// prefixed with `_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Structural checks on an [`orthotrees-telemetry/v1`](SCHEMA) document.
+/// Empty means valid. Checked: the schema tag; ε in `(0, 0.5]`; a
+/// positive cadence; well-typed counter/gauge maps; per-sketch field
+/// presence with `min ≤ p50 ≤ p90 ≤ p99 ≤ max` and a positive count; and
+/// a snapshot series monotone in both time and every counter (counters
+/// are monotone by definition — a decreasing series means torn rows).
+pub fn schema_violations(doc: &Json) -> Vec<String> {
+    let mut v = Vec::new();
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => v.push(format!("schema is {s:?}, expected {SCHEMA:?}")),
+        None => v.push("missing `schema`".to_string()),
+    }
+    match doc.get("epsilon").and_then(Json::as_f64) {
+        Some(e) if e > 0.0 && e <= 0.5 => {}
+        Some(e) => v.push(format!("epsilon {e} outside (0, 0.5]")),
+        None => v.push("missing `epsilon`".to_string()),
+    }
+    match doc.get("interval").and_then(Json::as_u64) {
+        Some(i) if i >= 1 => {}
+        _ => v.push("missing or zero `interval`".to_string()),
+    }
+    for key in ["counters", "gauges"] {
+        match doc.get(key).and_then(Json::as_obj) {
+            Some(map) => {
+                for (name, val) in map {
+                    if val.as_u64().is_none() {
+                        v.push(format!("{key}[{name:?}] is not an integer"));
+                    }
+                }
+            }
+            None => v.push(format!("missing `{key}` object")),
+        }
+    }
+    match doc.get("sketches").and_then(Json::as_arr) {
+        Some(rows) => {
+            for (i, row) in rows.iter().enumerate() {
+                let name = row
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .map_or_else(|| format!("#{i}"), str::to_string);
+                let field = |k: &str| row.get(k).and_then(Json::as_u64);
+                let (count, min, max) = (field("count"), field("min"), field("max"));
+                let (p50, p90, p99) = (field("p50"), field("p90"), field("p99"));
+                match (count, min, max, p50, p90, p99) {
+                    (Some(c), Some(mn), Some(mx), Some(a), Some(b), Some(d)) => {
+                        if c == 0 {
+                            v.push(format!("sketch {name}: zero count"));
+                        }
+                        if !(mn <= a && a <= b && b <= d && d <= mx) {
+                            v.push(format!(
+                                "sketch {name}: quantiles not monotone \
+                                 (min {mn} p50 {a} p90 {b} p99 {d} max {mx})"
+                            ));
+                        }
+                    }
+                    _ => v.push(format!("sketch {name}: missing required fields")),
+                }
+            }
+        }
+        None => v.push("missing `sketches` array".to_string()),
+    }
+    match doc.get("snapshots").and_then(Json::as_arr) {
+        Some(rows) => {
+            let mut last_at = 0u64;
+            let mut last: BTreeMap<String, u64> = BTreeMap::new();
+            for (i, row) in rows.iter().enumerate() {
+                let Some(at) = row.get("at").and_then(Json::as_u64) else {
+                    v.push(format!("snapshot #{i}: missing `at`"));
+                    continue;
+                };
+                if at < last_at {
+                    v.push(format!("snapshot #{i}: time went backwards ({at} < {last_at})"));
+                }
+                last_at = at;
+                let Some(counters) = row.get("counters").and_then(Json::as_obj) else {
+                    v.push(format!("snapshot #{i}: missing `counters`"));
+                    continue;
+                };
+                for (name, val) in counters {
+                    let Some(c) = val.as_u64() else {
+                        v.push(format!("snapshot #{i}: counter {name:?} is not an integer"));
+                        continue;
+                    };
+                    if let Some(&prev) = last.get(name) {
+                        if c < prev {
+                            v.push(format!(
+                                "snapshot #{i}: counter {name:?} decreased ({c} < {prev})"
+                            ));
+                        }
+                    }
+                    last.insert(name.clone(), c);
+                }
+            }
+        }
+        None => v.push("missing `snapshots` array".to_string()),
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact rank check: the sketch's answer for `q` must sit within the
+    /// ±⌈εn⌉ rank band of the sorted data.
+    fn assert_accurate(data: &mut [u64], sk: &QuantileSketch) {
+        data.sort_unstable();
+        for (_, q) in REPORTED_QUANTILES {
+            let got = sk.quantile(q).expect("non-empty sketch");
+            assert!(
+                within_rank_band(data, q, sk.epsilon(), got),
+                "q={q}: {got} outside the rank band of {} samples",
+                data.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sketch_is_exact_on_small_streams() {
+        let mut sk = QuantileSketch::new(0.01);
+        for v in [5u64, 1, 9, 3, 7] {
+            sk.observe(v);
+        }
+        assert_eq!(sk.count(), 5);
+        assert_eq!(sk.min(), 1);
+        assert_eq!(sk.max(), 9);
+        assert_eq!(sk.sum(), 25);
+        assert_eq!(sk.quantile(0.5), Some(5));
+        assert_eq!(sk.quantile(0.0), Some(1));
+        assert_eq!(sk.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn sketch_empty_contract() {
+        let sk = QuantileSketch::new(0.01);
+        assert_eq!(sk.quantile(0.5), None);
+        assert_eq!(sk.mean(), 0.0);
+        assert_eq!(sk.min(), 0);
+        assert_eq!(sk.max(), 0);
+    }
+
+    #[test]
+    fn sketch_stays_accurate_and_small_on_long_streams() {
+        let mut sk = QuantileSketch::new(0.02);
+        let mut data = Vec::new();
+        // A deterministic scrambled stream with duplicates and jumps.
+        for i in 0..10_000u64 {
+            let v = (i * 37) ^ (i >> 3) ^ 0x15;
+            sk.observe(v);
+            data.push(v);
+        }
+        assert_accurate(&mut data, &sk);
+        assert!(
+            sk.entries_len() < 2_000,
+            "sketch must stay sublinear: {} tuples for 10k samples",
+            sk.entries_len()
+        );
+    }
+
+    #[test]
+    fn sketch_handles_sorted_and_reversed_streams() {
+        for reversed in [false, true] {
+            let mut sk = QuantileSketch::new(0.01);
+            let mut data = Vec::new();
+            for i in 0..5_000u64 {
+                let v = if reversed { 5_000 - i } else { i };
+                sk.observe(v);
+                data.push(v);
+            }
+            assert_accurate(&mut data, &sk);
+        }
+    }
+
+    #[test]
+    fn sketch_handles_constant_streams() {
+        let mut sk = QuantileSketch::new(0.01);
+        for _ in 0..1_000 {
+            sk.observe(42);
+        }
+        assert_eq!(sk.quantile(0.5), Some(42));
+        assert_eq!(sk.quantile(0.99), Some(42));
+        assert!(sk.entries_len() < 200);
+    }
+
+    #[test]
+    fn rank_band_predicate_matches_hand_computation() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        // q=0.5 over 100 samples: rank 50, ε=0.01 → band ranks [49, 51].
+        assert!(within_rank_band(&sorted, 0.5, 0.01, 49));
+        assert!(within_rank_band(&sorted, 0.5, 0.01, 51));
+        assert!(!within_rank_band(&sorted, 0.5, 0.01, 48));
+        assert!(!within_rank_band(&sorted, 0.5, 0.01, 52));
+        assert!(!within_rank_band(&[], 0.5, 0.01, 1), "empty data accepts nothing");
+    }
+
+    #[test]
+    fn registry_counters_and_gauges() {
+        let mut t = Telemetry::new(100);
+        t.count("pipeline.problems", 2);
+        t.count("pipeline.problems", 3);
+        t.count("noop", 0);
+        t.gauge("pipeline.issue_interval_tau", 96);
+        t.gauge("pipeline.issue_interval_tau", 97);
+        assert_eq!(t.counter("pipeline.problems"), 5);
+        assert_eq!(t.counter("absent"), 0);
+        assert_eq!(t.counters().count(), 1, "zero deltas create nothing");
+        assert_eq!(t.gauge_value("pipeline.issue_interval_tau"), Some(97));
+    }
+
+    #[test]
+    fn snapshots_fire_on_cadence_boundaries_only() {
+        let mut t = Telemetry::new(100);
+        t.count("x", 1);
+        t.tick(BitTime::new(50)); // before the first boundary
+        assert!(t.snapshots().is_empty());
+        t.tick(BitTime::new(120));
+        assert_eq!(t.snapshots().len(), 1);
+        assert_eq!(t.snapshots()[0].counters["x"], 1);
+        t.count("x", 4);
+        t.tick(BitTime::new(130)); // same cadence window: no new row
+        assert_eq!(t.snapshots().len(), 1);
+        t.tick(BitTime::new(250));
+        assert_eq!(t.snapshots().len(), 2);
+        assert_eq!(t.snapshots()[1].counters["x"], 5);
+    }
+
+    #[test]
+    fn snapshot_series_is_bounded_by_thinning() {
+        let mut t = Telemetry::new(1);
+        for at in 1..=10_000u64 {
+            t.count("ev", 1);
+            t.tick(BitTime::new(at));
+        }
+        assert!(t.snapshots().len() <= MAX_SNAPSHOTS);
+        assert!(t.interval() > 1, "cadence doubled under pressure");
+        let ats: Vec<u64> = t.snapshots().iter().map(|s| s.at.get()).collect();
+        assert!(ats.windows(2).all(|w| w[0] <= w[1]), "still time-ordered");
+        let evs: Vec<u64> = t.snapshots().iter().map(|s| s.counters["ev"]).collect();
+        assert!(evs.windows(2).all(|w| w[0] <= w[1]), "still monotone");
+    }
+
+    #[test]
+    fn open_metrics_renders_all_three_types() {
+        let mut t = Telemetry::new(100);
+        t.count("engine.delivered", 12);
+        t.gauge("engine.links", 4);
+        for v in 1..=100u64 {
+            t.observe("pipeline.completion_tau", v);
+        }
+        let om = t.open_metrics();
+        assert!(om.contains("# TYPE engine_delivered counter"));
+        assert!(om.contains("engine_delivered_total 12"));
+        assert!(om.contains("# TYPE engine_links gauge\nengine_links 4"));
+        assert!(om.contains("# TYPE pipeline_completion_tau summary"));
+        assert!(om.contains("pipeline_completion_tau{quantile=\"0.5\"}"));
+        assert!(om.contains("pipeline_completion_tau_count 100"));
+        assert!(om.contains("pipeline_completion_tau_sum 5050"));
+        assert!(om.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn metric_names_are_sanitized() {
+        assert_eq!(metric_name("pipeline.completion_tau"), "pipeline_completion_tau");
+        assert_eq!(metric_name("9lives"), "_9lives");
+        assert_eq!(metric_name("a-b c"), "a_b_c");
+        assert_eq!(metric_name(""), "_");
+    }
+
+    #[test]
+    fn json_document_round_trips_and_validates() {
+        let mut t = Telemetry::new(50);
+        for v in 0..200u64 {
+            t.count("ev", 1);
+            t.observe("lat", v * 3);
+            t.tick(BitTime::new(v * 5));
+        }
+        t.gauge("links", 7);
+        let doc = t.to_json();
+        assert!(schema_violations(&doc).is_empty(), "{:?}", schema_violations(&doc));
+        let back = Json::parse(&doc.render()).expect("rendered document parses");
+        assert!(schema_violations(&back).is_empty());
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    }
+
+    #[test]
+    fn schema_violations_flag_corruptions() {
+        let mut t = Telemetry::new(50);
+        t.count("ev", 3);
+        for v in 1..=50u64 {
+            t.observe("lat", v);
+        }
+        t.tick(BitTime::new(60));
+        let clean = t.to_json();
+        assert!(schema_violations(&clean).is_empty());
+
+        // Wrong schema tag.
+        let mut doc = clean.clone();
+        doc.set("schema", Json::str("orthotrees-telemetry/v0"));
+        assert!(!schema_violations(&doc).is_empty());
+
+        // Non-monotone sketch quantiles.
+        let bad_sketch = Json::obj([
+            ("name", Json::str("lat")),
+            ("count", Json::u64(50)),
+            ("min", Json::u64(1)),
+            ("max", Json::u64(50)),
+            ("mean", Json::f64(25.0)),
+            ("p50", Json::u64(40)),
+            ("p90", Json::u64(10)),
+            ("p99", Json::u64(50)),
+        ]);
+        let mut doc = clean.clone();
+        doc.set("sketches", Json::arr([bad_sketch]));
+        let v = schema_violations(&doc);
+        assert!(v.iter().any(|m| m.contains("not monotone")), "{v:?}");
+
+        // A decreasing counter across snapshot rows.
+        let rows = Json::arr([
+            Json::obj([("at", Json::u64(10)), ("counters", Json::obj([("ev", Json::u64(5))]))]),
+            Json::obj([("at", Json::u64(20)), ("counters", Json::obj([("ev", Json::u64(3))]))]),
+        ]);
+        let mut doc = clean;
+        doc.set("snapshots", rows);
+        let v = schema_violations(&doc);
+        assert!(v.iter().any(|m| m.contains("decreased")), "{v:?}");
+    }
+}

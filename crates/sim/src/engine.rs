@@ -12,7 +12,9 @@ use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
 use orthotrees_obs::causal::{CausalTrace, Hop, MsgId};
+use orthotrees_obs::flight::{FlightEvent, FlightRecorder};
 use orthotrees_obs::profile::Profiler;
+use orthotrees_obs::telemetry::Telemetry;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{BitTime, DelayModel, SimError};
 
@@ -93,6 +95,14 @@ pub struct Engine {
     /// `None` is the fast path, and profiling never changes a simulated
     /// bit or time.
     profiler: Option<Profiler>,
+    /// Installed streaming telemetry bus, if any. Same contract as
+    /// `recorder`: `None` is the fast path, and metering never changes a
+    /// simulated bit or time.
+    telemetry: Option<Telemetry>,
+    /// Installed crash flight recorder, if any. Same contract as
+    /// `recorder`; additionally, the engine dumps a post-mortem document
+    /// into it before returning any [`SimError`].
+    flight: Option<FlightRecorder>,
     /// Reverse the tie-break among same-timestamp events (verification
     /// only). Correct networks must produce identical results either way.
     pub(crate) lifo_ties: bool,
@@ -125,6 +135,8 @@ impl Engine {
             recorder: None,
             causal: None,
             profiler: None,
+            telemetry: None,
+            flight: None,
             lifo_ties: false,
             started: false,
             delivered: 0,
@@ -233,6 +245,60 @@ impl Engine {
         self.profiler.take()
     }
 
+    /// Installs a streaming [`Telemetry`] bus: the run then counts every
+    /// delivery and link-entrance bit, meters queue wait, feeds the
+    /// calendar-depth quantile sketch and emits periodic counter
+    /// snapshots. Simulated bits, times and outputs are unchanged
+    /// (bit-identity, enforced by the telemetry proptest suite).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The installed telemetry bus, if any.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Mutable access to the installed telemetry bus (callers fold their
+    /// own domain counters into the engine's export through this).
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Removes and returns the installed telemetry bus (export after a run).
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
+    }
+
+    /// Installs a crash [`FlightRecorder`]: the run then keeps a bounded
+    /// ring of recent deliveries and dumps an `orthotrees-flight/v1`
+    /// post-mortem document before returning any [`SimError`]. Simulated
+    /// bits, times and outputs are unchanged (bit-identity, enforced by
+    /// the telemetry proptest suite).
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.flight.as_ref()
+    }
+
+    /// Mutable access to the installed flight recorder (the recovery
+    /// supervisor notes checkpoints and dumps rollback post-mortems
+    /// through this).
+    pub fn flight_recorder_mut(&mut self) -> Option<&mut FlightRecorder> {
+        self.flight.as_mut()
+    }
+
+    /// Removes and returns the installed flight recorder (export after a
+    /// run).
+    pub fn take_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.flight.take()
+    }
+
     /// Adds a node, returning its id.
     pub fn add_node(&mut self, behavior: Box<dyn NodeBehavior>) -> NodeId {
         let id = NodeId(self.nodes.len());
@@ -325,6 +391,7 @@ impl Engine {
                 let arrive = if self.recorder.is_none()
                     && self.causal.is_none()
                     && self.profiler.is_none()
+                    && self.telemetry.is_none()
                 {
                     self.links[lid.0].admit(ready, self.delay)
                 } else {
@@ -338,6 +405,10 @@ impl Engine {
                     }
                     if let Some(prof) = &mut self.profiler {
                         prof.link_bit(enter, lid.0, waited);
+                    }
+                    if let Some(tel) = &mut self.telemetry {
+                        tel.count("engine.link_bits", 1);
+                        tel.count("engine.queue_wait_tau", waited);
                     }
                     arrive
                 };
@@ -369,6 +440,9 @@ impl Engine {
                         self.fault_stats.faulty_bits += 1;
                         if let Some(prof) = &mut self.profiler {
                             prof.fault_at(arrive);
+                        }
+                        if let Some(tel) = &mut self.telemetry {
+                            tel.count("engine.faults_injected", 1);
                         }
                         match kind {
                             LinkFaultKind::StuckAtZero => bit.value = false,
@@ -453,6 +527,7 @@ impl Engine {
             fired += 1;
             self.delivered += 1;
             if self.delivered > self.budget.max_events {
+                self.flight_post_mortem("budget-exhausted: events", self.now.max(ev.at));
                 return Err(SimError::BudgetExhausted {
                     what: "events",
                     limit: self.budget.max_events,
@@ -460,6 +535,10 @@ impl Engine {
             }
             if let Some(max_time) = self.budget.max_time {
                 if ev.at > max_time {
+                    self.flight_post_mortem(
+                        "budget-exhausted: bit-time units",
+                        self.now.max(ev.at),
+                    );
                     return Err(SimError::BudgetExhausted {
                         what: "bit-time units",
                         limit: max_time.get(),
@@ -489,6 +568,22 @@ impl Engine {
                     let busy = self.links.iter().filter(|l| l.free_at > ev.at).count() as u64;
                     prof.record_footprint(ev.at, depth, busy, self.delivered);
                 }
+            }
+            if let Some(fl) = &mut self.flight {
+                fl.record(FlightEvent {
+                    seq: self.delivered,
+                    at: ev.at,
+                    node: ev.node.0,
+                    port: ev.port.0,
+                    value: ev.bit.value,
+                    index: ev.bit.index,
+                    depth: (self.queue.len() + 1) as u64,
+                });
+            }
+            if let Some(tel) = &mut self.telemetry {
+                tel.count("engine.delivered", 1);
+                tel.observe("engine.calendar_depth", (self.queue.len() + 1) as u64);
+                tel.tick(ev.at);
             }
             self.now = self.now.max(ev.at);
             if self.keep_log {
@@ -525,6 +620,30 @@ impl Engine {
         self.recorder.as_mut()
     }
 
+    /// Dumps a flight-recorder post-mortem for a failure the engine (or a
+    /// supervisor driving it) is about to report. A no-op without an
+    /// installed flight recorder; the document is retained in the
+    /// recorder's [`post_mortems`](FlightRecorder::post_mortems) list.
+    pub fn flight_post_mortem(&mut self, reason: &str, at: BitTime) {
+        let stats = self.fault_stats;
+        if let Some(fl) = &mut self.flight {
+            fl.dump(
+                reason,
+                at,
+                &[
+                    ("injected", stats.injected),
+                    ("detected", stats.detected),
+                    ("corrected", stats.corrected),
+                    ("retries", stats.retries),
+                    ("erasures", stats.erasures),
+                    ("silent", stats.silent),
+                    ("faulty_bits", stats.faulty_bits),
+                    ("suppressed", stats.suppressed),
+                ],
+            );
+        }
+    }
+
     /// Replaces the run watchdog budget mid-run. Like
     /// [`set_fault_plan`](Engine::set_fault_plan), this is a supervisor
     /// repair knob: a retry after a [`BudgetExhausted`] trip is pointless
@@ -556,6 +675,7 @@ impl std::fmt::Debug for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use orthotrees_obs::json::Json;
 
     /// Emits a `width`-bit word at start; counts received bits; records the
     /// arrival time of the last one.
@@ -903,6 +1023,86 @@ mod tests {
         let prof = e.take_profiler().unwrap();
         assert_eq!(prof.totals().faults, e.fault_stats().injected);
         assert!(prof.totals().faults > 0, "the always-on flip plan fired");
+    }
+
+    // --------------------------------------------------------------
+    // Streaming telemetry and the flight recorder.
+    // --------------------------------------------------------------
+
+    /// The recorder-test topology with a telemetry bus and a flight
+    /// recorder attached.
+    fn telemetered_run() -> (Vec<EventLog>, BitTime, Telemetry, FlightRecorder) {
+        let mut e = Engine::new(DelayModel::Logarithmic)
+            .with_event_log()
+            .with_telemetry(Telemetry::new(4))
+            .with_flight_recorder(FlightRecorder::new(8));
+        let src = e.add_node(Box::new(WordSource { width: 6 }));
+        let mid = e.add_node(Box::new(Repeater));
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        e.connect(src, PortId(0), mid, PortId(0), 64);
+        e.connect(mid, PortId(0), dst, PortId(0), 16);
+        let end = e.run();
+        let tel = e.take_telemetry().unwrap();
+        let fl = e.take_flight_recorder().unwrap();
+        (e.log().to_vec(), end, tel, fl)
+    }
+
+    #[test]
+    fn telemetry_and_flight_are_bit_identical_to_uninstrumented_run() {
+        let (log_off, end_off, _) = instrumented_run(false);
+        let (log_on, end_on, tel, fl) = telemetered_run();
+        assert_eq!(log_off, log_on, "telemetry must not change any delivered bit");
+        assert_eq!(end_off, end_on, "telemetry must not change the completion time");
+        assert_eq!(fl.recorded(), log_on.len() as u64);
+        assert!(!tel.snapshots().is_empty(), "the run crossed a snapshot boundary");
+    }
+
+    #[test]
+    fn telemetry_counters_agree_with_the_recorder() {
+        let (_, _, rec, _) = profiled_run();
+        let (log, _, tel, _) = telemetered_run();
+        assert_eq!(tel.counter("engine.delivered"), log.len() as u64);
+        let rec_bits: u64 = rec.links().iter().map(|l| l.bits).sum();
+        let rec_wait: u64 = rec.links().iter().map(|l| l.wait_total).sum();
+        assert_eq!(tel.counter("engine.link_bits"), rec_bits);
+        assert_eq!(tel.counter("engine.queue_wait_tau"), rec_wait);
+        let depth = tel.sketch("engine.calendar_depth").expect("depth sketch fed");
+        assert_eq!(depth.count(), log.len() as u64, "one observation per delivery");
+        assert_eq!(depth.max(), rec.calendar_depth().max());
+    }
+
+    #[test]
+    fn flight_tail_is_a_contiguous_suffix_of_the_event_log() {
+        let (log, end, _, mut fl) = telemetered_run();
+        let tail: Vec<FlightEvent> = fl.tail().copied().collect();
+        assert_eq!(tail.len(), 8.min(log.len()), "ring filled to capacity");
+        let skip = log.len() - tail.len();
+        for (fe, (i, le)) in tail.iter().zip(log.iter().enumerate().skip(skip)) {
+            assert_eq!(fe.seq, i as u64 + 1, "contiguous 1-based seq");
+            assert_eq!((fe.at, fe.node, fe.port), (le.at, le.node.0, le.port.0));
+            assert_eq!((fe.value, fe.index), (le.bit.value, le.bit.index));
+        }
+        let doc = fl.dump("test", end, &[]);
+        assert_eq!(doc.get("recorded_events").and_then(Json::as_u64), Some(log.len() as u64));
+    }
+
+    #[test]
+    fn budget_trip_dumps_a_flight_post_mortem() {
+        let mut e = Engine::new(DelayModel::Constant)
+            .with_flight_recorder(FlightRecorder::new(4))
+            .with_budget(RunBudget::events(5));
+        let src = e.add_node(Box::new(WordSource { width: 8 }));
+        let dst = e.add_node(Box::new(Sink { expected: 8, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1);
+        assert!(matches!(e.try_run(), Err(SimError::BudgetExhausted { what: "events", .. })));
+        let fl = e.take_flight_recorder().unwrap();
+        let doc = &fl.post_mortems()[0];
+        assert_eq!(
+            doc.get("reason").and_then(Json::as_str),
+            Some("budget-exhausted: events"),
+            "the engine dumped before reporting the error"
+        );
+        assert!(Json::parse(&doc.render()).is_ok(), "post-mortem is parseable");
     }
 
     // --------------------------------------------------------------

@@ -15,13 +15,15 @@
 //!   ("in the MIN-LEAFTOROOT operation, the most significant bits should
 //!   arrive first").
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EventLog};
 use crate::fault::FaultPlan;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
 use crate::recovery::{supervise_engine, RecoveryPolicy, RecoveryReport};
 use orthotrees_obs::causal::CausalTrace;
+use orthotrees_obs::flight::FlightRecorder;
 use orthotrees_obs::json::Json;
 use orthotrees_obs::profile::Profiler;
+use orthotrees_obs::telemetry::Telemetry;
 use orthotrees_obs::Recorder;
 use orthotrees_vlsi::{log2_ceil, BitTime, CostModel, SimError};
 
@@ -782,6 +784,105 @@ pub fn supervised_sum_recovery_profiled(
     let prof =
         chaotic.take_profiler().ok_or(SimError::NoCompletion { what: "recovery profiler" })?;
     Ok((report, rec, prof, v))
+}
+
+/// [`broadcast_completion_time`] as a *black-box* run: the event log, the
+/// streaming [`Telemetry`] bus (snapshot interval 16τ) and the crash
+/// [`FlightRecorder`] are all attached. Returns the completion time, the
+/// delivered-bit log, and both instruments — the run the `TEL-002` verify
+/// rule checks, by dumping the flight tail and holding it to its
+/// contiguous-suffix-of-the-log invariant.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the run budget trips or the network goes
+/// quiescent before every leaf holds the word.
+///
+/// # Panics
+///
+/// Panics if `leaves` is not a power of two.
+pub fn broadcast_black_box(
+    leaves: usize,
+    m: &CostModel,
+) -> Result<(BitTime, Vec<EventLog>, Telemetry, FlightRecorder), SimError> {
+    let w = m.word_bits.max(1);
+    let mut e = Engine::new(m.delay)
+        .with_event_log()
+        .with_telemetry(Telemetry::new(16))
+        .with_flight_recorder(FlightRecorder::default());
+    let ids = build_tree(
+        &mut e,
+        leaves,
+        m.leaf_pitch(),
+        true,
+        &mut |_| Box::new(WordSink::new(w, true)),
+        &mut |_| Box::new(DownRepeater),
+    );
+    let instruments = |e: &mut Engine| {
+        (
+            e.log().to_vec(),
+            e.take_telemetry().expect("telemetry was installed for this run"),
+            e.take_flight_recorder().expect("flight recorder was installed for this run"),
+        )
+    };
+    if leaves == 1 {
+        let (log, tel, fl) = instruments(&mut e);
+        return Ok((BitTime::ZERO, log, tel, fl));
+    }
+    let root = ids.root();
+    let src = e.add_node(Box::new(WordSource {
+        word: 0b1011,
+        width: w,
+        lsb_first: true,
+        port: TO_PARENT,
+    }));
+    e.connect(src, TO_PARENT, root, FROM_PARENT, 0);
+    let injected = m.delay.wire_bit_delay(0);
+    e.try_run()?;
+    let done = e.completion_time().ok_or(SimError::NoCompletion { what: "broadcast leaves" })?;
+    let (log, tel, fl) = instruments(&mut e);
+    Ok((done - injected, log, tel, fl))
+}
+
+/// [`supervised_sum_recovery`] with the black-box instruments riding
+/// along instead of the recorder: every supervisor rollback dumps an
+/// `orthotrees-flight/v1` post-mortem into the returned
+/// [`FlightRecorder`], and the [`Telemetry`] bus carries the
+/// `recovery.rollbacks` counter next to the engine's own meters. The
+/// outage guarantees at least one rollback, so the returned recorder
+/// always holds at least one post-mortem document.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the clean run fails, or the supervised run
+/// exhausts [`RecoveryPolicy::max_attempts`].
+///
+/// # Panics
+///
+/// Same conditions as [`sum_completion_time`].
+pub fn supervised_sum_recovery_black_box(
+    values: &[u64],
+    m: &CostModel,
+    policy: &RecoveryPolicy,
+) -> Result<(RecoveryReport, Telemetry, FlightRecorder, u64), SimError> {
+    let (mut clean, _) = build_aggregate(values, m, true);
+    clean.try_run()?;
+    let t = clean.completion_time().ok_or(SimError::NoCompletion { what: "aggregate root" })?;
+
+    let (chaotic, sink) = build_aggregate(values, m, true);
+    let until = BitTime::new(t.get().max(2));
+    let mut chaotic = chaotic
+        .with_telemetry(Telemetry::new(16))
+        .with_flight_recorder(FlightRecorder::default())
+        .with_fault_plan(FaultPlan::new(1).with_outage(sink, BitTime::new(1), until));
+    let report = supervise_engine(&mut chaotic, policy, |e, _failures| e.set_fault_plan(None))?;
+    let v = chaotic.node(sink).result().ok_or(SimError::NoCompletion { what: "aggregate word" })?;
+    let tel =
+        chaotic.take_telemetry().ok_or(SimError::NoCompletion { what: "recovery telemetry" })?;
+    let fl = chaotic
+        .take_flight_recorder()
+        .ok_or(SimError::NoCompletion { what: "recovery flight recorder" })?;
+    Ok((report, tel, fl, v))
 }
 
 /// Simulates a full `LEAFTOLEAF` composite at bit level: one word travels

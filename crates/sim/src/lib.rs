@@ -41,7 +41,9 @@ pub use fault::{
 };
 pub use link::{Link, LinkId};
 pub use node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
+pub use orthotrees_obs::flight::{FlightEvent, FlightRecorder};
 pub use orthotrees_obs::profile::Profiler;
+pub use orthotrees_obs::telemetry::Telemetry;
 pub use orthotrees_obs::Recorder;
 pub use recovery::{supervise_engine, supervise_steps, RecoveryPolicy, RecoveryReport};
 pub use snapshot::Snapshot;

@@ -134,6 +134,9 @@ pub fn supervise_engine(
 ) -> Result<RecoveryReport, SimError> {
     let mut cadence = policy.checkpoint_events.max(1);
     let mut checkpoints = vec![engine.snapshot()];
+    if let Some(fl) = engine.flight_recorder_mut() {
+        fl.note_checkpoint(checkpoints[0].delivered_events());
+    }
     let mut report = RecoveryReport {
         attempts: 1,
         rollbacks: 0,
@@ -153,6 +156,10 @@ pub fn supervise_engine(
             match engine.try_run_for(cadence) {
                 Ok(RunStatus::Paused(_)) => {
                     checkpoints.push(engine.snapshot());
+                    let ckpt_id = engine.delivered_events();
+                    if let Some(fl) = engine.flight_recorder_mut() {
+                        fl.note_checkpoint(ckpt_id);
+                    }
                     report.checkpoints += 1;
                     // Keep the pristine checkpoint plus a bounded recent
                     // window; long runs must not hoard every snapshot.
@@ -202,6 +209,12 @@ pub fn supervise_engine(
             rec.open("RECOVERY", snap.now());
             rec.close(fail_now.max(snap.now()));
             rec.count("recovery.rollbacks", 1);
+        }
+        // Every rollback leaves a post-mortem: what the engine was doing
+        // when the attempt failed, before restore rewinds that state away.
+        engine.flight_post_mortem("rollback", fail_now);
+        if let Some(tel) = engine.telemetry_mut() {
+            tel.count("recovery.rollbacks", 1);
         }
 
         engine.restore(snap)?;

@@ -7,8 +7,8 @@
 //!
 //! - `--all` (default): topology, schedule, word-level, layout,
 //!   determinism, checkpoint, critical-path, primitive-registry,
-//!   profiler-invariant and symbolic-dataflow passes over the paper's
-//!   standard configurations;
+//!   profiler-invariant, symbolic-dataflow and telemetry-invariant
+//!   passes over the paper's standard configurations;
 //! - `--json`: emit the report as an `orthotrees-verify/v1` JSON document
 //!   instead of text;
 //! - `--rules`: print the rule catalogue and exit.
@@ -24,7 +24,9 @@ use orthotrees_verify::schedule::{
     aggregate_schedule, broadcast_schedule, lint_against_model, lint_budget, lint_conflicts,
     stream_schedule,
 };
-use orthotrees_verify::{ckpt, critpath, determinism, dflow, primitive, profile, words, RULES};
+use orthotrees_verify::{
+    ckpt, critpath, determinism, dflow, primitive, profile, telemetry, words, RULES,
+};
 use orthotrees_vlsi::{tree::level_wire_lengths, CostKind, CostModel};
 
 /// Tree sizes the netlist and schedule passes sweep.
@@ -159,6 +161,7 @@ fn main() {
     report.extend(primitive::stock_findings());
     report.extend(profile::stock_findings());
     report.extend(dflow::stock_findings());
+    report.extend(telemetry::stock_findings());
 
     if json {
         println!("{}", report.to_json().render());

@@ -268,6 +268,20 @@ pub const RULES: &[Rule] = &[
         subject: "provenance set",
         hint: "make the executor move exactly the words the symbolic program declares",
     },
+    Rule {
+        id: "TEL-001",
+        summary: "sketch-reported quantile falls outside the ε rank band of the exact quantiles",
+        severity: Severity::Error,
+        subject: "quantile sketch",
+        hint: "feed the sketch every recorded sample and keep ε consistent between write and read",
+    },
+    Rule {
+        id: "TEL-002",
+        summary: "flight-recorder dump is not a contiguous suffix of the run's event log",
+        severity: Severity::Error,
+        subject: "flight dump",
+        hint: "record every delivered event in order and never mutate the retained tail",
+    },
 ];
 
 /// Renders the catalogue as the markdown document committed as

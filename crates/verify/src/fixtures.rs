@@ -14,7 +14,9 @@ use crate::diag::Report;
 use crate::mutate::{lint_mutated, Mutation};
 use crate::{ckpt, critpath, determinism, schedule, words};
 use orthotrees::obs::causal::{CausalTrace, Hop, MsgId};
+use orthotrees::obs::json::Json;
 use orthotrees::obs::profile::{Profiler, Window};
+use orthotrees::obs::telemetry::QuantileSketch;
 use orthotrees::otc::Otc;
 use orthotrees_layout::{Chip, ComponentKind, Rect};
 use orthotrees_sim::experiments;
@@ -204,6 +206,29 @@ pub fn firing_fixture(id: &str) -> Report {
             let w2 = Window { index: 2, events: 1, ..Window::default() };
             let prof = Profiler::from_windows(8, vec![w0, w2]);
             report.extend(crate::profile::check_windows("fixture", &prof));
+        }
+        // Telemetry rules.
+        "TEL-001" => {
+            // A sketch fed values 100 larger than the recorded samples:
+            // every reported quantile escapes the exact ε rank band.
+            let mut sk = QuantileSketch::new(0.01);
+            let samples: Vec<u64> = (1..=200).collect();
+            for &s in &samples {
+                sk.observe(s + 100);
+            }
+            report.extend(crate::telemetry::check_sketch("fixture", &sk, &samples));
+        }
+        "TEL-002" => {
+            // A clean black-box broadcast dump with a middle tail entry
+            // removed: the remaining seqs are no longer contiguous.
+            let m = CostModel::thompson(16);
+            let (t, log, _tel, mut fl) =
+                experiments::broadcast_black_box(16, &m).expect("black-box broadcast");
+            let mut dump = fl.dump("export", t, &[]);
+            let mut tail = dump.get("tail").and_then(Json::as_arr).expect("tail array").to_vec();
+            tail.remove(tail.len() / 2);
+            dump.set("tail", Json::arr(tail));
+            report.extend(crate::telemetry::check_flight_dump("fixture", &dump, &log));
         }
         other => panic!("no firing fixture for catalogue rule {other:?}"),
     }

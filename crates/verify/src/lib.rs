@@ -45,6 +45,10 @@
 //!   per-cell provenance sets and static widths (`DFLOW-001..004`), and
 //!   checks the static reach against the dynamic reach traced from the
 //!   real executors, with and without injected faults (`DFLOW-005`).
+//! - [`telemetry`] — the **telemetry invariant checker**: streaming
+//!   quantile sketches must report inside their ε rank band of the exact
+//!   recorded samples (`TEL-001`), and flight-recorder dumps must be a
+//!   contiguous suffix of the run's event log (`TEL-002`).
 //!
 //! The [`mutate`] and [`dflow::DflowMutation`] corruption classes prove
 //! every rule actually fires; [`fixtures`] maps each catalogue rule id to
@@ -76,6 +80,7 @@ pub mod net;
 pub mod primitive;
 pub mod profile;
 pub mod schedule;
+pub mod telemetry;
 pub mod words;
 
 pub use diag::{Finding, Report, Rule, Severity, RULES};

@@ -1,0 +1,251 @@
+//! Telemetry and flight-recorder identity: the streaming bus and the
+//! crash ring must be pure observers. At word level an installed
+//! [`Telemetry`] changes no simulated cell, clock or stat (the
+//! Option-gated zero-overhead contract) while its counters agree with
+//! the run; at engine level the black-box pair (telemetry + flight
+//! recorder) completes at exactly the uninstrumented time and the
+//! flight tail is a contiguous suffix of the event log (TEL-002). The
+//! sketch itself is held to its ε rank-band contract on adversarial
+//! streams (TEL-001), a supervised rollback must leave a parseable
+//! `orthotrees-flight/v1` post-mortem behind, and the release-only
+//! sweep sustains a ≥1000-problem pipelined batch.
+
+use orthotrees::obs::json::Json;
+use orthotrees::obs::telemetry::{within_rank_band, QuantileSketch, Telemetry, REPORTED_QUANTILES};
+use orthotrees::otc::Otc;
+use orthotrees::otn::{self, Axis, Otn, PhaseCost};
+use orthotrees::{BitTime, FaultPlan, FaultStats, OpStats, Word};
+use orthotrees_analysis::experiments::pipeline_telemetry;
+use orthotrees_sim::{experiments, RecoveryPolicy};
+use orthotrees_vlsi::CostModel;
+use proptest::prelude::*;
+
+/// The parallel-suite's moderately damaging plan: detectable and silent
+/// word faults plus retries, so fault handling runs under the bus too.
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed).with_word_fault_rate(0.3).with_max_retries(2)
+}
+
+/// Everything observable about a word-level run.
+type Snapshot = (Vec<Option<Word>>, BitTime, OpStats, FaultStats);
+
+/// Runs the full OTN primitive repertoire; optionally metered, and
+/// snapshots the observable state plus the bus (when installed).
+fn run_otn(n: usize, fault_seed: Option<u64>, meter: bool) -> (Snapshot, Option<Telemetry>) {
+    let mut net = Otn::for_sorting(n).unwrap();
+    if meter {
+        net.install_telemetry(Telemetry::new(64));
+    }
+    if let Some(seed) = fault_seed {
+        net.install_fault_plan(plan(seed));
+    }
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j| Some(((i * 31 + j * 7) % 97) as Word - 13));
+    net.load_row_roots(&(0..n as Word).collect::<Vec<_>>());
+
+    net.root_to_leaf(Axis::Rows, b, otn::all);
+    net.leaf_to_root(Axis::Cols, a, |i, _, _| i == 1);
+    net.count_to_root(Axis::Rows, a);
+    net.sum_to_root(Axis::Rows, a, otn::all);
+    net.min_to_root(Axis::Cols, a, otn::all);
+    net.max_to_root(Axis::Rows, a, otn::all);
+    net.sum_to_leaf(Axis::Rows, a, |_, j, _| j == 0, b, otn::all);
+    net.bp_phase(PhaseCost::Compare, |_, _, _| {});
+
+    let mut cells = Vec::new();
+    for r in [a, b] {
+        for i in 0..n {
+            for j in 0..n {
+                cells.push(net.peek(r, i, j));
+            }
+        }
+    }
+    let snap = (cells, net.clock().now(), *net.clock().stats(), net.fault_stats());
+    (snap, net.take_telemetry())
+}
+
+/// Runs the full OTC stream repertoire; optionally metered.
+fn run_otc(n: usize, fault_seed: Option<u64>, meter: bool) -> (Snapshot, Option<Telemetry>) {
+    let mut net = Otc::for_sorting(n).unwrap();
+    if meter {
+        net.install_telemetry(Telemetry::new(64));
+    }
+    if let Some(seed) = fault_seed {
+        net.install_fault_plan(plan(seed));
+    }
+    let (m, cycle) = (net.side(), net.cycle_len());
+    let a = net.alloc_reg("A");
+    let b = net.alloc_reg("B");
+    net.load_reg(a, |i, j, q| Some(((i * 13 + j * 5 + q * 3) % 89) as Word - 7));
+    net.load_row_root_buffers(
+        &(0..m).map(|t| (0..cycle as Word).map(|q| q + t as Word).collect()).collect::<Vec<_>>(),
+    );
+
+    net.circulate(&[a]);
+    net.root_to_cycle(Axis::Rows, b, |_, _, _| true);
+    net.cycle_to_root(Axis::Rows, a, |_, j, _, _| j == 0);
+    net.sum_cycle_to_root(Axis::Rows, a, |_, _, _, _| true);
+    net.min_cycle_to_root(Axis::Cols, a, |_, _, _, _| true);
+    net.sum_cycle_to_cycle(Axis::Rows, a, |_, _, _, _| true, b, |_, _, _| true);
+
+    let mut cells = Vec::new();
+    for r in [a, b] {
+        for i in 0..m {
+            for j in 0..m {
+                for q in 0..cycle {
+                    cells.push(net.peek(r, i, j, q));
+                }
+            }
+        }
+    }
+    let snap = (cells, net.clock().now(), *net.clock().stats(), net.fault_stats());
+    (snap, net.take_telemetry())
+}
+
+/// Asserts the bus told the truth about a word-level run: the charge
+/// counter matches the charge-duration sketch's population, and the
+/// sketch never reports outside `[min, max]`.
+fn assert_bus_consistency(tel: &Telemetry, charges: &str, taus: &str) {
+    let count = tel.counter(charges);
+    assert!(count > 0, "the repertoire must charge at least once");
+    let sk = tel.sketch(taus).expect("every charge observes its duration");
+    assert_eq!(sk.count(), count, "one observation per counted charge");
+    for (_, q) in REPORTED_QUANTILES {
+        let v = sk.quantile(q).unwrap();
+        assert!(sk.min() <= v && v <= sk.max());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// OTN: metering changes nothing observable — every paper
+    /// primitive, 2² to 2⁷ leaves, with and without a dense fault plan —
+    /// and the bus's counters agree with its own sketch.
+    #[test]
+    fn otn_telemetry_perturbs_nothing_and_agrees(
+        k in 2u32..=7,
+        seed in 0u64..1_000_000,
+        faulty in any::<bool>(),
+    ) {
+        let n = 1usize << k;
+        let fault_seed = faulty.then_some(seed);
+        let (plain, _) = run_otn(n, fault_seed, false);
+        let (metered, tel) = run_otn(n, fault_seed, true);
+        prop_assert_eq!(&plain, &metered);
+        assert_bus_consistency(&tel.unwrap(), "otn.charges", "otn.charge_tau");
+    }
+
+    /// OTC: the same identity and agreement over the stream repertoire.
+    #[test]
+    fn otc_telemetry_perturbs_nothing_and_agrees(
+        size_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+        faulty in any::<bool>(),
+    ) {
+        let n = [16usize, 64, 256][size_idx];
+        let fault_seed = faulty.then_some(seed);
+        let (plain, _) = run_otc(n, fault_seed, false);
+        let (metered, tel) = run_otc(n, fault_seed, true);
+        prop_assert_eq!(&plain, &metered);
+        assert_bus_consistency(&tel.unwrap(), "otc.charges", "otc.charge_tau");
+    }
+
+    /// Engine level: the black-box pair (telemetry + flight recorder)
+    /// completes a bit-level broadcast at exactly the uninstrumented
+    /// time, counts every delivery, and the flight tail passes the
+    /// TEL-002 contiguous-suffix check against the event log.
+    #[test]
+    fn engine_black_box_is_clock_identical_and_contiguous(k in 2u32..=7) {
+        let leaves = 1usize << k;
+        let m = CostModel::thompson(leaves);
+        let bare = experiments::broadcast_completion_time(leaves, &m).unwrap();
+        let (t, log, tel, mut fl) = experiments::broadcast_black_box(leaves, &m).unwrap();
+        prop_assert_eq!(bare, t);
+        prop_assert_eq!(tel.counter("engine.delivered"), log.len() as u64);
+        prop_assert_eq!(fl.recorded(), log.len() as u64);
+        let dump = fl.dump("export", t, &[]);
+        let findings = orthotrees_verify::telemetry::check_flight_dump("suite", &dump, &log);
+        prop_assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    /// TEL-001 at the source: on adversarial integer streams (heavy
+    /// ties, wide dynamic range), every reported sketch quantile stays
+    /// inside the ε rank band of the exact sorted samples.
+    #[test]
+    fn sketch_quantiles_stay_inside_their_rank_band(
+        values in proptest::collection::vec(0u64..1_000_000, 1..600),
+        eps_idx in 0usize..3,
+        modulus_idx in 0usize..3,
+    ) {
+        let eps = [0.001, 0.01, 0.05][eps_idx];
+        let modulus = [0u64, 7, 100][modulus_idx];
+        let mut sk = QuantileSketch::new(eps);
+        let stream: Vec<u64> =
+            values.iter().map(|&v| if modulus == 0 { v } else { v % modulus }).collect();
+        for &v in &stream {
+            sk.observe(v);
+        }
+        let mut sorted = stream;
+        sorted.sort_unstable();
+        for (_, q) in REPORTED_QUANTILES {
+            let v = sk.quantile(q).unwrap();
+            prop_assert!(
+                within_rank_band(&sorted, q, eps, v),
+                "q={q} ε={eps}: {v} escapes the rank band of {} samples", sorted.len()
+            );
+        }
+    }
+}
+
+/// Supervised crash recovery with the black-box pair riding along: the
+/// recovery outcome matches the uninstrumented supervised run, and the
+/// rollback leaves a parseable `orthotrees-flight/v1` post-mortem whose
+/// count the bus agrees with.
+#[test]
+fn a_rollback_dumps_a_parseable_post_mortem() {
+    let values: Vec<u64> = (0..16).collect();
+    let m = CostModel::thompson(16);
+    let policy =
+        RecoveryPolicy { max_attempts: 12, checkpoint_events: 32, min_checkpoint_events: 4 };
+    let (report_a, _, sum_a) = experiments::supervised_sum_recovery(&values, &m, &policy).unwrap();
+    let (report_b, tel, fl, sum_b) =
+        experiments::supervised_sum_recovery_black_box(&values, &m, &policy).unwrap();
+    assert_eq!(report_a, report_b, "the black box must not change recovery behaviour");
+    assert_eq!(sum_a, sum_b);
+    assert!(report_b.rollbacks >= 1, "the outage must actually trip the supervisor");
+    assert_eq!(tel.counter("recovery.rollbacks"), u64::from(report_b.rollbacks));
+
+    let dumps = fl.post_mortems();
+    assert_eq!(dumps.len() as u64, u64::from(report_b.rollbacks), "one post-mortem per rollback");
+    for pm in dumps {
+        let doc = Json::parse(&pm.render()).expect("post-mortem must round-trip as JSON");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(orthotrees::obs::flight::SCHEMA));
+        assert_eq!(doc.get("reason").and_then(Json::as_str), Some("rollback"));
+        assert!(doc.get("tail").and_then(Json::as_arr).is_some());
+        assert!(doc.get("recorded_events").and_then(Json::as_u64).is_some());
+    }
+}
+
+/// Release-only sweep (`ci.sh`): a ≥1000-problem pipelined batch
+/// sustains its SLO — positive throughput, ordered quantiles bounded by
+/// the makespan, and a sketch still inside its ε band of the exact
+/// completions at that population.
+#[test]
+#[ignore = "release-only: 1024 pipelined problems"]
+fn pipeline_slo_sustains_a_thousand_problems() {
+    let slo = pipeline_telemetry(64, 1024, 42).unwrap();
+    assert_eq!(slo.completions.len(), 1024);
+    assert!(slo.problems_per_mtau() > 0.0);
+    let [p50, p90, p99] = slo.quantiles;
+    assert!(p50 <= p90 && p90 <= p99, "{:?}", slo.quantiles);
+    assert!(p50 >= slo.single_latency.get());
+    assert!(p99 <= slo.makespan.get());
+    let mut sorted = slo.completions.clone();
+    sorted.sort_unstable();
+    let eps = slo.telemetry.epsilon();
+    for (&(_, q), &v) in REPORTED_QUANTILES.iter().zip(&slo.quantiles) {
+        assert!(within_rank_band(&sorted, q, eps, v), "q={q} v={v} outside ε band at 1024");
+    }
+}
