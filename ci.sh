@@ -20,8 +20,17 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 cargo run --release -p orthotrees-bench --bin benchdiff -- --baseline BENCH_2.json
 # Profiler smoke: regenerate the quick matrix in-process, validate the
 # document, and diff against the committed baseline (exit 1 on any
-# completion/event/peak regression or hot-spot shift).
-cargo run --release -p orthotrees-bench --bin simprof -- --baseline PROF_7.json
+# completion/event/peak regression or hot-spot shift). The speedup floor
+# gates the event-core microbench: the ladder calendar must stay at
+# least 1.2× faster than the heap oracle in ns/event (release build;
+# measured ≈1.9× on the reference machine, so 1.2 absorbs CI noise).
+cargo run --release -p orthotrees-bench --bin simprof -- --baseline PROF_7.json --speedup-floor 1.2
+# Calendar identity gate: every engine-level probe must be bit-identical
+# on the heap oracle and the ladder queue, snapshots must restore across
+# calendars, and the committed /v1 fixture must match fresh bytes. The
+# ignored sweep widens the grid to n = 128; see tests/calendar_suite.rs.
+cargo test --release -q -p orthotrees-bench --test calendar_suite
+cargo test --release -q -p orthotrees-bench --test calendar_suite -- --ignored full_probe_sweep_across_calendars
 # Bounded recovery soak (fixed seed, outage-dense plan, n = 128): must
 # recover within the pinned attempt budget; see tests/recovery_suite.rs.
 cargo test --release -q -p orthotrees-bench --test recovery_suite -- --ignored ci_bounded_soak

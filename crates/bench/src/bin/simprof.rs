@@ -4,7 +4,7 @@
 //! simprof --emit PROF_7.json [--full]
 //! simprof --baseline PROF_7.json [--current <file>] [--json <out>]
 //!         [--time-threshold 0.05] [--events-threshold 0.05]
-//!         [--peak-threshold 0.10]
+//!         [--peak-threshold 0.10] [--speedup-floor 1.2]
 //! ```
 //!
 //! - `--emit <file>`: run the fixed workload matrix (word-level
@@ -21,7 +21,11 @@
 //! - `--json <out>`: also write the `orthotrees-profdiff/v1` document;
 //! - threshold flags override the per-metric gates (completion and total
 //!   events 5%, peak calendar depth 10%; a shifted top-1 hot spot always
-//!   fails).
+//!   fails);
+//! - `--speedup-floor <x>`: require the event-core microbench's
+//!   heap-over-ladder speedup to reach `x` (an absolute gate on the
+//!   current run; default 0 = disabled, because the ns/event figures
+//!   are machine-dependent and debug builds are too noisy to gate).
 //!
 //! Exits 0 when clean, 1 on a regression or a vanished row, 2 on bad
 //! arguments, unreadable input, or a schema-invalid document.
@@ -36,7 +40,8 @@ fn fail(msg: &str) -> ! {
     eprintln!("simprof: {msg}");
     eprintln!(
         "usage: simprof --emit <file> [--full] | --baseline <file> [--current <file>] \
-         [--json <out>] [--time-threshold X] [--events-threshold X] [--peak-threshold X]"
+         [--json <out>] [--time-threshold X] [--events-threshold X] [--peak-threshold X] \
+         [--speedup-floor X]"
     );
     exit(2);
 }
@@ -90,6 +95,9 @@ fn main() {
             }
             "--peak-threshold" => {
                 thresholds.peak_rel = number("--peak-threshold", value("--peak-threshold"));
+            }
+            "--speedup-floor" => {
+                thresholds.speedup_floor = number("--speedup-floor", value("--speedup-floor"));
             }
             other => fail(&format!("unknown argument {other}")),
         }

@@ -34,9 +34,11 @@ use orthotrees::otc::{self, Otc};
 use orthotrees::otn::{self, Otn};
 use orthotrees::FaultPlan;
 use orthotrees_analysis::workloads;
-use orthotrees_sim::{experiments, RecoveryPolicy};
+use orthotrees_sim::experiments::{self, ProbeKind};
+use orthotrees_sim::{CalendarKind, RecoveryPolicy};
 use orthotrees_vlsi::CostModel;
 use std::fmt::Write as _;
+use std::time::Instant;
 
 /// The profile document's schema identifier.
 pub const SCHEMA: &str = "orthotrees-profile/v1";
@@ -118,6 +120,82 @@ fn footprint_json(f: Option<&Footprint>) -> Json {
             ("delivered_events", Json::u64(f.delivered_events)),
         ]),
     }
+}
+
+/// Leaf count of the event-core microbench probe: the §IV converging
+/// streams at this size push ~30 k events through the calendar per run,
+/// the densest traffic the repertoire produces.
+pub const EVENTCORE_LEAVES: usize = 512;
+
+/// Timing repetitions per calendar in the event-core microbench
+/// (best-of; the quick preset keeps the smoke run cheap).
+pub fn eventcore_reps(preset_name: &str) -> u32 {
+    if preset_name == "full" {
+        5
+    } else {
+        2
+    }
+}
+
+/// The event-core microbench section of the profile document: the
+/// converging-streams probe at [`EVENTCORE_LEAVES`] under a dense
+/// link-fault plan, run on the binary-heap oracle and the ladder
+/// calendar. Delivered-event count and end time are deterministic and
+/// diffed against the baseline exactly; the ns/event figures are
+/// machine-dependent and carried for humans (and for the absolute
+/// `--speedup-floor` gate), not diffed numerically.
+///
+/// Timing covers [`Engine::try_run`](orthotrees_sim::Engine::try_run)
+/// only — network construction is excluded, and the delivered-bit log is
+/// left off so the measurement sees no allocation churn from
+/// instrumentation.
+pub fn eventcore_section(preset_name: &str, seed: u64) -> Json {
+    let m = CostModel::thompson(EVENTCORE_LEAVES);
+    let reps = eventcore_reps(preset_name);
+    let mut per_cal = Vec::new();
+    for cal in [CalendarKind::Heap, CalendarKind::Ladder] {
+        let mut best_ns = u128::MAX;
+        let mut events = 0u64;
+        let mut end = 0u64;
+        for _ in 0..reps {
+            let plan = FaultPlan::new(seed).with_link_fault_rate(DENSE_FAULT_RATE);
+            let mut e = experiments::probe_engine(
+                ProbeKind::Stream,
+                EVENTCORE_LEAVES,
+                &m,
+                cal,
+                Some(plan),
+                false,
+            );
+            let t0 = Instant::now();
+            e.try_run().expect("stream probe runs within budget");
+            best_ns = best_ns.min(t0.elapsed().as_nanos());
+            events = e.delivered_events();
+            end = e.now().get();
+        }
+        per_cal.push((events, end, best_ns));
+    }
+    let (h_events, h_end, h_ns) = per_cal[0];
+    let (l_events, l_end, l_ns) = per_cal[1];
+    assert_eq!(
+        (h_events, h_end),
+        (l_events, l_end),
+        "heap and ladder calendars diverged inside the microbench"
+    );
+    let ns_per = |ns: u128| ns as f64 / h_events.max(1) as f64;
+    let heap = ns_per(h_ns);
+    let ladder = ns_per(l_ns);
+    Json::obj([
+        ("workload", Json::str("STREAM")),
+        ("n", Json::u64(EVENTCORE_LEAVES as u64)),
+        ("faulty", Json::bool(true)),
+        ("reps", Json::u64(u64::from(reps))),
+        ("events", Json::u64(h_events)),
+        ("end_bits", Json::u64(h_end)),
+        ("heap_ns_per_event", Json::f64(heap)),
+        ("ladder_ns_per_event", Json::f64(ladder)),
+        ("speedup", Json::f64(heap / ladder.max(f64::MIN_POSITIVE))),
+    ])
 }
 
 /// One document row: workload identity, the windowed profile, the
@@ -243,6 +321,7 @@ pub fn profile_document(preset_name: &str, seed: u64) -> Json {
         ("preset", Json::str(preset_name)),
         ("seed", Json::u64(seed)),
         ("rows", Json::arr(rows)),
+        ("eventcore", eventcore_section(preset_name, seed)),
     ])
 }
 
@@ -356,6 +435,30 @@ pub fn profile_violations(doc: &Json) -> Vec<String> {
             );
         }
     }
+
+    // The event-core microbench section.
+    match doc.get("eventcore") {
+        None => errs.push("eventcore section missing".to_string()),
+        Some(ec) => {
+            check(
+                &mut errs,
+                row_u64(ec, "events").is_some_and(|e| e > 0),
+                "eventcore: events missing or zero".to_string(),
+            );
+            check(
+                &mut errs,
+                row_u64(ec, "end_bits").is_some(),
+                "eventcore: end_bits missing".to_string(),
+            );
+            for key in ["heap_ns_per_event", "ladder_ns_per_event", "speedup"] {
+                check(
+                    &mut errs,
+                    ec.get(key).and_then(Json::as_f64).is_some_and(|v| v > 0.0),
+                    format!("eventcore: {key} missing or non-positive"),
+                );
+            }
+        }
+    }
     errs
 }
 
@@ -370,11 +473,18 @@ pub struct ProfileThresholds {
     /// Allowed relative change in `peak_calendar_depth` (default 10% —
     /// the peak moves in whole calendar entries, so it is noisier).
     pub peak_rel: f64,
+    /// Minimum required heap-over-ladder speedup in the event-core
+    /// microbench (an absolute gate on the *current* run — the ns/event
+    /// figures are machine-dependent, so they are never compared against
+    /// the baseline). The default `0.0` disables the gate; CI's release
+    /// run passes an explicit `--speedup-floor` (debug-build timings are
+    /// too noisy to gate).
+    pub speedup_floor: f64,
 }
 
 impl Default for ProfileThresholds {
     fn default() -> Self {
-        ProfileThresholds { time_rel: 0.05, events_rel: 0.05, peak_rel: 0.10 }
+        ProfileThresholds { time_rel: 0.05, events_rel: 0.05, peak_rel: 0.10, speedup_floor: 0.0 }
     }
 }
 
@@ -594,6 +704,69 @@ pub fn diff(baseline: &Json, current: &Json, thresholds: &ProfileThresholds) -> 
             });
         }
     }
+
+    // Event-core microbench: the deterministic metrics (delivered events,
+    // end time) must match the baseline *exactly* — any drift means the
+    // calendars changed behaviour, not just speed. The wall-clock speedup
+    // gates against the absolute floor instead of the baseline. A
+    // baseline without the section (pre-overhaul) is skipped silently.
+    if let Some(base_ec) = baseline.get("eventcore") {
+        let cur_ec = current.get("eventcore");
+        let ec_n = row_u64(base_ec, "n").unwrap_or(0);
+        let mut push = |metric, baseline: f64, current: f64, status, note: String| {
+            report.entries.push(ProfileDiffEntry {
+                workload: "EVENTCORE".to_string(),
+                n: ec_n,
+                faulty: true,
+                metric,
+                baseline,
+                current,
+                rel: if baseline == 0.0 { 0.0 } else { (current - baseline) / baseline },
+                status,
+                note,
+            });
+        };
+        for metric in ["events", "end_bits"] {
+            let Some(base_v) = row_u64(base_ec, metric) else { continue };
+            match cur_ec.and_then(|c| row_u64(c, metric)) {
+                None => push(
+                    if metric == "events" { "eventcore_events" } else { "eventcore_end_bits" },
+                    base_v as f64,
+                    0.0,
+                    Status::Missing,
+                    String::new(),
+                ),
+                Some(cur_v) => push(
+                    if metric == "events" { "eventcore_events" } else { "eventcore_end_bits" },
+                    base_v as f64,
+                    cur_v as f64,
+                    if cur_v == base_v { Status::Ok } else { Status::Regressed },
+                    if cur_v == base_v {
+                        String::new()
+                    } else {
+                        "deterministic metric drifted".to_string()
+                    },
+                ),
+            }
+        }
+        match cur_ec.and_then(|c| c.get("speedup").and_then(Json::as_f64)) {
+            None => push(
+                "eventcore_speedup",
+                thresholds.speedup_floor,
+                0.0,
+                Status::Missing,
+                String::new(),
+            ),
+            Some(speedup) => {
+                let status = if speedup >= thresholds.speedup_floor {
+                    Status::Ok
+                } else {
+                    Status::Regressed
+                };
+                push("eventcore_speedup", thresholds.speedup_floor, speedup, status, String::new());
+            }
+        }
+    }
     report
 }
 
@@ -722,6 +895,49 @@ mod tests {
         let hot: Vec<_> = report.with_status(Status::Regressed).collect();
         assert!(hot.iter().any(|e| e.metric == "hot_top" && e.note.contains("node 999")));
         assert!(report.render_text().contains("hot spot shifted"), "{}", report.render_text());
+    }
+
+    fn tweak_eventcore<F: FnMut(&mut Vec<(String, Json)>)>(doc: &Json, mut f: F) -> Json {
+        let mut doc = doc.clone();
+        let Json::Obj(pairs) = &mut doc else { panic!("document is an object") };
+        let (_, ec) = pairs.iter_mut().find(|(k, _)| k == "eventcore").expect("eventcore present");
+        let Json::Obj(ec) = ec else { panic!("eventcore is an object") };
+        f(ec);
+        doc
+    }
+
+    #[test]
+    fn eventcore_deterministic_drift_is_a_regression() {
+        let base = profile_document("quick", 42);
+        let drifted = tweak_eventcore(&base, |ec| {
+            for (k, v) in ec.iter_mut() {
+                if k == "events" {
+                    *v = Json::u64(v.as_u64().unwrap() + 1);
+                }
+            }
+        });
+        let report = diff(&base, &drifted, &ProfileThresholds::default());
+        assert!(!report.is_clean());
+        assert!(report
+            .with_status(Status::Regressed)
+            .any(|e| e.metric == "eventcore_events" && e.note.contains("deterministic")));
+    }
+
+    #[test]
+    fn eventcore_speedup_floor_gates_only_when_enabled() {
+        let base = profile_document("quick", 42);
+        let slow = tweak_eventcore(&base, |ec| {
+            for (k, v) in ec.iter_mut() {
+                if k == "speedup" {
+                    *v = Json::f64(0.5);
+                }
+            }
+        });
+        let lax = ProfileThresholds::default();
+        assert!(diff(&base, &slow, &lax).is_clean(), "floor 0 must not gate");
+        let strict = ProfileThresholds { speedup_floor: 1.2, ..lax };
+        let report = diff(&base, &slow, &strict);
+        assert!(report.with_status(Status::Regressed).any(|e| e.metric == "eventcore_speedup"));
     }
 
     #[test]

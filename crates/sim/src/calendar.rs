@@ -1,0 +1,575 @@
+//! Pending-event calendars.
+//!
+//! The engine's run loop is generic over a [`Calendar`]: anything that
+//! accepts [`Pending`] events and yields them back in exact `(at, seq)`
+//! order. Because every event carries a *unique* ordering key (the
+//! scheduling counter, or its complement under LIFO ties), the delivery
+//! order is a total order independent of the data structure — so any
+//! correct calendar is bit-, clock- and stats-identical to any other.
+//! Two implementations ship:
+//!
+//! * [`HeapCalendar`] — the original `BinaryHeap<Reverse<Pending>>`. Kept
+//!   as the oracle: `O(log n)` comparator-driven push/pop, allocation via
+//!   the heap's backing vector.
+//! * [`LadderCalendar`] — a ladder/radix queue: a circular timing wheel
+//!   of [`RUNG_BUCKETS`] width-1τ buckets over [`BitTime`], an unsorted
+//!   overflow rung for events beyond the wheel's window, and a flat
+//!   [`Pending`] arena with free-list recycling. Steady-state push/pop is
+//!   `O(1)` amortized and performs **zero allocations** once the arena has
+//!   grown to the run's peak calendar depth.
+//!
+//! # Ladder invariants
+//!
+//! With `cur` the wheel's current scan time:
+//!
+//! 1. every wheel-resident event has `at ∈ [cur, cur + RUNG_BUCKETS)`
+//!    (the *window*), and lives in bucket `at % RUNG_BUCKETS`;
+//! 2. a window narrower than the rung means any one bucket holds at most
+//!    one distinct timestamp, so within-bucket order is purely the `seq`
+//!    key — kept sorted on insert, with O(1) tail-append (FIFO keys rise
+//!    monotonically) and head-prepend (LIFO keys fall) fast paths;
+//! 3. events with `at` beyond the window wait in the overflow rung,
+//!    unordered; when the wheel drains, `cur` jumps to the overflow
+//!    minimum and the rung is redistributed;
+//! 4. the first push into an empty calendar sets `cur = at` (which is how
+//!    a [`restore`](crate::Engine::restore) — pushes in ascending order
+//!    into a cleared calendar — lands every event in the right rung);
+//! 5. a push *before* `cur` (never produced by the engine, whose clock is
+//!    monotone) rebuilds the wheel around the earlier floor rather than
+//!    corrupting the window.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::engine::Pending;
+
+/// Which pending-event calendar an [`Engine`](crate::Engine) runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CalendarKind {
+    /// The original binary heap (the verification oracle).
+    Heap,
+    /// The ladder/radix queue (timing wheel + overflow rung + flat arena).
+    Ladder,
+}
+
+impl CalendarKind {
+    /// Stable lowercase tag (bench documents, CLI selection).
+    pub fn tag(self) -> &'static str {
+        match self {
+            CalendarKind::Heap => "heap",
+            CalendarKind::Ladder => "ladder",
+        }
+    }
+}
+
+/// A pending-event queue delivering events in exact `(at, seq)` order.
+///
+/// `seq` here is the *ordering key* ([`Pending::seq`]), which the engine
+/// derives from the scheduling counter — unique per event, so ties never
+/// reach the calendar and every implementation yields one total order.
+pub(crate) trait Calendar {
+    /// Inserts an event.
+    fn push(&mut self, ev: Pending);
+    /// Removes and returns the `(at, seq)`-minimal event.
+    fn pop(&mut self) -> Option<Pending>;
+    /// Number of pending events.
+    fn len(&self) -> usize;
+    /// Whether no event is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Drops every pending event (checkpoint restore does this first).
+    fn clear(&mut self);
+    /// Every pending event, in unspecified order (snapshot capture sorts).
+    fn events(&self) -> Vec<Pending>;
+    /// Which implementation this is.
+    fn kind(&self) -> CalendarKind;
+}
+
+/// Builds an empty calendar of the given kind.
+pub(crate) fn new_calendar(kind: CalendarKind) -> Box<dyn Calendar> {
+    match kind {
+        CalendarKind::Heap => Box::new(HeapCalendar::default()),
+        CalendarKind::Ladder => Box::new(LadderCalendar::default()),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Heap oracle.
+// ----------------------------------------------------------------------
+
+/// The original `BinaryHeap<Reverse<Pending>>` calendar.
+#[derive(Default)]
+pub(crate) struct HeapCalendar {
+    heap: BinaryHeap<Reverse<Pending>>,
+}
+
+impl Calendar for HeapCalendar {
+    fn push(&mut self, ev: Pending) {
+        self.heap.push(Reverse(ev));
+    }
+    fn pop(&mut self) -> Option<Pending> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+    fn events(&self) -> Vec<Pending> {
+        self.heap.iter().map(|p| p.0).collect()
+    }
+    fn kind(&self) -> CalendarKind {
+        CalendarKind::Heap
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ladder queue.
+// ----------------------------------------------------------------------
+
+/// Buckets on the wheel: one τ wide each, so the window spans 1024τ.
+/// Wider than any single gate/wire delay the cost models price below
+/// n ≈ 2¹⁰ leaves; longer wires simply take the overflow rung.
+pub(crate) const RUNG_BUCKETS: u64 = 1024;
+
+/// Words of the wheel's occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = (RUNG_BUCKETS as usize) / 64;
+
+/// Arena null index.
+const NIL: u32 = u32::MAX;
+
+/// One arena cell: an event plus the intrusive within-bucket list link.
+#[derive(Clone, Copy)]
+struct Slot {
+    ev: Pending,
+    next: u32,
+}
+
+/// One wheel bucket: an intrusive singly linked list kept sorted by
+/// `(at, seq)`, with its tail cached for the O(1) append fast path.
+#[derive(Clone, Copy)]
+struct Bucket {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_BUCKET: Bucket = Bucket { head: NIL, tail: NIL };
+
+/// The ladder/radix calendar. See the [module docs](self) for invariants.
+pub(crate) struct LadderCalendar {
+    /// Flat event arena; freed cells chain through `next` from `free`.
+    slots: Vec<Slot>,
+    /// Head of the free list ([`NIL`] when the arena is fully live).
+    free: u32,
+    /// The circular wheel of width-1τ buckets.
+    wheel: Box<[Bucket]>,
+    /// One bit per bucket (set = non-empty), so the pop scan jumps to the
+    /// next occupied bucket with `trailing_zeros` instead of walking every
+    /// empty bucket of a sparse timeline.
+    occ: [u64; OCC_WORDS],
+    /// Events with `at` beyond the window, unordered (arena indices).
+    overflow: Vec<u32>,
+    /// Earliest timestamp on the overflow rung (`u64::MAX` when empty).
+    /// Checked against the window on every pop: as `cur` advances the
+    /// window slides forward, and rung events that fall inside it must be
+    /// migrated onto the wheel *before* the scan, or a later wheel event
+    /// would pop first.
+    overflow_min: u64,
+    /// Scratch for overflow redistribution (retained to avoid realloc).
+    scratch: Vec<u32>,
+    /// Wheel scan time: every wheel event is in `[cur, cur + RUNG_BUCKETS)`.
+    cur: u64,
+    /// Events on the wheel (excludes the overflow rung).
+    wheel_len: usize,
+    /// Total pending events.
+    len: usize,
+}
+
+impl Default for LadderCalendar {
+    fn default() -> Self {
+        LadderCalendar {
+            slots: Vec::new(),
+            free: NIL,
+            wheel: vec![EMPTY_BUCKET; RUNG_BUCKETS as usize].into_boxed_slice(),
+            occ: [0; OCC_WORDS],
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            scratch: Vec::new(),
+            cur: 0,
+            wheel_len: 0,
+            len: 0,
+        }
+    }
+}
+
+impl LadderCalendar {
+    fn alloc(&mut self, ev: Pending) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            self.free = self.slots[idx as usize].next;
+            self.slots[idx as usize] = Slot { ev, next: NIL };
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            assert!(idx != NIL, "ladder arena exceeds u32 indices");
+            self.slots.push(Slot { ev, next: NIL });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.slots[idx as usize].next = self.free;
+        self.free = idx;
+    }
+
+    fn key(&self, idx: u32) -> (u64, u64) {
+        let ev = &self.slots[idx as usize].ev;
+        (ev.at.get(), ev.seq)
+    }
+
+    /// End of the wheel's window (saturating near the top of the clock:
+    /// the window merely narrows, which the invariants tolerate).
+    fn window_end(&self) -> u64 {
+        self.cur.saturating_add(RUNG_BUCKETS)
+    }
+
+    /// Sorted insertion into bucket `at % RUNG_BUCKETS`. O(1) for the
+    /// engine's steady states (FIFO appends at the tail, LIFO prepends at
+    /// the head, restore appends in order); linear within the bucket
+    /// otherwise.
+    fn bucket_insert(&mut self, idx: u32) {
+        let at = self.slots[idx as usize].ev.at.get();
+        debug_assert!(at >= self.cur && at < self.window_end(), "event outside the window");
+        let b = (at % RUNG_BUCKETS) as usize;
+        let key = self.key(idx);
+        let Bucket { head, tail } = self.wheel[b];
+        if head == NIL {
+            self.wheel[b] = Bucket { head: idx, tail: idx };
+            self.occ[b / 64] |= 1 << (b % 64);
+        } else if key >= self.key(tail) {
+            self.slots[tail as usize].next = idx;
+            self.wheel[b].tail = idx;
+        } else if key < self.key(head) {
+            self.slots[idx as usize].next = head;
+            self.wheel[b].head = idx;
+        } else {
+            // Strictly between head and tail keys: walk to the last cell
+            // with a smaller key. `key < key(tail)` means the walk stops
+            // before the tail, so the cached tail is untouched. The loop
+            // is bounded by the bucket population, which the engine only
+            // reaches via out-of-order restores — never in steady state.
+            let mut prev = head;
+            while self.slots[prev as usize].next != NIL
+                && self.key(self.slots[prev as usize].next) <= key
+            {
+                prev = self.slots[prev as usize].next;
+            }
+            self.slots[idx as usize].next = self.slots[prev as usize].next;
+            self.slots[prev as usize].next = idx;
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Routes an event to the wheel or the overflow rung. The caller has
+    /// already established `ev.at >= cur` (by anchoring or rebuilding).
+    fn insert(&mut self, ev: Pending) {
+        let at = ev.at.get();
+        let idx = self.alloc(ev);
+        if at >= self.window_end() {
+            self.overflow.push(idx);
+            self.overflow_min = self.overflow_min.min(at);
+        } else {
+            self.bucket_insert(idx);
+        }
+        self.len += 1;
+    }
+
+    /// Collects every live event and rebuilds the wheel with `floor` as
+    /// the new scan time. Cold path: only a push earlier than `cur`
+    /// (which the engine's monotone clock never produces) lands here.
+    /// Uses [`insert`](Self::insert) directly so the first re-inserted
+    /// event cannot re-anchor `cur` away from the floor.
+    fn rebuild_with_floor(&mut self, floor: u64) {
+        let events = self.events();
+        self.clear();
+        self.cur = floor;
+        for ev in events {
+            self.insert(ev);
+        }
+    }
+
+    /// Moves every rung event now inside the window onto the wheel and
+    /// recomputes the rung minimum. Amortized over the pops that advanced
+    /// the window past those events.
+    fn migrate_overflow(&mut self) {
+        let end = self.window_end();
+        let mut pending = std::mem::take(&mut self.overflow);
+        let mut keep = std::mem::take(&mut self.scratch);
+        keep.clear();
+        let mut min_kept = u64::MAX;
+        for idx in pending.drain(..) {
+            let at = self.slots[idx as usize].ev.at.get();
+            if at < end {
+                self.slots[idx as usize].next = NIL;
+                self.bucket_insert(idx);
+            } else {
+                min_kept = min_kept.min(at);
+                keep.push(idx);
+            }
+        }
+        self.overflow = keep;
+        self.overflow_min = min_kept;
+        self.scratch = pending;
+    }
+
+    /// First occupied bucket at or (circularly) after `start`. The window
+    /// invariant makes circular order from `cur` equal time order, so the
+    /// wrap case is simply "later this lap". Caller guarantees
+    /// `wheel_len > 0`, so some bit is set and the loop terminates.
+    fn next_occupied(&self, start: usize) -> usize {
+        let w0 = start / 64;
+        let masked = self.occ[w0] & (!0u64 << (start % 64));
+        if masked != 0 {
+            return w0 * 64 + masked.trailing_zeros() as usize;
+        }
+        let mut w = w0;
+        loop {
+            w = (w + 1) % OCC_WORDS;
+            let bits = self.occ[w];
+            if bits != 0 {
+                return w * 64 + bits.trailing_zeros() as usize;
+            }
+            debug_assert!(w != w0, "occupancy bitmap empty with wheel_len > 0");
+        }
+    }
+}
+
+impl Calendar for LadderCalendar {
+    fn push(&mut self, ev: Pending) {
+        let at = ev.at.get();
+        if self.len == 0 {
+            // Invariant 4: an empty calendar re-anchors on the first push.
+            self.cur = at;
+        } else if at < self.cur {
+            // Invariant 5: time rewind — rebuild around the earlier floor.
+            self.rebuild_with_floor(at);
+        }
+        self.insert(ev);
+    }
+
+    fn pop(&mut self) -> Option<Pending> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // The wheel drained: jump straight to the rung's minimum.
+            debug_assert!(!self.overflow.is_empty());
+            self.cur = self.overflow_min;
+        }
+        if self.overflow_min < self.window_end() {
+            self.migrate_overflow();
+        }
+        // Jump to the next occupied bucket via the bitmap; invariant 1
+        // bounds the jump to one lap, so the circular distance from the
+        // current bucket is exactly how far `cur` advances.
+        let b0 = (self.cur % RUNG_BUCKETS) as usize;
+        let b = self.next_occupied(b0);
+        self.cur += ((b + RUNG_BUCKETS as usize - b0) % RUNG_BUCKETS as usize) as u64;
+        let idx = self.wheel[b].head;
+        let Slot { ev, next } = self.slots[idx as usize];
+        debug_assert_eq!(ev.at.get(), self.cur, "width-1 bucket holds a single timestamp");
+        self.wheel[b].head = next;
+        if next == NIL {
+            self.wheel[b].tail = NIL;
+            self.occ[b / 64] &= !(1 << (b % 64));
+        }
+        self.release(idx);
+        self.wheel_len -= 1;
+        self.len -= 1;
+        Some(ev)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.wheel.fill(EMPTY_BUCKET);
+        self.occ = [0; OCC_WORDS];
+        self.overflow.clear();
+        self.overflow_min = u64::MAX;
+        self.slots.clear();
+        self.free = NIL;
+        self.wheel_len = 0;
+        self.len = 0;
+        self.cur = 0;
+    }
+
+    fn events(&self) -> Vec<Pending> {
+        let mut out = Vec::with_capacity(self.len);
+        for b in self.wheel.iter() {
+            let mut idx = b.head;
+            while idx != NIL {
+                let slot = self.slots[idx as usize];
+                out.push(slot.ev);
+                idx = slot.next;
+            }
+        }
+        out.extend(self.overflow.iter().map(|&i| self.slots[i as usize].ev));
+        out
+    }
+
+    fn kind(&self) -> CalendarKind {
+        CalendarKind::Ladder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{Bit, NodeId, PortId};
+    use orthotrees_vlsi::BitTime;
+
+    fn ev(at: u64, seq: u64) -> Pending {
+        Pending {
+            at: BitTime::new(at),
+            seq,
+            msg: seq,
+            node: NodeId(0),
+            port: PortId(0),
+            bit: Bit { value: seq.is_multiple_of(2), index: (seq % 7) as u32 },
+        }
+    }
+
+    /// Drains both calendars fed the same events and asserts an identical
+    /// pop sequence (the heap is the oracle).
+    fn assert_identical(events: &[Pending]) {
+        let mut heap = HeapCalendar::default();
+        let mut ladder = LadderCalendar::default();
+        for &e in events {
+            heap.push(e);
+            ladder.push(e);
+        }
+        assert_eq!(heap.len(), ladder.len());
+        loop {
+            let (h, l) = (heap.pop(), ladder.pop());
+            assert_eq!(h, l, "heap and ladder disagree");
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_matches_heap_on_fifo_order() {
+        let events: Vec<Pending> = (0..200).map(|i| ev(i / 3, i)).collect();
+        assert_identical(&events);
+    }
+
+    #[test]
+    fn ladder_matches_heap_on_lifo_keys() {
+        let events: Vec<Pending> = (0..200).map(|i| ev(i / 3, u64::MAX - i)).collect();
+        assert_identical(&events);
+    }
+
+    #[test]
+    fn ladder_matches_heap_on_scrambled_times_beyond_the_window() {
+        // Deterministic LCG scramble with times up to 64 windows out.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let events: Vec<Pending> = (0..500)
+            .map(|i| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ev(x % (RUNG_BUCKETS * 64), i)
+            })
+            .collect();
+        assert_identical(&events);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_identical_and_allocation_free() {
+        let mut heap = HeapCalendar::default();
+        let mut ladder = LadderCalendar::default();
+        // Warm the arena, then interleave pops and pushes at rising times
+        // the way the engine does; the arena must stop growing.
+        let mut seq = 0u64;
+        for i in 0..64 {
+            heap.push(ev(i, seq));
+            ladder.push(ev(i, seq));
+            seq += 1;
+        }
+        let arena_peak = ladder.slots.len();
+        for round in 0..2000u64 {
+            let h = heap.pop().unwrap();
+            let l = ladder.pop().unwrap();
+            assert_eq!(h, l);
+            let at = h.at.get() + 1 + round % 17;
+            heap.push(ev(at, seq));
+            ladder.push(ev(at, seq));
+            seq += 1;
+        }
+        assert_eq!(
+            ladder.slots.len(),
+            arena_peak,
+            "free-list recycling must keep steady-state pushes allocation-free"
+        );
+    }
+
+    #[test]
+    fn rung_event_sliding_into_the_window_pops_before_later_wheel_events() {
+        // Regression: cur advances, the window slides forward, and an
+        // overflow event falls inside it. A later push lands directly on
+        // the wheel; the rung event must still pop first.
+        let mut ladder = LadderCalendar::default();
+        ladder.push(ev(1_000, 1)); // wheel (window [0, 1024))
+        ladder.push(ev(2_000, 2)); // overflow rung
+        assert_eq!(ladder.pop().unwrap().at.get(), 1_000); // cur = 1000
+        ladder.push(ev(2_010, 3)); // now in-window, straight to the wheel
+        assert_eq!(ladder.pop().unwrap().at.get(), 2_000, "rung event migrates in first");
+        assert_eq!(ladder.pop().unwrap().at.get(), 2_010);
+        assert!(ladder.pop().is_none());
+    }
+
+    #[test]
+    fn push_before_cur_rebuilds_rather_than_corrupting() {
+        let mut ladder = LadderCalendar::default();
+        ladder.push(ev(100, 1));
+        assert_eq!(ladder.pop().unwrap().at.get(), 100);
+        // cur is now 100; a push at 5 must still come out first.
+        ladder.push(ev(200, 2));
+        ladder.push(ev(5, 3));
+        assert_eq!(ladder.pop().unwrap().at.get(), 5);
+        assert_eq!(ladder.pop().unwrap().at.get(), 200);
+        assert!(ladder.pop().is_none());
+    }
+
+    #[test]
+    fn clear_resets_and_calendar_reanchors() {
+        let mut ladder = LadderCalendar::default();
+        for i in 0..10 {
+            ladder.push(ev(i * 100, i));
+        }
+        ladder.clear();
+        assert_eq!(ladder.len(), 0);
+        assert!(ladder.pop().is_none());
+        // Restore pattern: ascending pushes into a cleared calendar.
+        ladder.push(ev(7_000, 1));
+        ladder.push(ev(7_000, 2));
+        ladder.push(ev(9_999, 3));
+        assert_eq!(ladder.pop().unwrap().seq, 1);
+        assert_eq!(ladder.pop().unwrap().seq, 2);
+        assert_eq!(ladder.pop().unwrap().at.get(), 9_999);
+    }
+
+    #[test]
+    fn events_view_is_complete_across_wheel_and_overflow() {
+        let mut ladder = LadderCalendar::default();
+        for i in 0..50 {
+            ladder.push(ev(i * 997, i)); // spills far past one window
+        }
+        let mut seqs: Vec<u64> = ladder.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..50).collect::<Vec<u64>>());
+    }
+}

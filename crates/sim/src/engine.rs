@@ -4,10 +4,15 @@
 //! FIFO tie-break) drives node activations until quiescence. The engine is
 //! deliberately minimal: all semantics live in the node behaviours and the
 //! link pipelining rule.
+//!
+//! The calendar itself is pluggable (see [`crate::calendar`]): the default
+//! is the allocation-free ladder queue, with the original binary heap kept
+//! as the verification oracle — [`Engine::with_calendar`] selects. Both
+//! deliver the same total `(time, scheduling-order)` sequence, so which one
+//! is installed is observably irrelevant (the ENG-001 verify rule and the
+//! `calendar_suite` proptests hold this to account).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
+use crate::calendar::{new_calendar, Calendar, CalendarKind};
 use crate::fault::{FaultPlan, FaultStats, LinkFaultKind, RunBudget};
 use crate::link::{Link, LinkId};
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
@@ -31,6 +36,14 @@ pub struct EventLog {
     pub bit: Bit,
 }
 
+/// One undelivered bit on the calendar.
+///
+/// `seq` is the *ordering key*: the raw scheduling counter under FIFO
+/// ties, its complement `u64::MAX − counter` under LIFO ties. `msg` is
+/// always the raw counter — it names the bit causally (the [`MsgId`]
+/// fault draws and hop records key off), so the LIFO-ties knob permutes
+/// **only** `seq`, never `msg`, on every calendar implementation (the
+/// `lifo_ties_permute_order_but_never_msg_ids` regression test pins this).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct Pending {
     pub(crate) at: BitTime,
@@ -73,7 +86,12 @@ pub struct Engine {
     /// Outgoing links per (node, port), resolved at build time.
     routes: Vec<Vec<Vec<LinkId>>>,
     delay: DelayModel,
-    pub(crate) queue: BinaryHeap<Reverse<Pending>>,
+    pub(crate) queue: Box<dyn Calendar>,
+    /// Pending-event count, maintained O(1) alongside every push/pop so
+    /// the hot loop's depth sampling (recorder, profiler, flight,
+    /// telemetry) never depends on the installed calendar's `len()` cost.
+    /// Audited against `queue.len()` in debug builds.
+    pub(crate) depth: usize,
     pub(crate) seq: u64,
     pub(crate) now: BitTime,
     pub(crate) log: Vec<EventLog>,
@@ -124,7 +142,8 @@ impl Engine {
             links: Vec::new(),
             routes: Vec::new(),
             delay,
-            queue: BinaryHeap::new(),
+            queue: new_calendar(CalendarKind::Ladder),
+            depth: 0,
             seq: 0,
             now: BitTime::ZERO,
             log: Vec::new(),
@@ -162,6 +181,37 @@ impl Engine {
     pub fn with_lifo_ties(mut self) -> Self {
         self.lifo_ties = true;
         self
+    }
+
+    /// Installs the given pending-event [`CalendarKind`]. The default is
+    /// [`CalendarKind::Ladder`]; [`CalendarKind::Heap`] is the original
+    /// binary heap, kept as the verification oracle. Either produces the
+    /// identical run — bits, clocks, logs, stats (ENG-001 pins this) — so
+    /// this knob only trades queue cost. Any events already pending are
+    /// migrated.
+    pub fn with_calendar(mut self, kind: CalendarKind) -> Self {
+        if self.queue.kind() != kind {
+            let mut events = self.queue.events();
+            // Ascending order keeps the ladder's restore fast path.
+            events.sort_unstable();
+            let mut queue = new_calendar(kind);
+            for ev in events {
+                queue.push(ev);
+            }
+            self.queue = queue;
+        }
+        self
+    }
+
+    /// Which pending-event calendar is installed.
+    pub fn calendar_kind(&self) -> CalendarKind {
+        self.queue.kind()
+    }
+
+    /// Number of events pending on the calendar (O(1): the maintained
+    /// depth counter, not the queue's own length).
+    pub fn pending_events(&self) -> usize {
+        self.depth
     }
 
     /// Installs a fault scenario. An empty plan leaves the run bit-for-bit
@@ -463,14 +513,16 @@ impl Engine {
                 // The fault plan above keys off the raw scheduling counter;
                 // only the *ordering* value is permuted under LIFO ties.
                 let order = if self.lifo_ties { u64::MAX - self.seq } else { self.seq };
-                self.queue.push(Reverse(Pending {
+                self.queue.push(Pending {
                     at: arrive,
                     seq: order,
                     msg: self.seq,
                     node: link.to,
                     port: link.to_port,
                     bit,
-                }));
+                });
+                self.depth += 1;
+                debug_assert_eq!(self.depth, self.queue.len(), "depth counter drifted on push");
             }
         }
     }
@@ -521,9 +573,11 @@ impl Engine {
         }
         let mut fired = 0u64;
         while fired < max_events {
-            let Some(Reverse(ev)) = self.queue.pop() else {
+            let Some(ev) = self.queue.pop() else {
                 return Ok(RunStatus::Quiescent(self.now));
             };
+            self.depth -= 1;
+            debug_assert_eq!(self.depth, self.queue.len(), "depth counter drifted on pop");
             fired += 1;
             self.delivered += 1;
             if self.delivered > self.budget.max_events {
@@ -557,11 +611,11 @@ impl Engine {
             if let Some(rec) = &mut self.recorder {
                 // Depth of the calendar when this event fired (itself
                 // included), and the receiving node's activation.
-                rec.calendar_sample(self.queue.len() + 1);
+                rec.calendar_sample(self.depth + 1);
                 rec.node_activated(ev.node.0);
             }
             if let Some(prof) = &mut self.profiler {
-                let depth = (self.queue.len() + 1) as u64;
+                let depth = (self.depth + 1) as u64;
                 if prof.event_fired(ev.at, ev.node.0, depth) {
                     // New calendar-depth peak: capture the engine-structure
                     // footprint at this moment.
@@ -577,12 +631,12 @@ impl Engine {
                     port: ev.port.0,
                     value: ev.bit.value,
                     index: ev.bit.index,
-                    depth: (self.queue.len() + 1) as u64,
+                    depth: (self.depth + 1) as u64,
                 });
             }
             if let Some(tel) = &mut self.telemetry {
                 tel.count("engine.delivered", 1);
-                tel.observe("engine.calendar_depth", (self.queue.len() + 1) as u64);
+                tel.observe("engine.calendar_depth", (self.depth + 1) as u64);
                 tel.tick(ev.at);
             }
             self.now = self.now.max(ev.at);
@@ -1267,6 +1321,132 @@ mod tests {
         assert_eq!(ports, vec![2, 1, 0, 2, 1, 0]);
         assert!(e.log().windows(2).all(|w| w[0].at <= w[1].at));
         assert_eq!(end.get(), 2);
+    }
+
+    /// Starts (but does not run) the 3×2-bit fan-in and returns the
+    /// scheduled calendar, sorted into delivery order.
+    fn schedule_only(lifo: bool, kind: CalendarKind) -> Vec<Pending> {
+        let mut e = Engine::new(DelayModel::Constant).with_calendar(kind);
+        if lifo {
+            e = e.with_lifo_ties();
+        }
+        let sources: Vec<NodeId> =
+            (0..3).map(|_| e.add_node(Box::new(WordSource { width: 2 }))).collect();
+        let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+        for (p, &s) in sources.iter().enumerate() {
+            e.connect(s, PortId(0), dst, PortId(p), 1);
+        }
+        // Zero-event slice: fires on_start (scheduling all six bits) and
+        // stops at the first event boundary.
+        assert_eq!(e.try_run_for(0).unwrap(), RunStatus::Paused(BitTime::ZERO));
+        let mut pending = e.queue.events();
+        pending.sort_unstable();
+        pending
+    }
+
+    #[test]
+    fn lifo_ties_permute_order_but_never_msg_ids() {
+        // The msg/seq coupling contract, on both calendars: the LIFO-ties
+        // knob permutes only the ordering key `seq`; the causal `msg`
+        // (which fault draws and hop records key off) is untouched.
+        for kind in [CalendarKind::Heap, CalendarKind::Ladder] {
+            let fifo = schedule_only(false, kind);
+            let lifo = schedule_only(true, kind);
+            // FIFO: ordering key IS the raw counter. LIFO: its complement.
+            assert!(fifo.iter().all(|p| p.seq == p.msg), "{kind:?}");
+            assert!(lifo.iter().all(|p| p.seq == u64::MAX - p.msg), "{kind:?}");
+            // Same msg multiset either way…
+            let mut fifo_msgs: Vec<u64> = fifo.iter().map(|p| p.msg).collect();
+            let mut lifo_msgs: Vec<u64> = lifo.iter().map(|p| p.msg).collect();
+            fifo_msgs.sort_unstable();
+            lifo_msgs.sort_unstable();
+            assert_eq!(fifo_msgs, lifo_msgs, "{kind:?}: msg ids must not be permuted");
+            // …and within each timestamp the delivery order of msgs is
+            // exactly reversed, never mixed across timestamps.
+            for t in [1u64, 2] {
+                let f: Vec<u64> = fifo.iter().filter(|p| p.at.get() == t).map(|p| p.msg).collect();
+                let mut l: Vec<u64> =
+                    lifo.iter().filter(|p| p.at.get() == t).map(|p| p.msg).collect();
+                l.reverse();
+                assert_eq!(f, l, "{kind:?} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn lifo_ties_leave_fault_draws_untouched_on_both_calendars() {
+        // Fault draws key off the raw scheduling counter, so the faulted
+        // bit *population* is identical under FIFO and LIFO — only the
+        // same-timestamp delivery order moves.
+        let run = |lifo: bool, kind: CalendarKind| -> (Vec<EventLog>, FaultStats) {
+            let mut e = Engine::new(DelayModel::Constant).with_event_log().with_calendar(kind);
+            if lifo {
+                e = e.with_lifo_ties();
+            }
+            let sources: Vec<NodeId> =
+                (0..3).map(|_| e.add_node(Box::new(WordSource { width: 8 }))).collect();
+            let dst = e.add_node(Box::new(Sink { expected: 24, got: 0, done: None }));
+            for (p, &s) in sources.iter().enumerate() {
+                e.connect(s, PortId(0), dst, PortId(p), 1);
+            }
+            let mut e = e.with_fault_plan(FaultPlan::new(99).with_link_fault_rate(0.4));
+            e.run();
+            (e.log().to_vec(), *e.fault_stats())
+        };
+        for kind in [CalendarKind::Heap, CalendarKind::Ladder] {
+            let (log_fifo, stats_fifo) = run(false, kind);
+            let (log_lifo, stats_lifo) = run(true, kind);
+            assert_eq!(stats_fifo, stats_lifo, "{kind:?}: same draws, same stats");
+            let key = |ev: &EventLog| (ev.at, ev.port, ev.bit.value, ev.bit.index);
+            let mut f: Vec<_> = log_fifo.iter().map(key).collect();
+            let mut l: Vec<_> = log_lifo.iter().map(key).collect();
+            f.sort_unstable();
+            l.sort_unstable();
+            assert_eq!(f, l, "{kind:?}: delivered multiset is tie-break invariant");
+        }
+    }
+
+    #[test]
+    fn heap_and_ladder_engines_deliver_identical_logs() {
+        // The engine-level identity the ENG-001 rule generalizes: same
+        // network, same knobs, different calendar — same event log.
+        let run = |kind: CalendarKind, lifo: bool| -> (Vec<EventLog>, BitTime) {
+            let mut e = Engine::new(DelayModel::Logarithmic).with_event_log().with_calendar(kind);
+            if lifo {
+                e = e.with_lifo_ties();
+            }
+            let src = e.add_node(Box::new(WordSource { width: 6 }));
+            let mid = e.add_node(Box::new(Repeater));
+            let dst = e.add_node(Box::new(Sink { expected: 6, got: 0, done: None }));
+            e.connect(src, PortId(0), mid, PortId(0), 64);
+            e.connect(mid, PortId(0), dst, PortId(0), 16);
+            let end = e.run();
+            (e.log().to_vec(), end)
+        };
+        for lifo in [false, true] {
+            let (heap_log, heap_end) = run(CalendarKind::Heap, lifo);
+            let (ladder_log, ladder_end) = run(CalendarKind::Ladder, lifo);
+            assert_eq!(heap_log, ladder_log, "lifo={lifo}");
+            assert_eq!(heap_end, ladder_end, "lifo={lifo}");
+        }
+    }
+
+    #[test]
+    fn with_calendar_migrates_pending_events() {
+        // Switching calendars mid-flight (after scheduling, before the
+        // drain) must carry every pending event across.
+        let mut e = Engine::new(DelayModel::Constant).with_event_log();
+        let src = e.add_node(Box::new(WordSource { width: 4 }));
+        let dst = e.add_node(Box::new(Sink { expected: 4, got: 0, done: None }));
+        e.connect(src, PortId(0), dst, PortId(0), 1);
+        assert_eq!(e.try_run_for(1).unwrap(), RunStatus::Paused(BitTime::new(1)));
+        assert_eq!(e.pending_events(), 3);
+        let mut e = e.with_calendar(CalendarKind::Heap);
+        assert_eq!(e.calendar_kind(), CalendarKind::Heap);
+        assert_eq!(e.pending_events(), 3);
+        e.run();
+        assert_eq!(e.log().len(), 4);
+        assert_eq!(e.completion_time().unwrap().get(), 4);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   ("in the MIN-LEAFTOROOT operation, the most significant bits should
 //!   arrive first").
 
+use crate::calendar::CalendarKind;
 use crate::engine::{Engine, EventLog};
 use crate::fault::FaultPlan;
 use crate::node::{Bit, NodeBehavior, NodeId, Outbox, PortId};
@@ -661,8 +662,9 @@ pub fn min_completion_time(values: &[u64], m: &CostModel) -> Result<(BitTime, u6
     run_aggregate(values, m, false)
 }
 
-/// Builds the aggregate tree (sum or min) and its root sink.
-fn build_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (Engine, NodeId) {
+/// Builds the aggregate tree (sum or min) and its root sink into an
+/// existing (possibly pre-configured) engine.
+fn build_aggregate_into(e: &mut Engine, values: &[u64], m: &CostModel, sum: bool) -> NodeId {
     let leaves = values.len();
     assert!(leaves >= 2 && leaves.is_power_of_two(), "need a power-of-two leaf count >= 2");
     let w = m.word_bits.max(1);
@@ -670,9 +672,8 @@ fn build_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (Engine, NodeId)
         assert!(v < (1u64 << w), "value {v} exceeds word width {w}");
     }
     let width = if sum { w + log2_ceil(leaves as u64) } else { w };
-    let mut e = Engine::new(m.delay);
     let ids = build_tree(
-        &mut e,
+        e,
         leaves,
         m.leaf_pitch(),
         false,
@@ -691,6 +692,13 @@ fn build_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (Engine, NodeId)
     let root = ids.root();
     let sink = e.add_node(Box::new(WordSink::new(width, sum)));
     e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+    sink
+}
+
+/// Builds the aggregate tree (sum or min) and its root sink.
+fn build_aggregate(values: &[u64], m: &CostModel, sum: bool) -> (Engine, NodeId) {
+    let mut e = Engine::new(m.delay);
+    let sink = build_aggregate_into(&mut e, values, m, sum);
     (e, sink)
 }
 
@@ -1061,6 +1069,188 @@ pub fn stream_completion_time(
     Ok(done - injected)
 }
 
+// ----------------------------------------------------------------------
+// The engine-level probe repertoire: every paper primitive as a
+// *buildable* (not pre-run) engine, parameterized over the pending-event
+// calendar. The ENG-001 verify rule and the `calendar_suite` proptests
+// run each probe on the heap and the ladder and compare the runs exactly;
+// the event-core microbench in `orthotrees-bench` times the Stream probe
+// at n = 512 under a dense fault plan on both calendars.
+// ----------------------------------------------------------------------
+
+/// Which paper primitive a probe engine models (engine-level repertoire).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// `ROOTTOLEAF`: one word broadcast down the tree.
+    Broadcast,
+    /// `LEAFTOROOT`: leaf 0 relays one word up to a root sink.
+    Send,
+    /// `SUM-LEAFTOROOT`: bit-serial adders, LSB-first, widened word.
+    Sum,
+    /// `MIN-LEAFTOROOT`: bit-serial comparators, MSB-first.
+    Min,
+    /// `LEAFTOLEAF`: up-tree into a buffering turnaround into a down-tree.
+    LeafToLeaf,
+    /// §IV converging streams: every leaf's word contends for the upper
+    /// links (the densest event traffic of the repertoire).
+    Stream,
+}
+
+/// Every probe, in a stable sweep order.
+pub const PROBE_KINDS: [ProbeKind; 6] = [
+    ProbeKind::Broadcast,
+    ProbeKind::Send,
+    ProbeKind::Sum,
+    ProbeKind::Min,
+    ProbeKind::LeafToLeaf,
+    ProbeKind::Stream,
+];
+
+impl ProbeKind {
+    /// Stable lowercase tag (test labels, bench documents).
+    pub fn tag(self) -> &'static str {
+        match self {
+            ProbeKind::Broadcast => "broadcast",
+            ProbeKind::Send => "send",
+            ProbeKind::Sum => "sum",
+            ProbeKind::Min => "min",
+            ProbeKind::LeafToLeaf => "leaf-to-leaf",
+            ProbeKind::Stream => "stream",
+        }
+    }
+}
+
+/// Builds (without running) the engine-level probe for one paper
+/// primitive on the given [`CalendarKind`], optionally under a
+/// [`FaultPlan`] and with the delivered-bit log retained.
+///
+/// The topology, sources and per-leaf words are deterministic functions
+/// of `(kind, leaves, m)` alone, so two probes built with different
+/// calendars (or instrumentation) are the *same* simulation — the
+/// identity checks rely on exactly this. For the aggregate probes
+/// (`Sum`/`Min`) the root sink is the last node added, which is how the
+/// recovery soaks target it with outages.
+///
+/// # Panics
+///
+/// Panics unless `leaves` is a power of two ≥ 2.
+pub fn probe_engine(
+    kind: ProbeKind,
+    leaves: usize,
+    m: &CostModel,
+    calendar: CalendarKind,
+    plan: Option<FaultPlan>,
+    log: bool,
+) -> Engine {
+    assert!(leaves.is_power_of_two() && leaves >= 2, "need a power-of-two tree >= 2");
+    let w = m.word_bits.max(1);
+    let mut e = Engine::new(m.delay).with_calendar(calendar);
+    if log {
+        e = e.with_event_log();
+    }
+    if let Some(p) = plan {
+        e = e.with_fault_plan(p);
+    }
+    match kind {
+        ProbeKind::Broadcast => {
+            let ids = build_tree(
+                &mut e,
+                leaves,
+                m.leaf_pitch(),
+                true,
+                &mut |_| Box::new(WordSink::new(w, true)),
+                &mut |_| Box::new(DownRepeater),
+            );
+            let root = ids.root();
+            let src = e.add_node(Box::new(WordSource {
+                word: 0b1011,
+                width: w,
+                lsb_first: true,
+                port: TO_PARENT,
+            }));
+            e.connect(src, TO_PARENT, root, FROM_PARENT, 0);
+        }
+        ProbeKind::Send => {
+            let word = 0b1101u64 & ((1 << w) - 1).max(1);
+            let ids = build_tree(
+                &mut e,
+                leaves,
+                m.leaf_pitch(),
+                false,
+                &mut |i| {
+                    if i == 0 {
+                        Box::new(WordSource { word, width: w, lsb_first: true, port: TO_PARENT })
+                            as Box<dyn NodeBehavior>
+                    } else {
+                        Box::new(IdleLeaf)
+                    }
+                },
+                &mut |_| Box::new(UpRepeater),
+            );
+            let root = ids.root();
+            let sink = e.add_node(Box::new(WordSink::new(w, true)));
+            e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+        }
+        ProbeKind::Sum | ProbeKind::Min => {
+            let mask = (1u64 << w) - 1;
+            let values: Vec<u64> = (0..leaves).map(|i| (i as u64 * 7 + 3) & mask).collect();
+            build_aggregate_into(&mut e, &values, m, kind == ProbeKind::Sum);
+        }
+        ProbeKind::LeafToLeaf => {
+            let word = 0b1010_0110u64 & ((1 << w) - 1);
+            let up = build_tree(
+                &mut e,
+                leaves,
+                m.leaf_pitch(),
+                false,
+                &mut |i| {
+                    if i == 0 {
+                        Box::new(WordSource { word, width: w, lsb_first: true, port: TO_PARENT })
+                            as Box<dyn NodeBehavior>
+                    } else {
+                        Box::new(IdleLeaf)
+                    }
+                },
+                &mut |_| Box::new(UpRepeater),
+            );
+            let down = build_tree(
+                &mut e,
+                leaves,
+                m.leaf_pitch(),
+                true,
+                &mut |_| Box::new(WordSink::new(w, true)) as Box<dyn NodeBehavior>,
+                &mut |_| Box::new(DownRepeater),
+            );
+            let up_root = up.root();
+            let turn = e.add_node(Box::new(TurnAround { expected: w, buffered: Vec::new() }));
+            let down_root = down.root();
+            e.connect(up_root, TO_PARENT, turn, FROM_LEFT, 0);
+            e.connect(turn, TO_PARENT, down_root, FROM_PARENT, 0);
+        }
+        ProbeKind::Stream => {
+            let ids = build_tree(
+                &mut e,
+                leaves,
+                m.leaf_pitch(),
+                false,
+                &mut |i| {
+                    Box::new(WordSource {
+                        word: (i as u64) & ((1 << w) - 1),
+                        width: w,
+                        lsb_first: true,
+                        port: TO_PARENT,
+                    }) as Box<dyn NodeBehavior>
+                },
+                &mut |_| Box::new(UpRepeater),
+            );
+            let root = ids.root();
+            let sink = e.add_node(Box::new(WordSink::new(w * leaves as u32, true)));
+            e.connect(root, TO_PARENT, sink, FROM_LEFT, 0);
+        }
+    }
+    e
+}
+
 /// The closed-form completion time the MIN experiment should match:
 /// one-bit path latency + one gate delay per level + `w − 1` pipelined bits.
 ///
@@ -1080,6 +1270,38 @@ mod tests {
 
     fn models(n: usize) -> Vec<CostModel> {
         vec![CostModel::thompson(n), CostModel::constant_delay(n), CostModel::linear_delay(n)]
+    }
+
+    #[test]
+    fn probe_repertoire_is_bit_identical_across_calendars() {
+        let m = CostModel::thompson(8);
+        for kind in PROBE_KINDS {
+            let mut runs = Vec::new();
+            for cal in [CalendarKind::Heap, CalendarKind::Ladder] {
+                let mut e = probe_engine(kind, 8, &m, cal, None, true);
+                assert_eq!(e.calendar_kind(), cal);
+                e.try_run().unwrap();
+                runs.push((e.completion_time(), e.now(), e.delivered_events(), e.log().to_vec()));
+            }
+            assert!(runs[0].0.is_some(), "{} probe never completed", kind.tag());
+            assert_eq!(runs[0], runs[1], "{} probe diverged across calendars", kind.tag());
+        }
+    }
+
+    #[test]
+    fn faulted_probes_stay_identical_across_calendars() {
+        let m = CostModel::thompson(8);
+        for kind in PROBE_KINDS {
+            let mut runs = Vec::new();
+            for cal in [CalendarKind::Heap, CalendarKind::Ladder] {
+                let plan = FaultPlan::new(17).with_link_fault_rate(0.3);
+                let mut e = probe_engine(kind, 8, &m, cal, Some(plan), true);
+                e.try_run().unwrap();
+                let stats = *e.fault_stats();
+                runs.push((e.now(), e.delivered_events(), e.log().to_vec(), stats));
+            }
+            assert_eq!(runs[0], runs[1], "faulted {} probe diverged", kind.tag());
+        }
     }
 
     #[test]

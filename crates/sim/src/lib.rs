@@ -27,6 +27,7 @@
 //! # Ok::<(), orthotrees_vlsi::SimError>(())
 //! ```
 
+mod calendar;
 mod engine;
 pub mod experiments;
 pub mod fault;
@@ -35,6 +36,7 @@ mod node;
 pub mod recovery;
 pub mod snapshot;
 
+pub use calendar::CalendarKind;
 pub use engine::{Engine, EventLog, RunStatus};
 pub use fault::{
     DeadIp, FaultPlan, FaultStats, LinkFaultKind, Outage, RunBudget, TreeAxis, WordFaultKind,

@@ -26,8 +26,6 @@
 //! shape and rejects mismatches with a typed
 //! [`SimError::SnapshotMismatch`].
 
-use std::cmp::Reverse;
-
 use crate::engine::{Engine, EventLog, Pending, RunStatus};
 use crate::fault::FaultStats;
 use crate::node::{Bit, NodeId, PortId};
@@ -328,17 +326,21 @@ impl Engine {
     /// boundary. Call between [`Engine::try_run_for`] slices (the engine
     /// is always at an event boundary when that method returns).
     pub fn snapshot(&self) -> Snapshot {
-        let mut pending: Vec<&Reverse<Pending>> = self.queue.iter().collect();
-        pending.sort_by_key(|p| (p.0.at, p.0.seq));
+        // `events()` hands the pending set back in whatever order the
+        // installed calendar keeps it; sorting by the delivery order key
+        // makes the serialized document identical regardless of calendar
+        // (the `/v1` byte-compatibility the calendar_suite fixture pins).
+        let mut pending: Vec<Pending> = self.queue.events();
+        pending.sort_by_key(|p| (p.at, p.seq));
         let events = pending
             .iter()
             .map(|p| SnapEvent {
-                at: p.0.at,
-                msg: p.0.msg,
-                node: p.0.node.0,
-                port: p.0.port.0,
-                value: p.0.bit.value,
-                index: p.0.bit.index,
+                at: p.at,
+                msg: p.msg,
+                node: p.node.0,
+                port: p.port.0,
+                value: p.bit.value,
+                index: p.bit.index,
             })
             .collect();
         Snapshot {
@@ -398,18 +400,21 @@ impl Engine {
         }
         self.queue.clear();
         for e in &snap.events {
-            // The heap key is recomputed from the tie-break mode; the raw
-            // scheduling counter is what the snapshot carries.
+            // The ordering key is recomputed from the tie-break mode; the
+            // raw scheduling counter is what the snapshot carries. Either
+            // calendar accepts this rebuild — the snapshot's ascending
+            // `(at, seq)` order is also the ladder's append fast path.
             let order = if self.lifo_ties { u64::MAX - e.msg } else { e.msg };
-            self.queue.push(Reverse(Pending {
+            self.queue.push(Pending {
                 at: e.at,
                 seq: order,
                 msg: e.msg,
                 node: NodeId(e.node),
                 port: PortId(e.port),
                 bit: Bit { value: e.value, index: e.index },
-            }));
+            });
         }
+        self.depth = snap.events.len();
         for (link, &free_at) in self.links.iter_mut().zip(&snap.free_at) {
             link.free_at = free_at;
         }

@@ -25,7 +25,7 @@ use orthotrees_verify::schedule::{
     stream_schedule,
 };
 use orthotrees_verify::{
-    ckpt, critpath, determinism, dflow, primitive, profile, telemetry, words, RULES,
+    ckpt, critpath, determinism, dflow, eng, primitive, profile, telemetry, words, RULES,
 };
 use orthotrees_vlsi::{tree::level_wire_lengths, CostKind, CostModel};
 
@@ -156,6 +156,7 @@ fn main() {
     lint_words(&mut report);
     lint_layouts(&mut report);
     report.extend(determinism::stock_findings());
+    report.extend(eng::stock_findings());
     report.extend(ckpt::stock_findings());
     report.extend(critpath::stock_findings(&TREE_LEAVES));
     report.extend(primitive::stock_findings());

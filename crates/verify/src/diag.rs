@@ -191,6 +191,13 @@ pub const RULES: &[Rule] = &[
         hint: "make same-timestamp event handlers commutative",
     },
     Rule {
+        id: "ENG-001",
+        summary: "heap and ladder calendars deliver different event sequences for the same network",
+        severity: Severity::Error,
+        subject: "calendar pair",
+        hint: "the ladder must honour the unique (at, seq) ordering key exactly",
+    },
+    Rule {
         id: "CRIT-001",
         summary: "clean ROOTTOLEAF critical path disagrees with the per-level closed-form delays",
         severity: Severity::Error,

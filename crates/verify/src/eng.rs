@@ -1,0 +1,224 @@
+//! Calendar identity checker: the heap oracle versus the ladder queue.
+//!
+//! The engine's pending-event calendar is pluggable
+//! ([`CalendarKind::Heap`] is the original binary heap, kept as the
+//! oracle; [`CalendarKind::Ladder`] is the flat-arena ladder queue the
+//! engine now defaults to). Because every scheduled event carries a
+//! unique `(at, seq)` ordering key, delivery order is a total order that
+//! no correct calendar may perturb — the two implementations must deliver
+//! the *exact same sequence* of events, not merely the same multiset.
+//!
+//! [`check_identity`] runs the same network once per calendar and flags
+//! any observable divergence — completion time, current time, delivered
+//! count, any node result, fault-draw statistics, or the first position
+//! at which the two delivery logs disagree — as an ENG-001 finding.
+
+use crate::diag::Finding;
+use orthotrees_sim::experiments::{probe_engine, ProbeKind, PROBE_KINDS};
+use orthotrees_sim::{CalendarKind, Engine, FaultPlan};
+use orthotrees_vlsi::CostModel;
+
+/// Runs `build(Heap)` and `build(Ladder)` to quiescence and reports every
+/// observable divergence as ENG-001.
+///
+/// `build` must construct the *same* network both times, differing only
+/// in the engine's calendar — typically
+/// `Engine::new(model).with_calendar(kind)`. The checker forces the
+/// delivered-bit log on so the comparison covers the full delivery
+/// sequence; if the builder ignores the requested calendar the check
+/// would be vacuous, so that too is an ENG-001 finding.
+pub fn check_identity(network: &str, build: impl Fn(CalendarKind) -> Engine) -> Vec<Finding> {
+    let mut heap = build(CalendarKind::Heap).with_event_log();
+    let mut ladder = build(CalendarKind::Ladder).with_event_log();
+    let mut out = Vec::new();
+    for (e, want) in [(&heap, CalendarKind::Heap), (&ladder, CalendarKind::Ladder)] {
+        if e.calendar_kind() != want {
+            out.push(Finding::new(
+                "ENG-001",
+                network,
+                "builder".to_string(),
+                format!(
+                    "builder was asked for the {} calendar but installed {}",
+                    want.tag(),
+                    e.calendar_kind().tag()
+                ),
+                "thread the requested CalendarKind through Engine::with_calendar",
+            ));
+        }
+    }
+    if !out.is_empty() {
+        return out;
+    }
+    let t_heap = heap.try_run();
+    let t_ladder = ladder.try_run();
+    match (&t_heap, &t_ladder) {
+        (Ok(a), Ok(b)) if a != b => out.push(Finding::new(
+            "ENG-001",
+            network,
+            "quiescence time".to_string(),
+            format!("heap goes quiescent at {a} τ, ladder at {b} τ"),
+            "the calendar must not change when the last event drains",
+        )),
+        (Ok(_), Ok(_)) => {}
+        (a, b) => out.push(Finding::new(
+            "ENG-001",
+            network,
+            "run status".to_string(),
+            format!("heap run ended {a:?}, ladder run ended {b:?}"),
+            "a budget trip must reproduce identically on both calendars",
+        )),
+    }
+    if heap.completion_time() != ladder.completion_time() {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            "completion time".to_string(),
+            format!(
+                "heap completes at {:?}, ladder at {:?}",
+                heap.completion_time(),
+                ladder.completion_time()
+            ),
+            "calendar choice must not move the completion event",
+        ));
+    }
+    if heap.delivered_events() != ladder.delivered_events() {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            "delivered count".to_string(),
+            format!(
+                "heap delivered {} events, ladder {}",
+                heap.delivered_events(),
+                ladder.delivered_events()
+            ),
+            "a calendar must neither drop nor duplicate events",
+        ));
+    }
+    if heap.fault_stats() != ladder.fault_stats() {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            "fault statistics".to_string(),
+            format!("heap drew {:?}, ladder {:?}", heap.fault_stats(), ladder.fault_stats()),
+            "fault draws key off MsgId, which must not depend on the calendar",
+        ));
+    }
+    if heap.node_count() != ladder.node_count() {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            "node count".to_string(),
+            format!("builder produced {} vs {} nodes", heap.node_count(), ladder.node_count()),
+            "the builder must construct the same network for both calendars",
+        ));
+        return out;
+    }
+    for i in 0..heap.node_count() {
+        let a = heap.node(orthotrees_sim::NodeId(i)).result();
+        let b = ladder.node(orthotrees_sim::NodeId(i)).result();
+        if a != b {
+            out.push(Finding::new(
+                "ENG-001",
+                network,
+                format!("node {i}"),
+                format!("result {a:?} on the heap but {b:?} on the ladder"),
+                "calendar choice must not change any node's end state",
+            ));
+        }
+    }
+    // The strongest claim: the full delivery *sequence* — not just its
+    // multiset — is identical. Report only the first divergence; one
+    // transposition early in a run cascades through everything after it.
+    let (la, lb) = (heap.log(), ladder.log());
+    if la.len() != lb.len() {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            "event log length".to_string(),
+            format!("heap logged {} deliveries, ladder {}", la.len(), lb.len()),
+            "a calendar must neither drop nor duplicate events",
+        ));
+    } else if let Some(i) = (0..la.len()).find(|&i| la[i] != lb[i]) {
+        out.push(Finding::new(
+            "ENG-001",
+            network,
+            format!("delivery #{i}"),
+            format!("heap delivered {:?} but ladder delivered {:?}", la[i], lb[i]),
+            "ties share a unique (at, seq) key; the ladder must honour it exactly",
+        ));
+    }
+    out
+}
+
+/// The stock identity checks `netlint` runs: the full engine-level probe
+/// repertoire (every paper primitive plus the §IV converging streams) at
+/// n = 8 under the Thompson model, clean and under a dense link-fault
+/// plan, in both tie-break modes.
+pub fn stock_findings() -> Vec<Finding> {
+    let m = CostModel::thompson(8);
+    let mut out = Vec::new();
+    for kind in PROBE_KINDS {
+        for lifo in [false, true] {
+            for faulted in [false, true] {
+                let name = format!(
+                    "{} probe [n=8{}{}]",
+                    kind.tag(),
+                    if lifo { ", lifo ties" } else { "" },
+                    if faulted { ", dense faults" } else { "" }
+                );
+                out.extend(check_identity(&name, |cal| build_probe(kind, &m, cal, lifo, faulted)));
+            }
+        }
+    }
+    out
+}
+
+fn build_probe(
+    kind: ProbeKind,
+    m: &CostModel,
+    cal: CalendarKind,
+    lifo: bool,
+    faulted: bool,
+) -> Engine {
+    let plan = faulted.then(|| FaultPlan::new(7).with_link_fault_rate(0.3));
+    let e = probe_engine(kind, 8, m, cal, plan, false);
+    if lifo {
+        e.with_lifo_ties()
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn probe_repertoire_is_clean() {
+        assert!(stock_findings().is_empty());
+    }
+
+    #[test]
+    fn divergent_builds_are_eng001() {
+        // An impure builder — FIFO ties on the heap, LIFO on the ladder —
+        // makes the delivery sequences differ, which the checker must
+        // catch (it is exactly the divergence a broken calendar causes).
+        let m = CostModel::thompson(8);
+        let flip = Cell::new(false);
+        let f = check_identity("impure build", |cal| {
+            let lifo = flip.replace(true);
+            build_probe(ProbeKind::Stream, &m, cal, lifo, false)
+        });
+        assert!(f.iter().any(|f| f.rule == "ENG-001"), "{f:?}");
+    }
+
+    #[test]
+    fn builder_ignoring_the_calendar_is_eng001() {
+        let m = CostModel::thompson(8);
+        let f = check_identity("ignores kind", |_| {
+            build_probe(ProbeKind::Send, &m, CalendarKind::Heap, false, false)
+        });
+        assert!(f.iter().any(|f| f.subject == "builder"), "{f:?}");
+    }
+}

@@ -12,7 +12,7 @@
 use crate::dflow::DflowMutation;
 use crate::diag::Report;
 use crate::mutate::{lint_mutated, Mutation};
-use crate::{ckpt, critpath, determinism, schedule, words};
+use crate::{ckpt, critpath, determinism, eng, schedule, words};
 use orthotrees::obs::causal::{CausalTrace, Hop, MsgId};
 use orthotrees::obs::json::Json;
 use orthotrees::obs::profile::{Profiler, Window};
@@ -119,6 +119,29 @@ pub fn firing_fixture(id: &str) -> Report {
             report.extend(words::lint_chip_overlap("fixture", &chip));
         }
         // Determinism and checkpoint rules.
+        "ENG-001" => {
+            // An impure builder — FIFO ties for the heap run, LIFO for the
+            // ladder run — permutes same-τ deliveries between the two
+            // engines, exactly the sequence divergence a broken calendar
+            // would produce.
+            let m = CostModel::thompson(8);
+            let flip = std::cell::Cell::new(false);
+            report.extend(eng::check_identity("fixture", |cal| {
+                let e = experiments::probe_engine(
+                    experiments::ProbeKind::Stream,
+                    8,
+                    &m,
+                    cal,
+                    None,
+                    false,
+                );
+                if flip.replace(true) {
+                    e.with_lifo_ties()
+                } else {
+                    e
+                }
+            }));
+        }
         "DET-001" => report.extend(determinism::check_commutes("fixture", |lifo| {
             determinism::fan_in(
                 DelayModel::Logarithmic,

@@ -24,6 +24,10 @@
 //! - [`determinism`] — the **tie-break checker**: runs a network under
 //!   FIFO and LIFO same-timestamp ordering and flags any observable
 //!   divergence (`DET-001`).
+//! - [`eng`] — the **calendar identity checker**: runs the engine-level
+//!   probe repertoire on the binary-heap oracle and the ladder queue and
+//!   flags any divergence in the delivery sequence, completion time,
+//!   node results or fault draws (`ENG-001`).
 //! - [`ckpt`] — the **checkpoint checker**: interrupts a run at a sweep
 //!   of event boundaries, round-trips the engine snapshot through its
 //!   JSON text and flags any divergence of the resumed run (`CKPT-001`)
@@ -74,6 +78,7 @@ pub mod critpath;
 pub mod determinism;
 pub mod dflow;
 pub mod diag;
+pub mod eng;
 pub mod fixtures;
 pub mod mutate;
 pub mod net;
